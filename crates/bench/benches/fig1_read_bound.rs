@@ -1,0 +1,36 @@
+//! F1: the Proposition 1 executor — replaying the full Figure-1 run family
+//! (all `4k − 1` generations, both `pr` and `∆pr` variants) with transcript
+//! comparison, for growing write-round counts `k`.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rastor_lowerbound::prop1::{execute, Prop1Schedule};
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig1_read_bound");
+    group.sample_size(10);
+    for k in [1u32, 2, 3] {
+        group.bench_with_input(BenchmarkId::new("execute_family", k), &k, |b, &k| {
+            b.iter(|| {
+                let report = execute(k, 4, 1);
+                assert!(report.all_indistinguishable);
+                assert!(report.first_violation.is_some());
+                report.generations
+            })
+        });
+    }
+    for k in [2u32, 8, 32] {
+        group.bench_with_input(BenchmarkId::new("schedule_only", k), &k, |b, &k| {
+            b.iter(|| {
+                let sched = Prop1Schedule::new(k, 4, 1);
+                sched.check_invariants().unwrap();
+                (1..=sched.generations())
+                    .map(|g| sched.pr(g).reads.len() + sched.delta(g).reads.len())
+                    .sum::<usize>()
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

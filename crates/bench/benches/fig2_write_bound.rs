@@ -1,0 +1,33 @@
+//! F2: the Lemma 1 executor — building the Figure-2 partition, verifying
+//! the cardinality equations, and mechanically replaying the
+//! `pr_1 ∼ prC_1` indistinguishability step for growing `k` (the cluster
+//! grows as `S = 3·t_k + 1`, i.e. exponentially in `k`).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rastor_lowerbound::lemma1::execute_first_pair;
+use rastor_lowerbound::Lemma1Schedule;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig2_write_bound");
+    group.sample_size(10);
+    for k in [2usize, 3, 4, 5] {
+        group.bench_with_input(BenchmarkId::new("first_pair", k), &k, |b, &k| {
+            b.iter(|| {
+                let report = execute_first_pair(k);
+                assert!(report.indistinguishable());
+                report.transcript_pr1.len()
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("schedule_invariants", k), &k, |b, &k| {
+            b.iter(|| {
+                let sched = Lemma1Schedule::new(k);
+                sched.check_invariants().unwrap();
+                sched.num_objects()
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

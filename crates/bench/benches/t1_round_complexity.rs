@@ -1,0 +1,36 @@
+//! T1: cost of one contention-free write + read per protocol, across fault
+//! budgets. The round counts themselves are asserted in tests; this bench
+//! tracks the simulation cost of each protocol's message complexity (which
+//! scales with S and with the round structure).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rastor_common::Value;
+use rastor_core::{Protocol, StorageSystem, Workload};
+use rastor_sim::FixedDelay;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("t1_round_complexity");
+    for protocol in Protocol::all() {
+        for t in [1usize, 2, 4] {
+            group.bench_with_input(
+                BenchmarkId::new(protocol.name(), t),
+                &t,
+                |b, &t| {
+                    b.iter(|| {
+                        let mut sys = StorageSystem::new(protocol, t, 2).unwrap();
+                        let wl = Workload::default()
+                            .with_write(0, Value::from_u64(1))
+                            .with_read(1_000, 0);
+                        let res = sys.run(Box::new(FixedDelay::new(1)), &wl, vec![]);
+                        assert_eq!(res.completions.len(), 2);
+                        res.read_rounds()[0]
+                    })
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,44 @@
+//! T2: a read racing an ever-faster writer — the retry-until-stable
+//! baseline degrades linearly in contention while the transformation's
+//! 4-round read is constant (the "unbounded … at best" contrast of the
+//! paper's Section 1.2).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rastor_bench::t2_contention_rounds;
+use rastor_common::{ClientId, Value};
+use rastor_core::{Protocol, StorageSystem, Workload};
+use rastor_sim::control::Rule;
+use rastor_sim::ScriptedController;
+
+fn contended_read(protocol: Protocol, n_writes: u64) -> u32 {
+    let mut sys = StorageSystem::new(protocol, 1, 1).unwrap();
+    let mut wl = Workload::default().with_read(2, 0);
+    for kth in 0..n_writes {
+        wl = wl.with_write(1 + kth, Value::from_u64(kth + 1));
+    }
+    let controller =
+        ScriptedController::new().with_rule(Rule::slow_all(9).client(ClientId::reader(0)));
+    let res = sys.run(Box::new(controller), &wl, vec![]);
+    res.read_rounds()[0]
+}
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("t2_read_under_contention");
+    for n_writes in [0u64, 4, 8, 16] {
+        for protocol in [Protocol::RetryStable, Protocol::AtomicUnauth] {
+            group.bench_with_input(
+                BenchmarkId::new(protocol.name(), n_writes),
+                &n_writes,
+                |b, &n| b.iter(|| contended_read(protocol, n)),
+            );
+        }
+    }
+    group.finish();
+
+    // Also emit the shape check once per bench run.
+    let rows = t2_contention_rounds(16);
+    eprintln!("contention rounds (writes, retry, atomic): {rows:?}");
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,35 @@
+//! T3: the Lemma 1 recurrence machinery — `t_k`, closed form, inversion —
+//! plus the Lemma 1 partition construction and its invariant checks.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rastor_lowerbound::recurrence::{k_max, t_k, t_k_closed};
+use rastor_lowerbound::{Lemma1Partition, Lemma1Schedule};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    c.bench_function("t3_recurrence/t_k_iterative_k40", |b| {
+        b.iter(|| t_k(black_box(40)))
+    });
+    c.bench_function("t3_recurrence/t_k_closed_k40", |b| {
+        b.iter(|| t_k_closed(black_box(40)))
+    });
+    c.bench_function("t3_recurrence/k_max_sweep_to_10k", |b| {
+        b.iter(|| (1u64..10_000).map(|t| k_max(black_box(t)) as u64).sum::<u64>())
+    });
+
+    let mut group = c.benchmark_group("t3_partition");
+    for k in [3usize, 5, 7] {
+        group.bench_with_input(BenchmarkId::new("build_and_check", k), &k, |b, &k| {
+            b.iter(|| {
+                let p = Lemma1Partition::new(k);
+                let s = Lemma1Schedule::new(k.max(2));
+                s.check_invariants().unwrap();
+                p.num_objects()
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

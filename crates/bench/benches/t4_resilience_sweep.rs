@@ -1,0 +1,29 @@
+//! T4: the resilience boundary — executing the denial schedule against the
+//! naive 2-round read at `S = 4t` (breaks) and `S = 4t + 1` (safe), across
+//! fault budgets.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rastor_lowerbound::prop1::denial_attack;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("t4_resilience_sweep");
+    for t in [1usize, 2, 3, 4] {
+        for s in [4 * t, 4 * t + 1] {
+            group.bench_with_input(
+                BenchmarkId::new(format!("denial_t{t}"), s),
+                &(s, t),
+                |b, &(s, t)| {
+                    b.iter(|| {
+                        let violations = denial_attack(s, t);
+                        assert_eq!(violations.is_empty(), s > 4 * t);
+                        violations.len()
+                    })
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

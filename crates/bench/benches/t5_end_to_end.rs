@@ -1,0 +1,22 @@
+//! T5: end-to-end workload latency per protocol under randomized network
+//! delays, fault-free and with the full Byzantine budget silenced.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rastor_bench::t5_latency;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("t5_end_to_end");
+    group.sample_size(20);
+    for byz in [false, true] {
+        let tag = if byz { "byzantine" } else { "fault_free" };
+        for t in [1usize, 2] {
+            group.bench_with_input(BenchmarkId::new(tag, t), &t, |b, &t| {
+                b.iter(|| t5_latency(t, 42, byz))
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

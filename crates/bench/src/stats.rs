@@ -1,0 +1,75 @@
+//! Small summary-statistics helpers for the experiment tables.
+
+/// Summary of a latency/round sample.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Summary {
+    /// Sample size.
+    pub n: usize,
+    /// Arithmetic mean.
+    pub mean: f64,
+    /// Minimum.
+    pub min: u64,
+    /// Median (lower of the middle pair for even n).
+    pub p50: u64,
+    /// 95th percentile (nearest-rank).
+    pub p95: u64,
+    /// Maximum.
+    pub max: u64,
+}
+
+impl Summary {
+    /// Summarize a sample. Returns `None` for an empty sample.
+    pub fn of(mut xs: Vec<u64>) -> Option<Summary> {
+        if xs.is_empty() {
+            return None;
+        }
+        xs.sort_unstable();
+        let n = xs.len();
+        let rank = |q: f64| -> u64 {
+            let idx = ((q * n as f64).ceil() as usize).clamp(1, n) - 1;
+            xs[idx]
+        };
+        Some(Summary {
+            n,
+            mean: xs.iter().sum::<u64>() as f64 / n as f64,
+            min: xs[0],
+            p50: rank(0.50),
+            p95: rank(0.95),
+            max: xs[n - 1],
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_sample_has_no_summary() {
+        assert_eq!(Summary::of(vec![]), None);
+    }
+
+    #[test]
+    fn single_sample() {
+        let s = Summary::of(vec![7]).unwrap();
+        assert_eq!((s.n, s.min, s.p50, s.p95, s.max), (1, 7, 7, 7, 7));
+        assert_eq!(s.mean, 7.0);
+    }
+
+    #[test]
+    fn percentiles_nearest_rank() {
+        let s = Summary::of((1..=100).collect()).unwrap();
+        assert_eq!(s.p50, 50);
+        assert_eq!(s.p95, 95);
+        assert_eq!(s.min, 1);
+        assert_eq!(s.max, 100);
+        assert_eq!(s.mean, 50.5);
+    }
+
+    #[test]
+    fn unsorted_input_is_fine() {
+        let s = Summary::of(vec![9, 1, 5]).unwrap();
+        assert_eq!(s.p50, 5);
+        assert_eq!(s.max, 9);
+    }
+}

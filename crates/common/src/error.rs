@@ -1,0 +1,89 @@
+//! Error types shared across the workspace.
+
+use std::fmt;
+
+/// Result alias for rastor operations.
+pub type Result<T> = std::result::Result<T, Error>;
+
+/// Errors surfaced by cluster construction and register operations.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum Error {
+    /// A cluster was configured with too few objects for its fault budget.
+    InsufficientResilience {
+        /// Configured number of objects.
+        s: usize,
+        /// Fault budget.
+        t: usize,
+        /// Minimum objects required by the failure model.
+        required: usize,
+    },
+    /// A write was attempted with the reserved ⊥ value.
+    BottomWrite,
+    /// An operation was invoked by a process of the wrong role
+    /// (e.g. a reader invoking `write` on a SWMR register).
+    WrongRole {
+        /// Human-readable description of the violation.
+        detail: String,
+    },
+    /// An operation could not complete because the simulation ended
+    /// (e.g. a scripted schedule withheld the needed replies forever).
+    Incomplete {
+        /// Human-readable description of what was pending.
+        detail: String,
+    },
+    /// A client attempted a new operation while one is already pending
+    /// (the model allows at most one outstanding operation per client).
+    OperationPending,
+    /// An invariant of a protocol or run-construction was violated.
+    InvariantViolation {
+        /// Human-readable description of the violated invariant.
+        detail: String,
+    },
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::InsufficientResilience { s, t, required } => write!(
+                f,
+                "cluster of {s} objects cannot tolerate {t} faults (requires {required})"
+            ),
+            Error::BottomWrite => write!(f, "the initial value ⊥ is not a valid write input"),
+            Error::WrongRole { detail } => write!(f, "wrong client role: {detail}"),
+            Error::Incomplete { detail } => write!(f, "operation did not complete: {detail}"),
+            Error::OperationPending => {
+                write!(f, "client already has an outstanding operation")
+            }
+            Error::InvariantViolation { detail } => {
+                write!(f, "invariant violation: {detail}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for Error {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn errors_render_human_readably() {
+        let e = Error::InsufficientResilience {
+            s: 3,
+            t: 1,
+            required: 4,
+        };
+        assert_eq!(
+            e.to_string(),
+            "cluster of 3 objects cannot tolerate 1 faults (requires 4)"
+        );
+        assert!(Error::BottomWrite.to_string().contains("⊥"));
+    }
+
+    #[test]
+    fn error_is_std_error_send_sync() {
+        fn assert_bounds<T: std::error::Error + Send + Sync + 'static>() {}
+        assert_bounds::<Error>();
+    }
+}

@@ -1,0 +1,184 @@
+//! Process and logical-register identifiers.
+//!
+//! The paper's model has three disjoint process sets (objects, the writer,
+//! readers). We identify objects and clients in separate namespaces so that
+//! confusing one for the other is a type error.
+
+use std::fmt;
+
+/// Identifier of a storage object (a base register process `s_i`).
+///
+/// Objects are numbered `0 .. S`. Up to `t` of them may be malicious in any
+/// run.
+///
+/// ```
+/// use rastor_common::ObjectId;
+/// let s3 = ObjectId(3);
+/// assert_eq!(s3.index(), 3);
+/// assert_eq!(s3.to_string(), "s3");
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Default)]
+pub struct ObjectId(pub u32);
+
+impl ObjectId {
+    /// The zero-based index of this object.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Iterate over all object ids of a cluster of `s` objects.
+    pub fn all(s: usize) -> impl Iterator<Item = ObjectId> {
+        (0..s as u32).map(ObjectId)
+    }
+}
+
+impl fmt::Display for ObjectId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "s{}", self.0)
+    }
+}
+
+/// Identifier of a client process (the writer or a reader).
+///
+/// In the single-writer model there is exactly one [`ClientId::writer`];
+/// readers are numbered `0 .. R`. Clients may crash but never behave
+/// maliciously.
+///
+/// ```
+/// use rastor_common::ClientId;
+/// assert!(ClientId::writer().is_writer());
+/// assert_eq!(ClientId::reader(2).to_string(), "r2");
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub enum ClientId {
+    /// The unique writer process `w`.
+    Writer,
+    /// Reader process `r_i` (zero-based).
+    Reader(u32),
+}
+
+impl ClientId {
+    /// The writer client.
+    pub fn writer() -> ClientId {
+        ClientId::Writer
+    }
+
+    /// The `i`-th reader client (zero-based).
+    pub fn reader(i: u32) -> ClientId {
+        ClientId::Reader(i)
+    }
+
+    /// Whether this client is the writer.
+    pub fn is_writer(self) -> bool {
+        matches!(self, ClientId::Writer)
+    }
+
+    /// The reader index, if this client is a reader.
+    pub fn reader_index(self) -> Option<u32> {
+        match self {
+            ClientId::Writer => None,
+            ClientId::Reader(i) => Some(i),
+        }
+    }
+}
+
+impl fmt::Display for ClientId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ClientId::Writer => write!(f, "w"),
+            ClientId::Reader(i) => write!(f, "r{i}"),
+        }
+    }
+}
+
+/// Identifier of a *logical* register multiplexed over the physical objects.
+///
+/// The regular→atomic transformation of the paper's Section 5 employs `R + 1`
+/// SWMR regular registers hosted on the *same* `3t + 1` objects: one register
+/// owned by the writer and one per reader (into which that reader writes back
+/// the value it read). The multi-writer extension adds one register per
+/// writer.
+///
+/// ```
+/// use rastor_common::RegId;
+/// assert_eq!(RegId::WRITER, RegId::Writer(0));
+/// assert_eq!(RegId::ReaderReg(1).to_string(), "reg[r1]");
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub enum RegId {
+    /// Register written by writer `i` (always 0 in the SWMR setting).
+    Writer(u32),
+    /// The write-back register owned by reader `i`.
+    ReaderReg(u32),
+}
+
+impl RegId {
+    /// The single writer's register in the SWMR setting.
+    pub const WRITER: RegId = RegId::Writer(0);
+
+    /// The register a given client owns (writes into), if any.
+    pub fn owned_by(client: ClientId) -> RegId {
+        match client {
+            ClientId::Writer => RegId::WRITER,
+            ClientId::Reader(i) => RegId::ReaderReg(i),
+        }
+    }
+
+    /// All registers used by the SWMR transformation with `r` readers:
+    /// the writer's register followed by one register per reader.
+    pub fn transformation_set(r: u32) -> Vec<RegId> {
+        let mut v = Vec::with_capacity(r as usize + 1);
+        v.push(RegId::WRITER);
+        v.extend((0..r).map(RegId::ReaderReg));
+        v
+    }
+}
+
+impl fmt::Display for RegId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RegId::Writer(i) => write!(f, "reg[w{i}]"),
+            RegId::ReaderReg(i) => write!(f, "reg[r{i}]"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn object_ids_order_by_index() {
+        assert!(ObjectId(0) < ObjectId(1));
+        let all: Vec<_> = ObjectId::all(3).collect();
+        assert_eq!(all, vec![ObjectId(0), ObjectId(1), ObjectId(2)]);
+    }
+
+    #[test]
+    fn client_id_roles() {
+        assert!(ClientId::writer().is_writer());
+        assert!(!ClientId::reader(0).is_writer());
+        assert_eq!(ClientId::reader(7).reader_index(), Some(7));
+        assert_eq!(ClientId::writer().reader_index(), None);
+    }
+
+    #[test]
+    fn client_display() {
+        assert_eq!(ClientId::writer().to_string(), "w");
+        assert_eq!(ClientId::reader(11).to_string(), "r11");
+    }
+
+    #[test]
+    fn transformation_set_has_r_plus_one_registers() {
+        let regs = RegId::transformation_set(3);
+        assert_eq!(regs.len(), 4);
+        assert_eq!(regs[0], RegId::WRITER);
+        assert_eq!(regs[3], RegId::ReaderReg(2));
+    }
+
+    #[test]
+    fn register_ownership() {
+        assert_eq!(RegId::owned_by(ClientId::writer()), RegId::WRITER);
+        assert_eq!(RegId::owned_by(ClientId::reader(4)), RegId::ReaderReg(4));
+    }
+}

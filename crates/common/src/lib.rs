@@ -1,0 +1,47 @@
+//! # rastor-common
+//!
+//! Shared vocabulary types for the `rastor` workspace, a reproduction of
+//! *"The Complexity of Robust Atomic Storage"* (Dobre, Guerraoui, Majuntke,
+//! Suri, Vukolić — PODC 2011).
+//!
+//! The paper's system model consists of three disjoint process sets:
+//!
+//! * a set of **objects** `{s_1, …, s_S}` — the fault-prone base storage
+//!   components, up to `t` of which may be *malicious* (Byzantine);
+//! * a singleton **writer** `{w}`;
+//! * a set of **readers** `{r_1, …, r_R}`.
+//!
+//! Clients (writer + readers) communicate with objects over reliable
+//! point-to-point channels; objects never talk to each other and only reply
+//! to client messages. This crate provides the identifiers, timestamped
+//! values, fault-budget / quorum arithmetic and round-accounting types shared
+//! by the simulator (`rastor-sim`), the protocol implementations
+//! (`rastor-core`) and the lower-bound machinery (`rastor-lowerbound`).
+//!
+//! ```
+//! use rastor_common::{ClusterConfig, Timestamp, TsVal, Value};
+//!
+//! // An optimally resilient Byzantine configuration: S = 3t + 1.
+//! let cfg = ClusterConfig::byzantine(1).expect("t = 1 is a valid budget");
+//! assert_eq!(cfg.num_objects(), 4);
+//! assert_eq!(cfg.quorum(), 3);      // S - t replies can always be awaited
+//! assert_eq!(cfg.vouch(), 2);       // t + 1 occurrences imply one correct voucher
+//!
+//! let pair = TsVal::new(Timestamp(1), Value::from_u64(42));
+//! assert!(pair > TsVal::bottom());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod error;
+pub mod ids;
+pub mod quorum;
+pub mod round;
+pub mod value;
+
+pub use error::{Error, Result};
+pub use ids::{ClientId, ObjectId, RegId};
+pub use quorum::{ClusterConfig, FaultModel};
+pub use round::{OpKind, OpStat, RoundCount};
+pub use value::{Timestamp, TsVal, Value};

@@ -1,0 +1,236 @@
+//! Fault budgets, failure models and quorum arithmetic.
+//!
+//! The paper studies *robust* storage: wait-free and tolerating the largest
+//! possible number `t` of object failures (**optimal resilience**). The
+//! resilience threshold depends on the failure model:
+//!
+//! * **crash** objects: `S = 2t + 1` suffices (majority quorums, ABD);
+//! * **Byzantine, unauthenticated data**: `S = 3t + 1` is optimal
+//!   (citation \[23\] in the paper);
+//! * **Byzantine with secret/authenticated values** (\[8\]): resilience is
+//!   unchanged (`3t + 1`) but reads become cheaper.
+//!
+//! Two derived numbers recur throughout the protocols:
+//!
+//! * [`ClusterConfig::quorum`] = `S − t`: a client may always wait for this
+//!   many replies without risking blocking forever;
+//! * [`ClusterConfig::vouch`] = `t + 1`: if this many distinct objects report
+//!   the same pair, at least one correct object vouches for it, so the pair
+//!   is genuine even without data authentication.
+
+use crate::error::{Error, Result};
+use crate::ids::ObjectId;
+use std::fmt;
+
+/// The failure model assumed for storage objects.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum FaultModel {
+    /// Objects may only crash (stop replying). Optimal resilience `S = 2t+1`.
+    Crash,
+    /// Objects may behave arbitrarily; data is unauthenticated. Optimal
+    /// resilience `S = 3t+1`. This is the paper's main model.
+    Byzantine,
+    /// Objects may behave arbitrarily but cannot forge writer data
+    /// (the secret-value model of the paper's reference \[8\]).
+    ByzantineAuth,
+}
+
+impl FaultModel {
+    /// The minimal number of objects needed to tolerate `t` faults.
+    pub fn min_objects(self, t: usize) -> usize {
+        match self {
+            FaultModel::Crash => 2 * t + 1,
+            FaultModel::Byzantine | FaultModel::ByzantineAuth => 3 * t + 1,
+        }
+    }
+}
+
+impl fmt::Display for FaultModel {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FaultModel::Crash => write!(f, "crash"),
+            FaultModel::Byzantine => write!(f, "byzantine"),
+            FaultModel::ByzantineAuth => write!(f, "byzantine+auth"),
+        }
+    }
+}
+
+/// The static configuration of a storage cluster: object count `S`, fault
+/// budget `t` and failure model.
+///
+/// ```
+/// use rastor_common::{ClusterConfig, FaultModel};
+/// let cfg = ClusterConfig::new(7, 2, FaultModel::Byzantine).unwrap();
+/// assert!(cfg.is_optimally_resilient());
+/// assert_eq!(cfg.quorum(), 5);
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct ClusterConfig {
+    s: usize,
+    t: usize,
+    model: FaultModel,
+}
+
+impl ClusterConfig {
+    /// Build a configuration, validating that `S` objects can tolerate `t`
+    /// faults in the given model.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InsufficientResilience`] if `s < model.min_objects(t)`.
+    pub fn new(s: usize, t: usize, model: FaultModel) -> Result<ClusterConfig> {
+        if s < model.min_objects(t) {
+            return Err(Error::InsufficientResilience {
+                s,
+                t,
+                required: model.min_objects(t),
+            });
+        }
+        Ok(ClusterConfig { s, t, model })
+    }
+
+    /// Build a configuration without resilience validation.
+    ///
+    /// The lower-bound experiments deliberately instantiate *under-resilient*
+    /// clusters (e.g. `S = 4t` with 2-round reads) to demonstrate the
+    /// resulting atomicity violations, so the constructor must be available.
+    pub fn new_unchecked(s: usize, t: usize, model: FaultModel) -> ClusterConfig {
+        ClusterConfig { s, t, model }
+    }
+
+    /// Optimally resilient crash configuration: `S = 2t + 1`.
+    pub fn crash(t: usize) -> Result<ClusterConfig> {
+        ClusterConfig::new(2 * t + 1, t, FaultModel::Crash)
+    }
+
+    /// Optimally resilient unauthenticated-Byzantine configuration:
+    /// `S = 3t + 1`.
+    pub fn byzantine(t: usize) -> Result<ClusterConfig> {
+        ClusterConfig::new(3 * t + 1, t, FaultModel::Byzantine)
+    }
+
+    /// Optimally resilient secret-value (authenticated) configuration:
+    /// `S = 3t + 1`.
+    pub fn byzantine_auth(t: usize) -> Result<ClusterConfig> {
+        ClusterConfig::new(3 * t + 1, t, FaultModel::ByzantineAuth)
+    }
+
+    /// Number of objects `S`.
+    pub fn num_objects(&self) -> usize {
+        self.s
+    }
+
+    /// Fault budget `t`.
+    pub fn fault_budget(&self) -> usize {
+        self.t
+    }
+
+    /// The failure model.
+    pub fn model(&self) -> FaultModel {
+        self.model
+    }
+
+    /// `S − t`: the number of replies a client can await without blocking,
+    /// since at most `t` objects may be (silently) faulty.
+    pub fn quorum(&self) -> usize {
+        self.s - self.t
+    }
+
+    /// `t + 1`: the occurrence threshold guaranteeing at least one correct
+    /// voucher among identical reports (authenticity without signatures).
+    pub fn vouch(&self) -> usize {
+        self.t + 1
+    }
+
+    /// Whether `S` equals the model's optimal-resilience minimum
+    /// (`3t + 1` Byzantine, `2t + 1` crash).
+    pub fn is_optimally_resilient(&self) -> bool {
+        self.s == self.model.min_objects(self.t)
+    }
+
+    /// Iterate over all object ids of this cluster.
+    pub fn objects(&self) -> impl Iterator<Item = ObjectId> {
+        ObjectId::all(self.s)
+    }
+}
+
+impl fmt::Display for ClusterConfig {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "S={} t={} ({})", self.s, self.t, self.model)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn optimal_resilience_thresholds() {
+        assert_eq!(FaultModel::Crash.min_objects(3), 7);
+        assert_eq!(FaultModel::Byzantine.min_objects(3), 10);
+        assert_eq!(FaultModel::ByzantineAuth.min_objects(3), 10);
+    }
+
+    #[test]
+    fn constructors_enforce_resilience() {
+        assert!(ClusterConfig::new(3, 1, FaultModel::Byzantine).is_err());
+        assert!(ClusterConfig::new(4, 1, FaultModel::Byzantine).is_ok());
+        assert!(ClusterConfig::new(2, 1, FaultModel::Crash).is_err());
+        assert!(ClusterConfig::new(3, 1, FaultModel::Crash).is_ok());
+    }
+
+    #[test]
+    fn unchecked_allows_under_resilient_clusters() {
+        let cfg = ClusterConfig::new_unchecked(3, 1, FaultModel::Byzantine);
+        assert_eq!(cfg.num_objects(), 3);
+        assert!(!cfg.is_optimally_resilient());
+    }
+
+    #[test]
+    fn proposition_one_setting_is_within_resilience_bound() {
+        // Proposition 1 applies to any S ≤ 4t; with t = 1 this includes the
+        // optimally resilient S = 4 = 3t + 1 cluster.
+        let cfg = ClusterConfig::new(4, 1, FaultModel::Byzantine).unwrap();
+        assert!(cfg.num_objects() <= 4 * cfg.fault_budget());
+        assert!(cfg.is_optimally_resilient());
+    }
+
+    #[test]
+    fn quorum_arithmetic() {
+        let cfg = ClusterConfig::byzantine(2).unwrap();
+        assert_eq!(cfg.num_objects(), 7);
+        assert_eq!(cfg.quorum(), 5);
+        assert_eq!(cfg.vouch(), 3);
+        assert!(cfg.is_optimally_resilient());
+
+        let crash = ClusterConfig::crash(2).unwrap();
+        assert_eq!(crash.num_objects(), 5);
+        assert_eq!(crash.quorum(), 3); // majority
+    }
+
+    #[test]
+    fn quorums_intersect_in_a_correct_object() {
+        // Sanity: in the Byzantine model, two (S−t)-quorums intersect in at
+        // least t+1 objects, hence at least one correct one.
+        for t in 1..20 {
+            let cfg = ClusterConfig::byzantine(t).unwrap();
+            let s = cfg.num_objects();
+            let q = cfg.quorum();
+            let min_intersection = 2 * q - s; // |Q1 ∩ Q2| ≥ 2q − S
+            assert!(min_intersection >= t + 1);
+            assert!(min_intersection - t >= 1);
+        }
+    }
+
+    #[test]
+    fn display_formats() {
+        let cfg = ClusterConfig::byzantine(1).unwrap();
+        assert_eq!(cfg.to_string(), "S=4 t=1 (byzantine)");
+    }
+
+    #[test]
+    fn objects_iterator_covers_cluster() {
+        let cfg = ClusterConfig::crash(1).unwrap();
+        assert_eq!(cfg.objects().count(), 3);
+    }
+}

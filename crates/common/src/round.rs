@@ -1,0 +1,110 @@
+//! Round accounting: the paper's time-complexity metric.
+//!
+//! Definition 1 of the paper: a client performs a *communication round*
+//! during an operation when (1) it sends messages to all objects, (2) objects
+//! reply before receiving any other message, and (3) upon receiving
+//! sufficiently many replies the round terminates and the operation either
+//! completes or moves to the next round.
+//!
+//! Every broadcast a client performs is therefore one round; the simulator
+//! counts them per operation and the benchmark harness aggregates them into
+//! the tables of EXPERIMENTS.md.
+
+use std::fmt;
+
+/// Number of communication round-trips an operation used.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Default)]
+pub struct RoundCount(pub u32);
+
+impl RoundCount {
+    /// Increment (a new broadcast was issued).
+    #[must_use]
+    pub fn bump(self) -> RoundCount {
+        RoundCount(self.0 + 1)
+    }
+
+    /// Raw count.
+    pub fn get(self) -> u32 {
+        self.0
+    }
+}
+
+impl fmt::Display for RoundCount {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} round(s)", self.0)
+    }
+}
+
+/// The kind of register operation.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum OpKind {
+    /// A `read()` operation (invoked by readers only).
+    Read,
+    /// A `write(v)` operation (invoked by the writer only).
+    Write,
+}
+
+impl fmt::Display for OpKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            OpKind::Read => write!(f, "read"),
+            OpKind::Write => write!(f, "write"),
+        }
+    }
+}
+
+/// Per-operation statistics recorded by the simulator.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct OpStat {
+    /// Operation kind.
+    pub kind: OpKind,
+    /// Rounds used (broadcasts issued).
+    pub rounds: RoundCount,
+    /// Logical invocation time.
+    pub invoked_at: u64,
+    /// Logical response time.
+    pub completed_at: u64,
+}
+
+impl OpStat {
+    /// Latency in logical time units.
+    pub fn latency(&self) -> u64 {
+        self.completed_at.saturating_sub(self.invoked_at)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_count_bumps() {
+        let r = RoundCount::default();
+        assert_eq!(r.get(), 0);
+        assert_eq!(r.bump().bump().get(), 2);
+        assert_eq!(r.bump().to_string(), "1 round(s)");
+    }
+
+    #[test]
+    fn op_stat_latency() {
+        let st = OpStat {
+            kind: OpKind::Read,
+            rounds: RoundCount(2),
+            invoked_at: 10,
+            completed_at: 35,
+        };
+        assert_eq!(st.latency(), 25);
+        assert_eq!(st.kind.to_string(), "read");
+    }
+
+    #[test]
+    fn latency_saturates() {
+        let st = OpStat {
+            kind: OpKind::Write,
+            rounds: RoundCount(1),
+            invoked_at: 5,
+            completed_at: 5,
+        };
+        assert_eq!(st.latency(), 0);
+    }
+}

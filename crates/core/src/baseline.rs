@@ -1,0 +1,312 @@
+//! Baseline read protocols the paper compares against (Section 1.2):
+//!
+//! * [`SafeNoWriteReadClient`] — readers that are precluded from writing
+//!   need `t + 1` rounds even for *safe* semantics (the lower bound of
+//!   reference \[1\]). We implement the matching `t + 1`-round collect read:
+//!   its round complexity is Ω(t), the "Ω(t) at best" row of the paper's
+//!   related-work discussion.
+//! * [`RetryStableReadClient`] — the classic "double collect until two
+//!   consecutive rounds agree" read used by pre-2006 Byzantine storage: its
+//!   round count grows without bound under concurrent writes (the
+//!   "unbounded" row). Used by the T2 experiment to contrast with the
+//!   transformation's constant 4 rounds.
+//!
+//! Both are safe in contention-free runs; their documented weaknesses under
+//! concurrency are exactly why the paper's time-optimal construction
+//! matters.
+
+use crate::clients::OpOutput;
+use crate::msg::{ObjectView, Rep, Req};
+use rastor_common::{ClusterConfig, ObjectId, RegId, TsVal};
+use rastor_sim::{ClientAction, RoundClient};
+use std::collections::{BTreeMap, BTreeSet};
+
+fn max_vouched(
+    views: &BTreeMap<ObjectId, ObjectView>,
+    vouch: usize,
+) -> TsVal {
+    let mut occ: BTreeMap<TsVal, usize> = BTreeMap::new();
+    for view in views.values() {
+        for s in view.pairs() {
+            *occ.entry(s.pair.clone()).or_insert(0) += 1;
+        }
+    }
+    occ.iter()
+        .rev()
+        .find(|(p, c)| **c >= vouch && !p.is_bottom())
+        .map(|(p, _)| p.clone())
+        .unwrap_or_else(TsVal::bottom)
+}
+
+/// The `t + 1`-round non-writing read (\[1\]'s matching upper bound for
+/// safe storage with non-writing readers).
+///
+/// Round `i` collects a quorum of views; after `t + 1` rounds the client
+/// returns the maximum pair vouched for by at least `t + 1` distinct
+/// objects across the latest views. Safe semantics only: concurrent writes
+/// may yield stale (but never forged) results.
+#[derive(Debug)]
+pub struct SafeNoWriteReadClient {
+    cfg: ClusterConfig,
+    reg: RegId,
+    views: BTreeMap<ObjectId, ObjectView>,
+    round_repliers: BTreeSet<ObjectId>,
+    rounds_done: u32,
+}
+
+impl SafeNoWriteReadClient {
+    /// A non-writing read of `reg`, costing exactly `t + 1` rounds.
+    pub fn new(cfg: ClusterConfig, reg: RegId) -> SafeNoWriteReadClient {
+        SafeNoWriteReadClient {
+            cfg,
+            reg,
+            views: BTreeMap::new(),
+            round_repliers: BTreeSet::new(),
+            rounds_done: 0,
+        }
+    }
+
+    fn collect_req(&self) -> Req {
+        Req::Collect {
+            regs: vec![self.reg],
+        }
+    }
+}
+
+impl RoundClient<Req, Rep> for SafeNoWriteReadClient {
+    type Out = OpOutput;
+
+    fn start(&mut self) -> Req {
+        self.collect_req()
+    }
+
+    fn on_reply(&mut self, from: ObjectId, round: u32, reply: &Rep) -> ClientAction<Req, OpOutput> {
+        let Some(view) = reply.view_of(self.reg) else {
+            return ClientAction::Wait;
+        };
+        self.views.insert(from, view.clone());
+        if round == self.rounds_done + 1 {
+            self.round_repliers.insert(from);
+        }
+        if self.round_repliers.len() < self.cfg.quorum() {
+            return ClientAction::Wait;
+        }
+        self.rounds_done += 1;
+        self.round_repliers.clear();
+        let needed = self.cfg.fault_budget() as u32 + 1;
+        if self.rounds_done < needed {
+            ClientAction::NextRound(self.collect_req())
+        } else {
+            ClientAction::Complete(OpOutput::Read(max_vouched(&self.views, self.cfg.vouch())))
+        }
+    }
+}
+
+/// The classic retry-until-stable read: repeat collect rounds until two
+/// consecutive rounds elect the same candidate. Unbounded under write
+/// contention — the behaviour the paper cites as "unbounded … at best".
+#[derive(Debug)]
+pub struct RetryStableReadClient {
+    cfg: ClusterConfig,
+    reg: RegId,
+    views: BTreeMap<ObjectId, ObjectView>,
+    round_repliers: BTreeSet<ObjectId>,
+    prev_candidate: Option<TsVal>,
+    max_rounds: u32,
+    rounds_done: u32,
+}
+
+impl RetryStableReadClient {
+    /// A retry-until-stable read of `reg`. `max_rounds` caps the retries so
+    /// adversarial benchmarks terminate; on hitting the cap the client
+    /// returns its current candidate (documented degradation).
+    pub fn new(cfg: ClusterConfig, reg: RegId, max_rounds: u32) -> RetryStableReadClient {
+        RetryStableReadClient {
+            cfg,
+            reg,
+            views: BTreeMap::new(),
+            round_repliers: BTreeSet::new(),
+            prev_candidate: None,
+            max_rounds: max_rounds.max(2),
+            rounds_done: 0,
+        }
+    }
+
+    fn collect_req(&self) -> Req {
+        Req::Collect {
+            regs: vec![self.reg],
+        }
+    }
+}
+
+impl RoundClient<Req, Rep> for RetryStableReadClient {
+    type Out = OpOutput;
+
+    fn start(&mut self) -> Req {
+        self.collect_req()
+    }
+
+    fn on_reply(&mut self, from: ObjectId, round: u32, reply: &Rep) -> ClientAction<Req, OpOutput> {
+        let Some(view) = reply.view_of(self.reg) else {
+            return ClientAction::Wait;
+        };
+        self.views.insert(from, view.clone());
+        if round == self.rounds_done + 1 {
+            self.round_repliers.insert(from);
+        }
+        if self.round_repliers.len() < self.cfg.quorum() {
+            return ClientAction::Wait;
+        }
+        self.rounds_done += 1;
+        self.round_repliers.clear();
+        let candidate = max_vouched(&self.views, self.cfg.vouch());
+        let stable = self.prev_candidate.as_ref() == Some(&candidate);
+        if (stable && self.rounds_done >= 2) || self.rounds_done >= self.max_rounds {
+            ClientAction::Complete(OpOutput::Read(candidate))
+        } else {
+            self.prev_candidate = Some(candidate);
+            ClientAction::NextRound(self.collect_req())
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::clients::ByzWriteClient;
+    use crate::msg::Stamped;
+    use crate::object::HonestObject;
+    use rastor_common::{ClientId, OpKind, Timestamp, Value};
+    use rastor_sim::{Sim, SimConfig};
+
+    fn stamped(ts: u64, v: u64) -> Stamped {
+        Stamped::plain(TsVal::new(Timestamp(ts), Value::from_u64(v)))
+    }
+
+    fn sim_with_honest(n: usize) -> Sim<Req, Rep, OpOutput> {
+        let mut sim = Sim::new(SimConfig::default());
+        for _ in 0..n {
+            sim.add_object(Box::new(HonestObject::new()));
+        }
+        sim
+    }
+
+    #[test]
+    fn safe_read_takes_t_plus_one_rounds() {
+        for t in 1..=3 {
+            let cfg = ClusterConfig::byzantine(t).unwrap();
+            let mut sim = sim_with_honest(cfg.num_objects());
+            sim.invoke_at(
+                0,
+                ClientId::writer(),
+                OpKind::Write,
+                Box::new(ByzWriteClient::new(cfg, RegId::WRITER, stamped(1, 10))),
+            );
+            sim.invoke_at(
+                100,
+                ClientId::reader(0),
+                OpKind::Read,
+                Box::new(SafeNoWriteReadClient::new(cfg, RegId::WRITER)),
+            );
+            let done = sim.run_to_quiescence();
+            assert_eq!(done[1].stat.rounds.get(), t as u32 + 1);
+            assert_eq!(done[1].output, OpOutput::Read(stamped(1, 10).pair));
+        }
+    }
+
+    #[test]
+    fn safe_read_returns_bottom_without_writes() {
+        let cfg = ClusterConfig::byzantine(1).unwrap();
+        let mut sim = sim_with_honest(4);
+        sim.invoke_at(
+            0,
+            ClientId::reader(0),
+            OpKind::Read,
+            Box::new(SafeNoWriteReadClient::new(cfg, RegId::WRITER)),
+        );
+        let done = sim.run_to_quiescence();
+        assert_eq!(done[0].output, OpOutput::Read(TsVal::bottom()));
+    }
+
+    #[test]
+    fn retry_read_stabilizes_in_two_rounds_when_quiet() {
+        let cfg = ClusterConfig::byzantine(1).unwrap();
+        let mut sim = sim_with_honest(4);
+        sim.invoke_at(
+            0,
+            ClientId::writer(),
+            OpKind::Write,
+            Box::new(ByzWriteClient::new(cfg, RegId::WRITER, stamped(1, 10))),
+        );
+        sim.invoke_at(
+            100,
+            ClientId::reader(0),
+            OpKind::Read,
+            Box::new(RetryStableReadClient::new(cfg, RegId::WRITER, 64)),
+        );
+        let done = sim.run_to_quiescence();
+        assert_eq!(done[1].stat.rounds.get(), 2);
+        assert_eq!(done[1].output, OpOutput::Read(stamped(1, 10).pair));
+    }
+
+    #[test]
+    fn retry_read_degrades_under_write_contention() {
+        use rastor_sim::{ScriptedController, SimConfig};
+        let cfg = ClusterConfig::byzantine(1).unwrap();
+        // Asynchrony favours the writer: the reader's links are 9× slower,
+        // so several writes land between its collect rounds and the
+        // candidate keeps moving.
+        let controller = ScriptedController::new().with_rule(
+            rastor_sim::control::Rule::slow_all(9).client(ClientId::reader(0)),
+        );
+        let mut sim: Sim<Req, Rep, OpOutput> =
+            Sim::with_controller(SimConfig::default(), Box::new(controller));
+        for _ in 0..4 {
+            sim.add_object(Box::new(HonestObject::new()));
+        }
+        // A stream of writes racing the read.
+        for k in 1..=10u64 {
+            sim.invoke_at(
+                k,
+                ClientId::writer(),
+                OpKind::Write,
+                Box::new(ByzWriteClient::new(cfg, RegId::WRITER, stamped(k, k * 10))),
+            );
+        }
+        sim.invoke_at(
+            2,
+            ClientId::reader(0),
+            OpKind::Read,
+            Box::new(RetryStableReadClient::new(cfg, RegId::WRITER, 64)),
+        );
+        let done = sim.run_to_quiescence();
+        let read = done
+            .iter()
+            .find(|c| c.client == ClientId::reader(0))
+            .expect("read completes");
+        assert!(
+            read.stat.rounds.get() > 2,
+            "contention forces retries (got {} rounds)",
+            read.stat.rounds.get()
+        );
+    }
+
+    #[test]
+    fn max_vouched_ignores_underreported_pairs() {
+        let mut views = BTreeMap::new();
+        let lonely = ObjectView {
+            pw: stamped(9, 90),
+            w: stamped(9, 90),
+            hist: vec![stamped(9, 90)],
+        };
+        let common = ObjectView {
+            pw: stamped(2, 20),
+            w: stamped(2, 20),
+            hist: vec![stamped(2, 20)],
+        };
+        views.insert(ObjectId(0), lonely);
+        views.insert(ObjectId(1), common.clone());
+        views.insert(ObjectId(2), common);
+        assert_eq!(max_vouched(&views, 2), stamped(2, 20).pair);
+    }
+}

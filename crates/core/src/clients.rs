@@ -1,0 +1,428 @@
+//! Client-side operation automata for the base protocols:
+//!
+//! * **ABD** (crash model, `S = 2t+1`, the paper's reference \[3\]):
+//!   1-round writes, 2-round reads (collect + write-back).
+//! * **Byzantine two-phase writes** (`S = 3t+1`, unauthenticated or
+//!   secret-value): pre-write then commit, each at an `S − t` quorum —
+//!   2 rounds, matching the write lower bound of reference \[1\].
+//! * **Byzantine regular reads**: the collect engine of [`crate::collect`]
+//!   wrapped as a round client.
+//!
+//! Each automaton implements [`RoundClient`] and can run on the simulator or
+//! the thread runtime unchanged.
+
+use crate::collect::{CollectEngine, CollectStatus};
+use crate::msg::{AckKind, Rep, Req, Stamped};
+use rastor_common::{ClusterConfig, ObjectId, RegId, TsVal};
+use rastor_sim::{ClientAction, RoundClient};
+use std::collections::BTreeSet;
+
+/// The unified output of a register operation.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum OpOutput {
+    /// A write completed, having stored this pair.
+    Wrote(TsVal),
+    /// A read completed, returning this pair.
+    Read(TsVal),
+}
+
+impl OpOutput {
+    /// The pair carried by the output.
+    pub fn pair(&self) -> &TsVal {
+        match self {
+            OpOutput::Wrote(p) | OpOutput::Read(p) => p,
+        }
+    }
+
+    /// Whether this is a read output.
+    pub fn is_read(&self) -> bool {
+        matches!(self, OpOutput::Read(_))
+    }
+}
+
+/// ABD write: a single `Store` round acknowledged by a majority.
+#[derive(Debug)]
+pub struct AbdWriteClient {
+    cfg: ClusterConfig,
+    reg: RegId,
+    pair: Stamped,
+    acks: BTreeSet<ObjectId>,
+}
+
+impl AbdWriteClient {
+    /// Write `pair` into `reg` under the crash model.
+    pub fn new(cfg: ClusterConfig, reg: RegId, pair: Stamped) -> AbdWriteClient {
+        AbdWriteClient {
+            cfg,
+            reg,
+            pair,
+            acks: BTreeSet::new(),
+        }
+    }
+}
+
+impl RoundClient<Req, Rep> for AbdWriteClient {
+    type Out = OpOutput;
+
+    fn start(&mut self) -> Req {
+        Req::Store {
+            reg: self.reg,
+            pair: self.pair.clone(),
+        }
+    }
+
+    fn on_reply(&mut self, from: ObjectId, _round: u32, reply: &Rep) -> ClientAction<Req, OpOutput> {
+        if reply.is_ack(self.reg, AckKind::Store) {
+            self.acks.insert(from);
+        }
+        if self.acks.len() >= self.cfg.quorum() {
+            ClientAction::Complete(OpOutput::Wrote(self.pair.pair.clone()))
+        } else {
+            ClientAction::Wait
+        }
+    }
+}
+
+/// ABD read: collect from a majority, pick the maximum committed pair,
+/// write it back to a majority, return it. The write-back round is what
+/// upgrades regular to atomic in the crash model (no new/old inversion).
+#[derive(Debug)]
+pub struct AbdReadClient {
+    cfg: ClusterConfig,
+    reg: RegId,
+    best: Stamped,
+    heard: BTreeSet<ObjectId>,
+    acks: BTreeSet<ObjectId>,
+    writing_back: bool,
+}
+
+impl AbdReadClient {
+    /// Read `reg` under the crash model.
+    pub fn new(cfg: ClusterConfig, reg: RegId) -> AbdReadClient {
+        AbdReadClient {
+            cfg,
+            reg,
+            best: Stamped::bottom(),
+            heard: BTreeSet::new(),
+            acks: BTreeSet::new(),
+            writing_back: false,
+        }
+    }
+}
+
+impl RoundClient<Req, Rep> for AbdReadClient {
+    type Out = OpOutput;
+
+    fn start(&mut self) -> Req {
+        Req::Collect {
+            regs: vec![self.reg],
+        }
+    }
+
+    fn on_reply(&mut self, from: ObjectId, _round: u32, reply: &Rep) -> ClientAction<Req, OpOutput> {
+        if !self.writing_back {
+            if let Some(view) = reply.view_of(self.reg) {
+                self.heard.insert(from);
+                if view.w.pair > self.best.pair {
+                    self.best = view.w.clone();
+                }
+            }
+            if self.heard.len() >= self.cfg.quorum() {
+                self.writing_back = true;
+                return ClientAction::NextRound(Req::Store {
+                    reg: self.reg,
+                    pair: self.best.clone(),
+                });
+            }
+            ClientAction::Wait
+        } else {
+            if reply.is_ack(self.reg, AckKind::Store) {
+                self.acks.insert(from);
+            }
+            if self.acks.len() >= self.cfg.quorum() {
+                ClientAction::Complete(OpOutput::Read(self.best.pair.clone()))
+            } else {
+                ClientAction::Wait
+            }
+        }
+    }
+}
+
+/// Byzantine-model write: `PreWrite` to an `S − t` quorum, then `Commit` to
+/// an `S − t` quorum — exactly 2 rounds.
+///
+/// The pre-write phase is what makes unauthenticated data attributable: any
+/// process that later observes `w = ts` at a *correct* object can conclude
+/// that `(ts, v)` was adopted by ≥ t+1 correct objects' histories, because a
+/// correct object only commits after the writer finished pre-writing at a
+/// full quorum.
+#[derive(Debug)]
+pub struct ByzWriteClient {
+    cfg: ClusterConfig,
+    reg: RegId,
+    pair: Stamped,
+    committing: bool,
+    acks: BTreeSet<ObjectId>,
+}
+
+impl ByzWriteClient {
+    /// Write `pair` into `reg` (two-phase).
+    pub fn new(cfg: ClusterConfig, reg: RegId, pair: Stamped) -> ByzWriteClient {
+        ByzWriteClient {
+            cfg,
+            reg,
+            pair,
+            committing: false,
+            acks: BTreeSet::new(),
+        }
+    }
+}
+
+impl RoundClient<Req, Rep> for ByzWriteClient {
+    type Out = OpOutput;
+
+    fn start(&mut self) -> Req {
+        Req::PreWrite {
+            reg: self.reg,
+            pair: self.pair.clone(),
+        }
+    }
+
+    fn on_reply(&mut self, from: ObjectId, _round: u32, reply: &Rep) -> ClientAction<Req, OpOutput> {
+        let expected = if self.committing {
+            AckKind::Commit
+        } else {
+            AckKind::PreWrite
+        };
+        if reply.is_ack(self.reg, expected) {
+            self.acks.insert(from);
+        }
+        if self.acks.len() < self.cfg.quorum() {
+            return ClientAction::Wait;
+        }
+        if self.committing {
+            ClientAction::Complete(OpOutput::Wrote(self.pair.pair.clone()))
+        } else {
+            self.committing = true;
+            self.acks.clear();
+            ClientAction::NextRound(Req::Commit {
+                reg: self.reg,
+                pair: self.pair.clone(),
+            })
+        }
+    }
+}
+
+/// Byzantine regular read over one register: the collect engine wrapped as
+/// a round client. Completes without writing (regular registers permit
+/// non-writing readers; the *atomic* transformation adds the write-back).
+#[derive(Debug)]
+pub struct RegularReadClient {
+    engine: CollectEngine,
+    reg: RegId,
+}
+
+impl RegularReadClient {
+    /// Unauthenticated regular read of `reg`.
+    pub fn unauth(cfg: ClusterConfig, reg: RegId) -> RegularReadClient {
+        RegularReadClient {
+            engine: CollectEngine::unauth(cfg, vec![reg]),
+            reg,
+        }
+    }
+
+    /// Secret-value regular read of `reg` (single round).
+    pub fn auth(cfg: ClusterConfig, reg: RegId, key: crate::token::AuthKey) -> RegularReadClient {
+        RegularReadClient {
+            engine: CollectEngine::auth(cfg, vec![reg], key),
+            reg,
+        }
+    }
+
+    /// With an explicit minimum round count (benchmarking the fast path).
+    pub fn with_min_rounds(
+        cfg: ClusterConfig,
+        reg: RegId,
+        key: Option<crate::token::AuthKey>,
+        min_rounds: u32,
+    ) -> RegularReadClient {
+        RegularReadClient {
+            engine: CollectEngine::with_min_rounds(cfg, vec![reg], key, min_rounds),
+            reg,
+        }
+    }
+}
+
+impl RoundClient<Req, Rep> for RegularReadClient {
+    type Out = OpOutput;
+
+    fn start(&mut self) -> Req {
+        self.engine.request()
+    }
+
+    fn on_reply(&mut self, from: ObjectId, round: u32, reply: &Rep) -> ClientAction<Req, OpOutput> {
+        match self.engine.on_reply(from, round, reply) {
+            CollectStatus::Wait => ClientAction::Wait,
+            CollectStatus::NextRound => {
+                self.engine.begin_round();
+                ClientAction::NextRound(self.engine.request())
+            }
+            CollectStatus::Decided => {
+                let out = self.engine.decisions()[&self.reg].pair.clone();
+                ClientAction::Complete(OpOutput::Read(out))
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::object::HonestObject;
+    use rastor_common::{ClientId, OpKind, Timestamp, Value};
+    use rastor_sim::{ObjectBehavior, Sim, SimConfig};
+
+    fn stamped(ts: u64, v: u64) -> Stamped {
+        Stamped::plain(TsVal::new(Timestamp(ts), Value::from_u64(v)))
+    }
+
+    fn sim_with_honest(n: usize) -> Sim<Req, Rep, OpOutput> {
+        let mut sim = Sim::new(SimConfig::default());
+        for _ in 0..n {
+            sim.add_object(Box::new(HonestObject::new()));
+        }
+        sim
+    }
+
+    #[test]
+    fn abd_write_then_read_roundtrip() {
+        let cfg = ClusterConfig::crash(1).unwrap(); // S = 3
+        let mut sim = sim_with_honest(3);
+        sim.invoke_at(
+            0,
+            ClientId::writer(),
+            OpKind::Write,
+            Box::new(AbdWriteClient::new(cfg, RegId::WRITER, stamped(1, 11))),
+        );
+        sim.invoke_at(
+            100,
+            ClientId::reader(0),
+            OpKind::Read,
+            Box::new(AbdReadClient::new(cfg, RegId::WRITER)),
+        );
+        let done = sim.run_to_quiescence();
+        assert_eq!(done.len(), 2);
+        assert_eq!(done[0].stat.rounds.get(), 1, "ABD write is 1 round");
+        assert_eq!(done[1].stat.rounds.get(), 2, "ABD read is 2 rounds");
+        assert_eq!(done[1].output, OpOutput::Read(stamped(1, 11).pair));
+    }
+
+    #[test]
+    fn byz_write_is_two_rounds() {
+        let cfg = ClusterConfig::byzantine(1).unwrap(); // S = 4
+        let mut sim = sim_with_honest(4);
+        sim.invoke_at(
+            0,
+            ClientId::writer(),
+            OpKind::Write,
+            Box::new(ByzWriteClient::new(cfg, RegId::WRITER, stamped(1, 7))),
+        );
+        let done = sim.run_to_quiescence();
+        assert_eq!(done.len(), 1);
+        assert_eq!(done[0].stat.rounds.get(), 2);
+        assert_eq!(done[0].output, OpOutput::Wrote(stamped(1, 7).pair));
+    }
+
+    #[test]
+    fn regular_read_after_write_returns_it() {
+        let cfg = ClusterConfig::byzantine(1).unwrap();
+        let mut sim = sim_with_honest(4);
+        sim.invoke_at(
+            0,
+            ClientId::writer(),
+            OpKind::Write,
+            Box::new(ByzWriteClient::new(cfg, RegId::WRITER, stamped(1, 42))),
+        );
+        sim.invoke_at(
+            100,
+            ClientId::reader(0),
+            OpKind::Read,
+            Box::new(RegularReadClient::unauth(cfg, RegId::WRITER)),
+        );
+        let done = sim.run_to_quiescence();
+        assert_eq!(done.len(), 2);
+        assert_eq!(done[1].output, OpOutput::Read(stamped(1, 42).pair));
+        assert_eq!(done[1].stat.rounds.get(), 2, "contention-free read is 2 rounds");
+    }
+
+    #[test]
+    fn regular_read_with_no_write_returns_bottom() {
+        let cfg = ClusterConfig::byzantine(1).unwrap();
+        let mut sim = sim_with_honest(4);
+        sim.invoke_at(
+            0,
+            ClientId::reader(0),
+            OpKind::Read,
+            Box::new(RegularReadClient::unauth(cfg, RegId::WRITER)),
+        );
+        let done = sim.run_to_quiescence();
+        assert_eq!(done.len(), 1);
+        assert_eq!(done[0].output, OpOutput::Read(TsVal::bottom()));
+    }
+
+    #[test]
+    fn auth_read_is_single_round() {
+        let key = crate::token::AuthKey::new(3);
+        let cfg = ClusterConfig::byzantine_auth(1).unwrap();
+        let pair = TsVal::new(Timestamp(1), Value::from_u64(5));
+        let signed = Stamped {
+            token: Some(key.mint(&pair)),
+            pair: pair.clone(),
+        };
+        let mut sim = sim_with_honest(4);
+        sim.invoke_at(
+            0,
+            ClientId::writer(),
+            OpKind::Write,
+            Box::new(ByzWriteClient::new(cfg, RegId::WRITER, signed)),
+        );
+        sim.invoke_at(
+            100,
+            ClientId::reader(0),
+            OpKind::Read,
+            Box::new(RegularReadClient::auth(cfg, RegId::WRITER, key)),
+        );
+        let done = sim.run_to_quiescence();
+        assert_eq!(done[1].stat.rounds.get(), 1, "token-model read is 1 round");
+        assert_eq!(done[1].output, OpOutput::Read(pair));
+    }
+
+    #[test]
+    fn byz_write_survives_silent_minority() {
+        struct Silent;
+        impl ObjectBehavior<Req, Rep> for Silent {
+            fn on_request(&mut self, _from: ClientId, _req: &Req) -> Option<Rep> {
+                None
+            }
+        }
+        let cfg = ClusterConfig::byzantine(1).unwrap();
+        let mut sim = sim_with_honest(3);
+        sim.add_object(Box::new(Silent));
+        sim.invoke_at(
+            0,
+            ClientId::writer(),
+            OpKind::Write,
+            Box::new(ByzWriteClient::new(cfg, RegId::WRITER, stamped(1, 1))),
+        );
+        let done = sim.run_to_quiescence();
+        assert_eq!(done.len(), 1, "S−t = 3 correct objects suffice");
+    }
+
+    #[test]
+    fn op_output_accessors() {
+        let p = stamped(2, 9).pair;
+        assert!(OpOutput::Read(p.clone()).is_read());
+        assert!(!OpOutput::Wrote(p.clone()).is_read());
+        assert_eq!(OpOutput::Wrote(p.clone()).pair(), &p);
+    }
+}

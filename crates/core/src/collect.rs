@@ -1,0 +1,498 @@
+//! The collect engine: the read-side decision core shared by every
+//! Byzantine-model protocol in this crate.
+//!
+//! ## The unauthenticated decision rule
+//!
+//! A read collects [`ObjectView`]s and must pick a pair `(ts, v)` that is
+//! simultaneously
+//!
+//! 1. **genuine** — actually produced by the writer, never forged; and
+//! 2. **fresh** — at least as new as the last write that completed before
+//!    the read was invoked (regularity).
+//!
+//! Without data authentication, a single report proves nothing (any one
+//! object may be malicious), so both properties rest on counting:
+//!
+//! * **Authenticity** (`occ`): a pair vouched for by ≥ t+1 distinct objects
+//!   has at least one correct voucher, and correct objects only ever adopt
+//!   pairs the writer (or a reader writing back a genuine pair) produced.
+//! * **Justifiability** (the paper's round-termination condition, Def. 1):
+//!   a candidate `p` may be returned only when
+//!   `#non-repliers + #repliers whose committed timestamp exceeds p ≤ t`.
+//!   Rationale: the two-phase write guarantees that by the time `write(ts*)`
+//!   completes, ≥ t+1 *correct* objects hold `w ≥ ts*` forever. If `p` were
+//!   older than the last complete write, each of those t+1 objects would be
+//!   either missing from the reply set or a higher-claimer, exceeding the
+//!   fault budget — so the predicate can only fire for fresh candidates.
+//!   Conversely the predicate eventually fires (wait-freedom): once every
+//!   correct object has replied in a round that started after a claimed
+//!   commit, the claimed pair has ≥ t+1 history vouchers (histories are
+//!   monotone), ratcheting the candidate upward; only genuinely concurrent
+//!   writes can defer the decision, and only by one round each.
+//!
+//! The engine therefore decides in 2 collect rounds in contention-free runs
+//! (`min_rounds` defaults to 2, matching the worst-case round structure of
+//! the paper's reference [15]) and in `2 + O(#interfering writes)` rounds
+//! under write contention — the documented deviation in DESIGN.md.
+//!
+//! ## The authenticated (secret-value) rule
+//!
+//! With unforgeable tokens, authenticity is free: the maximum *valid* pair
+//! across any `S − t` reply set already includes a report from at least one
+//! correct member of the last complete write's commit quorum, so one round
+//! suffices (`min_rounds` = 1) — this is what buys the paper's 3-round
+//! atomic reads in the secret-value model.
+
+use crate::msg::{ObjectView, Rep, Req, Stamped};
+use crate::token::AuthKey;
+use rastor_common::{ClusterConfig, ObjectId, RegId, TsVal};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Progress report from [`CollectEngine::on_reply`].
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum CollectStatus {
+    /// Keep waiting for more replies in the current round.
+    Wait,
+    /// The current round is exhausted without a decision: broadcast the
+    /// next collect round.
+    NextRound,
+    /// Every register has decided; results are available via
+    /// [`CollectEngine::decisions`].
+    Decided,
+}
+
+/// Read-side collect state over one or more logical registers.
+///
+/// Feed it every reply of every collect round; it tracks the latest view
+/// per object, evaluates the decision rule after each reply, and reports
+/// when to start another round (quorum heard, nothing decidable yet).
+#[derive(Clone, Debug)]
+pub struct CollectEngine {
+    cfg: ClusterConfig,
+    regs: Vec<RegId>,
+    auth: Option<AuthKey>,
+    min_rounds: u32,
+    round: u32,
+    views: BTreeMap<ObjectId, BTreeMap<RegId, ObjectView>>,
+    round_repliers: BTreeSet<ObjectId>,
+    decisions: BTreeMap<RegId, Stamped>,
+}
+
+impl CollectEngine {
+    /// Engine for the unauthenticated Byzantine model (decides no earlier
+    /// than round 2, per the worst-case round structure of \[15\]).
+    pub fn unauth(cfg: ClusterConfig, regs: Vec<RegId>) -> CollectEngine {
+        CollectEngine::with_min_rounds(cfg, regs, None, 2)
+    }
+
+    /// Engine for the secret-value model: single-round reads.
+    pub fn auth(cfg: ClusterConfig, regs: Vec<RegId>, key: AuthKey) -> CollectEngine {
+        CollectEngine::with_min_rounds(cfg, regs, Some(key), 1)
+    }
+
+    /// Fully parameterised constructor (exposed for benchmarks exploring
+    /// the fast-path/fidelity trade-off).
+    pub fn with_min_rounds(
+        cfg: ClusterConfig,
+        regs: Vec<RegId>,
+        auth: Option<AuthKey>,
+        min_rounds: u32,
+    ) -> CollectEngine {
+        assert!(!regs.is_empty(), "collect over no registers");
+        CollectEngine {
+            cfg,
+            regs,
+            auth,
+            min_rounds: min_rounds.max(1),
+            round: 1,
+            views: BTreeMap::new(),
+            round_repliers: BTreeSet::new(),
+            decisions: BTreeMap::new(),
+        }
+    }
+
+    /// The collect request to broadcast (same for every round).
+    pub fn request(&self) -> Req {
+        Req::Collect {
+            regs: self.regs.clone(),
+        }
+    }
+
+    /// Number of collect rounds issued so far.
+    pub fn rounds(&self) -> u32 {
+        self.round
+    }
+
+    /// Per-register decisions (complete once `Decided` is returned).
+    pub fn decisions(&self) -> &BTreeMap<RegId, Stamped> {
+        &self.decisions
+    }
+
+    /// The maximum decided pair across all registers (the transformation's
+    /// return-value selection).
+    pub fn max_decision(&self) -> Option<Stamped> {
+        self.decisions.values().max_by(|a, b| a.pair.cmp(&b.pair)).cloned()
+    }
+
+    /// Must be called when the enclosing client starts the next collect
+    /// round (after receiving [`CollectStatus::NextRound`]).
+    pub fn begin_round(&mut self) {
+        self.round += 1;
+        self.round_repliers.clear();
+    }
+
+    /// Ingest one reply (from any round — late replies still carry
+    /// information; the latest view per object wins).
+    pub fn on_reply(&mut self, from: ObjectId, round: u32, rep: &Rep) -> CollectStatus {
+        if let Rep::Views { views } = rep {
+            let entry = self.views.entry(from).or_default();
+            for (reg, view) in views {
+                if self.regs.contains(reg) {
+                    entry.insert(*reg, view.clone());
+                }
+            }
+            if round == self.round {
+                self.round_repliers.insert(from);
+            }
+        } else {
+            return CollectStatus::Wait; // stray ack: ignore
+        }
+        self.evaluate()
+    }
+
+    fn evaluate(&mut self) -> CollectStatus {
+        if self.round >= self.min_rounds {
+            for reg in self.regs.clone() {
+                if self.decisions.contains_key(&reg) {
+                    continue;
+                }
+                if let Some(d) = self.try_decide(reg) {
+                    self.decisions.insert(reg, d);
+                }
+            }
+        }
+        if self.decisions.len() == self.regs.len() {
+            return CollectStatus::Decided;
+        }
+        if self.round_repliers.len() >= self.cfg.quorum() {
+            CollectStatus::NextRound
+        } else {
+            CollectStatus::Wait
+        }
+    }
+
+    fn try_decide(&self, reg: RegId) -> Option<Stamped> {
+        match self.auth {
+            Some(key) => self.try_decide_auth(reg, key),
+            None => self.try_decide_unauth(reg),
+        }
+    }
+
+    /// Secret-value rule: after a quorum of replies, return the maximum
+    /// token-valid pair (⊥ counts as trivially valid).
+    fn try_decide_auth(&self, reg: RegId, key: AuthKey) -> Option<Stamped> {
+        if self.views.len() < self.cfg.quorum() {
+            return None;
+        }
+        let mut best = Stamped::bottom();
+        for views in self.views.values() {
+            let Some(view) = views.get(&reg) else { continue };
+            for s in view.pairs() {
+                if s.pair > best.pair && self.is_valid(s, key) {
+                    best = s.clone();
+                }
+            }
+        }
+        Some(best)
+    }
+
+    fn is_valid(&self, s: &Stamped, key: AuthKey) -> bool {
+        if s.pair.is_bottom() {
+            return true;
+        }
+        match s.token {
+            Some(tok) => key.verify(&s.pair, tok),
+            None => false,
+        }
+    }
+
+    /// Unauthenticated rule: maximum pair `p` with `occ(p) ≥ t+1` such that
+    /// `#non-repliers + #higher-claimers(p) ≤ t`.
+    fn try_decide_unauth(&self, reg: RegId) -> Option<Stamped> {
+        let t = self.cfg.fault_budget();
+        let s_total = self.cfg.num_objects();
+        let non_repliers = s_total - self.views.len();
+        if non_repliers > t {
+            return None; // cannot justify terminating yet
+        }
+
+        // occ: distinct objects vouching for each pair (pw, w or history).
+        let mut occ: BTreeMap<TsVal, (usize, Stamped)> = BTreeMap::new();
+        // Bottom is vouched by objects whose fields are still initial.
+        for views in self.views.values() {
+            let Some(view) = views.get(&reg) else { continue };
+            for s in view.pairs() {
+                let e = occ.entry(s.pair.clone()).or_insert((0, s.clone()));
+                e.0 += 1;
+            }
+        }
+
+        // Candidates in descending timestamp order.
+        for (pair, (count, stamped)) in occ.iter().rev() {
+            if *count < self.cfg.vouch() && !pair.is_bottom() {
+                continue;
+            }
+            let higher_claimers = self
+                .views
+                .values()
+                .filter(|vs| {
+                    vs.get(&reg)
+                        .map(|v| v.w.pair.ts > pair.ts)
+                        .unwrap_or(false)
+                })
+                .count();
+            if non_repliers + higher_claimers <= t {
+                return Some(stamped.clone());
+            }
+        }
+
+        // ⊥ fallback when no object reported anything newer.
+        let higher = self
+            .views
+            .values()
+            .filter(|vs| {
+                vs.get(&reg)
+                    .map(|v| !v.w.pair.ts.is_bottom())
+                    .unwrap_or(false)
+            })
+            .count();
+        if non_repliers + higher <= t {
+            return Some(Stamped::bottom());
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::msg::Rep;
+    use rastor_common::{Timestamp, Value};
+
+    fn cfg() -> ClusterConfig {
+        ClusterConfig::byzantine(1).unwrap() // S = 4, t = 1
+    }
+
+    fn stamped(ts: u64, v: u64) -> Stamped {
+        Stamped::plain(TsVal::new(Timestamp(ts), Value::from_u64(v)))
+    }
+
+    fn view(pw: Stamped, w: Stamped, hist: Vec<Stamped>) -> Rep {
+        Rep::Views {
+            views: vec![(
+                RegId::WRITER,
+                ObjectView { pw, w, hist },
+            )],
+        }
+    }
+
+    fn committed_view(ts: u64, v: u64) -> Rep {
+        let s = stamped(ts, v);
+        view(s.clone(), s.clone(), vec![s])
+    }
+
+    fn bottom_view() -> Rep {
+        view(Stamped::bottom(), Stamped::bottom(), vec![])
+    }
+
+    fn engine() -> CollectEngine {
+        CollectEngine::with_min_rounds(cfg(), vec![RegId::WRITER], None, 1)
+    }
+
+    #[test]
+    fn quiescent_committed_state_decides() {
+        let mut e = engine();
+        // 3 of 4 objects report the committed pair; 1 silent (possibly faulty).
+        for i in 0..3 {
+            let st = e.on_reply(ObjectId(i), 1, &committed_view(5, 50));
+            if i < 2 {
+                assert_eq!(st, CollectStatus::Wait);
+            } else {
+                assert_eq!(st, CollectStatus::Decided);
+            }
+        }
+        assert_eq!(e.decisions()[&RegId::WRITER], stamped(5, 50));
+    }
+
+    #[test]
+    fn no_write_decides_bottom() {
+        let mut e = engine();
+        e.on_reply(ObjectId(0), 1, &bottom_view());
+        e.on_reply(ObjectId(1), 1, &bottom_view());
+        let st = e.on_reply(ObjectId(2), 1, &bottom_view());
+        assert_eq!(st, CollectStatus::Decided);
+        assert!(e.decisions()[&RegId::WRITER].pair.is_bottom());
+    }
+
+    #[test]
+    fn lone_forged_high_pair_is_not_returned() {
+        let mut e = engine();
+        // One (Byzantine) object claims a high committed pair nobody else has.
+        e.on_reply(ObjectId(0), 1, &committed_view(99, 666));
+        e.on_reply(ObjectId(1), 1, &bottom_view());
+        e.on_reply(ObjectId(2), 1, &bottom_view());
+        let st = e.on_reply(ObjectId(3), 1, &bottom_view());
+        // occ(99) = 1 < t+1 = 2, so 99 is not a candidate; ⊥ is justified
+        // because the single higher-claimer fits in the fault budget.
+        assert_eq!(st, CollectStatus::Decided);
+        assert!(e.decisions()[&RegId::WRITER].pair.is_bottom());
+    }
+
+    #[test]
+    fn single_genuine_report_blocks_rather_than_returns_stale() {
+        let mut e = engine();
+        // The scenario from the paper's model discussion: exactly one
+        // correct object saw write(5); two correct objects are stale; one
+        // object is silent. The reader must NOT decide (⊥ would be stale if
+        // the write completed, (5,·) has only one voucher), and instead
+        // waits / moves to another round.
+        e.on_reply(ObjectId(0), 1, &committed_view(5, 50));
+        e.on_reply(ObjectId(1), 1, &bottom_view());
+        let st = e.on_reply(ObjectId(2), 1, &bottom_view());
+        // Quorum heard (3 ≥ S−t) but undecidable: next round.
+        assert_eq!(st, CollectStatus::NextRound);
+    }
+
+    #[test]
+    fn history_vouchers_unblock_in_later_round() {
+        let mut e = engine();
+        e.on_reply(ObjectId(0), 1, &committed_view(5, 50));
+        e.on_reply(ObjectId(1), 1, &bottom_view());
+        assert_eq!(e.on_reply(ObjectId(2), 1, &bottom_view()), CollectStatus::NextRound);
+        e.begin_round();
+        // Round 2: the stragglers have now processed the write — histories
+        // vouch for (5,50) at 3 objects.
+        e.on_reply(ObjectId(1), 2, &committed_view(5, 50));
+        let st = e.on_reply(ObjectId(2), 2, &committed_view(5, 50));
+        assert_eq!(st, CollectStatus::Decided);
+        assert_eq!(e.decisions()[&RegId::WRITER], stamped(5, 50));
+    }
+
+    #[test]
+    fn min_rounds_defers_decision() {
+        let mut e = CollectEngine::unauth(cfg(), vec![RegId::WRITER]);
+        for i in 0..3 {
+            let st = e.on_reply(ObjectId(i), 1, &committed_view(1, 10));
+            assert_ne!(st, CollectStatus::Decided, "round 1 must not decide");
+            if i == 2 {
+                assert_eq!(st, CollectStatus::NextRound);
+            }
+        }
+        e.begin_round();
+        let st = e.on_reply(ObjectId(0), 2, &committed_view(1, 10));
+        assert_eq!(st, CollectStatus::Decided, "round 2 may decide");
+        assert_eq!(e.rounds(), 2);
+    }
+
+    #[test]
+    fn stale_candidate_blocked_by_fresh_committers() {
+        let mut e = engine();
+        // Two objects already committed ts=2; two lag at ts=1's history.
+        // occ(1) = 4 but two higher-claimers + 0 non-repliers = 2 > t = 1,
+        // so ts=1 cannot be decided; ts=2 has occ 2 ≥ t+1 and no higher
+        // claimers → decide (2, 20).
+        let old = stamped(1, 10);
+        let new = stamped(2, 20);
+        let lag = view(old.clone(), old.clone(), vec![old.clone()]);
+        let fresh = view(new.clone(), new.clone(), vec![old.clone(), new.clone()]);
+        e.on_reply(ObjectId(0), 1, &fresh);
+        e.on_reply(ObjectId(1), 1, &fresh);
+        e.on_reply(ObjectId(2), 1, &lag);
+        let st = e.on_reply(ObjectId(3), 1, &lag);
+        assert_eq!(st, CollectStatus::Decided);
+        assert_eq!(e.decisions()[&RegId::WRITER], new);
+    }
+
+    #[test]
+    fn auth_engine_decides_on_single_valid_report() {
+        let key = AuthKey::new(1);
+        let mut e = CollectEngine::auth(cfg(), vec![RegId::WRITER], key);
+        let pair = TsVal::new(Timestamp(4), Value::from_u64(44));
+        let signed = Stamped {
+            token: Some(key.mint(&pair)),
+            pair,
+        };
+        let vw = view(signed.clone(), signed.clone(), vec![signed.clone()]);
+        e.on_reply(ObjectId(0), 1, &vw);
+        e.on_reply(ObjectId(1), 1, &bottom_view());
+        let st = e.on_reply(ObjectId(2), 1, &bottom_view());
+        assert_eq!(st, CollectStatus::Decided, "1 valid report suffices with tokens");
+        assert_eq!(e.decisions()[&RegId::WRITER], signed);
+        assert_eq!(e.rounds(), 1);
+    }
+
+    #[test]
+    fn auth_engine_rejects_bad_tokens() {
+        let key = AuthKey::new(1);
+        let wrong = AuthKey::new(2);
+        let mut e = CollectEngine::auth(cfg(), vec![RegId::WRITER], key);
+        let pair = TsVal::new(Timestamp(9), Value::from_u64(99));
+        let forged = Stamped {
+            token: Some(wrong.mint(&pair)),
+            pair,
+        };
+        let vw = view(forged.clone(), forged.clone(), vec![forged]);
+        e.on_reply(ObjectId(0), 1, &vw);
+        e.on_reply(ObjectId(1), 1, &bottom_view());
+        let st = e.on_reply(ObjectId(2), 1, &bottom_view());
+        assert_eq!(st, CollectStatus::Decided);
+        assert!(
+            e.decisions()[&RegId::WRITER].pair.is_bottom(),
+            "forged token must be ignored"
+        );
+    }
+
+    #[test]
+    fn multi_register_collect_decides_all() {
+        let mut e = CollectEngine::with_min_rounds(
+            cfg(),
+            vec![RegId::WRITER, RegId::ReaderReg(0)],
+            None,
+            1,
+        );
+        let writer_pair = stamped(3, 30);
+        let reader_pair = stamped(2, 20);
+        let rep = Rep::Views {
+            views: vec![
+                (
+                    RegId::WRITER,
+                    ObjectView {
+                        pw: writer_pair.clone(),
+                        w: writer_pair.clone(),
+                        hist: vec![writer_pair.clone()],
+                    },
+                ),
+                (
+                    RegId::ReaderReg(0),
+                    ObjectView {
+                        pw: reader_pair.clone(),
+                        w: reader_pair.clone(),
+                        hist: vec![reader_pair.clone()],
+                    },
+                ),
+            ],
+        };
+        e.on_reply(ObjectId(0), 1, &rep);
+        e.on_reply(ObjectId(1), 1, &rep);
+        let st = e.on_reply(ObjectId(2), 1, &rep);
+        assert_eq!(st, CollectStatus::Decided);
+        assert_eq!(e.decisions().len(), 2);
+        assert_eq!(e.max_decision().unwrap(), writer_pair);
+    }
+
+    #[test]
+    #[should_panic(expected = "collect over no registers")]
+    fn empty_register_set_is_rejected() {
+        let _ = CollectEngine::unauth(cfg(), vec![]);
+    }
+}

@@ -1,0 +1,456 @@
+//! High-level deployment harness: pick a protocol, a fault budget and a
+//! reader count; get a simulator wired with honest objects, typed write and
+//! read clients, and checker-ready histories.
+//!
+//! Used by integration tests, benches and examples so that protocol
+//! selection stays declarative.
+
+use crate::adversary;
+use crate::baseline::{RetryStableReadClient, SafeNoWriteReadClient};
+use crate::clients::{AbdReadClient, AbdWriteClient, ByzWriteClient, OpOutput, RegularReadClient};
+use crate::checker::History;
+use crate::msg::{Rep, Req};
+use crate::token::AuthKey;
+use crate::transform::{make_stamped, AtomicReadClient};
+use rastor_common::{
+    ClientId, ClusterConfig, ObjectId, OpKind, RegId, Result, Timestamp, Value,
+};
+use rastor_sim::{Completion, Controller, ObjectBehavior, RoundClient, Sim, SimConfig};
+
+/// The protocols the harness can deploy.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum Protocol {
+    /// ABD (crash model): 1-round writes, 2-round atomic reads.
+    Abd,
+    /// Byzantine regular register, unauthenticated: 2-round writes,
+    /// 2-round reads (contention-free).
+    ByzRegular,
+    /// Byzantine regular register with secret values: 2-round writes,
+    /// 1-round reads.
+    AuthRegular,
+    /// The paper's headline SWMR atomic construction: 2-round writes,
+    /// 4-round reads.
+    AtomicUnauth,
+    /// The secret-value atomic construction: 2-round writes, 3-round reads.
+    AtomicAuth,
+    /// Non-writing safe reads: t+1 rounds (baseline \[1\]).
+    SafeNoWrite,
+    /// Retry-until-stable reads: unbounded under contention (baseline).
+    RetryStable,
+}
+
+impl Protocol {
+    /// The failure model this protocol assumes.
+    pub fn model(self) -> rastor_common::FaultModel {
+        match self {
+            Protocol::Abd => rastor_common::FaultModel::Crash,
+            Protocol::AuthRegular | Protocol::AtomicAuth => {
+                rastor_common::FaultModel::ByzantineAuth
+            }
+            _ => rastor_common::FaultModel::Byzantine,
+        }
+    }
+
+    /// Whether the protocol provides atomic (vs regular/safe) semantics.
+    pub fn is_atomic(self) -> bool {
+        matches!(
+            self,
+            Protocol::Abd | Protocol::AtomicUnauth | Protocol::AtomicAuth
+        )
+    }
+
+    /// All protocols, for table-driven experiments.
+    pub fn all() -> [Protocol; 7] {
+        [
+            Protocol::Abd,
+            Protocol::ByzRegular,
+            Protocol::AuthRegular,
+            Protocol::AtomicUnauth,
+            Protocol::AtomicAuth,
+            Protocol::SafeNoWrite,
+            Protocol::RetryStable,
+        ]
+    }
+
+    /// Short display name for tables.
+    pub fn name(self) -> &'static str {
+        match self {
+            Protocol::Abd => "abd-crash",
+            Protocol::ByzRegular => "byz-regular",
+            Protocol::AuthRegular => "auth-regular",
+            Protocol::AtomicUnauth => "atomic-unauth",
+            Protocol::AtomicAuth => "atomic-auth",
+            Protocol::SafeNoWrite => "safe-nowrite",
+            Protocol::RetryStable => "retry-stable",
+        }
+    }
+}
+
+/// A declarative workload: absolute invocation times for writes and reads.
+#[derive(Clone, Debug, Default)]
+pub struct Workload {
+    /// `(time, value)` — writes are issued by the single writer in order.
+    pub writes: Vec<(u64, Value)>,
+    /// `(time, reader-index)`.
+    pub reads: Vec<(u64, u32)>,
+}
+
+impl Workload {
+    /// `n` writes spaced `gap` apart starting at `start`, with values
+    /// `10·k` for the k-th write.
+    pub fn write_stream(n: u64, start: u64, gap: u64) -> Workload {
+        Workload {
+            writes: (0..n)
+                .map(|k| (start + k * gap, Value::from_u64((k + 1) * 10)))
+                .collect(),
+            reads: Vec::new(),
+        }
+    }
+
+    /// Add a read.
+    #[must_use]
+    pub fn with_read(mut self, at: u64, reader: u32) -> Workload {
+        self.reads.push((at, reader));
+        self
+    }
+
+    /// Add a write.
+    #[must_use]
+    pub fn with_write(mut self, at: u64, value: Value) -> Workload {
+        self.writes.push((at, value));
+        self
+    }
+}
+
+/// Result of a harness run: the completions, a checker-ready history and the
+/// raw trace.
+#[derive(Debug)]
+pub struct RunResult {
+    /// All completed operations.
+    pub completions: Vec<Completion<OpOutput>>,
+    /// Checker-ready history (reads + completed writes; add incomplete
+    /// writes manually if the workload crashes the writer).
+    pub history: History,
+    /// The raw simulator trace.
+    pub trace: rastor_sim::Trace,
+    /// Whether the run hit the event cap (stuck protocol).
+    pub hit_cap: bool,
+}
+
+impl RunResult {
+    /// Round counts of completed reads, in completion order.
+    pub fn read_rounds(&self) -> Vec<u32> {
+        self.completions
+            .iter()
+            .filter(|c| c.output.is_read())
+            .map(|c| c.stat.rounds.get())
+            .collect()
+    }
+
+    /// Round counts of completed writes, in completion order.
+    pub fn write_rounds(&self) -> Vec<u32> {
+        self.completions
+            .iter()
+            .filter(|c| !c.output.is_read())
+            .map(|c| c.stat.rounds.get())
+            .collect()
+    }
+}
+
+/// A deployable storage system: protocol + cluster shape + writer state.
+#[derive(Clone, Debug)]
+pub struct StorageSystem {
+    protocol: Protocol,
+    cfg: ClusterConfig,
+    num_readers: u32,
+    key: Option<AuthKey>,
+    next_ts: u64,
+}
+
+impl StorageSystem {
+    /// Deploy `protocol` with fault budget `t` and `num_readers` readers at
+    /// the protocol's optimal resilience.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`rastor_common::Error::InsufficientResilience`] (cannot
+    /// happen for optimal shapes, but kept for API uniformity).
+    pub fn new(protocol: Protocol, t: usize, num_readers: u32) -> Result<StorageSystem> {
+        let model = protocol.model();
+        let cfg = ClusterConfig::new(model.min_objects(t), t, model)?;
+        Ok(StorageSystem::with_config(protocol, cfg, num_readers))
+    }
+
+    /// Deploy over an explicit (possibly non-optimal) cluster shape.
+    pub fn with_config(protocol: Protocol, cfg: ClusterConfig, num_readers: u32) -> StorageSystem {
+        let key = match protocol.model() {
+            rastor_common::FaultModel::ByzantineAuth => Some(AuthKey::new(0xC0FFEE)),
+            _ => None,
+        };
+        StorageSystem {
+            protocol,
+            cfg,
+            num_readers,
+            key,
+            next_ts: 0,
+        }
+    }
+
+    /// The cluster configuration.
+    pub fn config(&self) -> ClusterConfig {
+        self.cfg
+    }
+
+    /// The deployed protocol.
+    pub fn protocol(&self) -> Protocol {
+        self.protocol
+    }
+
+    /// Number of readers the deployment supports.
+    pub fn num_readers(&self) -> u32 {
+        self.num_readers
+    }
+
+    /// A simulator populated with honest objects.
+    pub fn build_sim(&self, controller: Box<dyn Controller<Req, Rep>>) -> Sim<Req, Rep, OpOutput> {
+        let mut sim = Sim::with_controller(SimConfig::default(), controller);
+        for _ in 0..self.cfg.num_objects() {
+            sim.add_object(Box::new(crate::object::HonestObject::new()));
+        }
+        sim
+    }
+
+    /// The next write's client automaton (assigns the next timestamp; the
+    /// single writer's operations are sequential so creation order is
+    /// timestamp order).
+    pub fn write_client(&mut self, value: Value) -> Box<dyn RoundClient<Req, Rep, Out = OpOutput>> {
+        self.next_ts += 1;
+        let stamped = make_stamped(Timestamp(self.next_ts), value, self.key.as_ref());
+        match self.protocol {
+            Protocol::Abd => Box::new(AbdWriteClient::new(self.cfg, RegId::WRITER, stamped)),
+            _ => Box::new(ByzWriteClient::new(self.cfg, RegId::WRITER, stamped)),
+        }
+    }
+
+    /// A read automaton for the given reader index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `reader ≥ num_readers`.
+    pub fn read_client(&self, reader: u32) -> Box<dyn RoundClient<Req, Rep, Out = OpOutput>> {
+        assert!(reader < self.num_readers, "reader index out of range");
+        match self.protocol {
+            Protocol::Abd => Box::new(AbdReadClient::new(self.cfg, RegId::WRITER)),
+            Protocol::ByzRegular => Box::new(RegularReadClient::unauth(self.cfg, RegId::WRITER)),
+            Protocol::AuthRegular => Box::new(RegularReadClient::auth(
+                self.cfg,
+                RegId::WRITER,
+                self.key.expect("auth protocol has key"),
+            )),
+            Protocol::AtomicUnauth => {
+                Box::new(AtomicReadClient::unauth(self.cfg, reader, self.num_readers))
+            }
+            Protocol::AtomicAuth => Box::new(AtomicReadClient::auth(
+                self.cfg,
+                reader,
+                self.num_readers,
+                self.key.expect("auth protocol has key"),
+            )),
+            Protocol::SafeNoWrite => Box::new(SafeNoWriteReadClient::new(self.cfg, RegId::WRITER)),
+            Protocol::RetryStable => {
+                Box::new(RetryStableReadClient::new(self.cfg, RegId::WRITER, 256))
+            }
+        }
+    }
+
+    /// Run a workload with optional Byzantine replacements, returning the
+    /// completions and a checker-ready history.
+    pub fn run(
+        &mut self,
+        controller: Box<dyn Controller<Req, Rep>>,
+        workload: &Workload,
+        byzantine: Vec<(ObjectId, Box<dyn ObjectBehavior<Req, Rep>>)>,
+    ) -> RunResult {
+        assert!(
+            byzantine.len() <= self.cfg.fault_budget(),
+            "cannot corrupt more than t objects"
+        );
+        let mut sim = self.build_sim(controller);
+        for (oid, behavior) in byzantine {
+            sim.replace_object(oid, behavior);
+        }
+        for (at, value) in &workload.writes {
+            let client = self.write_client(value.clone());
+            sim.invoke_at(*at, ClientId::writer(), OpKind::Write, client);
+        }
+        for (at, reader) in &workload.reads {
+            let client = self.read_client(*reader);
+            sim.invoke_at(*at, ClientId::reader(*reader), OpKind::Read, client);
+        }
+        let completions = sim.run_to_quiescence();
+        let hit_cap = sim.hit_event_cap();
+        let mut history = History::new();
+        history.ingest(&completions);
+        RunResult {
+            completions,
+            history,
+            trace: sim.into_trace(),
+            hit_cap,
+        }
+    }
+
+    /// Convenience: a standard Byzantine behavior by name, for table-driven
+    /// fault-injection tests.
+    pub fn stock_adversary(kind: AdversaryKind) -> Box<dyn ObjectBehavior<Req, Rep>> {
+        match kind {
+            AdversaryKind::Silent => Box::new(adversary::SilentObject),
+            AdversaryKind::Amnesiac => Box::new(adversary::AmnesiacObject),
+            AdversaryKind::ForgeHigh => Box::new(adversary::ForgeHighObject::default_forgery()),
+            AdversaryKind::CrashEarly => Box::new(adversary::CrashObject::new(3)),
+            AdversaryKind::StaleReplay => Box::new(adversary::ReplayObject::new(4)),
+        }
+    }
+}
+
+/// Stock adversaries for table-driven fault injection.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum AdversaryKind {
+    /// Never replies.
+    Silent,
+    /// Acks writes but stores nothing.
+    Amnesiac,
+    /// Reports a fabricated maximal pair.
+    ForgeHigh,
+    /// Honest for 3 requests, then crashes.
+    CrashEarly,
+    /// Honest for 4 requests, then replays its frozen (genuine) state.
+    StaleReplay,
+}
+
+impl AdversaryKind {
+    /// All stock adversaries.
+    pub fn all() -> [AdversaryKind; 5] {
+        [
+            AdversaryKind::Silent,
+            AdversaryKind::Amnesiac,
+            AdversaryKind::ForgeHigh,
+            AdversaryKind::CrashEarly,
+            AdversaryKind::StaleReplay,
+        ]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rastor_sim::FixedDelay;
+
+    fn quiet_run(protocol: Protocol) -> RunResult {
+        let mut sys = StorageSystem::new(protocol, 1, 2).unwrap();
+        let wl = Workload::default()
+            .with_write(0, Value::from_u64(10))
+            .with_read(100, 0)
+            .with_read(200, 1);
+        sys.run(Box::new(FixedDelay::new(1)), &wl, vec![])
+    }
+
+    #[test]
+    fn every_protocol_round_trips_quietly() {
+        for p in Protocol::all() {
+            let res = quiet_run(p);
+            assert_eq!(res.completions.len(), 3, "{p:?} completes all ops");
+            assert!(!res.hit_cap);
+            let violations = if p.is_atomic() {
+                res.history.check_atomic()
+            } else {
+                res.history.check_regular()
+            };
+            assert!(violations.is_empty(), "{p:?}: {violations:?}");
+            // Both reads see the write (they start after it completed).
+            for c in res.completions.iter().filter(|c| c.output.is_read()) {
+                assert_eq!(c.output.pair().ts, Timestamp(1), "{p:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn contention_free_round_counts_match_the_paper() {
+        let expect: [(Protocol, u32, u32); 5] = [
+            (Protocol::Abd, 1, 2),
+            (Protocol::ByzRegular, 2, 2),
+            (Protocol::AuthRegular, 2, 1),
+            (Protocol::AtomicUnauth, 2, 4),
+            (Protocol::AtomicAuth, 2, 3),
+        ];
+        for (p, wr, rr) in expect {
+            let res = quiet_run(p);
+            assert_eq!(res.write_rounds(), vec![wr], "{p:?} write rounds");
+            assert_eq!(res.read_rounds(), vec![rr, rr], "{p:?} read rounds");
+        }
+    }
+
+    #[test]
+    fn harness_rejects_overbudget_corruption() {
+        let mut sys = StorageSystem::new(Protocol::ByzRegular, 1, 1).unwrap();
+        let wl = Workload::default().with_read(0, 0);
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            sys.run(
+                Box::new(FixedDelay::new(1)),
+                &wl,
+                vec![
+                    (ObjectId(0), StorageSystem::stock_adversary(AdversaryKind::Silent)),
+                    (ObjectId(1), StorageSystem::stock_adversary(AdversaryKind::Silent)),
+                ],
+            )
+        }));
+        assert!(result.is_err(), "t+1 corruptions must be rejected");
+    }
+
+    #[test]
+    fn byzantine_objects_cannot_break_safety() {
+        for p in [
+            Protocol::ByzRegular,
+            Protocol::AuthRegular,
+            Protocol::AtomicUnauth,
+            Protocol::AtomicAuth,
+        ] {
+            for adv in AdversaryKind::all() {
+                let mut sys = StorageSystem::new(p, 1, 2).unwrap();
+                let wl = Workload::default()
+                    .with_write(0, Value::from_u64(10))
+                    .with_write(50, Value::from_u64(20))
+                    .with_read(100, 0)
+                    .with_read(200, 1);
+                let res = sys.run(
+                    Box::new(FixedDelay::new(1)),
+                    &wl,
+                    vec![(ObjectId(0), StorageSystem::stock_adversary(adv))],
+                );
+                assert_eq!(res.completions.len(), 4, "{p:?}/{adv:?} wait-freedom");
+                let violations = if p.is_atomic() {
+                    res.history.check_atomic()
+                } else {
+                    res.history.check_regular()
+                };
+                assert!(violations.is_empty(), "{p:?}/{adv:?}: {violations:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn protocol_metadata() {
+        assert!(Protocol::AtomicUnauth.is_atomic());
+        assert!(!Protocol::ByzRegular.is_atomic());
+        assert_eq!(Protocol::Abd.model(), rastor_common::FaultModel::Crash);
+        assert_eq!(Protocol::all().len(), 7);
+        assert_eq!(Protocol::AtomicAuth.name(), "atomic-auth");
+    }
+
+    #[test]
+    fn workload_builders() {
+        let wl = Workload::write_stream(3, 10, 5).with_read(100, 0);
+        assert_eq!(wl.writes.len(), 3);
+        assert_eq!(wl.writes[2].0, 20);
+        assert_eq!(wl.reads, vec![(100, 0)]);
+    }
+}

@@ -1,0 +1,339 @@
+//! The multi-writer multi-reader extension (paper, Section 5: "multi-writer
+//! atomic storage can be implemented by applying the standard
+//! transformations further" \[4, 20\]).
+//!
+//! Construction: each of the `N` writers owns one SWMR register
+//! (`Writer(i)`), and each reader owns one write-back register, all
+//! multiplexed over the same `3t + 1` objects.
+//!
+//! * **mw-write(v)** by writer `i`: regular-read all `N` writer registers
+//!   to learn the highest tag (2 collect rounds), then two-phase-write
+//!   `(max_tag.next(i), v)` into `Writer(i)` (2 rounds) — 4 rounds total.
+//! * **mw-read()** by reader `j`: regular-read all `N + R` registers in
+//!   parallel (2 rounds), two-phase-write the maximum into the reader's
+//!   own register (2 rounds), return it — 4 rounds, unchanged from SWMR.
+//!
+//! Tags are `(sequence, writer-id)` pairs packed into the 64-bit timestamp
+//! (sequence in the high bits, writer id in the low [`TAG_BITS`] bits), so
+//! ties between concurrent writers break deterministically by writer id —
+//! the standard lexicographic tag order.
+//!
+//! Atomicity sketch: writes are totally ordered by tag (distinct writers
+//! never produce equal tags); a write completing before another starts is
+//! dominated because the later writer's collect sees the earlier tag
+//! through its register (regularity); reads inherit the SWMR
+//! transformation's no-inversion property through the write-back register.
+
+use crate::collect::{CollectEngine, CollectStatus};
+use crate::msg::{AckKind, Rep, Req, Stamped};
+use rastor_common::{ClusterConfig, ObjectId, RegId, Timestamp, TsVal, Value};
+use rastor_sim::{ClientAction, RoundClient};
+use std::collections::BTreeSet;
+
+use crate::clients::OpOutput;
+
+/// Bits of the packed timestamp reserved for the writer id.
+pub const TAG_BITS: u32 = 16;
+
+/// A multi-writer tag: `(sequence, writer id)` with lexicographic order,
+/// packed into a [`Timestamp`].
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Default)]
+pub struct Tag {
+    /// The per-register sequence number.
+    pub seq: u64,
+    /// The writer that produced the tag.
+    pub writer: u32,
+}
+
+impl Tag {
+    /// Decode a packed timestamp.
+    pub fn from_timestamp(ts: Timestamp) -> Tag {
+        Tag {
+            seq: ts.0 >> TAG_BITS,
+            writer: (ts.0 & ((1 << TAG_BITS) - 1)) as u32,
+        }
+    }
+
+    /// Pack into a timestamp (sequence dominates, writer id breaks ties).
+    pub fn to_timestamp(self) -> Timestamp {
+        assert!(self.writer < (1 << TAG_BITS), "writer id exceeds tag space");
+        Timestamp((self.seq << TAG_BITS) | self.writer as u64)
+    }
+
+    /// The tag writer `w` uses to dominate this tag.
+    #[must_use]
+    pub fn next_for(self, w: u32) -> Tag {
+        Tag {
+            seq: self.seq + 1,
+            writer: w,
+        }
+    }
+}
+
+/// The register groups of an MWMR deployment with `n` writers and `r`
+/// readers.
+pub fn mwmr_regs(n_writers: u32, n_readers: u32) -> Vec<RegId> {
+    let mut regs: Vec<RegId> = (0..n_writers).map(RegId::Writer).collect();
+    regs.extend((0..n_readers).map(RegId::ReaderReg));
+    regs
+}
+
+#[derive(Debug)]
+enum WPhase {
+    Collect,
+    PreWrite,
+    Commit,
+}
+
+/// The 4-round multi-writer write automaton.
+#[derive(Debug)]
+pub struct MwWriteClient {
+    cfg: ClusterConfig,
+    writer: u32,
+    value: Value,
+    engine: CollectEngine,
+    phase: WPhase,
+    pair: Stamped,
+    acks: BTreeSet<ObjectId>,
+}
+
+impl MwWriteClient {
+    /// A write of `value` by writer `writer` (of `n_writers`).
+    pub fn new(cfg: ClusterConfig, writer: u32, n_writers: u32, value: Value) -> MwWriteClient {
+        assert!(writer < n_writers, "writer index out of range");
+        let regs: Vec<RegId> = (0..n_writers).map(RegId::Writer).collect();
+        MwWriteClient {
+            cfg,
+            writer,
+            value,
+            engine: CollectEngine::unauth(cfg, regs),
+            phase: WPhase::Collect,
+            pair: Stamped::bottom(),
+            acks: BTreeSet::new(),
+        }
+    }
+}
+
+impl RoundClient<Req, Rep> for MwWriteClient {
+    type Out = OpOutput;
+
+    fn start(&mut self) -> Req {
+        self.engine.request()
+    }
+
+    fn on_reply(&mut self, from: ObjectId, round: u32, reply: &Rep) -> ClientAction<Req, OpOutput> {
+        match self.phase {
+            WPhase::Collect => match self.engine.on_reply(from, round, reply) {
+                CollectStatus::Wait => ClientAction::Wait,
+                CollectStatus::NextRound => {
+                    self.engine.begin_round();
+                    ClientAction::NextRound(self.engine.request())
+                }
+                CollectStatus::Decided => {
+                    let max_tag = self
+                        .engine
+                        .decisions()
+                        .values()
+                        .map(|s| Tag::from_timestamp(s.pair.ts))
+                        .max()
+                        .unwrap_or_default();
+                    let tag = max_tag.next_for(self.writer);
+                    self.pair = Stamped::plain(TsVal::new(tag.to_timestamp(), self.value.clone()));
+                    self.phase = WPhase::PreWrite;
+                    ClientAction::NextRound(Req::PreWrite {
+                        reg: RegId::Writer(self.writer),
+                        pair: self.pair.clone(),
+                    })
+                }
+            },
+            WPhase::PreWrite => {
+                if reply.is_ack(RegId::Writer(self.writer), AckKind::PreWrite) {
+                    self.acks.insert(from);
+                }
+                if self.acks.len() >= self.cfg.quorum() {
+                    self.phase = WPhase::Commit;
+                    self.acks.clear();
+                    ClientAction::NextRound(Req::Commit {
+                        reg: RegId::Writer(self.writer),
+                        pair: self.pair.clone(),
+                    })
+                } else {
+                    ClientAction::Wait
+                }
+            }
+            WPhase::Commit => {
+                if reply.is_ack(RegId::Writer(self.writer), AckKind::Commit) {
+                    self.acks.insert(from);
+                }
+                if self.acks.len() >= self.cfg.quorum() {
+                    ClientAction::Complete(OpOutput::Wrote(self.pair.pair.clone()))
+                } else {
+                    ClientAction::Wait
+                }
+            }
+        }
+    }
+}
+
+/// The 4-round multi-writer read automaton: collect all writer and reader
+/// registers, write the maximum back into the reader's own register.
+pub fn mw_read_client(
+    cfg: ClusterConfig,
+    reader: u32,
+    n_writers: u32,
+    n_readers: u32,
+) -> crate::transform::AtomicReadClient {
+    assert!(reader < n_readers, "reader index out of range");
+    crate::transform::AtomicReadClient::with_regs(
+        cfg,
+        RegId::ReaderReg(reader),
+        mwmr_regs(n_writers, n_readers),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::object::HonestObject;
+    use rastor_common::{ClientId, OpKind};
+    use rastor_sim::{Sim, SimConfig};
+
+    fn sim_with_honest(n: usize) -> Sim<Req, Rep, OpOutput> {
+        let mut sim = Sim::new(SimConfig::default());
+        for _ in 0..n {
+            sim.add_object(Box::new(HonestObject::new()));
+        }
+        sim
+    }
+
+    #[test]
+    fn tag_packing_roundtrips_and_orders() {
+        let a = Tag { seq: 5, writer: 2 };
+        assert_eq!(Tag::from_timestamp(a.to_timestamp()), a);
+        let b = Tag { seq: 5, writer: 3 };
+        let c = Tag { seq: 6, writer: 0 };
+        assert!(a.to_timestamp() < b.to_timestamp(), "writer id breaks ties");
+        assert!(b.to_timestamp() < c.to_timestamp(), "sequence dominates");
+        assert_eq!(a.next_for(7), Tag { seq: 6, writer: 7 });
+    }
+
+    #[test]
+    #[should_panic(expected = "tag space")]
+    fn tag_rejects_oversized_writer_ids() {
+        let _ = Tag {
+            seq: 1,
+            writer: 1 << TAG_BITS,
+        }
+        .to_timestamp();
+    }
+
+    /// Two writers write sequentially; the later one must dominate.
+    #[test]
+    fn sequential_multi_writer_writes_are_ordered() {
+        let cfg = ClusterConfig::byzantine(1).unwrap();
+        let mut sim = sim_with_honest(4);
+        // Using distinct ClientId::Reader slots as extra "writer" processes
+        // would confuse roles; the sim only needs distinct clients, so we
+        // model writer 1 as another client id.
+        sim.invoke_at(
+            0,
+            ClientId::writer(),
+            OpKind::Write,
+            Box::new(MwWriteClient::new(cfg, 0, 2, Value::from_u64(10))),
+        );
+        sim.invoke_at(
+            1_000,
+            ClientId::reader(9), // stands in for writer 1
+            OpKind::Write,
+            Box::new(MwWriteClient::new(cfg, 1, 2, Value::from_u64(20))),
+        );
+        sim.invoke_at(
+            2_000,
+            ClientId::reader(0),
+            OpKind::Read,
+            Box::new(mw_read_client(cfg, 0, 2, 2)),
+        );
+        let done = sim.run_to_quiescence();
+        assert_eq!(done.len(), 3);
+        // Write rounds: 2 collect + 2 write = 4.
+        assert_eq!(done[0].stat.rounds.get(), 4);
+        // The second write saw the first and dominated it.
+        let t0 = Tag::from_timestamp(done[0].output.pair().ts);
+        let t1 = Tag::from_timestamp(done[1].output.pair().ts);
+        assert_eq!(t0, Tag { seq: 1, writer: 0 });
+        assert_eq!(t1, Tag { seq: 2, writer: 1 });
+        // The read returns the dominant write.
+        assert_eq!(done[2].output.pair().val, Value::from_u64(20));
+        assert_eq!(done[2].stat.rounds.get(), 4);
+    }
+
+    /// Concurrent writers produce distinct, totally ordered tags.
+    #[test]
+    fn concurrent_writers_break_ties_by_id() {
+        let cfg = ClusterConfig::byzantine(1).unwrap();
+        let mut sim = sim_with_honest(4);
+        sim.invoke_at(
+            0,
+            ClientId::writer(),
+            OpKind::Write,
+            Box::new(MwWriteClient::new(cfg, 0, 2, Value::from_u64(10))),
+        );
+        sim.invoke_at(
+            0,
+            ClientId::reader(9),
+            OpKind::Write,
+            Box::new(MwWriteClient::new(cfg, 1, 2, Value::from_u64(20))),
+        );
+        let done = sim.run_to_quiescence();
+        let tags: Vec<Tag> = done
+            .iter()
+            .map(|c| Tag::from_timestamp(c.output.pair().ts))
+            .collect();
+        assert_ne!(tags[0], tags[1], "tags are unique");
+        // A subsequent read returns one of the two — the tag-maximal one.
+        let mut sim2 = sim_with_honest(4);
+        let _ = sim2; // (separate scenario not needed; tags checked above)
+    }
+
+    /// A read after both writes returns the lexicographic maximum.
+    #[test]
+    fn read_after_concurrent_writes_returns_max_tag() {
+        let cfg = ClusterConfig::byzantine(1).unwrap();
+        let mut sim = sim_with_honest(4);
+        sim.invoke_at(
+            0,
+            ClientId::writer(),
+            OpKind::Write,
+            Box::new(MwWriteClient::new(cfg, 0, 2, Value::from_u64(10))),
+        );
+        sim.invoke_at(
+            0,
+            ClientId::reader(9),
+            OpKind::Write,
+            Box::new(MwWriteClient::new(cfg, 1, 2, Value::from_u64(20))),
+        );
+        sim.invoke_at(
+            5_000,
+            ClientId::reader(0),
+            OpKind::Read,
+            Box::new(mw_read_client(cfg, 0, 2, 1)),
+        );
+        let done = sim.run_to_quiescence();
+        let max_write_tag = done
+            .iter()
+            .filter(|c| !c.output.is_read())
+            .map(|c| Tag::from_timestamp(c.output.pair().ts))
+            .max()
+            .unwrap();
+        let read = done.iter().find(|c| c.output.is_read()).unwrap();
+        assert_eq!(Tag::from_timestamp(read.output.pair().ts), max_write_tag);
+    }
+
+    #[test]
+    fn mwmr_reg_layout() {
+        let regs = mwmr_regs(2, 3);
+        assert_eq!(regs.len(), 5);
+        assert_eq!(regs[0], RegId::Writer(0));
+        assert_eq!(regs[4], RegId::ReaderReg(2));
+    }
+}

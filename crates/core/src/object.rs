@@ -1,0 +1,246 @@
+//! The correct (honest) storage-object state machine.
+//!
+//! An honest object keeps, per logical register:
+//!
+//! * `pw` — the freshest *pre-written* pair (phase-1 of Byzantine writes);
+//! * `w` — the freshest *committed* pair (phase-2, or a crash-model store);
+//! * `hist` — every pair it ever adopted, never forgotten.
+//!
+//! All updates are monotone in timestamp order, so replayed or reordered
+//! client messages cannot roll the object's state back. The object replies
+//! to each request immediately and never initiates communication, matching
+//! the paper's object model.
+
+use crate::msg::{AckKind, ObjectView, Rep, Req, Stamped};
+use rastor_common::{ClientId, RegId};
+use rastor_sim::ObjectBehavior;
+use std::collections::BTreeMap;
+
+/// State of one logical register on one object.
+#[derive(Clone, Debug, Default)]
+pub struct RegState {
+    pw: Stamped,
+    w: Stamped,
+    hist: BTreeMap<rastor_common::TsVal, Stamped>,
+}
+
+impl RegState {
+    fn adopt_hist(&mut self, s: &Stamped) {
+        self.hist.entry(s.pair.clone()).or_insert_with(|| s.clone());
+    }
+
+    fn pre_write(&mut self, s: Stamped) {
+        self.adopt_hist(&s);
+        if s.pair > self.pw.pair {
+            self.pw = s;
+        }
+    }
+
+    fn commit(&mut self, s: Stamped) {
+        self.adopt_hist(&s);
+        if s.pair > self.pw.pair {
+            self.pw = s.clone();
+        }
+        if s.pair > self.w.pair {
+            self.w = s;
+        }
+    }
+
+    /// Render the externally visible view.
+    pub fn view(&self) -> ObjectView {
+        ObjectView {
+            pw: self.pw.clone(),
+            w: self.w.clone(),
+            hist: self.hist.values().cloned().collect(),
+        }
+    }
+}
+
+/// A correct storage object hosting any number of logical registers.
+///
+/// The same object type serves every protocol in the crate: the crash-model
+/// ABD register uses `Store`/`Collect`, the Byzantine protocols use
+/// `PreWrite`/`Commit`/`Collect`, and the regular→atomic transformation
+/// multiplexes `R + 1` registers through `RegId` tags.
+#[derive(Clone, Debug, Default)]
+pub struct HonestObject {
+    regs: BTreeMap<RegId, RegState>,
+}
+
+impl HonestObject {
+    /// A fresh object with every register at `(0, ⊥)`.
+    pub fn new() -> HonestObject {
+        HonestObject::default()
+    }
+
+    /// Apply one request, returning the reply a correct object sends.
+    ///
+    /// Exposed (in addition to the [`ObjectBehavior`] impl) so that
+    /// adversarial wrappers and the lower-bound state-forging machinery can
+    /// drive snapshots of honest state.
+    pub fn apply(&mut self, req: &Req) -> Rep {
+        match req {
+            Req::Collect { regs } => Rep::Views {
+                views: regs
+                    .iter()
+                    .map(|r| (*r, self.regs.entry(*r).or_default().view()))
+                    .collect(),
+            },
+            Req::Store { reg, pair } => {
+                // Crash-model store: a single-phase commit.
+                self.regs.entry(*reg).or_default().commit(pair.clone());
+                Rep::Ack {
+                    reg: *reg,
+                    kind: AckKind::Store,
+                }
+            }
+            Req::PreWrite { reg, pair } => {
+                self.regs.entry(*reg).or_default().pre_write(pair.clone());
+                Rep::Ack {
+                    reg: *reg,
+                    kind: AckKind::PreWrite,
+                }
+            }
+            Req::Commit { reg, pair } => {
+                self.regs.entry(*reg).or_default().commit(pair.clone());
+                Rep::Ack {
+                    reg: *reg,
+                    kind: AckKind::Commit,
+                }
+            }
+        }
+    }
+
+    /// Peek at a register's view without mutating (absent registers read as
+    /// initial).
+    pub fn view_of(&self, reg: RegId) -> ObjectView {
+        self.regs.get(&reg).map(RegState::view).unwrap_or_default()
+    }
+}
+
+impl ObjectBehavior<Req, Rep> for HonestObject {
+    fn on_request(&mut self, _from: ClientId, req: &Req) -> Option<Rep> {
+        Some(self.apply(req))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rastor_common::{Timestamp, TsVal, Value};
+
+    fn stamped(ts: u64, v: u64) -> Stamped {
+        Stamped::plain(TsVal::new(Timestamp(ts), Value::from_u64(v)))
+    }
+
+    #[test]
+    fn initial_view_is_bottom() {
+        let obj = HonestObject::new();
+        let view = obj.view_of(RegId::WRITER);
+        assert!(view.pw.pair.is_bottom());
+        assert!(view.w.pair.is_bottom());
+        assert!(view.hist.is_empty());
+    }
+
+    #[test]
+    fn prewrite_updates_pw_not_w() {
+        let mut obj = HonestObject::new();
+        obj.apply(&Req::PreWrite {
+            reg: RegId::WRITER,
+            pair: stamped(1, 10),
+        });
+        let view = obj.view_of(RegId::WRITER);
+        assert_eq!(view.pw, stamped(1, 10));
+        assert!(view.w.pair.is_bottom());
+        assert_eq!(view.hist.len(), 1);
+    }
+
+    #[test]
+    fn commit_updates_both() {
+        let mut obj = HonestObject::new();
+        obj.apply(&Req::Commit {
+            reg: RegId::WRITER,
+            pair: stamped(1, 10),
+        });
+        let view = obj.view_of(RegId::WRITER);
+        assert_eq!(view.pw, stamped(1, 10));
+        assert_eq!(view.w, stamped(1, 10));
+    }
+
+    #[test]
+    fn updates_are_monotone() {
+        let mut obj = HonestObject::new();
+        obj.apply(&Req::Commit {
+            reg: RegId::WRITER,
+            pair: stamped(5, 50),
+        });
+        // A stale (replayed) commit must not roll back state…
+        obj.apply(&Req::Commit {
+            reg: RegId::WRITER,
+            pair: stamped(3, 30),
+        });
+        let view = obj.view_of(RegId::WRITER);
+        assert_eq!(view.w, stamped(5, 50));
+        // …but it still lands in the history.
+        assert!(view.vouches_for(&stamped(3, 30).pair));
+    }
+
+    #[test]
+    fn history_never_forgets() {
+        let mut obj = HonestObject::new();
+        for ts in 1..=4 {
+            obj.apply(&Req::PreWrite {
+                reg: RegId::WRITER,
+                pair: stamped(ts, ts * 10),
+            });
+        }
+        let view = obj.view_of(RegId::WRITER);
+        assert_eq!(view.hist.len(), 4);
+        assert_eq!(view.pw, stamped(4, 40));
+        for ts in 1..=4 {
+            assert!(view.vouches_for(&stamped(ts, ts * 10).pair));
+        }
+    }
+
+    #[test]
+    fn registers_are_isolated() {
+        let mut obj = HonestObject::new();
+        obj.apply(&Req::Commit {
+            reg: RegId::WRITER,
+            pair: stamped(1, 10),
+        });
+        obj.apply(&Req::Commit {
+            reg: RegId::ReaderReg(0),
+            pair: stamped(2, 20),
+        });
+        assert_eq!(obj.view_of(RegId::WRITER).w, stamped(1, 10));
+        assert_eq!(obj.view_of(RegId::ReaderReg(0)).w, stamped(2, 20));
+        assert_eq!(obj.view_of(RegId::ReaderReg(1)).w, Stamped::bottom());
+    }
+
+    #[test]
+    fn collect_reports_requested_registers() {
+        let mut obj = HonestObject::new();
+        let rep = obj.apply(&Req::Collect {
+            regs: vec![RegId::WRITER, RegId::ReaderReg(3)],
+        });
+        match rep {
+            Rep::Views { views } => {
+                assert_eq!(views.len(), 2);
+                assert_eq!(views[0].0, RegId::WRITER);
+                assert_eq!(views[1].0, RegId::ReaderReg(3));
+            }
+            Rep::Ack { .. } => panic!("collect returns views"),
+        }
+    }
+
+    #[test]
+    fn store_acks_with_store_kind() {
+        let mut obj = HonestObject::new();
+        let rep = obj.apply(&Req::Store {
+            reg: RegId::WRITER,
+            pair: stamped(1, 1),
+        });
+        assert!(rep.is_ack(RegId::WRITER, AckKind::Store));
+    }
+}

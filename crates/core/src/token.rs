@@ -1,0 +1,124 @@
+//! Simulated secret-value authentication (the model of the paper's
+//! reference \[8\]).
+//!
+//! In the secret-value model the adversary cannot fabricate data that passes
+//! the writer's authentication check. We model this with a keyed token: the
+//! writer holds an [`AuthKey`] and mints a [`Token`] per timestamped pair;
+//! readers holding the same key can verify it. A Byzantine object can
+//! *replay* genuine `(pair, token)` combinations it has seen (harmless: the
+//! pair is genuine), but it cannot mint a valid token for a pair the writer
+//! never produced — our adversary implementations have no access to the key,
+//! and the mixing function makes accidental collisions vanishingly unlikely
+//! at simulation scale.
+//!
+//! This is deliberately *not* cryptography; it is a faithful simulation of
+//! the model's power, per the substitution rules in DESIGN.md.
+
+use rastor_common::TsVal;
+use std::fmt;
+
+/// An unforgeable-by-assumption token over a timestamped pair.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct Token(u64);
+
+/// The writer's secret key (shared with readers for verification, never
+/// with object behaviors).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct AuthKey(u64);
+
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    let mut z = x;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+fn mix_pair(key: u64, pair: &TsVal) -> u64 {
+    let mut acc = splitmix64(key ^ pair.ts.0);
+    for chunk in pair.val.as_bytes().chunks(8) {
+        let mut buf = [0u8; 8];
+        buf[..chunk.len()].copy_from_slice(chunk);
+        acc = splitmix64(acc ^ u64::from_le_bytes(buf));
+    }
+    acc
+}
+
+impl AuthKey {
+    /// Derive a key from a seed (one per writer per run).
+    pub fn new(seed: u64) -> AuthKey {
+        AuthKey(splitmix64(seed ^ 0xA5A5_5A5A_DEAD_BEEF))
+    }
+
+    /// Mint the token authenticating `pair`.
+    pub fn mint(&self, pair: &TsVal) -> Token {
+        Token(mix_pair(self.0, pair))
+    }
+
+    /// Verify that `token` authenticates `pair`.
+    pub fn verify(&self, pair: &TsVal, token: Token) -> bool {
+        self.mint(pair) == token
+    }
+}
+
+impl fmt::Display for Token {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "tok:{:016x}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rastor_common::{Timestamp, Value};
+
+    fn pair(ts: u64, v: u64) -> TsVal {
+        TsVal::new(Timestamp(ts), Value::from_u64(v))
+    }
+
+    #[test]
+    fn mint_verify_roundtrip() {
+        let key = AuthKey::new(7);
+        let p = pair(3, 42);
+        let tok = key.mint(&p);
+        assert!(key.verify(&p, tok));
+    }
+
+    #[test]
+    fn token_binds_timestamp_and_value() {
+        let key = AuthKey::new(7);
+        let tok = key.mint(&pair(3, 42));
+        assert!(!key.verify(&pair(4, 42), tok), "different ts must not verify");
+        assert!(!key.verify(&pair(3, 43), tok), "different value must not verify");
+    }
+
+    #[test]
+    fn different_keys_disagree() {
+        let a = AuthKey::new(1);
+        let b = AuthKey::new(2);
+        let p = pair(1, 1);
+        assert_ne!(a.mint(&p), b.mint(&p));
+        assert!(!b.verify(&p, a.mint(&p)));
+    }
+
+    #[test]
+    fn tokens_are_spread() {
+        // No collisions among a few thousand minted tokens (sanity, not
+        // security).
+        let key = AuthKey::new(99);
+        let mut seen = std::collections::HashSet::new();
+        for ts in 0..2000u64 {
+            assert!(seen.insert(key.mint(&pair(ts, ts * 7))));
+        }
+    }
+
+    #[test]
+    fn long_values_hash_all_bytes() {
+        let key = AuthKey::new(5);
+        let a = TsVal::new(Timestamp(1), Value::from_bytes(vec![0u8; 32]));
+        let mut bytes = vec![0u8; 32];
+        bytes[31] = 1; // differs only in the last byte
+        let b = TsVal::new(Timestamp(1), Value::from_bytes(bytes));
+        assert_ne!(key.mint(&a), key.mint(&b));
+    }
+}

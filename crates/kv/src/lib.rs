@@ -1,0 +1,256 @@
+//! # rastor-kv
+//!
+//! A multi-key key-value store built on the paper's robust atomic
+//! registers — the "cloud key-value storage" motivation from the paper's
+//! introduction ("its read/write API … is today the heart of modern cloud
+//! key-value storage APIs").
+//!
+//! Every key is backed by its own group of SWMR logical registers (one
+//! writer register plus one write-back register per reader), all
+//! multiplexed over the *same* `3t + 1` fault-prone objects. `put` runs the
+//! 2-round Byzantine write; `get` runs the 4-round atomic read
+//! (transformation of the paper's Section 5). Because each key's registers
+//! are independent, per-key linearizability follows directly from the
+//! register construction.
+//!
+//! The store runs over the thread runtime — real OS threads and channels —
+//! demonstrating the protocols outside the simulator.
+//!
+//! ```
+//! use rastor_kv::KvStore;
+//! use rastor_common::Value;
+//!
+//! let mut store = KvStore::new(1, 2).expect("valid fault budget");
+//! store.put("user:42", Value::from_bytes(*b"alice"))?;
+//! let got = store.get("user:42", 0)?;
+//! assert_eq!(got.unwrap().as_bytes(), b"alice");
+//! assert_eq!(store.get("user:43", 1)?, None);
+//! # Ok::<(), rastor_common::Error>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use rastor_common::{
+    ClientId, ClusterConfig, Error, ObjectId, RegId, Result, Timestamp, Value,
+};
+use rastor_core::clients::{ByzWriteClient, OpOutput};
+use rastor_core::msg::{Rep, Req, Stamped};
+use rastor_core::object::HonestObject;
+use rastor_core::transform::AtomicReadClient;
+use rastor_sim::runtime::{ThreadClient, ThreadCluster};
+use rastor_sim::ObjectBehavior;
+use std::collections::HashMap;
+use std::time::Duration;
+
+/// Key-group register layout: key `kid` with `R` readers occupies
+/// writer register `Writer(kid)` and write-back registers
+/// `ReaderReg(kid·R + r)`.
+fn writer_reg(kid: u32) -> RegId {
+    RegId::Writer(kid)
+}
+
+fn reader_reg(kid: u32, num_readers: u32, reader: u32) -> RegId {
+    RegId::ReaderReg(kid * num_readers + reader)
+}
+
+fn key_regs(kid: u32, num_readers: u32) -> Vec<RegId> {
+    let mut regs = vec![writer_reg(kid)];
+    regs.extend((0..num_readers).map(|r| reader_reg(kid, num_readers, r)));
+    regs
+}
+
+/// A robust key-value store over a thread-deployed object cluster.
+pub struct KvStore {
+    cfg: ClusterConfig,
+    num_readers: u32,
+    cluster: ThreadCluster<Req, Rep>,
+    writer: ThreadClient<Req, Rep>,
+    readers: Vec<ThreadClient<Req, Rep>>,
+    keys: HashMap<String, u32>,
+    next_ts: HashMap<u32, u64>,
+    timeout: Duration,
+}
+
+impl KvStore {
+    /// Spawn an optimally resilient (`S = 3t + 1`) store supporting
+    /// `num_readers` reader handles.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InsufficientResilience`] if the configuration is
+    /// invalid (kept for uniformity; optimal shapes always validate).
+    pub fn new(t: usize, num_readers: u32) -> Result<KvStore> {
+        let cfg = ClusterConfig::byzantine(t)?;
+        let behaviors: Vec<Box<dyn ObjectBehavior<Req, Rep> + Send>> = (0..cfg.num_objects())
+            .map(|_| Box::new(HonestObject::new()) as _)
+            .collect();
+        Ok(KvStore {
+            cfg,
+            num_readers,
+            cluster: ThreadCluster::spawn(behaviors, None),
+            writer: ThreadClient::new(ClientId::writer()),
+            readers: (0..num_readers)
+                .map(|r| ThreadClient::new(ClientId::reader(r)))
+                .collect(),
+            keys: HashMap::new(),
+            next_ts: HashMap::new(),
+            timeout: Duration::from_secs(10),
+        })
+    }
+
+    /// The cluster configuration.
+    pub fn config(&self) -> ClusterConfig {
+        self.cfg
+    }
+
+    /// Number of distinct keys written so far.
+    pub fn num_keys(&self) -> usize {
+        self.keys.len()
+    }
+
+    /// Crash a storage object (at most `t` may be crashed or corrupted for
+    /// operations to keep completing).
+    pub fn crash_object(&mut self, id: ObjectId) {
+        self.cluster.crash_object(id);
+    }
+
+    fn kid_of(&mut self, key: &str) -> u32 {
+        let next = self.keys.len() as u32;
+        *self.keys.entry(key.to_string()).or_insert(next)
+    }
+
+    /// Store `value` under `key` (2-round robust write).
+    ///
+    /// # Errors
+    ///
+    /// * [`Error::BottomWrite`] if `value` is the reserved empty value;
+    /// * [`Error::Incomplete`] if the cluster can no longer form a quorum.
+    pub fn put(&mut self, key: &str, value: Value) -> Result<()> {
+        if value.is_bottom() {
+            return Err(Error::BottomWrite);
+        }
+        let kid = self.kid_of(key);
+        let ts = self.next_ts.entry(kid).or_insert(0);
+        *ts += 1;
+        let pair = Stamped::plain(rastor_common::TsVal::new(Timestamp(*ts), value));
+        let client = ByzWriteClient::new(self.cfg, writer_reg(kid), pair);
+        self.writer
+            .run_op(&self.cluster, Box::new(client), self.timeout)
+            .map(|_| ())
+            .ok_or_else(|| Error::Incomplete {
+                detail: format!("put({key}) could not reach a quorum"),
+            })
+    }
+
+    /// Read the latest value under `key` through reader handle `reader`
+    /// (4-round atomic read). Returns `None` if the key was never written.
+    ///
+    /// # Errors
+    ///
+    /// * [`Error::WrongRole`] if `reader ≥ num_readers`;
+    /// * [`Error::Incomplete`] if the cluster can no longer form a quorum.
+    pub fn get(&mut self, key: &str, reader: u32) -> Result<Option<Value>> {
+        if reader >= self.num_readers {
+            return Err(Error::WrongRole {
+                detail: format!("reader {reader} of {}", self.num_readers),
+            });
+        }
+        let kid = self.kid_of(key);
+        let own = reader_reg(kid, self.num_readers, reader);
+        let regs = key_regs(kid, self.num_readers);
+        let client = AtomicReadClient::with_regs(self.cfg, own, regs);
+        let (out, _rounds) = self.readers[reader as usize]
+            .run_op(&self.cluster, Box::new(client), self.timeout)
+            .ok_or_else(|| Error::Incomplete {
+                detail: format!("get({key}) could not reach a quorum"),
+            })?;
+        match out {
+            OpOutput::Read(pair) => Ok(if pair.is_bottom() { None } else { Some(pair.val) }),
+            OpOutput::Wrote(_) => unreachable!("reads return Read outputs"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn put_get_roundtrip() {
+        let mut store = KvStore::new(1, 2).unwrap();
+        store.put("a", Value::from_u64(1)).unwrap();
+        store.put("b", Value::from_u64(2)).unwrap();
+        assert_eq!(store.get("a", 0).unwrap(), Some(Value::from_u64(1)));
+        assert_eq!(store.get("b", 1).unwrap(), Some(Value::from_u64(2)));
+        assert_eq!(store.num_keys(), 2);
+    }
+
+    #[test]
+    fn missing_key_reads_none() {
+        let mut store = KvStore::new(1, 1).unwrap();
+        assert_eq!(store.get("nope", 0).unwrap(), None);
+    }
+
+    #[test]
+    fn overwrites_are_ordered() {
+        let mut store = KvStore::new(1, 1).unwrap();
+        for v in 1..=5u64 {
+            store.put("counter", Value::from_u64(v)).unwrap();
+        }
+        assert_eq!(store.get("counter", 0).unwrap(), Some(Value::from_u64(5)));
+    }
+
+    #[test]
+    fn keys_are_isolated() {
+        let mut store = KvStore::new(1, 1).unwrap();
+        store.put("x", Value::from_u64(10)).unwrap();
+        store.put("y", Value::from_u64(20)).unwrap();
+        store.put("x", Value::from_u64(11)).unwrap();
+        assert_eq!(store.get("x", 0).unwrap(), Some(Value::from_u64(11)));
+        assert_eq!(store.get("y", 0).unwrap(), Some(Value::from_u64(20)));
+    }
+
+    #[test]
+    fn bottom_put_rejected() {
+        let mut store = KvStore::new(1, 1).unwrap();
+        assert_eq!(
+            store.put("k", Value::bottom()),
+            Err(Error::BottomWrite)
+        );
+    }
+
+    #[test]
+    fn out_of_range_reader_rejected() {
+        let mut store = KvStore::new(1, 1).unwrap();
+        assert!(matches!(
+            store.get("k", 5),
+            Err(Error::WrongRole { .. })
+        ));
+    }
+
+    #[test]
+    fn survives_t_crashed_objects() {
+        let mut store = KvStore::new(1, 1).unwrap();
+        store.put("k", Value::from_u64(7)).unwrap();
+        store.crash_object(ObjectId(3));
+        assert_eq!(store.get("k", 0).unwrap(), Some(Value::from_u64(7)));
+        store.put("k", Value::from_u64(8)).unwrap();
+        assert_eq!(store.get("k", 0).unwrap(), Some(Value::from_u64(8)));
+    }
+
+    #[test]
+    fn fails_gracefully_beyond_budget() {
+        let mut store = KvStore::new(1, 1).unwrap();
+        store.put("k", Value::from_u64(7)).unwrap();
+        store.crash_object(ObjectId(2));
+        store.crash_object(ObjectId(3));
+        // Quorum of 3 unreachable with 2 of 4 objects down: times out.
+        let mut fast = store;
+        fast.timeout = Duration::from_millis(100);
+        assert!(matches!(
+            fast.put("k", Value::from_u64(9)),
+            Err(Error::Incomplete { .. })
+        ));
+    }
+}

@@ -1,0 +1,411 @@
+//! Object-block partitions and superblocks used by the two lower-bound
+//! proofs.
+//!
+//! * **Proposition 1** (read lower bound, Section 3) partitions `S ≤ 4t`
+//!   objects into four blocks `B1..B4`: `B1, B2, B3` of size exactly `t`
+//!   and `B4` of size `S − 3t ∈ [1, t]`.
+//! * **Lemma 1** (write lower bound, Section 4) partitions `S = 3·t_k + 1`
+//!   objects into `2k + 2` blocks `B0..B_{k+1}` and `C1..C_k` with sizes
+//!   driven by the recurrence, plus three families of *superblocks*:
+//!   malicious `M_l`, parity `P_l` and correct `C_l`, satisfying the
+//!   cardinality equations (1)–(3) of the paper:
+//!
+//!   ```text
+//!   |∪M_l| = t_{l+1}          for 0 ≤ l ≤ k−1      (1)
+//!   |∪P_l| = t_k − t_{l−2}    for 1 ≤ l ≤ k+1      (2)
+//!   |∪C_l| = t_k − t_{l−2}    for 1 ≤ l ≤ k        (3)
+//!   ```
+//!
+//! Every partition materializes concrete [`ObjectId`] ranges so the proof
+//! executors can hand blocks directly to the simulator's scripted
+//! controller.
+
+use crate::recurrence::t_k;
+use rastor_common::ObjectId;
+
+/// A contiguous block of objects.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct Block {
+    /// Human-readable label (`B2`, `C3`, …) matching the paper's figures.
+    pub label: String,
+    /// Member objects.
+    pub members: Vec<ObjectId>,
+}
+
+impl Block {
+    fn new(label: impl Into<String>, range: std::ops::Range<u32>) -> Block {
+        Block {
+            label: label.into(),
+            members: range.map(ObjectId).collect(),
+        }
+    }
+
+    /// Block size.
+    pub fn len(&self) -> usize {
+        self.members.len()
+    }
+
+    /// Whether the block is empty (only `C1` ever is).
+    pub fn is_empty(&self) -> bool {
+        self.members.is_empty()
+    }
+}
+
+/// The Proposition 1 partition: `B1, B2, B3` of size `t`, `B4` of size
+/// `S − 3t`.
+#[derive(Clone, Debug)]
+pub struct Prop1Partition {
+    /// Number of objects `S` (must satisfy `3t < S ≤ 4t`).
+    pub s: usize,
+    /// Fault budget `t ≥ 1`.
+    pub t: usize,
+    blocks: [Block; 4],
+}
+
+impl Prop1Partition {
+    /// Build the partition.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `t ≥ 1` and `3t < S ≤ 4t` (the proposition's setting:
+    /// `B4` must have between 1 and `t` members).
+    pub fn new(s: usize, t: usize) -> Prop1Partition {
+        assert!(t >= 1, "t ≥ 1 required");
+        assert!(s > 3 * t && s <= 4 * t, "Proposition 1 needs 3t < S ≤ 4t");
+        let t32 = t as u32;
+        let blocks = [
+            Block::new("B1", 0..t32),
+            Block::new("B2", t32..2 * t32),
+            Block::new("B3", 2 * t32..3 * t32),
+            Block::new("B4", 3 * t32..s as u32),
+        ];
+        Prop1Partition { s, t, blocks }
+    }
+
+    /// Block `B_j` for `j ∈ 1..=4`.
+    pub fn block(&self, j: usize) -> &Block {
+        assert!((1..=4).contains(&j), "blocks are B1..B4");
+        &self.blocks[j - 1]
+    }
+
+    /// All four blocks in order.
+    pub fn blocks(&self) -> &[Block; 4] {
+        &self.blocks
+    }
+
+    /// The successor block index in the cyclic order 1→2→3→4→1.
+    pub fn succ(j: usize) -> usize {
+        (j % 4) + 1
+    }
+
+    /// Objects *outside* the given block indices (the repliers when those
+    /// blocks are skipped).
+    pub fn complement(&self, skipped: &[usize]) -> Vec<ObjectId> {
+        self.blocks
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| !skipped.contains(&(i + 1)))
+            .flat_map(|(_, b)| b.members.iter().copied())
+            .collect()
+    }
+}
+
+/// Which family a Lemma-1 block belongs to.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Family {
+    /// The `B` blocks (carry write rounds by parity).
+    B,
+    /// The `C` blocks (skipped by third read rounds).
+    C,
+}
+
+/// The Lemma 1 partition for a given `k ≥ 1`: blocks `B0..B_{k+1}` and
+/// `C1..C_k` over `S = 3·t_k + 1` objects.
+#[derive(Clone, Debug)]
+pub struct Lemma1Partition {
+    /// Write-round parameter `k`.
+    pub k: usize,
+    /// The fault budget `t_k`.
+    pub tk: u64,
+    b_blocks: Vec<Block>,
+    c_blocks: Vec<Block>,
+}
+
+impl Lemma1Partition {
+    /// Build the partition for `k ≥ 1`.
+    ///
+    /// Sizes (paper, Section 4 "Preliminaries"):
+    /// * `|B0| = 1`;
+    /// * `|B_l| = t_l − t_{l−2}` for `1 ≤ l ≤ k`;
+    /// * `|B_{k+1}| = t_k − t_{k−1}`;
+    /// * `|C_l| = t_{l−1} − t_{l−2}` for `1 ≤ l ≤ k−1` (so `C1` is empty);
+    /// * `|C_k| = t_k − t_{k−2}`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k < 1`.
+    pub fn new(k: usize) -> Lemma1Partition {
+        assert!(k >= 1, "k ≥ 1 required");
+        let ki = k as i64;
+        let tk = t_k(ki);
+        let mut next: u32 = 0;
+        let mut take = |label: String, size: u64| -> Block {
+            let start = next;
+            next += size as u32;
+            Block::new(label, start..next)
+        };
+        let mut b_blocks = Vec::with_capacity(k + 2);
+        b_blocks.push(take("B0".into(), 1));
+        for l in 1..=ki {
+            b_blocks.push(take(format!("B{l}"), t_k(l) - t_k(l - 2)));
+        }
+        b_blocks.push(take(format!("B{}", k + 1), t_k(ki) - t_k(ki - 1)));
+        let mut c_blocks = Vec::with_capacity(k);
+        for l in 1..ki {
+            c_blocks.push(take(format!("C{l}"), t_k(l - 1) - t_k(l - 2)));
+        }
+        c_blocks.push(take(format!("C{k}"), t_k(ki) - t_k(ki - 2)));
+        let part = Lemma1Partition {
+            k,
+            tk,
+            b_blocks,
+            c_blocks,
+        };
+        debug_assert_eq!(part.num_objects() as u64, 3 * tk + 1);
+        part
+    }
+
+    /// Total number of objects `S = 3·t_k + 1`.
+    pub fn num_objects(&self) -> usize {
+        self.b_blocks.iter().map(Block::len).sum::<usize>()
+            + self.c_blocks.iter().map(Block::len).sum::<usize>()
+    }
+
+    /// Block `B_l` for `0 ≤ l ≤ k+1`.
+    pub fn b(&self, l: usize) -> &Block {
+        &self.b_blocks[l]
+    }
+
+    /// Block `C_l` for `1 ≤ l ≤ k`.
+    pub fn c(&self, l: usize) -> &Block {
+        assert!((1..=self.k).contains(&l), "C blocks are C1..Ck");
+        &self.c_blocks[l - 1]
+    }
+
+    /// The malicious superblock `M_l = {B_j : 0 ≤ j ≤ l} ∪ {C_j : 1 ≤ j ≤ l}`
+    /// for `l ≤ k−1` (empty whenever `l < 0`, matching the paper's
+    /// `M₋₁ = ∅` convention extended to the `M_{l−3}` uses at small `l`).
+    pub fn m_superblock(&self, l: i64) -> Vec<ObjectId> {
+        assert!(l <= self.k as i64 - 1, "M_l: l ≤ k−1");
+        let mut out = Vec::new();
+        for j in 0..=l {
+            out.extend(self.b(j as usize).members.iter().copied());
+        }
+        for j in 1..=l {
+            out.extend(self.c(j as usize).members.iter().copied());
+        }
+        out
+    }
+
+    /// The parity superblock
+    /// `P_l = {B_j : l ≤ j ≤ k+1 ∧ j ≡ l (mod 2)}` for `1 ≤ l ≤ k+1`.
+    pub fn p_superblock(&self, l: usize) -> Vec<ObjectId> {
+        assert!((1..=self.k + 1).contains(&l), "P_l: 1 ≤ l ≤ k+1");
+        let mut out = Vec::new();
+        let mut j = l;
+        while j <= self.k + 1 {
+            out.extend(self.b(j).members.iter().copied());
+            j += 2;
+        }
+        out
+    }
+
+    /// The correct superblock `C_l = {C_j : l ≤ j ≤ k}` for `1 ≤ l ≤ k`.
+    pub fn c_superblock(&self, l: usize) -> Vec<ObjectId> {
+        assert!((1..=self.k).contains(&l), "C_l: 1 ≤ l ≤ k");
+        (l..=self.k)
+            .flat_map(|j| self.c(j).members.iter().copied())
+            .collect()
+    }
+
+    /// All block labels with sizes, in object order (for diagrams).
+    pub fn layout(&self) -> Vec<(String, usize)> {
+        self.b_blocks
+            .iter()
+            .chain(self.c_blocks.iter())
+            .map(|b| (b.label.clone(), b.len()))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn prop1_sizes() {
+        for t in 1..6 {
+            for s in (3 * t + 1)..=(4 * t) {
+                let p = Prop1Partition::new(s, t);
+                assert_eq!(p.block(1).len(), t);
+                assert_eq!(p.block(2).len(), t);
+                assert_eq!(p.block(3).len(), t);
+                assert_eq!(p.block(4).len(), s - 3 * t);
+                assert!(p.block(4).len() >= 1 && p.block(4).len() <= t);
+                let total: usize = p.blocks().iter().map(Block::len).sum();
+                assert_eq!(total, s);
+            }
+        }
+    }
+
+    #[test]
+    fn prop1_complement_is_reply_quorum() {
+        let p = Prop1Partition::new(4, 1);
+        // Skipping one block leaves exactly S − |block| repliers; skipping a
+        // size-t block leaves S − t (a legal waitable quorum).
+        let repliers = p.complement(&[2]);
+        assert_eq!(repliers.len(), 3);
+        assert!(!repliers.contains(&ObjectId(1)));
+    }
+
+    #[test]
+    #[should_panic(expected = "3t < S ≤ 4t")]
+    fn prop1_rejects_s_above_4t() {
+        let _ = Prop1Partition::new(5, 1);
+    }
+
+    #[test]
+    fn prop1_cyclic_successor() {
+        assert_eq!(Prop1Partition::succ(1), 2);
+        assert_eq!(Prop1Partition::succ(4), 1);
+    }
+
+    #[test]
+    fn lemma1_total_is_3tk_plus_1() {
+        for k in 1..=8 {
+            let p = Lemma1Partition::new(k);
+            assert_eq!(p.num_objects() as u64, 3 * p.tk + 1, "k = {k}");
+        }
+    }
+
+    #[test]
+    fn lemma1_b_union_and_c_union() {
+        for k in 1..=8 {
+            let p = Lemma1Partition::new(k);
+            let b_total: usize = (0..=k + 1).map(|l| p.b(l).len()).sum();
+            let c_total: usize = (1..=k).map(|l| p.c(l).len()).sum();
+            assert_eq!(b_total as u64, 2 * p.tk + 1, "∪B, k = {k}");
+            assert_eq!(c_total as u64, p.tk, "∪C, k = {k}");
+        }
+    }
+
+    #[test]
+    fn c1_is_empty() {
+        for k in 2..=6 {
+            let p = Lemma1Partition::new(k);
+            assert!(p.c(1).is_empty(), "C1 must be empty (k = {k})");
+        }
+    }
+
+    #[test]
+    fn equation_1_malicious_superblock() {
+        for k in 1..=8usize {
+            let p = Lemma1Partition::new(k);
+            assert!(p.m_superblock(-1).is_empty());
+            for l in 0..=(k as i64 - 1) {
+                assert_eq!(
+                    p.m_superblock(l).len() as u64,
+                    t_k(l + 1),
+                    "eq(1) k={k} l={l}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn equation_2_parity_superblock() {
+        for k in 1..=8usize {
+            let p = Lemma1Partition::new(k);
+            for l in 1..=k + 1 {
+                assert_eq!(
+                    p.p_superblock(l).len() as u64,
+                    p.tk - t_k(l as i64 - 2),
+                    "eq(2) k={k} l={l}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn equation_3_correct_superblock() {
+        for k in 1..=8usize {
+            let p = Lemma1Partition::new(k);
+            for l in 1..=k {
+                assert_eq!(
+                    p.c_superblock(l).len() as u64,
+                    p.tk - t_k(l as i64 - 2),
+                    "eq(3) k={k} l={l}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn every_read_skips_exactly_tk_objects() {
+        // "Observe that by equations (1), (2) and (3), a read skips exactly
+        // t_k objects in each round."
+        for k in 2..=7usize {
+            let p = Lemma1Partition::new(k);
+            for l in 1..=k - 1 {
+                // rd_l rounds 1-2 skip M_{l−2} ∪ P_{l+1}.
+                let skip12 =
+                    p.m_superblock(l as i64 - 2).len() + p.p_superblock(l + 1).len();
+                assert_eq!(skip12 as u64, p.tk, "rounds 1-2, k={k} l={l}");
+                // Round 3 skips M_{l−2} ∪ C_{l+1} (C_{l+1} defined for l+1 ≤ k).
+                if l + 1 <= p.k {
+                    let skip3 =
+                        p.m_superblock(l as i64 - 2).len() + p.c_superblock(l + 1).len();
+                    assert_eq!(skip3 as u64, p.tk, "round 3, k={k} l={l}");
+                }
+            }
+            // rd_k skips M_{k−2} ∪ P_{k+1}.
+            let skipk = p.m_superblock(k as i64 - 2).len() + p.p_superblock(k + 1).len();
+            assert_eq!(skipk as u64, p.tk, "rd_k, k={k}");
+        }
+    }
+
+    #[test]
+    fn figure_2_instance_k4() {
+        // The paper's worked example: k = 4, t_4 = 10, S = 31.
+        let p = Lemma1Partition::new(4);
+        assert_eq!(p.tk, 10);
+        assert_eq!(p.num_objects(), 31);
+        assert_eq!(p.b(0).len(), 1);
+        assert_eq!(p.b(1).len(), 1); // t1 − t_{−1} = 1
+        assert_eq!(p.b(2).len(), 2); // t2 − t0 = 2
+        assert_eq!(p.b(3).len(), 4); // t3 − t1 = 4
+        assert_eq!(p.b(4).len(), 8); // t4 − t2 = 8
+        assert_eq!(p.b(5).len(), 5); // t4 − t3 = 5
+        assert_eq!(p.c(1).len(), 0);
+        assert_eq!(p.c(2).len(), 1); // t1 − t0 = 1
+        assert_eq!(p.c(3).len(), 1); // t2 − t1 = 1
+        assert_eq!(p.c(4).len(), 8); // t4 − t2 = 8
+    }
+
+    #[test]
+    fn blocks_partition_disjointly() {
+        let p = Lemma1Partition::new(5);
+        let mut seen = std::collections::HashSet::new();
+        for (label, _) in p.layout() {
+            let members = if let Some(stripped) = label.strip_prefix('B') {
+                p.b(stripped.parse::<usize>().unwrap()).members.clone()
+            } else {
+                p.c(label[1..].parse::<usize>().unwrap()).members.clone()
+            };
+            for m in members {
+                assert!(seen.insert(m), "object {m} in two blocks");
+            }
+        }
+        assert_eq!(seen.len(), p.num_objects());
+    }
+}

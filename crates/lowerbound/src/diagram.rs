@@ -1,0 +1,139 @@
+//! ASCII block diagrams in the style of the paper's Figures 1 and 2.
+//!
+//! A run diagram has one row per block and one column per operation round;
+//! a filled cell means the round does not skip the block (the paper draws a
+//! rectangle), `@` marks malicious blocks, and `·` marks skipped cells.
+
+use crate::blocks::{Lemma1Partition, Prop1Partition};
+use crate::prop1::RunSpec;
+
+/// Render the Proposition 1 run `spec` as a Figure-1-style diagram.
+pub fn render_prop1(partition: &Prop1Partition, spec: &RunSpec) -> String {
+    let mut out = String::new();
+    out.push_str(&format!("=== {} ===\n", spec.name));
+    // Column headers: write rounds then reads.
+    let mut header = String::from("        write:");
+    for r in 1..=spec.full_write_rounds {
+        header.push_str(&format!(" w{r}"));
+    }
+    if !spec.partial_round_blocks.is_empty() {
+        header.push_str(&format!(" (w{})", spec.full_write_rounds + 1));
+    }
+    for rd in &spec.reads {
+        header.push_str(&format!(
+            " | rd{}({})",
+            rd.generation,
+            if rd.complete { "✓" } else { "…" }
+        ));
+    }
+    out.push_str(&header);
+    out.push('\n');
+    for b in 1..=4usize {
+        let label = &partition.block(b).label;
+        let mal = spec.malicious_block == Some(b);
+        let mut row = format!("{label}{}  ", if mal { "@" } else { " " });
+        // Write columns: B4 never receives the write; partial round only
+        // reaches its listed blocks.
+        for _r in 1..=spec.full_write_rounds {
+            row.push_str(if b == 4 { "  ·" } else { "  #" });
+        }
+        if !spec.partial_round_blocks.is_empty() {
+            row.push_str(if spec.partial_round_blocks.contains(&b) {
+                "   #"
+            } else {
+                "   ·"
+            });
+        }
+        for rd in &spec.reads {
+            let r1 = if rd.skip_round1 == b { '·' } else { '#' };
+            let r2 = if rd.skip_round2 == b { '·' } else { '#' };
+            row.push_str(&format!(" |  {r1}{r2}   "));
+        }
+        if mal {
+            row.push_str(&format!("   forges σ{}", spec.forged_level));
+        }
+        out.push_str(&row);
+        out.push('\n');
+    }
+    out
+}
+
+/// Render the Lemma 1 partition layout (the row structure of Figure 2).
+pub fn render_lemma1_layout(partition: &Lemma1Partition) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "Lemma 1 partition, k = {}, t_k = {}, S = {}\n",
+        partition.k,
+        partition.tk,
+        partition.num_objects()
+    ));
+    for (label, size) in partition.layout() {
+        out.push_str(&format!("  {label:<5} {size:>3} object(s)  {}\n", "▮".repeat(size.min(40))));
+    }
+    out
+}
+
+/// Render a Lemma 1 superblock membership table for the figure's legend.
+pub fn render_lemma1_superblocks(partition: &Lemma1Partition) -> String {
+    let k = partition.k;
+    let mut out = String::new();
+    for l in 0..=(k as i64 - 1) {
+        out.push_str(&format!(
+            "  M_{l:<2} |{:>4}| = t_{} \n",
+            partition.m_superblock(l).len(),
+            l + 1
+        ));
+    }
+    for l in 1..=k + 1 {
+        out.push_str(&format!(
+            "  P_{l:<2} |{:>4}| = t_k − t_{}\n",
+            partition.p_superblock(l).len(),
+            l as i64 - 2
+        ));
+    }
+    for l in 1..=k {
+        out.push_str(&format!(
+            "  C_{l:<2} |{:>4}| = t_k − t_{}\n",
+            partition.c_superblock(l).len(),
+            l as i64 - 2
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::prop1::Prop1Schedule;
+
+    #[test]
+    fn prop1_diagram_marks_malicious_and_skips() {
+        let sched = Prop1Schedule::new(2, 4, 1);
+        let d = render_prop1(&sched.partition, &sched.pr(1));
+        assert!(d.contains("pr1"));
+        assert!(d.contains("B1@"), "B1 malicious in pr1:\n{d}");
+        assert!(d.contains("forges σ1"));
+        // B4 receives no write round.
+        let b4_line = d.lines().find(|l| l.starts_with("B4")).unwrap();
+        assert!(b4_line.contains('·'));
+    }
+
+    #[test]
+    fn lemma1_layout_lists_all_blocks() {
+        let p = Lemma1Partition::new(4);
+        let d = render_lemma1_layout(&p);
+        for label in ["B0", "B1", "B5", "C2", "C4"] {
+            assert!(d.contains(label), "{label} missing:\n{d}");
+        }
+        assert!(d.contains("t_k = 10"));
+    }
+
+    #[test]
+    fn superblock_table_renders() {
+        let p = Lemma1Partition::new(3);
+        let d = render_lemma1_superblocks(&p);
+        assert!(d.contains("M_0"));
+        assert!(d.contains("P_4"));
+        assert!(d.contains("C_3"));
+    }
+}

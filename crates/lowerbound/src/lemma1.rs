@@ -1,0 +1,485 @@
+//! Executable Lemma 1 / Proposition 2: the write lower bound (paper,
+//! Section 4).
+//!
+//! > Let `k ≥ 1`, `t₋₁ = t₀ = 0` and `t_k = t_{k−1} + 2t_{k−2} + 1`. There
+//! > is no implementation of a k-reader atomic storage with `3t_k + 1`
+//! > objects and `t_k` faults such that the write completes in `k` rounds
+//! > and the read completes in three rounds.
+//!
+//! Together with the closed form (Lemma 2) this yields `k = Ω(log t)`:
+//! 3-round reads force logarithmically many write rounds.
+//!
+//! This module provides:
+//!
+//! * [`Lemma1Schedule`] — the full run family as data: the `prinit`
+//!   initialization (k incomplete reads of type `inc1`), the partial writes
+//!   `wr^{k−i}`, the appended reads `pr_l`, the mimicking runs `@pr_{l−1}` /
+//!   `prC_l` and the deletion runs `∆pr_l`, with every skip-set and
+//!   malicious-superblock cardinality machine-checked against equations
+//!   (1)–(3) (`|malicious| = t_k` exactly in every `@pr` run);
+//! * [`execute_first_pair`] — a mechanical replay of the proof's key step,
+//!   the indistinguishability `pr_1 ∼ prC_1`: reader `r_1` receives
+//!   byte-identical transcripts in a run where `write(1)`'s k-th round was
+//!   deleted and in a run where the write completed but superblock `P_1`
+//!   (exactly `t_k` objects) maliciously mimics the deletion. Atomicity
+//!   forces the read to return 1 in `prC_1`; indistinguishability forces it
+//!   in `pr_1` — the first domino of the induction that ends with a read
+//!   returning 1 in a run with no write.
+//!
+//! Executable-instance notes: the protocol under test is the naive
+//! `k`-round-write / 3-round-read protocol of [`crate::naive`], whose reads
+//! do not write; hence the paper's `σ^l_0` / `σ^r_j` states collapse onto
+//! plain write-prefix states, exactly as documented for Proposition 1.
+
+use crate::blocks::Lemma1Partition;
+use crate::naive::{sigma_snapshot, NaiveReadClient, NaiveWriteClient};
+use crate::recurrence::t_k;
+use rastor_common::{ClientId, ClusterConfig, FaultModel, ObjectId, OpKind, Timestamp, TsVal, Value};
+use rastor_core::adversary::{ForgeRule, StateForgerObject};
+use rastor_core::clients::OpOutput;
+use rastor_core::msg::{Rep, Req};
+use rastor_core::object::HonestObject;
+use rastor_sim::control::Rule;
+use rastor_sim::{MsgDir, ScriptedController, Sim, SimConfig, Verdict};
+
+/// The three incomplete-read types of the proof.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum IncType {
+    /// Round 1 not terminated; skips all blocks except `P_l`.
+    Inc1,
+    /// Round 1 terminated, round 2 not; skips all blocks except `C_l`.
+    Inc2,
+    /// Round 2 terminated, round 3 not; skips `M_{l−2} ∪ C_{l+1} ∪ P_{l+1}`.
+    Inc3,
+}
+
+/// Skip-sets of read `rd_l` per round, as object lists.
+#[derive(Clone, Debug)]
+pub struct ReadPattern {
+    /// Read index `l` (1-based; reader `r_l`).
+    pub l: usize,
+    /// Objects skipped in rounds one and two.
+    pub skip_rounds_1_2: Vec<ObjectId>,
+    /// Objects skipped in round three.
+    pub skip_round_3: Vec<ObjectId>,
+}
+
+/// Descriptor of one run in the Lemma 1 family (structural data for
+/// diagrams and invariant checks).
+#[derive(Clone, Debug)]
+pub struct Lemma1Run {
+    /// Run name (`pr2`, `@pr1`, `prC2`, `∆pr2`, …).
+    pub name: String,
+    /// Index `l` of the appended read.
+    pub l: usize,
+    /// Number of terminated write rounds.
+    pub write_rounds_terminated: u32,
+    /// Whether the write completes in this run.
+    pub write_complete: bool,
+    /// Whether the write is invoked at all.
+    pub write_invoked: bool,
+    /// The malicious objects of this run.
+    pub malicious: Vec<ObjectId>,
+}
+
+/// The Lemma 1 run-family generator for a given `k`.
+#[derive(Clone, Debug)]
+pub struct Lemma1Schedule {
+    /// The write-round parameter (also the number of readers).
+    pub k: usize,
+    /// The partition over `S = 3·t_k + 1` objects.
+    pub partition: Lemma1Partition,
+}
+
+impl Lemma1Schedule {
+    /// Build the schedule for `k ≥ 2` (`k = 1` is the base case proven in
+    /// the paper's reference \[1\]).
+    pub fn new(k: usize) -> Lemma1Schedule {
+        assert!(k >= 2, "Lemma 1's construction assumes k ≥ 2");
+        Lemma1Schedule {
+            k,
+            partition: Lemma1Partition::new(k),
+        }
+    }
+
+    /// The fault budget `t_k`.
+    pub fn tk(&self) -> u64 {
+        self.partition.tk
+    }
+
+    /// Number of objects `S = 3t_k + 1`.
+    pub fn num_objects(&self) -> usize {
+        self.partition.num_objects()
+    }
+
+    /// The skip pattern of complete read `rd_l` (paper, "Read patterns").
+    pub fn read_pattern(&self, l: usize) -> ReadPattern {
+        assert!((1..=self.k).contains(&l));
+        let p = &self.partition;
+        if l == self.k {
+            // rd_k skips M_{k−2} ∪ P_{k+1} in every round.
+            let mut skip = p.m_superblock(self.k as i64 - 2);
+            skip.extend(p.p_superblock(self.k + 1));
+            ReadPattern {
+                l,
+                skip_rounds_1_2: skip.clone(),
+                skip_round_3: skip,
+            }
+        } else {
+            let mut s12 = p.m_superblock(l as i64 - 2);
+            s12.extend(p.p_superblock(l + 1));
+            let mut s3 = p.m_superblock(l as i64 - 2);
+            s3.extend(p.c_superblock(l + 1));
+            ReadPattern {
+                l,
+                skip_rounds_1_2: s12,
+                skip_round_3: s3,
+            }
+        }
+    }
+
+    /// The malicious set of run `@pr_{l−1}` (equivalently `prC_l`):
+    /// `M_{l−3} ∪ P_l` — exactly `t_k` objects (paper: by equations (1)
+    /// and (2), `t_k − t_{l−2} + t_{l−2} = t_k`).
+    pub fn mimic_malicious(&self, l: usize) -> Vec<ObjectId> {
+        assert!((1..=self.k).contains(&l));
+        let mut out = self.partition.m_superblock(l as i64 - 3);
+        out.extend(self.partition.p_superblock(l));
+        out
+    }
+
+    /// Descriptor of run `pr_l` (malicious: `M_{l−2}`).
+    pub fn pr(&self, l: usize) -> Lemma1Run {
+        assert!((1..=self.k).contains(&l));
+        Lemma1Run {
+            name: format!("pr{l}"),
+            l,
+            write_rounds_terminated: (self.k - l) as u32,
+            write_complete: false,
+            write_invoked: true,
+            malicious: self.partition.m_superblock(l as i64 - 2),
+        }
+    }
+
+    /// Descriptor of run `prC_l` (malicious: `M_{l−3} ∪ P_l`; write
+    /// complete for `l = 1`, inherited partial otherwise).
+    pub fn pr_c(&self, l: usize) -> Lemma1Run {
+        assert!((1..=self.k).contains(&l));
+        Lemma1Run {
+            name: format!("prC{l}"),
+            l,
+            write_rounds_terminated: if l == 1 {
+                self.k as u32
+            } else {
+                (self.k - l + 1) as u32
+            },
+            write_complete: l == 1,
+            write_invoked: true,
+            malicious: self.mimic_malicious(l),
+        }
+    }
+
+    /// Descriptor of run `∆pr_l` (malicious: `M_{l−1}`; for `l = k` no
+    /// write is invoked — the contradiction run).
+    pub fn delta(&self, l: usize) -> Lemma1Run {
+        assert!((1..=self.k).contains(&l));
+        let no_write = l == self.k;
+        Lemma1Run {
+            name: format!("∆pr{l}"),
+            l,
+            write_rounds_terminated: if no_write {
+                0
+            } else {
+                (self.k - l - 1) as u32
+            },
+            write_complete: false,
+            write_invoked: !no_write,
+            malicious: self.partition.m_superblock(l as i64 - 1),
+        }
+    }
+
+    /// Machine-check the cardinality invariants the proof relies on.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first violated invariant.
+    pub fn check_invariants(&self) -> Result<(), String> {
+        let tk = self.tk();
+        let s = self.num_objects();
+        for l in 1..=self.k {
+            // Every read round skips exactly t_k objects (so S − t_k
+            // repliers remain — a legal quorum).
+            let pat = self.read_pattern(l);
+            if pat.skip_rounds_1_2.len() as u64 != tk {
+                return Err(format!(
+                    "rd{l} rounds 1-2 skip {} ≠ t_k = {tk}",
+                    pat.skip_rounds_1_2.len()
+                ));
+            }
+            if pat.skip_round_3.len() as u64 != tk {
+                return Err(format!(
+                    "rd{l} round 3 skips {} ≠ t_k = {tk}",
+                    pat.skip_round_3.len()
+                ));
+            }
+            // Malicious budgets: pr_l uses |M_{l−2}| = t_{l−1} ≤ t_k;
+            // prC_l uses exactly t_k; ∆pr_l uses |M_{l−1}| = t_l ≤ t_k.
+            let pr = self.pr(l);
+            if pr.malicious.len() as u64 != t_k(l as i64 - 1) {
+                return Err(format!("{}: |M_{}| wrong", pr.name, l as i64 - 2));
+            }
+            let prc = self.pr_c(l);
+            if prc.malicious.len() as u64 != tk {
+                return Err(format!(
+                    "{}: mimic set has {} ≠ t_k = {tk}",
+                    prc.name,
+                    prc.malicious.len()
+                ));
+            }
+            let delta = self.delta(l);
+            if delta.malicious.len() as u64 != t_k(l as i64) {
+                return Err(format!("{}: |M_{}| wrong", delta.name, l as i64 - 1));
+            }
+        }
+        // The write's quorum: skipping all C blocks leaves ∪B = 2t_k+1 =
+        // S − t_k ackers.
+        let b_total: usize = (0..=self.k + 1).map(|j| self.partition.b(j).len()).sum();
+        if b_total != s - tk as usize {
+            return Err(format!("∪B = {b_total} ≠ S − t_k"));
+        }
+        // ∆pr_k invokes no write.
+        if self.delta(self.k).write_invoked {
+            return Err("∆pr_k must contain no write".into());
+        }
+        Ok(())
+    }
+}
+
+/// Result of mechanically executing the `pr_1 ∼ prC_1` indistinguishability
+/// step.
+#[derive(Clone, Debug)]
+pub struct FirstPairReport {
+    /// The `k` parameter.
+    pub k: usize,
+    /// `r_1`'s transcript in `pr_1` (write round `k` deleted, all correct).
+    pub transcript_pr1: Vec<String>,
+    /// `r_1`'s transcript in `prC_1` (write complete, `P_1` mimics).
+    pub transcript_prc1: Vec<String>,
+    /// The value `rd_1` returned in `pr_1`.
+    pub returned_pr1: Option<TsVal>,
+    /// The value `rd_1` returned in `prC_1`.
+    pub returned_prc1: Option<TsVal>,
+}
+
+impl FirstPairReport {
+    /// Whether the two runs are indistinguishable to `r_1`.
+    pub fn indistinguishable(&self) -> bool {
+        self.transcript_pr1 == self.transcript_prc1
+            && self.returned_pr1 == self.returned_prc1
+    }
+}
+
+/// The value written by `write(1)`.
+fn pair_one() -> TsVal {
+    TsVal::new(Timestamp(1), Value::from_u64(1))
+}
+
+const LAG: u64 = 100_000; // "in transit" delivery time for prinit requests
+const T_WRITE: u64 = 1_000;
+
+/// Build and run `pr_1` (mimic = false) or `prC_1` (mimic = true).
+fn run_first(schedule: &Lemma1Schedule, mimic: bool) -> (Vec<String>, Option<TsVal>) {
+    let k = schedule.k;
+    let part = &schedule.partition;
+    let s = schedule.num_objects();
+    let tk = schedule.tk() as usize;
+    let cfg = ClusterConfig::new_unchecked(s, tk, FaultModel::Byzantine);
+
+    let p1: Vec<ObjectId> = part.p_superblock(1);
+    let p2: Vec<ObjectId> = part.p_superblock(2);
+    let c_all: Vec<ObjectId> = part.c_superblock(1);
+    let c2: Vec<ObjectId> = if k >= 2 { part.c_superblock(2) } else { vec![] };
+
+    let mut controller = ScriptedController::new();
+    // The write always skips every C block.
+    controller.push(
+        Rule::hold(MsgDir::Request)
+            .client(ClientId::writer())
+            .objects(c_all.clone()),
+    );
+    if !mimic {
+        // pr_1 extends wr^{k−1}: round k is sent but not terminated — its
+        // requests reach B0 ∪ P_2 (skipping C1 ∪ P_1), its acks stay in
+        // transit.
+        controller.push(
+            Rule::hold(MsgDir::Request)
+                .client(ClientId::writer())
+                .round(k as u32)
+                .objects(p1.clone()),
+        );
+        controller.push(
+            Rule::hold(MsgDir::Reply)
+                .client(ClientId::writer())
+                .round(k as u32),
+        );
+    }
+    // rd_1, round 1: requests to P_1 deliver immediately (they were sent in
+    // prinit, before the write); requests to all other blocks linger in
+    // transit until after the write; requests to P_2 are skipped entirely.
+    let r1 = ClientId::reader(0);
+    controller.push(
+        Rule::hold(MsgDir::Request)
+            .client(r1)
+            .round(1)
+            .objects(p2.clone()),
+    );
+    let not_p1_not_p2: Vec<ObjectId> = (0..s as u32)
+        .map(ObjectId)
+        .filter(|o| !p1.contains(o) && !p2.contains(o))
+        .collect();
+    controller.push(
+        Rule {
+            dir: Some(MsgDir::Request),
+            client: Some(r1),
+            object: None,
+            objects: not_p1_not_p2,
+            op_seq: None,
+            round: Some(1),
+            verdict: Verdict::DeliverAt(LAG),
+            extra_delay: None,
+        },
+    );
+    // Rounds 2: skip P_2 again. Round 3: skip C_2 (for k ≥ 2).
+    controller.push(
+        Rule::hold(MsgDir::Request)
+            .client(r1)
+            .round(2)
+            .objects(p2.clone()),
+    );
+    controller.push(
+        Rule::hold(MsgDir::Request)
+            .client(r1)
+            .round(3)
+            .objects(c2),
+    );
+
+    let mut sim: Sim<Req, Rep, OpOutput> =
+        Sim::with_controller(SimConfig::default(), Box::new(controller));
+    for oid in 0..s as u32 {
+        let oid = ObjectId(oid);
+        if mimic && p1.contains(&oid) {
+            // prC_1: P_1 is malicious. Its first reply to rd_1 mimics the
+            // pre-write σ₀ state (which is also its genuine state at that
+            // moment); every later reply mimics σ_{k−1}, hiding round k.
+            let mut forger = StateForgerObject::new();
+            forger.add_rule(ForgeRule {
+                client: r1,
+                from_nth: 2,
+                to_nth: u32::MAX,
+                snapshot: sigma_snapshot(k as u32 - 1, &pair_one()),
+            });
+            sim.add_object(Box::new(forger));
+        } else {
+            sim.add_object(Box::new(HonestObject::new()));
+        }
+    }
+    // rd_1 starts in prinit (before the write).
+    sim.invoke_at(
+        10,
+        r1,
+        OpKind::Read,
+        Box::new(NaiveReadClient::new(cfg, k as u32, 3)),
+    );
+    sim.invoke_at(
+        T_WRITE,
+        ClientId::writer(),
+        OpKind::Write,
+        Box::new(NaiveWriteClient::new(cfg, k as u32, pair_one())),
+    );
+    let completions = sim.run_to_quiescence();
+    let ret = completions
+        .iter()
+        .find(|c| c.client == r1)
+        .and_then(|c| match &c.output {
+            OpOutput::Read(p) => Some(p.clone()),
+            OpOutput::Wrote(_) => None,
+        });
+    (sim.trace().transcript_of(r1), ret)
+}
+
+/// Execute the `pr_1 ∼ prC_1` pair for a given `k ≥ 2`.
+pub fn execute_first_pair(k: usize) -> FirstPairReport {
+    let schedule = Lemma1Schedule::new(k);
+    schedule.check_invariants().expect("invariants hold");
+    let (transcript_pr1, returned_pr1) = run_first(&schedule, false);
+    let (transcript_prc1, returned_prc1) = run_first(&schedule, true);
+    FirstPairReport {
+        k,
+        transcript_pr1,
+        transcript_prc1,
+        returned_pr1,
+        returned_prc1,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn schedule_invariants_hold() {
+        for k in 2..=7 {
+            Lemma1Schedule::new(k).check_invariants().unwrap();
+        }
+    }
+
+    #[test]
+    fn figure_2_shape_for_k4() {
+        let s = Lemma1Schedule::new(4);
+        assert_eq!(s.tk(), 10);
+        assert_eq!(s.num_objects(), 31);
+        // rd_1 skips P_2 (rounds 1-2): {B2, B4} = 2 + 8 = 10 = t_k.
+        let pat = s.read_pattern(1);
+        assert_eq!(pat.skip_rounds_1_2.len(), 10);
+        // rd_4 skips M_2 ∪ P_5 = {B0,B1,B2,C1,C2} ∪ {B5} = 5 + 5 = 10.
+        let pat4 = s.read_pattern(4);
+        assert_eq!(pat4.skip_rounds_1_2.len(), 10);
+        // The mimic set of prC_1 is P_1 alone: {B1,B3,B5} = 1+4+5 = 10.
+        assert_eq!(s.mimic_malicious(1).len(), 10);
+    }
+
+    #[test]
+    fn malicious_counts_match_recurrence() {
+        let s = Lemma1Schedule::new(5);
+        for l in 1..=5usize {
+            assert_eq!(s.pr(l).malicious.len() as u64, t_k(l as i64 - 1));
+            assert_eq!(s.pr_c(l).malicious.len() as u64, s.tk());
+            assert_eq!(s.delta(l).malicious.len() as u64, t_k(l as i64));
+        }
+    }
+
+    #[test]
+    fn contradiction_run_has_no_write() {
+        let s = Lemma1Schedule::new(3);
+        assert!(!s.delta(3).write_invoked);
+        assert!(s.delta(2).write_invoked);
+    }
+
+    #[test]
+    fn first_pair_is_indistinguishable_and_returns_one() {
+        for k in 2..=4 {
+            let report = execute_first_pair(k);
+            assert!(
+                report.indistinguishable(),
+                "k={k}: transcripts differ:\n pr1: {:?}\nprC1: {:?}",
+                report.transcript_pr1,
+                report.transcript_prc1
+            );
+            assert_eq!(
+                report.returned_pr1.as_ref(),
+                Some(&pair_one()),
+                "k={k}: rd_1 must return 1 in pr_1 (write round k deleted)"
+            );
+        }
+    }
+}

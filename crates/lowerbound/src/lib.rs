@@ -1,0 +1,46 @@
+//! # rastor-lowerbound
+//!
+//! The lower-bound machinery of *"The Complexity of Robust Atomic Storage"*
+//! (PODC 2011) as executable artifacts:
+//!
+//! * [`recurrence`] — the Lemma 1 fault-budget recurrence
+//!   `t_k = t_{k−1} + 2t_{k−2} + 1`, its closed form and the headline
+//!   inversion `k_max(t) = ⌊log₂⌈(3t+1)/2⌉⌋` (writes need Ω(log t) rounds
+//!   when reads take three).
+//! * [`blocks`] — the object-block partitions of both proofs and the
+//!   malicious/parity/correct superblocks with the cardinality equations
+//!   (1)–(3) machine-checked.
+//! * [`naive`] — the protocol-under-test: a generic k-round-write /
+//!   r-round-read quorum register the adversaries defeat.
+//! * [`prop1`] — Proposition 1 (no 2-round reads at `S ≤ 4t` with `R > 3`):
+//!   the full Figure-1 run family as data plus a mechanical executor that
+//!   replays every `(pr_g, ∆pr_g)` pair, checks transcript
+//!   indistinguishability, and locates the forced atomicity violation.
+//! * [`lemma1`] — Lemma 1 / Proposition 2 (3-round reads force Ω(log t)
+//!   write rounds): the Figure-2 run family with exact malicious budgets,
+//!   plus a mechanical replay of the key `pr_1 ∼ prC_1`
+//!   indistinguishability step.
+//! * [`diagram`] — ASCII renderings of Figures 1 and 2.
+//!
+//! ```
+//! use rastor_lowerbound::recurrence::{k_max, t_k};
+//!
+//! // Lemma 2: with t = 10 faults, 3-round reads force ≥ 4 write rounds.
+//! assert_eq!(t_k(4), 10);
+//! assert_eq!(k_max(10), 4);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod blocks;
+pub mod diagram;
+pub mod lemma1;
+pub mod naive;
+pub mod prop1;
+pub mod recurrence;
+
+pub use blocks::{Lemma1Partition, Prop1Partition};
+pub use lemma1::Lemma1Schedule;
+pub use prop1::{Prop1Report, Prop1Schedule};
+pub use recurrence::{k_max, t_k, t_k_closed};

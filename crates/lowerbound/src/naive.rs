@@ -1,0 +1,290 @@
+//! The protocol-under-test for the lower-bound executors: a generic
+//! `k`-round-write / `r`-round-read register emulation.
+//!
+//! The lower bounds quantify over *all* implementations with a given round
+//! structure; to demonstrate them mechanically we need a concrete
+//! representative to feed to the adversary. This "naive" protocol is the
+//! natural quorum design a practitioner would write first:
+//!
+//! * **write(v)**: `k` rounds; round `i` stores the pair into logical
+//!   register `Writer(i)` and awaits `S − t` acks (each round leaves a
+//!   distinguishable trace, so the proofs' per-round state deletions are
+//!   observable);
+//! * **read()**: exactly `r` collect rounds, each awaiting `S − t`
+//!   *fresh* replies; then it returns the maximum pair vouched for by
+//!   ≥ t+1 distinct objects (any round register), or ⊥ if none.
+//!
+//! On a cluster with `S ≥ 4t + 1` this read rule is safe (any reply set of
+//! `S − t` intersects the write's ack quorum in ≥ t+1 *correct* objects);
+//! the lower-bound executors demonstrate that at `S ≤ 4t` (Proposition 1)
+//! the adversary's run constructions defeat it — as they must defeat every
+//! protocol with this round structure.
+
+use rastor_common::{ClusterConfig, ObjectId, RegId, TsVal};
+use rastor_core::clients::OpOutput;
+use rastor_core::msg::{AckKind, ObjectView, Rep, Req, Stamped};
+use rastor_core::object::HonestObject;
+use rastor_sim::{ClientAction, RoundClient};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Logical register recording the `i`-th write round (1-based).
+pub fn round_reg(i: u32) -> RegId {
+    RegId::Writer(i)
+}
+
+/// All round registers of a `k`-round write.
+pub fn round_regs(k: u32) -> Vec<RegId> {
+    (1..=k).map(round_reg).collect()
+}
+
+/// The naive `k`-round write client.
+#[derive(Debug)]
+pub struct NaiveWriteClient {
+    cfg: ClusterConfig,
+    k: u32,
+    pair: Stamped,
+    round: u32,
+    acks: BTreeSet<ObjectId>,
+}
+
+impl NaiveWriteClient {
+    /// Write `pair` using `k ≥ 1` store rounds.
+    pub fn new(cfg: ClusterConfig, k: u32, pair: TsVal) -> NaiveWriteClient {
+        assert!(k >= 1, "writes need at least one round");
+        NaiveWriteClient {
+            cfg,
+            k,
+            pair: Stamped::plain(pair),
+            round: 1,
+            acks: BTreeSet::new(),
+        }
+    }
+}
+
+impl RoundClient<Req, Rep> for NaiveWriteClient {
+    type Out = OpOutput;
+
+    fn start(&mut self) -> Req {
+        Req::Store {
+            reg: round_reg(1),
+            pair: self.pair.clone(),
+        }
+    }
+
+    fn on_reply(&mut self, from: ObjectId, round: u32, reply: &Rep) -> ClientAction<Req, OpOutput> {
+        if round == self.round && reply.is_ack(round_reg(self.round), AckKind::Store) {
+            self.acks.insert(from);
+        }
+        if self.acks.len() < self.cfg.quorum() {
+            return ClientAction::Wait;
+        }
+        if self.round == self.k {
+            ClientAction::Complete(OpOutput::Wrote(self.pair.pair.clone()))
+        } else {
+            self.round += 1;
+            self.acks.clear();
+            ClientAction::NextRound(Req::Store {
+                reg: round_reg(self.round),
+                pair: self.pair.clone(),
+            })
+        }
+    }
+}
+
+/// The naive fixed-round-count read client.
+#[derive(Debug)]
+pub struct NaiveReadClient {
+    cfg: ClusterConfig,
+    k: u32,
+    rounds: u32,
+    round: u32,
+    fresh: BTreeSet<ObjectId>,
+    views: BTreeMap<ObjectId, BTreeMap<RegId, ObjectView>>,
+}
+
+impl NaiveReadClient {
+    /// A read completing in exactly `rounds` collect rounds over the round
+    /// registers of a `k`-round write.
+    pub fn new(cfg: ClusterConfig, k: u32, rounds: u32) -> NaiveReadClient {
+        assert!(rounds >= 1, "reads need at least one round");
+        NaiveReadClient {
+            cfg,
+            k,
+            rounds,
+            round: 1,
+            fresh: BTreeSet::new(),
+            views: BTreeMap::new(),
+        }
+    }
+
+    fn collect(&self) -> Req {
+        Req::Collect {
+            regs: round_regs(self.k),
+        }
+    }
+
+    fn decide(&self) -> TsVal {
+        let mut occ: BTreeMap<TsVal, BTreeSet<ObjectId>> = BTreeMap::new();
+        for (oid, regs) in &self.views {
+            for view in regs.values() {
+                for s in view.pairs() {
+                    if !s.pair.is_bottom() {
+                        occ.entry(s.pair.clone()).or_default().insert(*oid);
+                    }
+                }
+            }
+        }
+        occ.iter()
+            .rev()
+            .find(|(_, who)| who.len() >= self.cfg.vouch())
+            .map(|(p, _)| p.clone())
+            .unwrap_or_else(TsVal::bottom)
+    }
+}
+
+impl RoundClient<Req, Rep> for NaiveReadClient {
+    type Out = OpOutput;
+
+    fn start(&mut self) -> Req {
+        self.collect()
+    }
+
+    fn on_reply(&mut self, from: ObjectId, round: u32, reply: &Rep) -> ClientAction<Req, OpOutput> {
+        if let Rep::Views { views } = reply {
+            let entry = self.views.entry(from).or_default();
+            for (reg, view) in views {
+                entry.insert(*reg, view.clone());
+            }
+            if round == self.round {
+                self.fresh.insert(from);
+            }
+        }
+        if self.fresh.len() < self.cfg.quorum() {
+            return ClientAction::Wait;
+        }
+        if self.round < self.rounds {
+            self.round += 1;
+            self.fresh.clear();
+            ClientAction::NextRound(self.collect())
+        } else {
+            ClientAction::Complete(OpOutput::Read(self.decide()))
+        }
+    }
+}
+
+/// Build the σ-level snapshot of an honest object: the state after write
+/// rounds `1..=level` of `write(pair)` have been applied (level 0 = initial
+/// state σ₀).
+pub fn sigma_snapshot(level: u32, pair: &TsVal) -> HonestObject {
+    let mut obj = HonestObject::new();
+    for i in 1..=level {
+        obj.apply(&Req::Store {
+            reg: round_reg(i),
+            pair: Stamped::plain(pair.clone()),
+        });
+    }
+    obj
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rastor_common::{ClientId, OpKind, Timestamp, Value};
+    use rastor_sim::{Sim, SimConfig};
+
+    fn pair1() -> TsVal {
+        TsVal::new(Timestamp(1), Value::from_u64(1))
+    }
+
+    fn sim_with_honest(n: usize) -> Sim<Req, Rep, OpOutput> {
+        let mut sim = Sim::new(SimConfig::default());
+        for _ in 0..n {
+            sim.add_object(Box::new(HonestObject::new()));
+        }
+        sim
+    }
+
+    #[test]
+    fn naive_write_uses_k_rounds() {
+        for k in 1..=4 {
+            let cfg = ClusterConfig::new_unchecked(4, 1, rastor_common::FaultModel::Byzantine);
+            let mut sim = sim_with_honest(4);
+            sim.invoke_at(
+                0,
+                ClientId::writer(),
+                OpKind::Write,
+                Box::new(NaiveWriteClient::new(cfg, k, pair1())),
+            );
+            let done = sim.run_to_quiescence();
+            assert_eq!(done[0].stat.rounds.get(), k);
+        }
+    }
+
+    #[test]
+    fn naive_read_uses_fixed_rounds_and_finds_value() {
+        let cfg = ClusterConfig::new_unchecked(4, 1, rastor_common::FaultModel::Byzantine);
+        let mut sim = sim_with_honest(4);
+        sim.invoke_at(
+            0,
+            ClientId::writer(),
+            OpKind::Write,
+            Box::new(NaiveWriteClient::new(cfg, 2, pair1())),
+        );
+        sim.invoke_at(
+            100,
+            ClientId::reader(0),
+            OpKind::Read,
+            Box::new(NaiveReadClient::new(cfg, 2, 2)),
+        );
+        let done = sim.run_to_quiescence();
+        assert_eq!(done[1].stat.rounds.get(), 2);
+        assert_eq!(done[1].output, OpOutput::Read(pair1()));
+    }
+
+    #[test]
+    fn naive_read_is_safe_at_4t_plus_1() {
+        // With S = 4t+1 the naive read is immune to the denial attack:
+        // any S−t reply set shares ≥ t+1 correct objects with the write's
+        // ack quorum.
+        let cfg = ClusterConfig::new_unchecked(5, 1, rastor_common::FaultModel::Byzantine);
+        let mut sim = sim_with_honest(5);
+        sim.invoke_at(
+            0,
+            ClientId::writer(),
+            OpKind::Write,
+            Box::new(NaiveWriteClient::new(cfg, 2, pair1())),
+        );
+        sim.invoke_at(
+            100,
+            ClientId::reader(0),
+            OpKind::Read,
+            Box::new(NaiveReadClient::new(cfg, 2, 2)),
+        );
+        let done = sim.run_to_quiescence();
+        assert_eq!(done[1].output, OpOutput::Read(pair1()));
+    }
+
+    #[test]
+    fn sigma_snapshot_levels() {
+        let s0 = sigma_snapshot(0, &pair1());
+        assert!(s0.view_of(round_reg(1)).w.pair.is_bottom());
+        let s2 = sigma_snapshot(2, &pair1());
+        assert_eq!(s2.view_of(round_reg(1)).w.pair, pair1());
+        assert_eq!(s2.view_of(round_reg(2)).w.pair, pair1());
+        assert!(s2.view_of(round_reg(3)).w.pair.is_bottom());
+    }
+
+    #[test]
+    fn naive_read_returns_bottom_without_vouchers() {
+        let cfg = ClusterConfig::new_unchecked(4, 1, rastor_common::FaultModel::Byzantine);
+        let mut sim = sim_with_honest(4);
+        sim.invoke_at(
+            0,
+            ClientId::reader(0),
+            OpKind::Read,
+            Box::new(NaiveReadClient::new(cfg, 2, 2)),
+        );
+        let done = sim.run_to_quiescence();
+        assert_eq!(done[0].output, OpOutput::Read(TsVal::bottom()));
+    }
+}

@@ -1,0 +1,600 @@
+//! Executable Proposition 1: the read lower bound (paper, Section 3).
+//!
+//! > If `S ≤ 4t` and `R > 3`, then no read implementation of a SWMR atomic
+//! > register exists that completes in two rounds.
+//!
+//! The proof constructs a chain of partial runs (Figure 1): a complete
+//! `write(1)` followed by reads appended one at a time, each skipping one
+//! block per round, with one malicious block forging its state to an older
+//! σ-level; after each append, a "deletion" step produces a run `∆pr_g`
+//! *indistinguishable to the appended reader* in which one more write round
+//! has been erased. After `4k − 1` generations every write step is gone,
+//! yet the induction forces the final read to return 1 — contradiction.
+//!
+//! This module makes the construction executable:
+//!
+//! * [`Prop1Schedule`] generates the exact run family (skip sets, malicious
+//!   blocks, forged σ-levels, surviving write rounds) for any `k`, with the
+//!   paper's invariants machine-checked;
+//! * [`execute`] replays every `(pr_g, ∆pr_g)` pair against the naive
+//!   2-round-read protocol of [`crate::naive`] on a simulated `S ≤ 4t`
+//!   cluster, asserting **transcript indistinguishability** mechanically
+//!   and locating the generation at which the protocol (necessarily)
+//!   violates atomicity in a legal run.
+//!
+//! Execution notes (documented deviations): the naive protocol's reads do
+//! not write, so the paper's `σ^r` states (block states after replying to
+//! prior reads) coincide with plain write-prefix states, and incomplete
+//! reads are realized as invoked-but-unterminated rounds. The general proof
+//! needs neither simplification; the executable instance inherits them from
+//! its concrete protocol-under-test.
+
+use crate::blocks::Prop1Partition;
+use crate::naive::{sigma_snapshot, NaiveReadClient, NaiveWriteClient};
+use rastor_common::{
+    ClientId, ClusterConfig, FaultModel, OpKind, Timestamp, TsVal, Value,
+};
+use rastor_core::adversary::{ForgeRule, StateForgerObject};
+use rastor_core::checker::{History, Violation, WriteRec};
+use rastor_core::clients::OpOutput;
+use rastor_core::msg::{Rep, Req};
+use rastor_core::object::HonestObject;
+use rastor_sim::control::Rule;
+use rastor_sim::{MsgDir, ScriptedController, Sim, SimConfig};
+
+/// A read appended in some generation of the construction.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct ReadSpec {
+    /// Generation number `g ≥ 1` (reads are `rd_{((g−1) mod 4)+1}` of the
+    /// paper, recycled every four generations).
+    pub generation: u32,
+    /// Reader index (0-based): `(g−1) mod 4`.
+    pub reader: u32,
+    /// Block index skipped in round 1 (the successor block).
+    pub skip_round1: usize,
+    /// Block index skipped in round 2 (the malicious block).
+    pub skip_round2: usize,
+    /// Whether the read completes in this run.
+    pub complete: bool,
+}
+
+/// Full description of one partial run of the construction.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct RunSpec {
+    /// `pr_g` or `∆pr_g`.
+    pub name: String,
+    /// Generation `g`.
+    pub generation: u32,
+    /// Whether this is the deleted (`∆`) variant.
+    pub deleted: bool,
+    /// Number of fully terminated write rounds.
+    pub full_write_rounds: u32,
+    /// Blocks (indices 1..=3) receiving the one unterminated write round,
+    /// if any.
+    pub partial_round_blocks: Vec<usize>,
+    /// Whether the write completes (only in `pr_1`).
+    pub write_complete: bool,
+    /// Whether the write is invoked at all (false only in `∆pr_{4k−1}`).
+    pub write_invoked: bool,
+    /// Reads present, in invocation order.
+    pub reads: Vec<ReadSpec>,
+    /// The malicious block forging state to the appended reader
+    /// (`None` in `∆` runs of the executable instance).
+    pub malicious_block: Option<usize>,
+    /// The σ-level the malicious block presents to the appended reader.
+    pub forged_level: u32,
+}
+
+impl RunSpec {
+    /// The appended (last) read of this run.
+    pub fn appended_read(&self) -> &ReadSpec {
+        self.reads.last().expect("every run has reads")
+    }
+}
+
+/// The generator for the Proposition 1 run family.
+#[derive(Clone, Debug)]
+pub struct Prop1Schedule {
+    /// Write rounds of the protocol under test.
+    pub k: u32,
+    /// Fault budget.
+    pub t: usize,
+    /// Number of objects (`3t < S ≤ 4t`).
+    pub s: usize,
+    /// The block partition.
+    pub partition: Prop1Partition,
+}
+
+fn jm(g: u32) -> usize {
+    ((g - 1) % 4) as usize + 1
+}
+
+fn iter_of(g: u32) -> u32 {
+    (g - 1) / 4
+}
+
+impl Prop1Schedule {
+    /// Build the schedule for a protocol writing in `k ≥ 1` rounds over
+    /// `S ≤ 4t` objects.
+    pub fn new(k: u32, s: usize, t: usize) -> Prop1Schedule {
+        assert!(k >= 1);
+        Prop1Schedule {
+            k,
+            t,
+            s,
+            partition: Prop1Partition::new(s, t),
+        }
+    }
+
+    /// Total number of generations: `4k − 1`.
+    pub fn generations(&self) -> u32 {
+        4 * self.k - 1
+    }
+
+    /// Write-delivery state of `∆pr_g`: `(full_rounds, partial_blocks)`.
+    fn delta_write(&self, g: u32) -> (u32, Vec<usize>) {
+        let i = iter_of(g);
+        match jm(g) {
+            1 => (self.k - i - 1, vec![2, 3]),
+            2 => (self.k - i - 1, vec![3]),
+            3 => (self.k - i - 1, vec![]),
+            4 => (self.k - i - 2, vec![1, 2, 3]),
+            _ => unreachable!(),
+        }
+    }
+
+    fn read_spec(&self, generation: u32, complete: bool) -> ReadSpec {
+        let j = jm(generation);
+        ReadSpec {
+            generation,
+            reader: (generation - 1) % 4,
+            skip_round1: Prop1Partition::succ(j),
+            skip_round2: j,
+            complete,
+        }
+    }
+
+    /// The σ-level the malicious block `B_{jm}` forges to the appended read
+    /// of `pr_g` (the paper's `σ_{((j mod 4)/j)·(k−i−1)}`).
+    pub fn forged_level(&self, g: u32) -> u32 {
+        if jm(g) == 4 {
+            0
+        } else {
+            self.k - iter_of(g) - 1
+        }
+    }
+
+    /// The specification of run `pr_g`.
+    pub fn pr(&self, g: u32) -> RunSpec {
+        assert!((1..=self.generations()).contains(&g));
+        let (full, partial, complete) = if g == 1 {
+            (self.k, vec![], true)
+        } else {
+            let (f, p) = self.delta_write(g - 1);
+            (f, p, false)
+        };
+        RunSpec {
+            name: format!("pr{g}"),
+            generation: g,
+            deleted: false,
+            full_write_rounds: full,
+            partial_round_blocks: partial,
+            write_complete: complete,
+            write_invoked: true,
+            reads: self.reads_of(g, false),
+            malicious_block: Some(jm(g)),
+            forged_level: self.forged_level(g),
+        }
+    }
+
+    /// The specification of run `∆pr_g`.
+    pub fn delta(&self, g: u32) -> RunSpec {
+        assert!((1..=self.generations()).contains(&g));
+        let (full, partial) = self.delta_write(g);
+        let write_invoked = full > 0 || !partial.is_empty();
+        RunSpec {
+            name: format!("∆pr{g}"),
+            generation: g,
+            deleted: true,
+            full_write_rounds: full,
+            partial_round_blocks: partial,
+            write_complete: false,
+            write_invoked,
+            reads: self.reads_of(g, true),
+            malicious_block: None,
+            forged_level: self.forged_level(g),
+        }
+    }
+
+    fn reads_of(&self, g: u32, deleted: bool) -> Vec<ReadSpec> {
+        // pr_g carries rd_{g−3}, rd_{g−2} (incomplete), rd_{g−1}, rd_g
+        // (complete); ∆pr_g carries rd_{g−2}, rd_{g−1} (incomplete), rd_g.
+        let mut out = Vec::new();
+        let first = if deleted { g.saturating_sub(2) } else { g.saturating_sub(3) }.max(1);
+        for h in first..=g {
+            let complete = if deleted { h == g } else { h >= g.saturating_sub(1) };
+            out.push(self.read_spec(h, complete));
+        }
+        out
+    }
+
+    /// Machine-check the paper's structural invariants across the family.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first violated invariant.
+    pub fn check_invariants(&self) -> Result<(), String> {
+        for g in 1..=self.generations() {
+            for spec in [self.pr(g), self.delta(g)] {
+                // At most one malicious block of size ≤ t.
+                if let Some(b) = spec.malicious_block {
+                    let size = self.partition.block(b).len();
+                    if size > self.t {
+                        return Err(format!("{}: malicious block exceeds t", spec.name));
+                    }
+                }
+                // Skipping one block leaves ≥ S − t repliers per read round.
+                for rd in &spec.reads {
+                    for skip in [rd.skip_round1, rd.skip_round2] {
+                        let repliers = self.s - self.partition.block(skip).len();
+                        if repliers < self.s - self.t {
+                            return Err(format!(
+                                "{}: read {} skipping B{skip} leaves only {repliers} repliers",
+                                spec.name, rd.generation
+                            ));
+                        }
+                    }
+                }
+                // Write rounds terminate on S − t acks (B4 always skipped).
+                let ackers: usize = (1..=3).map(|b| self.partition.block(b).len()).sum();
+                if spec.full_write_rounds > 0 && ackers < self.s - self.t {
+                    return Err(format!("{}: write cannot terminate rounds", spec.name));
+                }
+                // The four reads of a run use distinct readers.
+                let mut readers: Vec<u32> = spec.reads.iter().map(|r| r.reader).collect();
+                readers.sort_unstable();
+                readers.dedup();
+                if readers.len() != spec.reads.len() {
+                    return Err(format!("{}: reader reused within a run", spec.name));
+                }
+            }
+        }
+        // The final deleted run has no write at all.
+        let last = self.delta(self.generations());
+        if last.write_invoked {
+            return Err("∆pr_{4k−1} must contain no write".into());
+        }
+        Ok(())
+    }
+}
+
+/// The outcome of mechanically executing the construction.
+#[derive(Clone, Debug)]
+pub struct Prop1Report {
+    /// Write rounds of the protocol under test.
+    pub k: u32,
+    /// Generations executed.
+    pub generations: u32,
+    /// Per-generation `(g, return in pr_g, return in ∆pr_g)`.
+    pub returns: Vec<(u32, TsVal, TsVal)>,
+    /// Whether every `(pr_g, ∆pr_g)` pair was transcript-identical to the
+    /// appended reader.
+    pub all_indistinguishable: bool,
+    /// First generation whose legal run `pr_g` exhibits an atomicity
+    /// violation, with the violations found.
+    pub first_violation: Option<(u32, Vec<Violation>)>,
+}
+
+/// The value written by `write(1)`.
+pub fn pair_one() -> TsVal {
+    TsVal::new(Timestamp(1), Value::from_u64(1))
+}
+
+const READ_BASE: u64 = 50_000;
+const READ_GAP: u64 = 20_000;
+
+fn build_sim(schedule: &Prop1Schedule, spec: &RunSpec) -> Sim<Req, Rep, OpOutput> {
+    let part = &schedule.partition;
+    let mut rules: Vec<Rule> = Vec::new();
+
+    // The write always skips B4 (requests held in transit).
+    rules.push(
+        Rule::hold(MsgDir::Request)
+            .client(ClientId::writer())
+            .objects(part.block(4).members.clone()),
+    );
+    // The unterminated partial round: requests held outside its blocks,
+    // replies to the writer held entirely.
+    if !spec.write_complete && spec.write_invoked {
+        let partial_round = spec.full_write_rounds + 1;
+        let outside: Vec<_> = part.complement(&spec.partial_round_blocks);
+        rules.push(
+            Rule::hold(MsgDir::Request)
+                .client(ClientId::writer())
+                .round(partial_round)
+                .objects(outside),
+        );
+        rules.push(
+            Rule::hold(MsgDir::Reply)
+                .client(ClientId::writer())
+                .round(partial_round),
+        );
+    }
+    // Read skip patterns; incomplete reads additionally lose their replies.
+    for rd in &spec.reads {
+        let client = ClientId::reader(rd.reader);
+        rules.push(
+            Rule::hold(MsgDir::Request)
+                .client(client)
+                .round(1)
+                .objects(part.block(rd.skip_round1).members.clone()),
+        );
+        rules.push(
+            Rule::hold(MsgDir::Request)
+                .client(client)
+                .round(2)
+                .objects(part.block(rd.skip_round2).members.clone()),
+        );
+        if !rd.complete {
+            rules.push(Rule::hold(MsgDir::Reply).client(client));
+        }
+    }
+    let mut controller = ScriptedController::new();
+    for r in rules {
+        controller.push(r);
+    }
+
+    let mut sim: Sim<Req, Rep, OpOutput> =
+        Sim::with_controller(SimConfig::default(), Box::new(controller));
+
+    // Objects: honest everywhere, except the malicious block which runs a
+    // state forger presenting σ_{forged_level} to the appended reader.
+    let appended = spec.appended_read();
+    for oid in 0..schedule.s as u32 {
+        let in_malicious = spec
+            .malicious_block
+            .map(|b| part.block(b).members.contains(&rastor_common::ObjectId(oid)))
+            .unwrap_or(false);
+        if in_malicious {
+            let mut forger = StateForgerObject::new();
+            forger.add_rule(ForgeRule {
+                client: ClientId::reader(appended.reader),
+                from_nth: 1,
+                to_nth: u32::MAX,
+                snapshot: sigma_snapshot(spec.forged_level, &pair_one()),
+            });
+            sim.add_object(Box::new(forger));
+        } else {
+            sim.add_object(Box::new(HonestObject::new()));
+        }
+    }
+
+    // The write.
+    let cfg = ClusterConfig::new_unchecked(schedule.s, schedule.t, FaultModel::Byzantine);
+    if spec.write_invoked {
+        sim.invoke_at(
+            0,
+            ClientId::writer(),
+            OpKind::Write,
+            Box::new(NaiveWriteClient::new(cfg, schedule.k, pair_one())),
+        );
+    }
+    // The reads, spaced far apart so each completes (or stalls) before the
+    // next is appended.
+    for (idx, rd) in spec.reads.iter().enumerate() {
+        sim.invoke_at(
+            READ_BASE + idx as u64 * READ_GAP,
+            ClientId::reader(rd.reader),
+            OpKind::Read,
+            Box::new(NaiveReadClient::new(cfg, schedule.k, 2)),
+        );
+    }
+    sim
+}
+
+/// Execute one run, returning `(transcript of appended reader, its return
+/// value if completed, checker-ready history)`.
+pub fn execute_run(
+    schedule: &Prop1Schedule,
+    spec: &RunSpec,
+) -> (Vec<String>, Option<TsVal>, History) {
+    let mut sim = build_sim(schedule, spec);
+    let completions = sim.run_to_quiescence();
+    let appended = spec.appended_read();
+    let ret = completions
+        .iter()
+        .find(|c| c.client == ClientId::reader(appended.reader))
+        .and_then(|c| match &c.output {
+            OpOutput::Read(p) => Some(p.clone()),
+            OpOutput::Wrote(_) => None,
+        });
+    let mut history = History::new();
+    history.ingest(&completions);
+    if spec.write_invoked && !spec.write_complete {
+        history.push_write(WriteRec {
+            ts: Timestamp(1),
+            val: Value::from_u64(1),
+            invoked_at: 0,
+            completed_at: None,
+        });
+    }
+    let transcript = sim.trace().transcript_of(ClientId::reader(appended.reader));
+    (transcript, ret, history)
+}
+
+/// Execute the whole construction for `k` write rounds at `S ≤ 4t`.
+///
+/// For every generation `g`, runs `pr_g` and `∆pr_g`, asserts transcript
+/// equality for the appended reader, records both return values, and checks
+/// each legal run `pr_g` for atomicity violations.
+pub fn execute(k: u32, s: usize, t: usize) -> Prop1Report {
+    let schedule = Prop1Schedule::new(k, s, t);
+    schedule
+        .check_invariants()
+        .expect("schedule invariants hold");
+    let mut returns = Vec::new();
+    let mut all_ind = true;
+    let mut first_violation = None;
+    for g in 1..=schedule.generations() {
+        let pr = schedule.pr(g);
+        let delta = schedule.delta(g);
+        let (tr_pr, ret_pr, hist_pr) = execute_run(&schedule, &pr);
+        let (tr_delta, ret_delta, _) = execute_run(&schedule, &delta);
+        if tr_pr != tr_delta || ret_pr != ret_delta {
+            all_ind = false;
+        }
+        let violations = hist_pr.check_atomic();
+        if first_violation.is_none() && !violations.is_empty() {
+            first_violation = Some((g, violations));
+        }
+        returns.push((
+            g,
+            ret_pr.unwrap_or_else(TsVal::bottom),
+            ret_delta.unwrap_or_else(TsVal::bottom),
+        ));
+    }
+    Prop1Report {
+        k,
+        generations: schedule.generations(),
+        returns,
+        all_indistinguishable: all_ind,
+        first_violation,
+    }
+}
+
+/// The crisp single-run boundary experiment: the *denial attack* on the
+/// naive 2-round read.
+///
+/// A complete `write(1)` obtains its quorum with one malicious block among
+/// the ackers; the malicious block then denies the value to a reader whose
+/// reply sets the adversary steers away from the informed correct objects.
+/// At `S ≤ 4t` the read returns ⊥ after a complete write — a regularity
+/// violation; at `S = 4t + 1` the same schedule is harmless.
+///
+/// Returns the violations found (non-empty iff `s ≤ 4t`).
+pub fn denial_attack(s: usize, t: usize) -> Vec<Violation> {
+    assert!(s > 3 * t, "need S > 3t so a quorum exists");
+    let cfg = ClusterConfig::new_unchecked(s, t, FaultModel::Byzantine);
+    let mut controller = ScriptedController::new();
+    // The write's messages to the last t correct objects stay in transit…
+    let lag: Vec<_> = (0..s as u32)
+        .map(rastor_common::ObjectId)
+        .skip(s - t)
+        .collect();
+    controller.push(
+        Rule::hold(MsgDir::Request)
+            .client(ClientId::writer())
+            .objects(lag),
+    );
+    // …and so do the reader's requests to t informed correct objects
+    // (they are indistinguishable from faulty).
+    controller.push(
+        Rule::hold(MsgDir::Request)
+            .client(ClientId::reader(0))
+            .objects((t as u32..2 * t as u32).map(rastor_common::ObjectId)),
+    );
+
+    let mut sim: Sim<Req, Rep, OpOutput> =
+        Sim::with_controller(SimConfig::default(), Box::new(controller));
+    // Objects 0..t are malicious deniers (ack writes, report nothing).
+    for oid in 0..s as u32 {
+        if (oid as usize) < t {
+            sim.add_object(Box::new(rastor_core::adversary::AmnesiacObject));
+        } else {
+            sim.add_object(Box::new(HonestObject::new()));
+        }
+    }
+    sim.invoke_at(
+        0,
+        ClientId::writer(),
+        OpKind::Write,
+        Box::new(NaiveWriteClient::new(cfg, 2, pair_one())),
+    );
+    sim.invoke_at(
+        10_000,
+        ClientId::reader(0),
+        OpKind::Read,
+        Box::new(NaiveReadClient::new(cfg, 2, 2)),
+    );
+    let completions = sim.run_to_quiescence();
+    let mut history = History::new();
+    history.ingest(&completions);
+    history.check_regular()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn schedule_invariants_hold_for_many_k_and_shapes() {
+        for k in 1..=5 {
+            for t in 1..=3 {
+                for s in (3 * t + 1)..=(4 * t) {
+                    let sched = Prop1Schedule::new(k, s, t);
+                    sched.check_invariants().unwrap();
+                    assert_eq!(sched.generations(), 4 * k - 1);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn pr1_matches_paper_figure_1a() {
+        let sched = Prop1Schedule::new(3, 4, 1);
+        let pr1 = sched.pr(1);
+        assert!(pr1.write_complete);
+        assert_eq!(pr1.reads.len(), 1);
+        assert_eq!(pr1.reads[0].skip_round1, 2, "rd1 skips B2 in round one");
+        assert_eq!(pr1.reads[0].skip_round2, 1, "rd1 skips B1 in round two");
+        assert_eq!(pr1.malicious_block, Some(1), "B1 is malicious");
+        assert_eq!(pr1.forged_level, 2, "forges sigma k-1");
+    }
+
+    #[test]
+    fn delta_of_last_generation_has_no_write() {
+        for k in 1..=4 {
+            let sched = Prop1Schedule::new(k, 4, 1);
+            let last = sched.delta(sched.generations());
+            assert!(!last.write_invoked, "k = {k}");
+        }
+    }
+
+    #[test]
+    fn fourth_generation_forges_sigma_zero() {
+        let sched = Prop1Schedule::new(3, 4, 1);
+        assert_eq!(sched.forged_level(4), 0, "B4 forges σ₀ (paper, pr₄)");
+        assert_eq!(sched.forged_level(5), 1, "pr5 forges sigma k-i-1, i = 1");
+    }
+
+    #[test]
+    fn execute_k1_demonstrates_violation() {
+        let report = execute(1, 4, 1);
+        assert!(report.all_indistinguishable, "every pr/∆pr pair matches");
+        assert_eq!(report.returns[0].1, pair_one(), "pr1's read returns 1");
+        let (g, violations) = report.first_violation.expect("naive protocol must break");
+        assert!(g <= report.generations);
+        assert!(!violations.is_empty());
+    }
+
+    #[test]
+    fn execute_k2_demonstrates_violation() {
+        let report = execute(2, 4, 1);
+        assert!(report.all_indistinguishable);
+        assert!(report.first_violation.is_some());
+        // Early generations still satisfy the induction (read returns 1).
+        assert_eq!(report.returns[0].1, pair_one());
+        assert_eq!(report.returns[0].2, pair_one(), "∆pr1 too");
+    }
+
+    #[test]
+    fn denial_attack_breaks_4t_but_not_4t_plus_1() {
+        let broken = denial_attack(4, 1);
+        assert!(
+            !broken.is_empty(),
+            "S = 4t: the 2-round read violates regularity"
+        );
+        let safe = denial_attack(5, 1);
+        assert!(safe.is_empty(), "S = 4t+1: the same schedule is harmless");
+    }
+}

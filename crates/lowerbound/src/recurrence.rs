@@ -1,0 +1,167 @@
+//! The fault-budget recurrence of Lemma 1 and its closed form (Lemma 2).
+//!
+//! The write lower bound relates the number of write rounds `k` to the
+//! tolerable fault budget through a Fibonacci-like recurrence:
+//!
+//! ```text
+//! t₋₁ = t₀ = 0,     t_k = t_{k−1} + 2·t_{k−2} + 1
+//! ```
+//!
+//! whose closed form is `t_k = (2^{k+2} − (−1)^k − 3) / 6`. Inverting it
+//! (Lemma 2) yields the headline bound: with `S ≤ 3t + 1` objects and
+//! 3-round reads, writes need at least
+//! `k_max(t) = ⌊log₂(⌈(3t + 1) / 2⌉)⌋` rounds — i.e. `k = Ω(log t)`.
+
+/// The recurrence value `t_k` computed iteratively.
+///
+/// Accepts `k ≥ -1` encoded as `i64` so the base cases `t₋₁ = t₀ = 0` are
+/// expressible.
+///
+/// # Panics
+///
+/// Panics if `k < -1` or if the value would overflow `u64`
+/// (`k` beyond ~60).
+pub fn t_k(k: i64) -> u64 {
+    assert!(k >= -1, "t_k defined for k ≥ -1");
+    if k <= 0 {
+        return 0;
+    }
+    let (mut prev2, mut prev1) = (0u64, 0u64); // t_{-1}, t_0
+    let mut cur = 0;
+    for _ in 1..=k {
+        cur = prev1
+            .checked_add(2 * prev2)
+            .and_then(|x| x.checked_add(1))
+            .expect("t_k overflow");
+        prev2 = prev1;
+        prev1 = cur;
+    }
+    cur
+}
+
+/// The closed form `t_k = (2^{k+2} − (−1)^k − 3) / 6` (paper, Lemma 2).
+///
+/// # Panics
+///
+/// Panics if `k < -1` or the intermediate power overflows.
+pub fn t_k_closed(k: i64) -> u64 {
+    assert!(k >= -1, "t_k defined for k ≥ -1");
+    if k <= 0 {
+        return 0;
+    }
+    let pow = 2u64
+        .checked_pow((k + 2) as u32)
+        .expect("2^(k+2) overflow");
+    let sign: i64 = if k % 2 == 0 { 1 } else { -1 };
+    let num = (pow as i64) - sign - 3;
+    debug_assert!(num >= 0 && num % 6 == 0, "closed form must divide evenly");
+    (num / 6) as u64
+}
+
+/// The maximum number of write rounds ruled out by Lemma 2 for fault budget
+/// `t`: `k_max(t) = ⌊log₂(⌈(3t + 1) / 2⌉)⌋`.
+///
+/// Interpretation: with `S ≤ 3t + 1` objects and all reads finishing in
+/// three rounds, **no** write implementation completes in
+/// `min{R, k_max(t)}` rounds — so worst-case write latency is `Ω(log t)`.
+pub fn k_max(t: u64) -> u32 {
+    let half = (3 * t + 1).div_ceil(2);
+    // ⌊log₂ half⌋; half ≥ 2 for t ≥ 1.
+    63 - half.leading_zeros()
+}
+
+/// Number of objects in the generalized Proposition 2 bound:
+/// `S ≤ 3t + ⌊t / t_k⌋` for `t ≥ t_k`.
+pub fn prop2_resilience(t: u64, k: i64) -> u64 {
+    let tk = t_k(k);
+    assert!(tk > 0, "k must be ≥ 1");
+    assert!(t >= tk, "Proposition 2 requires t ≥ t_k");
+    3 * t + t / tk
+}
+
+/// The largest `k` such that `t_k(k) ≤ t` — the number of write rounds the
+/// adversary of Lemma 1 can defeat with budget `t` (equals `k_max(t)`).
+pub fn k_max_by_recurrence(t: u64) -> u32 {
+    let mut k = 0i64;
+    while t_k(k + 1) <= t {
+        k += 1;
+    }
+    k as u32
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn base_cases() {
+        assert_eq!(t_k(-1), 0);
+        assert_eq!(t_k(0), 0);
+        assert_eq!(t_k(1), 1);
+        assert_eq!(t_k(2), 2);
+        assert_eq!(t_k(3), 5);
+        assert_eq!(t_k(4), 10);
+        assert_eq!(t_k(5), 21);
+        assert_eq!(t_k(6), 42);
+    }
+
+    #[test]
+    fn closed_form_matches_recurrence() {
+        for k in -1..=40 {
+            assert_eq!(t_k(k), t_k_closed(k), "k = {k}");
+        }
+    }
+
+    #[test]
+    fn k_max_consistency() {
+        for t in 1..2000 {
+            assert_eq!(k_max(t), k_max_by_recurrence(t), "t = {t}");
+        }
+    }
+
+    #[test]
+    fn k_max_examples() {
+        // t = 1: ⌈4/2⌉ = 2, log₂ = 1.
+        assert_eq!(k_max(1), 1);
+        // t = 2: ⌈7/2⌉ = 4 → 2.
+        assert_eq!(k_max(2), 2);
+        // t = 5: ⌈16/2⌉ = 8 → 3.
+        assert_eq!(k_max(5), 3);
+        // t = 10: ⌈31/2⌉ = 16 → 4.
+        assert_eq!(k_max(10), 4);
+        // t = 21 → 5 (t_5 = 21).
+        assert_eq!(k_max(21), 5);
+    }
+
+    #[test]
+    fn k_max_is_logarithmic() {
+        // At the recurrence's own thresholds, k_max steps by exactly one:
+        // t_k is the smallest budget defeating k write rounds.
+        for k in 1..25i64 {
+            let t = t_k(k);
+            assert_eq!(k_max_by_recurrence(t), k as u32);
+            if k > 1 {
+                assert_eq!(k_max_by_recurrence(t - 1), k as u32 - 1);
+            }
+        }
+        // And the budget needed grows geometrically (factor ~2 per round).
+        for k in 3..25i64 {
+            let ratio = t_k(k) as f64 / t_k(k - 1) as f64;
+            assert!((1.8..=2.6).contains(&ratio), "k={k} ratio={ratio}");
+        }
+    }
+
+    #[test]
+    fn prop2_resilience_examples() {
+        // t = t_k exactly: S = 3t_k + 1 (optimal resilience instance).
+        assert_eq!(prop2_resilience(t_k(3), 3), 3 * 5 + 1);
+        // Scaling: t = 2·t_k gives S = 3t + 2.
+        assert_eq!(prop2_resilience(10, 3), 32);
+    }
+
+    #[test]
+    #[should_panic(expected = "t ≥ t_k")]
+    fn prop2_requires_budget() {
+        let _ = prop2_resilience(3, 3); // t_3 = 5 > 3
+    }
+}

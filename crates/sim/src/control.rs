@@ -1,0 +1,467 @@
+//! Message-scheduling controllers: the adversary's lever.
+//!
+//! In the paper's model the adversary controls asynchrony: it may delay any
+//! message arbitrarily (but channels are reliable, so held messages are
+//! merely "in transit"). A [`Controller`] sees every send and returns a
+//! [`Verdict`]: deliver at a chosen time, or hold.
+//!
+//! Three stock controllers cover the workloads:
+//!
+//! * [`FixedDelay`] — constant latency; the base case for round counting.
+//! * [`UniformDelay`] — seeded random latency in a range; soak tests.
+//! * [`PartitionController`] — random latency plus a dynamic set of
+//!   "slow links" whose messages are held until the partition heals.
+//! * [`ScriptedController`] — full adversarial control via declarative
+//!   rules; used to replay the lower-bound proof schedules.
+
+use crate::engine::{Envelope, MsgDir};
+use rastor_common::{ClientId, ObjectId};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::collections::HashSet;
+
+/// The controller's decision for one message.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Verdict {
+    /// Deliver at the given absolute time (clamped to ≥ now and per-link
+    /// FIFO order by the engine).
+    DeliverAt(u64),
+    /// Keep the message "in transit" indefinitely; it may be released later
+    /// via `Sim::release_held`.
+    Hold,
+}
+
+/// Decides delivery schedules for every message send.
+///
+/// Implementations see the full envelope (endpoints, operation sequence
+/// number, round, payload) so scripted adversaries can match on semantic
+/// coordinates.
+pub trait Controller<Q, R> {
+    /// Schedule a client→object request.
+    fn on_request(&mut self, env: &Envelope<Q>, now: u64) -> Verdict;
+    /// Schedule an object→client reply.
+    fn on_reply(&mut self, env: &Envelope<R>, now: u64) -> Verdict;
+}
+
+/// Constant message latency.
+#[derive(Clone, Copy, Debug)]
+pub struct FixedDelay {
+    delay: u64,
+}
+
+impl FixedDelay {
+    /// A controller delivering every message after exactly `delay` ticks.
+    pub fn new(delay: u64) -> FixedDelay {
+        FixedDelay { delay }
+    }
+}
+
+impl<Q, R> Controller<Q, R> for FixedDelay {
+    fn on_request(&mut self, _env: &Envelope<Q>, now: u64) -> Verdict {
+        Verdict::DeliverAt(now + self.delay)
+    }
+    fn on_reply(&mut self, _env: &Envelope<R>, now: u64) -> Verdict {
+        Verdict::DeliverAt(now + self.delay)
+    }
+}
+
+/// Seeded uniform-random latency in `[lo, hi]`.
+#[derive(Clone, Debug)]
+pub struct UniformDelay {
+    rng: StdRng,
+    lo: u64,
+    hi: u64,
+}
+
+impl UniformDelay {
+    /// A controller with latencies drawn uniformly from `[lo, hi]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lo > hi`.
+    pub fn new(seed: u64, lo: u64, hi: u64) -> UniformDelay {
+        assert!(lo <= hi, "empty delay range");
+        UniformDelay {
+            rng: StdRng::seed_from_u64(seed),
+            lo,
+            hi,
+        }
+    }
+
+    fn draw(&mut self, now: u64) -> Verdict {
+        Verdict::DeliverAt(now + self.rng.gen_range(self.lo..=self.hi))
+    }
+}
+
+impl<Q, R> Controller<Q, R> for UniformDelay {
+    fn on_request(&mut self, _env: &Envelope<Q>, now: u64) -> Verdict {
+        self.draw(now)
+    }
+    fn on_reply(&mut self, _env: &Envelope<R>, now: u64) -> Verdict {
+        self.draw(now)
+    }
+}
+
+/// Random latency plus dynamically slow (partitioned) links.
+///
+/// Messages crossing a slow link are delivered with a large extra delay,
+/// modeling transient partitions while preserving channel reliability.
+#[derive(Clone, Debug)]
+pub struct PartitionController {
+    base: UniformDelay,
+    slow: HashSet<(ClientId, ObjectId)>,
+    penalty: u64,
+}
+
+impl PartitionController {
+    /// Wrap a uniform-delay controller with a slow-link penalty.
+    pub fn new(seed: u64, lo: u64, hi: u64, penalty: u64) -> PartitionController {
+        PartitionController {
+            base: UniformDelay::new(seed, lo, hi),
+            slow: HashSet::new(),
+            penalty,
+        }
+    }
+
+    /// Mark a client↔object link slow.
+    pub fn slow_link(&mut self, client: ClientId, object: ObjectId) {
+        self.slow.insert((client, object));
+    }
+
+    /// Heal a link.
+    pub fn heal_link(&mut self, client: ClientId, object: ObjectId) {
+        self.slow.remove(&(client, object));
+    }
+
+    fn verdict(&mut self, client: ClientId, object: ObjectId, now: u64) -> Verdict {
+        let Verdict::DeliverAt(at) = self.base.draw(now) else {
+            unreachable!("UniformDelay always delivers")
+        };
+        if self.slow.contains(&(client, object)) {
+            Verdict::DeliverAt(at + self.penalty)
+        } else {
+            Verdict::DeliverAt(at)
+        }
+    }
+}
+
+impl<Q, R> Controller<Q, R> for PartitionController {
+    fn on_request(&mut self, env: &Envelope<Q>, now: u64) -> Verdict {
+        self.verdict(env.client, env.object, now)
+    }
+    fn on_reply(&mut self, env: &Envelope<R>, now: u64) -> Verdict {
+        self.verdict(env.client, env.object, now)
+    }
+}
+
+/// A declarative rule used by [`ScriptedController`].
+///
+/// A message matches a rule when every populated field matches. The first
+/// matching rule's verdict applies; unmatched messages are delivered with
+/// unit delay.
+#[derive(Clone, Debug)]
+pub struct Rule {
+    /// Match direction (request/reply), if set.
+    pub dir: Option<MsgDir>,
+    /// Match the client endpoint, if set.
+    pub client: Option<ClientId>,
+    /// Match the object endpoint, if set.
+    pub object: Option<ObjectId>,
+    /// Match a set of object endpoints, if non-empty.
+    pub objects: Vec<ObjectId>,
+    /// Match the per-client operation sequence number, if set.
+    pub op_seq: Option<u64>,
+    /// Match the round number, if set.
+    pub round: Option<u32>,
+    /// Verdict for matching messages.
+    pub verdict: Verdict,
+    /// If set, overrides `verdict` with `DeliverAt(now + extra_delay)` —
+    /// a *relative* slowdown (e.g. "this reader's links are 10× slower").
+    pub extra_delay: Option<u64>,
+}
+
+impl Rule {
+    /// A rule matching everything, holding it.
+    pub fn hold_all() -> Rule {
+        Rule {
+            dir: None,
+            client: None,
+            object: None,
+            objects: Vec::new(),
+            op_seq: None,
+            round: None,
+            verdict: Verdict::Hold,
+            extra_delay: None,
+        }
+    }
+
+    /// A rule matching everything, delivering after a relative delay.
+    pub fn slow_all(extra_delay: u64) -> Rule {
+        Rule {
+            extra_delay: Some(extra_delay),
+            ..Rule::hold_all()
+        }
+    }
+
+    /// Builder: hold messages of a direction.
+    pub fn hold(dir: MsgDir) -> Rule {
+        Rule {
+            dir: Some(dir),
+            ..Rule::hold_all()
+        }
+    }
+
+    /// Builder: restrict to a client.
+    #[must_use]
+    pub fn client(mut self, c: ClientId) -> Rule {
+        self.client = Some(c);
+        self
+    }
+
+    /// Builder: restrict to one object.
+    #[must_use]
+    pub fn object(mut self, o: ObjectId) -> Rule {
+        self.object = Some(o);
+        self
+    }
+
+    /// Builder: restrict to a set of objects.
+    #[must_use]
+    pub fn objects(mut self, os: impl IntoIterator<Item = ObjectId>) -> Rule {
+        self.objects = os.into_iter().collect();
+        self
+    }
+
+    /// Builder: restrict to an operation sequence number.
+    #[must_use]
+    pub fn op_seq(mut self, s: u64) -> Rule {
+        self.op_seq = Some(s);
+        self
+    }
+
+    /// Builder: restrict to a round number.
+    #[must_use]
+    pub fn round(mut self, r: u32) -> Rule {
+        self.round = Some(r);
+        self
+    }
+
+    /// Builder: override the verdict.
+    #[must_use]
+    pub fn verdict(mut self, v: Verdict) -> Rule {
+        self.verdict = v;
+        self
+    }
+
+    fn matches(&self, dir: MsgDir, client: ClientId, object: ObjectId, op_seq: u64, round: u32) -> bool {
+        if let Some(d) = self.dir {
+            if d != dir {
+                return false;
+            }
+        }
+        if let Some(c) = self.client {
+            if c != client {
+                return false;
+            }
+        }
+        if let Some(o) = self.object {
+            if o != object {
+                return false;
+            }
+        }
+        if !self.objects.is_empty() && !self.objects.contains(&object) {
+            return false;
+        }
+        if let Some(s) = self.op_seq {
+            if s != op_seq {
+                return false;
+            }
+        }
+        if let Some(r) = self.round {
+            if r != round {
+                return false;
+            }
+        }
+        true
+    }
+}
+
+/// Fully scripted adversarial scheduling: an ordered rule list evaluated
+/// first-match-wins, falling back to unit delay.
+///
+/// The lower-bound run constructions express "round `i` of operation `op`
+/// *skips* block `B`" as a rule holding the requests from that round to the
+/// block's objects (no object in the block receives the message — it stays
+/// in transit forever), exactly matching the paper's definition of skipping.
+#[derive(Clone, Debug, Default)]
+pub struct ScriptedController {
+    rules: Vec<Rule>,
+    default_delay: u64,
+}
+
+impl ScriptedController {
+    /// An empty script: every message delivered with unit delay.
+    pub fn new() -> ScriptedController {
+        ScriptedController {
+            rules: Vec::new(),
+            default_delay: 1,
+        }
+    }
+
+    /// Append a rule (later rules only apply if earlier ones don't match).
+    pub fn push(&mut self, rule: Rule) -> &mut Self {
+        self.rules.push(rule);
+        self
+    }
+
+    /// Builder-style rule append.
+    #[must_use]
+    pub fn with_rule(mut self, rule: Rule) -> ScriptedController {
+        self.rules.push(rule);
+        self
+    }
+
+    /// Set the fallback delay for unmatched messages.
+    #[must_use]
+    pub fn with_default_delay(mut self, d: u64) -> ScriptedController {
+        self.default_delay = d;
+        self
+    }
+
+    fn decide(
+        &mut self,
+        dir: MsgDir,
+        client: ClientId,
+        object: ObjectId,
+        op_seq: u64,
+        round: u32,
+        now: u64,
+    ) -> Verdict {
+        for rule in &self.rules {
+            if rule.matches(dir, client, object, op_seq, round) {
+                if let Some(d) = rule.extra_delay {
+                    return Verdict::DeliverAt(now + d);
+                }
+                return match rule.verdict {
+                    Verdict::DeliverAt(at) => Verdict::DeliverAt(at.max(now)),
+                    Verdict::Hold => Verdict::Hold,
+                };
+            }
+        }
+        Verdict::DeliverAt(now + self.default_delay)
+    }
+}
+
+impl<Q, R> Controller<Q, R> for ScriptedController {
+    fn on_request(&mut self, env: &Envelope<Q>, now: u64) -> Verdict {
+        self.decide(MsgDir::Request, env.client, env.object, env.op_seq, env.round, now)
+    }
+    fn on_reply(&mut self, env: &Envelope<R>, now: u64) -> Verdict {
+        self.decide(MsgDir::Reply, env.client, env.object, env.op_seq, env.round, now)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn env(dir: MsgDir, client: ClientId, object: ObjectId, op_seq: u64, round: u32) -> Envelope<u8> {
+        Envelope {
+            id: crate::engine::MsgId(0),
+            dir,
+            client,
+            object,
+            op_seq,
+            round,
+            payload: 0,
+        }
+    }
+
+    #[test]
+    fn fixed_delay_is_constant() {
+        let mut c = FixedDelay::new(5);
+        let e = env(MsgDir::Request, ClientId::writer(), ObjectId(0), 0, 1);
+        let v = Controller::<u8, u8>::on_request(&mut c, &e, 10);
+        assert_eq!(v, Verdict::DeliverAt(15));
+    }
+
+    #[test]
+    fn uniform_delay_is_seeded_deterministic() {
+        let e = env(MsgDir::Request, ClientId::writer(), ObjectId(0), 0, 1);
+        let draw = |seed| {
+            let mut c = UniformDelay::new(seed, 1, 100);
+            match Controller::<u8, u8>::on_request(&mut c, &e, 0) {
+                Verdict::DeliverAt(at) => at,
+                Verdict::Hold => unreachable!(),
+            }
+        };
+        assert_eq!(draw(42), draw(42));
+    }
+
+    #[test]
+    #[should_panic(expected = "empty delay range")]
+    fn uniform_delay_rejects_inverted_range() {
+        let _ = UniformDelay::new(0, 5, 1);
+    }
+
+    #[test]
+    fn partition_penalizes_slow_links() {
+        let mut c = PartitionController::new(1, 1, 1, 1000);
+        c.slow_link(ClientId::reader(0), ObjectId(2));
+        let slow = env(MsgDir::Request, ClientId::reader(0), ObjectId(2), 0, 1);
+        let fast = env(MsgDir::Request, ClientId::reader(0), ObjectId(1), 0, 1);
+        let vs = Controller::<u8, u8>::on_request(&mut c, &slow, 0);
+        let vf = Controller::<u8, u8>::on_request(&mut c, &fast, 0);
+        match (vs, vf) {
+            (Verdict::DeliverAt(s), Verdict::DeliverAt(f)) => assert!(s > f + 500),
+            _ => panic!("both links deliver"),
+        }
+        c.heal_link(ClientId::reader(0), ObjectId(2));
+        let vh = Controller::<u8, u8>::on_request(&mut c, &slow, 0);
+        assert_eq!(vh, Verdict::DeliverAt(1), "healed link uses base delay of 1");
+    }
+
+    #[test]
+    fn scripted_rules_first_match_wins() {
+        let mut c = ScriptedController::new()
+            .with_rule(
+                Rule::hold(MsgDir::Request)
+                    .client(ClientId::writer())
+                    .round(2)
+                    .objects([ObjectId(3)]),
+            )
+            .with_rule(Rule::hold_all().verdict(Verdict::DeliverAt(50)));
+        // Writer round-2 request to s3 is held (skipped).
+        let skip = env(MsgDir::Request, ClientId::writer(), ObjectId(3), 0, 2);
+        assert_eq!(Controller::<u8, u8>::on_request(&mut c, &skip, 0), Verdict::Hold);
+        // Everything else hits the catch-all DeliverAt(50).
+        let other = env(MsgDir::Request, ClientId::writer(), ObjectId(1), 0, 2);
+        assert_eq!(
+            Controller::<u8, u8>::on_request(&mut c, &other, 0),
+            Verdict::DeliverAt(50)
+        );
+    }
+
+    #[test]
+    fn scripted_fallback_delay() {
+        let mut c = ScriptedController::new().with_default_delay(7);
+        let e = env(MsgDir::Reply, ClientId::reader(1), ObjectId(0), 3, 1);
+        assert_eq!(
+            Controller::<u8, u8>::on_reply(&mut c, &e, 100),
+            Verdict::DeliverAt(107)
+        );
+    }
+
+    #[test]
+    fn rule_matching_is_conjunctive() {
+        let rule = Rule::hold(MsgDir::Request)
+            .client(ClientId::reader(0))
+            .op_seq(1)
+            .round(2);
+        assert!(rule.matches(MsgDir::Request, ClientId::reader(0), ObjectId(9), 1, 2));
+        assert!(!rule.matches(MsgDir::Reply, ClientId::reader(0), ObjectId(9), 1, 2));
+        assert!(!rule.matches(MsgDir::Request, ClientId::reader(1), ObjectId(9), 1, 2));
+        assert!(!rule.matches(MsgDir::Request, ClientId::reader(0), ObjectId(9), 0, 2));
+        assert!(!rule.matches(MsgDir::Request, ClientId::reader(0), ObjectId(9), 1, 1));
+    }
+}

@@ -1,0 +1,704 @@
+//! The discrete-event simulation engine.
+//!
+//! Processes never share memory: the engine owns every client and object and
+//! delivers messages between them according to a [`Controller`]'s verdicts.
+//! Execution is fully deterministic: events are ordered by
+//! `(time, sequence-number)` and all randomness lives in seeded controllers.
+
+use crate::control::{Controller, FixedDelay, Verdict};
+use crate::trace::Trace;
+use rastor_common::{ClientId, ObjectId, OpKind, OpStat, RoundCount};
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+use std::collections::HashMap;
+use std::fmt;
+
+/// Unique identifier of a message instance in a run.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct MsgId(pub u64);
+
+/// Direction of a message.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum MsgDir {
+    /// Client → object request.
+    Request,
+    /// Object → client reply.
+    Reply,
+}
+
+/// A message in flight, visible to [`Controller`] implementations so that
+/// scripted adversaries can pattern-match on semantic coordinates
+/// (client, object, operation sequence number, round).
+#[derive(Clone, Debug)]
+pub struct Envelope<P> {
+    /// Unique message id.
+    pub id: MsgId,
+    /// Direction (request or reply).
+    pub dir: MsgDir,
+    /// The client endpoint (sender of a request / recipient of a reply).
+    pub client: ClientId,
+    /// The object endpoint.
+    pub object: ObjectId,
+    /// Per-client operation sequence number (0-based).
+    pub op_seq: u64,
+    /// Round number within the operation (1-based).
+    pub round: u32,
+    /// Protocol payload.
+    pub payload: P,
+}
+
+/// What a [`RoundClient`] does after processing a reply.
+#[derive(Debug)]
+pub enum ClientAction<Q, Out> {
+    /// Keep waiting for more replies in the current (or late prior) rounds.
+    Wait,
+    /// Terminate the current round and broadcast the next one.
+    NextRound(Q),
+    /// The operation completes with the given output.
+    Complete(Out),
+}
+
+/// A client-side operation automaton, structured in communication rounds
+/// (paper, Definition 1).
+///
+/// The engine calls [`RoundClient::start`] once to obtain the round-1
+/// broadcast, then feeds every reply (tagged with the round it answers) to
+/// [`RoundClient::on_reply`]. Late replies from earlier rounds are delivered
+/// too — the paper's round model explicitly lets a client use them.
+pub trait RoundClient<Q, R> {
+    /// The operation's result type.
+    type Out;
+
+    /// Produce the round-1 request broadcast to all objects.
+    fn start(&mut self) -> Q;
+
+    /// Process one reply; decide whether to wait, start the next round, or
+    /// complete.
+    fn on_reply(&mut self, from: ObjectId, round: u32, reply: &R) -> ClientAction<Q, Self::Out>;
+}
+
+/// A storage-object automaton.
+///
+/// Correct objects are deterministic and reply to every request before
+/// processing any other message (the engine guarantees atomic handling).
+/// A *Byzantine* object is any other implementation: it may lie, equivocate
+/// per client, or return `None` to stay silent. Crash faults are the special
+/// case of eventually returning `None` forever.
+pub trait ObjectBehavior<Q, R> {
+    /// Handle one request, optionally producing a reply.
+    fn on_request(&mut self, from: ClientId, req: &Q) -> Option<R>;
+}
+
+/// A completed operation, as reported by [`Sim::run_to_quiescence`] et al.
+#[derive(Clone, Debug)]
+pub struct Completion<Out> {
+    /// The client whose operation completed.
+    pub client: ClientId,
+    /// Per-client operation sequence number.
+    pub op_seq: u64,
+    /// The operation's output.
+    pub output: Out,
+    /// Rounds/latency statistics.
+    pub stat: OpStat,
+}
+
+/// Engine configuration.
+#[derive(Clone, Debug)]
+pub struct SimConfig {
+    /// Hard cap on processed events, guarding against non-terminating
+    /// protocols (a wait-freedom violation surfaces as hitting this cap).
+    pub max_events: u64,
+    /// Whether to record per-client observation transcripts (needed by the
+    /// indistinguishability checks; costs memory on long soak runs).
+    pub record_observations: bool,
+}
+
+impl Default for SimConfig {
+    fn default() -> SimConfig {
+        SimConfig {
+            max_events: 10_000_000,
+            record_observations: true,
+        }
+    }
+}
+
+enum Event<Q, R> {
+    DeliverRequest(Envelope<Q>),
+    DeliverReply(Envelope<R>),
+    Invoke(ClientId),
+    CrashClient(ClientId),
+}
+
+struct PendingOp<Q, R, Out> {
+    automaton: Box<dyn RoundClient<Q, R, Out = Out>>,
+    kind: OpKind,
+    op_seq: u64,
+    round: u32,
+    invoked_at: u64,
+    rounds: RoundCount,
+}
+
+struct ClientSlot<Q, R, Out> {
+    pending: Option<PendingOp<Q, R, Out>>,
+    queue: Vec<(u64, OpKind, Box<dyn RoundClient<Q, R, Out = Out>>)>,
+    crashed: bool,
+    next_op_seq: u64,
+}
+
+impl<Q, R, Out> Default for ClientSlot<Q, R, Out> {
+    fn default() -> Self {
+        ClientSlot {
+            pending: None,
+            queue: Vec::new(),
+            crashed: false,
+            next_op_seq: 0,
+        }
+    }
+}
+
+/// The simulator: owns objects, clients, the event queue and the trace.
+pub struct Sim<Q, R, Out> {
+    cfg: SimConfig,
+    time: u64,
+    seq: u64,
+    next_msg: u64,
+    events: BinaryHeap<Reverse<(u64, u64, u64)>>, // (time, seq, key into store)
+    store: HashMap<u64, Event<Q, R>>,
+    objects: Vec<Box<dyn ObjectBehavior<Q, R>>>,
+    clients: HashMap<ClientId, ClientSlot<Q, R, Out>>,
+    controller: Box<dyn Controller<Q, R>>,
+    held: HashMap<MsgId, Event<Q, R>>,
+    fifo_floor: HashMap<(ClientId, ObjectId, MsgDir), u64>,
+    trace: Trace,
+    processed: u64,
+}
+
+impl<Q, R, Out> Sim<Q, R, Out>
+where
+    Q: Clone + fmt::Debug,
+    R: Clone + fmt::Debug,
+    Out: fmt::Debug,
+{
+    /// Create an empty simulator with a unit-delay [`FixedDelay`] controller.
+    pub fn new(cfg: SimConfig) -> Sim<Q, R, Out> {
+        Sim::with_controller(cfg, Box::new(FixedDelay::new(1)))
+    }
+
+    /// Create a simulator driven by the given controller.
+    pub fn with_controller(cfg: SimConfig, controller: Box<dyn Controller<Q, R>>) -> Sim<Q, R, Out> {
+        Sim {
+            cfg,
+            time: 0,
+            seq: 0,
+            next_msg: 0,
+            events: BinaryHeap::new(),
+            store: HashMap::new(),
+            objects: Vec::new(),
+            clients: HashMap::new(),
+            controller,
+            held: HashMap::new(),
+            fifo_floor: HashMap::new(),
+            trace: Trace::default(),
+            processed: 0,
+        }
+    }
+
+    /// Register a storage object; returns its id. Objects are added in
+    /// index order `s0, s1, …`.
+    pub fn add_object(&mut self, behavior: Box<dyn ObjectBehavior<Q, R>>) -> ObjectId {
+        let id = ObjectId(self.objects.len() as u32);
+        self.objects.push(behavior);
+        id
+    }
+
+    /// Replace an object's behavior mid-run (used by fault-injection tests
+    /// to turn a correct object Byzantine at a chosen instant).
+    pub fn replace_object(&mut self, id: ObjectId, behavior: Box<dyn ObjectBehavior<Q, R>>) {
+        self.objects[id.index()] = behavior;
+    }
+
+    /// Number of registered objects.
+    pub fn num_objects(&self) -> usize {
+        self.objects.len()
+    }
+
+    /// Current logical time.
+    pub fn now(&self) -> u64 {
+        self.time
+    }
+
+    /// Access the recorded trace.
+    pub fn trace(&self) -> &Trace {
+        &self.trace
+    }
+
+    /// Consume the simulator, returning the trace.
+    pub fn into_trace(self) -> Trace {
+        self.trace
+    }
+
+    /// Mutable access to the controller (for scripted runs that release held
+    /// messages between phases).
+    pub fn controller_mut(&mut self) -> &mut dyn Controller<Q, R> {
+        self.controller.as_mut()
+    }
+
+    /// Schedule an operation invocation at an absolute time. Operations by
+    /// the same client queue FIFO: a client "does not invoke the next
+    /// operation until it receives the response for the current operation"
+    /// (paper, Section 2.2) — queued invocations start only after the
+    /// previous one completes (and at or after their scheduled time).
+    pub fn invoke_at(
+        &mut self,
+        at: u64,
+        client: ClientId,
+        kind: OpKind,
+        automaton: Box<dyn RoundClient<Q, R, Out = Out>>,
+    ) {
+        let slot = self.clients.entry(client).or_default();
+        slot.queue.push((at, kind, automaton));
+        // Keep the queue sorted by requested time (stable for equal times).
+        slot.queue.sort_by_key(|(t, _, _)| *t);
+        self.push_event(at, Event::Invoke(client));
+    }
+
+    /// Schedule a client crash at an absolute time: the client stops taking
+    /// steps; its pending operation never completes.
+    pub fn crash_client_at(&mut self, at: u64, client: ClientId) {
+        self.push_event(at, Event::CrashClient(client));
+    }
+
+    /// Release a held message for delivery at the given absolute time
+    /// (must be ≥ the current time). Used by scripted adversaries.
+    pub fn release_held(&mut self, id: MsgId, at: u64) {
+        if let Some(ev) = self.held.remove(&id) {
+            self.push_event(at.max(self.time), ev);
+        }
+    }
+
+    /// Ids of messages currently held "in transit".
+    pub fn held_messages(&self) -> Vec<MsgId> {
+        let mut v: Vec<MsgId> = self.held.keys().copied().collect();
+        v.sort();
+        v
+    }
+
+    fn push_event(&mut self, at: u64, ev: Event<Q, R>) {
+        let key = self.seq;
+        self.seq += 1;
+        self.store.insert(key, ev);
+        self.events.push(Reverse((at, key, key)));
+    }
+
+    fn fresh_msg_id(&mut self) -> MsgId {
+        let id = MsgId(self.next_msg);
+        self.next_msg += 1;
+        id
+    }
+
+    /// FIFO channels: clamp a delivery time to be no earlier than the last
+    /// delivery already scheduled on the same directed link.
+    fn fifo_clamp(&mut self, client: ClientId, object: ObjectId, dir: MsgDir, at: u64) -> u64 {
+        let floor = self.fifo_floor.entry((client, object, dir)).or_insert(0);
+        let when = at.max(*floor);
+        *floor = when;
+        when
+    }
+
+    fn route_request(&mut self, env: Envelope<Q>) {
+        match self.controller.on_request(&env, self.time) {
+            Verdict::DeliverAt(at) => {
+                let at = self
+                    .fifo_clamp(env.client, env.object, MsgDir::Request, at.max(self.time));
+                self.push_event(at, Event::DeliverRequest(env));
+            }
+            Verdict::Hold => {
+                self.held.insert(env.id, Event::DeliverRequest(env));
+            }
+        }
+    }
+
+    fn route_reply(&mut self, env: Envelope<R>) {
+        match self.controller.on_reply(&env, self.time) {
+            Verdict::DeliverAt(at) => {
+                let at = self.fifo_clamp(env.client, env.object, MsgDir::Reply, at.max(self.time));
+                self.push_event(at, Event::DeliverReply(env));
+            }
+            Verdict::Hold => {
+                self.held.insert(env.id, Event::DeliverReply(env));
+            }
+        }
+    }
+
+    fn broadcast(&mut self, client: ClientId, op_seq: u64, round: u32, payload: Q) {
+        self.trace.note_round(client, op_seq, round, self.time);
+        for idx in 0..self.objects.len() {
+            let env = Envelope {
+                id: self.fresh_msg_id(),
+                dir: MsgDir::Request,
+                client,
+                object: ObjectId(idx as u32),
+                op_seq,
+                round,
+                payload: payload.clone(),
+            };
+            self.route_request(env);
+        }
+    }
+
+    fn maybe_start_queued(&mut self, client: ClientId) {
+        let now = self.time;
+        let Some(slot) = self.clients.get_mut(&client) else {
+            return;
+        };
+        if slot.crashed || slot.pending.is_some() || slot.queue.is_empty() {
+            return;
+        }
+        if slot.queue[0].0 > now {
+            return; // its Invoke event will fire later
+        }
+        let (_, kind, mut automaton) = slot.queue.remove(0);
+        let op_seq = slot.next_op_seq;
+        slot.next_op_seq += 1;
+        let first = automaton.start();
+        slot.pending = Some(PendingOp {
+            automaton,
+            kind,
+            op_seq,
+            round: 1,
+            invoked_at: now,
+            rounds: RoundCount(1),
+        });
+        self.trace.note_invoke(client, op_seq, kind, now);
+        self.broadcast(client, op_seq, 1, first);
+    }
+
+    fn handle_event(&mut self, ev: Event<Q, R>) -> Option<Completion<Out>> {
+        match ev {
+            Event::Invoke(client) => {
+                self.maybe_start_queued(client);
+                None
+            }
+            Event::CrashClient(client) => {
+                let slot = self.clients.entry(client).or_default();
+                slot.crashed = true;
+                slot.pending = None;
+                slot.queue.clear();
+                self.trace.note_crash(client, self.time);
+                None
+            }
+            Event::DeliverRequest(env) => {
+                let obj = &mut self.objects[env.object.index()];
+                let reply = obj.on_request(env.client, &env.payload);
+                if let Some(payload) = reply {
+                    let renv = Envelope {
+                        id: self.fresh_msg_id(),
+                        dir: MsgDir::Reply,
+                        client: env.client,
+                        object: env.object,
+                        op_seq: env.op_seq,
+                        round: env.round,
+                        payload,
+                    };
+                    self.route_reply(renv);
+                }
+                None
+            }
+            Event::DeliverReply(env) => self.deliver_reply(env),
+        }
+    }
+
+    fn deliver_reply(&mut self, env: Envelope<R>) -> Option<Completion<Out>> {
+        let now = self.time;
+        let record = self.cfg.record_observations;
+        let Some(slot) = self.clients.get_mut(&env.client) else {
+            return None;
+        };
+        if slot.crashed {
+            return None;
+        }
+        let Some(op) = slot.pending.as_mut() else {
+            return None; // late reply to an already-completed operation
+        };
+        if op.op_seq != env.op_seq {
+            return None; // reply to a previous operation of this client
+        }
+        if record {
+            self.trace
+                .note_observation(env.client, env.op_seq, env.round, env.object, format!("{:?}", env.payload), now);
+        }
+        let action = op.automaton.on_reply(env.object, env.round, &env.payload);
+        match action {
+            ClientAction::Wait => None,
+            ClientAction::NextRound(payload) => {
+                op.round += 1;
+                op.rounds = op.rounds.bump();
+                let (op_seq, round) = (op.op_seq, op.round);
+                self.broadcast(env.client, op_seq, round, payload);
+                None
+            }
+            ClientAction::Complete(output) => {
+                let op = slot.pending.take().expect("pending op exists");
+                let stat = OpStat {
+                    kind: op.kind,
+                    rounds: op.rounds,
+                    invoked_at: op.invoked_at,
+                    completed_at: now,
+                };
+                self.trace
+                    .note_complete(env.client, op.op_seq, format!("{output:?}"), stat);
+                let completion = Completion {
+                    client: env.client,
+                    op_seq: op.op_seq,
+                    output,
+                    stat,
+                };
+                // A queued next operation may start immediately.
+                self.maybe_start_queued(env.client);
+                Some(completion)
+            }
+        }
+    }
+
+    /// Process events until the next operation completion; returns it, or
+    /// `None` when the event queue drains (or the event cap is hit) first.
+    pub fn run_until_completion(&mut self) -> Option<Completion<Out>> {
+        while let Some(Reverse((at, _, key))) = self.events.pop() {
+            self.processed += 1;
+            if self.processed > self.cfg.max_events {
+                return None;
+            }
+            self.time = self.time.max(at);
+            let ev = self.store.remove(&key).expect("event stored");
+            if let Some(done) = self.handle_event(ev) {
+                return Some(done);
+            }
+        }
+        None
+    }
+
+    /// Run until no events remain, collecting every completion.
+    pub fn run_to_quiescence(&mut self) -> Vec<Completion<Out>> {
+        let mut out = Vec::new();
+        while let Some(c) = self.run_until_completion() {
+            out.push(c);
+        }
+        out
+    }
+
+    /// Whether the event cap was hit (indicating a stuck / non-wait-free run).
+    pub fn hit_event_cap(&self) -> bool {
+        self.processed > self.cfg.max_events
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct Echo;
+    impl ObjectBehavior<u32, u32> for Echo {
+        fn on_request(&mut self, _from: ClientId, req: &u32) -> Option<u32> {
+            Some(*req + 1)
+        }
+    }
+
+    struct Silent;
+    impl ObjectBehavior<u32, u32> for Silent {
+        fn on_request(&mut self, _from: ClientId, _req: &u32) -> Option<u32> {
+            None
+        }
+    }
+
+    struct NRound {
+        need: usize,
+        got: usize,
+        rounds_left: u32,
+    }
+    impl RoundClient<u32, u32> for NRound {
+        type Out = u32;
+        fn start(&mut self) -> u32 {
+            0
+        }
+        fn on_reply(&mut self, _from: ObjectId, _round: u32, reply: &u32) -> ClientAction<u32, u32> {
+            self.got += 1;
+            if self.got < self.need {
+                return ClientAction::Wait;
+            }
+            self.got = 0;
+            if self.rounds_left > 1 {
+                self.rounds_left -= 1;
+                ClientAction::NextRound(*reply)
+            } else {
+                ClientAction::Complete(*reply)
+            }
+        }
+    }
+
+    fn sim_with(objs: Vec<Box<dyn ObjectBehavior<u32, u32>>>) -> Sim<u32, u32, u32> {
+        let mut sim = Sim::new(SimConfig::default());
+        for o in objs {
+            sim.add_object(o);
+        }
+        sim
+    }
+
+    #[test]
+    fn single_round_completes_with_quorum() {
+        let mut sim = sim_with(vec![Box::new(Echo), Box::new(Echo), Box::new(Echo)]);
+        sim.invoke_at(
+            0,
+            ClientId::reader(0),
+            OpKind::Read,
+            Box::new(NRound {
+                need: 2,
+                got: 0,
+                rounds_left: 1,
+            }),
+        );
+        let done = sim.run_to_quiescence();
+        assert_eq!(done.len(), 1);
+        assert_eq!(done[0].stat.rounds.get(), 1);
+    }
+
+    #[test]
+    fn multi_round_counts_rounds() {
+        let mut sim = sim_with(vec![Box::new(Echo), Box::new(Echo), Box::new(Echo)]);
+        sim.invoke_at(
+            0,
+            ClientId::writer(),
+            OpKind::Write,
+            Box::new(NRound {
+                need: 3,
+                got: 0,
+                rounds_left: 3,
+            }),
+        );
+        let done = sim.run_to_quiescence();
+        assert_eq!(done.len(), 1);
+        assert_eq!(done[0].stat.rounds.get(), 3);
+    }
+
+    #[test]
+    fn tolerates_silent_minority() {
+        let mut sim = sim_with(vec![Box::new(Echo), Box::new(Echo), Box::new(Silent)]);
+        sim.invoke_at(
+            0,
+            ClientId::reader(1),
+            OpKind::Read,
+            Box::new(NRound {
+                need: 2,
+                got: 0,
+                rounds_left: 2,
+            }),
+        );
+        let done = sim.run_to_quiescence();
+        assert_eq!(done.len(), 1, "quorum of 2 out of 3 must suffice");
+    }
+
+    #[test]
+    fn blocks_forever_without_quorum_but_terminates_sim() {
+        let mut sim = sim_with(vec![Box::new(Echo), Box::new(Silent), Box::new(Silent)]);
+        sim.invoke_at(
+            0,
+            ClientId::reader(0),
+            OpKind::Read,
+            Box::new(NRound {
+                need: 2,
+                got: 0,
+                rounds_left: 1,
+            }),
+        );
+        let done = sim.run_to_quiescence();
+        assert!(done.is_empty(), "operation must not complete");
+        assert!(!sim.hit_event_cap(), "queue drains; no livelock");
+    }
+
+    #[test]
+    fn crashed_client_never_completes() {
+        let mut sim = sim_with(vec![Box::new(Echo), Box::new(Echo), Box::new(Echo)]);
+        sim.invoke_at(
+            5,
+            ClientId::reader(0),
+            OpKind::Read,
+            Box::new(NRound {
+                need: 3,
+                got: 0,
+                rounds_left: 2,
+            }),
+        );
+        sim.crash_client_at(5, ClientId::reader(0));
+        // Crash event shares the timestamp; it is scheduled after the invoke
+        // (seq order), so the op starts then dies mid-flight.
+        let done = sim.run_to_quiescence();
+        assert!(done.is_empty());
+    }
+
+    #[test]
+    fn sequential_ops_queue_fifo() {
+        let mut sim = sim_with(vec![Box::new(Echo), Box::new(Echo), Box::new(Echo)]);
+        for i in 0..3 {
+            sim.invoke_at(
+                i,
+                ClientId::writer(),
+                OpKind::Write,
+                Box::new(NRound {
+                    need: 2,
+                    got: 0,
+                    rounds_left: 1,
+                }),
+            );
+        }
+        let done = sim.run_to_quiescence();
+        assert_eq!(done.len(), 3);
+        let seqs: Vec<u64> = done.iter().map(|c| c.op_seq).collect();
+        assert_eq!(seqs, vec![0, 1, 2]);
+        // Ops are sequential: each starts after the previous completes.
+        for w in done.windows(2) {
+            assert!(w[1].stat.invoked_at >= w[0].stat.completed_at);
+        }
+    }
+
+    #[test]
+    fn determinism_same_seed_same_trace() {
+        let run = || {
+            let mut sim = sim_with(vec![Box::new(Echo), Box::new(Echo), Box::new(Echo)]);
+            for i in 0..5 {
+                sim.invoke_at(
+                    i * 3,
+                    ClientId::reader((i % 2) as u32),
+                    OpKind::Read,
+                    Box::new(NRound {
+                        need: 2,
+                        got: 0,
+                        rounds_left: 2,
+                    }),
+                );
+            }
+            sim.run_to_quiescence()
+                .iter()
+                .map(|c| (c.client, c.op_seq, c.stat.completed_at))
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn observations_are_recorded() {
+        let mut sim = sim_with(vec![Box::new(Echo), Box::new(Echo), Box::new(Echo)]);
+        sim.invoke_at(
+            0,
+            ClientId::reader(0),
+            OpKind::Read,
+            Box::new(NRound {
+                need: 2,
+                got: 0,
+                rounds_left: 1,
+            }),
+        );
+        sim.run_to_quiescence();
+        let obs = sim.trace().observations_of(ClientId::reader(0));
+        assert!(!obs.is_empty());
+        assert!(obs.iter().all(|o| o.round == 1));
+    }
+}

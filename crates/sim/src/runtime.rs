@@ -1,0 +1,266 @@
+//! A real-thread deployment of the same protocol automata.
+//!
+//! The simulator in [`crate::engine`] is the reference substrate (it can
+//! replay adversarial schedules deterministically), but the protocol code is
+//! substrate-independent: this module runs the very same [`ObjectBehavior`]
+//! and [`RoundClient`] implementations over OS threads and channels,
+//! demonstrating that nothing in the protocols depends on simulation
+//! artifacts. Examples use it to exercise realistic concurrency.
+//!
+//! Faults available here are crash-style (dropping an object's thread) and
+//! arbitrary behaviors (any [`ObjectBehavior`] impl); scheduling adversaries
+//! are only available in the simulator.
+
+use crate::engine::{ClientAction, ObjectBehavior, RoundClient};
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use rastor_common::{ClientId, ObjectId};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+struct ObjRequest<Q, R> {
+    from: ClientId,
+    op_nonce: u64,
+    round: u32,
+    payload: Q,
+    reply_to: Sender<ObjReply<R>>,
+}
+
+/// A reply as received by a threaded client.
+struct ObjReply<R> {
+    from: ObjectId,
+    op_nonce: u64,
+    round: u32,
+    payload: R,
+}
+
+/// A cluster of storage objects, each running on its own thread.
+pub struct ThreadCluster<Q, R> {
+    senders: Vec<Option<Sender<ObjRequest<Q, R>>>>,
+    handles: Vec<Option<JoinHandle<()>>>,
+}
+
+impl<Q, R> ThreadCluster<Q, R>
+where
+    Q: Send + 'static,
+    R: Send + 'static,
+{
+    /// Spawn one thread per behavior. `jitter` optionally adds a per-request
+    /// random sleep up to the given duration, surfacing interleavings.
+    pub fn spawn(
+        behaviors: Vec<Box<dyn ObjectBehavior<Q, R> + Send>>,
+        jitter: Option<Duration>,
+    ) -> ThreadCluster<Q, R> {
+        let mut senders = Vec::new();
+        let mut handles = Vec::new();
+        for (i, mut behavior) in behaviors.into_iter().enumerate() {
+            let (tx, rx): (Sender<ObjRequest<Q, R>>, Receiver<ObjRequest<Q, R>>) = unbounded();
+            let oid = ObjectId(i as u32);
+            let handle = std::thread::spawn(move || {
+                // Cheap deterministic-ish jitter source (thread-local LCG).
+                let mut state: u64 = 0x9e37_79b9_7f4a_7c15 ^ (i as u64);
+                while let Ok(req) = rx.recv() {
+                    if let Some(j) = jitter {
+                        state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+                        let frac = (state >> 33) as f64 / u32::MAX as f64;
+                        std::thread::sleep(j.mul_f64(frac));
+                    }
+                    if let Some(payload) = behavior.on_request(req.from, &req.payload) {
+                        // The client may have finished; ignore send errors.
+                        let _ = req.reply_to.send(ObjReply {
+                            from: oid,
+                            op_nonce: req.op_nonce,
+                            round: req.round,
+                            payload,
+                        });
+                    }
+                }
+            });
+            senders.push(Some(tx));
+            handles.push(Some(handle));
+        }
+        ThreadCluster { senders, handles }
+    }
+
+    /// Number of objects (including crashed ones).
+    pub fn num_objects(&self) -> usize {
+        self.senders.len()
+    }
+
+    /// Crash an object: its thread drains and exits; requests to it are
+    /// silently dropped from now on.
+    pub fn crash_object(&mut self, id: ObjectId) {
+        self.senders[id.index()] = None;
+        if let Some(h) = self.handles[id.index()].take() {
+            // The thread exits once its channel disconnects.
+            let _ = h.join();
+        }
+    }
+
+    fn broadcast(
+        &self,
+        from: ClientId,
+        op_nonce: u64,
+        round: u32,
+        payload: &Q,
+        reply_to: &Sender<ObjReply<R>>,
+    ) where
+        Q: Clone,
+    {
+        for tx in self.senders.iter().flatten() {
+            let _ = tx.send(ObjRequest {
+                from,
+                op_nonce,
+                round,
+                payload: payload.clone(),
+                reply_to: reply_to.clone(),
+            });
+        }
+    }
+}
+
+/// A blocking client endpoint for a [`ThreadCluster`].
+pub struct ThreadClient<Q, R> {
+    id: ClientId,
+    next_nonce: u64,
+    _marker: std::marker::PhantomData<(Q, R)>,
+}
+
+impl<Q, R> ThreadClient<Q, R>
+where
+    Q: Clone + Send + 'static,
+    R: Send + 'static,
+{
+    /// Create a client endpoint.
+    pub fn new(id: ClientId) -> ThreadClient<Q, R> {
+        ThreadClient {
+            id,
+            next_nonce: 0,
+            _marker: std::marker::PhantomData,
+        }
+    }
+
+    /// Drive one operation to completion over the cluster, blocking the
+    /// calling thread. Returns `None` if the cluster can no longer supply
+    /// enough replies (too many crashed objects) — detected by a timeout.
+    pub fn run_op<Out>(
+        &mut self,
+        cluster: &ThreadCluster<Q, R>,
+        mut automaton: Box<dyn RoundClient<Q, R, Out = Out>>,
+        timeout: Duration,
+    ) -> Option<(Out, u32)> {
+        let nonce = self.next_nonce;
+        self.next_nonce += 1;
+        let (tx, rx) = unbounded::<ObjReply<R>>();
+        let mut round = 1u32;
+        let first = automaton.start();
+        cluster.broadcast(self.id, nonce, round, &first, &tx);
+        loop {
+            let reply = rx.recv_timeout(timeout).ok()?;
+            if reply.op_nonce != nonce {
+                continue;
+            }
+            match automaton.on_reply(reply.from, reply.round, &reply.payload) {
+                ClientAction::Wait => {}
+                ClientAction::NextRound(q) => {
+                    round += 1;
+                    cluster.broadcast(self.id, nonce, round, &q, &tx);
+                }
+                ClientAction::Complete(out) => return Some((out, round)),
+            }
+        }
+    }
+}
+
+impl<Q, R> Drop for ThreadCluster<Q, R> {
+    fn drop(&mut self) {
+        for tx in &mut self.senders {
+            *tx = None;
+        }
+        for h in &mut self.handles {
+            if let Some(h) = h.take() {
+                let _ = h.join();
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct Echo;
+    impl ObjectBehavior<u32, u32> for Echo {
+        fn on_request(&mut self, _from: ClientId, req: &u32) -> Option<u32> {
+            Some(req + 10)
+        }
+    }
+
+    struct Collect {
+        need: usize,
+        got: usize,
+    }
+    impl RoundClient<u32, u32> for Collect {
+        type Out = u32;
+        fn start(&mut self) -> u32 {
+            1
+        }
+        fn on_reply(&mut self, _from: ObjectId, _round: u32, reply: &u32) -> ClientAction<u32, u32> {
+            self.got += 1;
+            if self.got >= self.need {
+                ClientAction::Complete(*reply)
+            } else {
+                ClientAction::Wait
+            }
+        }
+    }
+
+    fn cluster(n: usize) -> ThreadCluster<u32, u32> {
+        let behaviors: Vec<Box<dyn ObjectBehavior<u32, u32> + Send>> =
+            (0..n).map(|_| Box::new(Echo) as _).collect();
+        ThreadCluster::spawn(behaviors, None)
+    }
+
+    #[test]
+    fn threaded_op_completes() {
+        let cl = cluster(4);
+        let mut client = ThreadClient::new(ClientId::reader(0));
+        let (out, rounds) = client
+            .run_op(&cl, Box::new(Collect { need: 3, got: 0 }), Duration::from_secs(5))
+            .expect("completes");
+        assert_eq!(out, 11);
+        assert_eq!(rounds, 1);
+    }
+
+    #[test]
+    fn tolerates_crashed_minority() {
+        let mut cl = cluster(4);
+        cl.crash_object(ObjectId(3));
+        let mut client = ThreadClient::new(ClientId::reader(0));
+        let res = client.run_op(&cl, Box::new(Collect { need: 3, got: 0 }), Duration::from_secs(5));
+        assert!(res.is_some());
+    }
+
+    #[test]
+    fn times_out_without_quorum() {
+        let mut cl = cluster(3);
+        cl.crash_object(ObjectId(1));
+        cl.crash_object(ObjectId(2));
+        let mut client = ThreadClient::new(ClientId::reader(0));
+        let res = client.run_op(
+            &cl,
+            Box::new(Collect { need: 3, got: 0 }),
+            Duration::from_millis(50),
+        );
+        assert!(res.is_none());
+    }
+
+    #[test]
+    fn jitter_does_not_break_completion() {
+        let behaviors: Vec<Box<dyn ObjectBehavior<u32, u32> + Send>> =
+            (0..5).map(|_| Box::new(Echo) as _).collect();
+        let cl = ThreadCluster::spawn(behaviors, Some(Duration::from_millis(2)));
+        let mut client = ThreadClient::new(ClientId::writer());
+        let res = client.run_op(&cl, Box::new(Collect { need: 4, got: 0 }), Duration::from_secs(5));
+        assert!(res.is_some());
+    }
+}

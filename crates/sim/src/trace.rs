@@ -1,0 +1,218 @@
+//! Run traces: operation histories and per-client observation transcripts.
+//!
+//! Two consumers:
+//!
+//! * the **atomicity/regularity checkers** (in `rastor-core`) consume the
+//!   operation history — invocation/response times plus outputs — to verify
+//!   the paper's four atomicity properties on every recorded run;
+//! * the **indistinguishability checker** (in `rastor-lowerbound`) compares
+//!   a client's observation transcript across two runs: the paper's proofs
+//!   hinge on a reader being unable to distinguish run `pr_i` from run
+//!   `∆pr_i`, which operationally means its transcripts are identical.
+
+use rastor_common::{ClientId, ObjectId, OpKind, OpStat};
+
+/// One reply observed by a client: the complete information a client step
+/// receives (the paper's steps are `⟨p, M⟩` — process plus received
+/// messages).
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct Observation {
+    /// Per-client operation sequence number.
+    pub op_seq: u64,
+    /// The round this reply answers.
+    pub round: u32,
+    /// The replying object.
+    pub object: ObjectId,
+    /// Debug rendering of the reply payload (protocol-agnostic).
+    pub payload: String,
+    /// Logical arrival time (excluded from indistinguishability comparison —
+    /// asynchronous clients cannot read a global clock).
+    pub at: u64,
+}
+
+/// The record of one operation in the history.
+#[derive(Clone, Debug)]
+pub struct OpRecord {
+    /// Invoking client.
+    pub client: ClientId,
+    /// Per-client operation sequence number.
+    pub op_seq: u64,
+    /// Operation kind.
+    pub kind: OpKind,
+    /// Invocation time.
+    pub invoked_at: u64,
+    /// Completion time and round count, if the operation completed.
+    pub stat: Option<OpStat>,
+    /// Debug rendering of the output, if completed.
+    pub output: Option<String>,
+}
+
+impl OpRecord {
+    /// Whether the operation completed in the recorded run.
+    pub fn is_complete(&self) -> bool {
+        self.stat.is_some()
+    }
+}
+
+/// A full run trace.
+#[derive(Clone, Debug, Default)]
+pub struct Trace {
+    ops: Vec<OpRecord>,
+    observations: Vec<(ClientId, Observation)>,
+    round_starts: Vec<(ClientId, u64, u32, u64)>,
+    crashes: Vec<(ClientId, u64)>,
+}
+
+impl Trace {
+    pub(crate) fn note_invoke(&mut self, client: ClientId, op_seq: u64, kind: OpKind, at: u64) {
+        self.ops.push(OpRecord {
+            client,
+            op_seq,
+            kind,
+            invoked_at: at,
+            stat: None,
+            output: None,
+        });
+    }
+
+    pub(crate) fn note_complete(&mut self, client: ClientId, op_seq: u64, output: String, stat: OpStat) {
+        if let Some(rec) = self
+            .ops
+            .iter_mut()
+            .rev()
+            .find(|r| r.client == client && r.op_seq == op_seq)
+        {
+            rec.stat = Some(stat);
+            rec.output = Some(output);
+        }
+    }
+
+    pub(crate) fn note_observation(
+        &mut self,
+        client: ClientId,
+        op_seq: u64,
+        round: u32,
+        object: ObjectId,
+        payload: String,
+        at: u64,
+    ) {
+        self.observations.push((
+            client,
+            Observation {
+                op_seq,
+                round,
+                object,
+                payload,
+                at,
+            },
+        ));
+    }
+
+    pub(crate) fn note_round(&mut self, client: ClientId, op_seq: u64, round: u32, at: u64) {
+        self.round_starts.push((client, op_seq, round, at));
+    }
+
+    pub(crate) fn note_crash(&mut self, client: ClientId, at: u64) {
+        self.crashes.push((client, at));
+    }
+
+    /// All operation records, in invocation order.
+    pub fn ops(&self) -> &[OpRecord] {
+        &self.ops
+    }
+
+    /// Operations invoked by one client, in order.
+    pub fn ops_of(&self, client: ClientId) -> Vec<&OpRecord> {
+        self.ops.iter().filter(|r| r.client == client).collect()
+    }
+
+    /// The observation transcript of one client: every reply it received,
+    /// in arrival order. Two runs are indistinguishable to the client iff
+    /// these transcripts are equal (ignoring the wall-clock `at` fields).
+    pub fn observations_of(&self, client: ClientId) -> Vec<&Observation> {
+        self.observations
+            .iter()
+            .filter(|(c, _)| *c == client)
+            .map(|(_, o)| o)
+            .collect()
+    }
+
+    /// A canonical, time-free rendering of a client's transcript, suitable
+    /// for equality comparison across runs.
+    pub fn transcript_of(&self, client: ClientId) -> Vec<String> {
+        self.observations_of(client)
+            .iter()
+            .map(|o| format!("op{} rnd{} {}: {}", o.op_seq, o.round, o.object, o.payload))
+            .collect()
+    }
+
+    /// Times at which a client started rounds: `(op_seq, round, at)`.
+    pub fn rounds_of(&self, client: ClientId) -> Vec<(u64, u32, u64)> {
+        self.round_starts
+            .iter()
+            .filter(|(c, ..)| *c == client)
+            .map(|&(_, s, r, a)| (s, r, a))
+            .collect()
+    }
+
+    /// Recorded client crashes `(client, at)`.
+    pub fn crashes(&self) -> &[(ClientId, u64)] {
+        &self.crashes
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rastor_common::RoundCount;
+
+    fn stat(kind: OpKind) -> OpStat {
+        OpStat {
+            kind,
+            rounds: RoundCount(2),
+            invoked_at: 0,
+            completed_at: 9,
+        }
+    }
+
+    #[test]
+    fn invoke_then_complete_links_records() {
+        let mut tr = Trace::default();
+        tr.note_invoke(ClientId::writer(), 0, OpKind::Write, 0);
+        assert!(!tr.ops()[0].is_complete());
+        tr.note_complete(ClientId::writer(), 0, "Wrote".into(), stat(OpKind::Write));
+        assert!(tr.ops()[0].is_complete());
+        assert_eq!(tr.ops_of(ClientId::writer()).len(), 1);
+        assert_eq!(tr.ops_of(ClientId::reader(0)).len(), 0);
+    }
+
+    #[test]
+    fn transcripts_are_per_client_and_ordered() {
+        let mut tr = Trace::default();
+        tr.note_observation(ClientId::reader(0), 0, 1, ObjectId(2), "a".into(), 5);
+        tr.note_observation(ClientId::reader(1), 0, 1, ObjectId(0), "b".into(), 6);
+        tr.note_observation(ClientId::reader(0), 0, 2, ObjectId(1), "c".into(), 7);
+        let t0 = tr.transcript_of(ClientId::reader(0));
+        assert_eq!(t0, vec!["op0 rnd1 s2: a", "op0 rnd2 s1: c"]);
+        assert_eq!(tr.transcript_of(ClientId::reader(1)).len(), 1);
+    }
+
+    #[test]
+    fn transcript_ignores_wall_clock() {
+        let mut a = Trace::default();
+        let mut b = Trace::default();
+        a.note_observation(ClientId::reader(0), 0, 1, ObjectId(0), "x".into(), 5);
+        b.note_observation(ClientId::reader(0), 0, 1, ObjectId(0), "x".into(), 999);
+        assert_eq!(
+            a.transcript_of(ClientId::reader(0)),
+            b.transcript_of(ClientId::reader(0))
+        );
+    }
+
+    #[test]
+    fn crashes_are_recorded() {
+        let mut tr = Trace::default();
+        tr.note_crash(ClientId::reader(3), 17);
+        assert_eq!(tr.crashes(), &[(ClientId::reader(3), 17)]);
+    }
+}

@@ -1,0 +1,24 @@
+//! # rastor — Robust Atomic Storage
+//!
+//! A reproduction of *"The Complexity of Robust Atomic Storage"* (Dobre,
+//! Guerraoui, Majuntke, Suri, Vukolić — PODC 2011): latency-optimal
+//! Byzantine-tolerant read/write register emulations plus the paper's
+//! lower-bound machinery as executable artifacts.
+//!
+//! This façade crate re-exports the workspace's public API:
+//!
+//! * [`common`] — ids, timestamps, values, quorum arithmetic;
+//! * [`sim`] — deterministic discrete-event simulator and thread runtime;
+//! * [`core`] — the register protocols (ABD, Byzantine regular, secret-token
+//!   regular, the regular→atomic transformation) and history checkers;
+//! * [`lowerbound`] — the executable read/write lower-bound constructions;
+//! * [`kv`] — a key-value store built on the atomic registers.
+//!
+//! See `examples/` for runnable entry points and `DESIGN.md` for the
+//! paper-to-module map.
+
+pub use rastor_common as common;
+pub use rastor_core as core;
+pub use rastor_kv as kv;
+pub use rastor_lowerbound as lowerbound;
+pub use rastor_sim as sim;

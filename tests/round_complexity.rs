@@ -1,0 +1,94 @@
+//! The paper's round-complexity claims, verified across fault budgets and
+//! reader counts: this is the executable version of the complexity table in
+//! DESIGN.md (experiment T1).
+
+use rastor::common::Value;
+use rastor::core::{Protocol, StorageSystem, Workload};
+use rastor::sim::FixedDelay;
+
+fn rounds(protocol: Protocol, t: usize, readers: u32) -> (Vec<u32>, Vec<u32>) {
+    let mut sys = StorageSystem::new(protocol, t, readers).unwrap();
+    let mut wl = Workload::default()
+        .with_write(0, Value::from_u64(1))
+        .with_write(100, Value::from_u64(2));
+    for r in 0..readers {
+        wl = wl.with_read(1_000 + 100 * r as u64, r);
+    }
+    let res = sys.run(Box::new(FixedDelay::new(1)), &wl, vec![]);
+    (res.write_rounds(), res.read_rounds())
+}
+
+#[test]
+fn abd_is_1w_2r() {
+    for t in 1..=4 {
+        let (w, r) = rounds(Protocol::Abd, t, 2);
+        assert!(w.iter().all(|&x| x == 1), "t={t}: {w:?}");
+        assert!(r.iter().all(|&x| x == 2), "t={t}: {r:?}");
+    }
+}
+
+#[test]
+fn byz_regular_is_2w_2r() {
+    for t in 1..=4 {
+        let (w, r) = rounds(Protocol::ByzRegular, t, 2);
+        assert!(w.iter().all(|&x| x == 2), "t={t}: {w:?}");
+        assert!(r.iter().all(|&x| x == 2), "t={t}: {r:?}");
+    }
+}
+
+#[test]
+fn auth_regular_is_2w_1r() {
+    for t in 1..=4 {
+        let (w, r) = rounds(Protocol::AuthRegular, t, 2);
+        assert!(w.iter().all(|&x| x == 2), "t={t}: {w:?}");
+        assert!(r.iter().all(|&x| x == 1), "t={t}: {r:?}");
+    }
+}
+
+#[test]
+fn headline_atomic_is_2w_4r_for_any_reader_count() {
+    // The paper's scalability point: constant write latency and 4-round
+    // reads regardless of R (the transformation reads all R+1 registers in
+    // the same physical rounds).
+    for readers in [1u32, 2, 4, 8, 16] {
+        let (w, r) = rounds(Protocol::AtomicUnauth, 1, readers);
+        assert!(w.iter().all(|&x| x == 2), "R={readers}: {w:?}");
+        assert!(r.iter().all(|&x| x == 4), "R={readers}: {r:?}");
+    }
+}
+
+#[test]
+fn secret_value_atomic_is_2w_3r() {
+    for t in 1..=3 {
+        for readers in [1u32, 4] {
+            let (w, r) = rounds(Protocol::AtomicAuth, t, readers);
+            assert!(w.iter().all(|&x| x == 2), "t={t} R={readers}: {w:?}");
+            assert!(r.iter().all(|&x| x == 3), "t={t} R={readers}: {r:?}");
+        }
+    }
+}
+
+#[test]
+fn safe_nowrite_read_grows_linearly_in_t() {
+    // The Ω(t) baseline: non-writing readers pay t+1 rounds.
+    for t in 1..=5 {
+        let (_, r) = rounds(Protocol::SafeNoWrite, t, 1);
+        assert!(r.iter().all(|&x| x == t as u32 + 1), "t={t}: {r:?}");
+    }
+}
+
+#[test]
+fn round_counts_are_independent_of_network_delay() {
+    use rastor::sim::UniformDelay;
+    // Rounds are a logical metric: random delays must not change them in
+    // contention-free runs.
+    for seed in 0..10 {
+        let mut sys = StorageSystem::new(Protocol::AtomicUnauth, 2, 2).unwrap();
+        let wl = Workload::default()
+            .with_write(0, Value::from_u64(1))
+            .with_read(10_000, 0);
+        let res = sys.run(Box::new(UniformDelay::new(seed, 1, 50)), &wl, vec![]);
+        assert_eq!(res.write_rounds(), vec![2]);
+        assert_eq!(res.read_rounds(), vec![4]);
+    }
+}
