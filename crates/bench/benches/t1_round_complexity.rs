@@ -12,21 +12,17 @@ fn bench(c: &mut Criterion) {
     let mut group = c.benchmark_group("t1_round_complexity");
     for protocol in Protocol::all() {
         for t in [1usize, 2, 4] {
-            group.bench_with_input(
-                BenchmarkId::new(protocol.name(), t),
-                &t,
-                |b, &t| {
-                    b.iter(|| {
-                        let mut sys = StorageSystem::new(protocol, t, 2).unwrap();
-                        let wl = Workload::default()
-                            .with_write(0, Value::from_u64(1))
-                            .with_read(1_000, 0);
-                        let res = sys.run(Box::new(FixedDelay::new(1)), &wl, vec![]);
-                        assert_eq!(res.completions.len(), 2);
-                        res.read_rounds()[0]
-                    })
-                },
-            );
+            group.bench_with_input(BenchmarkId::new(protocol.name(), t), &t, |b, &t| {
+                b.iter(|| {
+                    let mut sys = StorageSystem::new(protocol, t, 2).unwrap();
+                    let wl = Workload::default()
+                        .with_write(0, Value::from_u64(1))
+                        .with_read(1_000, 0);
+                    let res = sys.run(Box::new(FixedDelay::new(1)), &wl, vec![]);
+                    assert_eq!(res.completions.len(), 2);
+                    res.read_rounds()[0]
+                })
+            });
         }
     }
     group.finish();

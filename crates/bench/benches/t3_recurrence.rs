@@ -14,7 +14,11 @@ fn bench(c: &mut Criterion) {
         b.iter(|| t_k_closed(black_box(40)))
     });
     c.bench_function("t3_recurrence/k_max_sweep_to_10k", |b| {
-        b.iter(|| (1u64..10_000).map(|t| k_max(black_box(t)) as u64).sum::<u64>())
+        b.iter(|| {
+            (1u64..10_000)
+                .map(|t| k_max(black_box(t)) as u64)
+                .sum::<u64>()
+        })
     });
 
     let mut group = c.benchmark_group("t3_partition");

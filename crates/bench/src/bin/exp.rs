@@ -1,7 +1,7 @@
 //! The experiment table printer: regenerates every table and figure of
 //! EXPERIMENTS.md.
 //!
-//! Usage: `cargo run -p rastor-bench --bin exp -- [t1|t2|t3|t4|t5|f1|f2|all]`
+//! Usage: `cargo run -p rastor_bench --bin exp -- [t1|t2|t3|t4|t5|t6|f1|f2|all]`
 
 use rastor_bench::{
     f1_prop1, t1_round_table, t2_contention_rounds, t3_recurrence_table, t4_boundary, t5_latency,
@@ -73,7 +73,11 @@ fn t5() {
     for byz in [false, true] {
         println!(
             "--- {} ---",
-            if byz { "t silent Byzantine objects" } else { "fault-free" }
+            if byz {
+                "t silent Byzantine objects"
+            } else {
+                "fault-free"
+            }
         );
         println!(
             "{:<14} {:>14} {:>13} {:>5}",
@@ -143,39 +147,31 @@ fn f2() {
     }
 }
 
+const SECTIONS: [(&str, fn()); 8] = [
+    ("t1", t1),
+    ("t2", t2),
+    ("t3", t3),
+    ("t4", t4),
+    ("t5", t5),
+    ("t6", t6),
+    ("f1", f1),
+    ("f2", f2),
+];
+
 fn main() {
     let arg = std::env::args().nth(1).unwrap_or_else(|| "all".into());
-    let run = |name: &str| arg == name || arg == "all";
-    if run("t1") {
-        t1();
-        println!();
+    if arg != "all" && !SECTIONS.iter().any(|(name, _)| *name == arg) {
+        let names: Vec<&str> = SECTIONS.iter().map(|(name, _)| *name).collect();
+        eprintln!(
+            "unknown table {arg:?}; usage: exp [{}|all]",
+            names.join("|")
+        );
+        std::process::exit(2);
     }
-    if run("t2") {
-        t2();
-        println!();
-    }
-    if run("t3") {
-        t3();
-        println!();
-    }
-    if run("t4") {
-        t4();
-        println!();
-    }
-    if run("t5") {
-        t5();
-        println!();
-    }
-    if run("t6") {
-        t6();
-        println!();
-    }
-    if run("f1") {
-        f1();
-        println!();
-    }
-    if run("f2") {
-        f2();
-        println!();
+    for (name, section) in SECTIONS {
+        if arg == name || arg == "all" {
+            section();
+            println!();
+        }
     }
 }

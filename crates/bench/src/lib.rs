@@ -9,12 +9,12 @@
 pub mod stats;
 
 use rastor_common::{ClientId, ObjectId, OpKind, Value};
-use stats::Summary;
 use rastor_core::{AdversaryKind, Protocol, StorageSystem, Workload};
 use rastor_lowerbound::prop1::{denial_attack, execute as prop1_execute};
 use rastor_lowerbound::recurrence::{k_max, t_k, t_k_closed};
 use rastor_sim::control::Rule;
 use rastor_sim::{FixedDelay, ScriptedController, UniformDelay};
+use stats::Summary;
 
 /// One row of the T1 round-complexity table.
 #[derive(Clone, Debug)]
@@ -77,8 +77,8 @@ pub fn t2_contention_rounds(max_writes: u64) -> Vec<(u64, u32, u32)> {
             }
             // The reader's links are 9× slower than the writer's, so
             // several writes land between its rounds.
-            let controller = ScriptedController::new()
-                .with_rule(Rule::slow_all(9).client(ClientId::reader(0)));
+            let controller =
+                ScriptedController::new().with_rule(Rule::slow_all(9).client(ClientId::reader(0)));
             let res = sys.run(Box::new(controller), &wl, vec![]);
             res.read_rounds()[0]
         };
@@ -160,7 +160,12 @@ pub fn t5_latency(t: usize, seed: u64, byzantine: bool) -> Vec<LatencyRow> {
             }
             let corrupt = if byzantine && p.model() != rastor_common::FaultModel::Crash {
                 (0..t as u32)
-                    .map(|i| (ObjectId(i), StorageSystem::stock_adversary(AdversaryKind::Silent)))
+                    .map(|i| {
+                        (
+                            ObjectId(i),
+                            StorageSystem::stock_adversary(AdversaryKind::Silent),
+                        )
+                    })
                     .collect()
             } else {
                 vec![]
@@ -206,7 +211,12 @@ pub struct ThroughputRow {
 /// queued from time zero; the simulator's per-client FIFO enforces the
 /// model's one-outstanding-operation rule. Measures makespan, throughput
 /// and read-latency percentiles per protocol.
-pub fn t6_closed_loop(t: usize, readers: u32, ops_per_client: u64, seed: u64) -> Vec<ThroughputRow> {
+pub fn t6_closed_loop(
+    t: usize,
+    readers: u32,
+    ops_per_client: u64,
+    seed: u64,
+) -> Vec<ThroughputRow> {
     let protocols = [
         Protocol::Abd,
         Protocol::ByzRegular,

@@ -37,11 +37,13 @@
 pub mod error;
 pub mod ids;
 pub mod quorum;
+pub mod rng;
 pub mod round;
 pub mod value;
 
 pub use error::{Error, Result};
 pub use ids::{ClientId, ObjectId, RegId};
 pub use quorum::{ClusterConfig, FaultModel};
+pub use rng::SplitMix64;
 pub use round::{OpKind, OpStat, RoundCount};
 pub use value::{Timestamp, TsVal, Value};

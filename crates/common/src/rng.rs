@@ -1,0 +1,104 @@
+//! Deterministic pseudo-randomness shared across the workspace.
+//!
+//! Everything random in `rastor` (delay controllers, jitter, simulated
+//! authentication tokens) is driven by the splitmix64 generator so runs are
+//! reproducible from a seed and the workspace needs no external `rand`
+//! dependency. This module is the single home of the mixer; don't re-derive
+//! it locally.
+
+const GAMMA: u64 = 0x9e37_79b9_7f4a_7c15;
+
+/// One step of the splitmix64 sequence: advance `x` by the Weyl constant
+/// and finalize. Usable directly as a keyed mixing/hash step.
+pub fn splitmix64(x: u64) -> u64 {
+    let mut z = x.wrapping_add(GAMMA);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// A seeded splitmix64 stream.
+#[derive(Clone, Debug)]
+pub struct SplitMix64 {
+    state: u64,
+}
+
+impl SplitMix64 {
+    /// A stream seeded with `seed`; equal seeds yield equal streams.
+    pub fn new(seed: u64) -> SplitMix64 {
+        SplitMix64 { state: seed }
+    }
+
+    /// Next 64 random bits.
+    pub fn next_u64(&mut self) -> u64 {
+        let out = splitmix64(self.state);
+        self.state = self.state.wrapping_add(GAMMA);
+        out
+    }
+
+    /// Uniform draw from the inclusive range `[lo, hi]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics (in debug builds) if `lo > hi`.
+    pub fn gen_range(&mut self, lo: u64, hi: u64) -> u64 {
+        debug_assert!(lo <= hi, "empty range");
+        // Span of the inclusive range; 0 means the full u64 domain.
+        let span = hi.wrapping_sub(lo).wrapping_add(1);
+        if span == 0 {
+            self.next_u64()
+        } else {
+            lo + self.next_u64() % span
+        }
+    }
+
+    /// Uniform draw from `[0, 1)` with 53 bits of precision.
+    pub fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn equal_seeds_equal_streams() {
+        let (mut a, mut b) = (SplitMix64::new(42), SplitMix64::new(42));
+        for _ in 0..8 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        assert_ne!(SplitMix64::new(1).next_u64(), SplitMix64::new(2).next_u64());
+    }
+
+    #[test]
+    fn gen_range_stays_inclusive() {
+        let mut r = SplitMix64::new(7);
+        let mut seen_lo = false;
+        let mut seen_hi = false;
+        for _ in 0..200 {
+            let x = r.gen_range(3, 5);
+            assert!((3..=5).contains(&x));
+            seen_lo |= x == 3;
+            seen_hi |= x == 5;
+        }
+        assert!(seen_lo && seen_hi, "both endpoints reachable");
+        assert_eq!(r.gen_range(9, 9), 9, "degenerate range");
+    }
+
+    #[test]
+    fn gen_range_full_domain_does_not_panic() {
+        let mut r = SplitMix64::new(11);
+        let _ = r.gen_range(0, u64::MAX);
+        let _ = r.gen_range(1, u64::MAX);
+    }
+
+    #[test]
+    fn next_f64_is_in_unit_interval() {
+        let mut r = SplitMix64::new(3);
+        for _ in 0..100 {
+            let f = r.next_f64();
+            assert!((0.0..1.0).contains(&f));
+        }
+    }
+}

@@ -395,10 +395,7 @@ mod tests {
         let vv = o.on_request(victim, &collect()).unwrap();
         let ov = o.on_request(other, &collect()).unwrap();
         assert!(vv.view_of(RegId::WRITER).unwrap().w.pair.is_bottom());
-        assert_eq!(
-            ov.view_of(RegId::WRITER).unwrap().w.pair.ts,
-            Timestamp(1)
-        );
+        assert_eq!(ov.view_of(RegId::WRITER).unwrap().w.pair.ts, Timestamp(1));
     }
 
     #[test]

@@ -21,10 +21,7 @@ use rastor_common::{ClusterConfig, ObjectId, RegId, TsVal};
 use rastor_sim::{ClientAction, RoundClient};
 use std::collections::{BTreeMap, BTreeSet};
 
-fn max_vouched(
-    views: &BTreeMap<ObjectId, ObjectView>,
-    vouch: usize,
-) -> TsVal {
+fn max_vouched(views: &BTreeMap<ObjectId, ObjectView>, vouch: usize) -> TsVal {
     let mut occ: BTreeMap<TsVal, usize> = BTreeMap::new();
     for view in views.values() {
         for s in view.pairs() {
@@ -256,9 +253,8 @@ mod tests {
         // Asynchrony favours the writer: the reader's links are 9× slower,
         // so several writes land between its collect rounds and the
         // candidate keeps moving.
-        let controller = ScriptedController::new().with_rule(
-            rastor_sim::control::Rule::slow_all(9).client(ClientId::reader(0)),
-        );
+        let controller = ScriptedController::new()
+            .with_rule(rastor_sim::control::Rule::slow_all(9).client(ClientId::reader(0)));
         let mut sim: Sim<Req, Rep, OpOutput> =
             Sim::with_controller(SimConfig::default(), Box::new(controller));
         for _ in 0..4 {

@@ -71,7 +71,12 @@ impl RoundClient<Req, Rep> for AbdWriteClient {
         }
     }
 
-    fn on_reply(&mut self, from: ObjectId, _round: u32, reply: &Rep) -> ClientAction<Req, OpOutput> {
+    fn on_reply(
+        &mut self,
+        from: ObjectId,
+        _round: u32,
+        reply: &Rep,
+    ) -> ClientAction<Req, OpOutput> {
         if reply.is_ack(self.reg, AckKind::Store) {
             self.acks.insert(from);
         }
@@ -119,7 +124,12 @@ impl RoundClient<Req, Rep> for AbdReadClient {
         }
     }
 
-    fn on_reply(&mut self, from: ObjectId, _round: u32, reply: &Rep) -> ClientAction<Req, OpOutput> {
+    fn on_reply(
+        &mut self,
+        from: ObjectId,
+        _round: u32,
+        reply: &Rep,
+    ) -> ClientAction<Req, OpOutput> {
         if !self.writing_back {
             if let Some(view) = reply.view_of(self.reg) {
                 self.heard.insert(from);
@@ -188,7 +198,12 @@ impl RoundClient<Req, Rep> for ByzWriteClient {
         }
     }
 
-    fn on_reply(&mut self, from: ObjectId, _round: u32, reply: &Rep) -> ClientAction<Req, OpOutput> {
+    fn on_reply(
+        &mut self,
+        from: ObjectId,
+        _round: u32,
+        reply: &Rep,
+    ) -> ClientAction<Req, OpOutput> {
         let expected = if self.committing {
             AckKind::Commit
         } else {
@@ -352,7 +367,11 @@ mod tests {
         let done = sim.run_to_quiescence();
         assert_eq!(done.len(), 2);
         assert_eq!(done[1].output, OpOutput::Read(stamped(1, 42).pair));
-        assert_eq!(done[1].stat.rounds.get(), 2, "contention-free read is 2 rounds");
+        assert_eq!(
+            done[1].stat.rounds.get(),
+            2,
+            "contention-free read is 2 rounds"
+        );
     }
 
     #[test]

@@ -131,7 +131,10 @@ impl CollectEngine {
     /// The maximum decided pair across all registers (the transformation's
     /// return-value selection).
     pub fn max_decision(&self) -> Option<Stamped> {
-        self.decisions.values().max_by(|a, b| a.pair.cmp(&b.pair)).cloned()
+        self.decisions
+            .values()
+            .max_by(|a, b| a.pair.cmp(&b.pair))
+            .cloned()
     }
 
     /// Must be called when the enclosing client starts the next collect
@@ -196,7 +199,9 @@ impl CollectEngine {
         }
         let mut best = Stamped::bottom();
         for views in self.views.values() {
-            let Some(view) = views.get(&reg) else { continue };
+            let Some(view) = views.get(&reg) else {
+                continue;
+            };
             for s in view.pairs() {
                 if s.pair > best.pair && self.is_valid(s, key) {
                     best = s.clone();
@@ -230,7 +235,9 @@ impl CollectEngine {
         let mut occ: BTreeMap<TsVal, (usize, Stamped)> = BTreeMap::new();
         // Bottom is vouched by objects whose fields are still initial.
         for views in self.views.values() {
-            let Some(view) = views.get(&reg) else { continue };
+            let Some(view) = views.get(&reg) else {
+                continue;
+            };
             for s in view.pairs() {
                 let e = occ.entry(s.pair.clone()).or_insert((0, s.clone()));
                 e.0 += 1;
@@ -245,11 +252,7 @@ impl CollectEngine {
             let higher_claimers = self
                 .views
                 .values()
-                .filter(|vs| {
-                    vs.get(&reg)
-                        .map(|v| v.w.pair.ts > pair.ts)
-                        .unwrap_or(false)
-                })
+                .filter(|vs| vs.get(&reg).map(|v| v.w.pair.ts > pair.ts).unwrap_or(false))
                 .count();
             if non_repliers + higher_claimers <= t {
                 return Some(stamped.clone());
@@ -289,10 +292,7 @@ mod tests {
 
     fn view(pw: Stamped, w: Stamped, hist: Vec<Stamped>) -> Rep {
         Rep::Views {
-            views: vec![(
-                RegId::WRITER,
-                ObjectView { pw, w, hist },
-            )],
+            views: vec![(RegId::WRITER, ObjectView { pw, w, hist })],
         }
     }
 
@@ -368,7 +368,10 @@ mod tests {
         let mut e = engine();
         e.on_reply(ObjectId(0), 1, &committed_view(5, 50));
         e.on_reply(ObjectId(1), 1, &bottom_view());
-        assert_eq!(e.on_reply(ObjectId(2), 1, &bottom_view()), CollectStatus::NextRound);
+        assert_eq!(
+            e.on_reply(ObjectId(2), 1, &bottom_view()),
+            CollectStatus::NextRound
+        );
         e.begin_round();
         // Round 2: the stragglers have now processed the write — histories
         // vouch for (5,50) at 3 objects.
@@ -426,7 +429,11 @@ mod tests {
         e.on_reply(ObjectId(0), 1, &vw);
         e.on_reply(ObjectId(1), 1, &bottom_view());
         let st = e.on_reply(ObjectId(2), 1, &bottom_view());
-        assert_eq!(st, CollectStatus::Decided, "1 valid report suffices with tokens");
+        assert_eq!(
+            st,
+            CollectStatus::Decided,
+            "1 valid report suffices with tokens"
+        );
         assert_eq!(e.decisions()[&RegId::WRITER], signed);
         assert_eq!(e.rounds(), 1);
     }

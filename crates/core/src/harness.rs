@@ -7,14 +7,12 @@
 
 use crate::adversary;
 use crate::baseline::{RetryStableReadClient, SafeNoWriteReadClient};
-use crate::clients::{AbdReadClient, AbdWriteClient, ByzWriteClient, OpOutput, RegularReadClient};
 use crate::checker::History;
+use crate::clients::{AbdReadClient, AbdWriteClient, ByzWriteClient, OpOutput, RegularReadClient};
 use crate::msg::{Rep, Req};
 use crate::token::AuthKey;
 use crate::transform::{make_stamped, AtomicReadClient};
-use rastor_common::{
-    ClientId, ClusterConfig, ObjectId, OpKind, RegId, Result, Timestamp, Value,
-};
+use rastor_common::{ClientId, ClusterConfig, ObjectId, OpKind, RegId, Result, Timestamp, Value};
 use rastor_sim::{Completion, Controller, ObjectBehavior, RoundClient, Sim, SimConfig};
 
 /// The protocols the harness can deploy.
@@ -398,8 +396,14 @@ mod tests {
                 Box::new(FixedDelay::new(1)),
                 &wl,
                 vec![
-                    (ObjectId(0), StorageSystem::stock_adversary(AdversaryKind::Silent)),
-                    (ObjectId(1), StorageSystem::stock_adversary(AdversaryKind::Silent)),
+                    (
+                        ObjectId(0),
+                        StorageSystem::stock_adversary(AdversaryKind::Silent),
+                    ),
+                    (
+                        ObjectId(1),
+                        StorageSystem::stock_adversary(AdversaryKind::Silent),
+                    ),
                 ],
             )
         }));

@@ -101,9 +101,7 @@ pub struct ObjectView {
 impl ObjectView {
     /// Whether `pair` occurs anywhere in this view (pw, w, or history).
     pub fn vouches_for(&self, pair: &TsVal) -> bool {
-        self.pw.pair == *pair
-            || self.w.pair == *pair
-            || self.hist.iter().any(|s| s.pair == *pair)
+        self.pw.pair == *pair || self.w.pair == *pair || self.hist.iter().any(|s| s.pair == *pair)
     }
 
     /// All distinct pairs in this view.

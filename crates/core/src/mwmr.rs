@@ -291,7 +291,7 @@ mod tests {
             .collect();
         assert_ne!(tags[0], tags[1], "tags are unique");
         // A subsequent read returns one of the two — the tag-maximal one.
-        let mut sim2 = sim_with_honest(4);
+        let sim2 = sim_with_honest(4);
         let _ = sim2; // (separate scenario not needed; tags checked above)
     }
 

@@ -14,6 +14,7 @@
 //! This is deliberately *not* cryptography; it is a faithful simulation of
 //! the model's power, per the substitution rules in DESIGN.md.
 
+use rastor_common::rng::splitmix64;
 use rastor_common::TsVal;
 use std::fmt;
 
@@ -25,14 +26,6 @@ pub struct Token(u64);
 /// with object behaviors).
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
 pub struct AuthKey(u64);
-
-fn splitmix64(mut x: u64) -> u64 {
-    x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
-    let mut z = x;
-    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
-    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
-    z ^ (z >> 31)
-}
 
 fn mix_pair(key: u64, pair: &TsVal) -> u64 {
     let mut acc = splitmix64(key ^ pair.ts.0);
@@ -88,8 +81,14 @@ mod tests {
     fn token_binds_timestamp_and_value() {
         let key = AuthKey::new(7);
         let tok = key.mint(&pair(3, 42));
-        assert!(!key.verify(&pair(4, 42), tok), "different ts must not verify");
-        assert!(!key.verify(&pair(3, 43), tok), "different value must not verify");
+        assert!(
+            !key.verify(&pair(4, 42), tok),
+            "different ts must not verify"
+        );
+        assert!(
+            !key.verify(&pair(3, 43), tok),
+            "different value must not verify"
+        );
     }
 
     #[test]

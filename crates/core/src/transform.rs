@@ -84,7 +84,12 @@ impl AtomicReadClient {
     }
 
     /// Secret-value-model read: 3 rounds.
-    pub fn auth(cfg: ClusterConfig, reader: u32, num_readers: u32, key: AuthKey) -> AtomicReadClient {
+    pub fn auth(
+        cfg: ClusterConfig,
+        reader: u32,
+        num_readers: u32,
+        key: AuthKey,
+    ) -> AtomicReadClient {
         let regs = RegId::transformation_set(num_readers);
         AtomicReadClient {
             cfg,
@@ -171,7 +176,11 @@ impl RoundClient<Req, Rep> for AtomicReadClient {
 
 /// Convenience: the pair a write client should store for timestamp `ts` and
 /// value `v`, minting a token when a key is supplied.
-pub fn make_stamped(ts: rastor_common::Timestamp, val: rastor_common::Value, key: Option<&AuthKey>) -> Stamped {
+pub fn make_stamped(
+    ts: rastor_common::Timestamp,
+    val: rastor_common::Value,
+    key: Option<&AuthKey>,
+) -> Stamped {
     let pair = TsVal::new(ts, val);
     Stamped {
         token: key.map(|k| k.mint(&pair)),
@@ -217,7 +226,11 @@ mod tests {
         let done = sim.run_to_quiescence();
         assert_eq!(done.len(), 2);
         assert_eq!(done[0].stat.rounds.get(), 2, "write: 2 rounds");
-        assert_eq!(done[1].stat.rounds.get(), 4, "read: 2 collect + 2 write-back");
+        assert_eq!(
+            done[1].stat.rounds.get(),
+            4,
+            "read: 2 collect + 2 write-back"
+        );
         assert_eq!(done[1].output, OpOutput::Read(stamped(1, 10).pair));
     }
 
@@ -240,7 +253,11 @@ mod tests {
             Box::new(AtomicReadClient::auth(cfg, 0, 2, key)),
         );
         let done = sim.run_to_quiescence();
-        assert_eq!(done[1].stat.rounds.get(), 3, "read: 1 collect + 2 write-back");
+        assert_eq!(
+            done[1].stat.rounds.get(),
+            3,
+            "read: 1 collect + 2 write-back"
+        );
         assert_eq!(done[1].output, OpOutput::Read(pair.pair));
     }
 
@@ -287,8 +304,14 @@ mod tests {
         );
         let done = sim.run_to_quiescence();
         assert_eq!(done.len(), 3);
-        let r0 = done.iter().find(|c| c.client == ClientId::reader(0)).unwrap();
-        let r1 = done.iter().find(|c| c.client == ClientId::reader(1)).unwrap();
+        let r0 = done
+            .iter()
+            .find(|c| c.client == ClientId::reader(0))
+            .unwrap();
+        let r1 = done
+            .iter()
+            .find(|c| c.client == ClientId::reader(1))
+            .unwrap();
         let p0 = match &r0.output {
             OpOutput::Read(p) => p.clone(),
             _ => panic!(),

@@ -20,8 +20,16 @@ fn stamped(ts: u64) -> Stamped {
 fn honest_view(pw: u64, w: u64) -> ObjectView {
     let hist: Vec<Stamped> = (1..=pw).map(stamped).collect();
     ObjectView {
-        pw: if pw == 0 { Stamped::bottom() } else { stamped(pw) },
-        w: if w == 0 { Stamped::bottom() } else { stamped(w) },
+        pw: if pw == 0 {
+            Stamped::bottom()
+        } else {
+            stamped(pw)
+        },
+        w: if w == 0 {
+            Stamped::bottom()
+        } else {
+            stamped(w)
+        },
         hist,
     }
 }

@@ -31,9 +31,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
-use rastor_common::{
-    ClientId, ClusterConfig, Error, ObjectId, RegId, Result, Timestamp, Value,
-};
+use rastor_common::{ClientId, ClusterConfig, Error, ObjectId, RegId, Result, Timestamp, Value};
 use rastor_core::clients::{ByzWriteClient, OpOutput};
 use rastor_core::msg::{Rep, Req, Stamped};
 use rastor_core::object::HonestObject;
@@ -166,7 +164,11 @@ impl KvStore {
                 detail: format!("get({key}) could not reach a quorum"),
             })?;
         match out {
-            OpOutput::Read(pair) => Ok(if pair.is_bottom() { None } else { Some(pair.val) }),
+            OpOutput::Read(pair) => Ok(if pair.is_bottom() {
+                None
+            } else {
+                Some(pair.val)
+            }),
             OpOutput::Wrote(_) => unreachable!("reads return Read outputs"),
         }
     }
@@ -214,19 +216,13 @@ mod tests {
     #[test]
     fn bottom_put_rejected() {
         let mut store = KvStore::new(1, 1).unwrap();
-        assert_eq!(
-            store.put("k", Value::bottom()),
-            Err(Error::BottomWrite)
-        );
+        assert_eq!(store.put("k", Value::bottom()), Err(Error::BottomWrite));
     }
 
     #[test]
     fn out_of_range_reader_rejected() {
         let mut store = KvStore::new(1, 1).unwrap();
-        assert!(matches!(
-            store.get("k", 5),
-            Err(Error::WrongRole { .. })
-        ));
+        assert!(matches!(store.get("k", 5), Err(Error::WrongRole { .. })));
     }
 
     #[test]

@@ -196,7 +196,7 @@ impl Lemma1Partition {
     /// for `l ≤ k−1` (empty whenever `l < 0`, matching the paper's
     /// `M₋₁ = ∅` convention extended to the `M_{l−3}` uses at small `l`).
     pub fn m_superblock(&self, l: i64) -> Vec<ObjectId> {
-        assert!(l <= self.k as i64 - 1, "M_l: l ≤ k−1");
+        assert!(l < self.k as i64, "M_l: l ≤ k−1");
         let mut out = Vec::new();
         for j in 0..=l {
             out.extend(self.b(j as usize).members.iter().copied());
@@ -251,7 +251,7 @@ mod tests {
                 assert_eq!(p.block(2).len(), t);
                 assert_eq!(p.block(3).len(), t);
                 assert_eq!(p.block(4).len(), s - 3 * t);
-                assert!(p.block(4).len() >= 1 && p.block(4).len() <= t);
+                assert!(!p.block(4).is_empty() && p.block(4).len() <= t);
                 let total: usize = p.blocks().iter().map(Block::len).sum();
                 assert_eq!(total, s);
             }
@@ -358,13 +358,11 @@ mod tests {
             let p = Lemma1Partition::new(k);
             for l in 1..=k - 1 {
                 // rd_l rounds 1-2 skip M_{l−2} ∪ P_{l+1}.
-                let skip12 =
-                    p.m_superblock(l as i64 - 2).len() + p.p_superblock(l + 1).len();
+                let skip12 = p.m_superblock(l as i64 - 2).len() + p.p_superblock(l + 1).len();
                 assert_eq!(skip12 as u64, p.tk, "rounds 1-2, k={k} l={l}");
                 // Round 3 skips M_{l−2} ∪ C_{l+1} (C_{l+1} defined for l+1 ≤ k).
-                if l + 1 <= p.k {
-                    let skip3 =
-                        p.m_superblock(l as i64 - 2).len() + p.c_superblock(l + 1).len();
+                if l < p.k {
+                    let skip3 = p.m_superblock(l as i64 - 2).len() + p.c_superblock(l + 1).len();
                     assert_eq!(skip3 as u64, p.tk, "round 3, k={k} l={l}");
                 }
             }

@@ -68,7 +68,10 @@ pub fn render_lemma1_layout(partition: &Lemma1Partition) -> String {
         partition.num_objects()
     ));
     for (label, size) in partition.layout() {
-        out.push_str(&format!("  {label:<5} {size:>3} object(s)  {}\n", "▮".repeat(size.min(40))));
+        out.push_str(&format!(
+            "  {label:<5} {size:>3} object(s)  {}\n",
+            "▮".repeat(size.min(40))
+        ));
     }
     out
 }

@@ -34,7 +34,9 @@
 use crate::blocks::Lemma1Partition;
 use crate::naive::{sigma_snapshot, NaiveReadClient, NaiveWriteClient};
 use crate::recurrence::t_k;
-use rastor_common::{ClientId, ClusterConfig, FaultModel, ObjectId, OpKind, Timestamp, TsVal, Value};
+use rastor_common::{
+    ClientId, ClusterConfig, FaultModel, ObjectId, OpKind, Timestamp, TsVal, Value,
+};
 use rastor_core::adversary::{ForgeRule, StateForgerObject};
 use rastor_core::clients::OpOutput;
 use rastor_core::msg::{Rep, Req};
@@ -187,11 +189,7 @@ impl Lemma1Schedule {
         Lemma1Run {
             name: format!("∆pr{l}"),
             l,
-            write_rounds_terminated: if no_write {
-                0
-            } else {
-                (self.k - l - 1) as u32
-            },
+            write_rounds_terminated: if no_write { 0 } else { (self.k - l - 1) as u32 },
             write_complete: false,
             write_invoked: !no_write,
             malicious: self.partition.m_superblock(l as i64 - 1),
@@ -274,8 +272,7 @@ pub struct FirstPairReport {
 impl FirstPairReport {
     /// Whether the two runs are indistinguishable to `r_1`.
     pub fn indistinguishable(&self) -> bool {
-        self.transcript_pr1 == self.transcript_prc1
-            && self.returned_pr1 == self.returned_prc1
+        self.transcript_pr1 == self.transcript_prc1 && self.returned_pr1 == self.returned_prc1
     }
 }
 
@@ -337,18 +334,16 @@ fn run_first(schedule: &Lemma1Schedule, mimic: bool) -> (Vec<String>, Option<TsV
         .map(ObjectId)
         .filter(|o| !p1.contains(o) && !p2.contains(o))
         .collect();
-    controller.push(
-        Rule {
-            dir: Some(MsgDir::Request),
-            client: Some(r1),
-            object: None,
-            objects: not_p1_not_p2,
-            op_seq: None,
-            round: Some(1),
-            verdict: Verdict::DeliverAt(LAG),
-            extra_delay: None,
-        },
-    );
+    controller.push(Rule {
+        dir: Some(MsgDir::Request),
+        client: Some(r1),
+        object: None,
+        objects: not_p1_not_p2,
+        op_seq: None,
+        round: Some(1),
+        verdict: Verdict::DeliverAt(LAG),
+        extra_delay: None,
+    });
     // Rounds 2: skip P_2 again. Round 3: skip C_2 (for k ≥ 2).
     controller.push(
         Rule::hold(MsgDir::Request)
@@ -356,12 +351,7 @@ fn run_first(schedule: &Lemma1Schedule, mimic: bool) -> (Vec<String>, Option<TsV
             .round(2)
             .objects(p2.clone()),
     );
-    controller.push(
-        Rule::hold(MsgDir::Request)
-            .client(r1)
-            .round(3)
-            .objects(c2),
-    );
+    controller.push(Rule::hold(MsgDir::Request).client(r1).round(3).objects(c2));
 
     let mut sim: Sim<Req, Rep, OpOutput> =
         Sim::with_controller(SimConfig::default(), Box::new(controller));

@@ -31,9 +31,7 @@
 
 use crate::blocks::Prop1Partition;
 use crate::naive::{sigma_snapshot, NaiveReadClient, NaiveWriteClient};
-use rastor_common::{
-    ClientId, ClusterConfig, FaultModel, OpKind, Timestamp, TsVal, Value,
-};
+use rastor_common::{ClientId, ClusterConfig, FaultModel, OpKind, Timestamp, TsVal, Value};
 use rastor_core::adversary::{ForgeRule, StateForgerObject};
 use rastor_core::checker::{History, Violation, WriteRec};
 use rastor_core::clients::OpOutput;
@@ -210,9 +208,18 @@ impl Prop1Schedule {
         // pr_g carries rd_{g−3}, rd_{g−2} (incomplete), rd_{g−1}, rd_g
         // (complete); ∆pr_g carries rd_{g−2}, rd_{g−1} (incomplete), rd_g.
         let mut out = Vec::new();
-        let first = if deleted { g.saturating_sub(2) } else { g.saturating_sub(3) }.max(1);
+        let first = if deleted {
+            g.saturating_sub(2)
+        } else {
+            g.saturating_sub(3)
+        }
+        .max(1);
         for h in first..=g {
-            let complete = if deleted { h == g } else { h >= g.saturating_sub(1) };
+            let complete = if deleted {
+                h == g
+            } else {
+                h >= g.saturating_sub(1)
+            };
             out.push(self.read_spec(h, complete));
         }
         out
@@ -353,7 +360,11 @@ fn build_sim(schedule: &Prop1Schedule, spec: &RunSpec) -> Sim<Req, Rep, OpOutput
     for oid in 0..schedule.s as u32 {
         let in_malicious = spec
             .malicious_block
-            .map(|b| part.block(b).members.contains(&rastor_common::ObjectId(oid)))
+            .map(|b| {
+                part.block(b)
+                    .members
+                    .contains(&rastor_common::ObjectId(oid))
+            })
             .unwrap_or(false);
         if in_malicious {
             let mut forger = StateForgerObject::new();

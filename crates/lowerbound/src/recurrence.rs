@@ -49,9 +49,7 @@ pub fn t_k_closed(k: i64) -> u64 {
     if k <= 0 {
         return 0;
     }
-    let pow = 2u64
-        .checked_pow((k + 2) as u32)
-        .expect("2^(k+2) overflow");
+    let pow = 2u64.checked_pow((k + 2) as u32).expect("2^(k+2) overflow");
     let sign: i64 = if k % 2 == 0 { 1 } else { -1 };
     let num = (pow as i64) - sign - 3;
     debug_assert!(num >= 0 && num % 6 == 0, "closed form must divide evenly");

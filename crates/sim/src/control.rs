@@ -15,9 +15,8 @@
 //!   rules; used to replay the lower-bound proof schedules.
 
 use crate::engine::{Envelope, MsgDir};
+use rastor_common::SplitMix64;
 use rastor_common::{ClientId, ObjectId};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 use std::collections::HashSet;
 
 /// The controller's decision for one message.
@@ -68,7 +67,7 @@ impl<Q, R> Controller<Q, R> for FixedDelay {
 /// Seeded uniform-random latency in `[lo, hi]`.
 #[derive(Clone, Debug)]
 pub struct UniformDelay {
-    rng: StdRng,
+    rng: SplitMix64,
     lo: u64,
     hi: u64,
 }
@@ -82,14 +81,14 @@ impl UniformDelay {
     pub fn new(seed: u64, lo: u64, hi: u64) -> UniformDelay {
         assert!(lo <= hi, "empty delay range");
         UniformDelay {
-            rng: StdRng::seed_from_u64(seed),
+            rng: SplitMix64::new(seed),
             lo,
             hi,
         }
     }
 
     fn draw(&mut self, now: u64) -> Verdict {
-        Verdict::DeliverAt(now + self.rng.gen_range(self.lo..=self.hi))
+        Verdict::DeliverAt(now + self.rng.gen_range(self.lo, self.hi))
     }
 }
 
@@ -253,7 +252,14 @@ impl Rule {
         self
     }
 
-    fn matches(&self, dir: MsgDir, client: ClientId, object: ObjectId, op_seq: u64, round: u32) -> bool {
+    fn matches(
+        &self,
+        dir: MsgDir,
+        client: ClientId,
+        object: ObjectId,
+        op_seq: u64,
+        round: u32,
+    ) -> bool {
         if let Some(d) = self.dir {
             if d != dir {
                 return false;
@@ -354,10 +360,24 @@ impl ScriptedController {
 
 impl<Q, R> Controller<Q, R> for ScriptedController {
     fn on_request(&mut self, env: &Envelope<Q>, now: u64) -> Verdict {
-        self.decide(MsgDir::Request, env.client, env.object, env.op_seq, env.round, now)
+        self.decide(
+            MsgDir::Request,
+            env.client,
+            env.object,
+            env.op_seq,
+            env.round,
+            now,
+        )
     }
     fn on_reply(&mut self, env: &Envelope<R>, now: u64) -> Verdict {
-        self.decide(MsgDir::Reply, env.client, env.object, env.op_seq, env.round, now)
+        self.decide(
+            MsgDir::Reply,
+            env.client,
+            env.object,
+            env.op_seq,
+            env.round,
+            now,
+        )
     }
 }
 
@@ -365,7 +385,13 @@ impl<Q, R> Controller<Q, R> for ScriptedController {
 mod tests {
     use super::*;
 
-    fn env(dir: MsgDir, client: ClientId, object: ObjectId, op_seq: u64, round: u32) -> Envelope<u8> {
+    fn env(
+        dir: MsgDir,
+        client: ClientId,
+        object: ObjectId,
+        op_seq: u64,
+        round: u32,
+    ) -> Envelope<u8> {
         Envelope {
             id: crate::engine::MsgId(0),
             dir,
@@ -418,7 +444,11 @@ mod tests {
         }
         c.heal_link(ClientId::reader(0), ObjectId(2));
         let vh = Controller::<u8, u8>::on_request(&mut c, &slow, 0);
-        assert_eq!(vh, Verdict::DeliverAt(1), "healed link uses base delay of 1");
+        assert_eq!(
+            vh,
+            Verdict::DeliverAt(1),
+            "healed link uses base delay of 1"
+        );
     }
 
     #[test]
@@ -433,7 +463,10 @@ mod tests {
             .with_rule(Rule::hold_all().verdict(Verdict::DeliverAt(50)));
         // Writer round-2 request to s3 is held (skipped).
         let skip = env(MsgDir::Request, ClientId::writer(), ObjectId(3), 0, 2);
-        assert_eq!(Controller::<u8, u8>::on_request(&mut c, &skip, 0), Verdict::Hold);
+        assert_eq!(
+            Controller::<u8, u8>::on_request(&mut c, &skip, 0),
+            Verdict::Hold
+        );
         // Everything else hits the catch-all DeliverAt(50).
         let other = env(MsgDir::Request, ClientId::writer(), ObjectId(1), 0, 2);
         assert_eq!(

@@ -138,9 +138,13 @@ struct PendingOp<Q, R, Out> {
     rounds: RoundCount,
 }
 
+/// An operation queued behind a client's pending one: invocation time, kind,
+/// and the protocol automaton to run.
+type QueuedOp<Q, R, Out> = (u64, OpKind, Box<dyn RoundClient<Q, R, Out = Out>>);
+
 struct ClientSlot<Q, R, Out> {
     pending: Option<PendingOp<Q, R, Out>>,
-    queue: Vec<(u64, OpKind, Box<dyn RoundClient<Q, R, Out = Out>>)>,
+    queue: Vec<QueuedOp<Q, R, Out>>,
     crashed: bool,
     next_op_seq: u64,
 }
@@ -185,7 +189,10 @@ where
     }
 
     /// Create a simulator driven by the given controller.
-    pub fn with_controller(cfg: SimConfig, controller: Box<dyn Controller<Q, R>>) -> Sim<Q, R, Out> {
+    pub fn with_controller(
+        cfg: SimConfig,
+        controller: Box<dyn Controller<Q, R>>,
+    ) -> Sim<Q, R, Out> {
         Sim {
             cfg,
             time: 0,
@@ -308,8 +315,8 @@ where
     fn route_request(&mut self, env: Envelope<Q>) {
         match self.controller.on_request(&env, self.time) {
             Verdict::DeliverAt(at) => {
-                let at = self
-                    .fifo_clamp(env.client, env.object, MsgDir::Request, at.max(self.time));
+                let at =
+                    self.fifo_clamp(env.client, env.object, MsgDir::Request, at.max(self.time));
                 self.push_event(at, Event::DeliverRequest(env));
             }
             Verdict::Hold => {
@@ -411,9 +418,7 @@ where
     fn deliver_reply(&mut self, env: Envelope<R>) -> Option<Completion<Out>> {
         let now = self.time;
         let record = self.cfg.record_observations;
-        let Some(slot) = self.clients.get_mut(&env.client) else {
-            return None;
-        };
+        let slot = self.clients.get_mut(&env.client)?;
         if slot.crashed {
             return None;
         }
@@ -424,8 +429,14 @@ where
             return None; // reply to a previous operation of this client
         }
         if record {
-            self.trace
-                .note_observation(env.client, env.op_seq, env.round, env.object, format!("{:?}", env.payload), now);
+            self.trace.note_observation(
+                env.client,
+                env.op_seq,
+                env.round,
+                env.object,
+                format!("{:?}", env.payload),
+                now,
+            );
         }
         let action = op.automaton.on_reply(env.object, env.round, &env.payload);
         match action {
@@ -520,7 +531,12 @@ mod tests {
         fn start(&mut self) -> u32 {
             0
         }
-        fn on_reply(&mut self, _from: ObjectId, _round: u32, reply: &u32) -> ClientAction<u32, u32> {
+        fn on_reply(
+            &mut self,
+            _from: ObjectId,
+            _round: u32,
+            reply: &u32,
+        ) -> ClientAction<u32, u32> {
             self.got += 1;
             if self.got < self.need {
                 return ClientAction::Wait;

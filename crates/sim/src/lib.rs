@@ -82,7 +82,6 @@ pub use control::{
     Controller, FixedDelay, PartitionController, ScriptedController, UniformDelay, Verdict,
 };
 pub use engine::{
-    ClientAction, Completion, Envelope, MsgDir, MsgId, ObjectBehavior, RoundClient, Sim,
-    SimConfig,
+    ClientAction, Completion, Envelope, MsgDir, MsgId, ObjectBehavior, RoundClient, Sim, SimConfig,
 };
 pub use trace::{Observation, OpRecord, Trace};

@@ -12,8 +12,8 @@
 //! are only available in the simulator.
 
 use crate::engine::{ClientAction, ObjectBehavior, RoundClient};
-use crossbeam::channel::{unbounded, Receiver, Sender};
-use rastor_common::{ClientId, ObjectId};
+use rastor_common::{ClientId, ObjectId, SplitMix64};
+use std::sync::mpsc::{channel, Sender};
 use std::thread::JoinHandle;
 use std::time::Duration;
 
@@ -53,16 +53,14 @@ where
         let mut senders = Vec::new();
         let mut handles = Vec::new();
         for (i, mut behavior) in behaviors.into_iter().enumerate() {
-            let (tx, rx): (Sender<ObjRequest<Q, R>>, Receiver<ObjRequest<Q, R>>) = unbounded();
+            let (tx, rx) = channel::<ObjRequest<Q, R>>();
             let oid = ObjectId(i as u32);
             let handle = std::thread::spawn(move || {
-                // Cheap deterministic-ish jitter source (thread-local LCG).
-                let mut state: u64 = 0x9e37_79b9_7f4a_7c15 ^ (i as u64);
+                // Per-thread deterministic jitter source.
+                let mut rng = SplitMix64::new(i as u64);
                 while let Ok(req) = rx.recv() {
                     if let Some(j) = jitter {
-                        state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
-                        let frac = (state >> 33) as f64 / u32::MAX as f64;
-                        std::thread::sleep(j.mul_f64(frac));
+                        std::thread::sleep(j.mul_f64(rng.next_f64()));
                     }
                     if let Some(payload) = behavior.on_request(req.from, &req.payload) {
                         // The client may have finished; ignore send errors.
@@ -150,7 +148,7 @@ where
     ) -> Option<(Out, u32)> {
         let nonce = self.next_nonce;
         self.next_nonce += 1;
-        let (tx, rx) = unbounded::<ObjReply<R>>();
+        let (tx, rx) = channel::<ObjReply<R>>();
         let mut round = 1u32;
         let first = automaton.start();
         cluster.broadcast(self.id, nonce, round, &first, &tx);
@@ -204,7 +202,12 @@ mod tests {
         fn start(&mut self) -> u32 {
             1
         }
-        fn on_reply(&mut self, _from: ObjectId, _round: u32, reply: &u32) -> ClientAction<u32, u32> {
+        fn on_reply(
+            &mut self,
+            _from: ObjectId,
+            _round: u32,
+            reply: &u32,
+        ) -> ClientAction<u32, u32> {
             self.got += 1;
             if self.got >= self.need {
                 ClientAction::Complete(*reply)
@@ -225,7 +228,11 @@ mod tests {
         let cl = cluster(4);
         let mut client = ThreadClient::new(ClientId::reader(0));
         let (out, rounds) = client
-            .run_op(&cl, Box::new(Collect { need: 3, got: 0 }), Duration::from_secs(5))
+            .run_op(
+                &cl,
+                Box::new(Collect { need: 3, got: 0 }),
+                Duration::from_secs(5),
+            )
             .expect("completes");
         assert_eq!(out, 11);
         assert_eq!(rounds, 1);
@@ -236,7 +243,11 @@ mod tests {
         let mut cl = cluster(4);
         cl.crash_object(ObjectId(3));
         let mut client = ThreadClient::new(ClientId::reader(0));
-        let res = client.run_op(&cl, Box::new(Collect { need: 3, got: 0 }), Duration::from_secs(5));
+        let res = client.run_op(
+            &cl,
+            Box::new(Collect { need: 3, got: 0 }),
+            Duration::from_secs(5),
+        );
         assert!(res.is_some());
     }
 
@@ -260,7 +271,11 @@ mod tests {
             (0..5).map(|_| Box::new(Echo) as _).collect();
         let cl = ThreadCluster::spawn(behaviors, Some(Duration::from_millis(2)));
         let mut client = ThreadClient::new(ClientId::writer());
-        let res = client.run_op(&cl, Box::new(Collect { need: 4, got: 0 }), Duration::from_secs(5));
+        let res = client.run_op(
+            &cl,
+            Box::new(Collect { need: 4, got: 0 }),
+            Duration::from_secs(5),
+        );
         assert!(res.is_some());
     }
 }

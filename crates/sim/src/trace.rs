@@ -75,7 +75,13 @@ impl Trace {
         });
     }
 
-    pub(crate) fn note_complete(&mut self, client: ClientId, op_seq: u64, output: String, stat: OpStat) {
+    pub(crate) fn note_complete(
+        &mut self,
+        client: ClientId,
+        op_seq: u64,
+        output: String,
+        stat: OpStat,
+    ) {
         if let Some(rec) = self
             .ops
             .iter_mut()

@@ -27,7 +27,11 @@ fn main() {
             .collect();
         let result = system.run(Box::new(FixedDelay::new(1)), &workload, corrupted);
         let violations = result.history.check_atomic();
-        assert_eq!(result.completions.len(), 4, "wait-freedom under {adversary:?}");
+        assert_eq!(
+            result.completions.len(),
+            4,
+            "wait-freedom under {adversary:?}"
+        );
         assert!(violations.is_empty(), "{adversary:?}: {violations:?}");
         println!(
             "  {adversary:?}: all ops completed, reads = {:?} rounds, atomic ✓",
@@ -38,7 +42,11 @@ fn main() {
     println!("\n== part 2: the resilience boundary of Proposition 1 ==");
     for (s, t) in [(4usize, 1usize), (8, 2), (5, 1), (9, 2)] {
         let violations = denial_attack(s, t);
-        let verdict = if violations.is_empty() { "safe" } else { "BROKEN" };
+        let verdict = if violations.is_empty() {
+            "safe"
+        } else {
+            "BROKEN"
+        };
         println!(
             "  naive 2-round read @ S={s}, t={t} ({}4t): {verdict} {}",
             if s <= 4 * t { "≤ " } else { "> " },

@@ -26,7 +26,9 @@ fn main() {
         ("user:2/plan", "free"),
     ];
     for (k, v) in profiles {
-        store.put(k, Value::from_bytes(v.as_bytes().to_vec())).unwrap();
+        store
+            .put(k, Value::from_bytes(v.as_bytes().to_vec()))
+            .unwrap();
     }
     println!("wrote {} keys", store.num_keys());
 
@@ -39,7 +41,9 @@ fn main() {
 
     // Update a key, then lose a backend object — within the fault budget,
     // nothing changes for clients.
-    store.put("user:2/plan", Value::from_bytes(*b"pro")).unwrap();
+    store
+        .put("user:2/plan", Value::from_bytes(*b"pro"))
+        .unwrap();
     store.crash_object(ObjectId(3));
     println!("object s3 crashed (budget t = {t})");
 
@@ -48,7 +52,9 @@ fn main() {
     println!("reader 1 still reads the latest value: user:2/plan = \"pro\"");
 
     // New writes keep working too.
-    store.put("user:3/name", Value::from_bytes(*b"carol")).unwrap();
+    store
+        .put("user:3/name", Value::from_bytes(*b"carol"))
+        .unwrap();
     assert_eq!(
         store.get("user:3/name", 0).unwrap().unwrap().as_bytes(),
         b"carol"

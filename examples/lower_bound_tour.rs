@@ -30,7 +30,10 @@ fn main() {
     }
 
     let report = execute(k, 4, 1);
-    println!("mechanical execution of all {} generations:", report.generations);
+    println!(
+        "mechanical execution of all {} generations:",
+        report.generations
+    );
     for (g, pr_ret, delta_ret) in &report.returns {
         println!("  g={g}: rd returns {pr_ret} in pr{g}, {delta_ret} in ∆pr{g}");
     }
@@ -49,7 +52,10 @@ fn main() {
 
     let sched = Lemma1Schedule::new(4);
     sched.check_invariants().expect("paper invariants hold");
-    println!("\nall skip-sets and malicious budgets verified = t_k = {}", sched.tk());
+    println!(
+        "\nall skip-sets and malicious budgets verified = t_k = {}",
+        sched.tk()
+    );
 
     for k in 2..=4 {
         let pair = execute_first_pair(k);

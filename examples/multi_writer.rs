@@ -14,14 +14,15 @@ use rastor::sim::{Sim, SimConfig, UniformDelay};
 fn main() {
     let cfg = ClusterConfig::byzantine(2).expect("valid shape"); // S = 7
     let (n_writers, n_readers) = (2u32, 2u32);
-    let mut sim: Sim<_, _, OpOutput> = Sim::with_controller(
-        SimConfig::default(),
-        Box::new(UniformDelay::new(7, 1, 15)),
-    );
+    let mut sim: Sim<_, _, OpOutput> =
+        Sim::with_controller(SimConfig::default(), Box::new(UniformDelay::new(7, 1, 15)));
     for _ in 0..cfg.num_objects() {
         sim.add_object(Box::new(HonestObject::new()));
     }
-    println!("MWMR deployment over {}: {n_writers} writers, {n_readers} readers", cfg);
+    println!(
+        "MWMR deployment over {}: {n_writers} writers, {n_readers} readers",
+        cfg
+    );
 
     // Interleaved writes by two writers (writer 1 modeled as a distinct
     // client process), plus interleaved reads.
@@ -30,13 +31,23 @@ fn main() {
             round * 400,
             ClientId::writer(),
             OpKind::Write,
-            Box::new(MwWriteClient::new(cfg, 0, n_writers, Value::from_u64(100 + round))),
+            Box::new(MwWriteClient::new(
+                cfg,
+                0,
+                n_writers,
+                Value::from_u64(100 + round),
+            )),
         );
         sim.invoke_at(
             round * 400 + 120,
             ClientId::reader(9), // stands in for writer 1
             OpKind::Write,
-            Box::new(MwWriteClient::new(cfg, 1, n_writers, Value::from_u64(200 + round))),
+            Box::new(MwWriteClient::new(
+                cfg,
+                1,
+                n_writers,
+                Value::from_u64(200 + round),
+            )),
         );
         sim.invoke_at(
             round * 400 + 250,
@@ -79,6 +90,9 @@ fn main() {
         .map(|c| Tag::from_timestamp(c.output.pair().ts))
         .max()
         .unwrap();
-    assert_eq!(last_read_tag, max_write, "final read sees the dominant write");
+    assert_eq!(
+        last_read_tag, max_write,
+        "final read sees the dominant write"
+    );
     println!("\nall writes totally ordered by tag; reads monotone — MWMR OK");
 }

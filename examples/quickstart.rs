@@ -11,7 +11,11 @@ use rastor::sim::FixedDelay;
 fn main() {
     // t = 2 faults tolerated by S = 7 objects; 3 readers.
     let mut system = StorageSystem::new(Protocol::AtomicUnauth, 2, 3).expect("valid shape");
-    println!("deployed {} over {}", system.protocol().name(), system.config());
+    println!(
+        "deployed {} over {}",
+        system.protocol().name(),
+        system.config()
+    );
 
     let workload = Workload::default()
         .with_write(0, Value::from_u64(1))

@@ -27,7 +27,8 @@ fn soak_workload(seed: u64) -> Workload {
         }
     }
     // Ensure at least one write and one read exist.
-    wl.with_write(t + 10, Value::from_u64(99)).with_read(t + 20, 0)
+    wl.with_write(t + 10, Value::from_u64(99))
+        .with_read(t + 20, 0)
 }
 
 fn check(protocol: Protocol, seed: u64, adversary: Option<AdversaryKind>) {
@@ -115,7 +116,12 @@ fn reader_crash_mid_operation_is_harmless() {
     use rastor::common::{ClientId, OpKind};
     let mut sys = StorageSystem::new(Protocol::AtomicUnauth, 1, 2).unwrap();
     let mut sim = sys.build_sim(Box::new(UniformDelay::new(3, 1, 10)));
-    sim.invoke_at(0, ClientId::writer(), OpKind::Write, sys.write_client(Value::from_u64(1)));
+    sim.invoke_at(
+        0,
+        ClientId::writer(),
+        OpKind::Write,
+        sys.write_client(Value::from_u64(1)),
+    );
     sim.invoke_at(50, ClientId::reader(0), OpKind::Read, sys.read_client(0));
     // Reader 0 crashes mid-read (possibly between its write-back phases).
     sim.crash_client_at(55, ClientId::reader(0));
@@ -134,9 +140,19 @@ fn writer_crash_leaves_register_readable() {
     use rastor::common::{ClientId, OpKind};
     let mut sys = StorageSystem::new(Protocol::AtomicUnauth, 1, 2).unwrap();
     let mut sim = sys.build_sim(Box::new(UniformDelay::new(9, 1, 10)));
-    sim.invoke_at(0, ClientId::writer(), OpKind::Write, sys.write_client(Value::from_u64(1)));
+    sim.invoke_at(
+        0,
+        ClientId::writer(),
+        OpKind::Write,
+        sys.write_client(Value::from_u64(1)),
+    );
     // Second write starts then the writer crashes almost immediately.
-    sim.invoke_at(200, ClientId::writer(), OpKind::Write, sys.write_client(Value::from_u64(2)));
+    sim.invoke_at(
+        200,
+        ClientId::writer(),
+        OpKind::Write,
+        sys.write_client(Value::from_u64(2)),
+    );
     sim.crash_client_at(203, ClientId::writer());
     sim.invoke_at(600, ClientId::reader(0), OpKind::Read, sys.read_client(0));
     sim.invoke_at(900, ClientId::reader(1), OpKind::Read, sys.read_client(1));

@@ -105,7 +105,7 @@ fn prop1_partition_shapes() {
         for s in (3 * t + 1)..=(4 * t) {
             let p = Prop1Partition::new(s, t);
             assert_eq!(p.block(1).len(), t);
-            assert!(p.block(4).len() >= 1);
+            assert!(!p.block(4).is_empty());
         }
     }
 }

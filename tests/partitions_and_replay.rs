@@ -87,11 +87,7 @@ fn stale_replay_adversary_is_outvoted() {
                 )
             })
             .collect();
-        let res = sys.run(
-            Box::new(rastor::sim::FixedDelay::new(1)),
-            &wl,
-            corrupted,
-        );
+        let res = sys.run(Box::new(rastor::sim::FixedDelay::new(1)), &wl, corrupted);
         let read = res.completions.iter().find(|c| c.output.is_read()).unwrap();
         assert_eq!(
             read.output.pair().ts,
@@ -112,9 +108,18 @@ fn mixed_adversaries_within_budget() {
         .with_read(1_000, 0)
         .with_read(2_000, 1);
     let corrupted = vec![
-        (ObjectId(0), StorageSystem::stock_adversary(AdversaryKind::Silent)),
-        (ObjectId(1), StorageSystem::stock_adversary(AdversaryKind::ForgeHigh)),
-        (ObjectId(2), StorageSystem::stock_adversary(AdversaryKind::StaleReplay)),
+        (
+            ObjectId(0),
+            StorageSystem::stock_adversary(AdversaryKind::Silent),
+        ),
+        (
+            ObjectId(1),
+            StorageSystem::stock_adversary(AdversaryKind::ForgeHigh),
+        ),
+        (
+            ObjectId(2),
+            StorageSystem::stock_adversary(AdversaryKind::StaleReplay),
+        ),
     ];
     let res = sys.run(Box::new(rastor::sim::FixedDelay::new(1)), &wl, corrupted);
     assert_eq!(res.completions.len(), 4);

@@ -55,7 +55,11 @@ fn concurrent_readers_under_jitter_never_invert() {
         writer
             .run_op(
                 &cl,
-                Box::new(ByzWriteClient::new(cfg, RegId::WRITER, stamped(ts, ts * 10))),
+                Box::new(ByzWriteClient::new(
+                    cfg,
+                    RegId::WRITER,
+                    stamped(ts, ts * 10),
+                )),
                 TIMEOUT,
             )
             .expect("write completes");
