@@ -1,0 +1,60 @@
+//! T6b: wall-clock throughput of the sharded kv store on the thread
+//! runtime — single put/get hot paths and a small closed-loop mix, at 1
+//! and 4 shards. Correctness of each sampled op is asserted in the loop.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rastor_bench::workload::{run_workload, WorkloadCfg};
+use rastor_common::Value;
+use rastor_kv::{ShardedKvStore, StoreConfig};
+use std::time::Duration;
+
+fn bench_ops(c: &mut Criterion) {
+    let mut group = c.benchmark_group("kv_throughput/op");
+    group.sample_size(30);
+    for shards in [1usize, 4] {
+        // No object-side service delay here: the op benches time the
+        // runtime's own overhead (channels, collect, quorum logic).
+        let store = ShardedKvStore::spawn(StoreConfig::new(1, shards, 2)).expect("store");
+        let mut h = store.handle(0).expect("handle");
+        let mut seq = 0u64;
+        group.bench_with_input(BenchmarkId::new("put", shards), &shards, |b, _| {
+            b.iter(|| {
+                seq += 1;
+                let tag = h.put("bench:key", Value::from_u64(seq)).expect("put");
+                assert_eq!(tag.writer, 0);
+            })
+        });
+        let mut h = store.handle(1).expect("handle");
+        group.bench_with_input(BenchmarkId::new("get", shards), &shards, |b, _| {
+            b.iter(|| {
+                let got = h.get("bench:key").expect("get");
+                assert!(got.is_some(), "seeded key present");
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_mix(c: &mut Criterion) {
+    let mut group = c.benchmark_group("kv_throughput/mix");
+    group.sample_size(10);
+    for shards in [1usize, 4] {
+        let cfg = WorkloadCfg {
+            keys: 8,
+            ops_per_thread: 20,
+            service: Duration::from_micros(50),
+            ..WorkloadCfg::closed("bench-mix", shards, 2, 50)
+        };
+        group.bench_with_input(BenchmarkId::new("closed_2x20", shards), &cfg, |b, cfg| {
+            b.iter(|| {
+                let row = run_workload(cfg);
+                assert_eq!(row.errors, 0);
+                row.ops
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_ops, bench_mix);
+criterion_main!(benches);

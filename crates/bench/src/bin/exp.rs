@@ -1,8 +1,13 @@
 //! The experiment table printer: regenerates every table and figure of
 //! EXPERIMENTS.md.
 //!
-//! Usage: `cargo run -p rastor_bench --bin exp -- [t1|t2|t3|t4|t5|t6|f1|f2|all]`
+//! Usage: `cargo run -p rastor_bench --bin exp -- [t1|…|t6|f1|f2|all] [--quick]`
+//!
+//! `t6` additionally runs the kv throughput workload matrix (real OS
+//! threads, sharded store) and writes the machine-readable `BENCH_kv.json`
+//! consumed by CI; `--quick` trims it to smoke-test size.
 
+use rastor_bench::workload::{bench_json, kv_throughput_matrix};
 use rastor_bench::{
     f1_prop1, t1_round_table, t2_contention_rounds, t3_recurrence_table, t4_boundary, t5_latency,
     t6_closed_loop,
@@ -92,8 +97,8 @@ fn t5() {
     }
 }
 
-fn t6() {
-    println!("== T6: closed-loop saturation (t = 1, 2 readers, 20 ops/client) ==");
+fn t6(quick: bool) {
+    println!("== T6a: closed-loop saturation, simulator (t = 1, 2 readers, 20 ops/client) ==");
     println!(
         "{:<14} {:>5} {:>9} {:>11} {:>24}",
         "protocol", "ops", "makespan", "ops/1k time", "read latency p50/p95/max"
@@ -109,6 +114,50 @@ fn t6() {
             row.read_latency.p95,
             row.read_latency.max
         );
+    }
+    println!();
+    println!(
+        "== T6b: sharded kv throughput, thread runtime ({} mode) ==",
+        if quick { "quick" } else { "full" }
+    );
+    println!(
+        "{:<16} {:>6} {:>7} {:>5} {:>6} {:>10} {:>18} {:>18}",
+        "workload", "shards", "put%", "ops", "errs", "ops/sec", "put p50/p95 µs", "get p50/p95 µs"
+    );
+    let rows = kv_throughput_matrix(quick);
+    for row in &rows {
+        let lat = |s: Option<rastor_bench::stats::Summary>| {
+            s.map(|s| format!("{}/{}", s.p50, s.p95))
+                .unwrap_or_else(|| "-".into())
+        };
+        println!(
+            "{:<16} {:>6} {:>7} {:>5} {:>6} {:>10.1} {:>18} {:>18}",
+            row.cfg.name,
+            row.cfg.shards,
+            row.cfg.put_pct,
+            row.ops,
+            row.errors,
+            row.ops_per_sec,
+            lat(row.put_lat_us),
+            lat(row.get_lat_us),
+        );
+    }
+    let tput = |name: &str| {
+        rows.iter()
+            .find(|r| r.cfg.name == name)
+            .map(|r| r.ops_per_sec)
+            .unwrap_or(0.0)
+    };
+    for (single, sharded) in [("s1-put90", "s4-put90"), ("s1-get90", "s4-get90")] {
+        println!(
+            "sharding speedup {single} -> {sharded}: {:.2}x",
+            tput(sharded) / tput(single).max(1e-9)
+        );
+    }
+    let json = bench_json(&rows, quick);
+    match std::fs::write("BENCH_kv.json", &json) {
+        Ok(()) => println!("wrote BENCH_kv.json ({} results)", rows.len()),
+        Err(e) => eprintln!("could not write BENCH_kv.json: {e}"),
     }
 }
 
@@ -147,30 +196,38 @@ fn f2() {
     }
 }
 
-const SECTIONS: [(&str, fn()); 8] = [
-    ("t1", t1),
-    ("t2", t2),
-    ("t3", t3),
-    ("t4", t4),
-    ("t5", t5),
-    ("t6", t6),
-    ("f1", f1),
-    ("f2", f2),
-];
+const SECTIONS: [&str; 8] = ["t1", "t2", "t3", "t4", "t5", "t6", "f1", "f2"];
 
 fn main() {
-    let arg = std::env::args().nth(1).unwrap_or_else(|| "all".into());
-    if arg != "all" && !SECTIONS.iter().any(|(name, _)| *name == arg) {
-        let names: Vec<&str> = SECTIONS.iter().map(|(name, _)| *name).collect();
+    let mut quick = false;
+    let mut selected: Option<String> = None;
+    for arg in std::env::args().skip(1) {
+        match arg.as_str() {
+            "--quick" => quick = true,
+            other => selected = Some(other.to_string()),
+        }
+    }
+    let arg = selected.unwrap_or_else(|| "all".into());
+    if arg != "all" && !SECTIONS.contains(&arg.as_str()) {
         eprintln!(
-            "unknown table {arg:?}; usage: exp [{}|all]",
-            names.join("|")
+            "unknown table {arg:?}; usage: exp [{}|all] [--quick]",
+            SECTIONS.join("|")
         );
         std::process::exit(2);
     }
-    for (name, section) in SECTIONS {
+    for name in SECTIONS {
         if arg == name || arg == "all" {
-            section();
+            match name {
+                "t1" => t1(),
+                "t2" => t2(),
+                "t3" => t3(),
+                "t4" => t4(),
+                "t5" => t5(),
+                "t6" => t6(quick),
+                "f1" => f1(),
+                "f2" => f2(),
+                _ => unreachable!("SECTIONS is exhaustive"),
+            }
             println!();
         }
     }

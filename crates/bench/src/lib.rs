@@ -7,6 +7,7 @@
 #![warn(missing_docs)]
 
 pub mod stats;
+pub mod workload;
 
 use rastor_common::{ClientId, ObjectId, OpKind, Value};
 use rastor_core::{AdversaryKind, Protocol, StorageSystem, Workload};

@@ -1,0 +1,407 @@
+//! The kv throughput workload driver: multi-threaded put/get mixes against
+//! the sharded store, with configurable shard count, key skew, loop mode
+//! and per-shard fault injection. Results feed the `exp t6` table and the
+//! machine-readable `BENCH_kv.json` perf trajectory consumed by CI.
+//!
+//! Unlike the simulator-based tables (t1–t5), this driver measures
+//! **wall-clock** throughput of the thread runtime. Each storage object
+//! emulates a service delay per request (uniform in `0..2·mean`), so
+//! throughput is bound by emulated object latency — the regime where
+//! sharding pays — rather than by host CPU, which keeps the numbers
+//! comparable across machines (and between laptops and CI runners).
+
+use crate::stats::Summary;
+use rastor_common::{ObjectId, SplitMix64, Value};
+use rastor_core::adversary::SilentObject;
+use rastor_core::object::HonestObject;
+use rastor_kv::{ShardedKvStore, StoreConfig};
+use std::sync::{Arc, Barrier};
+use std::time::{Duration, Instant};
+
+/// How client threads pace their operations.
+#[derive(Clone, Copy, PartialEq, Debug)]
+pub enum LoopMode {
+    /// Closed loop: issue the next operation as soon as the previous one
+    /// completes (saturation throughput).
+    Closed,
+    /// Open(-ish) loop: pace each thread at the given issue rate
+    /// (operations per second), sleeping out any slack. With a blocking
+    /// client a late operation delays the schedule instead of queueing, so
+    /// this is pacing, not a true open loop; the achieved rate is
+    /// reported.
+    Open {
+        /// Target issue rate per thread, in operations per second.
+        ops_per_sec: u32,
+    },
+}
+
+impl LoopMode {
+    fn label(self) -> String {
+        match self {
+            LoopMode::Closed => "closed".into(),
+            LoopMode::Open { ops_per_sec } => format!("open@{ops_per_sec}"),
+        }
+    }
+}
+
+/// One workload configuration.
+#[derive(Clone, Debug)]
+pub struct WorkloadCfg {
+    /// Row label (also the key for baseline comparison in CI).
+    pub name: String,
+    /// Per-shard fault budget (`S = 3t + 1` objects per shard).
+    pub t: usize,
+    /// Number of shards.
+    pub shards: usize,
+    /// Client threads (= handle pool size).
+    pub threads: u32,
+    /// Percentage of operations that are puts (the rest are gets).
+    pub put_pct: u32,
+    /// Key-space size; keys are pre-seeded before the timed phase.
+    pub keys: u32,
+    /// Fraction of traffic aimed at the hottest 10% of keys (0.1 ≈
+    /// uniform; 0.9 = heavy skew).
+    pub skew: f64,
+    /// Operations per thread in the timed phase.
+    pub ops_per_thread: u64,
+    /// Objects crashed per shard before the timed phase (≤ t).
+    pub crashed_per_shard: usize,
+    /// Byzantine (silent) objects per shard (≤ t, counted against the
+    /// same budget as crashes).
+    pub silent_per_shard: usize,
+    /// Mean emulated service delay per object request.
+    pub service: Duration,
+    /// Loop mode for the client threads.
+    pub mode: LoopMode,
+    /// Seed for key/op choices (thread `i` derives `seed + i`).
+    pub seed: u64,
+}
+
+impl WorkloadCfg {
+    /// A closed-loop baseline row: fault-free, near-uniform key choice.
+    pub fn closed(name: &str, shards: usize, threads: u32, put_pct: u32) -> WorkloadCfg {
+        WorkloadCfg {
+            name: name.to_string(),
+            t: 1,
+            shards,
+            threads,
+            put_pct,
+            keys: 32,
+            skew: 0.1,
+            ops_per_thread: 100,
+            crashed_per_shard: 0,
+            silent_per_shard: 0,
+            service: Duration::from_micros(150),
+            mode: LoopMode::Closed,
+            seed: 42,
+        }
+    }
+}
+
+/// The measured outcome of one workload run.
+#[derive(Clone, Debug)]
+pub struct WorkloadRow {
+    /// The configuration that produced this row.
+    pub cfg: WorkloadCfg,
+    /// Completed operations (across all threads).
+    pub ops: u64,
+    /// Operations that returned an error (should be 0 within budget).
+    pub errors: u64,
+    /// Wall-clock duration of the timed phase, in seconds.
+    pub elapsed_secs: f64,
+    /// Completed operations per wall-clock second.
+    pub ops_per_sec: f64,
+    /// Put latency summary in microseconds (`None` if the mix had no puts).
+    pub put_lat_us: Option<Summary>,
+    /// Get latency summary in microseconds (`None` if the mix had no gets).
+    pub get_lat_us: Option<Summary>,
+}
+
+fn pick_key(rng: &mut SplitMix64, keys: u32, skew: f64) -> u32 {
+    let hot = (keys / 10).max(1);
+    if rng.next_f64() < skew {
+        rng.gen_range(0, u64::from(hot) - 1) as u32
+    } else {
+        rng.gen_range(0, u64::from(keys) - 1) as u32
+    }
+}
+
+/// Run one workload configuration to completion and measure it.
+///
+/// Builds a fresh store (with the configured Byzantine objects), seeds
+/// every key, crashes the configured objects, then runs `threads` OS
+/// threads through the put/get mix and reports wall-clock throughput and
+/// latency percentiles.
+///
+/// # Panics
+///
+/// Panics if the fault injection exceeds the per-shard budget
+/// (`crashed + silent > t`) or the store cannot be built.
+pub fn run_workload(cfg: &WorkloadCfg) -> WorkloadRow {
+    assert!(
+        cfg.crashed_per_shard + cfg.silent_per_shard <= cfg.t,
+        "fault injection exceeds the per-shard budget t = {}",
+        cfg.t
+    );
+    let silent = cfg.silent_per_shard as u32;
+    let store = ShardedKvStore::spawn_with(
+        StoreConfig::new(cfg.t, cfg.shards, cfg.threads).with_jitter(2 * cfg.service),
+        |_, oid| {
+            // The first `silent` objects of every shard are Byzantine
+            // (silent); crashes below take the last objects, so the two
+            // injections never overlap.
+            if oid.0 < silent {
+                Box::new(SilentObject)
+            } else {
+                Box::new(HonestObject::new())
+            }
+        },
+    )
+    .expect("valid workload configuration");
+
+    // Seed the key space so gets always have something to return.
+    let mut seeder = store.handle(0).expect("handle 0 in pool");
+    for k in 0..cfg.keys {
+        seeder
+            .put(&key_name(k), Value::from_u64(1))
+            .expect("seeding put");
+    }
+    drop(seeder);
+
+    // Crash from the top of the object range, away from the silent ones.
+    let num_objects = store.config().num_objects() as u32;
+    for s in 0..cfg.shards {
+        for c in 0..cfg.crashed_per_shard as u32 {
+            store.crash_object(s, ObjectId(num_objects - 1 - c));
+        }
+    }
+
+    let barrier = Arc::new(Barrier::new(cfg.threads as usize + 1));
+    let mut workers = Vec::new();
+    for tid in 0..cfg.threads {
+        let store = store.clone();
+        let barrier = Arc::clone(&barrier);
+        let cfg = cfg.clone();
+        workers.push(std::thread::spawn(move || {
+            let mut handle = store.handle(tid).expect("handle in pool");
+            let mut rng = SplitMix64::new(cfg.seed + u64::from(tid));
+            let mut puts = Vec::new();
+            let mut gets = Vec::new();
+            let mut errors = 0u64;
+            barrier.wait();
+            let phase_start = Instant::now();
+            for op in 0..cfg.ops_per_thread {
+                if let LoopMode::Open { ops_per_sec } = cfg.mode {
+                    let due = Duration::from_secs(op) / ops_per_sec;
+                    if let Some(slack) = due.checked_sub(phase_start.elapsed()) {
+                        std::thread::sleep(slack);
+                    }
+                }
+                let key = key_name(pick_key(&mut rng, cfg.keys, cfg.skew));
+                let is_put = rng.gen_range(1, 100) <= u64::from(cfg.put_pct);
+                let started = Instant::now();
+                if is_put {
+                    match handle.put(&key, Value::from_u64(op + 2)) {
+                        Ok(_) => puts.push(started.elapsed().as_micros() as u64),
+                        Err(_) => errors += 1,
+                    }
+                } else {
+                    match handle.get(&key) {
+                        Ok(_) => gets.push(started.elapsed().as_micros() as u64),
+                        Err(_) => errors += 1,
+                    }
+                }
+            }
+            (puts, gets, errors)
+        }));
+    }
+
+    barrier.wait();
+    let start = Instant::now();
+    let mut puts = Vec::new();
+    let mut gets = Vec::new();
+    let mut errors = 0u64;
+    for w in workers {
+        let (p, g, e) = w.join().expect("worker thread");
+        puts.extend(p);
+        gets.extend(g);
+        errors += e;
+    }
+    let elapsed = start.elapsed().as_secs_f64();
+    let ops = (puts.len() + gets.len()) as u64;
+    WorkloadRow {
+        cfg: cfg.clone(),
+        ops,
+        errors,
+        elapsed_secs: elapsed,
+        ops_per_sec: ops as f64 / elapsed.max(1e-9),
+        put_lat_us: Summary::of(puts),
+        get_lat_us: Summary::of(gets),
+    }
+}
+
+fn key_name(k: u32) -> String {
+    format!("key:{k:04}")
+}
+
+/// The T6 workload matrix: {1, 4} shards × {put-heavy, get-heavy}, plus
+/// fault-injected and paced rows on the 4-shard layout. `quick` trims the
+/// per-thread op count for CI smoke runs.
+pub fn kv_throughput_matrix(quick: bool) -> Vec<WorkloadRow> {
+    let ops = if quick { 30 } else { 150 };
+    let mut configs = vec![
+        WorkloadCfg::closed("s1-put90", 1, 4, 90),
+        WorkloadCfg::closed("s1-get90", 1, 4, 10),
+        WorkloadCfg::closed("s4-put90", 4, 4, 90),
+        WorkloadCfg::closed("s4-get90", 4, 4, 10),
+        WorkloadCfg {
+            crashed_per_shard: 1,
+            ..WorkloadCfg::closed("s4-mixed-crash1", 4, 4, 50)
+        },
+        WorkloadCfg {
+            silent_per_shard: 1,
+            ..WorkloadCfg::closed("s4-mixed-byz1", 4, 4, 50)
+        },
+        WorkloadCfg {
+            skew: 0.9,
+            ..WorkloadCfg::closed("s4-put90-hot", 4, 4, 90)
+        },
+        WorkloadCfg {
+            mode: LoopMode::Open { ops_per_sec: 250 },
+            ..WorkloadCfg::closed("s4-get90-open", 4, 4, 10)
+        },
+    ];
+    for c in &mut configs {
+        c.ops_per_thread = ops;
+    }
+    configs.iter().map(run_workload).collect()
+}
+
+fn json_summary(prefix: &str, s: Option<Summary>) -> String {
+    let (p50, p95, max) = s.map_or((0, 0, 0), |s| (s.p50, s.p95, s.max));
+    format!("\"{prefix}_p50_us\":{p50},\"{prefix}_p95_us\":{p95},\"{prefix}_max_us\":{max}")
+}
+
+/// Serialize workload rows as the `BENCH_kv.json` document
+/// (`rastor-kv-throughput/v1`): one result object per line, so the CI
+/// regression checker can scan it without a JSON parser.
+pub fn bench_json(rows: &[WorkloadRow], quick: bool) -> String {
+    let mut out = String::new();
+    out.push_str("{\n");
+    out.push_str("\"schema\": \"rastor-kv-throughput/v1\",\n");
+    out.push_str(&format!("\"quick\": {quick},\n"));
+    out.push_str("\"results\": [\n");
+    for (i, row) in rows.iter().enumerate() {
+        let c = &row.cfg;
+        out.push_str(&format!(
+            "{{\"name\":\"{}\",\"shards\":{},\"threads\":{},\"put_pct\":{},\"keys\":{},\"skew\":{:.2},\"crashed_per_shard\":{},\"silent_per_shard\":{},\"mode\":\"{}\",\"ops\":{},\"errors\":{},\"elapsed_secs\":{:.4},\"ops_per_sec\":{:.1},{},{}}}{}\n",
+            c.name,
+            c.shards,
+            c.threads,
+            c.put_pct,
+            c.keys,
+            c.skew,
+            c.crashed_per_shard,
+            c.silent_per_shard,
+            c.mode.label(),
+            row.ops,
+            row.errors,
+            row.elapsed_secs,
+            row.ops_per_sec,
+            json_summary("put", row.put_lat_us),
+            json_summary("get", row.get_lat_us),
+            if i + 1 == rows.len() { "" } else { "," },
+        ));
+    }
+    out.push_str("]\n}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny(name: &str, shards: usize) -> WorkloadCfg {
+        WorkloadCfg {
+            keys: 8,
+            ops_per_thread: 10,
+            threads: 2,
+            service: Duration::from_micros(20),
+            ..WorkloadCfg::closed(name, shards, 2, 50)
+        }
+    }
+
+    #[test]
+    fn closed_loop_completes_every_op() {
+        let row = run_workload(&tiny("t", 2));
+        assert_eq!(row.ops, 20);
+        assert_eq!(row.errors, 0);
+        assert!(row.ops_per_sec > 0.0);
+    }
+
+    #[test]
+    fn fault_injection_within_budget_still_completes() {
+        let crash = WorkloadCfg {
+            crashed_per_shard: 1,
+            ..tiny("crash", 2)
+        };
+        let byz = WorkloadCfg {
+            silent_per_shard: 1,
+            ..tiny("byz", 2)
+        };
+        for cfg in [crash, byz] {
+            let row = run_workload(&cfg);
+            assert_eq!(row.ops, 20, "{}", row.cfg.name);
+            assert_eq!(row.errors, 0, "{}", row.cfg.name);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "budget")]
+    fn fault_injection_beyond_budget_panics() {
+        let cfg = WorkloadCfg {
+            crashed_per_shard: 1,
+            silent_per_shard: 1,
+            ..tiny("over", 1)
+        };
+        run_workload(&cfg);
+    }
+
+    #[test]
+    fn open_loop_paces_without_losing_ops() {
+        let cfg = WorkloadCfg {
+            mode: LoopMode::Open { ops_per_sec: 500 },
+            ..tiny("open", 1)
+        };
+        let row = run_workload(&cfg);
+        assert_eq!(row.ops, 20);
+        // 10 ops at 500/s per thread needs ≥ ~18 ms of schedule.
+        assert!(
+            row.elapsed_secs >= 0.015,
+            "paced run took {}",
+            row.elapsed_secs
+        );
+    }
+
+    #[test]
+    fn json_has_schema_and_one_result_per_row() {
+        let rows = vec![run_workload(&tiny("a", 1)), run_workload(&tiny("b", 2))];
+        let doc = bench_json(&rows, true);
+        assert!(doc.contains("\"schema\": \"rastor-kv-throughput/v1\""));
+        assert_eq!(doc.matches("\"name\":").count(), 2);
+        assert_eq!(doc.matches("\"ops_per_sec\":").count(), 2);
+        // Balanced braces/brackets — cheap well-formedness check.
+        assert_eq!(doc.matches('{').count(), doc.matches('}').count());
+        assert_eq!(doc.matches('[').count(), doc.matches(']').count());
+    }
+
+    #[test]
+    fn skewed_traffic_stays_correct() {
+        let cfg = WorkloadCfg {
+            skew: 0.95,
+            ..tiny("hot", 2)
+        };
+        let row = run_workload(&cfg);
+        assert_eq!(row.errors, 0);
+    }
+}

@@ -44,6 +44,6 @@ pub mod value;
 pub use error::{Error, Result};
 pub use ids::{ClientId, ObjectId, RegId};
 pub use quorum::{ClusterConfig, FaultModel};
-pub use rng::SplitMix64;
+pub use rng::{splitmix64, SplitMix64};
 pub use round::{OpKind, OpStat, RoundCount};
 pub use value::{Timestamp, TsVal, Value};

@@ -32,7 +32,7 @@
 //!
 //! The engine therefore decides in 2 collect rounds in contention-free runs
 //! (`min_rounds` defaults to 2, matching the worst-case round structure of
-//! the paper's reference [15]) and in `2 + O(#interfering writes)` rounds
+//! the paper's reference \[15\]) and in `2 + O(#interfering writes)` rounds
 //! under write contention — the documented deviation in DESIGN.md.
 //!
 //! ## The authenticated (secret-value) rule

@@ -73,9 +73,82 @@ impl Tag {
 /// The register groups of an MWMR deployment with `n` writers and `r`
 /// readers.
 pub fn mwmr_regs(n_writers: u32, n_readers: u32) -> Vec<RegId> {
-    let mut regs: Vec<RegId> = (0..n_writers).map(RegId::Writer).collect();
-    regs.extend((0..n_readers).map(RegId::ReaderReg));
-    regs
+    RegGroup::first(n_writers, n_readers).all_regs()
+}
+
+/// A contiguous block of MWMR registers multiplexed on one cluster: writer
+/// registers `Writer(writer_base ..)` and write-back registers
+/// `ReaderReg(reader_base ..)`.
+///
+/// Many groups can share the same physical objects — the sharded kv store
+/// hosts one group per key (`writer_base = reader_base = key · H` for `H`
+/// client handles), which is what makes per-key MWMR registers cheap: no
+/// new processes, just disjoint register namespaces.
+///
+/// ```
+/// use rastor_core::mwmr::RegGroup;
+/// use rastor_common::RegId;
+/// let g = RegGroup::keyed(2, 3); // key 2 of a store with 3 handles
+/// assert_eq!(g.writer_reg(1), RegId::Writer(7));
+/// assert_eq!(g.all_regs().len(), 6);
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct RegGroup {
+    /// Index of the group's first writer register.
+    pub writer_base: u32,
+    /// Number of writers in the group.
+    pub n_writers: u32,
+    /// Index of the group's first write-back register.
+    pub reader_base: u32,
+    /// Number of readers in the group.
+    pub n_readers: u32,
+}
+
+impl RegGroup {
+    /// The group starting at register 0 (the classic single-group layout).
+    pub fn first(n_writers: u32, n_readers: u32) -> RegGroup {
+        RegGroup {
+            writer_base: 0,
+            n_writers,
+            reader_base: 0,
+            n_readers,
+        }
+    }
+
+    /// The group of key `kid` in a store where every one of `n_handles`
+    /// client handles acts as both writer `h` and reader `h` of each key.
+    pub fn keyed(kid: u32, n_handles: u32) -> RegGroup {
+        RegGroup {
+            writer_base: kid * n_handles,
+            n_writers: n_handles,
+            reader_base: kid * n_handles,
+            n_readers: n_handles,
+        }
+    }
+
+    /// The register written by the group's `w`-th writer.
+    pub fn writer_reg(&self, w: u32) -> RegId {
+        debug_assert!(w < self.n_writers, "writer index out of group");
+        RegId::Writer(self.writer_base + w)
+    }
+
+    /// The write-back register owned by the group's `r`-th reader.
+    pub fn reader_reg(&self, r: u32) -> RegId {
+        debug_assert!(r < self.n_readers, "reader index out of group");
+        RegId::ReaderReg(self.reader_base + r)
+    }
+
+    /// All writer registers of the group.
+    pub fn writer_regs(&self) -> Vec<RegId> {
+        (0..self.n_writers).map(|w| self.writer_reg(w)).collect()
+    }
+
+    /// All registers of the group (writers first, then write-backs).
+    pub fn all_regs(&self) -> Vec<RegId> {
+        let mut regs = self.writer_regs();
+        regs.extend((0..self.n_readers).map(|r| self.reader_reg(r)));
+        regs
+    }
 }
 
 #[derive(Debug)]
@@ -90,6 +163,7 @@ enum WPhase {
 pub struct MwWriteClient {
     cfg: ClusterConfig,
     writer: u32,
+    own_reg: RegId,
     value: Value,
     engine: CollectEngine,
     phase: WPhase,
@@ -98,15 +172,28 @@ pub struct MwWriteClient {
 }
 
 impl MwWriteClient {
-    /// A write of `value` by writer `writer` (of `n_writers`).
+    /// A write of `value` by writer `writer` (of `n_writers`), in the
+    /// classic single-group register layout.
     pub fn new(cfg: ClusterConfig, writer: u32, n_writers: u32, value: Value) -> MwWriteClient {
-        assert!(writer < n_writers, "writer index out of range");
-        let regs: Vec<RegId> = (0..n_writers).map(RegId::Writer).collect();
+        MwWriteClient::in_group(cfg, writer, RegGroup::first(n_writers, 0), value)
+    }
+
+    /// A write of `value` by the group's `writer`-th writer, against an
+    /// arbitrary [`RegGroup`] (used by the sharded kv store, one group per
+    /// key). The collect phase reads only the group's writer registers.
+    pub fn in_group(
+        cfg: ClusterConfig,
+        writer: u32,
+        group: RegGroup,
+        value: Value,
+    ) -> MwWriteClient {
+        assert!(writer < group.n_writers, "writer index out of range");
         MwWriteClient {
             cfg,
             writer,
+            own_reg: group.writer_reg(writer),
             value,
-            engine: CollectEngine::unauth(cfg, regs),
+            engine: CollectEngine::unauth(cfg, group.writer_regs()),
             phase: WPhase::Collect,
             pair: Stamped::bottom(),
             acks: BTreeSet::new(),
@@ -141,20 +228,20 @@ impl RoundClient<Req, Rep> for MwWriteClient {
                     self.pair = Stamped::plain(TsVal::new(tag.to_timestamp(), self.value.clone()));
                     self.phase = WPhase::PreWrite;
                     ClientAction::NextRound(Req::PreWrite {
-                        reg: RegId::Writer(self.writer),
+                        reg: self.own_reg,
                         pair: self.pair.clone(),
                     })
                 }
             },
             WPhase::PreWrite => {
-                if reply.is_ack(RegId::Writer(self.writer), AckKind::PreWrite) {
+                if reply.is_ack(self.own_reg, AckKind::PreWrite) {
                     self.acks.insert(from);
                 }
                 if self.acks.len() >= self.cfg.quorum() {
                     self.phase = WPhase::Commit;
                     self.acks.clear();
                     ClientAction::NextRound(Req::Commit {
-                        reg: RegId::Writer(self.writer),
+                        reg: self.own_reg,
                         pair: self.pair.clone(),
                     })
                 } else {
@@ -162,7 +249,7 @@ impl RoundClient<Req, Rep> for MwWriteClient {
                 }
             }
             WPhase::Commit => {
-                if reply.is_ack(RegId::Writer(self.writer), AckKind::Commit) {
+                if reply.is_ack(self.own_reg, AckKind::Commit) {
                     self.acks.insert(from);
                 }
                 if self.acks.len() >= self.cfg.quorum() {
@@ -183,12 +270,19 @@ pub fn mw_read_client(
     n_writers: u32,
     n_readers: u32,
 ) -> crate::transform::AtomicReadClient {
-    assert!(reader < n_readers, "reader index out of range");
-    crate::transform::AtomicReadClient::with_regs(
-        cfg,
-        RegId::ReaderReg(reader),
-        mwmr_regs(n_writers, n_readers),
-    )
+    mw_read_in_group(cfg, reader, RegGroup::first(n_writers, n_readers))
+}
+
+/// The 4-round multi-writer read automaton against an arbitrary
+/// [`RegGroup`]: collect every register of the group, write the maximum
+/// back into the group's `reader`-th write-back register.
+pub fn mw_read_in_group(
+    cfg: ClusterConfig,
+    reader: u32,
+    group: RegGroup,
+) -> crate::transform::AtomicReadClient {
+    assert!(reader < group.n_readers, "reader index out of range");
+    crate::transform::AtomicReadClient::with_regs(cfg, group.reader_reg(reader), group.all_regs())
 }
 
 #[cfg(test)]

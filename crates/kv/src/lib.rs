@@ -5,16 +5,24 @@
 //! introduction ("its read/write API … is today the heart of modern cloud
 //! key-value storage APIs").
 //!
-//! Every key is backed by its own group of SWMR logical registers (one
-//! writer register plus one write-back register per reader), all
-//! multiplexed over the *same* `3t + 1` fault-prone objects. `put` runs the
-//! 2-round Byzantine write; `get` runs the 4-round atomic read
+//! The store is a **sharded throughput engine**: a consistent-hash
+//! [`ShardRouter`] spreads keys across `N` independent `3t + 1` object
+//! clusters, and a pool of [`KvHandle`]s serves puts and gets from as many
+//! OS threads as the caller wants. Every key is backed by its own
+//! multi-writer register group (one writer register per handle plus one
+//! write-back register per handle), multiplexed over its shard's objects.
+//! `put` runs the 4-round multi-writer write (2-round tag collect +
+//! 2-round pre-write/commit); `get` runs the 4-round atomic read
 //! (transformation of the paper's Section 5). Because each key's registers
 //! are independent, per-key linearizability follows directly from the
-//! register construction.
+//! register construction; cross-shard scaling follows because shards share
+//! nothing.
 //!
-//! The store runs over the thread runtime — real OS threads and channels —
-//! demonstrating the protocols outside the simulator.
+//! Everything runs over the thread runtime — real OS threads and channels
+//! — demonstrating the protocols outside the simulator.
+//!
+//! The single-cluster, single-writer [`KvStore`] of earlier revisions
+//! remains as a thin façade over a 1-shard [`ShardedKvStore`]:
 //!
 //! ```
 //! use rastor_kv::KvStore;
@@ -31,114 +39,76 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
-use rastor_common::{ClientId, ClusterConfig, Error, ObjectId, RegId, Result, Timestamp, Value};
-use rastor_core::clients::{ByzWriteClient, OpOutput};
-use rastor_core::msg::{Rep, Req, Stamped};
-use rastor_core::object::HonestObject;
-use rastor_core::transform::AtomicReadClient;
-use rastor_sim::runtime::{ThreadClient, ThreadCluster};
-use rastor_sim::ObjectBehavior;
-use std::collections::HashMap;
-use std::time::Duration;
+mod router;
+mod sharded;
 
-/// Key-group register layout: key `kid` with `R` readers occupies
-/// writer register `Writer(kid)` and write-back registers
-/// `ReaderReg(kid·R + r)`.
-fn writer_reg(kid: u32) -> RegId {
-    RegId::Writer(kid)
-}
+pub use router::ShardRouter;
+pub use sharded::{KvHandle, ShardedKvStore, StoreConfig};
 
-fn reader_reg(kid: u32, num_readers: u32, reader: u32) -> RegId {
-    RegId::ReaderReg(kid * num_readers + reader)
-}
+use rastor_common::{ClusterConfig, Error, ObjectId, Result, Value};
 
-fn key_regs(kid: u32, num_readers: u32) -> Vec<RegId> {
-    let mut regs = vec![writer_reg(kid)];
-    regs.extend((0..num_readers).map(|r| reader_reg(kid, num_readers, r)));
-    regs
-}
-
-/// A robust key-value store over a thread-deployed object cluster.
+/// The legacy single-cluster store: one shard, one writing handle, and
+/// `num_readers` reading handles — the original single-writer API kept for
+/// examples and compatibility, now backed by [`ShardedKvStore`].
 pub struct KvStore {
-    cfg: ClusterConfig,
-    num_readers: u32,
-    cluster: ThreadCluster<Req, Rep>,
-    writer: ThreadClient<Req, Rep>,
-    readers: Vec<ThreadClient<Req, Rep>>,
-    keys: HashMap<String, u32>,
-    next_ts: HashMap<u32, u64>,
-    timeout: Duration,
+    store: ShardedKvStore,
+    writer: KvHandle,
+    readers: Vec<KvHandle>,
 }
 
 impl KvStore {
-    /// Spawn an optimally resilient (`S = 3t + 1`) store supporting
-    /// `num_readers` reader handles.
+    /// Spawn an optimally resilient (`S = 3t + 1`) single-shard store
+    /// supporting `num_readers` reader handles.
     ///
     /// # Errors
     ///
     /// Returns [`Error::InsufficientResilience`] if the configuration is
     /// invalid (kept for uniformity; optimal shapes always validate).
     pub fn new(t: usize, num_readers: u32) -> Result<KvStore> {
-        let cfg = ClusterConfig::byzantine(t)?;
-        let behaviors: Vec<Box<dyn ObjectBehavior<Req, Rep> + Send>> = (0..cfg.num_objects())
-            .map(|_| Box::new(HonestObject::new()) as _)
-            .collect();
+        let store = ShardedKvStore::spawn(StoreConfig::new(t, 1, num_readers + 1))?;
+        let writer = store.handle(0)?;
+        let readers = (0..num_readers)
+            .map(|r| store.handle(r + 1))
+            .collect::<Result<Vec<_>>>()?;
         Ok(KvStore {
-            cfg,
-            num_readers,
-            cluster: ThreadCluster::spawn(behaviors, None),
-            writer: ThreadClient::new(ClientId::writer()),
-            readers: (0..num_readers)
-                .map(|r| ThreadClient::new(ClientId::reader(r)))
-                .collect(),
-            keys: HashMap::new(),
-            next_ts: HashMap::new(),
-            timeout: Duration::from_secs(10),
+            store,
+            writer,
+            readers,
         })
     }
 
     /// The cluster configuration.
     pub fn config(&self) -> ClusterConfig {
-        self.cfg
+        self.store.config()
     }
 
     /// Number of distinct keys written so far.
     pub fn num_keys(&self) -> usize {
-        self.keys.len()
+        self.store.num_keys()
     }
 
     /// Crash a storage object (at most `t` may be crashed or corrupted for
     /// operations to keep completing).
     pub fn crash_object(&mut self, id: ObjectId) {
-        self.cluster.crash_object(id);
+        self.store.crash_object(0, id);
     }
 
-    fn kid_of(&mut self, key: &str) -> u32 {
-        let next = self.keys.len() as u32;
-        *self.keys.entry(key.to_string()).or_insert(next)
+    /// Set the per-operation timeout on every handle (default 10 s).
+    pub fn set_timeout(&mut self, timeout: std::time::Duration) {
+        self.writer.set_timeout(timeout);
+        for r in &mut self.readers {
+            r.set_timeout(timeout);
+        }
     }
 
-    /// Store `value` under `key` (2-round robust write).
+    /// Store `value` under `key` (4-round multi-writer write).
     ///
     /// # Errors
     ///
     /// * [`Error::BottomWrite`] if `value` is the reserved empty value;
     /// * [`Error::Incomplete`] if the cluster can no longer form a quorum.
     pub fn put(&mut self, key: &str, value: Value) -> Result<()> {
-        if value.is_bottom() {
-            return Err(Error::BottomWrite);
-        }
-        let kid = self.kid_of(key);
-        let ts = self.next_ts.entry(kid).or_insert(0);
-        *ts += 1;
-        let pair = Stamped::plain(rastor_common::TsVal::new(Timestamp(*ts), value));
-        let client = ByzWriteClient::new(self.cfg, writer_reg(kid), pair);
-        self.writer
-            .run_op(&self.cluster, Box::new(client), self.timeout)
-            .map(|_| ())
-            .ok_or_else(|| Error::Incomplete {
-                detail: format!("put({key}) could not reach a quorum"),
-            })
+        self.writer.put(key, value).map(|_tag| ())
     }
 
     /// Read the latest value under `key` through reader handle `reader`
@@ -149,34 +119,21 @@ impl KvStore {
     /// * [`Error::WrongRole`] if `reader ≥ num_readers`;
     /// * [`Error::Incomplete`] if the cluster can no longer form a quorum.
     pub fn get(&mut self, key: &str, reader: u32) -> Result<Option<Value>> {
-        if reader >= self.num_readers {
-            return Err(Error::WrongRole {
-                detail: format!("reader {reader} of {}", self.num_readers),
-            });
-        }
-        let kid = self.kid_of(key);
-        let own = reader_reg(kid, self.num_readers, reader);
-        let regs = key_regs(kid, self.num_readers);
-        let client = AtomicReadClient::with_regs(self.cfg, own, regs);
-        let (out, _rounds) = self.readers[reader as usize]
-            .run_op(&self.cluster, Box::new(client), self.timeout)
-            .ok_or_else(|| Error::Incomplete {
-                detail: format!("get({key}) could not reach a quorum"),
+        let num_readers = self.readers.len();
+        let handle = self
+            .readers
+            .get_mut(reader as usize)
+            .ok_or_else(|| Error::WrongRole {
+                detail: format!("reader {reader} of {num_readers}"),
             })?;
-        match out {
-            OpOutput::Read(pair) => Ok(if pair.is_bottom() {
-                None
-            } else {
-                Some(pair.val)
-            }),
-            OpOutput::Wrote(_) => unreachable!("reads return Read outputs"),
-        }
+        handle.get(key)
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::time::Duration;
 
     #[test]
     fn put_get_roundtrip() {
@@ -242,10 +199,9 @@ mod tests {
         store.crash_object(ObjectId(2));
         store.crash_object(ObjectId(3));
         // Quorum of 3 unreachable with 2 of 4 objects down: times out.
-        let mut fast = store;
-        fast.timeout = Duration::from_millis(100);
+        store.set_timeout(Duration::from_millis(100));
         assert!(matches!(
-            fast.put("k", Value::from_u64(9)),
+            store.put("k", Value::from_u64(9)),
             Err(Error::Incomplete { .. })
         ));
     }

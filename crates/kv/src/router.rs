@@ -1,0 +1,134 @@
+//! Consistent-hash routing of keys onto shards.
+//!
+//! Each shard owns `VNODES` points on a 64-bit hash ring; a key maps to the
+//! shard owning the first point clockwise of the key's hash. The classic
+//! consistent-hashing property follows: growing an `n`-shard ring to
+//! `n + 1` shards remaps only ~`1/(n+1)` of the keys, so a resharding
+//! migration touches a bounded key range instead of the whole store.
+//!
+//! Hashing is deterministic (seedless FNV-1a folded through splitmix64), so
+//! every client handle — and every future session — routes identically.
+
+use rastor_common::splitmix64;
+
+/// Virtual nodes per shard: enough to keep the max/min shard load ratio
+/// small at the shard counts the store targets (≤ a few hundred).
+const VNODES: usize = 64;
+
+/// FNV-1a over the key bytes, folded through splitmix64 to spread the
+/// avalanche across all 64 bits.
+fn hash_key(key: &str) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in key.as_bytes() {
+        h ^= u64::from(*b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    splitmix64(h)
+}
+
+/// A consistent-hash ring mapping keys to `num_shards` shards.
+///
+/// ```
+/// use rastor_kv::ShardRouter;
+/// let router = ShardRouter::new(4);
+/// let s = router.shard_of("user:42");
+/// assert!(s < 4);
+/// assert_eq!(s, router.shard_of("user:42"), "routing is deterministic");
+/// ```
+#[derive(Clone, Debug)]
+pub struct ShardRouter {
+    /// `(ring position, shard)` sorted by position.
+    ring: Vec<(u64, u32)>,
+    num_shards: usize,
+}
+
+impl ShardRouter {
+    /// Build the ring for `num_shards` shards (at least 1).
+    pub fn new(num_shards: usize) -> ShardRouter {
+        assert!(num_shards > 0, "a store needs at least one shard");
+        let mut ring = Vec::with_capacity(num_shards * VNODES);
+        for shard in 0..num_shards as u32 {
+            for vnode in 0..VNODES as u64 {
+                let point = splitmix64((u64::from(shard) << 32) | vnode);
+                ring.push((point, shard));
+            }
+        }
+        ring.sort_unstable();
+        ShardRouter { ring, num_shards }
+    }
+
+    /// Number of shards on the ring.
+    pub fn num_shards(&self) -> usize {
+        self.num_shards
+    }
+
+    /// The shard responsible for `key`.
+    pub fn shard_of(&self, key: &str) -> usize {
+        let h = hash_key(key);
+        let idx = match self.ring.binary_search(&(h, u32::MAX)) {
+            Ok(i) | Err(i) => i,
+        };
+        // Wrap around the ring past the last point.
+        let (_, shard) = self.ring[idx % self.ring.len()];
+        shard as usize
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn keys(n: usize) -> Vec<String> {
+        (0..n).map(|i| format!("user:{i}/profile")).collect()
+    }
+
+    #[test]
+    fn single_shard_takes_everything() {
+        let r = ShardRouter::new(1);
+        for k in keys(100) {
+            assert_eq!(r.shard_of(&k), 0);
+        }
+    }
+
+    #[test]
+    fn load_spreads_across_shards() {
+        let r = ShardRouter::new(4);
+        let mut counts = [0usize; 4];
+        for k in keys(4000) {
+            counts[r.shard_of(&k)] += 1;
+        }
+        for (shard, c) in counts.iter().enumerate() {
+            // Perfect balance is 1000; consistent hashing with 64 vnodes
+            // should stay within a loose 2× band.
+            assert!((500..=2000).contains(c), "shard {shard} got {c} keys");
+        }
+    }
+
+    #[test]
+    fn growing_the_ring_moves_few_keys() {
+        let before = ShardRouter::new(4);
+        let after = ShardRouter::new(5);
+        let moved = keys(4000)
+            .iter()
+            .filter(|k| {
+                let b = before.shard_of(k);
+                let a = after.shard_of(k);
+                // A key either stays put or moves to the new shard; a move
+                // between two old shards would break consistency.
+                assert!(a == b || a == 4, "{k}: {b} -> {a}");
+                a != b
+            })
+            .count();
+        // Expected moved fraction is 1/5 = 800; allow a wide band.
+        assert!((400..=1400).contains(&moved), "moved {moved} of 4000");
+    }
+
+    #[test]
+    fn routing_is_stable_across_instances() {
+        let a = ShardRouter::new(8);
+        let b = ShardRouter::new(8);
+        for k in keys(200) {
+            assert_eq!(a.shard_of(&k), b.shard_of(&k));
+        }
+    }
+}

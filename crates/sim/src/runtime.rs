@@ -13,15 +13,18 @@
 
 use crate::engine::{ClientAction, ObjectBehavior, RoundClient};
 use rastor_common::{ClientId, ObjectId, SplitMix64};
-use std::sync::mpsc::{channel, Sender};
+use std::sync::mpsc::{channel, Receiver, Sender};
+use std::sync::Arc;
 use std::thread::JoinHandle;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 struct ObjRequest<Q, R> {
     from: ClientId,
     op_nonce: u64,
     round: u32,
-    payload: Q,
+    /// Shared round payload: one allocation per broadcast, not one deep
+    /// clone per object.
+    payload: Arc<Q>,
     reply_to: Sender<ObjReply<R>>,
 }
 
@@ -41,7 +44,7 @@ pub struct ThreadCluster<Q, R> {
 
 impl<Q, R> ThreadCluster<Q, R>
 where
-    Q: Send + 'static,
+    Q: Send + Sync + 'static,
     R: Send + 'static,
 {
     /// Spawn one thread per behavior. `jitter` optionally adds a per-request
@@ -99,17 +102,16 @@ where
         from: ClientId,
         op_nonce: u64,
         round: u32,
-        payload: &Q,
+        payload: Q,
         reply_to: &Sender<ObjReply<R>>,
-    ) where
-        Q: Clone,
-    {
+    ) {
+        let payload = Arc::new(payload);
         for tx in self.senders.iter().flatten() {
             let _ = tx.send(ObjRequest {
                 from,
                 op_nonce,
                 round,
-                payload: payload.clone(),
+                payload: Arc::clone(&payload),
                 reply_to: reply_to.clone(),
             });
         }
@@ -117,29 +119,41 @@ where
 }
 
 /// A blocking client endpoint for a [`ThreadCluster`].
+///
+/// The client owns one long-lived reply channel, reused across operations
+/// (one channel allocation per client, not per op). An operation returns as
+/// soon as its automaton completes — at a quorum of `S − t` replies for the
+/// protocol clients — without draining the stragglers; late replies stay
+/// queued and are discarded by nonce on the next operation.
 pub struct ThreadClient<Q, R> {
     id: ClientId,
     next_nonce: u64,
-    _marker: std::marker::PhantomData<(Q, R)>,
+    reply_tx: Sender<ObjReply<R>>,
+    reply_rx: Receiver<ObjReply<R>>,
+    _marker: std::marker::PhantomData<Q>,
 }
 
 impl<Q, R> ThreadClient<Q, R>
 where
-    Q: Clone + Send + 'static,
+    Q: Send + Sync + 'static,
     R: Send + 'static,
 {
     /// Create a client endpoint.
     pub fn new(id: ClientId) -> ThreadClient<Q, R> {
+        let (reply_tx, reply_rx) = channel::<ObjReply<R>>();
         ThreadClient {
             id,
             next_nonce: 0,
+            reply_tx,
+            reply_rx,
             _marker: std::marker::PhantomData,
         }
     }
 
     /// Drive one operation to completion over the cluster, blocking the
-    /// calling thread. Returns `None` if the cluster can no longer supply
-    /// enough replies (too many crashed objects) — detected by a timeout.
+    /// calling thread. Returns `None` if the cluster cannot supply enough
+    /// replies (too many crashed objects) within `timeout` — a single
+    /// deadline for the whole operation, not per reply.
     pub fn run_op<Out>(
         &mut self,
         cluster: &ThreadCluster<Q, R>,
@@ -148,20 +162,22 @@ where
     ) -> Option<(Out, u32)> {
         let nonce = self.next_nonce;
         self.next_nonce += 1;
-        let (tx, rx) = channel::<ObjReply<R>>();
+        let deadline = Instant::now() + timeout;
         let mut round = 1u32;
         let first = automaton.start();
-        cluster.broadcast(self.id, nonce, round, &first, &tx);
+        cluster.broadcast(self.id, nonce, round, first, &self.reply_tx);
         loop {
-            let reply = rx.recv_timeout(timeout).ok()?;
+            let remaining = deadline.checked_duration_since(Instant::now())?;
+            let reply = self.reply_rx.recv_timeout(remaining).ok()?;
             if reply.op_nonce != nonce {
+                // A straggler from a previous operation on this channel.
                 continue;
             }
             match automaton.on_reply(reply.from, reply.round, &reply.payload) {
                 ClientAction::Wait => {}
                 ClientAction::NextRound(q) => {
                     round += 1;
-                    cluster.broadcast(self.id, nonce, round, &q, &tx);
+                    cluster.broadcast(self.id, nonce, round, q, &self.reply_tx);
                 }
                 ClientAction::Complete(out) => return Some((out, round)),
             }
@@ -263,6 +279,25 @@ mod tests {
             Duration::from_millis(50),
         );
         assert!(res.is_none());
+    }
+
+    #[test]
+    fn reused_reply_channel_discards_stragglers() {
+        // Each op completes at 2 of 4 replies, leaving 2 stragglers queued
+        // on the client's long-lived channel; the next op must skip them.
+        let cl = cluster(4);
+        let mut client = ThreadClient::new(ClientId::reader(0));
+        for _ in 0..10 {
+            let (out, rounds) = client
+                .run_op(
+                    &cl,
+                    Box::new(Collect { need: 2, got: 0 }),
+                    Duration::from_secs(5),
+                )
+                .expect("completes");
+            assert_eq!(out, 11);
+            assert_eq!(rounds, 1);
+        }
     }
 
     #[test]

@@ -1,9 +1,11 @@
 //! The paper's motivating scenario: a cloud key-value store whose backend
-//! objects are outsourced and hence untrusted. Every `put` is a 2-round
-//! robust write; every `get` a 4-round atomic read. The store keeps serving
-//! — with unchanged results — after `t` backend objects crash.
+//! objects are outsourced and hence untrusted. Every `put` is a 4-round
+//! multi-writer robust write (2-round tag collect + 2-round pre-write and
+//! commit); every `get` a 4-round atomic read. The store keeps serving —
+//! with unchanged results — after `t` backend objects crash.
 //!
 //! Runs over real OS threads (the thread runtime), not the simulator.
+//! For the sharded, multi-threaded variant see `examples/sharded_kv.rs`.
 //!
 //! Run with: `cargo run --example cloud_kv`
 
@@ -14,7 +16,7 @@ fn main() {
     let t = 1;
     let mut store = KvStore::new(t, 2).expect("valid fault budget");
     println!(
-        "cloud kv-store up: {} (each key = one register group, 4-round atomic gets)",
+        "cloud kv-store up: {} (each key = one MWMR register group, 4-round atomic gets)",
         store.config()
     );
 

@@ -1,0 +1,69 @@
+//! The sharded throughput engine end to end: keys consistent-hashed over
+//! four independent `3t + 1` clusters, four OS threads hammering the store
+//! through the handle pool, one object crashed in every shard — and the
+//! per-key register construction keeps every answer atomic.
+//!
+//! Run with: `cargo run --example sharded_kv`
+
+use rastor::common::{ObjectId, Value};
+use rastor::kv::{ShardedKvStore, StoreConfig};
+use std::time::{Duration, Instant};
+
+fn main() {
+    let (t, shards, handles) = (1, 4, 4u32);
+    let store = ShardedKvStore::spawn(
+        StoreConfig::new(t, shards, handles).with_jitter(Duration::from_micros(100)),
+    )
+    .expect("valid fault budget");
+    println!(
+        "sharded kv up: {} shards × {} ({} client handles, MWMR puts)",
+        store.num_shards(),
+        store.config(),
+        store.num_handles()
+    );
+
+    // Four writer threads, each a distinct multi-writer of the same keys.
+    let start = Instant::now();
+    let mut threads = Vec::new();
+    for hid in 0..handles {
+        let store = store.clone();
+        threads.push(std::thread::spawn(move || {
+            let mut h = store.handle(hid).expect("handle in pool");
+            for i in 0..25u64 {
+                let key = format!("account:{:02}", i % 8);
+                h.put(&key, Value::from_u64(u64::from(hid) * 1000 + i))
+                    .expect("put");
+            }
+        }));
+    }
+    for th in threads {
+        th.join().unwrap();
+    }
+    let elapsed = start.elapsed();
+    println!(
+        "{} concurrent puts from {handles} threads in {elapsed:.2?} ({:.0} ops/sec)",
+        25 * handles,
+        f64::from(25 * handles) / elapsed.as_secs_f64()
+    );
+
+    // Shard placement is deterministic and spread out.
+    for key in ["account:00", "account:03", "account:06"] {
+        println!("  {key} lives on shard {}", store.shard_of(key));
+    }
+
+    // Lose one object in every shard — within each budget, nothing changes.
+    for s in 0..shards {
+        store.crash_object(s, ObjectId(0));
+    }
+    println!("crashed object s0 of every shard (budget t = {t} each)");
+
+    let mut h = store.handle(0).expect("handle");
+    for i in 0..8u64 {
+        let key = format!("account:{i:02}");
+        let got = h.get(&key).expect("get").expect("key present");
+        // Every value is one of the writers' last puts for this slot; the
+        // MWMR tags decided which one won.
+        assert!(got.as_u64().is_some());
+    }
+    println!("all 8 keys still readable after the crashes: sharded kv OK");
+}

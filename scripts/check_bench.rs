@@ -1,0 +1,117 @@
+//! Perf-regression gate for the kv throughput trajectory.
+//!
+//! Compares a freshly produced `BENCH_kv.json` against the committed
+//! baseline and fails (exit 1) if any workload's `ops_per_sec` fell below
+//! `baseline / tolerance`, or if a baseline workload is missing from the
+//! current run. The tolerance is deliberately generous (default 2×): the
+//! gate exists to catch gross regressions — an accidentally serialized
+//! shard pool, a lost quorum fast path — not scheduler noise. The
+//! workloads are service-delay-bound (see `crates/bench/src/workload.rs`),
+//! which keeps absolute numbers comparable across machines.
+//!
+//! Standalone by design — compiled directly in CI with no cargo project:
+//!
+//! ```console
+//! rustc --edition 2021 -O scripts/check_bench.rs -o /tmp/check_bench
+//! /tmp/check_bench BENCH_kv.json scripts/bench_baseline.json [tolerance]
+//! ```
+//!
+//! Parsing relies on the emitter's line discipline (`bench_json` writes
+//! one result object per line with `"name"` and `"ops_per_sec"` fields),
+//! so no JSON parser is needed.
+
+use std::process::ExitCode;
+
+/// Extract `"field":<value>` from a one-result JSON line.
+fn field<'a>(line: &'a str, name: &str) -> Option<&'a str> {
+    let tag = format!("\"{name}\":");
+    let start = line.find(&tag)? + tag.len();
+    let rest = &line[start..];
+    let end = rest.find([',', '}']).unwrap_or(rest.len());
+    Some(rest[..end].trim().trim_matches('"'))
+}
+
+fn results(doc: &str) -> Vec<(String, f64)> {
+    doc.lines()
+        .filter_map(|line| {
+            let name = field(line, "name")?;
+            let tput: f64 = field(line, "ops_per_sec")?.parse().ok()?;
+            Some((name.to_string(), tput))
+        })
+        .collect()
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().collect();
+    if args.len() < 3 {
+        eprintln!("usage: check_bench <current.json> <baseline.json> [tolerance]");
+        return ExitCode::from(2);
+    }
+    let tolerance: f64 = args
+        .get(3)
+        .map(|t| t.parse().expect("tolerance must be a number"))
+        .unwrap_or(2.0);
+    let read = |path: &str| -> String {
+        std::fs::read_to_string(path).unwrap_or_else(|e| panic!("cannot read {path}: {e}"))
+    };
+    let current = results(&read(&args[1]));
+    let baseline = results(&read(&args[2]));
+    if baseline.is_empty() {
+        eprintln!("baseline {} contains no results", args[2]);
+        return ExitCode::from(2);
+    }
+
+    let mut failed = false;
+    println!(
+        "{:<18} {:>12} {:>12} {:>8}   verdict (tolerance {tolerance}x)",
+        "workload", "baseline", "current", "ratio"
+    );
+    for (name, base) in &baseline {
+        match current.iter().find(|(n, _)| n == name) {
+            None => {
+                println!("{name:<18} {base:>12.1} {:>12} {:>8}   MISSING", "-", "-");
+                failed = true;
+            }
+            Some((_, cur)) => {
+                let ratio = cur / base.max(1e-9);
+                let ok = *cur >= base / tolerance;
+                println!(
+                    "{name:<18} {base:>12.1} {cur:>12.1} {ratio:>7.2}x   {}",
+                    if ok { "ok" } else { "REGRESSION" }
+                );
+                failed |= !ok;
+            }
+        }
+    }
+    for (name, _) in &current {
+        if !baseline.iter().any(|(n, _)| n == name) {
+            println!("{name:<18} (new workload, no baseline — ok)");
+        }
+    }
+
+    // Cross-row invariant: every sharded configuration must beat its
+    // single-cluster twin outright (`s4-X` > `s1-X`). This is the
+    // scaling claim itself — the per-row tolerance alone would admit a
+    // fully serialized shard pool that merely matches single-cluster
+    // throughput.
+    for (name, single) in &current {
+        let Some(rest) = name.strip_prefix("s1-") else {
+            continue;
+        };
+        let sharded_name = format!("s4-{rest}");
+        if let Some((_, sharded)) = current.iter().find(|(n, _)| *n == sharded_name) {
+            let ok = sharded > single;
+            println!(
+                "{name} {single:.1} vs {sharded_name} {sharded:.1}: {}",
+                if ok { "sharding wins — ok" } else { "NO SPEEDUP" }
+            );
+            failed |= !ok;
+        }
+    }
+    if failed {
+        eprintln!("gross perf regression detected (>{tolerance}x below baseline)");
+        return ExitCode::FAILURE;
+    }
+    println!("perf within {tolerance}x of baseline");
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,150 @@
+//! Atomicity soak for the sharded kv store: concurrent put/get traffic
+//! from a pool of handles across ≥ 4 shards, with object-side jitter and
+//! one crashed object per shard, funneled through the paper's atomicity
+//! checker (`checker::check_atomic`) per key.
+//!
+//! Every key's register group is independent, so per-key linearizability
+//! is exactly what the construction promises — and exactly what the
+//! checker verifies: genuine values, freshness after completed writes, no
+//! reads from the future, no new/old inversion.
+
+use rastor::common::{ClientId, ObjectId, Value};
+use rastor::core::checker::{History, ReadRec, WriteRec};
+use rastor::kv::{ShardedKvStore, StoreConfig};
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+const SHARDS: usize = 4;
+const HANDLES: u32 = 4;
+const KEYS: usize = 6;
+const OPS_PER_HANDLE: u64 = 20;
+
+fn key_name(k: usize) -> String {
+    format!("soak:{k}")
+}
+
+#[test]
+fn concurrent_sharded_traffic_is_atomic_per_key() {
+    let store = ShardedKvStore::spawn(
+        StoreConfig::new(1, SHARDS, HANDLES).with_jitter(Duration::from_micros(300)),
+    )
+    .expect("valid store");
+
+    // Exercise the full fault budget: one crashed object in every shard.
+    for s in 0..SHARDS {
+        store.crash_object(s, ObjectId((s % 4) as u32));
+    }
+
+    // One shared history per key, stamped on a common microsecond clock.
+    let epoch = Instant::now();
+    let histories: Arc<Vec<Mutex<History>>> =
+        Arc::new((0..KEYS).map(|_| Mutex::new(History::new())).collect());
+    let now_us = move |at: Instant| -> u64 { (at - epoch).as_micros() as u64 };
+
+    let mut threads = Vec::new();
+    for hid in 0..HANDLES {
+        let store = store.clone();
+        let histories = Arc::clone(&histories);
+        threads.push(std::thread::spawn(move || {
+            let mut handle = store.handle(hid).expect("handle in pool");
+            let mut rng = rastor::common::SplitMix64::new(0x50a_c0de + u64::from(hid));
+            for op in 0..OPS_PER_HANDLE {
+                let k = rng.gen_range(0, KEYS as u64 - 1) as usize;
+                let key = key_name(k);
+                let invoked = Instant::now();
+                if rng.next_f64() < 0.5 {
+                    // Unique value per (handle, op) so genuineness is sharp.
+                    let val = Value::from_u64(u64::from(hid) << 32 | (op + 1));
+                    let tag = handle.put(&key, val.clone()).expect("put within budget");
+                    let completed = Instant::now();
+                    histories[k].lock().unwrap().push_write(WriteRec {
+                        ts: tag.to_timestamp(),
+                        val,
+                        invoked_at: now_us(invoked),
+                        completed_at: Some(now_us(completed)),
+                    });
+                } else {
+                    let pair = handle.get_pair(&key).expect("get within budget");
+                    let completed = Instant::now();
+                    histories[k].lock().unwrap().push_read(ReadRec {
+                        client: ClientId::reader(hid),
+                        invoked_at: now_us(invoked),
+                        completed_at: now_us(completed),
+                        returned: pair,
+                    });
+                }
+            }
+        }));
+    }
+    for t in threads {
+        t.join().expect("soak thread");
+    }
+
+    let mut total_writes = 0;
+    let mut total_reads = 0;
+    for (k, hist) in histories.iter().enumerate() {
+        let hist = hist.lock().unwrap();
+        total_writes += hist.writes().count();
+        total_reads += hist.reads().len();
+        let violations = hist.check_atomic();
+        assert!(
+            violations.is_empty(),
+            "key {}: atomicity violations: {:?}",
+            key_name(k),
+            violations
+        );
+    }
+    assert_eq!(
+        (total_writes + total_reads) as u64,
+        u64::from(HANDLES) * OPS_PER_HANDLE,
+        "every operation must be recorded"
+    );
+    // The traffic must actually have exercised contention and the router.
+    assert!(total_writes > 0 && total_reads > 0);
+    assert_eq!(store.num_keys(), KEYS);
+
+    // After quiescence, all handles agree on every key's latest pair
+    // timestamp ordering: a fresh read returns the max committed tag.
+    let mut h = store.handle(0).expect("handle");
+    for k in 0..KEYS {
+        let hist = histories[k].lock().unwrap();
+        let max_written = hist.writes().map(|w| w.ts).max();
+        let pair = h.get_pair(&key_name(k)).expect("final read");
+        if let Some(max_ts) = max_written {
+            assert!(
+                pair.ts >= max_ts,
+                "final read of {} returned {:?}, below completed write {:?}",
+                key_name(k),
+                pair.ts,
+                max_ts
+            );
+        }
+    }
+}
+
+#[test]
+fn keys_spread_and_survive_per_shard_crashes() {
+    let store = ShardedKvStore::spawn(StoreConfig::new(1, SHARDS, 2)).expect("valid store");
+    let mut h = store.handle(0).expect("handle");
+    let mut per_shard: HashMap<usize, usize> = HashMap::new();
+    for i in 0..24u64 {
+        let key = format!("spread:{i}");
+        h.put(&key, Value::from_u64(i)).expect("put");
+        *per_shard.entry(store.shard_of(&key)).or_default() += 1;
+    }
+    assert!(
+        per_shard.len() >= 3,
+        "24 keys should land on most of the {SHARDS} shards: {per_shard:?}"
+    );
+    for s in 0..SHARDS {
+        store.crash_object(s, ObjectId(3));
+    }
+    let mut h2 = store.handle(1).expect("handle");
+    for i in 0..24u64 {
+        assert_eq!(
+            h2.get(&format!("spread:{i}")).expect("get after crashes"),
+            Some(Value::from_u64(i))
+        );
+    }
+}
