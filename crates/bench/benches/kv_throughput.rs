@@ -1,6 +1,7 @@
 //! T6b: wall-clock throughput of the sharded kv store on the thread
-//! runtime — single put/get hot paths and a small closed-loop mix, at 1
-//! and 4 shards. Correctness of each sampled op is asserted in the loop.
+//! runtime — single put/get hot paths, pipelined batches, and a small
+//! closed-loop mix, at 1 and 4 shards. Correctness of each sampled op is
+//! asserted in the loop.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use rastor_bench::workload::{run_workload, WorkloadCfg};
@@ -35,6 +36,45 @@ fn bench_ops(c: &mut Criterion) {
     group.finish();
 }
 
+fn bench_batch(c: &mut Criterion) {
+    let mut group = c.benchmark_group("kv_throughput/batch");
+    group.sample_size(20);
+    for shards in [1usize, 4] {
+        // 16-key batches at depth 8: times the coalesced pipelined path's
+        // own overhead (no object service delay).
+        let store = ShardedKvStore::spawn(StoreConfig::new(1, shards, 2)).expect("store");
+        let mut h = store.handle(0).expect("handle");
+        h.set_depth(8);
+        let keys: Vec<String> = (0..16).map(|i| format!("batch:key:{i}")).collect();
+        // Seed up front so the get bench holds even when criterion name
+        // filtering skips the put bench's iterations.
+        let seed_items: Vec<(String, Value)> = keys
+            .iter()
+            .map(|k| (k.clone(), Value::from_u64(1)))
+            .collect();
+        h.put_batch(&seed_items).expect("seed batch");
+        let mut seq = 1u64;
+        group.bench_with_input(BenchmarkId::new("put16_d8", shards), &shards, |b, _| {
+            b.iter(|| {
+                seq += 1;
+                let items: Vec<(String, Value)> = keys
+                    .iter()
+                    .map(|k| (k.clone(), Value::from_u64(seq)))
+                    .collect();
+                let tags = h.put_batch(&items).expect("batch put");
+                assert_eq!(tags.len(), 16);
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("get16_d8", shards), &shards, |b, _| {
+            b.iter(|| {
+                let got = h.get_batch(&keys).expect("batch get");
+                assert!(got.iter().all(|v| v.is_some()), "seeded keys present");
+            })
+        });
+    }
+    group.finish();
+}
+
 fn bench_mix(c: &mut Criterion) {
     let mut group = c.benchmark_group("kv_throughput/mix");
     group.sample_size(10);
@@ -56,5 +96,5 @@ fn bench_mix(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_ops, bench_mix);
+criterion_group!(benches, bench_ops, bench_batch, bench_mix);
 criterion_main!(benches);

@@ -121,8 +121,16 @@ fn t6(quick: bool) {
         if quick { "quick" } else { "full" }
     );
     println!(
-        "{:<16} {:>6} {:>7} {:>5} {:>6} {:>10} {:>18} {:>18}",
-        "workload", "shards", "put%", "ops", "errs", "ops/sec", "put p50/p95 µs", "get p50/p95 µs"
+        "{:<16} {:>6} {:>5} {:>7} {:>5} {:>6} {:>10} {:>18} {:>18}",
+        "workload",
+        "shards",
+        "depth",
+        "put%",
+        "ops",
+        "errs",
+        "ops/sec",
+        "put p50/p95 µs",
+        "get p50/p95 µs"
     );
     let rows = kv_throughput_matrix(quick);
     for row in &rows {
@@ -131,9 +139,10 @@ fn t6(quick: bool) {
                 .unwrap_or_else(|| "-".into())
         };
         println!(
-            "{:<16} {:>6} {:>7} {:>5} {:>6} {:>10.1} {:>18} {:>18}",
+            "{:<16} {:>6} {:>5} {:>7} {:>5} {:>6} {:>10.1} {:>18} {:>18}",
             row.cfg.name,
             row.cfg.shards,
+            row.cfg.depth,
             row.cfg.put_pct,
             row.ops,
             row.errors,
@@ -152,6 +161,16 @@ fn t6(quick: bool) {
         println!(
             "sharding speedup {single} -> {sharded}: {:.2}x",
             tput(sharded) / tput(single).max(1e-9)
+        );
+    }
+    for (closed, piped) in [
+        ("s1-get90", "s1-get90-d8"),
+        ("s4-put90", "s4-put90-d8"),
+        ("s4-get90", "s4-get90-d8"),
+    ] {
+        println!(
+            "pipelining speedup {closed} -> {piped}: {:.2}x",
+            tput(piped) / tput(closed).max(1e-9)
         );
     }
     let json = bench_json(&rows, quick);

@@ -1,20 +1,32 @@
 //! The kv throughput workload driver: multi-threaded put/get mixes against
-//! the sharded store, with configurable shard count, key skew, loop mode
-//! and per-shard fault injection. Results feed the `exp t6` table and the
-//! machine-readable `BENCH_kv.json` perf trajectory consumed by CI.
+//! the sharded store, with configurable shard count, key skew, loop mode,
+//! **pipeline depth** and per-shard fault injection. Results feed the
+//! `exp t6` table and the machine-readable `BENCH_kv.json` perf trajectory
+//! consumed by CI.
 //!
 //! Unlike the simulator-based tables (t1–t5), this driver measures
 //! **wall-clock** throughput of the thread runtime. Each storage object
-//! emulates a service delay per request (uniform in `0..2·mean`), so
+//! emulates a service delay per envelope (uniform in `0..2·mean`), so
 //! throughput is bound by emulated object latency — the regime where
-//! sharding pays — rather than by host CPU, which keeps the numbers
-//! comparable across machines (and between laptops and CI runners).
+//! sharding *and pipelining* pay — rather than by host CPU, which keeps
+//! the numbers comparable across machines (and between laptops and CI
+//! runners).
+//!
+//! `depth = 1` runs the classic closed loop (one op per thread at a time:
+//! throughput ≈ `threads / latency`). `depth > 1` keeps that many
+//! operations in flight per handle through the pipelined submit/poll
+//! interface, so throughput is bound by shard capacity instead. Pipelined
+//! per-op latency is measured submit→harvest (the poll that observes the
+//! resolution), so it includes submission queueing and any dwell in the
+//! ready queue until the next harvest — an upper bound on the operation's
+//! own latency, not a round-trip measurement.
 
 use crate::stats::Summary;
 use rastor_common::{ObjectId, SplitMix64, Value};
 use rastor_core::adversary::SilentObject;
 use rastor_core::object::HonestObject;
-use rastor_kv::{ShardedKvStore, StoreConfig};
+use rastor_kv::{KvOpId, ShardedKvStore, StoreConfig};
+use std::collections::HashMap;
 use std::sync::{Arc, Barrier};
 use std::time::{Duration, Instant};
 
@@ -69,6 +81,9 @@ pub struct WorkloadCfg {
     /// Byzantine (silent) objects per shard (≤ t, counted against the
     /// same budget as crashes).
     pub silent_per_shard: usize,
+    /// Operations kept in flight per handle: 1 = closed loop, > 1 =
+    /// pipelined via the handle's submit/poll interface.
+    pub depth: u32,
     /// Mean emulated service delay per object request.
     pub service: Duration,
     /// Loop mode for the client threads.
@@ -91,10 +106,22 @@ impl WorkloadCfg {
             ops_per_thread: 100,
             crashed_per_shard: 0,
             silent_per_shard: 0,
+            depth: 1,
             service: Duration::from_micros(150),
             mode: LoopMode::Closed,
             seed: 42,
         }
+    }
+
+    /// The same row pipelined at `depth` ops in flight per handle, with a
+    /// `-d<depth>` name suffix (the convention `scripts/check_bench.rs`
+    /// uses to pair pipelined rows with their closed-loop twins).
+    #[must_use]
+    pub fn pipelined(mut self, depth: u32) -> WorkloadCfg {
+        assert!(depth >= 1, "depth 0 cannot make progress");
+        self.depth = depth;
+        self.name = format!("{}-d{depth}", self.name);
+        self
     }
 }
 
@@ -184,10 +211,27 @@ pub fn run_workload(cfg: &WorkloadCfg) -> WorkloadRow {
         let cfg = cfg.clone();
         workers.push(std::thread::spawn(move || {
             let mut handle = store.handle(tid).expect("handle in pool");
+            handle.set_depth(cfg.depth.max(1) as usize);
             let mut rng = SplitMix64::new(cfg.seed + u64::from(tid));
             let mut puts = Vec::new();
             let mut gets = Vec::new();
             let mut errors = 0u64;
+            // Pipelined mode: submit→resolution timers keyed by op id.
+            let mut in_flight: HashMap<KvOpId, (Instant, bool)> = HashMap::new();
+            let record = |started: Instant,
+                          is_put: bool,
+                          ok: bool,
+                          puts: &mut Vec<u64>,
+                          gets: &mut Vec<u64>,
+                          errors: &mut u64| {
+                if !ok {
+                    *errors += 1;
+                } else if is_put {
+                    puts.push(started.elapsed().as_micros() as u64);
+                } else {
+                    gets.push(started.elapsed().as_micros() as u64);
+                }
+            };
             barrier.wait();
             let phase_start = Instant::now();
             for op in 0..cfg.ops_per_thread {
@@ -199,18 +243,60 @@ pub fn run_workload(cfg: &WorkloadCfg) -> WorkloadRow {
                 }
                 let key = key_name(pick_key(&mut rng, cfg.keys, cfg.skew));
                 let is_put = rng.gen_range(1, 100) <= u64::from(cfg.put_pct);
-                let started = Instant::now();
-                if is_put {
-                    match handle.put(&key, Value::from_u64(op + 2)) {
-                        Ok(_) => puts.push(started.elapsed().as_micros() as u64),
+                if cfg.depth <= 1 {
+                    // Closed loop: one op at a time, start to finish.
+                    let started = Instant::now();
+                    let ok = if is_put {
+                        handle.put(&key, Value::from_u64(op + 2)).is_ok()
+                    } else {
+                        handle.get(&key).is_ok()
+                    };
+                    record(started, is_put, ok, &mut puts, &mut gets, &mut errors);
+                } else {
+                    // Pipelined: submissions buffer (consecutive same-shard
+                    // ops share a round trip); the submit itself blocks
+                    // only at the depth limit or on a same-key conflict,
+                    // resolving older ops as it waits. Harvest whenever a
+                    // full burst is in flight — the blocking poll flushes
+                    // the burst coalesced and waits for completions.
+                    let started = Instant::now();
+                    let submitted = if is_put {
+                        handle.submit_put(&key, Value::from_u64(op + 2))
+                    } else {
+                        handle.submit_get(&key)
+                    };
+                    match submitted {
+                        Ok(id) => {
+                            in_flight.insert(id, (started, is_put));
+                        }
                         Err(_) => errors += 1,
                     }
-                } else {
-                    match handle.get(&key) {
-                        Ok(_) => gets.push(started.elapsed().as_micros() as u64),
-                        Err(_) => errors += 1,
+                    if handle.in_flight() >= cfg.depth as usize {
+                        for (id, outcome) in handle.poll() {
+                            let (started, is_put) = in_flight.remove(&id).expect("submitted op");
+                            record(
+                                started,
+                                is_put,
+                                outcome.is_ok(),
+                                &mut puts,
+                                &mut gets,
+                                &mut errors,
+                            );
+                        }
                     }
                 }
+            }
+            // Pipelined tail: resolve everything still in flight.
+            for (id, outcome) in handle.drain() {
+                let (started, is_put) = in_flight.remove(&id).expect("submitted op");
+                record(
+                    started,
+                    is_put,
+                    outcome.is_ok(),
+                    &mut puts,
+                    &mut gets,
+                    &mut errors,
+                );
             }
             (puts, gets, errors)
         }));
@@ -244,9 +330,12 @@ fn key_name(k: u32) -> String {
     format!("key:{k:04}")
 }
 
-/// The T6 workload matrix: {1, 4} shards × {put-heavy, get-heavy}, plus
-/// fault-injected and paced rows on the 4-shard layout. `quick` trims the
-/// per-thread op count for CI smoke runs.
+/// The T6 workload matrix: {1, 4} shards × {put-heavy, get-heavy} at
+/// depth 1 (closed loop) and depth 8 (pipelined), plus fault-injected and
+/// paced rows on the 4-shard layout. Pipelined rows carry a `-d8` suffix
+/// and are gated against their closed-loop twins by
+/// `scripts/check_bench.rs`. `quick` trims the per-thread op count for CI
+/// smoke runs.
 pub fn kv_throughput_matrix(quick: bool) -> Vec<WorkloadRow> {
     let ops = if quick { 30 } else { 150 };
     let mut configs = vec![
@@ -270,6 +359,15 @@ pub fn kv_throughput_matrix(quick: bool) -> Vec<WorkloadRow> {
             mode: LoopMode::Open { ops_per_sec: 250 },
             ..WorkloadCfg::closed("s4-get90-open", 4, 4, 10)
         },
+        // The pipelining dimension: same mixes, depth 8 per handle.
+        WorkloadCfg::closed("s1-get90", 1, 4, 10).pipelined(8),
+        WorkloadCfg::closed("s4-put90", 4, 4, 90).pipelined(8),
+        WorkloadCfg::closed("s4-get90", 4, 4, 10).pipelined(8),
+        WorkloadCfg {
+            silent_per_shard: 1,
+            ..WorkloadCfg::closed("s4-mixed-byz1", 4, 4, 50)
+        }
+        .pipelined(8),
     ];
     for c in &mut configs {
         c.ops_per_thread = ops;
@@ -283,21 +381,23 @@ fn json_summary(prefix: &str, s: Option<Summary>) -> String {
 }
 
 /// Serialize workload rows as the `BENCH_kv.json` document
-/// (`rastor-kv-throughput/v1`): one result object per line, so the CI
-/// regression checker can scan it without a JSON parser.
+/// (`rastor-kv-throughput/v2`, which extends v1 with the per-row `depth`
+/// field): one result object per line, so the CI regression checker can
+/// scan it without a JSON parser.
 pub fn bench_json(rows: &[WorkloadRow], quick: bool) -> String {
     let mut out = String::new();
     out.push_str("{\n");
-    out.push_str("\"schema\": \"rastor-kv-throughput/v1\",\n");
+    out.push_str("\"schema\": \"rastor-kv-throughput/v2\",\n");
     out.push_str(&format!("\"quick\": {quick},\n"));
     out.push_str("\"results\": [\n");
     for (i, row) in rows.iter().enumerate() {
         let c = &row.cfg;
         out.push_str(&format!(
-            "{{\"name\":\"{}\",\"shards\":{},\"threads\":{},\"put_pct\":{},\"keys\":{},\"skew\":{:.2},\"crashed_per_shard\":{},\"silent_per_shard\":{},\"mode\":\"{}\",\"ops\":{},\"errors\":{},\"elapsed_secs\":{:.4},\"ops_per_sec\":{:.1},{},{}}}{}\n",
+            "{{\"name\":\"{}\",\"shards\":{},\"threads\":{},\"depth\":{},\"put_pct\":{},\"keys\":{},\"skew\":{:.2},\"crashed_per_shard\":{},\"silent_per_shard\":{},\"mode\":\"{}\",\"ops\":{},\"errors\":{},\"elapsed_secs\":{:.4},\"ops_per_sec\":{:.1},{},{}}}{}\n",
             c.name,
             c.shards,
             c.threads,
+            c.depth,
             c.put_pct,
             c.keys,
             c.skew,
@@ -387,12 +487,56 @@ mod tests {
     fn json_has_schema_and_one_result_per_row() {
         let rows = vec![run_workload(&tiny("a", 1)), run_workload(&tiny("b", 2))];
         let doc = bench_json(&rows, true);
-        assert!(doc.contains("\"schema\": \"rastor-kv-throughput/v1\""));
+        assert!(doc.contains("\"schema\": \"rastor-kv-throughput/v2\""));
         assert_eq!(doc.matches("\"name\":").count(), 2);
         assert_eq!(doc.matches("\"ops_per_sec\":").count(), 2);
+        assert_eq!(doc.matches("\"depth\":1").count(), 2);
         // Balanced braces/brackets — cheap well-formedness check.
         assert_eq!(doc.matches('{').count(), doc.matches('}').count());
         assert_eq!(doc.matches('[').count(), doc.matches(']').count());
+    }
+
+    #[test]
+    fn pipelined_rows_complete_every_op() {
+        let cfg = tiny("deep", 2).pipelined(4);
+        assert_eq!(cfg.name, "deep-d4");
+        let row = run_workload(&cfg);
+        assert_eq!(row.ops, 20);
+        assert_eq!(row.errors, 0);
+        assert!(row.ops_per_sec > 0.0);
+    }
+
+    #[test]
+    fn pipelined_rows_survive_fault_injection() {
+        let cfg = WorkloadCfg {
+            silent_per_shard: 1,
+            ..tiny("deep-byz", 2)
+        }
+        .pipelined(4);
+        let row = run_workload(&cfg);
+        assert_eq!(row.ops, 20, "{}", row.cfg.name);
+        assert_eq!(row.errors, 0, "{}", row.cfg.name);
+    }
+
+    /// The tentpole claim in miniature: with a real per-envelope service
+    /// delay, depth-8 pipelining must out-run the closed loop on the same
+    /// shard layout.
+    #[test]
+    fn pipelining_beats_the_closed_loop() {
+        let base = WorkloadCfg {
+            keys: 16,
+            ops_per_thread: 40,
+            service: Duration::from_micros(100),
+            ..WorkloadCfg::closed("pipe", 2, 2, 50)
+        };
+        let closed = run_workload(&base);
+        let piped = run_workload(&base.clone().pipelined(8));
+        assert!(
+            piped.ops_per_sec > closed.ops_per_sec,
+            "depth 8 ({:.0} ops/s) must beat depth 1 ({:.0} ops/s)",
+            piped.ops_per_sec,
+            closed.ops_per_sec
+        );
     }
 
     #[test]

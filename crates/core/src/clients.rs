@@ -38,6 +38,24 @@ impl OpOutput {
     pub fn is_read(&self) -> bool {
         matches!(self, OpOutput::Read(_))
     }
+
+    /// The stored pair, if this is a write output. Spares driver-layer
+    /// callers the `unreachable!` match arms when the operation kind is
+    /// known from context.
+    pub fn into_wrote(self) -> Option<TsVal> {
+        match self {
+            OpOutput::Wrote(p) => Some(p),
+            OpOutput::Read(_) => None,
+        }
+    }
+
+    /// The returned pair, if this is a read output.
+    pub fn into_read(self) -> Option<TsVal> {
+        match self {
+            OpOutput::Read(p) => Some(p),
+            OpOutput::Wrote(_) => None,
+        }
+    }
 }
 
 /// ABD write: a single `Store` round acknowledged by a majority.

@@ -1,6 +1,15 @@
 //! High-level deployment harness: pick a protocol, a fault budget and a
-//! reader count; get a simulator wired with honest objects, typed write and
+//! reader count; get a deployment with honest objects, typed write and
 //! read clients, and checker-ready histories.
+//!
+//! Both substrates deploy from here, and both are driven by the **same**
+//! op-driving implementation ([`rastor_sim::driver::OpDriver`]): the
+//! simulator hosts the automata inside its event loop
+//! ([`StorageSystem::run`]), and [`StorageSystem::spawn_thread_cluster`]
+//! puts the identical objects on OS threads, where the automata from
+//! [`StorageSystem::write_client`] / [`StorageSystem::read_client`] run
+//! through [`crate::driver::drive_batch`]. There is no second round-loop to
+//! keep in sync.
 //!
 //! Used by integration tests, benches and examples so that protocol
 //! selection stays declarative.
@@ -13,6 +22,7 @@ use crate::msg::{Rep, Req};
 use crate::token::AuthKey;
 use crate::transform::{make_stamped, AtomicReadClient};
 use rastor_common::{ClientId, ClusterConfig, ObjectId, OpKind, RegId, Result, Timestamp, Value};
+use rastor_sim::runtime::ThreadCluster;
 use rastor_sim::{Completion, Controller, ObjectBehavior, RoundClient, Sim, SimConfig};
 
 /// The protocols the harness can deploy.
@@ -216,6 +226,22 @@ impl StorageSystem {
             sim.add_object(Box::new(crate::object::HonestObject::new()));
         }
         sim
+    }
+
+    /// The same deployment on OS threads: honest objects on one thread
+    /// each, with an optional per-envelope service jitter. Drive the
+    /// automata from [`StorageSystem::write_client`] /
+    /// [`StorageSystem::read_client`] over it with
+    /// [`crate::driver::drive_batch`] — the identical protocol code and op
+    /// driver as the simulated path, minus the scheduling adversary.
+    pub fn spawn_thread_cluster(
+        &self,
+        jitter: Option<std::time::Duration>,
+    ) -> ThreadCluster<Req, Rep> {
+        let behaviors: Vec<Box<dyn ObjectBehavior<Req, Rep> + Send>> = (0..self.cfg.num_objects())
+            .map(|_| Box::new(crate::object::HonestObject::new()) as _)
+            .collect();
+        ThreadCluster::spawn(behaviors, jitter)
     }
 
     /// The next write's client automaton (assigns the next timestamp; the
@@ -448,6 +474,57 @@ mod tests {
         assert_eq!(Protocol::Abd.model(), rastor_common::FaultModel::Crash);
         assert_eq!(Protocol::all().len(), 7);
         assert_eq!(Protocol::AtomicAuth.name(), "atomic-auth");
+    }
+
+    /// The two deploy paths — simulator event loop and thread runtime —
+    /// run the same automata through the same op driver; a quiet workload
+    /// must produce identical outputs and round counts on both.
+    #[test]
+    fn sim_and_thread_deploys_agree() {
+        use crate::driver::{drive_batch, BatchOp};
+        for p in [Protocol::Abd, Protocol::ByzRegular, Protocol::AtomicUnauth] {
+            // Simulated substrate.
+            let mut sys = StorageSystem::new(p, 1, 1).unwrap();
+            let wl = Workload::default()
+                .with_write(0, Value::from_u64(42))
+                .with_read(1_000, 0);
+            let sim_res = sys.run(Box::new(rastor_sim::FixedDelay::new(1)), &wl, vec![]);
+
+            // Thread substrate: same system, same automata constructors.
+            let mut sys = StorageSystem::new(p, 1, 1).unwrap();
+            let cluster = sys.spawn_thread_cluster(None);
+            let clusters = [&cluster];
+            let mut client = rastor_sim::runtime::ThreadClient::new(ClientId::reader(0));
+            let ops = vec![
+                BatchOp {
+                    target: 0,
+                    kind: OpKind::Write,
+                    automaton: sys.write_client(Value::from_u64(42)),
+                },
+                BatchOp {
+                    target: 0,
+                    kind: OpKind::Read,
+                    automaton: sys.read_client(0),
+                },
+            ];
+            // Depth 1: the read starts after the write completes, exactly
+            // like the scheduled simulator workload.
+            let outs = drive_batch(
+                &mut client,
+                &clusters,
+                ops,
+                1,
+                std::time::Duration::from_secs(10),
+            );
+            let thread_outs: Vec<(OpOutput, u32)> =
+                outs.into_iter().map(|o| o.expect("completes")).collect();
+            let sim_outs: Vec<(OpOutput, u32)> = sim_res
+                .completions
+                .iter()
+                .map(|c| (c.output.clone(), c.stat.rounds.get()))
+                .collect();
+            assert_eq!(sim_outs, thread_outs, "{p:?}: substrates disagree");
+        }
     }
 
     #[test]

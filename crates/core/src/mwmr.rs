@@ -23,6 +23,16 @@
 //! dominated because the later writer's collect sees the earlier tag
 //! through its register (regularity); reads inherit the SWMR
 //! transformation's no-inversion property through the write-back register.
+//!
+//! **Pipelining caveat**: tag uniqueness *within* one writer id relies on
+//! that writer's operations on a register group being sequential (each
+//! collect observes the previous write's tag). Two concurrent writes by
+//! the same writer to the same group could both compute
+//! `max_tag.next_for(w)` and mint colliding tags — so a pipelined driver
+//! (see `crate::driver`) may overlap operations freely *across* groups
+//! (the kv store: across keys) but must serialize same-writer operations
+//! on one group. `rastor_kv` enforces this with its per-key in-flight
+//! rule; the write-back register of reads needs the same discipline.
 
 use crate::collect::{CollectEngine, CollectStatus};
 use crate::msg::{AckKind, Rep, Req, Stamped};
@@ -117,11 +127,19 @@ impl RegGroup {
 
     /// The group of key `kid` in a store where every one of `n_handles`
     /// client handles acts as both writer `h` and reader `h` of each key.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `kid * n_handles` overflows `u32` — wrapping would
+    /// silently alias two keys' register groups (cross-key corruption).
     pub fn keyed(kid: u32, n_handles: u32) -> RegGroup {
+        let base = kid
+            .checked_mul(n_handles)
+            .expect("register namespace exhausted: kid * n_handles overflows u32");
         RegGroup {
-            writer_base: kid * n_handles,
+            writer_base: base,
             n_writers: n_handles,
-            reader_base: kid * n_handles,
+            reader_base: base,
             n_readers: n_handles,
         }
     }

@@ -5,18 +5,28 @@
 //! introduction ("its read/write API … is today the heart of modern cloud
 //! key-value storage APIs").
 //!
-//! The store is a **sharded throughput engine**: a consistent-hash
-//! [`ShardRouter`] spreads keys across `N` independent `3t + 1` object
-//! clusters, and a pool of [`KvHandle`]s serves puts and gets from as many
-//! OS threads as the caller wants. Every key is backed by its own
-//! multi-writer register group (one writer register per handle plus one
-//! write-back register per handle), multiplexed over its shard's objects.
-//! `put` runs the 4-round multi-writer write (2-round tag collect +
-//! 2-round pre-write/commit); `get` runs the 4-round atomic read
+//! The store is a **sharded, pipelined throughput engine**: a
+//! consistent-hash [`ShardRouter`] spreads keys across `N` independent
+//! `3t + 1` object clusters, and a pool of [`KvHandle`]s serves puts and
+//! gets from as many OS threads as the caller wants. Every key is backed
+//! by its own multi-writer register group (one writer register per handle
+//! plus one write-back register per handle), multiplexed over its shard's
+//! objects. `put` runs the 4-round multi-writer write (2-round tag
+//! collect, then the 2-round pre-write/commit); `get` runs the 4-round
+//! atomic read
 //! (transformation of the paper's Section 5). Because each key's registers
 //! are independent, per-key linearizability follows directly from the
 //! register construction; cross-shard scaling follows because shards share
 //! nothing.
+//!
+//! Each handle is additionally a **pipelined connection**: it multiplexes
+//! up to a configurable `depth` of concurrent operation automata over one
+//! reply channel (the shared op driver of `rastor_core::driver`), and
+//! batches destined for one shard share round trips via coalesced
+//! envelopes — so throughput scales with shard capacity instead of being
+//! capped at `1 / op-latency` per handle. See [`KvHandle::put_batch`],
+//! [`KvHandle::get_batch`] and the [`KvHandle::submit_put`] /
+//! [`KvHandle::submit_get`] / [`KvHandle::poll`] interface.
 //!
 //! Everything runs over the thread runtime — real OS threads and channels
 //! — demonstrating the protocols outside the simulator.
@@ -43,7 +53,7 @@ mod router;
 mod sharded;
 
 pub use router::ShardRouter;
-pub use sharded::{KvHandle, ShardedKvStore, StoreConfig};
+pub use sharded::{KvHandle, KvOpId, KvOutput, ShardedKvStore, StoreConfig, DEFAULT_DEPTH};
 
 use rastor_common::{ClusterConfig, Error, ObjectId, Result, Value};
 

@@ -1,0 +1,81 @@
+//! Property-based tests of [`rastor_kv::ShardRouter`] — the placement
+//! layer the sharded store's scaling story rests on.
+//!
+//! Three properties, over randomized shard counts and key populations:
+//!
+//! 1. **Determinism**: routing is a pure function of `(num_shards, key)` —
+//!    independently built rings agree on every key.
+//! 2. **Balance**: with 64 vnodes per shard, per-shard key counts stay
+//!    within a loose multiplicative band of the perfect share.
+//! 3. **Consistency under growth**: growing `n → n + 1` shards moves only
+//!    keys that land on the *new* shard, and the moved fraction is in the
+//!    vicinity of `1/(n + 1)`.
+
+use proptest::prelude::*;
+use rastor_kv::ShardRouter;
+
+fn keys(prefix: u64, n: usize) -> Vec<String> {
+    (0..n).map(|i| format!("obj:{prefix:x}:{i}/blob")).collect()
+}
+
+proptest! {
+    /// Two independently constructed rings route every key identically.
+    #[test]
+    fn routing_is_deterministic(shards in 1usize..12, prefix in 0u64..1_000_000) {
+        let a = ShardRouter::new(shards);
+        let b = ShardRouter::new(shards);
+        for k in keys(prefix, 200) {
+            let s = a.shard_of(&k);
+            prop_assert!(s < shards, "{k} routed to out-of-range shard {s}");
+            prop_assert_eq!(s, b.shard_of(&k), "ring instances disagree on {}", k);
+        }
+    }
+
+    /// Per-shard load stays within a 4x-of-fair-share band both ways —
+    /// loose enough for 64 vnodes, tight enough to catch a broken ring
+    /// (a ring that starves or floods one shard fails immediately).
+    #[test]
+    fn per_shard_load_is_balanced(shards in 2usize..9, prefix in 0u64..1_000_000) {
+        let n_keys = 600 * shards;
+        let router = ShardRouter::new(shards);
+        let mut counts = vec![0usize; shards];
+        for k in keys(prefix, n_keys) {
+            counts[router.shard_of(&k)] += 1;
+        }
+        let fair = n_keys / shards;
+        for (shard, c) in counts.iter().enumerate() {
+            prop_assert!(
+                (fair / 4..=fair * 4).contains(c),
+                "shard {} got {} keys (fair share {}, counts {:?})",
+                shard, c, fair, counts
+            );
+        }
+    }
+
+    /// Growing the ring by one shard is consistent (keys only ever move to
+    /// the new shard) and moves roughly 1/(n+1) of them.
+    #[test]
+    fn ring_growth_moves_about_one_over_n_plus_one(shards in 1usize..9, prefix in 0u64..1_000_000) {
+        let n_keys = 3000usize;
+        let before = ShardRouter::new(shards);
+        let after = ShardRouter::new(shards + 1);
+        let mut moved = 0usize;
+        for k in keys(prefix, n_keys) {
+            let b = before.shard_of(&k);
+            let a = after.shard_of(&k);
+            if a != b {
+                prop_assert_eq!(
+                    a, shards,
+                    "{} moved between old shards ({} -> {})", k, b, a
+                );
+                moved += 1;
+            }
+        }
+        let expected = n_keys / (shards + 1);
+        prop_assert!(
+            (expected / 3..=expected * 3).contains(&moved),
+            "moved {} of {} keys; expected about {}",
+            moved, n_keys, expected
+        );
+    }
+}

@@ -6,8 +6,9 @@
 //! `(time, sequence-number)` and all randomness lives in seeded controllers.
 
 use crate::control::{Controller, FixedDelay, Verdict};
+use crate::driver::{Dispatch, OpDriver, StalePolicy};
 use crate::trace::Trace;
-use rastor_common::{ClientId, ObjectId, OpKind, OpStat, RoundCount};
+use rastor_common::{ClientId, ObjectId, OpKind, OpStat};
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 use std::collections::HashMap;
@@ -129,33 +130,28 @@ enum Event<Q, R> {
     CrashClient(ClientId),
 }
 
-struct PendingOp<Q, R, Out> {
-    automaton: Box<dyn RoundClient<Q, R, Out = Out>>,
-    kind: OpKind,
-    op_seq: u64,
-    round: u32,
-    invoked_at: u64,
-    rounds: RoundCount,
-}
-
 /// An operation queued behind a client's pending one: invocation time, kind,
 /// and the protocol automaton to run.
 type QueuedOp<Q, R, Out> = (u64, OpKind, Box<dyn RoundClient<Q, R, Out = Out>>);
 
+/// Per-client state: the shared [`OpDriver`] does the round bookkeeping
+/// (one implementation for the simulator and the thread runtime); the slot
+/// adds the paper's FIFO invocation queue. The driver runs
+/// [`StalePolicy::DeliverLate`] — the paper's round model explicitly lets
+/// a client use replies from terminated rounds, and the lower-bound
+/// replays rely on it (the deploy path hardens this to `DropLate`).
 struct ClientSlot<Q, R, Out> {
-    pending: Option<PendingOp<Q, R, Out>>,
+    driver: OpDriver<Q, R, Out>,
     queue: Vec<QueuedOp<Q, R, Out>>,
     crashed: bool,
-    next_op_seq: u64,
 }
 
 impl<Q, R, Out> Default for ClientSlot<Q, R, Out> {
     fn default() -> Self {
         ClientSlot {
-            pending: None,
+            driver: OpDriver::new(StalePolicy::DeliverLate),
             queue: Vec::new(),
             crashed: false,
-            next_op_seq: 0,
         }
     }
 }
@@ -358,26 +354,18 @@ where
         let Some(slot) = self.clients.get_mut(&client) else {
             return;
         };
-        if slot.crashed || slot.pending.is_some() || slot.queue.is_empty() {
+        if slot.crashed || slot.driver.in_flight() > 0 || slot.queue.is_empty() {
             return;
         }
         if slot.queue[0].0 > now {
             return; // its Invoke event will fire later
         }
-        let (_, kind, mut automaton) = slot.queue.remove(0);
-        let op_seq = slot.next_op_seq;
-        slot.next_op_seq += 1;
-        let first = automaton.start();
-        slot.pending = Some(PendingOp {
-            automaton,
-            kind,
-            op_seq,
-            round: 1,
-            invoked_at: now,
-            rounds: RoundCount(1),
-        });
-        self.trace.note_invoke(client, op_seq, kind, now);
-        self.broadcast(client, op_seq, 1, first);
+        let (_, kind, automaton) = slot.queue.remove(0);
+        // The driver assigns nonces 0, 1, 2, … per client — exactly the
+        // per-client operation sequence numbers the envelopes carry.
+        let first = slot.driver.submit(kind, automaton, now, None);
+        self.trace.note_invoke(client, first.nonce, kind, now);
+        self.broadcast(client, first.nonce, 1, first.payload);
     }
 
     fn handle_event(&mut self, ev: Event<Q, R>) -> Option<Completion<Out>> {
@@ -389,7 +377,7 @@ where
             Event::CrashClient(client) => {
                 let slot = self.clients.entry(client).or_default();
                 slot.crashed = true;
-                slot.pending = None;
+                slot.driver.abort_all();
                 slot.queue.clear();
                 self.trace.note_crash(client, self.time);
                 None
@@ -422,11 +410,8 @@ where
         if slot.crashed {
             return None;
         }
-        let Some(op) = slot.pending.as_mut() else {
-            return None; // late reply to an already-completed operation
-        };
-        if op.op_seq != env.op_seq {
-            return None; // reply to a previous operation of this client
+        if !slot.driver.is_live(env.op_seq) {
+            return None; // straggler from a completed (or never-run) op
         }
         if record {
             self.trace.note_observation(
@@ -438,30 +423,28 @@ where
                 now,
             );
         }
-        let action = op.automaton.on_reply(env.object, env.round, &env.payload);
-        match action {
-            ClientAction::Wait => None,
-            ClientAction::NextRound(payload) => {
-                op.round += 1;
-                op.rounds = op.rounds.bump();
-                let (op_seq, round) = (op.op_seq, op.round);
-                self.broadcast(env.client, op_seq, round, payload);
+        let dispatch = slot
+            .driver
+            .on_reply(env.op_seq, env.object, env.round, &env.payload);
+        match dispatch {
+            Dispatch::Unknown | Dispatch::StaleRound | Dispatch::Wait => None,
+            Dispatch::NextRound(b) => {
+                self.broadcast(env.client, b.nonce, b.round, b.payload);
                 None
             }
-            ClientAction::Complete(output) => {
-                let op = slot.pending.take().expect("pending op exists");
+            Dispatch::Complete(c) => {
                 let stat = OpStat {
-                    kind: op.kind,
-                    rounds: op.rounds,
-                    invoked_at: op.invoked_at,
+                    kind: c.kind,
+                    rounds: c.rounds,
+                    invoked_at: c.invoked_at,
                     completed_at: now,
                 };
                 self.trace
-                    .note_complete(env.client, op.op_seq, format!("{output:?}"), stat);
+                    .note_complete(env.client, c.nonce, format!("{:?}", c.output), stat);
                 let completion = Completion {
                     client: env.client,
-                    op_seq: op.op_seq,
-                    output,
+                    op_seq: c.nonce,
+                    output: c.output,
                     stat,
                 };
                 // A queued next operation may start immediately.

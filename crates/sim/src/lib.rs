@@ -74,6 +74,7 @@
 #![warn(missing_docs)]
 
 pub mod control;
+pub mod driver;
 pub mod engine;
 pub mod runtime;
 pub mod trace;
@@ -81,6 +82,7 @@ pub mod trace;
 pub use control::{
     Controller, FixedDelay, PartitionController, ScriptedController, UniformDelay, Verdict,
 };
+pub use driver::{Broadcast, Dispatch, OpCompletion, OpDriver, OpTimeout, StalePolicy};
 pub use engine::{
     ClientAction, Completion, Envelope, MsgDir, MsgId, ObjectBehavior, RoundClient, Sim, SimConfig,
 };

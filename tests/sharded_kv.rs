@@ -9,8 +9,10 @@
 //! reads from the future, no new/old inversion.
 
 use rastor::common::{ClientId, ObjectId, Value};
+use rastor::core::adversary::SilentObject;
 use rastor::core::checker::{History, ReadRec, WriteRec};
-use rastor::kv::{ShardedKvStore, StoreConfig};
+use rastor::core::HonestObject;
+use rastor::kv::{KvOutput, ShardedKvStore, StoreConfig};
 use std::collections::HashMap;
 use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
@@ -121,6 +123,123 @@ fn concurrent_sharded_traffic_is_atomic_per_key() {
             );
         }
     }
+}
+
+/// The pipelined variant of the soak: every handle keeps `depth` operations
+/// in flight through submit/poll, under object jitter, with the full fault
+/// budget spent — crashes on even shards, silent-Byzantine objects on odd
+/// shards. Histories are stamped submit→resolution (a superset of the true
+/// operation interval, so the checker stays sound) and funneled through
+/// `check_atomic` per key.
+#[test]
+fn pipelined_sharded_traffic_is_atomic_per_key() {
+    let store = ShardedKvStore::spawn_with(
+        StoreConfig::new(1, SHARDS, HANDLES).with_jitter(Duration::from_micros(300)),
+        |shard, oid| {
+            // Odd shards spend their budget on a silent-Byzantine object.
+            if shard % 2 == 1 && oid == ObjectId(1) {
+                Box::new(SilentObject)
+            } else {
+                Box::new(HonestObject::new())
+            }
+        },
+    )
+    .expect("valid store");
+    // Even shards spend theirs on a crash.
+    for s in (0..SHARDS).step_by(2) {
+        store.crash_object(s, ObjectId(3));
+    }
+
+    let epoch = Instant::now();
+    let histories: Arc<Vec<Mutex<History>>> =
+        Arc::new((0..KEYS).map(|_| Mutex::new(History::new())).collect());
+    let now_us = move |at: Instant| -> u64 { (at - epoch).as_micros() as u64 };
+
+    let mut threads = Vec::new();
+    for hid in 0..HANDLES {
+        let store = store.clone();
+        let histories = Arc::clone(&histories);
+        threads.push(std::thread::spawn(move || {
+            let mut handle = store.handle(hid).expect("handle in pool");
+            handle.set_depth(4);
+            let mut rng = rastor::common::SplitMix64::new(0x9090_c0de + u64::from(hid));
+            // op id → (key index, value if a put, submitted-at).
+            let mut submitted: HashMap<rastor::kv::KvOpId, (usize, Option<Value>, Instant)> =
+                HashMap::new();
+            let resolve = |id,
+                           outcome: Result<KvOutput, rastor::common::Error>,
+                           resolved_at: Instant,
+                           submitted: &mut HashMap<
+                rastor::kv::KvOpId,
+                (usize, Option<Value>, Instant),
+            >| {
+                let (k, val, invoked) = submitted.remove(&id).expect("submitted op");
+                match outcome.expect("op within budget") {
+                    KvOutput::Put(tag) => {
+                        histories[k].lock().unwrap().push_write(WriteRec {
+                            ts: tag.to_timestamp(),
+                            val: val.expect("puts carry their value"),
+                            invoked_at: now_us(invoked),
+                            completed_at: Some(now_us(resolved_at)),
+                        });
+                    }
+                    KvOutput::Get(pair) => {
+                        histories[k].lock().unwrap().push_read(ReadRec {
+                            client: ClientId::reader(hid),
+                            invoked_at: now_us(invoked),
+                            completed_at: now_us(resolved_at),
+                            returned: pair,
+                        });
+                    }
+                }
+            };
+            for op in 0..OPS_PER_HANDLE {
+                let k = rng.gen_range(0, KEYS as u64 - 1) as usize;
+                let key = key_name(k);
+                let at = Instant::now();
+                let (id, val) = if rng.next_f64() < 0.5 {
+                    let val = Value::from_u64(u64::from(hid) << 32 | (op + 1));
+                    (
+                        handle
+                            .submit_put(&key, val.clone())
+                            .expect("submit within budget"),
+                        Some(val),
+                    )
+                } else {
+                    (handle.submit_get(&key).expect("submit within budget"), None)
+                };
+                submitted.insert(id, (k, val, at));
+                for (id, outcome) in handle.try_poll() {
+                    resolve(id, outcome, Instant::now(), &mut submitted);
+                }
+            }
+            for (id, outcome) in handle.drain() {
+                resolve(id, outcome, Instant::now(), &mut submitted);
+            }
+            assert!(submitted.is_empty(), "every op resolved");
+        }));
+    }
+    for t in threads {
+        t.join().expect("soak thread");
+    }
+
+    let mut total = 0;
+    for (k, hist) in histories.iter().enumerate() {
+        let hist = hist.lock().unwrap();
+        total += hist.writes().count() + hist.reads().len();
+        let violations = hist.check_atomic();
+        assert!(
+            violations.is_empty(),
+            "key {}: atomicity violations under pipelined traffic: {:?}",
+            key_name(k),
+            violations
+        );
+    }
+    assert_eq!(
+        total as u64,
+        u64::from(HANDLES) * OPS_PER_HANDLE,
+        "every operation must be recorded"
+    );
 }
 
 #[test]
