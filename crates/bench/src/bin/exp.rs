@@ -1,12 +1,16 @@
 //! The experiment table printer: regenerates every table and figure of
 //! EXPERIMENTS.md.
 //!
-//! Usage: `cargo run -p rastor_bench --bin exp -- [t1|…|t6|f1|f2|all] [--quick]`
+//! Usage: `cargo run -p rastor_bench --bin exp -- [t1|…|t7|f1|f2|all] [--quick]`
 //!
 //! `t6` additionally runs the kv throughput workload matrix (real OS
 //! threads, sharded store) and writes the machine-readable `BENCH_kv.json`
-//! consumed by CI; `--quick` trims it to smoke-test size.
+//! consumed by CI; `t7` runs the same mix over the three transport
+//! substrates (in-process channels, loopback TCP, TCP through the chaos
+//! proxy) and writes `BENCH_net.json`; `--quick` trims both to smoke-test
+//! size.
 
+use rastor_bench::netbench::{net_bench_json, net_throughput_matrix, CHAOS_FRAME_DELAY};
 use rastor_bench::workload::{bench_json, kv_throughput_matrix};
 use rastor_bench::{
     f1_prop1, t1_round_table, t2_contention_rounds, t3_recurrence_table, t4_boundary, t5_latency,
@@ -180,6 +184,62 @@ fn t6(quick: bool) {
     }
 }
 
+fn t7(quick: bool) {
+    println!(
+        "== T7: transport substrates, same workload ({} mode; 2 shards, 2 threads, 50/50 mix) ==",
+        if quick { "quick" } else { "full" }
+    );
+    println!(
+        "{:<12} {:<8} {:>5} {:>5} {:>6} {:>10} {:>18} {:>18}",
+        "workload", "wire", "depth", "ops", "errs", "ops/sec", "put p50/p95 µs", "get p50/p95 µs"
+    );
+    let rows = net_throughput_matrix(quick);
+    for net_row in &rows {
+        let row = &net_row.row;
+        let lat = |s: Option<rastor_bench::stats::Summary>| {
+            s.map(|s| format!("{}/{}", s.p50, s.p95))
+                .unwrap_or_else(|| "-".into())
+        };
+        println!(
+            "{:<12} {:<8} {:>5} {:>5} {:>6} {:>10.1} {:>18} {:>18}",
+            row.cfg.name,
+            net_row.transport.label(),
+            row.cfg.depth,
+            row.ops,
+            row.errors,
+            row.ops_per_sec,
+            lat(row.put_lat_us),
+            lat(row.get_lat_us),
+        );
+    }
+    let tput = |name: &str| {
+        rows.iter()
+            .find(|r| r.row.cfg.name == name)
+            .map(|r| r.row.ops_per_sec)
+            .unwrap_or(0.0)
+    };
+    for (a, b, what) in [
+        ("inproc-s2", "tcp-s2", "tcp cost, closed loop"),
+        ("inproc-s2-d8", "tcp-s2-d8", "tcp cost, depth 8"),
+        ("tcp-s2", "chaos-s2", "chaos bite, closed loop"),
+        ("tcp-s2-d8", "chaos-s2-d8", "chaos bite, depth 8"),
+    ] {
+        println!(
+            "{what}: {b} runs at {:.2}x of {a}",
+            tput(b) / tput(a).max(1e-9)
+        );
+    }
+    println!(
+        "(chaos rows pay a fixed {}µs + uniform jitter per wire frame at the proxy)",
+        CHAOS_FRAME_DELAY.as_micros()
+    );
+    let json = net_bench_json(&rows, quick);
+    match std::fs::write("BENCH_net.json", &json) {
+        Ok(()) => println!("wrote BENCH_net.json ({} results)", rows.len()),
+        Err(e) => eprintln!("could not write BENCH_net.json: {e}"),
+    }
+}
+
 fn f1() {
     println!("== F1: Proposition 1 run family, executed mechanically (S=4, t=1) ==");
     println!(
@@ -215,7 +275,7 @@ fn f2() {
     }
 }
 
-const SECTIONS: [&str; 8] = ["t1", "t2", "t3", "t4", "t5", "t6", "f1", "f2"];
+const SECTIONS: [&str; 9] = ["t1", "t2", "t3", "t4", "t5", "t6", "t7", "f1", "f2"];
 
 fn main() {
     let mut quick = false;
@@ -243,6 +303,7 @@ fn main() {
                 "t4" => t4(),
                 "t5" => t5(),
                 "t6" => t6(quick),
+                "t7" => t7(quick),
                 "f1" => f1(),
                 "f2" => f2(),
                 _ => unreachable!("SECTIONS is exhaustive"),

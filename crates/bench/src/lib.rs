@@ -6,6 +6,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod netbench;
 pub mod stats;
 pub mod workload;
 

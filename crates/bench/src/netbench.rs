@@ -1,0 +1,185 @@
+//! The T7 net-transport matrix: the **same** kv workload measured over
+//! three substrates of the one op driver — in-process channels, loopback
+//! TCP sockets, and TCP through the netem chaos proxy — so the transport's
+//! cost (and the chaos injection's bite) is a measured number, not a
+//! belief. Results feed the `exp t7` table and the machine-readable
+//! `BENCH_net.json` (`rastor-net-throughput/v1`) gated by CI.
+//!
+//! Comparability: every substrate emulates the same mean per-envelope
+//! object service delay (see [`crate::workload`]), so the in-process rows
+//! here are throughput-comparable to the T6 matrix, and the tcp rows
+//! isolate what the socket hop adds. The chaos rows add a fixed +
+//! uniform-random frame delay at the proxy — the regime where pipelined
+//! depth-8 rows visibly out-amortize the closed loop, since a coalesced
+//! envelope pays the link latency once.
+
+use crate::workload::{json_summary, measure_store, seed_keys, WorkloadCfg, WorkloadRow};
+use rastor_kv::{ShardedKvStore, StoreConfig};
+use rastor_net::{ChaosCfg, NetKv};
+use std::time::Duration;
+
+/// Which substrate a T7 row ran over.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum NetTransport {
+    /// In-process channel substrate (`ThreadCluster`) — the T6 baseline.
+    InProc,
+    /// Loopback TCP through `ObjectServer`/`NetCluster`.
+    Tcp,
+    /// Loopback TCP through a per-shard chaos proxy adding frame delay.
+    Chaos,
+}
+
+impl NetTransport {
+    /// The row-name prefix and JSON label for this substrate.
+    pub fn label(self) -> &'static str {
+        match self {
+            NetTransport::InProc => "inproc",
+            NetTransport::Tcp => "tcp",
+            NetTransport::Chaos => "chaos",
+        }
+    }
+}
+
+/// One measured T7 row: a plain workload row plus its substrate.
+#[derive(Clone, Debug)]
+pub struct NetRow {
+    /// The substrate the row ran over.
+    pub transport: NetTransport,
+    /// The measured workload outcome (the `cfg.name` follows the
+    /// `<transport>-s<shards>[-d<depth>]` convention the CI gates pair
+    /// rows by).
+    pub row: WorkloadRow,
+}
+
+/// Fixed frame delay at the chaos proxy for the `chaos-*` rows (plus
+/// uniform jitter of the same magnitude — see [`ChaosCfg::delay_only`]).
+pub const CHAOS_FRAME_DELAY: Duration = Duration::from_micros(400);
+
+fn run_one(transport: NetTransport, cfg: &WorkloadCfg) -> NetRow {
+    let store_cfg = StoreConfig::new(cfg.t, cfg.shards, cfg.threads).with_jitter(2 * cfg.service);
+    // The NetKv guard must outlive the measurement: it owns the servers
+    // and proxies.
+    let _net;
+    let store: ShardedKvStore = match transport {
+        NetTransport::InProc => ShardedKvStore::spawn(store_cfg).expect("in-process store"),
+        NetTransport::Tcp => {
+            let net = NetKv::spawn(store_cfg, None).expect("tcp store");
+            let store = net.store.clone();
+            _net = Some(net);
+            store
+        }
+        NetTransport::Chaos => {
+            let chaos = ChaosCfg::delay_only(CHAOS_FRAME_DELAY).with_seed(cfg.seed);
+            let net = NetKv::spawn(store_cfg, Some(chaos)).expect("chaos store");
+            let store = net.store.clone();
+            _net = Some(net);
+            store
+        }
+    };
+    seed_keys(&store, cfg.keys);
+    NetRow {
+        transport,
+        row: measure_store(&store, cfg),
+    }
+}
+
+/// The T7 matrix: `{inproc, tcp, chaos} × {depth 1, depth 8}` on a
+/// 2-shard, 2-thread, 50/50 put/get mix. Row names follow the
+/// `<transport>-s2[-d8]` convention so `scripts/check_bench.rs` pairs
+/// every pipelined row with its closed-loop twin and every `chaos-*` row
+/// with its `tcp-*` twin. `quick` trims the per-thread op count for CI.
+pub fn net_throughput_matrix(quick: bool) -> Vec<NetRow> {
+    let ops = if quick { 30 } else { 120 };
+    let mut rows = Vec::new();
+    for transport in [NetTransport::InProc, NetTransport::Tcp, NetTransport::Chaos] {
+        for depth in [1u32, 8] {
+            let mut cfg = WorkloadCfg::closed(&format!("{}-s2", transport.label()), 2, 2, 50);
+            if depth > 1 {
+                cfg = cfg.pipelined(depth);
+            }
+            cfg.ops_per_thread = ops;
+            rows.push(run_one(transport, &cfg));
+        }
+    }
+    rows
+}
+
+/// Serialize T7 rows as the `BENCH_net.json` document
+/// (`rastor-net-throughput/v1`): one result object per line — same line
+/// discipline as the kv document, so the CI checker scans both without a
+/// JSON parser.
+pub fn net_bench_json(rows: &[NetRow], quick: bool) -> String {
+    let mut out = String::new();
+    out.push_str("{\n");
+    out.push_str("\"schema\": \"rastor-net-throughput/v1\",\n");
+    out.push_str(&format!("\"quick\": {quick},\n"));
+    out.push_str("\"results\": [\n");
+    for (i, net_row) in rows.iter().enumerate() {
+        let row = &net_row.row;
+        let c = &row.cfg;
+        out.push_str(&format!(
+            "{{\"name\":\"{}\",\"transport\":\"{}\",\"shards\":{},\"threads\":{},\"depth\":{},\"put_pct\":{},\"ops\":{},\"errors\":{},\"elapsed_secs\":{:.4},\"ops_per_sec\":{:.1},{},{}}}{}\n",
+            c.name,
+            net_row.transport.label(),
+            c.shards,
+            c.threads,
+            c.depth,
+            c.put_pct,
+            row.ops,
+            row.errors,
+            row.elapsed_secs,
+            row.ops_per_sec,
+            json_summary("put", row.put_lat_us),
+            json_summary("get", row.get_lat_us),
+            if i + 1 == rows.len() { "" } else { "," },
+        ));
+    }
+    out.push_str("]\n}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny(transport: NetTransport, depth: u32) -> NetRow {
+        let mut cfg = WorkloadCfg::closed(&format!("{}-s2", transport.label()), 2, 2, 50);
+        if depth > 1 {
+            cfg = cfg.pipelined(depth);
+        }
+        cfg.keys = 8;
+        cfg.ops_per_thread = 8;
+        cfg.service = Duration::from_micros(20);
+        run_one(transport, &cfg)
+    }
+
+    #[test]
+    fn every_transport_completes_the_mix() {
+        for transport in [NetTransport::InProc, NetTransport::Tcp, NetTransport::Chaos] {
+            let r = tiny(transport, 1);
+            assert_eq!(r.row.ops, 16, "{transport:?}");
+            assert_eq!(r.row.errors, 0, "{transport:?}");
+            assert!(r.row.ops_per_sec > 0.0, "{transport:?}");
+        }
+    }
+
+    #[test]
+    fn pipelined_tcp_completes_and_names_follow_the_convention() {
+        let r = tiny(NetTransport::Tcp, 4);
+        assert_eq!(r.row.cfg.name, "tcp-s2-d4");
+        assert_eq!(r.row.ops, 16);
+        assert_eq!(r.row.errors, 0);
+    }
+
+    #[test]
+    fn json_carries_schema_and_transport() {
+        let rows = vec![tiny(NetTransport::InProc, 1), tiny(NetTransport::Tcp, 1)];
+        let doc = net_bench_json(&rows, true);
+        assert!(doc.contains("\"schema\": \"rastor-net-throughput/v1\""));
+        assert_eq!(doc.matches("\"name\":").count(), 2);
+        assert!(doc.contains("\"transport\":\"inproc\""));
+        assert!(doc.contains("\"transport\":\"tcp\""));
+        assert_eq!(doc.matches('{').count(), doc.matches('}').count());
+        assert_eq!(doc.matches('[').count(), doc.matches(']').count());
+    }
+}

@@ -186,14 +186,7 @@ pub fn run_workload(cfg: &WorkloadCfg) -> WorkloadRow {
     )
     .expect("valid workload configuration");
 
-    // Seed the key space so gets always have something to return.
-    let mut seeder = store.handle(0).expect("handle 0 in pool");
-    for k in 0..cfg.keys {
-        seeder
-            .put(&key_name(k), Value::from_u64(1))
-            .expect("seeding put");
-    }
-    drop(seeder);
+    seed_keys(&store, cfg.keys);
 
     // Crash from the top of the object range, away from the silent ones.
     let num_objects = store.config().num_objects() as u32;
@@ -203,6 +196,38 @@ pub fn run_workload(cfg: &WorkloadCfg) -> WorkloadRow {
         }
     }
 
+    measure_store(&store, cfg)
+}
+
+/// Seed the key space of an already-built store so gets always have
+/// something to return (uses handle 0, returned to the pool afterwards).
+///
+/// # Panics
+///
+/// Panics if a seeding put fails (no store should start life without a
+/// quorum).
+pub fn seed_keys(store: &ShardedKvStore, keys: u32) {
+    let mut seeder = store.handle(0).expect("handle 0 in pool");
+    for k in 0..keys {
+        seeder
+            .put(&key_name(k), Value::from_u64(1))
+            .expect("seeding put");
+    }
+}
+
+/// Drive the configured put/get mix against an **already-built** (and
+/// seeded, and fault-injected) store — the measurement half of
+/// [`run_workload`], shared with the `t7` net-transport matrix, which
+/// builds its stores over sockets first.
+///
+/// # Panics
+///
+/// Panics if the store's handle pool is smaller than `cfg.threads`.
+pub fn measure_store(store: &ShardedKvStore, cfg: &WorkloadCfg) -> WorkloadRow {
+    assert!(
+        store.num_handles() >= cfg.threads,
+        "store must supply one handle per workload thread"
+    );
     let barrier = Arc::new(Barrier::new(cfg.threads as usize + 1));
     let mut workers = Vec::new();
     for tid in 0..cfg.threads {
@@ -375,7 +400,7 @@ pub fn kv_throughput_matrix(quick: bool) -> Vec<WorkloadRow> {
     configs.iter().map(run_workload).collect()
 }
 
-fn json_summary(prefix: &str, s: Option<Summary>) -> String {
+pub(crate) fn json_summary(prefix: &str, s: Option<Summary>) -> String {
     let (p50, p95, max) = s.map_or((0, 0, 0), |s| (s.p50, s.p95, s.max));
     format!("\"{prefix}_p50_us\":{p50},\"{prefix}_p95_us\":{p95},\"{prefix}_max_us\":{max}")
 }

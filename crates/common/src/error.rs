@@ -39,6 +39,47 @@ pub enum Error {
         /// Human-readable description of the violated invariant.
         detail: String,
     },
+    /// An I/O failure in a transport, server, or proxy (socket substrate).
+    ///
+    /// Carries the rendered [`std::io::Error`] rather than the error itself
+    /// so that `Error` stays `Clone + PartialEq` (histories and tests
+    /// compare errors structurally).
+    Io {
+        /// What was being attempted.
+        context: String,
+        /// The rendered underlying I/O error.
+        detail: String,
+    },
+    /// A wire frame failed to decode (truncation, a bad tag, an oversized
+    /// or corrupt length prefix, or a garbage magic prefix).
+    Codec {
+        /// Human-readable description of the malformation.
+        detail: String,
+    },
+    /// A wire frame carried an incompatible protocol version.
+    VersionMismatch {
+        /// The version found on the wire.
+        got: u8,
+        /// The version this build speaks.
+        want: u8,
+    },
+}
+
+impl Error {
+    /// Wrap an [`std::io::Error`] with a short context string.
+    pub fn io(context: impl Into<String>, e: &std::io::Error) -> Error {
+        Error::Io {
+            context: context.into(),
+            detail: e.to_string(),
+        }
+    }
+
+    /// A codec malformation error.
+    pub fn codec(detail: impl Into<String>) -> Error {
+        Error::Codec {
+            detail: detail.into(),
+        }
+    }
 }
 
 impl fmt::Display for Error {
@@ -56,6 +97,14 @@ impl fmt::Display for Error {
             }
             Error::InvariantViolation { detail } => {
                 write!(f, "invariant violation: {detail}")
+            }
+            Error::Io { context, detail } => write!(f, "i/o error while {context}: {detail}"),
+            Error::Codec { detail } => write!(f, "wire codec error: {detail}"),
+            Error::VersionMismatch { got, want } => {
+                write!(
+                    f,
+                    "wire version mismatch: peer speaks v{got}, this build v{want}"
+                )
             }
         }
     }
@@ -85,5 +134,28 @@ mod tests {
     fn error_is_std_error_send_sync() {
         fn assert_bounds<T: std::error::Error + Send + Sync + 'static>() {}
         assert_bounds::<Error>();
+    }
+
+    #[test]
+    fn io_flavored_errors_render_and_compare() {
+        let io = Error::io(
+            "connecting to 127.0.0.1:9",
+            &std::io::Error::new(std::io::ErrorKind::ConnectionRefused, "refused"),
+        );
+        assert_eq!(
+            io.to_string(),
+            "i/o error while connecting to 127.0.0.1:9: refused"
+        );
+        // Cloneable + comparable (the reason detail is a rendered string).
+        assert_eq!(io.clone(), io);
+
+        let codec = Error::codec("truncated at byte 7");
+        assert_eq!(codec.to_string(), "wire codec error: truncated at byte 7");
+
+        let v = Error::VersionMismatch { got: 9, want: 1 };
+        assert!(v.to_string().contains("v9"));
+        assert!(v.to_string().contains("v1"));
+        // All three are `std::error::Error`s through the blanket impl.
+        let _: &dyn std::error::Error = &v;
     }
 }

@@ -23,7 +23,7 @@ pub use rastor_sim::driver::{Broadcast, Dispatch, OpCompletion, OpDriver, OpTime
 pub use rastor_sim::runtime::OpResult;
 
 use rastor_common::OpKind;
-use rastor_sim::runtime::{ThreadClient, ThreadCluster};
+use rastor_sim::runtime::{ThreadClient, Transport};
 use rastor_sim::RoundClient;
 use std::collections::HashMap;
 use std::time::Duration;
@@ -52,13 +52,17 @@ pub struct BatchOp<Q, R, Out> {
 /// wanting the paper's one-outstanding-operation discipline get it by
 /// asking for it.
 ///
+/// `clusters` may be any [`Transport`] substrate: in-process
+/// [`rastor_sim::runtime::ThreadCluster`]s, socket-backed clusters, or a
+/// mix — the deploy path is substrate-blind.
+///
 /// # Panics
 ///
 /// Panics if `depth` is zero, a `target` is out of range of `clusters`, or
 /// the client already has operations in flight.
-pub fn drive_batch<Q, R, Out>(
+pub fn drive_batch<Q, R, Out, T>(
     client: &mut ThreadClient<Q, R, Out>,
-    clusters: &[&ThreadCluster<Q, R>],
+    clusters: &[&T],
     ops: Vec<BatchOp<Q, R, Out>>,
     depth: usize,
     timeout: Duration,
@@ -66,6 +70,7 @@ pub fn drive_batch<Q, R, Out>(
 where
     Q: Send + Sync + 'static,
     R: Send + 'static,
+    T: Transport<Q, R> + ?Sized,
 {
     assert!(depth > 0, "a zero-depth pipeline cannot make progress");
     assert!(
@@ -75,7 +80,7 @@ where
     let total = ops.len();
     let mut results: Vec<Option<(Out, u32)>> = Vec::with_capacity(total);
     results.resize_with(total, || None);
-    let targets: Vec<Option<&ThreadCluster<Q, R>>> = clusters.iter().map(|c| Some(*c)).collect();
+    let targets: Vec<Option<&T>> = clusters.iter().map(|c| Some(*c)).collect();
     let mut by_nonce: HashMap<u64, usize> = HashMap::new();
     let mut queue = ops.into_iter().enumerate();
     let mut resolved = 0usize;
@@ -106,6 +111,7 @@ mod tests {
     use crate::mwmr::{mw_read_in_group, MwWriteClient, RegGroup, Tag};
     use crate::object::HonestObject;
     use rastor_common::{ClientId, ClusterConfig, ObjectId, Value};
+    use rastor_sim::runtime::ThreadCluster;
     use rastor_sim::ObjectBehavior;
 
     fn cluster(n: usize) -> ThreadCluster<Req, Rep> {

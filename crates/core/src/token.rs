@@ -22,6 +22,21 @@ use std::fmt;
 #[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
 pub struct Token(u64);
 
+impl Token {
+    /// The raw token bits, for wire codecs that must carry tokens across a
+    /// network verbatim.
+    pub fn to_bits(self) -> u64 {
+        self.0
+    }
+
+    /// Reconstruct a token from its wire representation. This grants no
+    /// forging power: a fabricated bit pattern still fails
+    /// [`AuthKey::verify`] for any pair the writer never authenticated.
+    pub fn from_bits(bits: u64) -> Token {
+        Token(bits)
+    }
+}
+
 /// The writer's secret key (shared with readers for verification, never
 /// with object behaviors).
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -89,6 +104,16 @@ mod tests {
             !key.verify(&pair(3, 43), tok),
             "different value must not verify"
         );
+    }
+
+    #[test]
+    fn bits_roundtrip_preserves_verification() {
+        let key = AuthKey::new(7);
+        let p = pair(5, 99);
+        let tok = Token::from_bits(key.mint(&p).to_bits());
+        assert!(key.verify(&p, tok));
+        // Fabricated bits verify nothing the writer never minted.
+        assert!(!key.verify(&p, Token::from_bits(tok.to_bits() ^ 1)));
     }
 
     #[test]

@@ -43,7 +43,7 @@ use rastor_core::clients::OpOutput;
 use rastor_core::msg::{Rep, Req};
 use rastor_core::mwmr::{mw_read_in_group, MwWriteClient, RegGroup, Tag};
 use rastor_core::object::HonestObject;
-use rastor_sim::runtime::{ThreadClient, ThreadCluster};
+use rastor_sim::runtime::{ObjReply, ReqFrame, ThreadClient, ThreadCluster, Transport};
 use rastor_sim::ObjectBehavior;
 use std::collections::{HashMap, HashSet};
 use std::sync::{Arc, Mutex, RwLock};
@@ -88,12 +88,40 @@ impl StoreConfig {
     }
 }
 
+/// The substrate one shard's traffic runs over: the store no longer cares
+/// whether a shard is a set of object threads in this process or a socket
+/// connection to objects across a network.
+enum Backend {
+    /// An in-process cluster of object threads, spawned by this store —
+    /// supports local fault injection via
+    /// [`ShardedKvStore::crash_object`].
+    Local(ThreadCluster<Req, Rep>),
+    /// A remote cluster reached through any [`Transport`] (e.g. a
+    /// socket-backed `rastor_net` cluster, possibly through a chaos
+    /// proxy). Fault injection happens at the server or proxy.
+    Remote(Box<dyn Transport<Req, Rep> + Send + Sync>),
+}
+
+impl Transport<Req, Rep> for Backend {
+    fn send_frames(
+        &self,
+        from: ClientId,
+        frames: &[ReqFrame<Req>],
+        reply_to: &std::sync::mpsc::Sender<ObjReply<Rep>>,
+    ) {
+        match self {
+            Backend::Local(cluster) => cluster.send_frames(from, frames, reply_to),
+            Backend::Remote(transport) => transport.send_frames(from, frames, reply_to),
+        }
+    }
+}
+
 /// One shard: an independent `3t + 1` cluster plus the key-id directory
 /// for the keys routed here.
 struct Shard {
-    /// The cluster, behind a `RwLock` so `crash_object` (write) can
-    /// coexist with in-flight operations (read).
-    cluster: RwLock<ThreadCluster<Req, Rep>>,
+    /// The cluster substrate, behind a `RwLock` so `crash_object` (write)
+    /// can coexist with in-flight operations (read).
+    cluster: RwLock<Backend>,
     /// key → dense per-shard key id (allocates register groups). Read-
     /// mostly: only the first put of a key takes the write lock.
     keys: RwLock<HashMap<String, u32>>,
@@ -169,7 +197,9 @@ impl ShardedKvStore {
                     .map(|o| behavior(s, ObjectId(o as u32)))
                     .collect();
                 Shard {
-                    cluster: RwLock::new(ThreadCluster::spawn(behaviors, cfg.jitter)),
+                    cluster: RwLock::new(Backend::Local(ThreadCluster::spawn(
+                        behaviors, cfg.jitter,
+                    ))),
                     keys: RwLock::new(HashMap::new()),
                 }
             })
@@ -181,6 +211,50 @@ impl ShardedKvStore {
                 shards,
                 num_handles: cfg.num_handles,
                 taken: Mutex::new(vec![false; cfg.num_handles as usize]),
+            }),
+        })
+    }
+
+    /// Build the store over pre-connected **remote shards**: one
+    /// [`Transport`] per shard (e.g. `rastor_net::NetCluster`s speaking to
+    /// socket-backed object servers, possibly through chaos proxies). Each
+    /// transport must reach an independent `3t + 1` object cluster; the
+    /// store's routing, register-group, and pipelining machinery is
+    /// identical to the locally spawned case — only the substrate differs.
+    ///
+    /// [`ShardedKvStore::crash_object`] is unavailable on remote shards
+    /// (inject faults at the servers or proxies instead).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InsufficientResilience`] if `t` is invalid, and
+    /// [`Error::InvariantViolation`] for an empty shard or handle pool.
+    pub fn over_transports(
+        t: usize,
+        num_handles: u32,
+        transports: Vec<Box<dyn Transport<Req, Rep> + Send + Sync>>,
+    ) -> Result<ShardedKvStore> {
+        let cluster_cfg = ClusterConfig::byzantine(t)?;
+        if transports.is_empty() || num_handles == 0 {
+            return Err(Error::InvariantViolation {
+                detail: "a store needs at least one shard and one handle".into(),
+            });
+        }
+        let num_shards = transports.len();
+        let shards = transports
+            .into_iter()
+            .map(|transport| Shard {
+                cluster: RwLock::new(Backend::Remote(transport)),
+                keys: RwLock::new(HashMap::new()),
+            })
+            .collect();
+        Ok(ShardedKvStore {
+            inner: Arc::new(Inner {
+                cfg: cluster_cfg,
+                router: ShardRouter::new(num_shards),
+                shards,
+                num_handles,
+                taken: Mutex::new(vec![false; num_handles as usize]),
             }),
         })
     }
@@ -250,15 +324,27 @@ impl ShardedKvStore {
         })
     }
 
-    /// Crash one object of one shard (at most `t` per shard for that shard
-    /// to keep completing operations). Blocks until in-flight operations
-    /// on the shard finish.
+    /// Crash one object of one **locally spawned** shard (at most `t` per
+    /// shard for that shard to keep completing operations). Blocks until
+    /// in-flight operations on the shard finish.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the shard is remote
+    /// ([`ShardedKvStore::over_transports`]): a remote object's crash is
+    /// injected at its server (or its link's chaos proxy), not through the
+    /// client-side store.
     pub fn crash_object(&self, shard: usize, id: ObjectId) {
-        self.inner.shards[shard]
+        match &mut *self.inner.shards[shard]
             .cluster
             .write()
             .expect("cluster lock")
-            .crash_object(id);
+        {
+            Backend::Local(cluster) => cluster.crash_object(id),
+            Backend::Remote(_) => {
+                panic!("crash_object on remote shard {shard}: inject the fault server-side")
+            }
+        }
     }
 }
 
@@ -292,6 +378,23 @@ struct PendingOp {
 /// (see [`crate::ShardedKvStore`] and the crate docs for the pipelining rules). The blocking
 /// [`KvHandle::put`] / [`KvHandle::get`] convenience methods and the
 /// batched/pipelined methods all drive the same machinery.
+///
+/// ## Mixing blocking calls with the pipeline
+///
+/// While pipelined operations are in flight — or [`KvHandle::poll`]
+/// results remain unfetched — the blocking calls ([`KvHandle::put`],
+/// [`KvHandle::get`], [`KvHandle::get_pair`], [`KvHandle::put_batch`],
+/// [`KvHandle::get_batch`]) refuse with [`Error::OperationPending`] rather
+/// than silently interleave their results with the pipeline's. Call
+/// [`KvHandle::drain`] first to quiesce the handle (it resolves every
+/// in-flight operation and hands back all pending results), then the
+/// blocking API works again.
+///
+/// Relatedly, submissions **buffer** until the next
+/// [`KvHandle::poll`] / [`KvHandle::try_poll`] (or until the depth limit
+/// forces an internal pump): submit the whole burst first, then poll —
+/// polling after every submit sends one envelope per operation and forfeits
+/// the coalescing win.
 pub struct KvHandle {
     id: u32,
     inner: Arc<Inner>,
@@ -387,8 +490,7 @@ impl KvHandle {
             .zip(&used)
             .map(|(s, used)| used.then(|| s.cluster.read().expect("cluster lock")))
             .collect();
-        let clusters: Vec<Option<&ThreadCluster<Req, Rep>>> =
-            guards.iter().map(|g| g.as_deref()).collect();
+        let clusters: Vec<Option<&Backend>> = guards.iter().map(|g| g.as_deref()).collect();
         let results = if blocking {
             self.client.pump(&clusters)
         } else {

@@ -1,0 +1,269 @@
+//! [`ChaosProxy`]: a frame-aware TCP relay that injects network faults.
+//!
+//! The simulator owns scheduling adversaries; the thread runtime, until
+//! now, could only crash objects. The chaos proxy gives socket
+//! deployments the missing scenario diversity: put one in front of an
+//! [`crate::server::ObjectServer`] and every connection through it
+//! suffers seeded, reproducible **delay**, **jitter**, **drops**,
+//! **reordering** and (toggleable) **partitions** — at wire-frame
+//! granularity, so the length-prefixed stream stays well-formed no matter
+//! what is dropped or held back.
+//!
+//! Faults are applied independently per direction per connection, each
+//! with its own [`SplitMix64`] stream derived from [`ChaosCfg::seed`], so
+//! a scenario replays bit-identically given the same connection order.
+//!
+//! Delays are head-of-line (the relay sleeps, then forwards), which
+//! models a slow pipe rather than per-frame independent latency — the
+//! realistic shape for a single TCP connection, and the one that lets
+//! coalesced batches amortize it.
+
+use rastor_common::{Error, Result, SplitMix64};
+use std::collections::HashMap;
+use std::io::Write;
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// Fault-injection knobs for a [`ChaosProxy`]. The default is a faithful
+/// relay (no delay, no faults); set the knobs you want.
+#[derive(Clone, Debug)]
+pub struct ChaosCfg {
+    /// Seed for the per-connection fault streams.
+    pub seed: u64,
+    /// Fixed latency added to every forwarded frame.
+    pub delay: Duration,
+    /// Extra uniform-random latency in `[0, jitter)` per frame.
+    pub jitter: Duration,
+    /// Probability a frame is silently dropped.
+    pub drop_prob: f64,
+    /// Probability a frame is held back and forwarded *after* its
+    /// successor (adjacent reordering; a trailing held frame is flushed
+    /// when the connection ends — unless the link is partitioned, which
+    /// eats it like everything else).
+    pub reorder_prob: f64,
+}
+
+impl Default for ChaosCfg {
+    fn default() -> ChaosCfg {
+        ChaosCfg {
+            seed: 1,
+            delay: Duration::ZERO,
+            jitter: Duration::ZERO,
+            drop_prob: 0.0,
+            reorder_prob: 0.0,
+        }
+    }
+}
+
+impl ChaosCfg {
+    /// A pure added-latency profile: fixed `delay` plus uniform jitter of
+    /// the same magnitude.
+    pub fn delay_only(delay: Duration) -> ChaosCfg {
+        ChaosCfg {
+            delay,
+            jitter: delay,
+            ..ChaosCfg::default()
+        }
+    }
+
+    /// Set the drop probability.
+    #[must_use]
+    pub fn with_drops(mut self, prob: f64) -> ChaosCfg {
+        self.drop_prob = prob;
+        self
+    }
+
+    /// Set the reorder probability.
+    #[must_use]
+    pub fn with_reordering(mut self, prob: f64) -> ChaosCfg {
+        self.reorder_prob = prob;
+        self
+    }
+
+    /// Set the seed.
+    #[must_use]
+    pub fn with_seed(mut self, seed: u64) -> ChaosCfg {
+        self.seed = seed;
+        self
+    }
+}
+
+struct Shared {
+    upstream: SocketAddr,
+    cfg: ChaosCfg,
+    partitioned: AtomicBool,
+    shutdown: AtomicBool,
+    next_conn: AtomicU64,
+    /// Live relayed connections (client half, upstream half) by id, so
+    /// drop can cut them loose; entries are pruned as relays end.
+    conns: Mutex<HashMap<u64, (TcpStream, TcpStream)>>,
+}
+
+/// A fault-injecting TCP relay in front of one upstream address.
+///
+/// Dropping the proxy shuts down the listener and every relayed
+/// connection.
+pub struct ChaosProxy {
+    addr: SocketAddr,
+    shared: Arc<Shared>,
+    accept: Option<JoinHandle<()>>,
+}
+
+impl ChaosProxy {
+    /// Bind a loopback listener relaying to `upstream` under `cfg`.
+    ///
+    /// # Errors
+    ///
+    /// [`Error::Io`] if the listener cannot bind.
+    pub fn spawn(upstream: SocketAddr, cfg: ChaosCfg) -> Result<ChaosProxy> {
+        let listener = TcpListener::bind(("127.0.0.1", 0))
+            .map_err(|e| Error::io("binding a chaos proxy listener", &e))?;
+        let addr = listener
+            .local_addr()
+            .map_err(|e| Error::io("reading the bound proxy address", &e))?;
+        let shared = Arc::new(Shared {
+            upstream,
+            cfg,
+            partitioned: AtomicBool::new(false),
+            shutdown: AtomicBool::new(false),
+            next_conn: AtomicU64::new(0),
+            conns: Mutex::new(HashMap::new()),
+        });
+        let accept_shared = Arc::clone(&shared);
+        let accept = std::thread::spawn(move || {
+            for stream in listener.incoming() {
+                if accept_shared.shutdown.load(Ordering::SeqCst) {
+                    break;
+                }
+                let Ok(client) = stream else { continue };
+                relay_connection(client, &accept_shared);
+            }
+        });
+        Ok(ChaosProxy {
+            addr,
+            shared,
+            accept: Some(accept),
+        })
+    }
+
+    /// The address clients connect to instead of the upstream's.
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Toggle a full partition: while set, every frame in both directions
+    /// is dropped (connections stay open — the link is dead, not closed).
+    pub fn set_partitioned(&self, partitioned: bool) {
+        self.shared.partitioned.store(partitioned, Ordering::SeqCst);
+    }
+
+    /// Whether the link is currently partitioned.
+    pub fn is_partitioned(&self) -> bool {
+        self.shared.partitioned.load(Ordering::SeqCst)
+    }
+}
+
+impl Drop for ChaosProxy {
+    fn drop(&mut self) {
+        self.shared.shutdown.store(true, Ordering::SeqCst);
+        for (_, (client, upstream)) in self.shared.conns.lock().expect("proxy conn lock").drain() {
+            let _ = client.shutdown(Shutdown::Both);
+            let _ = upstream.shutdown(Shutdown::Both);
+        }
+        let _ = TcpStream::connect(self.addr);
+        if let Some(h) = self.accept.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+/// Wire one accepted client to a fresh upstream connection with a chaotic
+/// relay thread per direction.
+fn relay_connection(client: TcpStream, shared: &Arc<Shared>) {
+    let Ok(upstream) = TcpStream::connect(shared.upstream) else {
+        let _ = client.shutdown(Shutdown::Both);
+        return;
+    };
+    let _ = client.set_nodelay(true);
+    let _ = upstream.set_nodelay(true);
+    let conn_id = shared.next_conn.fetch_add(1, Ordering::SeqCst);
+    {
+        let mut conns = shared.conns.lock().expect("proxy conn lock");
+        if let (Ok(c), Ok(u)) = (client.try_clone(), upstream.try_clone()) {
+            conns.insert(conn_id, (c, u));
+        }
+    }
+    for (dir, read, write) in [
+        (0u64, client.try_clone(), upstream.try_clone()),
+        (1u64, upstream.try_clone(), client.try_clone()),
+    ] {
+        let (Ok(read), Ok(write)) = (read, write) else {
+            shared
+                .conns
+                .lock()
+                .expect("proxy conn lock")
+                .remove(&conn_id);
+            let _ = client.shutdown(Shutdown::Both);
+            let _ = upstream.shutdown(Shutdown::Both);
+            return;
+        };
+        let shared = Arc::clone(shared);
+        std::thread::spawn(move || {
+            let seed = shared.cfg.seed ^ (conn_id << 1) ^ dir;
+            relay_frames(read, write, &shared, SplitMix64::new(seed));
+            // relay_frames shut both streams down; untrack the connection
+            // so a long-lived proxy doesn't accumulate dead descriptors
+            // (idempotent — whichever direction exits first wins).
+            shared
+                .conns
+                .lock()
+                .expect("proxy conn lock")
+                .remove(&conn_id);
+        });
+    }
+}
+
+/// The relay loop for one direction: read whole frames, apply the fault
+/// schedule, forward the survivors.
+fn relay_frames(mut read: TcpStream, mut write: TcpStream, shared: &Shared, mut rng: SplitMix64) {
+    let cfg = &shared.cfg;
+    let mut held: Option<Vec<u8>> = None;
+    while let Ok(raw) = crate::wire::read_raw_frame(&mut read) {
+        if shared.partitioned.load(Ordering::SeqCst) {
+            continue; // the link eats everything, silently
+        }
+        if cfg.drop_prob > 0.0 && rng.next_f64() < cfg.drop_prob {
+            continue;
+        }
+        let wait = cfg.delay + cfg.jitter.mul_f64(rng.next_f64());
+        if wait > Duration::ZERO {
+            std::thread::sleep(wait);
+        }
+        if cfg.reorder_prob > 0.0 && held.is_none() && rng.next_f64() < cfg.reorder_prob {
+            held = Some(raw);
+            continue;
+        }
+        if write.write_all(&raw).is_err() {
+            break;
+        }
+        // Forward a held predecessor *after* its successor: adjacent swap.
+        if let Some(h) = held.take() {
+            if write.write_all(&h).is_err() {
+                break;
+            }
+        }
+    }
+    // Flush a trailing held frame rather than swallowing it — unless the
+    // link is partitioned, in which case the dead link eats it like
+    // everything else (nothing may cross a cut link, even at teardown).
+    if let Some(h) = held.take() {
+        if !shared.partitioned.load(Ordering::SeqCst) {
+            let _ = write.write_all(&h);
+        }
+    }
+    let _ = read.shutdown(Shutdown::Both);
+    let _ = write.shutdown(Shutdown::Both);
+}

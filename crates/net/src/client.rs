@@ -1,0 +1,175 @@
+//! [`NetCluster`]: the client endpoint of one socket-backed cluster,
+//! implementing the same [`Transport`] trait as the in-process
+//! [`rastor_sim::runtime::ThreadCluster`] — so a
+//! [`rastor_sim::runtime::ThreadClient`] (and everything built on it: the
+//! batch driver, the sharded kv store) drives operations over TCP without
+//! a single protocol-level change.
+//!
+//! One `NetCluster` holds one connection per server backing the cluster
+//! and may be **shared by many clients**: each [`Transport::send_frames`]
+//! call registers the calling client's reply channel, and per-connection
+//! reader threads demultiplex incoming reply envelopes to the right
+//! channel by the `to` client id the server echoes back.
+//!
+//! Sends are best-effort, mirroring the channel substrate's crash
+//! semantics: a frame lost to a broken connection is indistinguishable
+//! from a frame sent to a crashed object, and the op driver's per-op
+//! deadline is the recovery mechanism either way.
+
+use crate::wire::{self, Frame, ReqEnvelope, WireReqFrame};
+use rastor_common::{ClientId, Error, Result};
+use rastor_core::msg::{Rep, Req};
+use rastor_sim::runtime::{ObjReply, RepFrame, ReqFrame, Transport};
+use std::collections::HashMap;
+use std::io::Write;
+use std::net::{Shutdown, SocketAddr, TcpStream};
+use std::sync::mpsc::Sender;
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+
+/// client id → that client's reply channel. Senders are registered on
+/// every flush, so a reissued client id simply overwrites its predecessor.
+type Registry = Mutex<HashMap<ClientId, Sender<ObjReply<Rep>>>>;
+
+struct Conn {
+    writer: Mutex<TcpStream>,
+    reader: Option<JoinHandle<()>>,
+}
+
+/// The client endpoint of one socket-backed object cluster.
+///
+/// Dropping the cluster shuts its connections down and joins the reader
+/// threads; operations still in flight on some client resolve through
+/// their deadlines.
+pub struct NetCluster {
+    conns: Vec<Conn>,
+    registry: Arc<Registry>,
+}
+
+impl NetCluster {
+    /// Connect to every server backing the cluster (one
+    /// [`crate::server::ObjectServer`] — or chaos proxy in front of one —
+    /// per address).
+    ///
+    /// # Errors
+    ///
+    /// [`Error::Io`] if any connection cannot be established.
+    pub fn connect(addrs: &[SocketAddr]) -> Result<NetCluster> {
+        let registry: Arc<Registry> = Arc::new(Mutex::new(HashMap::new()));
+        let mut conns = Vec::with_capacity(addrs.len());
+        for addr in addrs {
+            let stream = TcpStream::connect(addr)
+                .map_err(|e| Error::io(format!("connecting to object server {addr}"), &e))?;
+            let _ = stream.set_nodelay(true);
+            let read_half = stream
+                .try_clone()
+                .map_err(|e| Error::io("cloning a connection for reading", &e))?;
+            let reg = Arc::clone(&registry);
+            let reader = std::thread::spawn(move || route_replies(read_half, &reg));
+            conns.push(Conn {
+                writer: Mutex::new(stream),
+                reader: Some(reader),
+            });
+        }
+        Ok(NetCluster { conns, registry })
+    }
+
+    /// Number of connections (servers), not objects: a server may host
+    /// many objects.
+    pub fn num_connections(&self) -> usize {
+        self.conns.len()
+    }
+}
+
+impl Transport<Req, Rep> for NetCluster {
+    /// Encode the batch once and write it to every connection — the wire
+    /// twin of the channel substrate's one-envelope-per-object broadcast
+    /// (each server fans the envelope out to the objects it hosts, which
+    /// reply with per-object envelopes).
+    fn send_frames(
+        &self,
+        from: ClientId,
+        frames: &[ReqFrame<Req>],
+        reply_to: &Sender<ObjReply<Rep>>,
+    ) {
+        self.registry
+            .lock()
+            .expect("reply registry lock")
+            .insert(from, reply_to.clone());
+        let env = Frame::Req(ReqEnvelope {
+            from,
+            frames: frames
+                .iter()
+                .map(|f| WireReqFrame {
+                    op_nonce: f.op_nonce,
+                    round: f.round,
+                    req: (*f.payload).clone(),
+                })
+                .collect(),
+        });
+        let bytes = wire::encode_frame(&env);
+        for conn in &self.conns {
+            // Best-effort: a broken connection looks like a crashed server.
+            let _ = conn
+                .writer
+                .lock()
+                .expect("connection writer lock")
+                .write_all(&bytes);
+        }
+    }
+}
+
+impl Drop for NetCluster {
+    fn drop(&mut self) {
+        for conn in &mut self.conns {
+            let _ = conn
+                .writer
+                .lock()
+                .expect("connection writer lock")
+                .shutdown(Shutdown::Both);
+            if let Some(h) = conn.reader.take() {
+                let _ = h.join();
+            }
+        }
+    }
+}
+
+/// Per-connection reader loop: decode reply envelopes and route each to
+/// the registered reply channel of the client it addresses.
+fn route_replies(mut stream: TcpStream, registry: &Registry) {
+    loop {
+        let env = match wire::read_frame(&mut stream) {
+            Ok(Frame::Rep(env)) => env,
+            // A request frame from a server is a protocol violation; an
+            // io/decode error means the connection is done.
+            Ok(Frame::Req(_)) | Err(_) => return,
+        };
+        let tx = registry
+            .lock()
+            .expect("reply registry lock")
+            .get(&env.to)
+            .cloned();
+        let Some(tx) = tx else {
+            continue; // client never seen or already unregistered
+        };
+        let reply = ObjReply {
+            from: env.from,
+            frames: env
+                .frames
+                .into_iter()
+                .map(|f| RepFrame {
+                    op_nonce: f.op_nonce,
+                    round: f.round,
+                    payload: f.rep,
+                })
+                .collect(),
+        };
+        if tx.send(reply).is_err() {
+            // The client hung up; drop its registration.
+            registry
+                .lock()
+                .expect("reply registry lock")
+                .remove(&env.to);
+        }
+    }
+}

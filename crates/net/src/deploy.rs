@@ -1,0 +1,140 @@
+//! Deploy-path glue: the socket substrate behind the same high-level entry
+//! points as the in-process one.
+//!
+//! * [`NetDeploy`] extends [`StorageSystem`] with
+//!   [`NetDeploy::spawn_net_cluster`], the socket sibling of
+//!   [`StorageSystem::spawn_thread_cluster`]: honest objects behind a
+//!   loopback listener plus a connected [`NetCluster`], ready for
+//!   [`rastor_core::driver::drive_batch`].
+//! * [`NetKv`] stands up a [`ShardedKvStore`] whose shards are reached
+//!   over TCP — one [`ObjectServer`] per shard, optionally each behind its
+//!   own [`ChaosProxy`] — via
+//!   [`ShardedKvStore::over_transports`].
+
+use crate::chaos::{ChaosCfg, ChaosProxy};
+use crate::client::NetCluster;
+use crate::server::ObjectServer;
+use rastor_common::{ClusterConfig, ObjectId, Result};
+use rastor_core::msg::{Rep, Req};
+use rastor_core::object::HonestObject;
+use rastor_core::StorageSystem;
+use rastor_kv::{ShardedKvStore, StoreConfig};
+use rastor_sim::runtime::Transport;
+use rastor_sim::ObjectBehavior;
+use std::time::Duration;
+
+/// A single-cluster socket deployment: the server owning the objects and
+/// a connected client endpoint.
+pub struct NetHarness {
+    /// The listener hosting the cluster's objects (drop it and the
+    /// cluster is gone; crash objects through it).
+    pub server: ObjectServer,
+    /// The connected client endpoint; pass it anywhere a
+    /// [`Transport`] is accepted.
+    pub cluster: NetCluster,
+}
+
+/// Extension trait putting [`StorageSystem`] deployments on sockets.
+pub trait NetDeploy {
+    /// The same deployment as
+    /// [`StorageSystem::spawn_thread_cluster`], but socket-backed: honest
+    /// objects behind a loopback [`ObjectServer`], plus a [`NetCluster`]
+    /// connected to it. Drive the automata from
+    /// [`StorageSystem::write_client`] / [`StorageSystem::read_client`]
+    /// over `harness.cluster` with [`rastor_core::driver::drive_batch`] —
+    /// identical protocol code, third substrate.
+    ///
+    /// # Errors
+    ///
+    /// [`rastor_common::Error::Io`] if the listener or connection fails.
+    fn spawn_net_cluster(&self, jitter: Option<Duration>) -> Result<NetHarness>;
+}
+
+impl NetDeploy for StorageSystem {
+    fn spawn_net_cluster(&self, jitter: Option<Duration>) -> Result<NetHarness> {
+        let behaviors: Vec<Box<dyn ObjectBehavior<Req, Rep> + Send>> =
+            (0..self.config().num_objects())
+                .map(|_| Box::new(HonestObject::new()) as _)
+                .collect();
+        let server = ObjectServer::spawn(behaviors, 0, jitter)?;
+        let cluster = NetCluster::connect(&[server.local_addr()])?;
+        Ok(NetHarness { server, cluster })
+    }
+}
+
+/// A sharded kv store whose shards live behind TCP: one server (and
+/// optionally one chaos proxy) per shard, with the store itself a plain
+/// [`ShardedKvStore`] — the full pipelined handle API, unchanged.
+pub struct NetKv {
+    /// The store; clone it into worker threads as usual.
+    pub store: ShardedKvStore,
+    /// Per-shard servers, in shard order — the fault-injection surface
+    /// ([`ObjectServer::crash_object`]).
+    pub servers: Vec<ObjectServer>,
+    /// Per-shard chaos proxies (empty when spawned without chaos), in
+    /// shard order — partition toggles live here.
+    pub proxies: Vec<ChaosProxy>,
+}
+
+impl NetKv {
+    /// Stand up `cfg.num_shards` socket-backed shards of honest objects
+    /// (each `3t + 1` objects behind its own listener; `cfg.jitter` is the
+    /// server-side per-envelope service delay) and connect a
+    /// [`ShardedKvStore`] to them. With `chaos = Some(c)`, every shard's
+    /// connections run through an own [`ChaosProxy`] seeded `c.seed +
+    /// shard`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`ShardedKvStore::over_transports`] validation errors
+    /// and [`rastor_common::Error::Io`] from listeners/connections.
+    pub fn spawn(cfg: StoreConfig, chaos: Option<ChaosCfg>) -> Result<NetKv> {
+        NetKv::spawn_with(cfg, chaos, |_, _| Box::new(HonestObject::new()))
+    }
+
+    /// As [`NetKv::spawn`], choosing each object's behavior by `(shard,
+    /// object)` — the server-side fault-injection hook, mirroring
+    /// [`ShardedKvStore::spawn_with`].
+    ///
+    /// # Errors
+    ///
+    /// As [`NetKv::spawn`].
+    pub fn spawn_with(
+        cfg: StoreConfig,
+        chaos: Option<ChaosCfg>,
+        mut behavior: impl FnMut(usize, ObjectId) -> Box<dyn ObjectBehavior<Req, Rep> + Send>,
+    ) -> Result<NetKv> {
+        let cluster_cfg = ClusterConfig::byzantine(cfg.t)?;
+        let mut servers = Vec::with_capacity(cfg.num_shards);
+        let mut proxies = Vec::new();
+        let mut transports: Vec<Box<dyn Transport<Req, Rep> + Send + Sync>> =
+            Vec::with_capacity(cfg.num_shards);
+        for s in 0..cfg.num_shards {
+            let behaviors: Vec<Box<dyn ObjectBehavior<Req, Rep> + Send>> = (0..cluster_cfg
+                .num_objects())
+                .map(|o| behavior(s, ObjectId(o as u32)))
+                .collect();
+            let server = ObjectServer::spawn(behaviors, 0, cfg.jitter)?;
+            let addr = match &chaos {
+                None => server.local_addr(),
+                Some(c) => {
+                    let proxy = ChaosProxy::spawn(
+                        server.local_addr(),
+                        c.clone().with_seed(c.seed + s as u64),
+                    )?;
+                    let addr = proxy.local_addr();
+                    proxies.push(proxy);
+                    addr
+                }
+            };
+            transports.push(Box::new(NetCluster::connect(&[addr])?));
+            servers.push(server);
+        }
+        let store = ShardedKvStore::over_transports(cfg.t, cfg.num_handles, transports)?;
+        Ok(NetKv {
+            store,
+            servers,
+            proxies,
+        })
+    }
+}

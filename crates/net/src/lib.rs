@@ -1,0 +1,57 @@
+//! # rastor-net
+//!
+//! The TCP transport subsystem: the same protocol automata that run in the
+//! simulator and on the thread runtime, now over real sockets — without a
+//! single protocol-level change.
+//!
+//! Three layers:
+//!
+//! * [`wire`] — a dependency-free, versioned, length-prefixed binary codec
+//!   for the full `rastor_core::msg` vocabulary and the thread runtime's
+//!   coalesced envelope shapes. Malformed bytes decode to errors, never
+//!   panics: a Byzantine peer owns what it sends us.
+//! * [`server`] / [`client`] — the socket substrate.
+//!   [`ObjectServer`] hosts one or more storage objects behind a listener
+//!   (same behaviors, jitter, and crash semantics as
+//!   [`rastor_sim::runtime::ThreadCluster`]); [`NetCluster`] is the client
+//!   endpoint, implementing the same
+//!   [`Transport`](rastor_sim::runtime::Transport) trait as the in-process
+//!   channel substrate, so [`rastor_sim::runtime::ThreadClient`], the
+//!   batch driver, and the sharded kv store drive it unchanged.
+//! * [`chaos`] — a netem-style, frame-aware TCP relay injecting seeded
+//!   delay, jitter, drops, reordering, and partitions per connection: the
+//!   scenario diversity only the simulator had, now available to real
+//!   deployments.
+//!
+//! [`deploy`] glues the layers to the higher-level entry points: a
+//! [`StorageSystem`](rastor_core::StorageSystem) extension for
+//! single-cluster harness runs over sockets, and [`NetKv`] for a
+//! [`ShardedKvStore`](rastor_kv::ShardedKvStore) whose shards live behind
+//! TCP (optionally through chaos proxies).
+//!
+//! ```no_run
+//! use rastor_net::deploy::NetKv;
+//! use rastor_kv::StoreConfig;
+//! use rastor_common::Value;
+//!
+//! // Two shards of socket-backed objects, one TCP connection set per shard.
+//! let mut kv = NetKv::spawn(StoreConfig::new(1, 2, 2), None)?;
+//! let mut h = kv.store.handle(0)?;
+//! h.put("user:42", Value::from_bytes(*b"alice"))?;
+//! assert_eq!(h.get("user:42")?.unwrap().as_bytes(), b"alice");
+//! # Ok::<(), rastor_common::Error>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod chaos;
+pub mod client;
+pub mod deploy;
+pub mod server;
+pub mod wire;
+
+pub use chaos::{ChaosCfg, ChaosProxy};
+pub use client::NetCluster;
+pub use deploy::{NetDeploy, NetHarness, NetKv};
+pub use server::ObjectServer;

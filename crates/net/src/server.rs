@@ -1,0 +1,283 @@
+//! [`ObjectServer`]: a TCP listener hosting one or more storage objects.
+//!
+//! The server is the socket twin of
+//! [`rastor_sim::runtime::ThreadCluster`]: each hosted object runs the
+//! same [`ObjectBehavior`] implementations on its own worker thread, with
+//! the same optional per-envelope service jitter, and the same crash
+//! semantics ([`ObjectServer::crash_object`] drops the worker; requests to
+//! it vanish). What changes is only the front end: coalesced request
+//! envelopes arrive as wire frames over accepted TCP connections, and each
+//! object's reply envelopes are written back on the connection the request
+//! came in on, tagged with the requesting client so one connection can be
+//! shared by many clients.
+//!
+//! Objects carry **cluster-global** ids `first_id ..`, so a logical
+//! cluster may be split across several servers (each hosting a slice of
+//! the object range) and clients see one consistent id space.
+
+use crate::wire::{self, Frame, RepEnvelope, WireRepFrame, WireReqFrame};
+use rastor_common::{ClientId, Error, ObjectId, Result, SplitMix64};
+use rastor_core::msg::{Rep, Req};
+use rastor_sim::ObjectBehavior;
+use std::collections::HashMap;
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::mpsc::{channel, Receiver, Sender};
+use std::sync::{Arc, Mutex, RwLock};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// One coalesced request, as fanned out to a hosted object's worker.
+struct Job {
+    client: ClientId,
+    /// Decoded once per envelope, shared across the fan-out.
+    frames: Arc<Vec<WireReqFrame>>,
+    /// The requesting connection's writer channel.
+    reply: Sender<RepEnvelope>,
+}
+
+struct Shared {
+    first_id: u32,
+    /// Worker inboxes; `None` = crashed. Behind a `RwLock` so connection
+    /// readers (read) coexist with `crash_object` (write).
+    workers: RwLock<Vec<Option<Sender<Job>>>>,
+    shutdown: AtomicBool,
+    next_conn: AtomicU64,
+    /// Live accepted connections by id, tracked so drop can cut them
+    /// loose; entries are pruned as connections end, so a long-lived
+    /// server doesn't accumulate dead descriptors.
+    conns: Mutex<HashMap<u64, TcpStream>>,
+}
+
+/// A TCP server hosting a slice of a cluster's storage objects.
+///
+/// Dropping the server shuts down the listener, every accepted connection
+/// and every object worker.
+pub struct ObjectServer {
+    addr: SocketAddr,
+    shared: Arc<Shared>,
+    accept: Option<JoinHandle<()>>,
+    worker_handles: Vec<Option<JoinHandle<()>>>,
+}
+
+impl ObjectServer {
+    /// Bind a loopback listener and spawn one worker thread per behavior.
+    /// Hosted objects take the cluster-global ids `first_id ..
+    /// first_id + behaviors.len()`. `jitter`, as in
+    /// [`rastor_sim::runtime::ThreadCluster::spawn`], adds a random
+    /// service delay up to the given duration per envelope per object.
+    ///
+    /// # Errors
+    ///
+    /// [`Error::Io`] if the listener cannot bind.
+    pub fn spawn(
+        behaviors: Vec<Box<dyn ObjectBehavior<Req, Rep> + Send>>,
+        first_id: u32,
+        jitter: Option<Duration>,
+    ) -> Result<ObjectServer> {
+        let listener = TcpListener::bind(("127.0.0.1", 0))
+            .map_err(|e| Error::io("binding an object server listener", &e))?;
+        let addr = listener
+            .local_addr()
+            .map_err(|e| Error::io("reading the bound listener address", &e))?;
+
+        let mut worker_txs = Vec::new();
+        let mut worker_handles = Vec::new();
+        for (i, behavior) in behaviors.into_iter().enumerate() {
+            let (tx, rx) = channel::<Job>();
+            let oid = ObjectId(first_id + i as u32);
+            worker_txs.push(Some(tx));
+            worker_handles.push(Some(std::thread::spawn(move || {
+                object_worker(oid, behavior, rx, jitter);
+            })));
+        }
+
+        let shared = Arc::new(Shared {
+            first_id,
+            workers: RwLock::new(worker_txs),
+            shutdown: AtomicBool::new(false),
+            next_conn: AtomicU64::new(0),
+            conns: Mutex::new(HashMap::new()),
+        });
+
+        let accept_shared = Arc::clone(&shared);
+        let accept = std::thread::spawn(move || {
+            for stream in listener.incoming() {
+                if accept_shared.shutdown.load(Ordering::SeqCst) {
+                    break;
+                }
+                let Ok(stream) = stream else { continue };
+                let _ = stream.set_nodelay(true);
+                let conn_id = accept_shared.next_conn.fetch_add(1, Ordering::SeqCst);
+                if let Ok(tracked) = stream.try_clone() {
+                    accept_shared
+                        .conns
+                        .lock()
+                        .expect("conn list lock")
+                        .insert(conn_id, tracked);
+                }
+                let conn_shared = Arc::clone(&accept_shared);
+                std::thread::spawn(move || serve_connection(stream, conn_shared, conn_id));
+            }
+        });
+
+        Ok(ObjectServer {
+            addr,
+            shared,
+            accept: Some(accept),
+            worker_handles,
+        })
+    }
+
+    /// The address clients (or a chaos proxy) connect to.
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Number of hosted objects (including crashed ones).
+    pub fn num_objects(&self) -> usize {
+        self.worker_handles.len()
+    }
+
+    /// The first cluster-global object id hosted here.
+    pub fn first_id(&self) -> u32 {
+        self.shared.first_id
+    }
+
+    /// Crash a hosted object (by cluster-global id): its worker drains and
+    /// exits; requests to it are silently dropped from now on — the exact
+    /// semantics of `ThreadCluster::crash_object`, reachable while clients
+    /// stay connected.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is not hosted by this server.
+    pub fn crash_object(&mut self, id: ObjectId) {
+        let idx =
+            id.0.checked_sub(self.shared.first_id)
+                .map(|i| i as usize)
+                .filter(|&i| i < self.worker_handles.len())
+                .expect("crash_object: id not hosted by this server");
+        self.shared.workers.write().expect("worker list lock")[idx] = None;
+        if let Some(h) = self.worker_handles[idx].take() {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for ObjectServer {
+    fn drop(&mut self) {
+        self.shared.shutdown.store(true, Ordering::SeqCst);
+        // Cut accepted connections loose so their reader threads exit.
+        for (_, conn) in self.shared.conns.lock().expect("conn list lock").drain() {
+            let _ = conn.shutdown(Shutdown::Both);
+        }
+        // Wake the blocking accept so it observes the flag.
+        let _ = TcpStream::connect(self.addr);
+        if let Some(h) = self.accept.take() {
+            let _ = h.join();
+        }
+        for w in self
+            .shared
+            .workers
+            .write()
+            .expect("worker list lock")
+            .iter_mut()
+        {
+            *w = None;
+        }
+        for h in &mut self.worker_handles {
+            if let Some(h) = h.take() {
+                let _ = h.join();
+            }
+        }
+    }
+}
+
+/// One object's worker loop: per-envelope jitter, then the behavior, then
+/// one reply envelope back to the requesting connection.
+fn object_worker(
+    oid: ObjectId,
+    mut behavior: Box<dyn ObjectBehavior<Req, Rep> + Send>,
+    rx: Receiver<Job>,
+    jitter: Option<Duration>,
+) {
+    let mut rng = SplitMix64::new(u64::from(oid.0));
+    while let Ok(job) = rx.recv() {
+        if let Some(j) = jitter {
+            std::thread::sleep(j.mul_f64(rng.next_f64()));
+        }
+        let frames: Vec<WireRepFrame> = job
+            .frames
+            .iter()
+            .filter_map(|f| {
+                behavior
+                    .on_request(job.client, &f.req)
+                    .map(|rep| WireRepFrame {
+                        op_nonce: f.op_nonce,
+                        round: f.round,
+                        rep,
+                    })
+            })
+            .collect();
+        if !frames.is_empty() {
+            // The connection may be gone; ignore send errors.
+            let _ = job.reply.send(RepEnvelope {
+                to: job.client,
+                from: oid,
+                frames,
+            });
+        }
+    }
+}
+
+/// Serve one accepted connection: a reader loop decoding request envelopes
+/// and fanning them out to the object workers, plus a writer thread
+/// serializing the reply envelopes back onto the socket.
+fn serve_connection(stream: TcpStream, shared: Arc<Shared>, conn_id: u64) {
+    let Ok(mut read_half) = stream.try_clone() else {
+        shared
+            .conns
+            .lock()
+            .expect("conn list lock")
+            .remove(&conn_id);
+        return;
+    };
+    let (reply_tx, reply_rx) = channel::<RepEnvelope>();
+    let writer = std::thread::spawn(move || write_replies(stream, reply_rx));
+
+    // A reply frame from a client is a protocol violation; any decode/io
+    // error means the peer is gone or garbling — either way, the loop (and
+    // with it this connection) is done.
+    while let Ok(Frame::Req(env)) = wire::read_frame(&mut read_half) {
+        let frames = Arc::new(env.frames);
+        let workers = shared.workers.read().expect("worker list lock");
+        for tx in workers.iter().flatten() {
+            let _ = tx.send(Job {
+                client: env.from,
+                frames: Arc::clone(&frames),
+                reply: reply_tx.clone(),
+            });
+        }
+    }
+    let _ = read_half.shutdown(Shutdown::Both);
+    // Dropping our reply_tx lets the writer exit once in-flight worker
+    // replies for this connection have drained.
+    drop(reply_tx);
+    let _ = writer.join();
+    // Untrack: the connection is fully torn down.
+    shared
+        .conns
+        .lock()
+        .expect("conn list lock")
+        .remove(&conn_id);
+}
+
+fn write_replies(mut stream: TcpStream, rx: Receiver<RepEnvelope>) {
+    while let Ok(env) = rx.recv() {
+        if wire::write_frame(&mut stream, &Frame::Rep(env)).is_err() {
+            break;
+        }
+    }
+    let _ = stream.shutdown(Shutdown::Both);
+}

@@ -1,0 +1,756 @@
+//! The wire codec: hand-rolled, dependency-free binary encoding for the
+//! full `rastor_core::msg` vocabulary and the coalesced envelope shapes of
+//! the thread runtime, framed for a byte stream.
+//!
+//! ## Frame layout
+//!
+//! Every message on the wire is one *frame*:
+//!
+//! ```text
+//! offset  size  field
+//! 0       2     magic  = b"rW"
+//! 2       1     version = WIRE_VERSION
+//! 3       1     kind    (1 = request envelope, 2 = reply envelope)
+//! 4       4     body length, u32 little-endian
+//! 8       n     body
+//! ```
+//!
+//! Inside the body everything is fixed-width little-endian; byte strings
+//! and sequences carry a `u32` length prefix. The layout is versioned
+//! (decoders reject a foreign [`WIRE_VERSION`] with
+//! [`Error::VersionMismatch`]) and self-delimiting, so relays like the
+//! chaos proxy can cut the stream into whole frames without understanding
+//! the bodies ([`read_raw_frame`]).
+//!
+//! Malformed input — truncation, bad tags, an oversized length prefix,
+//! garbage where the magic should be, or trailing bytes inside a body —
+//! decodes to [`Error::Codec`], never to a panic: a Byzantine peer owns
+//! the bytes it sends us.
+
+use rastor_common::{ClientId, Error, ObjectId, RegId, Result, Timestamp, TsVal, Value};
+use rastor_core::msg::{AckKind, ObjectView, Rep, Req, Stamped};
+use rastor_core::token::Token;
+use std::io::{Read, Write};
+
+/// The wire protocol version this build speaks.
+pub const WIRE_VERSION: u8 = 1;
+
+/// The two magic bytes opening every frame.
+pub const MAGIC: [u8; 2] = *b"rW";
+
+/// Frame header length (magic + version + kind + body length).
+pub const HEADER_LEN: usize = 8;
+
+/// Ceiling on a frame body (a corrupt length prefix must not look like a
+/// 4 GiB allocation request).
+pub const MAX_BODY_LEN: usize = 16 * 1024 * 1024;
+
+const KIND_REQ: u8 = 1;
+const KIND_REP: u8 = 2;
+
+/// One round of one operation inside a request envelope, as carried on the
+/// wire (the owned twin of `rastor_sim::runtime::ReqFrame`).
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct WireReqFrame {
+    /// Nonce of the operation the frame belongs to.
+    pub op_nonce: u64,
+    /// The round the frame drives.
+    pub round: u32,
+    /// The round's request.
+    pub req: Req,
+}
+
+/// A coalesced request envelope: every frame one client had pending for
+/// one cluster at flush time. Servers broadcast the frames to every object
+/// they host.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct ReqEnvelope {
+    /// The submitting client.
+    pub from: ClientId,
+    /// The coalesced frames.
+    pub frames: Vec<WireReqFrame>,
+}
+
+/// One reply frame inside a reply envelope.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct WireRepFrame {
+    /// Nonce of the operation the reply belongs to.
+    pub op_nonce: u64,
+    /// The round the reply answers.
+    pub round: u32,
+    /// The object's reply.
+    pub rep: Rep,
+}
+
+/// A coalesced reply envelope from one object to one client. `to` lets a
+/// connection shared by many clients route each reply to the right reply
+/// channel.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct RepEnvelope {
+    /// The client the replies are for.
+    pub to: ClientId,
+    /// The replying object (cluster-global id).
+    pub from: ObjectId,
+    /// One frame per answered request frame.
+    pub frames: Vec<WireRepFrame>,
+}
+
+/// Any decoded frame.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum Frame {
+    /// A client → server request envelope.
+    Req(ReqEnvelope),
+    /// A server → client reply envelope.
+    Rep(RepEnvelope),
+}
+
+// ---------------------------------------------------------------------------
+// Encoding
+// ---------------------------------------------------------------------------
+
+fn put_u32(out: &mut Vec<u8>, x: u32) {
+    out.extend_from_slice(&x.to_le_bytes());
+}
+
+fn put_u64(out: &mut Vec<u8>, x: u64) {
+    out.extend_from_slice(&x.to_le_bytes());
+}
+
+fn put_len(out: &mut Vec<u8>, len: usize) {
+    put_u32(out, u32::try_from(len).expect("sequence fits a u32 length"));
+}
+
+fn put_bytes(out: &mut Vec<u8>, bytes: &[u8]) {
+    put_len(out, bytes.len());
+    out.extend_from_slice(bytes);
+}
+
+fn put_client(out: &mut Vec<u8>, id: ClientId) {
+    match id {
+        ClientId::Writer => out.push(0),
+        ClientId::Reader(i) => {
+            out.push(1);
+            put_u32(out, i);
+        }
+    }
+}
+
+fn put_reg(out: &mut Vec<u8>, reg: RegId) {
+    match reg {
+        RegId::Writer(i) => {
+            out.push(0);
+            put_u32(out, i);
+        }
+        RegId::ReaderReg(i) => {
+            out.push(1);
+            put_u32(out, i);
+        }
+    }
+}
+
+fn put_pair(out: &mut Vec<u8>, pair: &TsVal) {
+    put_u64(out, pair.ts.0);
+    put_bytes(out, pair.val.as_bytes());
+}
+
+fn put_stamped(out: &mut Vec<u8>, s: &Stamped) {
+    put_pair(out, &s.pair);
+    match s.token {
+        None => out.push(0),
+        Some(tok) => {
+            out.push(1);
+            put_u64(out, tok.to_bits());
+        }
+    }
+}
+
+fn put_view(out: &mut Vec<u8>, v: &ObjectView) {
+    put_stamped(out, &v.pw);
+    put_stamped(out, &v.w);
+    put_len(out, v.hist.len());
+    for s in &v.hist {
+        put_stamped(out, s);
+    }
+}
+
+fn ack_kind_tag(kind: AckKind) -> u8 {
+    match kind {
+        AckKind::Store => 0,
+        AckKind::PreWrite => 1,
+        AckKind::Commit => 2,
+    }
+}
+
+/// Append the body encoding of one request to `out`.
+pub fn encode_req(req: &Req, out: &mut Vec<u8>) {
+    match req {
+        Req::Collect { regs } => {
+            out.push(0);
+            put_len(out, regs.len());
+            for r in regs {
+                put_reg(out, *r);
+            }
+        }
+        Req::Store { reg, pair } => {
+            out.push(1);
+            put_reg(out, *reg);
+            put_stamped(out, pair);
+        }
+        Req::PreWrite { reg, pair } => {
+            out.push(2);
+            put_reg(out, *reg);
+            put_stamped(out, pair);
+        }
+        Req::Commit { reg, pair } => {
+            out.push(3);
+            put_reg(out, *reg);
+            put_stamped(out, pair);
+        }
+    }
+}
+
+/// Append the body encoding of one reply to `out`.
+pub fn encode_rep(rep: &Rep, out: &mut Vec<u8>) {
+    match rep {
+        Rep::Views { views } => {
+            out.push(0);
+            put_len(out, views.len());
+            for (reg, view) in views {
+                put_reg(out, *reg);
+                put_view(out, view);
+            }
+        }
+        Rep::Ack { reg, kind } => {
+            out.push(1);
+            put_reg(out, *reg);
+            out.push(ack_kind_tag(*kind));
+        }
+    }
+}
+
+fn encode_body(frame: &Frame, out: &mut Vec<u8>) {
+    match frame {
+        Frame::Req(env) => {
+            put_client(out, env.from);
+            put_len(out, env.frames.len());
+            for f in &env.frames {
+                put_u64(out, f.op_nonce);
+                put_u32(out, f.round);
+                encode_req(&f.req, out);
+            }
+        }
+        Frame::Rep(env) => {
+            put_client(out, env.to);
+            put_u32(out, env.from.0);
+            put_len(out, env.frames.len());
+            for f in &env.frames {
+                put_u64(out, f.op_nonce);
+                put_u32(out, f.round);
+                encode_rep(&f.rep, out);
+            }
+        }
+    }
+}
+
+/// Encode one frame — header and body — into a fresh byte vector.
+///
+/// # Panics
+///
+/// Panics if the body exceeds [`MAX_BODY_LEN`] (a single coalesced
+/// envelope that large indicates a runaway batch, not a workload).
+pub fn encode_frame(frame: &Frame) -> Vec<u8> {
+    let mut out = Vec::with_capacity(64);
+    out.extend_from_slice(&MAGIC);
+    out.push(WIRE_VERSION);
+    out.push(match frame {
+        Frame::Req(_) => KIND_REQ,
+        Frame::Rep(_) => KIND_REP,
+    });
+    put_u32(&mut out, 0); // patched below
+    encode_body(frame, &mut out);
+    let body_len = out.len() - HEADER_LEN;
+    assert!(body_len <= MAX_BODY_LEN, "frame body exceeds MAX_BODY_LEN");
+    out[4..8].copy_from_slice(
+        &u32::try_from(body_len)
+            .expect("checked above")
+            .to_le_bytes(),
+    );
+    out
+}
+
+// ---------------------------------------------------------------------------
+// Decoding
+// ---------------------------------------------------------------------------
+
+/// A bounds-checked cursor over a received body.
+struct Dec<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Dec<'a> {
+    fn new(buf: &'a [u8]) -> Dec<'a> {
+        Dec { buf, pos: 0 }
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8]> {
+        let end = self.pos.checked_add(n).filter(|&e| e <= self.buf.len());
+        match end {
+            Some(end) => {
+                let slice = &self.buf[self.pos..end];
+                self.pos = end;
+                Ok(slice)
+            }
+            None => Err(Error::codec(format!(
+                "truncated: wanted {n} bytes at offset {} of a {}-byte body",
+                self.pos,
+                self.buf.len()
+            ))),
+        }
+    }
+
+    fn u8(&mut self) -> Result<u8> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn u32(&mut self) -> Result<u32> {
+        Ok(u32::from_le_bytes(
+            self.take(4)?.try_into().expect("4 bytes"),
+        ))
+    }
+
+    fn u64(&mut self) -> Result<u64> {
+        Ok(u64::from_le_bytes(
+            self.take(8)?.try_into().expect("8 bytes"),
+        ))
+    }
+
+    /// A sequence length, sanity-bounded by the bytes actually remaining
+    /// (every element costs ≥ 1 byte) so a corrupt count cannot drive a
+    /// huge allocation.
+    fn seq_len(&mut self) -> Result<usize> {
+        let n = self.u32()? as usize;
+        if n > self.buf.len() - self.pos {
+            return Err(Error::codec(format!(
+                "sequence length {n} exceeds the {} bytes remaining",
+                self.buf.len() - self.pos
+            )));
+        }
+        Ok(n)
+    }
+
+    fn bytes(&mut self) -> Result<&'a [u8]> {
+        let n = self.seq_len()?;
+        self.take(n)
+    }
+
+    fn client(&mut self) -> Result<ClientId> {
+        match self.u8()? {
+            0 => Ok(ClientId::Writer),
+            1 => Ok(ClientId::Reader(self.u32()?)),
+            t => Err(Error::codec(format!("unknown client tag {t}"))),
+        }
+    }
+
+    fn reg(&mut self) -> Result<RegId> {
+        match self.u8()? {
+            0 => Ok(RegId::Writer(self.u32()?)),
+            1 => Ok(RegId::ReaderReg(self.u32()?)),
+            t => Err(Error::codec(format!("unknown register tag {t}"))),
+        }
+    }
+
+    fn pair(&mut self) -> Result<TsVal> {
+        let ts = Timestamp(self.u64()?);
+        let val = Value::from_bytes(self.bytes()?.to_vec());
+        Ok(TsVal::new(ts, val))
+    }
+
+    fn stamped(&mut self) -> Result<Stamped> {
+        let pair = self.pair()?;
+        let token = match self.u8()? {
+            0 => None,
+            1 => Some(Token::from_bits(self.u64()?)),
+            t => Err(Error::codec(format!("unknown token-presence tag {t}")))?,
+        };
+        Ok(Stamped { pair, token })
+    }
+
+    fn view(&mut self) -> Result<ObjectView> {
+        let pw = self.stamped()?;
+        let w = self.stamped()?;
+        let n = self.seq_len()?;
+        let mut hist = Vec::with_capacity(n);
+        for _ in 0..n {
+            hist.push(self.stamped()?);
+        }
+        Ok(ObjectView { pw, w, hist })
+    }
+
+    fn ack_kind(&mut self) -> Result<AckKind> {
+        match self.u8()? {
+            0 => Ok(AckKind::Store),
+            1 => Ok(AckKind::PreWrite),
+            2 => Ok(AckKind::Commit),
+            t => Err(Error::codec(format!("unknown ack kind {t}"))),
+        }
+    }
+
+    fn req(&mut self) -> Result<Req> {
+        match self.u8()? {
+            0 => {
+                let n = self.seq_len()?;
+                let mut regs = Vec::with_capacity(n);
+                for _ in 0..n {
+                    regs.push(self.reg()?);
+                }
+                Ok(Req::Collect { regs })
+            }
+            1 => Ok(Req::Store {
+                reg: self.reg()?,
+                pair: self.stamped()?,
+            }),
+            2 => Ok(Req::PreWrite {
+                reg: self.reg()?,
+                pair: self.stamped()?,
+            }),
+            3 => Ok(Req::Commit {
+                reg: self.reg()?,
+                pair: self.stamped()?,
+            }),
+            t => Err(Error::codec(format!("unknown request tag {t}"))),
+        }
+    }
+
+    fn rep(&mut self) -> Result<Rep> {
+        match self.u8()? {
+            0 => {
+                let n = self.seq_len()?;
+                let mut views = Vec::with_capacity(n);
+                for _ in 0..n {
+                    let reg = self.reg()?;
+                    let view = self.view()?;
+                    views.push((reg, view));
+                }
+                Ok(Rep::Views { views })
+            }
+            1 => Ok(Rep::Ack {
+                reg: self.reg()?,
+                kind: self.ack_kind()?,
+            }),
+            t => Err(Error::codec(format!("unknown reply tag {t}"))),
+        }
+    }
+
+    fn done(&self) -> Result<()> {
+        if self.pos == self.buf.len() {
+            Ok(())
+        } else {
+            Err(Error::codec(format!(
+                "{} trailing bytes after a complete body",
+                self.buf.len() - self.pos
+            )))
+        }
+    }
+}
+
+/// Decode one request from a standalone body (the inverse of
+/// [`encode_req`]); rejects trailing bytes.
+///
+/// # Errors
+///
+/// [`Error::Codec`] on any malformation.
+pub fn decode_req(body: &[u8]) -> Result<Req> {
+    let mut d = Dec::new(body);
+    let req = d.req()?;
+    d.done()?;
+    Ok(req)
+}
+
+/// Decode one reply from a standalone body (the inverse of
+/// [`encode_rep`]); rejects trailing bytes.
+///
+/// # Errors
+///
+/// [`Error::Codec`] on any malformation.
+pub fn decode_rep(body: &[u8]) -> Result<Rep> {
+    let mut d = Dec::new(body);
+    let rep = d.rep()?;
+    d.done()?;
+    Ok(rep)
+}
+
+/// Validate a frame header. Returns `(kind, body_len)`.
+fn decode_header(header: &[u8; HEADER_LEN]) -> Result<(u8, usize)> {
+    if header[0..2] != MAGIC {
+        return Err(Error::codec(format!(
+            "bad magic {:02x}{:02x} (expected {:02x}{:02x})",
+            header[0], header[1], MAGIC[0], MAGIC[1]
+        )));
+    }
+    if header[2] != WIRE_VERSION {
+        return Err(Error::VersionMismatch {
+            got: header[2],
+            want: WIRE_VERSION,
+        });
+    }
+    let kind = header[3];
+    if kind != KIND_REQ && kind != KIND_REP {
+        return Err(Error::codec(format!("unknown frame kind {kind}")));
+    }
+    let body_len = u32::from_le_bytes(header[4..8].try_into().expect("4 bytes")) as usize;
+    if body_len > MAX_BODY_LEN {
+        return Err(Error::codec(format!(
+            "frame body of {body_len} bytes exceeds the {MAX_BODY_LEN}-byte ceiling"
+        )));
+    }
+    Ok((kind, body_len))
+}
+
+fn decode_body(kind: u8, body: &[u8]) -> Result<Frame> {
+    let mut d = Dec::new(body);
+    let frame = match kind {
+        KIND_REQ => {
+            let from = d.client()?;
+            let n = d.seq_len()?;
+            let mut frames = Vec::with_capacity(n);
+            for _ in 0..n {
+                frames.push(WireReqFrame {
+                    op_nonce: d.u64()?,
+                    round: d.u32()?,
+                    req: d.req()?,
+                });
+            }
+            Frame::Req(ReqEnvelope { from, frames })
+        }
+        KIND_REP => {
+            let to = d.client()?;
+            let from = ObjectId(d.u32()?);
+            let n = d.seq_len()?;
+            let mut frames = Vec::with_capacity(n);
+            for _ in 0..n {
+                frames.push(WireRepFrame {
+                    op_nonce: d.u64()?,
+                    round: d.u32()?,
+                    rep: d.rep()?,
+                });
+            }
+            Frame::Rep(RepEnvelope { to, from, frames })
+        }
+        _ => unreachable!("decode_header admits only known kinds"),
+    };
+    d.done()?;
+    Ok(frame)
+}
+
+/// Decode one frame from the front of `bytes`. Returns the frame and the
+/// number of bytes consumed.
+///
+/// # Errors
+///
+/// [`Error::Codec`] on malformation (including a `bytes` shorter than the
+/// frame its header announces) and [`Error::VersionMismatch`] on a foreign
+/// version byte.
+pub fn decode_frame(bytes: &[u8]) -> Result<(Frame, usize)> {
+    let header: &[u8; HEADER_LEN] = bytes
+        .get(..HEADER_LEN)
+        .and_then(|h| h.try_into().ok())
+        .ok_or_else(|| {
+            Error::codec(format!(
+                "truncated header: {} of {HEADER_LEN} bytes",
+                bytes.len()
+            ))
+        })?;
+    let (kind, body_len) = decode_header(header)?;
+    let body = bytes
+        .get(HEADER_LEN..HEADER_LEN + body_len)
+        .ok_or_else(|| {
+            Error::codec(format!(
+                "truncated body: {} of {body_len} bytes",
+                bytes.len() - HEADER_LEN
+            ))
+        })?;
+    Ok((decode_body(kind, body)?, HEADER_LEN + body_len))
+}
+
+/// Write one frame to a stream.
+///
+/// # Errors
+///
+/// [`Error::Io`] if the write fails.
+pub fn write_frame(w: &mut impl Write, frame: &Frame) -> Result<()> {
+    let bytes = encode_frame(frame);
+    w.write_all(&bytes)
+        .and_then(|()| w.flush())
+        .map_err(|e| Error::io("writing a wire frame", &e))
+}
+
+/// Read and decode one frame from a stream.
+///
+/// # Errors
+///
+/// [`Error::Io`] on a read failure (including a peer hang-up),
+/// [`Error::Codec`] / [`Error::VersionMismatch`] on malformed bytes.
+pub fn read_frame(r: &mut impl Read) -> Result<Frame> {
+    let raw = read_raw_frame(r)?;
+    let (frame, used) = decode_frame(&raw)?;
+    debug_assert_eq!(used, raw.len());
+    Ok(frame)
+}
+
+/// Read one frame's verbatim bytes (header + body) from a stream without
+/// decoding the body — the primitive relays like the chaos proxy cut the
+/// stream with. The header is still validated, so a desynchronized stream
+/// fails fast instead of smearing garbage downstream.
+///
+/// # Errors
+///
+/// As [`read_frame`].
+pub fn read_raw_frame(r: &mut impl Read) -> Result<Vec<u8>> {
+    let mut header = [0u8; HEADER_LEN];
+    r.read_exact(&mut header)
+        .map_err(|e| Error::io("reading a frame header", &e))?;
+    let (_, body_len) = decode_header(&header)?;
+    let mut raw = vec![0u8; HEADER_LEN + body_len];
+    raw[..HEADER_LEN].copy_from_slice(&header);
+    r.read_exact(&mut raw[HEADER_LEN..])
+        .map_err(|e| Error::io("reading a frame body", &e))?;
+    Ok(raw)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pair(ts: u64, v: u64) -> TsVal {
+        TsVal::new(Timestamp(ts), Value::from_u64(v))
+    }
+
+    fn sample_req_env() -> ReqEnvelope {
+        ReqEnvelope {
+            from: ClientId::reader(3),
+            frames: vec![
+                WireReqFrame {
+                    op_nonce: 7,
+                    round: 1,
+                    req: Req::Collect {
+                        regs: vec![RegId::WRITER, RegId::ReaderReg(2)],
+                    },
+                },
+                WireReqFrame {
+                    op_nonce: 8,
+                    round: 3,
+                    req: Req::Commit {
+                        reg: RegId::Writer(1),
+                        pair: Stamped::plain(pair(4, 44)),
+                    },
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn envelope_roundtrip() {
+        let env = sample_req_env();
+        let bytes = encode_frame(&Frame::Req(env.clone()));
+        let (frame, used) = decode_frame(&bytes).expect("decodes");
+        assert_eq!(used, bytes.len());
+        assert_eq!(frame, Frame::Req(env));
+    }
+
+    #[test]
+    fn rep_envelope_roundtrip_with_views() {
+        let env = RepEnvelope {
+            to: ClientId::writer(),
+            from: ObjectId(2),
+            frames: vec![WireRepFrame {
+                op_nonce: 1,
+                round: 2,
+                rep: Rep::Views {
+                    views: vec![(
+                        RegId::WRITER,
+                        ObjectView {
+                            pw: Stamped::plain(pair(2, 20)),
+                            w: Stamped::plain(pair(1, 10)),
+                            hist: vec![Stamped::bottom(), Stamped::plain(pair(1, 10))],
+                        },
+                    )],
+                },
+            }],
+        };
+        let bytes = encode_frame(&Frame::Rep(env.clone()));
+        assert_eq!(decode_frame(&bytes).expect("decodes").0, Frame::Rep(env));
+    }
+
+    #[test]
+    fn version_mismatch_is_its_own_error() {
+        let mut bytes = encode_frame(&Frame::Req(sample_req_env()));
+        bytes[2] = WIRE_VERSION + 1;
+        assert_eq!(
+            decode_frame(&bytes).unwrap_err(),
+            Error::VersionMismatch {
+                got: WIRE_VERSION + 1,
+                want: WIRE_VERSION
+            }
+        );
+    }
+
+    #[test]
+    fn bad_magic_rejected() {
+        let mut bytes = encode_frame(&Frame::Req(sample_req_env()));
+        bytes[0] = b'X';
+        assert!(matches!(
+            decode_frame(&bytes).unwrap_err(),
+            Error::Codec { .. }
+        ));
+    }
+
+    #[test]
+    fn oversized_length_prefix_rejected_without_allocation() {
+        let mut bytes = encode_frame(&Frame::Req(sample_req_env()));
+        bytes[4..8].copy_from_slice(&u32::MAX.to_le_bytes());
+        assert!(matches!(
+            decode_frame(&bytes).unwrap_err(),
+            Error::Codec { .. }
+        ));
+    }
+
+    #[test]
+    fn every_truncation_is_a_codec_or_io_error() {
+        let bytes = encode_frame(&Frame::Req(sample_req_env()));
+        for cut in 0..bytes.len() {
+            let err = decode_frame(&bytes[..cut]).expect_err("truncation must fail");
+            assert!(
+                matches!(err, Error::Codec { .. }),
+                "cut at {cut}: unexpected {err:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn stream_read_write_roundtrip() {
+        let env = Frame::Req(sample_req_env());
+        let mut buf = Vec::new();
+        write_frame(&mut buf, &env).expect("writes");
+        write_frame(&mut buf, &env).expect("writes");
+        let mut cursor = std::io::Cursor::new(buf);
+        assert_eq!(read_frame(&mut cursor).expect("frame 1"), env);
+        assert_eq!(read_frame(&mut cursor).expect("frame 2"), env);
+        assert!(matches!(
+            read_frame(&mut cursor).unwrap_err(),
+            Error::Io { .. }
+        ));
+    }
+
+    #[test]
+    fn raw_frame_is_verbatim() {
+        let env = Frame::Rep(RepEnvelope {
+            to: ClientId::reader(0),
+            from: ObjectId(1),
+            frames: vec![],
+        });
+        let bytes = encode_frame(&env);
+        let mut cursor = std::io::Cursor::new(bytes.clone());
+        assert_eq!(read_raw_frame(&mut cursor).expect("raw"), bytes);
+    }
+}

@@ -86,4 +86,5 @@ pub use driver::{Broadcast, Dispatch, OpCompletion, OpDriver, OpTimeout, StalePo
 pub use engine::{
     ClientAction, Completion, Envelope, MsgDir, MsgId, ObjectBehavior, RoundClient, Sim, SimConfig,
 };
+pub use runtime::{ObjReply, OpResult, RepFrame, ReqFrame, ThreadClient, ThreadCluster, Transport};
 pub use trace::{Observation, OpRecord, Trace};

@@ -25,6 +25,14 @@
 //! Faults available here are crash-style (dropping an object's thread) and
 //! arbitrary behaviors (any [`ObjectBehavior`] impl); scheduling adversaries
 //! are only available in the simulator.
+//!
+//! The client side is substrate-agnostic: everything a [`ThreadClient`]
+//! needs from a cluster is captured by the [`Transport`] trait (broadcast a
+//! coalesced batch of request frames; deliver coalesced reply envelopes to
+//! the client's channel). [`ThreadCluster`] is the in-process channel
+//! substrate; `rastor_net` provides a TCP socket substrate speaking the
+//! same trait, so the identical client/driver code runs over a real
+//! network.
 
 use crate::driver::{Dispatch, OpDriver, StalePolicy};
 use crate::engine::{ObjectBehavior, RoundClient};
@@ -38,10 +46,14 @@ use std::time::{Duration, Instant};
 /// One round of one operation inside a coalesced request envelope. The
 /// payload is shared: one allocation per broadcast, not one deep clone per
 /// object.
-struct ReqFrame<Q> {
-    op_nonce: u64,
-    round: u32,
-    payload: Arc<Q>,
+pub struct ReqFrame<Q> {
+    /// Nonce of the operation this frame belongs to (assigned at
+    /// [`ThreadClient::submit_op`]).
+    pub op_nonce: u64,
+    /// The round the frame drives (1-based).
+    pub round: u32,
+    /// The round's request payload, shared across the broadcast.
+    pub payload: Arc<Q>,
 }
 
 impl<Q> Clone for ReqFrame<Q> {
@@ -63,16 +75,54 @@ struct ObjRequest<Q, R> {
 }
 
 /// One reply frame inside a coalesced reply envelope.
-struct RepFrame<R> {
-    op_nonce: u64,
-    round: u32,
-    payload: R,
+pub struct RepFrame<R> {
+    /// Nonce of the operation the reply belongs to.
+    pub op_nonce: u64,
+    /// The round the reply answers.
+    pub round: u32,
+    /// The object's reply payload.
+    pub payload: R,
 }
 
 /// A coalesced reply envelope, as received by a threaded client.
-struct ObjReply<R> {
-    from: ObjectId,
-    frames: Vec<RepFrame<R>>,
+pub struct ObjReply<R> {
+    /// The replying object.
+    pub from: ObjectId,
+    /// One frame per answered request frame.
+    pub frames: Vec<RepFrame<R>>,
+}
+
+/// A cluster endpoint a [`ThreadClient`] can drive operations over: the
+/// envelope send path extracted from [`ThreadCluster`] so substrates are
+/// interchangeable.
+///
+/// Contract: `send_frames` broadcasts the batch to every live object of
+/// the cluster as **one coalesced envelope per object**, and the cluster
+/// delivers each object's reply envelope to `reply_to` (directly, for the
+/// channel substrate; via a demultiplexing reader thread keyed on `from`,
+/// for socket substrates). Delivery is best-effort: frames to crashed
+/// objects — or lost to a broken connection — are silently dropped, and
+/// the op driver's per-operation deadline is the recovery mechanism.
+pub trait Transport<Q, R> {
+    /// Broadcast a batch of frames from `from`, routing replies to
+    /// `reply_to`.
+    fn send_frames(&self, from: ClientId, frames: &[ReqFrame<Q>], reply_to: &Sender<ObjReply<R>>);
+}
+
+/// Shared ownership of a transport is itself a transport (clusters are
+/// commonly held behind `Arc` across client threads).
+impl<Q, R, T: Transport<Q, R> + ?Sized> Transport<Q, R> for Arc<T> {
+    fn send_frames(&self, from: ClientId, frames: &[ReqFrame<Q>], reply_to: &Sender<ObjReply<R>>) {
+        (**self).send_frames(from, frames, reply_to)
+    }
+}
+
+/// Boxed transports delegate (so `Box<dyn Transport<…>>` slots into the
+/// generic client APIs directly).
+impl<Q, R, T: Transport<Q, R> + ?Sized> Transport<Q, R> for Box<T> {
+    fn send_frames(&self, from: ClientId, frames: &[ReqFrame<Q>], reply_to: &Sender<ObjReply<R>>) {
+        (**self).send_frames(from, frames, reply_to)
+    }
 }
 
 /// A cluster of storage objects, each running on its own thread.
@@ -145,7 +195,9 @@ where
             let _ = h.join();
         }
     }
+}
 
+impl<Q, R> Transport<Q, R> for ThreadCluster<Q, R> {
     /// Broadcast a batch of frames: one envelope per live object, each
     /// carrying the whole batch (payloads shared via `Arc`).
     fn send_frames(&self, from: ClientId, frames: &[ReqFrame<Q>], reply_to: &Sender<ObjReply<R>>) {
@@ -258,7 +310,7 @@ where
     ///
     /// Panics if a pending frame's target entry is `None` — the caller
     /// promised that target had no in-flight traffic.
-    fn flush(&mut self, targets: &[Option<&ThreadCluster<Q, R>>]) {
+    fn flush<T: Transport<Q, R> + ?Sized>(&mut self, targets: &[Option<&T>]) {
         if self.outbox.is_empty() {
             return;
         }
@@ -326,8 +378,12 @@ where
     /// `targets` is indexed by the `target` passed at submission; entries
     /// for targets with no in-flight traffic may be `None` (this is what
     /// lets a multi-cluster caller lock only the clusters it is actually
-    /// using).
-    pub fn try_pump(&mut self, targets: &[Option<&ThreadCluster<Q, R>>]) -> Vec<OpResult<Out>> {
+    /// using). Targets may be any [`Transport`] substrate — in-process
+    /// [`ThreadCluster`]s and socket-backed clusters drive identically.
+    pub fn try_pump<T: Transport<Q, R> + ?Sized>(
+        &mut self,
+        targets: &[Option<&T>],
+    ) -> Vec<OpResult<Out>> {
         let mut done = Vec::new();
         self.flush(targets);
         // Drain whatever is already queued without blocking, so same-batch
@@ -346,7 +402,10 @@ where
     /// returns an empty vector only when nothing is in flight.
     ///
     /// `targets` is indexed as in [`ThreadClient::try_pump`].
-    pub fn pump(&mut self, targets: &[Option<&ThreadCluster<Q, R>>]) -> Vec<OpResult<Out>> {
+    pub fn pump<T: Transport<Q, R> + ?Sized>(
+        &mut self,
+        targets: &[Option<&T>],
+    ) -> Vec<OpResult<Out>> {
         let mut done = Vec::new();
         loop {
             done.extend(self.try_pump(targets));
@@ -386,9 +445,9 @@ where
     ///
     /// Panics if pipelined operations are still in flight on this client
     /// (drive them to quiescence with [`ThreadClient::pump`] first).
-    pub fn run_op(
+    pub fn run_op<T: Transport<Q, R> + ?Sized>(
         &mut self,
-        cluster: &ThreadCluster<Q, R>,
+        cluster: &T,
         automaton: Box<dyn RoundClient<Q, R, Out = Out>>,
         timeout: Duration,
     ) -> Option<(Out, u32)> {

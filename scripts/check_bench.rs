@@ -10,20 +10,26 @@
 //! which keeps absolute numbers comparable across machines.
 //!
 //! Understands the `rastor-kv-throughput/v2` schema (v1 plus a per-row
-//! `depth` field) and gates both structural claims of the store outright:
-//! sharding must win (`s4-X` > `s1-X`) and pipelining must win (`X-dN` >
-//! `X` at equal shard count; rows missing `depth` are treated as depth 1).
+//! `depth` field) and the `rastor-net-throughput/v1` schema (per-row
+//! `transport`), and gates the structural claims of both outright:
+//! sharding must win (`s4-X` > `s1-X`), pipelining must win (`X-dN` >
+//! `X` at equal shard count; rows missing `depth` are treated as depth
+//! 1), and the chaos proxy must actually bite (`chaos-X` < its `tcp-X`
+//! twin — a chaos row matching plain tcp means no faults were injected).
 //!
-//! Standalone by design — compiled directly in CI with no cargo project:
+//! Standalone by design — compiled directly in CI with no cargo project.
+//! The current-run argument takes a comma-separated file list, so one
+//! invocation gates every `BENCH_*.json` document against one merged
+//! baseline:
 //!
 //! ```console
 //! rustc --edition 2021 -O scripts/check_bench.rs -o /tmp/check_bench
-//! /tmp/check_bench BENCH_kv.json scripts/bench_baseline.json [tolerance]
+//! /tmp/check_bench BENCH_kv.json,BENCH_net.json scripts/bench_baseline.json [tolerance]
 //! ```
 //!
-//! Parsing relies on the emitter's line discipline (`bench_json` writes
-//! one result object per line with `"name"` and `"ops_per_sec"` fields),
-//! so no JSON parser is needed.
+//! Parsing relies on the emitters' line discipline (`bench_json` /
+//! `net_bench_json` write one result object per line with `"name"` and
+//! `"ops_per_sec"` fields), so no JSON parser is needed.
 
 use std::process::ExitCode;
 
@@ -52,7 +58,7 @@ fn results(doc: &str) -> Vec<(String, u32, f64)> {
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().collect();
     if args.len() < 3 {
-        eprintln!("usage: check_bench <current.json> <baseline.json> [tolerance]");
+        eprintln!("usage: check_bench <current.json[,current2.json,…]> <baseline.json> [tolerance]");
         return ExitCode::from(2);
     }
     let tolerance: f64 = args
@@ -62,7 +68,10 @@ fn main() -> ExitCode {
     let read = |path: &str| -> String {
         std::fs::read_to_string(path).unwrap_or_else(|e| panic!("cannot read {path}: {e}"))
     };
-    let current = results(&read(&args[1]));
+    let current: Vec<(String, u32, f64)> = args[1]
+        .split(',')
+        .flat_map(|path| results(&read(path)))
+        .collect();
     let baseline = results(&read(&args[2]));
     if baseline.is_empty() {
         eprintln!("baseline {} contains no results", args[2]);
@@ -145,6 +154,35 @@ fn main() -> ExitCode {
                 println!(
                     "{twin} {closed:.1} vs {name} {piped:.1}: {}",
                     if ok { "pipelining wins — ok" } else { "NO SPEEDUP" }
+                );
+                failed |= !ok;
+            }
+        }
+    }
+    // Cross-row invariant for the net-transport matrix: a `chaos-X` row
+    // must run strictly slower than its `tcp-X` twin — the proxy adds a
+    // fixed per-frame delay on an otherwise identical deployment, so a
+    // chaos row that keeps up with plain tcp means the injection is not
+    // happening (and the chaos soak tests are testing nothing).
+    for (name, _, chaotic) in &current {
+        let Some(rest) = name.strip_prefix("chaos-") else {
+            continue;
+        };
+        let twin = format!("tcp-{rest}");
+        match current.iter().find(|(n, _, _)| *n == twin) {
+            None => {
+                println!("{name} has no tcp twin {twin} — UNGATED");
+                failed = true;
+            }
+            Some((_, _, tcp)) => {
+                let ok = chaotic < tcp;
+                println!(
+                    "{twin} {tcp:.1} vs {name} {chaotic:.1}: {}",
+                    if ok {
+                        "chaos bites — ok"
+                    } else {
+                        "CHAOS NOT INJECTING"
+                    }
                 );
                 failed |= !ok;
             }

@@ -1,0 +1,39 @@
+#!/usr/bin/env python3
+"""Rebuild scripts/bench_baseline.json from fresh quick-mode runs.
+
+Merges the result rows of BENCH_kv.json and BENCH_net.json (both produced
+by `exp t6 --quick` / `exp t7 --quick` in the repo root) into the single
+baseline document CI's check_bench gate compares against. The gate parses
+line-by-line, but the merged file is kept valid JSON for human tooling.
+"""
+
+import json
+import sys
+
+SOURCES = ["BENCH_kv.json", "BENCH_net.json"]
+TARGET = "scripts/bench_baseline.json"
+
+
+def rows(path: str) -> list[str]:
+    with open(path) as f:
+        doc = f.read()
+    found = [line.rstrip().rstrip(",") for line in doc.splitlines() if '"name"' in line]
+    if not found:
+        sys.exit(f"{path}: no result rows found — run the exp table first")
+    return found
+
+
+def main() -> None:
+    merged = [row for path in SOURCES for row in rows(path)]
+    out = ["{", '"schema": "rastor-bench-baseline/v1",', '"quick": true,', '"results": [']
+    out += [row + ("," if i + 1 < len(merged) else "") for i, row in enumerate(merged)]
+    out += ["]", "}"]
+    text = "\n".join(out) + "\n"
+    json.loads(text)  # the baseline must stay machine-readable as real JSON
+    with open(TARGET, "w") as f:
+        f.write(text)
+    print(f"wrote {TARGET} ({len(merged)} rows)")
+
+
+if __name__ == "__main__":
+    main()

@@ -12,7 +12,9 @@
 //! * [`core`] — the register protocols (ABD, Byzantine regular, secret-token
 //!   regular, the regular→atomic transformation) and history checkers;
 //! * [`lowerbound`] — the executable read/write lower-bound constructions;
-//! * [`kv`] — a key-value store built on the atomic registers.
+//! * [`kv`] — a key-value store built on the atomic registers;
+//! * [`net`] — the TCP transport: wire codec, socket-backed clusters, and
+//!   the fault-injecting chaos proxy.
 //!
 //! See `examples/` for runnable entry points and `DESIGN.md` for the
 //! paper-to-module map.
@@ -21,4 +23,5 @@ pub use rastor_common as common;
 pub use rastor_core as core;
 pub use rastor_kv as kv;
 pub use rastor_lowerbound as lowerbound;
+pub use rastor_net as net;
 pub use rastor_sim as sim;
