@@ -1,16 +1,19 @@
 //! The experiment table printer: regenerates every table and figure of
 //! EXPERIMENTS.md.
 //!
-//! Usage: `cargo run -p rastor_bench --bin exp -- [t1|…|t7|f1|f2|all] [--quick]`
+//! Usage: `cargo run -p rastor_bench --bin exp -- [t1|…|t8|f1|f2|all] [--quick]`
 //!
 //! `t6` additionally runs the kv throughput workload matrix (real OS
 //! threads, sharded store) and writes the machine-readable `BENCH_kv.json`
 //! consumed by CI; `t7` runs the same mix over the three transport
 //! substrates (in-process channels, loopback TCP, TCP through the chaos
-//! proxy) and writes `BENCH_net.json`; `--quick` trims both to smoke-test
-//! size.
+//! proxy) and writes `BENCH_net.json`; `t8` measures WAL-backed vs
+//! in-memory durability plus kill-and-restart and cold-replay recovery
+//! times and writes `BENCH_store.json`; `--quick` trims all three to
+//! smoke-test size.
 
 use rastor_bench::netbench::{net_bench_json, net_throughput_matrix, CHAOS_FRAME_DELAY};
+use rastor_bench::storebench::{store_bench_json, store_matrix};
 use rastor_bench::workload::{bench_json, kv_throughput_matrix};
 use rastor_bench::{
     f1_prop1, t1_round_table, t2_contention_rounds, t3_recurrence_table, t4_boundary, t5_latency,
@@ -240,6 +243,85 @@ fn t7(quick: bool) {
     }
 }
 
+fn t8(quick: bool) {
+    println!(
+        "== T8: durability cost and recovery ({} mode; 2 shards, 2 threads, 50/50 mix) ==",
+        if quick { "quick" } else { "full" }
+    );
+    println!(
+        "{:<12} {:<6} {:>5} {:>5} {:>6} {:>10} {:>18} {:>18} {:>12}",
+        "workload",
+        "store",
+        "depth",
+        "ops",
+        "errs",
+        "ops/sec",
+        "put p50/p95 µs",
+        "get p50/p95 µs",
+        "recover ms"
+    );
+    let matrix = store_matrix(quick);
+    for row in &matrix.rows {
+        let lat = |s: Option<rastor_bench::stats::Summary>| {
+            s.map(|s| format!("{}/{}", s.p50, s.p95))
+                .unwrap_or_else(|| "-".into())
+        };
+        println!(
+            "{:<12} {:<6} {:>5} {:>5} {:>6} {:>10.1} {:>18} {:>18} {:>12}",
+            row.cfg.name,
+            row.cfg.durability.label(),
+            row.cfg.depth,
+            row.ops,
+            row.errors,
+            row.ops_per_sec,
+            lat(row.put_lat_us),
+            lat(row.get_lat_us),
+            row.recover
+                .map(|r| format!("{:.2}", r.as_secs_f64() * 1e3))
+                .unwrap_or_else(|| "-".into()),
+        );
+    }
+    let tput = |name: &str| {
+        matrix
+            .rows
+            .iter()
+            .find(|r| r.cfg.name == name)
+            .map(|r| r.ops_per_sec)
+            .unwrap_or(0.0)
+    };
+    for (mem, wal, what) in [
+        ("mem-s2", "wal-s2", "wal cost, closed loop"),
+        ("mem-s2-d8", "wal-s2-d8", "wal cost, depth 8"),
+    ] {
+        println!(
+            "{what}: {wal} runs at {:.2}x of {mem}",
+            tput(wal) / tput(mem).max(1e-9)
+        );
+    }
+    if let Some(restart) = matrix.rows.iter().find(|r| r.cfg.name == "restart-s2") {
+        if let Some(rec) = restart.recover {
+            println!(
+                "restart-s2: killed + recovered one object mid-run in {:.2} ms ({} ops, {} errors)",
+                rec.as_secs_f64() * 1e3,
+                restart.ops,
+                restart.errors
+            );
+        }
+    }
+    let r = &matrix.replay;
+    println!(
+        "replay-wal: {} records replayed in {:.2} ms ({:.0} records/s)",
+        r.records,
+        r.recover.as_secs_f64() * 1e3,
+        r.records_per_sec()
+    );
+    let json = store_bench_json(&matrix, quick);
+    match std::fs::write("BENCH_store.json", &json) {
+        Ok(()) => println!("wrote BENCH_store.json ({} results)", matrix.rows.len() + 1),
+        Err(e) => eprintln!("could not write BENCH_store.json: {e}"),
+    }
+}
+
 fn f1() {
     println!("== F1: Proposition 1 run family, executed mechanically (S=4, t=1) ==");
     println!(
@@ -275,7 +357,7 @@ fn f2() {
     }
 }
 
-const SECTIONS: [&str; 9] = ["t1", "t2", "t3", "t4", "t5", "t6", "t7", "f1", "f2"];
+const SECTIONS: [&str; 10] = ["t1", "t2", "t3", "t4", "t5", "t6", "t7", "t8", "f1", "f2"];
 
 fn main() {
     let mut quick = false;
@@ -304,6 +386,7 @@ fn main() {
                 "t5" => t5(),
                 "t6" => t6(quick),
                 "t7" => t7(quick),
+                "t8" => t8(quick),
                 "f1" => f1(),
                 "f2" => f2(),
                 _ => unreachable!("SECTIONS is exhaustive"),

@@ -8,6 +8,7 @@
 
 pub mod netbench;
 pub mod stats;
+pub mod storebench;
 pub mod workload;
 
 use rastor_common::{ClientId, ObjectId, OpKind, Value};

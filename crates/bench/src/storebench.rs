@@ -1,0 +1,246 @@
+//! The T8 durability matrix: the same kv workload measured over in-memory
+//! vs WAL-backed objects, plus kill-and-restart and cold-replay recovery
+//! timings — so the durability layer's cost (and its time-to-recover) is
+//! a measured number, not a belief. Results feed the `exp t8` table and
+//! the machine-readable `BENCH_store.json` (`rastor-store-throughput/v1`)
+//! gated by CI.
+//!
+//! Row naming follows the `<durability>-s<shards>[-d<depth>]` convention:
+//! every `wal-X` row has a `mem-X` twin on the identical shard layout, so
+//! `scripts/check_bench.rs` can pair them and print the durability cost.
+//! The workloads stay service-delay-bound (the WAL appends are tiny
+//! compared to the emulated object service delay), which keeps throughput
+//! comparable across machines; the dedicated recovery rows
+//! (`restart-s2`, `replay-wal`) carry a `recover_ms` field the checker
+//! requires to be present and positive — a store document without a
+//! measured recovery means the kill/restart path silently stopped running.
+
+use crate::workload::{json_summary, run_workload, WorkloadCfg, WorkloadRow};
+use rastor_common::{ClientId, ObjectId, RegId, Timestamp, TsVal, Value};
+use rastor_core::msg::{Req, Stamped};
+use rastor_sim::ObjectBehavior;
+use rastor_store::{DurableObject, RecoveryStats, TempDir, WalBacked};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// The measured cold-replay recovery of one WAL-backed object.
+#[derive(Clone, Copy, Debug)]
+pub struct ReplayRow {
+    /// Mutations appended (and then replayed) through the WAL.
+    pub records: u64,
+    /// Time to reopen the object: snapshot load + WAL replay.
+    pub recover: Duration,
+    /// What recovery found (snapshot regs, replayed records).
+    pub stats: RecoveryStats,
+}
+
+impl ReplayRow {
+    /// Replayed records per second — the rate `BENCH_store.json` reports
+    /// as the row's `ops_per_sec`.
+    pub fn records_per_sec(&self) -> f64 {
+        self.records as f64 / self.recover.as_secs_f64().max(1e-9)
+    }
+}
+
+/// Everything `exp t8` reports.
+pub struct StoreMatrix {
+    /// The workload rows (mem/wal twins + the mid-run restart row).
+    pub rows: Vec<WorkloadRow>,
+    /// The cold-replay measurement.
+    pub replay: ReplayRow,
+}
+
+/// Fraction of logged mutations between compacting snapshots in the
+/// replay measurement: large enough that the reopen actually replays the
+/// log rather than just loading a snapshot.
+const REPLAY_SNAPSHOT_EVERY: u64 = u64::MAX;
+
+/// Measure a cold replay: append `records` commits through a
+/// [`DurableObject`], drop it (the kill), and time the reopen.
+///
+/// # Panics
+///
+/// Panics on filesystem failures — a bench host without a writable temp
+/// dir cannot measure durability at all.
+pub fn measure_replay(records: u64) -> ReplayRow {
+    let dir = TempDir::new("bench-replay");
+    let (mut obj, _) = DurableObject::open(dir.path(), ObjectId(0), REPLAY_SNAPSHOT_EVERY)
+        .expect("open durable object");
+    for i in 0..records {
+        // Spread the mutations over 64 registers so replay exercises the
+        // multi-register paths, with monotonically fresher timestamps.
+        let req = Req::Commit {
+            reg: RegId::Writer((i % 64) as u32),
+            pair: Stamped::plain(TsVal::new(Timestamp(i + 1), Value::from_u64(i))),
+        };
+        obj.on_request(ClientId::writer(), &req)
+            .expect("durable object acks");
+    }
+    drop(obj); // the kill
+    let started = Instant::now();
+    let (_, stats) = DurableObject::open(dir.path(), ObjectId(0), REPLAY_SNAPSHOT_EVERY)
+        .expect("recover durable object");
+    let recover = started.elapsed();
+    assert_eq!(stats.wal_records, records, "every record replays");
+    ReplayRow {
+        records,
+        recover,
+        stats,
+    }
+}
+
+/// The T8 matrix: `{mem, wal} × {depth 1, depth 8}` on a 2-shard,
+/// 2-thread, 50/50 put/get mix, one `restart-s2` row with a mid-run
+/// kill-and-restart of a WAL-backed object, and a cold-replay
+/// measurement. `quick` trims op and record counts for CI smoke runs.
+pub fn store_matrix(quick: bool) -> StoreMatrix {
+    let ops = if quick { 30 } else { 150 };
+    let dir = TempDir::new("bench-store");
+    let mut rows = Vec::new();
+    for depth in [1u32, 8] {
+        for wal in [false, true] {
+            let label = if wal { "wal" } else { "mem" };
+            let mut cfg = WorkloadCfg::closed(&format!("{label}-s2"), 2, 2, 50);
+            if wal {
+                // A fresh sub-dir per row: rows must not replay each
+                // other's logs.
+                cfg = cfg.with_durability(Arc::new(WalBacked::new(
+                    dir.path().join(format!("{label}-d{depth}")),
+                )));
+            }
+            if depth > 1 {
+                cfg = cfg.pipelined(depth);
+            }
+            cfg.ops_per_thread = ops;
+            rows.push(run_workload(&cfg));
+        }
+    }
+    // The kill/restart row: WAL-backed, with shard 0's top object killed
+    // and recovered from disk mid-traffic. Named outside the `wal-`/`mem-`
+    // pairing convention on purpose — it has no in-memory twin.
+    let mut cfg = WorkloadCfg::closed("restart-s2", 2, 2, 50)
+        .with_durability(Arc::new(WalBacked::new(dir.path().join("restart"))))
+        .with_restart_after(if quick {
+            Duration::from_millis(8)
+        } else {
+            Duration::from_millis(40)
+        });
+    cfg.ops_per_thread = ops;
+    let row = run_workload(&cfg);
+    assert!(row.recover.is_some(), "the restart row measures recovery");
+    rows.push(row);
+
+    let replay = measure_replay(if quick { 2_000 } else { 10_000 });
+    StoreMatrix { rows, replay }
+}
+
+/// Serialize the T8 results as the `BENCH_store.json` document
+/// (`rastor-store-throughput/v1`): one result object per line, same line
+/// discipline as the kv/net documents. Workload rows carry a
+/// `durability` label (and `recover_ms` when a restart was injected); the
+/// replay row reports replayed-records-per-second as its `ops_per_sec`.
+pub fn store_bench_json(matrix: &StoreMatrix, quick: bool) -> String {
+    let mut out = String::new();
+    out.push_str("{\n");
+    out.push_str("\"schema\": \"rastor-store-throughput/v1\",\n");
+    out.push_str(&format!("\"quick\": {quick},\n"));
+    out.push_str("\"results\": [\n");
+    for row in &matrix.rows {
+        let c = &row.cfg;
+        let recover = row
+            .recover
+            .map(|r| format!(",\"recover_ms\":{:.3}", r.as_secs_f64() * 1e3))
+            .unwrap_or_default();
+        out.push_str(&format!(
+            "{{\"name\":\"{}\",\"durability\":\"{}\",\"shards\":{},\"threads\":{},\"depth\":{},\"put_pct\":{},\"ops\":{},\"errors\":{},\"elapsed_secs\":{:.4},\"ops_per_sec\":{:.1},{},{}{}}},\n",
+            c.name,
+            c.durability.label(),
+            c.shards,
+            c.threads,
+            c.depth,
+            c.put_pct,
+            row.ops,
+            row.errors,
+            row.elapsed_secs,
+            row.ops_per_sec,
+            json_summary("put", row.put_lat_us),
+            json_summary("get", row.get_lat_us),
+            recover,
+        ));
+    }
+    let r = &matrix.replay;
+    out.push_str(&format!(
+        "{{\"name\":\"replay-wal\",\"durability\":\"wal\",\"records\":{},\"snapshot_regs\":{},\"recover_ms\":{:.3},\"ops_per_sec\":{:.1}}}\n",
+        r.records,
+        r.stats.snapshot_regs,
+        r.recover.as_secs_f64() * 1e3,
+        r.records_per_sec(),
+    ));
+    out.push_str("]\n}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_matrix() -> StoreMatrix {
+        let dir = TempDir::new("storebench-tiny");
+        let mut rows = Vec::new();
+        for wal in [false, true] {
+            let label = if wal { "wal" } else { "mem" };
+            let mut cfg = WorkloadCfg::closed(&format!("{label}-s2"), 2, 2, 50);
+            if wal {
+                cfg = cfg.with_durability(Arc::new(WalBacked::new(dir.path().join(label))));
+            }
+            cfg.keys = 8;
+            cfg.ops_per_thread = 8;
+            cfg.service = Duration::from_micros(20);
+            rows.push(run_workload(&cfg));
+        }
+        let mut cfg = WorkloadCfg::closed("restart-s2", 2, 2, 50)
+            .with_durability(Arc::new(WalBacked::new(dir.path().join("restart"))))
+            .with_restart_after(Duration::from_millis(2));
+        cfg.keys = 8;
+        cfg.ops_per_thread = 8;
+        cfg.service = Duration::from_micros(20);
+        rows.push(run_workload(&cfg));
+        StoreMatrix {
+            rows,
+            replay: measure_replay(200),
+        }
+    }
+
+    #[test]
+    fn wal_rows_complete_like_mem_rows() {
+        let m = tiny_matrix();
+        for row in &m.rows {
+            assert_eq!(row.ops, 16, "{}", row.cfg.name);
+            assert_eq!(row.errors, 0, "{}", row.cfg.name);
+        }
+        let restart = m.rows.iter().find(|r| r.cfg.name == "restart-s2").unwrap();
+        assert!(restart.recover.expect("measured") > Duration::ZERO);
+    }
+
+    #[test]
+    fn replay_measures_a_full_replay() {
+        let r = measure_replay(300);
+        assert_eq!(r.records, 300);
+        assert_eq!(r.stats.wal_records, 300);
+        assert!(r.recover > Duration::ZERO);
+        assert!(r.records_per_sec() > 0.0);
+    }
+
+    #[test]
+    fn json_carries_schema_durability_and_recovery() {
+        let m = tiny_matrix();
+        let doc = store_bench_json(&m, true);
+        assert!(doc.contains("\"schema\": \"rastor-store-throughput/v1\""));
+        assert!(doc.contains("\"durability\":\"mem\""));
+        assert!(doc.contains("\"durability\":\"wal\""));
+        assert!(doc.contains("\"name\":\"replay-wal\""));
+        assert_eq!(doc.matches("\"recover_ms\":").count(), 2);
+        assert_eq!(doc.matches('{').count(), doc.matches('}').count());
+        assert_eq!(doc.matches('[').count(), doc.matches(']').count());
+    }
+}

@@ -24,8 +24,8 @@
 use crate::stats::Summary;
 use rastor_common::{ObjectId, SplitMix64, Value};
 use rastor_core::adversary::SilentObject;
-use rastor_core::object::HonestObject;
 use rastor_kv::{KvOpId, ShardedKvStore, StoreConfig};
+use rastor_store::{Durability, InMemory};
 use std::collections::HashMap;
 use std::sync::{Arc, Barrier};
 use std::time::{Duration, Instant};
@@ -90,6 +90,15 @@ pub struct WorkloadCfg {
     pub mode: LoopMode,
     /// Seed for key/op choices (thread `i` derives `seed + i`).
     pub seed: u64,
+    /// How honest objects persist ([`InMemory`] by default; a
+    /// `WalBacked` config turns the row into a durability-cost
+    /// measurement and enables `restart_after`).
+    pub durability: Arc<dyn Durability>,
+    /// Kill-and-restart injection: this long into the timed phase, kill
+    /// the top object of shard 0 and restart it from disk, reporting the
+    /// recovery time in [`WorkloadRow::recover`]. Requires a recoverable
+    /// `durability`.
+    pub restart_after: Option<Duration>,
 }
 
 impl WorkloadCfg {
@@ -110,7 +119,24 @@ impl WorkloadCfg {
             service: Duration::from_micros(150),
             mode: LoopMode::Closed,
             seed: 42,
+            durability: Arc::new(InMemory),
+            restart_after: None,
         }
+    }
+
+    /// Persist honest objects through `durability` (see `exp t8`).
+    #[must_use]
+    pub fn with_durability(mut self, durability: Arc<dyn Durability>) -> WorkloadCfg {
+        self.durability = durability;
+        self
+    }
+
+    /// Inject a kill-and-restart of shard 0's top object this long into
+    /// the timed phase.
+    #[must_use]
+    pub fn with_restart_after(mut self, after: Duration) -> WorkloadCfg {
+        self.restart_after = Some(after);
+        self
     }
 
     /// The same row pipelined at `depth` ops in flight per handle, with a
@@ -138,6 +164,9 @@ pub struct WorkloadRow {
     pub elapsed_secs: f64,
     /// Completed operations per wall-clock second.
     pub ops_per_sec: f64,
+    /// Kill-to-serving-again time of the injected restart (rows with
+    /// `restart_after` only).
+    pub recover: Option<Duration>,
     /// Put latency summary in microseconds (`None` if the mix had no puts).
     pub put_lat_us: Option<Summary>,
     /// Get latency summary in microseconds (`None` if the mix had no gets).
@@ -172,16 +201,15 @@ pub fn run_workload(cfg: &WorkloadCfg) -> WorkloadRow {
     );
     let silent = cfg.silent_per_shard as u32;
     let store = ShardedKvStore::spawn_with(
-        StoreConfig::new(cfg.t, cfg.shards, cfg.threads).with_jitter(2 * cfg.service),
+        StoreConfig::new(cfg.t, cfg.shards, cfg.threads)
+            .with_jitter(2 * cfg.service)
+            .with_durability(Arc::clone(&cfg.durability)),
         |_, oid| {
             // The first `silent` objects of every shard are Byzantine
             // (silent); crashes below take the last objects, so the two
-            // injections never overlap.
-            if oid.0 < silent {
-                Box::new(SilentObject)
-            } else {
-                Box::new(HonestObject::new())
-            }
+            // injections never overlap. Honest slots (`None`) come from
+            // the configured durability.
+            (oid.0 < silent).then(|| Box::new(SilentObject) as _)
         },
     )
     .expect("valid workload configuration");
@@ -329,6 +357,31 @@ pub fn measure_store(store: &ShardedKvStore, cfg: &WorkloadCfg) -> WorkloadRow {
 
     barrier.wait();
     let start = Instant::now();
+    // Kill-and-restart injection: a controller thread kills one object of
+    // shard 0 mid-traffic and restarts it from disk, timing the
+    // kill-to-serving-again cycle. The target sits just below the
+    // crash-injection band (which takes the top `crashed_per_shard` ids)
+    // and above the silent band (the bottom ids), so the three
+    // injections never overlap — restarting an intentionally crashed
+    // object would silently hand shard 0 its quorum back. While the
+    // target is down it counts as one more crash; if the configured
+    // faults already spend the whole budget, shard-0 ops stall (their
+    // deadlines far exceed the ~ms recovery) rather than fail.
+    let restart = cfg.restart_after.map(|after| {
+        let store = store.clone();
+        let target =
+            ObjectId(store.config().num_objects() as u32 - 1 - cfg.crashed_per_shard as u32);
+        assert!(
+            target.0 >= cfg.silent_per_shard as u32,
+            "restart target must be an honest durability-managed object"
+        );
+        std::thread::spawn(move || {
+            std::thread::sleep(after);
+            store
+                .restart_object(0, target)
+                .expect("kill-and-restart requires a recoverable durability")
+        })
+    });
     let mut puts = Vec::new();
     let mut gets = Vec::new();
     let mut errors = 0u64;
@@ -339,6 +392,7 @@ pub fn measure_store(store: &ShardedKvStore, cfg: &WorkloadCfg) -> WorkloadRow {
         errors += e;
     }
     let elapsed = start.elapsed().as_secs_f64();
+    let recover = restart.map(|h| h.join().expect("restart controller"));
     let ops = (puts.len() + gets.len()) as u64;
     WorkloadRow {
         cfg: cfg.clone(),
@@ -346,6 +400,7 @@ pub fn measure_store(store: &ShardedKvStore, cfg: &WorkloadCfg) -> WorkloadRow {
         errors,
         elapsed_secs: elapsed,
         ops_per_sec: ops as f64 / elapsed.max(1e-9),
+        recover,
         put_lat_us: Summary::of(puts),
         get_lat_us: Summary::of(gets),
     }

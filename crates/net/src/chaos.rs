@@ -70,6 +70,28 @@ impl ChaosCfg {
     }
 
     /// Set the drop probability.
+    ///
+    /// ## Choosing a drop rate
+    ///
+    /// Drops act on whole **wire frames**, and a client sends *one
+    /// coalesced request envelope per shard per flush*: dropping a
+    /// request frame therefore starves **every** object of that shard
+    /// for the round (the reply direction is gentler — one dropped reply
+    /// costs one object's answer). The op driver's per-operation
+    /// deadline is the only recovery, so soak tests should pair modest
+    /// probabilities (≲ 0.05) with short per-op timeouts, or a handful
+    /// of unlucky flushes serializes the whole run into deadline waits:
+    ///
+    /// ```
+    /// use rastor_net::ChaosCfg;
+    /// use std::time::Duration;
+    ///
+    /// // A lossy-link profile a soak can actually make progress through:
+    /// // ~2% of frames eaten, small head-of-line delay, and the client
+    /// // side pairing it with a sub-second op timeout.
+    /// let cfg = ChaosCfg::delay_only(Duration::from_micros(100)).with_drops(0.02);
+    /// assert!(cfg.drop_prob <= 0.05, "keep soak drop rates modest");
+    /// ```
     #[must_use]
     pub fn with_drops(mut self, prob: f64) -> ChaosCfg {
         self.drop_prob = prob;

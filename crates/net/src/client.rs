@@ -41,6 +41,43 @@ struct Conn {
 /// Dropping the cluster shuts its connections down and joins the reader
 /// threads; operations still in flight on some client resolve through
 /// their deadlines.
+///
+/// ## One live client per [`ClientId`] per cluster
+///
+/// [`Transport::send_frames`] registers the calling client's reply
+/// channel keyed by its `ClientId` **on every flush**, so one
+/// `NetCluster` may be shared by any number of clients with *distinct*
+/// ids — but two **live** clients sharing an id on the same cluster
+/// would steal each other's replies (each flush re-routes the id to the
+/// most recent channel, and the stale holder starves into its
+/// deadlines). Give every concurrently live client its own id; a handle
+/// pool with exclusive id issuance — what `rastor_kv`'s
+/// `ShardedKvStore::handle` does — is the load-bearing pattern. Reusing
+/// an id after its previous holder has quiesced is fine: the registry
+/// simply overwrites the stale route.
+///
+/// ```
+/// use rastor_common::{ClientId, Value};
+/// use rastor_core::{Protocol, StorageSystem};
+/// use rastor_net::deploy::NetDeploy;
+/// use rastor_sim::runtime::ThreadClient;
+/// use std::time::Duration;
+///
+/// let mut sys = StorageSystem::new(Protocol::AtomicUnauth, 1, 1)?;
+/// let harness = sys.spawn_net_cluster(None)?;
+/// // Two live clients multiplexed over ONE socket-backed cluster:
+/// // distinct ids, so the reader threads demultiplex correctly.
+/// let mut writer = ThreadClient::new(ClientId::writer());
+/// let mut reader = ThreadClient::new(ClientId::reader(0));
+/// writer
+///     .run_op(&harness.cluster, sys.write_client(Value::from_u64(7)), Duration::from_secs(10))
+///     .expect("write completes");
+/// let (out, _rounds) = reader
+///     .run_op(&harness.cluster, sys.read_client(0), Duration::from_secs(10))
+///     .expect("read completes");
+/// assert_eq!(out.into_read().expect("read output").val, Value::from_u64(7));
+/// # Ok::<(), rastor_common::Error>(())
+/// ```
 pub struct NetCluster {
     conns: Vec<Conn>,
     registry: Arc<Registry>,

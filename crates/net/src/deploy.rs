@@ -14,13 +14,15 @@
 use crate::chaos::{ChaosCfg, ChaosProxy};
 use crate::client::NetCluster;
 use crate::server::ObjectServer;
-use rastor_common::{ClusterConfig, ObjectId, Result};
+use rastor_common::{ClusterConfig, Error, ObjectId, Result};
 use rastor_core::msg::{Rep, Req};
 use rastor_core::object::HonestObject;
 use rastor_core::StorageSystem;
 use rastor_kv::{ShardedKvStore, StoreConfig};
 use rastor_sim::runtime::Transport;
 use rastor_sim::ObjectBehavior;
+use rastor_store::Durability;
+use std::sync::Arc;
 use std::time::Duration;
 
 /// A single-cluster socket deployment: the server owning the objects and
@@ -69,11 +71,15 @@ pub struct NetKv {
     /// The store; clone it into worker threads as usual.
     pub store: ShardedKvStore,
     /// Per-shard servers, in shard order — the fault-injection surface
-    /// ([`ObjectServer::crash_object`]).
+    /// ([`ObjectServer::crash_object`],
+    /// [`ObjectServer::restart_object`]).
     pub servers: Vec<ObjectServer>,
     /// Per-shard chaos proxies (empty when spawned without chaos), in
     /// shard order — partition toggles live here.
     pub proxies: Vec<ChaosProxy>,
+    /// The durability policy the servers' honest objects were spawned
+    /// with, kept for [`NetKv::restart_object`].
+    durability: Arc<dyn Durability>,
 }
 
 impl NetKv {
@@ -82,19 +88,25 @@ impl NetKv {
     /// server-side per-envelope service delay) and connect a
     /// [`ShardedKvStore`] to them. With `chaos = Some(c)`, every shard's
     /// connections run through an own [`ChaosProxy`] seeded `c.seed +
-    /// shard`.
+    /// shard`. `cfg.durability` applies at the servers: a wal-backed
+    /// config gives every shard a data dir
+    /// (`dir/shard-<s>/obj-<o>.{wal,snap}`) and unlocks
+    /// [`NetKv::restart_object`]; it also persists the client-side key
+    /// directory, so re-spawning on the same dir is a cold-start recovery
+    /// of the whole deployment.
     ///
     /// # Errors
     ///
     /// Propagates [`ShardedKvStore::over_transports`] validation errors
     /// and [`rastor_common::Error::Io`] from listeners/connections.
     pub fn spawn(cfg: StoreConfig, chaos: Option<ChaosCfg>) -> Result<NetKv> {
-        NetKv::spawn_with(cfg, chaos, |_, _| Box::new(HonestObject::new()))
+        NetKv::spawn_with(cfg, chaos, |_, _| None)
     }
 
     /// As [`NetKv::spawn`], choosing each object's behavior by `(shard,
     /// object)` — the server-side fault-injection hook, mirroring
-    /// [`ShardedKvStore::spawn_with`].
+    /// [`ShardedKvStore::spawn_with`]: `Some(byzantine)` overrides, `None`
+    /// gets the default durability-managed honest object.
     ///
     /// # Errors
     ///
@@ -102,7 +114,7 @@ impl NetKv {
     pub fn spawn_with(
         cfg: StoreConfig,
         chaos: Option<ChaosCfg>,
-        mut behavior: impl FnMut(usize, ObjectId) -> Box<dyn ObjectBehavior<Req, Rep> + Send>,
+        mut behavior: impl FnMut(usize, ObjectId) -> Option<Box<dyn ObjectBehavior<Req, Rep> + Send>>,
     ) -> Result<NetKv> {
         let cluster_cfg = ClusterConfig::byzantine(cfg.t)?;
         let mut servers = Vec::with_capacity(cfg.num_shards);
@@ -110,10 +122,16 @@ impl NetKv {
         let mut transports: Vec<Box<dyn Transport<Req, Rep> + Send + Sync>> =
             Vec::with_capacity(cfg.num_shards);
         for s in 0..cfg.num_shards {
-            let behaviors: Vec<Box<dyn ObjectBehavior<Req, Rep> + Send>> = (0..cluster_cfg
-                .num_objects())
-                .map(|o| behavior(s, ObjectId(o as u32)))
-                .collect();
+            let shard_durability = cfg.durability.for_shard(s);
+            let behaviors = (0..cluster_cfg.num_objects())
+                .map(|o| {
+                    let oid = ObjectId(o as u32);
+                    match behavior(s, oid) {
+                        Some(custom) => Ok(custom),
+                        None => Ok(shard_durability.object(oid)?.0),
+                    }
+                })
+                .collect::<Result<Vec<_>>>()?;
             let server = ObjectServer::spawn(behaviors, 0, cfg.jitter)?;
             let addr = match &chaos {
                 None => server.local_addr(),
@@ -130,11 +148,49 @@ impl NetKv {
             transports.push(Box::new(NetCluster::connect(&[addr])?));
             servers.push(server);
         }
-        let store = ShardedKvStore::over_transports(cfg.t, cfg.num_handles, transports)?;
+        let store = ShardedKvStore::over_transports(
+            cfg.t,
+            cfg.num_handles,
+            transports,
+            Arc::clone(&cfg.durability),
+        )?;
         Ok(NetKv {
             store,
             servers,
             proxies,
+            durability: cfg.durability,
         })
+    }
+
+    /// Kill one hosted object of one shard's server and restart it from
+    /// disk while clients stay connected — the socket twin of
+    /// [`ShardedKvStore::restart_object`]. Returns the wall-clock
+    /// kill-to-serving-again time.
+    ///
+    /// # Errors
+    ///
+    /// [`Error::InvariantViolation`] if the deployment's durability is not
+    /// recoverable (spawn with a wal-backed [`StoreConfig`]); recovery I/O
+    /// and corruption errors otherwise.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shard` is out of range or `id` is not hosted by that
+    /// shard's server.
+    pub fn restart_object(&mut self, shard: usize, id: ObjectId) -> Result<Duration> {
+        if !self.durability.recoverable() {
+            return Err(Error::InvariantViolation {
+                detail: format!(
+                    "restart_object on shard {shard}: durability '{}' cannot recover state \
+                     (spawn the deployment with a wal-backed config)",
+                    self.durability.label()
+                ),
+            });
+        }
+        let started = std::time::Instant::now();
+        self.servers[shard].crash_object(id);
+        let (behavior, _stats) = self.durability.for_shard(shard).object(id)?;
+        self.servers[shard].restart_object(id, behavior);
+        Ok(started.elapsed())
     }
 }

@@ -58,6 +58,9 @@ pub struct ObjectServer {
     shared: Arc<Shared>,
     accept: Option<JoinHandle<()>>,
     worker_handles: Vec<Option<JoinHandle<()>>>,
+    /// The per-envelope service jitter workers run with, kept so restarted
+    /// workers behave like their predecessors.
+    jitter: Option<Duration>,
 }
 
 impl ObjectServer {
@@ -126,6 +129,7 @@ impl ObjectServer {
             shared,
             accept: Some(accept),
             worker_handles,
+            jitter,
         })
     }
 
@@ -153,15 +157,53 @@ impl ObjectServer {
     ///
     /// Panics if `id` is not hosted by this server.
     pub fn crash_object(&mut self, id: ObjectId) {
-        let idx =
-            id.0.checked_sub(self.shared.first_id)
-                .map(|i| i as usize)
-                .filter(|&i| i < self.worker_handles.len())
-                .expect("crash_object: id not hosted by this server");
+        let idx = self.hosted_index(id, "crash_object");
         self.shared.workers.write().expect("worker list lock")[idx] = None;
         if let Some(h) = self.worker_handles[idx].take() {
             let _ = h.join();
         }
+    }
+
+    /// Restart a hosted object (by cluster-global id) with a fresh
+    /// behavior: the worker is crashed first (if still live), then a new
+    /// one takes over the id with the same service-jitter profile —
+    /// connected clients keep talking to the same address and simply see
+    /// the object answering again. Pass a `rastor_store`-recovered durable
+    /// behavior for kill-then-recover semantics.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is not hosted by this server.
+    pub fn restart_object(
+        &mut self,
+        id: ObjectId,
+        behavior: Box<dyn ObjectBehavior<Req, Rep> + Send>,
+    ) {
+        let idx = self.hosted_index(id, "restart_object");
+        self.crash_object(id);
+        let (tx, rx) = channel::<Job>();
+        let jitter = self.jitter;
+        self.worker_handles[idx] = Some(std::thread::spawn(move || {
+            object_worker(id, behavior, rx, jitter);
+        }));
+        self.shared.workers.write().expect("worker list lock")[idx] = Some(tx);
+    }
+
+    /// Whether a hosted object is currently crashed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is not hosted by this server.
+    pub fn is_crashed(&self, id: ObjectId) -> bool {
+        let idx = self.hosted_index(id, "is_crashed");
+        self.shared.workers.read().expect("worker list lock")[idx].is_none()
+    }
+
+    fn hosted_index(&self, id: ObjectId, what: &str) -> usize {
+        id.0.checked_sub(self.shared.first_id)
+            .map(|i| i as usize)
+            .filter(|&i| i < self.worker_handles.len())
+            .unwrap_or_else(|| panic!("{what}: object {} not hosted by this server", id.0))
     }
 }
 

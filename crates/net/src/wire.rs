@@ -27,6 +27,7 @@
 //! decodes to [`Error::Codec`], never to a panic: a Byzantine peer owns
 //! the bytes it sends us.
 
+use rastor_common::bytes::{put_bytes, put_len, put_u32, put_u64, Dec};
 use rastor_common::{ClientId, Error, ObjectId, RegId, Result, Timestamp, TsVal, Value};
 use rastor_core::msg::{AckKind, ObjectView, Rep, Req, Stamped};
 use rastor_core::token::Token;
@@ -107,23 +108,6 @@ pub enum Frame {
 // ---------------------------------------------------------------------------
 // Encoding
 // ---------------------------------------------------------------------------
-
-fn put_u32(out: &mut Vec<u8>, x: u32) {
-    out.extend_from_slice(&x.to_le_bytes());
-}
-
-fn put_u64(out: &mut Vec<u8>, x: u64) {
-    out.extend_from_slice(&x.to_le_bytes());
-}
-
-fn put_len(out: &mut Vec<u8>, len: usize) {
-    put_u32(out, u32::try_from(len).expect("sequence fits a u32 length"));
-}
-
-fn put_bytes(out: &mut Vec<u8>, bytes: &[u8]) {
-    put_len(out, bytes.len());
-    out.extend_from_slice(bytes);
-}
 
 fn put_client(out: &mut Vec<u8>, id: ClientId) {
     match id {
@@ -282,175 +266,105 @@ pub fn encode_frame(frame: &Frame) -> Vec<u8> {
 // Decoding
 // ---------------------------------------------------------------------------
 
-/// A bounds-checked cursor over a received body.
-struct Dec<'a> {
-    buf: &'a [u8],
-    pos: usize,
+// The bounds-checked cursor and its primitive reads live in
+// `rastor_common::bytes` (shared with the on-disk codec); these are the
+// wire layout's domain decoders on top of it.
+
+fn read_client(d: &mut Dec<'_>) -> Result<ClientId> {
+    match d.u8()? {
+        0 => Ok(ClientId::Writer),
+        1 => Ok(ClientId::Reader(d.u32()?)),
+        t => Err(Error::codec(format!("unknown client tag {t}"))),
+    }
 }
 
-impl<'a> Dec<'a> {
-    fn new(buf: &'a [u8]) -> Dec<'a> {
-        Dec { buf, pos: 0 }
+fn read_reg(d: &mut Dec<'_>) -> Result<RegId> {
+    match d.u8()? {
+        0 => Ok(RegId::Writer(d.u32()?)),
+        1 => Ok(RegId::ReaderReg(d.u32()?)),
+        t => Err(Error::codec(format!("unknown register tag {t}"))),
     }
+}
 
-    fn take(&mut self, n: usize) -> Result<&'a [u8]> {
-        let end = self.pos.checked_add(n).filter(|&e| e <= self.buf.len());
-        match end {
-            Some(end) => {
-                let slice = &self.buf[self.pos..end];
-                self.pos = end;
-                Ok(slice)
+fn read_pair(d: &mut Dec<'_>) -> Result<TsVal> {
+    let ts = Timestamp(d.u64()?);
+    let val = Value::from_bytes(d.bytes()?.to_vec());
+    Ok(TsVal::new(ts, val))
+}
+
+fn read_stamped(d: &mut Dec<'_>) -> Result<Stamped> {
+    let pair = read_pair(d)?;
+    let token = match d.u8()? {
+        0 => None,
+        1 => Some(Token::from_bits(d.u64()?)),
+        t => Err(Error::codec(format!("unknown token-presence tag {t}")))?,
+    };
+    Ok(Stamped { pair, token })
+}
+
+fn read_view(d: &mut Dec<'_>) -> Result<ObjectView> {
+    let pw = read_stamped(d)?;
+    let w = read_stamped(d)?;
+    let n = d.seq_len()?;
+    let mut hist = Vec::with_capacity(n);
+    for _ in 0..n {
+        hist.push(read_stamped(d)?);
+    }
+    Ok(ObjectView { pw, w, hist })
+}
+
+fn read_ack_kind(d: &mut Dec<'_>) -> Result<AckKind> {
+    match d.u8()? {
+        0 => Ok(AckKind::Store),
+        1 => Ok(AckKind::PreWrite),
+        2 => Ok(AckKind::Commit),
+        t => Err(Error::codec(format!("unknown ack kind {t}"))),
+    }
+}
+
+fn read_req(d: &mut Dec<'_>) -> Result<Req> {
+    match d.u8()? {
+        0 => {
+            let n = d.seq_len()?;
+            let mut regs = Vec::with_capacity(n);
+            for _ in 0..n {
+                regs.push(read_reg(d)?);
             }
-            None => Err(Error::codec(format!(
-                "truncated: wanted {n} bytes at offset {} of a {}-byte body",
-                self.pos,
-                self.buf.len()
-            ))),
+            Ok(Req::Collect { regs })
         }
+        1 => Ok(Req::Store {
+            reg: read_reg(d)?,
+            pair: read_stamped(d)?,
+        }),
+        2 => Ok(Req::PreWrite {
+            reg: read_reg(d)?,
+            pair: read_stamped(d)?,
+        }),
+        3 => Ok(Req::Commit {
+            reg: read_reg(d)?,
+            pair: read_stamped(d)?,
+        }),
+        t => Err(Error::codec(format!("unknown request tag {t}"))),
     }
+}
 
-    fn u8(&mut self) -> Result<u8> {
-        Ok(self.take(1)?[0])
-    }
-
-    fn u32(&mut self) -> Result<u32> {
-        Ok(u32::from_le_bytes(
-            self.take(4)?.try_into().expect("4 bytes"),
-        ))
-    }
-
-    fn u64(&mut self) -> Result<u64> {
-        Ok(u64::from_le_bytes(
-            self.take(8)?.try_into().expect("8 bytes"),
-        ))
-    }
-
-    /// A sequence length, sanity-bounded by the bytes actually remaining
-    /// (every element costs ≥ 1 byte) so a corrupt count cannot drive a
-    /// huge allocation.
-    fn seq_len(&mut self) -> Result<usize> {
-        let n = self.u32()? as usize;
-        if n > self.buf.len() - self.pos {
-            return Err(Error::codec(format!(
-                "sequence length {n} exceeds the {} bytes remaining",
-                self.buf.len() - self.pos
-            )));
-        }
-        Ok(n)
-    }
-
-    fn bytes(&mut self) -> Result<&'a [u8]> {
-        let n = self.seq_len()?;
-        self.take(n)
-    }
-
-    fn client(&mut self) -> Result<ClientId> {
-        match self.u8()? {
-            0 => Ok(ClientId::Writer),
-            1 => Ok(ClientId::Reader(self.u32()?)),
-            t => Err(Error::codec(format!("unknown client tag {t}"))),
-        }
-    }
-
-    fn reg(&mut self) -> Result<RegId> {
-        match self.u8()? {
-            0 => Ok(RegId::Writer(self.u32()?)),
-            1 => Ok(RegId::ReaderReg(self.u32()?)),
-            t => Err(Error::codec(format!("unknown register tag {t}"))),
-        }
-    }
-
-    fn pair(&mut self) -> Result<TsVal> {
-        let ts = Timestamp(self.u64()?);
-        let val = Value::from_bytes(self.bytes()?.to_vec());
-        Ok(TsVal::new(ts, val))
-    }
-
-    fn stamped(&mut self) -> Result<Stamped> {
-        let pair = self.pair()?;
-        let token = match self.u8()? {
-            0 => None,
-            1 => Some(Token::from_bits(self.u64()?)),
-            t => Err(Error::codec(format!("unknown token-presence tag {t}")))?,
-        };
-        Ok(Stamped { pair, token })
-    }
-
-    fn view(&mut self) -> Result<ObjectView> {
-        let pw = self.stamped()?;
-        let w = self.stamped()?;
-        let n = self.seq_len()?;
-        let mut hist = Vec::with_capacity(n);
-        for _ in 0..n {
-            hist.push(self.stamped()?);
-        }
-        Ok(ObjectView { pw, w, hist })
-    }
-
-    fn ack_kind(&mut self) -> Result<AckKind> {
-        match self.u8()? {
-            0 => Ok(AckKind::Store),
-            1 => Ok(AckKind::PreWrite),
-            2 => Ok(AckKind::Commit),
-            t => Err(Error::codec(format!("unknown ack kind {t}"))),
-        }
-    }
-
-    fn req(&mut self) -> Result<Req> {
-        match self.u8()? {
-            0 => {
-                let n = self.seq_len()?;
-                let mut regs = Vec::with_capacity(n);
-                for _ in 0..n {
-                    regs.push(self.reg()?);
-                }
-                Ok(Req::Collect { regs })
+fn read_rep(d: &mut Dec<'_>) -> Result<Rep> {
+    match d.u8()? {
+        0 => {
+            let n = d.seq_len()?;
+            let mut views = Vec::with_capacity(n);
+            for _ in 0..n {
+                let reg = read_reg(d)?;
+                let view = read_view(d)?;
+                views.push((reg, view));
             }
-            1 => Ok(Req::Store {
-                reg: self.reg()?,
-                pair: self.stamped()?,
-            }),
-            2 => Ok(Req::PreWrite {
-                reg: self.reg()?,
-                pair: self.stamped()?,
-            }),
-            3 => Ok(Req::Commit {
-                reg: self.reg()?,
-                pair: self.stamped()?,
-            }),
-            t => Err(Error::codec(format!("unknown request tag {t}"))),
+            Ok(Rep::Views { views })
         }
-    }
-
-    fn rep(&mut self) -> Result<Rep> {
-        match self.u8()? {
-            0 => {
-                let n = self.seq_len()?;
-                let mut views = Vec::with_capacity(n);
-                for _ in 0..n {
-                    let reg = self.reg()?;
-                    let view = self.view()?;
-                    views.push((reg, view));
-                }
-                Ok(Rep::Views { views })
-            }
-            1 => Ok(Rep::Ack {
-                reg: self.reg()?,
-                kind: self.ack_kind()?,
-            }),
-            t => Err(Error::codec(format!("unknown reply tag {t}"))),
-        }
-    }
-
-    fn done(&self) -> Result<()> {
-        if self.pos == self.buf.len() {
-            Ok(())
-        } else {
-            Err(Error::codec(format!(
-                "{} trailing bytes after a complete body",
-                self.buf.len() - self.pos
-            )))
-        }
+        1 => Ok(Rep::Ack {
+            reg: read_reg(d)?,
+            kind: read_ack_kind(d)?,
+        }),
+        t => Err(Error::codec(format!("unknown reply tag {t}"))),
     }
 }
 
@@ -462,7 +376,7 @@ impl<'a> Dec<'a> {
 /// [`Error::Codec`] on any malformation.
 pub fn decode_req(body: &[u8]) -> Result<Req> {
     let mut d = Dec::new(body);
-    let req = d.req()?;
+    let req = read_req(&mut d)?;
     d.done()?;
     Ok(req)
 }
@@ -475,7 +389,7 @@ pub fn decode_req(body: &[u8]) -> Result<Req> {
 /// [`Error::Codec`] on any malformation.
 pub fn decode_rep(body: &[u8]) -> Result<Rep> {
     let mut d = Dec::new(body);
-    let rep = d.rep()?;
+    let rep = read_rep(&mut d)?;
     d.done()?;
     Ok(rep)
 }
@@ -511,20 +425,20 @@ fn decode_body(kind: u8, body: &[u8]) -> Result<Frame> {
     let mut d = Dec::new(body);
     let frame = match kind {
         KIND_REQ => {
-            let from = d.client()?;
+            let from = read_client(&mut d)?;
             let n = d.seq_len()?;
             let mut frames = Vec::with_capacity(n);
             for _ in 0..n {
                 frames.push(WireReqFrame {
                     op_nonce: d.u64()?,
                     round: d.u32()?,
-                    req: d.req()?,
+                    req: read_req(&mut d)?,
                 });
             }
             Frame::Req(ReqEnvelope { from, frames })
         }
         KIND_REP => {
-            let to = d.client()?;
+            let to = read_client(&mut d)?;
             let from = ObjectId(d.u32()?);
             let n = d.seq_len()?;
             let mut frames = Vec::with_capacity(n);
@@ -532,7 +446,7 @@ fn decode_body(kind: u8, body: &[u8]) -> Result<Frame> {
                 frames.push(WireRepFrame {
                     op_nonce: d.u64()?,
                     round: d.u32()?,
-                    rep: d.rep()?,
+                    rep: read_rep(&mut d)?,
                 });
             }
             Frame::Rep(RepEnvelope { to, from, frames })

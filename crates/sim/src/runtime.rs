@@ -129,6 +129,50 @@ impl<Q, R, T: Transport<Q, R> + ?Sized> Transport<Q, R> for Box<T> {
 pub struct ThreadCluster<Q, R> {
     senders: Vec<Option<Sender<ObjRequest<Q, R>>>>,
     handles: Vec<Option<JoinHandle<()>>>,
+    /// The per-envelope service jitter every worker runs with, kept so
+    /// restarted workers behave like their predecessors.
+    jitter: Option<Duration>,
+}
+
+/// Spawn one object worker thread: per-envelope jitter, then the
+/// behavior, then one coalesced reply envelope per request envelope.
+fn spawn_worker<Q, R>(
+    oid: ObjectId,
+    mut behavior: Box<dyn ObjectBehavior<Q, R> + Send>,
+    jitter: Option<Duration>,
+) -> (Sender<ObjRequest<Q, R>>, JoinHandle<()>)
+where
+    Q: Send + Sync + 'static,
+    R: Send + 'static,
+{
+    let (tx, rx) = channel::<ObjRequest<Q, R>>();
+    let handle = std::thread::spawn(move || {
+        // Per-thread deterministic jitter source.
+        let mut rng = SplitMix64::new(u64::from(oid.0));
+        while let Ok(req) = rx.recv() {
+            if let Some(j) = jitter {
+                std::thread::sleep(j.mul_f64(rng.next_f64()));
+            }
+            let frames: Vec<RepFrame<R>> = req
+                .frames
+                .iter()
+                .filter_map(|f| {
+                    behavior
+                        .on_request(req.from, &f.payload)
+                        .map(|payload| RepFrame {
+                            op_nonce: f.op_nonce,
+                            round: f.round,
+                            payload,
+                        })
+                })
+                .collect();
+            if !frames.is_empty() {
+                // The client may have finished; ignore send errors.
+                let _ = req.reply_to.send(ObjReply { from: oid, frames });
+            }
+        }
+    });
+    (tx, handle)
 }
 
 impl<Q, R> ThreadCluster<Q, R>
@@ -146,44 +190,26 @@ where
     ) -> ThreadCluster<Q, R> {
         let mut senders = Vec::new();
         let mut handles = Vec::new();
-        for (i, mut behavior) in behaviors.into_iter().enumerate() {
-            let (tx, rx) = channel::<ObjRequest<Q, R>>();
-            let oid = ObjectId(i as u32);
-            let handle = std::thread::spawn(move || {
-                // Per-thread deterministic jitter source.
-                let mut rng = SplitMix64::new(i as u64);
-                while let Ok(req) = rx.recv() {
-                    if let Some(j) = jitter {
-                        std::thread::sleep(j.mul_f64(rng.next_f64()));
-                    }
-                    let frames: Vec<RepFrame<R>> = req
-                        .frames
-                        .iter()
-                        .filter_map(|f| {
-                            behavior
-                                .on_request(req.from, &f.payload)
-                                .map(|payload| RepFrame {
-                                    op_nonce: f.op_nonce,
-                                    round: f.round,
-                                    payload,
-                                })
-                        })
-                        .collect();
-                    if !frames.is_empty() {
-                        // The client may have finished; ignore send errors.
-                        let _ = req.reply_to.send(ObjReply { from: oid, frames });
-                    }
-                }
-            });
+        for (i, behavior) in behaviors.into_iter().enumerate() {
+            let (tx, handle) = spawn_worker(ObjectId(i as u32), behavior, jitter);
             senders.push(Some(tx));
             handles.push(Some(handle));
         }
-        ThreadCluster { senders, handles }
+        ThreadCluster {
+            senders,
+            handles,
+            jitter,
+        }
     }
 
     /// Number of objects (including crashed ones).
     pub fn num_objects(&self) -> usize {
         self.senders.len()
+    }
+
+    /// Whether object `id` is currently crashed.
+    pub fn is_crashed(&self, id: ObjectId) -> bool {
+        self.senders[id.index()].is_none()
     }
 
     /// Crash an object: its thread drains and exits; requests to it are
@@ -194,6 +220,26 @@ where
             // The thread exits once its channel disconnects.
             let _ = h.join();
         }
+    }
+
+    /// Restart an object with a fresh behavior: the slot is crashed first
+    /// (if still live), then a new worker thread takes over the object id,
+    /// with the same service-jitter profile as the rest of the cluster.
+    ///
+    /// The cluster is behavior-agnostic, so *what state the object comes
+    /// back with* is the caller's policy: pass a freshly recovered
+    /// `rastor_store`-style durable behavior for kill-then-recover
+    /// semantics, or a blank one to model an amnesiac rejoin (which counts
+    /// against the fault budget like any other deviation from "correct").
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range.
+    pub fn restart_object(&mut self, id: ObjectId, behavior: Box<dyn ObjectBehavior<Q, R> + Send>) {
+        self.crash_object(id);
+        let (tx, handle) = spawn_worker(id, behavior, self.jitter);
+        self.senders[id.index()] = Some(tx);
+        self.handles[id.index()] = Some(handle);
     }
 }
 
@@ -599,6 +645,32 @@ mod tests {
             assert_eq!(out, 11);
             assert_eq!(rounds, 1);
         }
+    }
+
+    #[test]
+    fn restart_revives_a_crashed_slot() {
+        let mut cl = cluster(3);
+        cl.crash_object(ObjectId(1));
+        cl.crash_object(ObjectId(2));
+        assert!(cl.is_crashed(ObjectId(1)));
+        let mut client = ThreadClient::new(ClientId::reader(0));
+        // Quorum of 3 unreachable with 2 of 3 down.
+        assert!(client
+            .run_op(
+                &cl,
+                Box::new(Collect { need: 3, got: 0 }),
+                Duration::from_millis(50),
+            )
+            .is_none());
+        // Restarting one slot brings the quorum back.
+        cl.restart_object(ObjectId(1), Box::new(Echo));
+        assert!(!cl.is_crashed(ObjectId(1)));
+        let res = client.run_op(
+            &cl,
+            Box::new(Collect { need: 2, got: 0 }),
+            Duration::from_secs(5),
+        );
+        assert!(res.is_some());
     }
 
     #[test]

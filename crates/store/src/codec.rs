@@ -1,0 +1,225 @@
+//! The on-disk record codec: mutating requests (WAL records) and
+//! per-register state exports (snapshot records).
+//!
+//! The byte discipline — fixed-width little-endian fields, `u32` length
+//! prefixes, one tag byte per enum, bounds-checked decoding — comes from
+//! the shared primitives in [`rastor_common::bytes`] (the same ones the
+//! wire codec builds on), while the record *layouts* defined here are the
+//! durability format's own, versioned independently of the wire
+//! ([`crate::wal::STORE_VERSION`] vs `rastor_net::wire::WIRE_VERSION`)
+//! and free to diverge from it.
+//!
+//! Malformed bytes decode to [`Error`](rastor_common::Error)`::Codec`,
+//! never a panic: a recovering object owns whatever the disk gives it
+//! back.
+
+use rastor_common::bytes::{put_bytes, put_len, put_u32, put_u64, Dec};
+use rastor_common::{Error, RegId, Result, Timestamp, TsVal, Value};
+use rastor_core::msg::{ObjectView, Req, Stamped};
+use rastor_core::token::Token;
+
+// ---------------------------------------------------------------------------
+// Encoding
+// ---------------------------------------------------------------------------
+
+fn put_reg(out: &mut Vec<u8>, reg: RegId) {
+    match reg {
+        RegId::Writer(i) => {
+            out.push(0);
+            put_u32(out, i);
+        }
+        RegId::ReaderReg(i) => {
+            out.push(1);
+            put_u32(out, i);
+        }
+    }
+}
+
+fn put_stamped(out: &mut Vec<u8>, s: &Stamped) {
+    put_u64(out, s.pair.ts.0);
+    put_bytes(out, s.pair.val.as_bytes());
+    match s.token {
+        None => out.push(0),
+        Some(tok) => {
+            out.push(1);
+            put_u64(out, tok.to_bits());
+        }
+    }
+}
+
+/// Encode one *mutating* request as a WAL record payload. Returns `None`
+/// for [`Req::Collect`] — reads change nothing and are never logged.
+pub fn encode_mutation(req: &Req) -> Option<Vec<u8>> {
+    let mut out = Vec::with_capacity(32);
+    let (tag, reg, pair) = match req {
+        Req::Collect { .. } => return None,
+        Req::Store { reg, pair } => (1u8, reg, pair),
+        Req::PreWrite { reg, pair } => (2, reg, pair),
+        Req::Commit { reg, pair } => (3, reg, pair),
+    };
+    out.push(tag);
+    put_reg(&mut out, *reg);
+    put_stamped(&mut out, pair);
+    Some(out)
+}
+
+/// Encode one register's exported view as a snapshot record payload.
+pub fn encode_snapshot_entry(reg: RegId, view: &ObjectView) -> Vec<u8> {
+    let mut out = Vec::with_capacity(64);
+    put_reg(&mut out, reg);
+    put_stamped(&mut out, &view.pw);
+    put_stamped(&mut out, &view.w);
+    put_len(&mut out, view.hist.len());
+    for s in &view.hist {
+        put_stamped(&mut out, s);
+    }
+    out
+}
+
+// ---------------------------------------------------------------------------
+// Decoding
+// ---------------------------------------------------------------------------
+
+fn read_reg(d: &mut Dec<'_>) -> Result<RegId> {
+    match d.u8()? {
+        0 => Ok(RegId::Writer(d.u32()?)),
+        1 => Ok(RegId::ReaderReg(d.u32()?)),
+        t => Err(Error::codec(format!("unknown register tag {t}"))),
+    }
+}
+
+fn read_stamped(d: &mut Dec<'_>) -> Result<Stamped> {
+    let ts = Timestamp(d.u64()?);
+    let val = Value::from_bytes(d.bytes()?.to_vec());
+    let token = match d.u8()? {
+        0 => None,
+        1 => Some(Token::from_bits(d.u64()?)),
+        t => Err(Error::codec(format!("unknown token-presence tag {t}")))?,
+    };
+    Ok(Stamped {
+        pair: TsVal::new(ts, val),
+        token,
+    })
+}
+
+/// Decode one WAL record payload back into the mutation it logged
+/// (the inverse of [`encode_mutation`]); rejects trailing bytes.
+///
+/// # Errors
+///
+/// [`Error::Codec`] on any malformation.
+pub fn decode_mutation(body: &[u8]) -> Result<Req> {
+    let mut d = Dec::new(body);
+    let tag = d.u8()?;
+    let reg = read_reg(&mut d)?;
+    let pair = read_stamped(&mut d)?;
+    let req = match tag {
+        1 => Req::Store { reg, pair },
+        2 => Req::PreWrite { reg, pair },
+        3 => Req::Commit { reg, pair },
+        t => return Err(Error::codec(format!("unknown mutation tag {t}"))),
+    };
+    d.done()?;
+    Ok(req)
+}
+
+/// Decode one snapshot record payload back into a `(register, view)` pair
+/// (the inverse of [`encode_snapshot_entry`]); rejects trailing bytes.
+///
+/// # Errors
+///
+/// [`Error::Codec`] on any malformation.
+pub fn decode_snapshot_entry(body: &[u8]) -> Result<(RegId, ObjectView)> {
+    let mut d = Dec::new(body);
+    let reg = read_reg(&mut d)?;
+    let pw = read_stamped(&mut d)?;
+    let w = read_stamped(&mut d)?;
+    let n = d.seq_len()?;
+    let mut hist = Vec::with_capacity(n);
+    for _ in 0..n {
+        hist.push(read_stamped(&mut d)?);
+    }
+    d.done()?;
+    Ok((reg, ObjectView { pw, w, hist }))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn stamped(ts: u64, v: u64) -> Stamped {
+        Stamped::plain(TsVal::new(Timestamp(ts), Value::from_u64(v)))
+    }
+
+    #[test]
+    fn mutations_roundtrip() {
+        let reqs = [
+            Req::Store {
+                reg: RegId::WRITER,
+                pair: stamped(1, 10),
+            },
+            Req::PreWrite {
+                reg: RegId::ReaderReg(3),
+                pair: stamped(2, 20),
+            },
+            Req::Commit {
+                reg: RegId::Writer(7),
+                pair: Stamped {
+                    pair: TsVal::new(Timestamp(3), Value::from_u64(30)),
+                    token: Some(Token::from_bits(0xDEAD_BEEF)),
+                },
+            },
+        ];
+        for req in reqs {
+            let body = encode_mutation(&req).expect("mutations encode");
+            assert_eq!(decode_mutation(&body).expect("decodes"), req);
+        }
+    }
+
+    #[test]
+    fn collect_is_not_a_mutation() {
+        assert!(encode_mutation(&Req::Collect {
+            regs: vec![RegId::WRITER]
+        })
+        .is_none());
+    }
+
+    #[test]
+    fn snapshot_entries_roundtrip() {
+        let view = ObjectView {
+            pw: stamped(4, 40),
+            w: stamped(3, 30),
+            hist: vec![Stamped::bottom(), stamped(3, 30), stamped(4, 40)],
+        };
+        let body = encode_snapshot_entry(RegId::ReaderReg(2), &view);
+        let (reg, got) = decode_snapshot_entry(&body).expect("decodes");
+        assert_eq!(reg, RegId::ReaderReg(2));
+        assert_eq!(got, view);
+    }
+
+    #[test]
+    fn every_truncation_is_a_codec_error() {
+        let body = encode_mutation(&Req::Commit {
+            reg: RegId::WRITER,
+            pair: stamped(9, 90),
+        })
+        .expect("encodes");
+        for cut in 0..body.len() {
+            assert!(
+                decode_mutation(&body[..cut]).is_err(),
+                "cut at {cut} must fail"
+            );
+        }
+    }
+
+    #[test]
+    fn trailing_bytes_rejected() {
+        let mut body = encode_mutation(&Req::Store {
+            reg: RegId::WRITER,
+            pair: stamped(1, 1),
+        })
+        .expect("encodes");
+        body.push(0);
+        assert!(decode_mutation(&body).is_err());
+    }
+}

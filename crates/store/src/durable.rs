@@ -1,0 +1,532 @@
+//! [`DurableObject`]: an [`HonestObject`] whose every mutation hits a
+//! write-ahead log before it is acknowledged, with periodic compacting
+//! snapshots — and the [`Durability`] trait that lets every substrate
+//! (in-process clusters, socket servers, the sharded kv store) pick
+//! between today's purely in-memory objects and WAL-backed ones without
+//! knowing anything about files.
+//!
+//! ## The recovery contract
+//!
+//! *Nothing is acknowledged before it is logged.* `on_request` appends the
+//! mutation record (and flushes it to the OS) **before** applying it to
+//! the in-memory state and replying; if the append fails, the object
+//! returns no reply at all — to the protocol that is indistinguishable
+//! from a crash, which is exactly the fault model the quorums already
+//! tolerate. A recovered object therefore vouches for every pair it ever
+//! acked, which is what lets it rejoin its quorum as a *correct* (if
+//! forgetful-of-nothing) object rather than a Byzantine one.
+//!
+//! **Durability scope.** By default the invariant holds against *process
+//! kills*: records reach the OS page cache at ack time, so killing the
+//! object's thread or its whole process loses nothing, but an OS crash
+//! or power loss could still eat an acked tail (making the survivor an
+//! amnesiac — i.e. a fault the budget did not agree to fund). Deployments
+//! that need to survive power loss enable
+//! [`WalBacked::with_fsync`], which pays an `fdatasync` per logged
+//! mutation to extend the invariant to stable storage.
+//!
+//! *Replay is prefix-consistent.* The WAL truncates its torn tail on
+//! replay (see [`crate::wal`]), so the recovered state is the state after
+//! some prefix of the logged mutations — and because [`HonestObject`]
+//! updates are monotone in timestamp order, pairs the object adopted but
+//! never acked may be missing without any protocol-visible effect.
+//!
+//! *Timestamps survive.* Snapshots and WAL records persist full
+//! [`Stamped`](rastor_core::msg::Stamped) pairs (timestamps, values and
+//! secret-model tokens), so a recovered object answers collects with the
+//! same `(ts, val)` evidence it held before the kill — no history rewind,
+//! no fresh-epoch renumbering.
+
+use crate::codec;
+use crate::wal::{read_snapshot, write_snapshot, Wal};
+use rastor_common::{ClientId, Error, ObjectId, Result};
+use rastor_core::msg::{Rep, Req};
+use rastor_core::object::HonestObject;
+use rastor_sim::ObjectBehavior;
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+
+/// Default number of logged mutations between compacting snapshots.
+pub const DEFAULT_SNAPSHOT_EVERY: u64 = 1024;
+
+/// What a [`DurableObject::open`] recovery found on disk.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub struct RecoveryStats {
+    /// Registers restored from the snapshot (0 if none existed).
+    pub snapshot_regs: usize,
+    /// WAL mutations replayed on top of the snapshot.
+    pub wal_records: u64,
+    /// Bytes cut off a torn WAL tail (0 for a clean shutdown).
+    pub truncated_bytes: u64,
+}
+
+fn wal_path(dir: &Path, id: ObjectId) -> PathBuf {
+    dir.join(format!("obj-{}.wal", id.0))
+}
+
+fn snap_path(dir: &Path, id: ObjectId) -> PathBuf {
+    dir.join(format!("obj-{}.snap", id.0))
+}
+
+/// An honest storage object whose state survives its process: every
+/// mutation is logged before it is acked, and every `snapshot_every`
+/// mutations the full register state is snapshotted and the log compacted.
+#[derive(Debug)]
+pub struct DurableObject {
+    obj: HonestObject,
+    wal: Wal,
+    snap: PathBuf,
+    snapshot_every: u64,
+    since_snapshot: u64,
+    /// `fdatasync` after every logged mutation (power-loss durability).
+    fsync: bool,
+    /// Set after a log/snapshot failure: the object goes silent (crash
+    /// semantics) instead of acking writes it cannot make durable.
+    broken: bool,
+}
+
+impl DurableObject {
+    /// Open (or create) the durable object `id` under `dir`: load the
+    /// snapshot if one exists, replay the WAL's valid prefix on top
+    /// (truncating any torn tail), and return the recovered object plus
+    /// what recovery found. Process-kill durability (no per-record
+    /// fsync); see [`DurableObject::open_with`].
+    ///
+    /// # Errors
+    ///
+    /// [`Error::Io`] on filesystem failures, [`Error::Codec`] /
+    /// [`Error::VersionMismatch`] on a corrupt snapshot or foreign file
+    /// headers (torn WAL *records* truncate instead of erroring).
+    pub fn open(
+        dir: &Path,
+        id: ObjectId,
+        snapshot_every: u64,
+    ) -> Result<(DurableObject, RecoveryStats)> {
+        DurableObject::open_with(dir, id, snapshot_every, false)
+    }
+
+    /// As [`DurableObject::open`], with the durability scope explicit:
+    /// `fsync = true` pays an `fdatasync` per logged mutation, extending
+    /// the log-before-ack invariant from process kills to power loss.
+    ///
+    /// # Errors
+    ///
+    /// As [`DurableObject::open`].
+    pub fn open_with(
+        dir: &Path,
+        id: ObjectId,
+        snapshot_every: u64,
+        fsync: bool,
+    ) -> Result<(DurableObject, RecoveryStats)> {
+        std::fs::create_dir_all(dir)
+            .map_err(|e| Error::io(format!("creating data dir {}", dir.display()), &e))?;
+        let snap = snap_path(dir, id);
+        let mut obj = match read_snapshot(&snap)? {
+            None => HonestObject::new(),
+            Some(entries) => {
+                let regs = entries
+                    .iter()
+                    .map(|e| codec::decode_snapshot_entry(e))
+                    .collect::<Result<Vec<_>>>()?;
+                HonestObject::from_export(regs)
+            }
+        };
+        let snapshot_regs = obj.num_regs();
+        let (wal, records, replay) = Wal::open(wal_path(dir, id))?;
+        for rec in &records {
+            let req = codec::decode_mutation(rec)?;
+            obj.apply(&req);
+        }
+        Ok((
+            DurableObject {
+                obj,
+                wal,
+                snap,
+                snapshot_every: snapshot_every.max(1),
+                // The replayed records are mutations since the last
+                // snapshot: seed the counter with them, or a deployment
+                // killed every < snapshot_every mutations would never
+                // compact and its WAL (and recovery time) would grow
+                // without bound.
+                since_snapshot: replay.records,
+                fsync,
+                broken: false,
+            },
+            RecoveryStats {
+                snapshot_regs,
+                wal_records: replay.records,
+                truncated_bytes: replay.truncated_bytes,
+            },
+        ))
+    }
+
+    /// The recovered in-memory state (for assertions and snapshots).
+    pub fn object(&self) -> &HonestObject {
+        &self.obj
+    }
+
+    /// Snapshot the full register state and compact the WAL.
+    fn snapshot(&mut self) -> Result<()> {
+        let entries: Vec<Vec<u8>> = self
+            .obj
+            .export_regs()
+            .iter()
+            .map(|(reg, view)| codec::encode_snapshot_entry(*reg, view))
+            .collect();
+        write_snapshot(&self.snap, &entries)?;
+        self.wal.reset()?;
+        self.since_snapshot = 0;
+        Ok(())
+    }
+}
+
+impl ObjectBehavior<Req, Rep> for DurableObject {
+    /// Log-then-apply-then-reply. A persistence failure turns the object
+    /// silent from that point on — never acking an un-logged mutation —
+    /// which the protocols treat as one more crash within the budget.
+    fn on_request(&mut self, _from: ClientId, req: &Req) -> Option<Rep> {
+        if self.broken {
+            return None;
+        }
+        if let Some(record) = codec::encode_mutation(req) {
+            if self.wal.append(&record).is_err() || (self.fsync && self.wal.sync_data().is_err()) {
+                self.broken = true;
+                return None;
+            }
+            self.since_snapshot += 1;
+            let rep = self.obj.apply(req);
+            if self.since_snapshot >= self.snapshot_every && self.snapshot().is_err() {
+                // The mutation itself is logged; only compaction failed.
+                // Future appends will keep trying against the long log,
+                // but a snapshot failure usually means the disk is gone:
+                // go silent rather than risk acking into the void.
+                self.broken = true;
+                return None;
+            }
+            Some(rep)
+        } else {
+            // Collects mutate nothing: serve them straight from memory.
+            Some(self.obj.apply(req))
+        }
+    }
+}
+
+/// How a deployment persists (or doesn't persist) its storage objects.
+///
+/// Implementations are handed around as `Arc<dyn Durability>` inside
+/// store/server configs; [`Durability::for_shard`] narrows one to a
+/// per-shard scope (a sub-directory, for WAL-backed stores) so a sharded
+/// deployment lays its data out as `dir/shard-<s>/obj-<o>.{wal,snap}`.
+pub trait Durability: Send + Sync + std::fmt::Debug {
+    /// Narrow to the scope of one shard (no-op for in-memory).
+    fn for_shard(&self, shard: usize) -> Arc<dyn Durability>;
+
+    /// Whether objects built here can be killed and restarted from disk
+    /// with their state intact.
+    fn recoverable(&self) -> bool;
+
+    /// Build — or, when files already exist, *recover* — the behavior for
+    /// object `id`. Cold-starting a WAL-backed deployment on an existing
+    /// data dir is exactly this call finding state on disk.
+    ///
+    /// # Errors
+    ///
+    /// Filesystem and corruption errors from the WAL-backed
+    /// implementation; infallible in memory.
+    fn object(
+        &self,
+        id: ObjectId,
+    ) -> Result<(Box<dyn ObjectBehavior<Req, Rep> + Send>, RecoveryStats)>;
+
+    /// Open (or create) the auxiliary record log `name` in this scope and
+    /// replay its valid prefix — the hook higher layers persist their own
+    /// metadata through (the sharded kv store keeps its per-shard key
+    /// directory in one of these). `Ok(None)` for scopes that do not
+    /// persist ([`InMemory`]).
+    ///
+    /// # Errors
+    ///
+    /// Filesystem and header-corruption errors from the WAL-backed
+    /// implementation.
+    fn aux_log(&self, name: &str) -> Result<Option<(Wal, Vec<Vec<u8>>)>>;
+
+    /// A short label for bench rows and logs (`"mem"` / `"wal"`).
+    fn label(&self) -> &'static str;
+}
+
+/// Today's behavior: objects live and die in memory. A killed object is a
+/// permanent crash; a "restarted" one would be an amnesiac, so
+/// restart-from-disk is refused (`recoverable() == false`).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct InMemory;
+
+impl Durability for InMemory {
+    fn for_shard(&self, _shard: usize) -> Arc<dyn Durability> {
+        Arc::new(InMemory)
+    }
+
+    fn recoverable(&self) -> bool {
+        false
+    }
+
+    fn object(
+        &self,
+        _id: ObjectId,
+    ) -> Result<(Box<dyn ObjectBehavior<Req, Rep> + Send>, RecoveryStats)> {
+        Ok((Box::new(HonestObject::new()), RecoveryStats::default()))
+    }
+
+    fn aux_log(&self, _name: &str) -> Result<Option<(Wal, Vec<Vec<u8>>)>> {
+        Ok(None)
+    }
+
+    fn label(&self) -> &'static str {
+        "mem"
+    }
+}
+
+/// WAL-backed durability: objects append to per-object logs under `dir`
+/// and can be killed and restarted from disk mid-run.
+#[derive(Clone, Debug)]
+pub struct WalBacked {
+    dir: PathBuf,
+    snapshot_every: u64,
+    fsync: bool,
+}
+
+impl WalBacked {
+    /// WAL-backed durability rooted at `dir` (created on demand), with the
+    /// default compaction cadence ([`DEFAULT_SNAPSHOT_EVERY`]) and
+    /// process-kill durability (no per-record fsync).
+    pub fn new(dir: impl Into<PathBuf>) -> WalBacked {
+        WalBacked {
+            dir: dir.into(),
+            snapshot_every: DEFAULT_SNAPSHOT_EVERY,
+            fsync: false,
+        }
+    }
+
+    /// Set the number of logged mutations between compacting snapshots
+    /// (clamped to ≥ 1).
+    #[must_use]
+    pub fn with_snapshot_every(mut self, every: u64) -> WalBacked {
+        self.snapshot_every = every.max(1);
+        self
+    }
+
+    /// `fdatasync` after every logged mutation: extends the
+    /// log-before-ack invariant from process kills to OS crash / power
+    /// loss, at a per-mutation disk-sync cost (see the durability-scope
+    /// note on [`DurableObject`]'s module docs).
+    #[must_use]
+    pub fn with_fsync(mut self, fsync: bool) -> WalBacked {
+        self.fsync = fsync;
+        self
+    }
+
+    /// The root data directory.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+}
+
+impl Durability for WalBacked {
+    fn for_shard(&self, shard: usize) -> Arc<dyn Durability> {
+        Arc::new(WalBacked {
+            dir: self.dir.join(format!("shard-{shard}")),
+            snapshot_every: self.snapshot_every,
+            fsync: self.fsync,
+        })
+    }
+
+    fn recoverable(&self) -> bool {
+        true
+    }
+
+    fn object(
+        &self,
+        id: ObjectId,
+    ) -> Result<(Box<dyn ObjectBehavior<Req, Rep> + Send>, RecoveryStats)> {
+        let (obj, stats) =
+            DurableObject::open_with(&self.dir, id, self.snapshot_every, self.fsync)?;
+        Ok((Box::new(obj), stats))
+    }
+
+    fn aux_log(&self, name: &str) -> Result<Option<(Wal, Vec<Vec<u8>>)>> {
+        std::fs::create_dir_all(&self.dir)
+            .map_err(|e| Error::io(format!("creating data dir {}", self.dir.display()), &e))?;
+        let (wal, records, _) = Wal::open(self.dir.join(format!("{name}.wal")))?;
+        Ok(Some((wal, records)))
+    }
+
+    fn label(&self) -> &'static str {
+        "wal"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tempdir::TempDir;
+    use rastor_common::{RegId, Timestamp, TsVal, Value};
+    use rastor_core::msg::Stamped;
+
+    fn commit(ts: u64, v: u64) -> Req {
+        Req::Commit {
+            reg: RegId::WRITER,
+            pair: Stamped::plain(TsVal::new(Timestamp(ts), Value::from_u64(v))),
+        }
+    }
+
+    fn drive(obj: &mut DurableObject, reqs: impl IntoIterator<Item = Req>) {
+        for req in reqs {
+            obj.on_request(ClientId::writer(), &req)
+                .expect("durable object replies");
+        }
+    }
+
+    #[test]
+    fn state_survives_a_reopen() {
+        let dir = TempDir::new("durable-reopen");
+        let id = ObjectId(0);
+        let (mut obj, stats) = DurableObject::open(dir.path(), id, 1024).expect("open");
+        assert_eq!(stats, RecoveryStats::default());
+        drive(&mut obj, (1..=5).map(|i| commit(i, i * 10)));
+        let before = obj.object().export_regs();
+        drop(obj);
+        let (obj, stats) = DurableObject::open(dir.path(), id, 1024).expect("recover");
+        assert_eq!(stats.wal_records, 5);
+        assert_eq!(stats.snapshot_regs, 0);
+        assert_eq!(obj.object().export_regs(), before, "state identical");
+        // Timestamps survive verbatim.
+        assert_eq!(obj.object().view_of(RegId::WRITER).w.pair.ts, Timestamp(5));
+    }
+
+    #[test]
+    fn snapshots_compact_the_log_without_losing_state() {
+        let dir = TempDir::new("durable-compact");
+        let id = ObjectId(3);
+        let (mut obj, _) = DurableObject::open(dir.path(), id, 4).expect("open");
+        drive(&mut obj, (1..=10).map(|i| commit(i, i)));
+        let before = obj.object().export_regs();
+        drop(obj);
+        let (obj, stats) = DurableObject::open(dir.path(), id, 4).expect("recover");
+        assert!(
+            stats.snapshot_regs > 0,
+            "a snapshot must have been taken: {stats:?}"
+        );
+        assert!(
+            stats.wal_records < 10,
+            "the log must have been compacted: {stats:?}"
+        );
+        assert_eq!(obj.object().export_regs(), before);
+    }
+
+    /// Regression: recovery seeds the compaction counter with the
+    /// replayed record count, so kill/restart cycles shorter than
+    /// `snapshot_every` still compact — the WAL must not grow without
+    /// bound across restarts.
+    #[test]
+    fn repeated_short_lived_restarts_still_compact() {
+        let dir = TempDir::new("durable-restart-compaction");
+        let id = ObjectId(0);
+        let every = 10u64;
+        let mut ts = 0u64;
+        for _cycle in 0..8 {
+            let (mut obj, stats) = DurableObject::open(dir.path(), id, every).expect("open");
+            assert!(
+                stats.wal_records < every,
+                "wal must stay bounded by the snapshot cadence: {stats:?}"
+            );
+            // Fewer mutations than the cadence per lifetime.
+            for _ in 0..every - 3 {
+                ts += 1;
+                drive(&mut obj, [commit(ts, ts)]);
+            }
+        }
+        let (obj, stats) = DurableObject::open(dir.path(), id, every).expect("final open");
+        assert!(stats.snapshot_regs > 0, "snapshots must have happened");
+        assert_eq!(
+            obj.object().view_of(RegId::WRITER).w.pair.ts,
+            Timestamp(ts),
+            "no mutation lost across the restart cycles"
+        );
+    }
+
+    #[test]
+    fn collects_are_not_logged() {
+        let dir = TempDir::new("durable-collect");
+        let id = ObjectId(1);
+        let (mut obj, _) = DurableObject::open(dir.path(), id, 1024).expect("open");
+        drive(&mut obj, [commit(1, 1)]);
+        for _ in 0..50 {
+            obj.on_request(
+                ClientId::reader(0),
+                &Req::Collect {
+                    regs: vec![RegId::WRITER],
+                },
+            )
+            .expect("collect replies");
+        }
+        drop(obj);
+        let (_, stats) = DurableObject::open(dir.path(), id, 1024).expect("recover");
+        assert_eq!(stats.wal_records, 1, "only the commit was logged");
+    }
+
+    #[test]
+    fn objects_in_one_dir_are_isolated() {
+        let dir = TempDir::new("durable-isolated");
+        let (mut a, _) = DurableObject::open(dir.path(), ObjectId(0), 1024).expect("open a");
+        let (mut b, _) = DurableObject::open(dir.path(), ObjectId(1), 1024).expect("open b");
+        drive(&mut a, [commit(1, 100)]);
+        drive(&mut b, [commit(2, 200)]);
+        drop((a, b));
+        let (a, _) = DurableObject::open(dir.path(), ObjectId(0), 1024).expect("reopen a");
+        let (b, _) = DurableObject::open(dir.path(), ObjectId(1), 1024).expect("reopen b");
+        assert_eq!(a.object().view_of(RegId::WRITER).w.pair.ts, Timestamp(1));
+        assert_eq!(b.object().view_of(RegId::WRITER).w.pair.ts, Timestamp(2));
+    }
+
+    #[test]
+    fn fsync_mode_roundtrips_and_scopes_survive() {
+        let dir = TempDir::new("durable-fsync");
+        let wal = WalBacked::new(dir.path()).with_fsync(true);
+        let scoped = wal.for_shard(2); // fsync survives shard scoping
+        let (mut obj, _) = scoped.object(ObjectId(0)).expect("open with fsync");
+        assert!(obj.on_request(ClientId::writer(), &commit(1, 11)).is_some());
+        drop(obj);
+        let (_, stats) = scoped.object(ObjectId(0)).expect("recover");
+        assert_eq!(stats.wal_records, 1);
+    }
+
+    #[test]
+    fn in_memory_is_not_recoverable_wal_is() {
+        let dir = TempDir::new("durable-labels");
+        let mem = InMemory;
+        let wal = WalBacked::new(dir.path());
+        assert!(!mem.recoverable());
+        assert!(wal.recoverable());
+        assert_eq!(mem.label(), "mem");
+        assert_eq!(wal.label(), "wal");
+        let (_, stats) = mem.object(ObjectId(0)).expect("mem object");
+        assert_eq!(stats, RecoveryStats::default());
+    }
+
+    #[test]
+    fn shard_scoping_separates_data_dirs() {
+        let dir = TempDir::new("durable-shards");
+        let root = WalBacked::new(dir.path());
+        let s0 = root.for_shard(0);
+        let s1 = root.for_shard(1);
+        let (mut a, _) = s0.object(ObjectId(0)).expect("s0 obj");
+        let (mut b, _) = s1.object(ObjectId(0)).expect("s1 obj");
+        assert!(a.on_request(ClientId::writer(), &commit(1, 1)).is_some());
+        assert!(b.on_request(ClientId::writer(), &commit(9, 9)).is_some());
+        drop((a, b));
+        // Same object id, different shards: independent files.
+        let (_, stats) = s1.object(ObjectId(0)).expect("reopen s1");
+        assert_eq!(stats.wal_records, 1);
+        assert!(dir.path().join("shard-0").join("obj-0.wal").exists());
+        assert!(dir.path().join("shard-1").join("obj-0.wal").exists());
+    }
+}

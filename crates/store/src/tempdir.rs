@@ -1,0 +1,50 @@
+//! A tiny RAII temporary-directory helper for tests, benches and examples
+//! that need a throwaway data dir — the workspace builds offline, so there
+//! is no `tempfile` crate to lean on.
+
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+static NEXT: AtomicU64 = AtomicU64::new(0);
+
+/// A uniquely named directory under the system temp dir, removed (best
+/// effort) on drop.
+///
+/// ```
+/// use rastor_store::TempDir;
+/// let dir = TempDir::new("doc");
+/// std::fs::write(dir.path().join("probe"), b"x")?;
+/// assert!(dir.path().join("probe").exists());
+/// # Ok::<(), std::io::Error>(())
+/// ```
+#[derive(Debug)]
+pub struct TempDir {
+    path: PathBuf,
+}
+
+impl TempDir {
+    /// Create a fresh directory tagged `tag` (unique per process + call).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the directory cannot be created — a test environment
+    /// without a writable temp dir cannot run durability tests at all.
+    pub fn new(tag: &str) -> TempDir {
+        let nonce = NEXT.fetch_add(1, Ordering::Relaxed);
+        let path =
+            std::env::temp_dir().join(format!("rastor-{tag}-{}-{nonce}", std::process::id()));
+        std::fs::create_dir_all(&path).expect("creating a temp dir");
+        TempDir { path }
+    }
+
+    /// The directory's path.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+}
+
+impl Drop for TempDir {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_dir_all(&self.path);
+    }
+}

@@ -10,12 +10,18 @@
 //! which keeps absolute numbers comparable across machines.
 //!
 //! Understands the `rastor-kv-throughput/v2` schema (v1 plus a per-row
-//! `depth` field) and the `rastor-net-throughput/v1` schema (per-row
-//! `transport`), and gates the structural claims of both outright:
-//! sharding must win (`s4-X` > `s1-X`), pipelining must win (`X-dN` >
-//! `X` at equal shard count; rows missing `depth` are treated as depth
-//! 1), and the chaos proxy must actually bite (`chaos-X` < its `tcp-X`
-//! twin — a chaos row matching plain tcp means no faults were injected).
+//! `depth` field), the `rastor-net-throughput/v1` schema (per-row
+//! `transport`) and the `rastor-store-throughput/v1` schema (per-row
+//! `durability` + optional `recover_ms`), and gates the structural claims
+//! of all three outright: sharding must win (`s4-X` > `s1-X`), pipelining
+//! must win (`X-dN` > `X` at equal shard count; rows missing `depth` are
+//! treated as depth 1), the chaos proxy must actually bite (`chaos-X` <
+//! its `tcp-X` twin — a chaos row matching plain tcp means no faults were
+//! injected), every `wal-X` durability row must have its `mem-X` twin
+//! (and vice versa — a missing twin means half the comparison silently
+//! stopped running), and a store document must carry measured recovery
+//! times (`recover_ms` > 0 on every `restart-*`/`replay-*` row, at least
+//! one such row present).
 //!
 //! Standalone by design — compiled directly in CI with no cargo project.
 //! The current-run argument takes a comma-separated file list, so one
@@ -24,7 +30,7 @@
 //!
 //! ```console
 //! rustc --edition 2021 -O scripts/check_bench.rs -o /tmp/check_bench
-//! /tmp/check_bench BENCH_kv.json,BENCH_net.json scripts/bench_baseline.json [tolerance]
+//! /tmp/check_bench BENCH_kv.json,BENCH_net.json,BENCH_store.json scripts/bench_baseline.json [tolerance]
 //! ```
 //!
 //! Parsing relies on the emitters' line discipline (`bench_json` /
@@ -42,15 +48,29 @@ fn field<'a>(line: &'a str, name: &str) -> Option<&'a str> {
     Some(rest[..end].trim().trim_matches('"'))
 }
 
-/// One parsed result row: `(name, depth, ops_per_sec)`; `depth` defaults
-/// to 1 for v1 documents.
-fn results(doc: &str) -> Vec<(String, u32, f64)> {
+/// One parsed result row.
+struct Row {
+    name: String,
+    /// Defaults to 1 for documents without the field.
+    depth: u32,
+    ops_per_sec: f64,
+    /// Present on store-schema recovery rows only.
+    recover_ms: Option<f64>,
+}
+
+fn results(doc: &str) -> Vec<Row> {
     doc.lines()
         .filter_map(|line| {
             let name = field(line, "name")?;
             let tput: f64 = field(line, "ops_per_sec")?.parse().ok()?;
             let depth: u32 = field(line, "depth").and_then(|d| d.parse().ok()).unwrap_or(1);
-            Some((name.to_string(), depth, tput))
+            let recover_ms: Option<f64> = field(line, "recover_ms").and_then(|r| r.parse().ok());
+            Some(Row {
+                name: name.to_string(),
+                depth,
+                ops_per_sec: tput,
+                recover_ms,
+            })
         })
         .collect()
 }
@@ -68,10 +88,9 @@ fn main() -> ExitCode {
     let read = |path: &str| -> String {
         std::fs::read_to_string(path).unwrap_or_else(|e| panic!("cannot read {path}: {e}"))
     };
-    let current: Vec<(String, u32, f64)> = args[1]
-        .split(',')
-        .flat_map(|path| results(&read(path)))
-        .collect();
+    let docs: Vec<String> = args[1].split(',').map(&read).collect();
+    let store_doc_present = docs.iter().any(|d| d.contains("rastor-store-throughput"));
+    let current: Vec<Row> = docs.iter().flat_map(|doc| results(doc)).collect();
     let baseline = results(&read(&args[2]));
     if baseline.is_empty() {
         eprintln!("baseline {} contains no results", args[2]);
@@ -83,26 +102,32 @@ fn main() -> ExitCode {
         "{:<18} {:>12} {:>12} {:>8}   verdict (tolerance {tolerance}x)",
         "workload", "baseline", "current", "ratio"
     );
-    for (name, _, base) in &baseline {
-        match current.iter().find(|(n, _, _)| n == name) {
+    for b in &baseline {
+        match current.iter().find(|r| r.name == b.name) {
             None => {
-                println!("{name:<18} {base:>12.1} {:>12} {:>8}   MISSING", "-", "-");
+                println!(
+                    "{:<18} {:>12.1} {:>12} {:>8}   MISSING",
+                    b.name, b.ops_per_sec, "-", "-"
+                );
                 failed = true;
             }
-            Some((_, _, cur)) => {
-                let ratio = cur / base.max(1e-9);
-                let ok = *cur >= base / tolerance;
+            Some(cur) => {
+                let ratio = cur.ops_per_sec / b.ops_per_sec.max(1e-9);
+                let ok = cur.ops_per_sec >= b.ops_per_sec / tolerance;
                 println!(
-                    "{name:<18} {base:>12.1} {cur:>12.1} {ratio:>7.2}x   {}",
+                    "{:<18} {:>12.1} {:>12.1} {ratio:>7.2}x   {}",
+                    b.name,
+                    b.ops_per_sec,
+                    cur.ops_per_sec,
                     if ok { "ok" } else { "REGRESSION" }
                 );
                 failed |= !ok;
             }
         }
     }
-    for (name, _, _) in &current {
-        if !baseline.iter().any(|(n, _, _)| n == name) {
-            println!("{name:<18} (new workload, no baseline — ok)");
+    for r in &current {
+        if !baseline.iter().any(|b| b.name == r.name) {
+            println!("{:<18} (new workload, no baseline — ok)", r.name);
         }
     }
 
@@ -114,18 +139,21 @@ fn main() -> ExitCode {
     // per-envelope service delay better the fewer shards a batch spans,
     // so a 4-thread depth-8 run on 1 shard can legitimately match 4
     // shards — the pipelining gate below covers those rows instead.
-    for (name, depth, single) in &current {
-        if *depth > 1 {
+    for r in &current {
+        if r.depth > 1 {
             continue;
         }
-        let Some(rest) = name.strip_prefix("s1-") else {
+        let Some(rest) = r.name.strip_prefix("s1-") else {
             continue;
         };
         let sharded_name = format!("s4-{rest}");
-        if let Some((_, _, sharded)) = current.iter().find(|(n, _, _)| *n == sharded_name) {
-            let ok = sharded > single;
+        if let Some(sharded) = current.iter().find(|c| c.name == sharded_name) {
+            let ok = sharded.ops_per_sec > r.ops_per_sec;
             println!(
-                "{name} {single:.1} vs {sharded_name} {sharded:.1}: {}",
+                "{} {:.1} vs {sharded_name} {:.1}: {}",
+                r.name,
+                r.ops_per_sec,
+                sharded.ops_per_sec,
                 if ok { "sharding wins — ok" } else { "NO SPEEDUP" }
             );
             failed |= !ok;
@@ -136,23 +164,26 @@ fn main() -> ExitCode {
     // (depth N > 1) must beat its closed-loop twin `X` at the same shard
     // count — keeping many ops in flight has to out-run one-at-a-time, or
     // the driver is serializing the pipeline.
-    for (name, depth, piped) in &current {
-        if *depth <= 1 {
+    for r in &current {
+        if r.depth <= 1 {
             continue;
         }
-        let suffix = format!("-d{depth}");
-        let Some(twin) = name.strip_suffix(suffix.as_str()) else {
+        let suffix = format!("-d{}", r.depth);
+        let Some(twin) = r.name.strip_suffix(suffix.as_str()) else {
             continue;
         };
-        match current.iter().find(|(n, d, _)| n == twin && *d == 1) {
+        match current.iter().find(|c| c.name == twin && c.depth == 1) {
             None => {
-                println!("{name} has no depth-1 twin {twin} — UNGATED");
+                println!("{} has no depth-1 twin {twin} — UNGATED", r.name);
                 failed = true;
             }
-            Some((_, _, closed)) => {
-                let ok = piped > closed;
+            Some(closed) => {
+                let ok = r.ops_per_sec > closed.ops_per_sec;
                 println!(
-                    "{twin} {closed:.1} vs {name} {piped:.1}: {}",
+                    "{twin} {:.1} vs {} {:.1}: {}",
+                    closed.ops_per_sec,
+                    r.name,
+                    r.ops_per_sec,
                     if ok { "pipelining wins — ok" } else { "NO SPEEDUP" }
                 );
                 failed |= !ok;
@@ -164,20 +195,23 @@ fn main() -> ExitCode {
     // fixed per-frame delay on an otherwise identical deployment, so a
     // chaos row that keeps up with plain tcp means the injection is not
     // happening (and the chaos soak tests are testing nothing).
-    for (name, _, chaotic) in &current {
-        let Some(rest) = name.strip_prefix("chaos-") else {
+    for r in &current {
+        let Some(rest) = r.name.strip_prefix("chaos-") else {
             continue;
         };
         let twin = format!("tcp-{rest}");
-        match current.iter().find(|(n, _, _)| *n == twin) {
+        match current.iter().find(|c| c.name == twin) {
             None => {
-                println!("{name} has no tcp twin {twin} — UNGATED");
+                println!("{} has no tcp twin {twin} — UNGATED", r.name);
                 failed = true;
             }
-            Some((_, _, tcp)) => {
-                let ok = chaotic < tcp;
+            Some(tcp) => {
+                let ok = r.ops_per_sec < tcp.ops_per_sec;
                 println!(
-                    "{twin} {tcp:.1} vs {name} {chaotic:.1}: {}",
+                    "{twin} {:.1} vs {} {:.1}: {}",
+                    tcp.ops_per_sec,
+                    r.name,
+                    r.ops_per_sec,
                     if ok {
                         "chaos bites — ok"
                     } else {
@@ -186,6 +220,62 @@ fn main() -> ExitCode {
                 );
                 failed |= !ok;
             }
+        }
+    }
+    // Cross-row invariant for the durability matrix: every `wal-X` row
+    // must have its `mem-X` twin and vice versa — a missing twin means
+    // half the durability comparison silently stopped running. The ratio
+    // is informational (WAL appends are cheap next to the emulated object
+    // service delay, so no direction is asserted); regressions are caught
+    // by the per-row baseline gate above.
+    for r in &current {
+        let (twin, what) = if let Some(rest) = r.name.strip_prefix("wal-") {
+            (format!("mem-{rest}"), "in-memory")
+        } else if let Some(rest) = r.name.strip_prefix("mem-") {
+            (format!("wal-{rest}"), "wal-backed")
+        } else {
+            continue;
+        };
+        match current.iter().find(|c| c.name == twin) {
+            None => {
+                println!("{} has no {what} twin {twin} — UNGATED", r.name);
+                failed = true;
+            }
+            Some(t) if r.name.starts_with("wal-") => {
+                println!(
+                    "{twin} {:.1} vs {} {:.1}: wal at {:.2}x of mem — ok",
+                    t.ops_per_sec,
+                    r.name,
+                    r.ops_per_sec,
+                    r.ops_per_sec / t.ops_per_sec.max(1e-9)
+                );
+            }
+            Some(_) => {}
+        }
+    }
+    // Recovery gate: a store document must measure recovery. Every
+    // `restart-*`/`replay-*` row needs a positive `recover_ms`, and at
+    // least one such row must exist when the store schema is present.
+    if store_doc_present {
+        let mut recovery_rows = 0usize;
+        for r in &current {
+            if !(r.name.starts_with("restart-") || r.name.starts_with("replay-")) {
+                continue;
+            }
+            recovery_rows += 1;
+            match r.recover_ms {
+                Some(ms) if ms > 0.0 => {
+                    println!("{}: recovered in {ms:.2} ms — ok", r.name);
+                }
+                _ => {
+                    println!("{}: NO MEASURED RECOVERY", r.name);
+                    failed = true;
+                }
+            }
+        }
+        if recovery_rows == 0 {
+            println!("store document present but no restart-*/replay-* rows — UNGATED");
+            failed = true;
         }
     }
     if failed {

@@ -1,0 +1,50 @@
+#!/usr/bin/env python3
+"""Link-check the repo's markdown docs.
+
+Scans every tracked *.md file for relative links/images and fails if a
+target file does not exist (http(s)/mailto links and pure #anchors are
+skipped — this gate is about repo-internal docs rotting, not the
+internet). Run from the repo root; CI runs it next to `cargo doc`, which
+covers the rustdoc side of the same problem.
+"""
+
+import pathlib
+import re
+import sys
+
+LINK = re.compile(r"!?\[[^\]]*\]\(([^)\s]+)\)")
+SKIP_DIRS = {"target", ".git", "vendor"}
+# Retrieval dumps, not authored docs: their figure refs point at assets
+# that were never part of this repo.
+SKIP_FILES = {"PAPERS.md", "SNIPPETS.md"}
+
+
+def md_files(root: pathlib.Path) -> list[pathlib.Path]:
+    return [
+        p
+        for p in root.rglob("*.md")
+        if not any(part in SKIP_DIRS for part in p.parts) and p.name not in SKIP_FILES
+    ]
+
+
+def main() -> None:
+    root = pathlib.Path(".")
+    bad: list[str] = []
+    checked = 0
+    for md in md_files(root):
+        for target in LINK.findall(md.read_text(encoding="utf-8")):
+            if target.startswith(("http://", "https://", "mailto:", "#")):
+                continue
+            checked += 1
+            path = (md.parent / target.split("#", 1)[0]).resolve()
+            if not path.exists():
+                bad.append(f"{md}: broken link -> {target}")
+    for b in bad:
+        print(b)
+    print(f"checked {checked} relative links across {len(md_files(root))} markdown files")
+    if bad:
+        sys.exit(1)
+
+
+if __name__ == "__main__":
+    main()

@@ -1,23 +1,34 @@
 #!/usr/bin/env python3
 """Rebuild scripts/bench_baseline.json from fresh quick-mode runs.
 
-Merges the result rows of BENCH_kv.json and BENCH_net.json (both produced
-by `exp t6 --quick` / `exp t7 --quick` in the repo root) into the single
-baseline document CI's check_bench gate compares against. The gate parses
-line-by-line, but the merged file is kept valid JSON for human tooling.
+Merges the result rows of BENCH_kv.json, BENCH_net.json and
+BENCH_store.json (produced by `exp t6 --quick` / `t7 --quick` /
+`t8 --quick` in the repo root) into the single baseline document CI's
+check_bench gate compares against. The gate parses line-by-line, but the
+merged file is kept valid JSON for human tooling.
+
+Recovery rows (any row carrying a `recover_ms` field) are excluded from
+the baseline on purpose: replay rate and restart latency are disk- and
+machine-bound, not service-delay-bound, so a cross-machine throughput
+ratio on them is noise. check_bench gates them structurally instead
+(present + positive).
 """
 
 import json
 import sys
 
-SOURCES = ["BENCH_kv.json", "BENCH_net.json"]
+SOURCES = ["BENCH_kv.json", "BENCH_net.json", "BENCH_store.json"]
 TARGET = "scripts/bench_baseline.json"
 
 
 def rows(path: str) -> list[str]:
     with open(path) as f:
         doc = f.read()
-    found = [line.rstrip().rstrip(",") for line in doc.splitlines() if '"name"' in line]
+    found = [
+        line.rstrip().rstrip(",")
+        for line in doc.splitlines()
+        if '"name"' in line and '"recover_ms"' not in line
+    ]
     if not found:
         sys.exit(f"{path}: no result rows found — run the exp table first")
     return found

@@ -13,6 +13,8 @@
 //!   regular, the regular→atomic transformation) and history checkers;
 //! * [`lowerbound`] — the executable read/write lower-bound constructions;
 //! * [`kv`] — a key-value store built on the atomic registers;
+//! * [`store`] — the durability subsystem: write-ahead log, compacting
+//!   snapshots, and kill-then-recover object restarts;
 //! * [`net`] — the TCP transport: wire codec, socket-backed clusters, and
 //!   the fault-injecting chaos proxy.
 //!
@@ -25,3 +27,4 @@ pub use rastor_kv as kv;
 pub use rastor_lowerbound as lowerbound;
 pub use rastor_net as net;
 pub use rastor_sim as sim;
+pub use rastor_store as store;

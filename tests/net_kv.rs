@@ -131,6 +131,120 @@ fn sharded_kv_over_tcp_through_chaos_is_atomic_per_key() {
     }
 }
 
+/// The socket-substrate kill-and-restart soak: WAL-backed objects behind
+/// real `ObjectServer`s, one object per shard killed **server-side** and
+/// recovered from disk while clients stay connected and traffic flows —
+/// per-key `check_atomic` after, plus a reshaped quorum forcing the
+/// recovered objects onto the read path.
+#[test]
+fn server_side_restart_mid_traffic_stays_atomic() {
+    let data_dir = rastor::store::TempDir::new("net-restart-soak");
+    let mut kv = NetKv::spawn(
+        StoreConfig::new(1, SHARDS, HANDLES)
+            .with_jitter(Duration::from_micros(150))
+            .with_wal(data_dir.path()),
+        None,
+    )
+    .expect("wal-backed net kv");
+
+    let epoch = Instant::now();
+    let histories: Arc<Vec<Mutex<History>>> =
+        Arc::new((0..KEYS).map(|_| Mutex::new(History::new())).collect());
+    let now_us = move |at: Instant| -> u64 { (at - epoch).as_micros() as u64 };
+
+    let mut threads = Vec::new();
+    for hid in 0..HANDLES {
+        let store = kv.store.clone();
+        let histories = Arc::clone(&histories);
+        threads.push(std::thread::spawn(move || {
+            let mut handle = store.handle(hid).expect("handle in pool");
+            let mut rng = rastor::common::SplitMix64::new(0x02e5_7a27 + u64::from(hid));
+            for op in 0..OPS_PER_HANDLE {
+                let k = rng.gen_range(0, KEYS as u64 - 1) as usize;
+                let key = key_name(k);
+                let invoked = Instant::now();
+                if rng.next_f64() < 0.5 {
+                    let val = Value::from_u64(u64::from(hid) << 32 | (op + 1));
+                    let tag = handle.put(&key, val.clone()).expect("put within budget");
+                    let completed = Instant::now();
+                    histories[k].lock().unwrap().push_write(WriteRec {
+                        ts: tag.to_timestamp(),
+                        val,
+                        invoked_at: now_us(invoked),
+                        completed_at: Some(now_us(completed)),
+                    });
+                } else {
+                    let pair = handle.get_pair(&key).expect("get within budget");
+                    let completed = Instant::now();
+                    histories[k].lock().unwrap().push_read(ReadRec {
+                        client: ClientId::reader(hid),
+                        invoked_at: now_us(invoked),
+                        completed_at: now_us(completed),
+                        returned: pair,
+                    });
+                }
+            }
+        }));
+    }
+
+    // Mid-traffic, server-side: kill + recover the top object of every
+    // shard. Clients never reconnect — the server keeps the listener and
+    // connections, only the object worker is replaced.
+    std::thread::sleep(Duration::from_millis(5));
+    for s in 0..SHARDS {
+        let elapsed = kv
+            .restart_object(s, ObjectId(3))
+            .expect("server-side restart within a recoverable deployment");
+        assert!(elapsed > Duration::ZERO);
+        std::thread::sleep(Duration::from_millis(3));
+    }
+
+    for t in threads {
+        t.join().expect("soak thread");
+    }
+
+    let mut total = 0;
+    for (k, hist) in histories.iter().enumerate() {
+        let hist = hist.lock().unwrap();
+        total += hist.writes().count() + hist.reads().len();
+        let violations = hist.check_atomic();
+        assert!(
+            violations.is_empty(),
+            "key {}: atomicity violations across server-side restart: {:?}",
+            key_name(k),
+            violations
+        );
+    }
+    assert_eq!(
+        total as u64,
+        u64::from(HANDLES) * OPS_PER_HANDLE,
+        "every operation must be recorded"
+    );
+
+    // Crash a different object per shard: quorums must now include the
+    // restarted object, so fresh reads prove its recovered registers.
+    for server in kv.servers.iter_mut() {
+        server.crash_object(ObjectId(0));
+        assert!(server.is_crashed(ObjectId(0)));
+        assert!(!server.is_crashed(ObjectId(3)));
+    }
+    let mut h = kv.store.handle(0).expect("handle");
+    for k in 0..KEYS {
+        let hist = histories[k].lock().unwrap();
+        let max_written = hist.writes().map(|w| w.ts).max();
+        if let Some(max_ts) = max_written {
+            let pair = h.get_pair(&key_name(k)).expect("final read");
+            assert!(
+                pair.ts >= max_ts,
+                "final read of {} returned {:?}, below completed write {:?}",
+                key_name(k),
+                pair.ts,
+                max_ts
+            );
+        }
+    }
+}
+
 /// The pipelined handle API works unchanged over sockets: a depth-4 burst
 /// of puts then gets across both shards, through the proxies, resolving
 /// through submit/poll.
