@@ -1,7 +1,7 @@
 //! The experiment table printer: regenerates every table and figure of
 //! EXPERIMENTS.md.
 //!
-//! Usage: `cargo run -p rastor_bench --bin exp -- [t1|…|t8|f1|f2|all] [--quick]`
+//! Usage: `cargo run -p rastor_bench --bin exp -- [t1|…|t9|f1|f2|all] [--quick]`
 //!
 //! `t6` additionally runs the kv throughput workload matrix (real OS
 //! threads, sharded store) and writes the machine-readable `BENCH_kv.json`
@@ -9,16 +9,20 @@
 //! substrates (in-process channels, loopback TCP, TCP through the chaos
 //! proxy) and writes `BENCH_net.json`; `t8` measures WAL-backed vs
 //! in-memory durability plus kill-and-restart and cold-replay recovery
-//! times and writes `BENCH_store.json`; `--quick` trims all three to
-//! smoke-test size.
+//! times and writes `BENCH_store.json`; `t9` measures the adaptive
+//! fast-read path's round counts and sweeps the schedule explorer's
+//! exhaustive delay-rule universe; `--quick` trims them to smoke-test
+//! size.
 
 use rastor_bench::netbench::{net_bench_json, net_throughput_matrix, CHAOS_FRAME_DELAY};
 use rastor_bench::storebench::{store_bench_json, store_matrix};
 use rastor_bench::workload::{bench_json, kv_throughput_matrix};
 use rastor_bench::{
     f1_prop1, t1_round_table, t2_contention_rounds, t3_recurrence_table, t4_boundary, t5_latency,
-    t6_closed_loop,
+    t6_closed_loop, t9_fast_path_rounds,
 };
+use rastor_check::{scenario_two_writers_one_reader, scenario_write_then_two_reads};
+use rastor_core::ReadMode;
 use rastor_lowerbound::diagram::{render_lemma1_layout, render_lemma1_superblocks};
 use rastor_lowerbound::lemma1::execute_first_pair;
 use rastor_lowerbound::{Lemma1Partition, Lemma1Schedule};
@@ -322,6 +326,57 @@ fn t8(quick: bool) {
     }
 }
 
+fn t9(quick: bool) {
+    println!("== T9: the adaptive fast read path (t = 1) ==");
+    println!(
+        "{:<14} {:>18} {:>16}",
+        "protocol", "uncontended rnds", "contended rnds"
+    );
+    for (protocol, uncontended, contended) in t9_fast_path_rounds() {
+        println!("{protocol:<14} {uncontended:>18} {contended:>16}");
+    }
+    println!("(the fast path reads in 2 rounds when quiet, falls back to 4 under");
+    println!(" write contention; the always-slow transformation pays 4 both ways)");
+    println!();
+    println!(
+        "-- schedule explorer: exhaustive delay-rule sweeps ({} mode) --",
+        if quick { "quick" } else { "full" }
+    );
+    let mut scenarios = vec![scenario_write_then_two_reads()];
+    if !quick {
+        scenarios.push(scenario_two_writers_one_reader());
+    }
+    for scenario in &scenarios {
+        for mode in [ReadMode::Slow, ReadMode::Fast] {
+            let universe = 1u64 << scenario.universe_bits();
+            let failures = scenario.sweep(mode);
+            println!(
+                "{:<28} {mode:?}: {universe} schedules, {} violations",
+                scenario.name,
+                failures.len()
+            );
+        }
+    }
+    // Checker efficacy: the deliberately unsound fast path (no
+    // confirmation certificate) must be caught, and the repro shrinks.
+    let scenario = scenario_write_then_two_reads();
+    let failures = scenario.sweep(ReadMode::UnsoundFast);
+    match failures.first() {
+        None => println!("UnsoundFast: sweep found no violations — EXPLORER NOT BITING"),
+        Some(first) => {
+            let minimized = scenario.minimize(ReadMode::UnsoundFast, first.mask);
+            println!(
+                "{:<28} UnsoundFast: {} violating schedules; first mask {:#x} minimizes to {:#x} ({} delay rules)",
+                scenario.name,
+                failures.len(),
+                first.mask,
+                minimized,
+                minimized.count_ones()
+            );
+        }
+    }
+}
+
 fn f1() {
     println!("== F1: Proposition 1 run family, executed mechanically (S=4, t=1) ==");
     println!(
@@ -357,7 +412,9 @@ fn f2() {
     }
 }
 
-const SECTIONS: [&str; 10] = ["t1", "t2", "t3", "t4", "t5", "t6", "t7", "t8", "f1", "f2"];
+const SECTIONS: [&str; 11] = [
+    "t1", "t2", "t3", "t4", "t5", "t6", "t7", "t8", "t9", "f1", "f2",
+];
 
 fn main() {
     let mut quick = false;
@@ -387,6 +444,7 @@ fn main() {
                 "t6" => t6(quick),
                 "t7" => t7(quick),
                 "t8" => t8(quick),
+                "t9" => t9(quick),
                 "f1" => f1(),
                 "f2" => f2(),
                 _ => unreachable!("SECTIONS is exhaustive"),

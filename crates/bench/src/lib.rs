@@ -44,6 +44,7 @@ pub fn t1_round_table(t: usize, readers: u32) -> Vec<RoundRow> {
         Protocol::AuthRegular => Some((2, 1)),
         Protocol::AtomicUnauth => Some((2, 4)),
         Protocol::AtomicAuth => Some((2, 3)),
+        Protocol::AtomicFast => Some((2, 2)),
         Protocol::SafeNoWrite => Some((2, t as u32 + 1)),
         Protocol::RetryStable => None,
     };
@@ -265,6 +266,47 @@ pub fn t6_closed_loop(
         .collect()
 }
 
+/// One row of the T9 fast-path table: `(protocol, uncontended read
+/// rounds, contended read rounds)`.
+pub type FastPathRow = (&'static str, u32, u32);
+
+/// T9: the adaptive fast read path. Measures read rounds for the
+/// always-slow atomic protocol and its fast-path twin, first contention
+/// free (the read starts long after the write committed), then contended
+/// (the writer's commit round is held back so the read lands mid-write).
+/// The fast path completes in 2 rounds when quiet and falls back to the
+/// slow 4-round read under contention; the slow protocol pays 4 either
+/// way.
+pub fn t9_fast_path_rounds() -> Vec<FastPathRow> {
+    [Protocol::AtomicUnauth, Protocol::AtomicFast]
+        .into_iter()
+        .map(|p| {
+            let quiet = {
+                let mut sys = StorageSystem::new(p, 1, 1).expect("optimal shape");
+                let wl = Workload::default()
+                    .with_write(0, Value::from_u64(1))
+                    .with_read(1_000, 0);
+                let res = sys.run(Box::new(FixedDelay::new(1)), &wl, vec![]);
+                res.read_rounds()[0]
+            };
+            let contended = {
+                let mut sys = StorageSystem::new(p, 1, 1).expect("optimal shape");
+                let wl = Workload::default()
+                    .with_write(0, Value::from_u64(1))
+                    .with_read(10, 0);
+                // Hold the writer's commit round back so the reader's
+                // collect sees a pre-written-but-uncommitted pair —
+                // exactly the suspicion that disarms the fast path.
+                let controller = ScriptedController::new()
+                    .with_rule(Rule::slow_all(5_000).client(ClientId::writer()).round(2));
+                let res = sys.run(Box::new(controller), &wl, vec![]);
+                res.read_rounds()[0]
+            };
+            (p.name(), quiet, contended)
+        })
+        .collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -333,6 +375,17 @@ mod tests {
         assert_eq!(gens, 3);
         assert!(indist);
         assert!(first.is_some());
+    }
+
+    /// The acceptance numbers for the fast-path PR: 2 rounds uncontended,
+    /// 4 under write contention, while the always-slow read pays 4 both
+    /// ways.
+    #[test]
+    fn t9_fast_path_is_2_rounds_quiet_4_contended() {
+        let rows = t9_fast_path_rounds();
+        let row = |name: &str| *rows.iter().find(|r| r.0 == name).expect("row");
+        assert_eq!(row("atomic-unauth"), ("atomic-unauth", 4, 4));
+        assert_eq!(row("atomic-fast"), ("atomic-fast", 2, 4));
     }
 
     #[test]

@@ -84,6 +84,10 @@ pub struct WorkloadCfg {
     /// Operations kept in flight per handle: 1 = closed loop, > 1 =
     /// pipelined via the handle's submit/poll interface.
     pub depth: u32,
+    /// Serve cluster gets through the adaptive fast path (2 rounds when
+    /// uncontended and confirmed, 4 on fallback) instead of the always-4
+    /// slow read.
+    pub fast_reads: bool,
     /// Mean emulated service delay per object request.
     pub service: Duration,
     /// Loop mode for the client threads.
@@ -116,6 +120,7 @@ impl WorkloadCfg {
             crashed_per_shard: 0,
             silent_per_shard: 0,
             depth: 1,
+            fast_reads: false,
             service: Duration::from_micros(150),
             mode: LoopMode::Closed,
             seed: 42,
@@ -149,6 +154,17 @@ impl WorkloadCfg {
         self.name = format!("{}-d{depth}", self.name);
         self
     }
+
+    /// The same row with the adaptive 2-round fast read path on, with a
+    /// `-fast` name suffix (the convention `scripts/check_bench.rs` uses
+    /// to pair fast-read rows with their slow-read twins and gate
+    /// `get_rounds_mean` against them).
+    #[must_use]
+    pub fn fast_reads(mut self) -> WorkloadCfg {
+        self.fast_reads = true;
+        self.name = format!("{}-fast", self.name);
+        self
+    }
 }
 
 /// The measured outcome of one workload run.
@@ -171,6 +187,11 @@ pub struct WorkloadRow {
     pub put_lat_us: Option<Summary>,
     /// Get latency summary in microseconds (`None` if the mix had no gets).
     pub get_lat_us: Option<Summary>,
+    /// Mean protocol rounds per completed cluster get, aggregated across
+    /// every handle (`None` if the mix had no cluster gets). 4.0 on the
+    /// slow path; between 2.0 and 4.0 with `fast_reads` on, depending on
+    /// how often contention forces the fallback.
+    pub get_rounds_mean: Option<f64>,
 }
 
 fn pick_key(rng: &mut SplitMix64, keys: u32, skew: f64) -> u32 {
@@ -203,7 +224,8 @@ pub fn run_workload(cfg: &WorkloadCfg) -> WorkloadRow {
     let store = ShardedKvStore::spawn_with(
         StoreConfig::new(cfg.t, cfg.shards, cfg.threads)
             .with_jitter(2 * cfg.service)
-            .with_durability(Arc::clone(&cfg.durability)),
+            .with_durability(Arc::clone(&cfg.durability))
+            .with_fast_reads(cfg.fast_reads),
         |_, oid| {
             // The first `silent` objects of every shard are Byzantine
             // (silent); crashes below take the last objects, so the two
@@ -351,7 +373,7 @@ pub fn measure_store(store: &ShardedKvStore, cfg: &WorkloadCfg) -> WorkloadRow {
                     &mut errors,
                 );
             }
-            (puts, gets, errors)
+            (puts, gets, errors, handle.take_get_rounds())
         }));
     }
 
@@ -385,11 +407,14 @@ pub fn measure_store(store: &ShardedKvStore, cfg: &WorkloadCfg) -> WorkloadRow {
     let mut puts = Vec::new();
     let mut gets = Vec::new();
     let mut errors = 0u64;
+    let (mut rounds_sum, mut rounds_count) = (0u64, 0u64);
     for w in workers {
-        let (p, g, e) = w.join().expect("worker thread");
+        let (p, g, e, (rs, rc)) = w.join().expect("worker thread");
         puts.extend(p);
         gets.extend(g);
         errors += e;
+        rounds_sum += rs;
+        rounds_count += rc;
     }
     let elapsed = start.elapsed().as_secs_f64();
     let recover = restart.map(|h| h.join().expect("restart controller"));
@@ -403,6 +428,7 @@ pub fn measure_store(store: &ShardedKvStore, cfg: &WorkloadCfg) -> WorkloadRow {
         recover,
         put_lat_us: Summary::of(puts),
         get_lat_us: Summary::of(gets),
+        get_rounds_mean: (rounds_count > 0).then(|| rounds_sum as f64 / rounds_count as f64),
     }
 }
 
@@ -448,6 +474,13 @@ pub fn kv_throughput_matrix(quick: bool) -> Vec<WorkloadRow> {
             ..WorkloadCfg::closed("s4-mixed-byz1", 4, 4, 50)
         }
         .pipelined(8),
+        // The fast-read dimension: the get-heavy mixes again with the
+        // adaptive 2-round read on; `check_bench.rs` gates each `-fast`
+        // row's `get_rounds_mean` below its slow twin's.
+        WorkloadCfg::closed("s4-get90", 4, 4, 10).fast_reads(),
+        WorkloadCfg::closed("s4-get90", 4, 4, 10)
+            .pipelined(8)
+            .fast_reads(),
     ];
     for c in &mut configs {
         c.ops_per_thread = ops;
@@ -461,23 +494,26 @@ pub(crate) fn json_summary(prefix: &str, s: Option<Summary>) -> String {
 }
 
 /// Serialize workload rows as the `BENCH_kv.json` document
-/// (`rastor-kv-throughput/v2`, which extends v1 with the per-row `depth`
-/// field): one result object per line, so the CI regression checker can
-/// scan it without a JSON parser.
+/// (`rastor-kv-throughput/v3`, which extends v2 with the per-row
+/// `fast_reads` flag and `get_rounds_mean` — 0 when the mix had no
+/// cluster gets): one result object per line, so the CI regression
+/// checker can scan it without a JSON parser.
 pub fn bench_json(rows: &[WorkloadRow], quick: bool) -> String {
     let mut out = String::new();
     out.push_str("{\n");
-    out.push_str("\"schema\": \"rastor-kv-throughput/v2\",\n");
+    out.push_str("\"schema\": \"rastor-kv-throughput/v3\",\n");
     out.push_str(&format!("\"quick\": {quick},\n"));
     out.push_str("\"results\": [\n");
     for (i, row) in rows.iter().enumerate() {
         let c = &row.cfg;
         out.push_str(&format!(
-            "{{\"name\":\"{}\",\"shards\":{},\"threads\":{},\"depth\":{},\"put_pct\":{},\"keys\":{},\"skew\":{:.2},\"crashed_per_shard\":{},\"silent_per_shard\":{},\"mode\":\"{}\",\"ops\":{},\"errors\":{},\"elapsed_secs\":{:.4},\"ops_per_sec\":{:.1},{},{}}}{}\n",
+            "{{\"name\":\"{}\",\"shards\":{},\"threads\":{},\"depth\":{},\"fast_reads\":{},\"get_rounds_mean\":{:.3},\"put_pct\":{},\"keys\":{},\"skew\":{:.2},\"crashed_per_shard\":{},\"silent_per_shard\":{},\"mode\":\"{}\",\"ops\":{},\"errors\":{},\"elapsed_secs\":{:.4},\"ops_per_sec\":{:.1},{},{}}}{}\n",
             c.name,
             c.shards,
             c.threads,
             c.depth,
+            c.fast_reads,
+            row.get_rounds_mean.unwrap_or(0.0),
             c.put_pct,
             c.keys,
             c.skew,
@@ -567,13 +603,41 @@ mod tests {
     fn json_has_schema_and_one_result_per_row() {
         let rows = vec![run_workload(&tiny("a", 1)), run_workload(&tiny("b", 2))];
         let doc = bench_json(&rows, true);
-        assert!(doc.contains("\"schema\": \"rastor-kv-throughput/v2\""));
+        assert!(doc.contains("\"schema\": \"rastor-kv-throughput/v3\""));
         assert_eq!(doc.matches("\"name\":").count(), 2);
         assert_eq!(doc.matches("\"ops_per_sec\":").count(), 2);
         assert_eq!(doc.matches("\"depth\":1").count(), 2);
+        assert_eq!(doc.matches("\"fast_reads\":false").count(), 2);
+        assert_eq!(doc.matches("\"get_rounds_mean\":").count(), 2);
         // Balanced braces/brackets — cheap well-formedness check.
         assert_eq!(doc.matches('{').count(), doc.matches('}').count());
         assert_eq!(doc.matches('[').count(), doc.matches(']').count());
+    }
+
+    /// The fast-read row's whole point: on a quiet get-heavy mix the mean
+    /// rounds per get drop below the slow path's constant 4 (all the way
+    /// to 2 when nothing contends), and the results stay correct.
+    #[test]
+    fn fast_reads_save_rounds_on_a_get_heavy_mix() {
+        let base = WorkloadCfg {
+            put_pct: 10,
+            ..tiny("fastget", 2)
+        };
+        let slow = run_workload(&base);
+        let fast = run_workload(&base.clone().fast_reads());
+        assert_eq!(fast.cfg.name, "fastget-fast");
+        assert_eq!(fast.errors, 0);
+        let slow_mean = slow.get_rounds_mean.expect("slow gets measured");
+        let fast_mean = fast.get_rounds_mean.expect("fast gets measured");
+        assert!(
+            (slow_mean - 4.0).abs() < f64::EPSILON,
+            "slow reads always pay 4 rounds, got {slow_mean}"
+        );
+        assert!(
+            fast_mean < slow_mean,
+            "fast reads must save rounds: {fast_mean} vs {slow_mean}"
+        );
+        assert!((2.0..=4.0).contains(&fast_mean), "envelope: {fast_mean}");
     }
 
     #[test]

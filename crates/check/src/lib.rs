@@ -1,0 +1,640 @@
+//! # rastor-check
+//!
+//! A schedule explorer for the register protocols of *"The Complexity of
+//! Robust Atomic Storage"* (PODC'11): it drives the deterministic simulator
+//! through **exhaustively enumerated** and **seeded-random** message
+//! schedules and checks every run against the paper's atomicity properties
+//! plus the always-on ghost invariants compiled into `rastor_core`.
+//!
+//! ## Two exploration axes
+//!
+//! 1. **Delay-rule masks** ([`Scenario::sweep`]): a finite universe of
+//!    per-(operation, object) delay rules is enumerated exhaustively — every
+//!    subset of rules is one schedule. A subset stretches chosen message
+//!    round-trips by [`DELAY`] ticks, opening exactly the windows (e.g. a
+//!    pre-write visible on a sub-quorum of objects) that the paper's
+//!    adversary exploits. Failing masks are shrunk to a minimal repro by
+//!    greedy rule-dropping ([`Scenario::minimize`]) and replayed by
+//!    re-running the same mask — the sim is deterministic.
+//! 2. **Held-message schedules** ([`Scenario::run_random`]): every message
+//!    is held in transit and a [`rastor_sim::Scheduler`] picks the delivery
+//!    order. [`RandomScheduler`] makes seeded-random picks (replay = same
+//!    seed) and can replay a recorded prefix with one pick changed —
+//!    schedule perturbation around a known-interesting run.
+//!
+//! ## What counts as a violation
+//!
+//! [`Scenario::violations_of`] flags: an op that never completed
+//! (wait-freedom), any [`rastor_core::History::check_atomic`] violation,
+//! a same-reader regression (two sequential reads by one client returning
+//! decreasing timestamps — caught even when their boundary times make them
+//! formally concurrent for the history checker), and any panic from the
+//! ghost invariants inside the protocol automata.
+//!
+//! The crate's integration tests (`cargo test -p rastor_check -- exhaustive`)
+//! prove both soundness evidence — zero violations across every enumerated
+//! schedule for slow *and* fast read paths — and checker efficacy: the
+//! deliberately unsound [`ReadMode::UnsoundFast`] hook is caught, minimized
+//! and replayed.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use rastor_common::{ClientId, ClusterConfig, ObjectId, OpKind, RegId, SplitMix64, Value};
+use rastor_core::mwmr::{mw_read_in_group_mode, MwWriteClient, RegGroup};
+use rastor_core::{History, HonestObject, ObjectView, OpOutput, ReadMode, Rep, Req};
+use rastor_sim::control::Rule;
+use rastor_sim::{
+    Completion, Controller, MsgId, ObjectBehavior, ScriptedController, Sim, SimConfig, StalePolicy,
+};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::{Path, PathBuf};
+use std::sync::{Arc, Mutex};
+
+/// Extra latency (each way) injected by one enabled delay rule.
+///
+/// Large relative to the unit base delay so that a delayed round-trip opens
+/// a wide window in which undelayed operations run start to finish.
+pub const DELAY: u64 = 2_000;
+
+/// One operation of a [`Scenario`] script.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum OpSpec {
+    /// Writer `writer` writes `value` (as a u64 payload), invoked at `at`.
+    Write {
+        /// Invocation time.
+        at: u64,
+        /// Writer index within the group.
+        writer: u32,
+        /// Value payload.
+        value: u64,
+    },
+    /// Reader `reader` reads, invoked at `at`.
+    Read {
+        /// Invocation time.
+        at: u64,
+        /// Reader index within the group.
+        reader: u32,
+    },
+}
+
+impl OpSpec {
+    /// The op's scripted invocation time.
+    pub fn at(&self) -> u64 {
+        match *self {
+            OpSpec::Write { at, .. } | OpSpec::Read { at, .. } => at,
+        }
+    }
+}
+
+/// The verdict of one explored schedule.
+#[derive(Clone, Debug)]
+pub struct Outcome {
+    /// Completions the run produced (in completion order).
+    pub completions: Vec<Completion<OpOutput>>,
+    /// Human-readable violation descriptions; empty means the run is clean.
+    pub violations: Vec<String>,
+}
+
+impl Outcome {
+    /// Whether the schedule produced no violation.
+    pub fn is_clean(&self) -> bool {
+        self.violations.is_empty()
+    }
+}
+
+/// A failing schedule found by [`Scenario::sweep`].
+#[derive(Clone, Debug)]
+pub struct Failure {
+    /// The delay-rule mask that failed.
+    pub mask: u64,
+    /// What went wrong.
+    pub violations: Vec<String>,
+}
+
+/// A fixed operation script over one MWMR register group, explored under
+/// many schedules.
+///
+/// Clients map as in the MWMR tests: writer 0 is [`ClientId::writer()`],
+/// writer `w > 0` stands in as `ClientId::reader(100 + w)`, reader `r` is
+/// `ClientId::reader(r)`. Ops by the same client run sequentially (the sim
+/// queues them); distinct clients run concurrently.
+#[derive(Clone, Debug)]
+pub struct Scenario {
+    /// Name used in reports and replay instructions.
+    pub name: &'static str,
+    /// Byzantine fault budget; the cluster has `3t + 1` objects.
+    pub t: u32,
+    /// Writers in the register group.
+    pub n_writers: u32,
+    /// Readers in the register group.
+    pub n_readers: u32,
+    /// The operation script.
+    pub ops: Vec<OpSpec>,
+}
+
+impl Scenario {
+    /// The cluster configuration (Byzantine, `3t + 1` objects).
+    pub fn cluster(&self) -> ClusterConfig {
+        ClusterConfig::byzantine(self.t as usize).expect("valid fault budget")
+    }
+
+    /// Number of storage objects.
+    pub fn num_objects(&self) -> usize {
+        3 * self.t as usize + 1
+    }
+
+    /// The register group all ops target.
+    pub fn group(&self) -> RegGroup {
+        RegGroup::first(self.n_writers, self.n_readers)
+    }
+
+    /// The sim client an op runs as.
+    pub fn client_of(&self, op: usize) -> ClientId {
+        match self.ops[op] {
+            OpSpec::Write { writer: 0, .. } => ClientId::writer(),
+            OpSpec::Write { writer, .. } => ClientId::reader(100 + writer),
+            OpSpec::Read { reader, .. } => ClientId::reader(reader),
+        }
+    }
+
+    /// The per-client op sequence number the sim will assign an op.
+    pub fn op_seq_of(&self, op: usize) -> u64 {
+        let c = self.client_of(op);
+        (0..op).filter(|&i| self.client_of(i) == c).count() as u64
+    }
+
+    /// Bits in the delay-rule universe: one per (op, object) pair.
+    pub fn universe_bits(&self) -> u32 {
+        (self.ops.len() * self.num_objects()) as u32
+    }
+
+    /// The delay rules a mask enables: bit `op · S + obj` stretches every
+    /// message between `op`'s client (during that op) and object `obj` by
+    /// [`DELAY`] extra ticks, each way.
+    pub fn rules_for_mask(&self, mask: u64) -> Vec<Rule> {
+        let s = self.num_objects();
+        let mut rules = Vec::new();
+        for op in 0..self.ops.len() {
+            for obj in 0..s {
+                if mask >> (op * s + obj) & 1 == 1 {
+                    rules.push(
+                        Rule::slow_all(DELAY)
+                            .client(self.client_of(op))
+                            .op_seq(self.op_seq_of(op))
+                            .object(ObjectId(obj as u32)),
+                    );
+                }
+            }
+        }
+        rules
+    }
+
+    /// Build a sim with honest objects, the given controller, and every op
+    /// of the script invoked at its scripted time.
+    pub fn build_sim(
+        &self,
+        mode: ReadMode,
+        controller: Box<dyn Controller<Req, Rep>>,
+    ) -> Sim<Req, Rep, OpOutput> {
+        let objects: Vec<Box<dyn ObjectBehavior<Req, Rep>>> = (0..self.num_objects())
+            .map(|_| Box::new(HonestObject::new()) as Box<dyn ObjectBehavior<Req, Rep>>)
+            .collect();
+        self.build_sim_with_objects(mode, controller, objects)
+    }
+
+    /// [`Scenario::build_sim`] with caller-supplied object behaviors (used
+    /// by tests that need to inspect object state after the run).
+    pub fn build_sim_with_objects(
+        &self,
+        mode: ReadMode,
+        controller: Box<dyn Controller<Req, Rep>>,
+        objects: Vec<Box<dyn ObjectBehavior<Req, Rep>>>,
+    ) -> Sim<Req, Rep, OpOutput> {
+        assert_eq!(objects.len(), self.num_objects(), "object count");
+        let cfg = self.cluster();
+        let group = self.group();
+        let mut sim = Sim::with_controller(SimConfig::default(), controller);
+        for obj in objects {
+            sim.add_object(obj);
+        }
+        for (i, op) in self.ops.iter().enumerate() {
+            let client = self.client_of(i);
+            match *op {
+                OpSpec::Write { at, writer, value } => sim.invoke_at(
+                    at,
+                    client,
+                    OpKind::Write,
+                    Box::new(MwWriteClient::in_group(
+                        cfg,
+                        writer,
+                        group,
+                        Value::from_u64(value),
+                    )),
+                ),
+                OpSpec::Read { at, reader } => sim.invoke_at(
+                    at,
+                    client,
+                    OpKind::Read,
+                    Box::new(mw_read_in_group_mode(cfg, reader, group, mode)),
+                ),
+            }
+        }
+        sim
+    }
+
+    /// Run the script under the schedule a delay mask induces.
+    ///
+    /// Deterministic: the same `(scenario, mode, mask)` triple always
+    /// produces the same run — re-invoking this **is** the replay.
+    pub fn run_mask(&self, mode: ReadMode, mask: u64) -> Outcome {
+        let run = catch_unwind(AssertUnwindSafe(|| {
+            let mut controller = ScriptedController::new();
+            for rule in self.rules_for_mask(mask) {
+                controller.push(rule);
+            }
+            let mut sim = self.build_sim(mode, Box::new(controller));
+            sim.run_to_quiescence()
+        }));
+        self.judge(run)
+    }
+
+    /// Run the script with every message held and delivery order chosen by
+    /// the scheduler (see [`rastor_sim::Sim::run_scheduled`]).
+    pub fn run_scheduled(&self, mode: ReadMode, sched: &mut dyn rastor_sim::Scheduler) -> Outcome {
+        let run = catch_unwind(AssertUnwindSafe(|| {
+            let controller = ScriptedController::new().with_rule(Rule::hold_all());
+            let mut sim = self.build_sim(mode, Box::new(controller));
+            sim.run_scheduled(sched)
+        }));
+        self.judge(run)
+    }
+
+    /// [`Scenario::run_scheduled`] with a fresh seeded [`RandomScheduler`];
+    /// replaying the same seed reproduces the schedule exactly.
+    pub fn run_random(&self, mode: ReadMode, seed: u64) -> Outcome {
+        self.run_scheduled(mode, &mut RandomScheduler::seeded(seed))
+    }
+
+    fn judge(
+        &self,
+        run: Result<Vec<Completion<OpOutput>>, Box<dyn std::any::Any + Send>>,
+    ) -> Outcome {
+        match run {
+            Ok(completions) => {
+                let violations = self.violations_of(&completions);
+                Outcome {
+                    completions,
+                    violations,
+                }
+            }
+            Err(panic) => {
+                let msg = panic
+                    .downcast_ref::<String>()
+                    .map(String::as_str)
+                    .or_else(|| panic.downcast_ref::<&str>().copied())
+                    .unwrap_or("non-string panic payload");
+                Outcome {
+                    completions: Vec::new(),
+                    violations: vec![format!("ghost invariant panic: {msg}")],
+                }
+            }
+        }
+    }
+
+    /// Check a run's completions against the paper's properties.
+    pub fn violations_of(&self, completions: &[Completion<OpOutput>]) -> Vec<String> {
+        let mut out = Vec::new();
+        if completions.len() != self.ops.len() {
+            out.push(format!(
+                "wait-freedom: {} of {} ops completed",
+                completions.len(),
+                self.ops.len()
+            ));
+        }
+        let mut history = History::new();
+        history.ingest(completions);
+        out.extend(
+            history
+                .check_atomic()
+                .into_iter()
+                .map(|v| format!("atomicity: {v}")),
+        );
+        // Sequential reads by one client must not regress, even when the
+        // later read's invocation tick coincides with the earlier read's
+        // completion tick (the history checker treats that boundary case
+        // as concurrent). Completion order is invocation order per client.
+        let mut clients: Vec<ClientId> = completions.iter().map(|c| c.client).collect();
+        clients.sort();
+        clients.dedup();
+        for client in clients {
+            let mut floor = None;
+            for c in completions.iter().filter(|c| c.client == client) {
+                if let OpOutput::Read(pair) = &c.output {
+                    if let Some(prev) = &floor {
+                        if pair.ts < *prev {
+                            out.push(format!(
+                                "same-reader regression: {client} read {} then {}",
+                                prev, pair.ts
+                            ));
+                        }
+                    }
+                    floor = Some(pair.ts);
+                }
+            }
+        }
+        out
+    }
+
+    /// Exhaustively enumerate every delay mask (all `2^universe_bits()`
+    /// schedules in the rule universe) and return the failures.
+    pub fn sweep(&self, mode: ReadMode) -> Vec<Failure> {
+        let bits = self.universe_bits();
+        assert!(bits <= 24, "universe too large to enumerate exhaustively");
+        (0..1u64 << bits)
+            .filter_map(|mask| {
+                let outcome = self.run_mask(mode, mask);
+                (!outcome.is_clean()).then_some(Failure {
+                    mask,
+                    violations: outcome.violations,
+                })
+            })
+            .collect()
+    }
+
+    /// Shrink a failing mask by greedy rule-dropping: repeatedly clear any
+    /// single bit whose removal still fails, until no bit can be dropped.
+    /// The result is a locally-minimal repro (every remaining rule is
+    /// necessary).
+    pub fn minimize(&self, mode: ReadMode, mask: u64) -> u64 {
+        let mut cur = mask;
+        loop {
+            let mut improved = false;
+            for bit in 0..self.universe_bits() {
+                let cand = cur & !(1u64 << bit);
+                if cand != cur && !self.run_mask(mode, cand).is_clean() {
+                    cur = cand;
+                    improved = true;
+                }
+            }
+            if !improved {
+                return cur;
+            }
+        }
+    }
+
+    /// Render one failure as a replayable report.
+    pub fn report(&self, mode: ReadMode, failure: &Failure, minimized: u64) -> String {
+        let mut s = String::new();
+        s.push_str(&format!("scenario:  {}\n", self.name));
+        s.push_str(&format!("mode:      {mode:?}\n"));
+        s.push_str(&format!("mask:      {:#x}\n", failure.mask));
+        s.push_str(&format!(
+            "minimized: {:#x} ({} rules)\n",
+            minimized,
+            minimized.count_ones()
+        ));
+        for rule in self.rules_for_mask(minimized) {
+            s.push_str(&format!("  rule: {rule:?}\n"));
+        }
+        for v in &failure.violations {
+            s.push_str(&format!("violation: {v}\n"));
+        }
+        s.push_str(&format!(
+            "replay:    scenario_{}().run_mask(ReadMode::{mode:?}, {:#x})\n",
+            self.name, minimized
+        ));
+        s
+    }
+}
+
+/// Write failure reports under `dir` (one file per failure, minimized and
+/// replayable) and return their paths. CI uploads this directory as an
+/// artifact when the model-check job fails.
+pub fn write_failure_reports(
+    dir: &Path,
+    scenario: &Scenario,
+    mode: ReadMode,
+    failures: &[Failure],
+) -> std::io::Result<Vec<PathBuf>> {
+    std::fs::create_dir_all(dir)?;
+    let mut paths = Vec::new();
+    for failure in failures {
+        let minimized = scenario.minimize(mode, failure.mask);
+        let path = dir.join(format!(
+            "{}-{mode:?}-{:#x}.txt",
+            scenario.name, failure.mask
+        ));
+        std::fs::write(&path, scenario.report(mode, failure, minimized))?;
+        paths.push(path);
+    }
+    Ok(paths)
+}
+
+/// A seeded-random delivery-order scheduler with optional forced prefix.
+///
+/// Picks are recorded in [`RandomScheduler::picks`]; replaying the same
+/// seed reproduces them, and [`RandomScheduler::perturbed`] replays a
+/// recorded run's prefix with one pick changed — the local neighborhood
+/// of a schedule.
+#[derive(Debug)]
+pub struct RandomScheduler {
+    rng: SplitMix64,
+    forced: Vec<usize>,
+    pos: usize,
+    /// Every pick made so far (forced and random).
+    pub picks: Vec<usize>,
+}
+
+impl RandomScheduler {
+    /// A scheduler making purely random picks from `seed`.
+    pub fn seeded(seed: u64) -> RandomScheduler {
+        RandomScheduler::with_prefix(seed, Vec::new())
+    }
+
+    /// A scheduler replaying `forced` picks first (clamped to the held
+    /// set's size), then continuing randomly from `seed`.
+    pub fn with_prefix(seed: u64, forced: Vec<usize>) -> RandomScheduler {
+        RandomScheduler {
+            rng: SplitMix64::new(seed),
+            forced,
+            pos: 0,
+            picks: Vec::new(),
+        }
+    }
+
+    /// Replay `picks[..=at]` with the pick at `at` shifted by one, then
+    /// continue randomly: one-step perturbation of a recorded schedule.
+    pub fn perturbed(seed: u64, picks: &[usize], at: usize) -> RandomScheduler {
+        let mut forced = picks[..=at].to_vec();
+        forced[at] += 1; // clamped against the held set at use
+        RandomScheduler::with_prefix(seed, forced)
+    }
+}
+
+impl rastor_sim::Scheduler for RandomScheduler {
+    fn pick(&mut self, held: &[MsgId]) -> Option<usize> {
+        let i = if self.pos < self.forced.len() {
+            self.forced[self.pos].min(held.len() - 1)
+        } else {
+            self.rng.gen_range(0, held.len() as u64) as usize
+        };
+        self.pos += 1;
+        self.picks.push(i);
+        Some(i)
+    }
+}
+
+/// An [`HonestObject`] behind a shared handle, so a test can keep a view
+/// into an object's state after moving it into the sim (the engine takes
+/// objects by `Box<dyn ObjectBehavior>`).
+#[derive(Clone, Debug, Default)]
+pub struct SharedObject(Arc<Mutex<HonestObject>>);
+
+impl SharedObject {
+    /// A fresh shared honest object.
+    pub fn new() -> SharedObject {
+        SharedObject::default()
+    }
+
+    /// The object's current view of a register.
+    pub fn view_of(&self, reg: RegId) -> ObjectView {
+        self.0.lock().expect("object lock").view_of(reg)
+    }
+}
+
+impl ObjectBehavior<Req, Rep> for SharedObject {
+    fn on_request(&mut self, _from: ClientId, req: &Req) -> Option<Rep> {
+        Some(self.0.lock().expect("object lock").apply(req))
+    }
+}
+
+/// The acceptance configuration: two writers and one reader over four
+/// objects (`t = 1`), three operations — two concurrent-ish writes and a
+/// trailing read.
+pub fn scenario_two_writers_one_reader() -> Scenario {
+    Scenario {
+        name: "two_writers_one_reader",
+        t: 1,
+        n_writers: 2,
+        n_readers: 1,
+        ops: vec![
+            OpSpec::Write {
+                at: 0,
+                writer: 0,
+                value: 10,
+            },
+            OpSpec::Write {
+                at: 1_000,
+                writer: 1,
+                value: 20,
+            },
+            OpSpec::Read {
+                at: 5_000,
+                reader: 0,
+            },
+        ],
+    }
+}
+
+/// One write then two sequential reads by the same reader — the script on
+/// which an unsound fast path exhibits a new/old inversion (the reads land
+/// inside the write's pre-write window when the right messages are slow).
+pub fn scenario_write_then_two_reads() -> Scenario {
+    Scenario {
+        name: "write_then_two_reads",
+        t: 1,
+        n_writers: 2,
+        n_readers: 1,
+        ops: vec![
+            OpSpec::Write {
+                at: 0,
+                writer: 0,
+                value: 10,
+            },
+            OpSpec::Read {
+                at: 5_000,
+                reader: 0,
+            },
+            OpSpec::Read {
+                at: 5_100,
+                reader: 0,
+            },
+        ],
+    }
+}
+
+/// The stale-policy parity scenario (kept small: it runs under both
+/// [`StalePolicy`] variants and the two runs' outputs and final object
+/// states are compared field for field).
+pub fn scenario_policy_parity() -> Scenario {
+    Scenario {
+        name: "policy_parity",
+        t: 1,
+        n_writers: 2,
+        n_readers: 1,
+        ops: vec![
+            OpSpec::Write {
+                at: 0,
+                writer: 0,
+                value: 10,
+            },
+            OpSpec::Write {
+                at: 10,
+                writer: 1,
+                value: 20,
+            },
+            OpSpec::Read { at: 20, reader: 0 },
+        ],
+    }
+}
+
+/// Run `scenario` once per [`StalePolicy`] under the same delay mask and
+/// return both outcomes (DeliverLate first). Used by the parity tests and
+/// the `exp t9` summary.
+pub fn run_both_policies(
+    scenario: &Scenario,
+    mode: ReadMode,
+    mask: u64,
+) -> (Outcome, Vec<Vec<ObjectView>>, Outcome, Vec<Vec<ObjectView>>) {
+    let run = |policy: StalePolicy| {
+        let shared: Vec<SharedObject> = (0..scenario.num_objects())
+            .map(|_| SharedObject::new())
+            .collect();
+        let objects: Vec<Box<dyn ObjectBehavior<Req, Rep>>> = shared
+            .iter()
+            .map(|o| Box::new(o.clone()) as Box<dyn ObjectBehavior<Req, Rep>>)
+            .collect();
+        let mut controller = ScriptedController::new();
+        for rule in scenario.rules_for_mask(mask) {
+            controller.push(rule);
+        }
+        let mut sim = scenario.build_sim_with_objects(mode, Box::new(controller), objects);
+        for i in 0..scenario.ops.len() {
+            sim.set_stale_policy(scenario.client_of(i), policy);
+        }
+        let completions = sim.run_to_quiescence();
+        let violations = scenario.violations_of(&completions);
+        let views: Vec<Vec<ObjectView>> = shared
+            .iter()
+            .map(|o| {
+                scenario
+                    .group()
+                    .all_regs()
+                    .into_iter()
+                    .map(|reg| o.view_of(reg))
+                    .collect()
+            })
+            .collect();
+        (
+            Outcome {
+                completions,
+                violations,
+            },
+            views,
+        )
+    };
+    let (deliver, deliver_views) = run(StalePolicy::DeliverLate);
+    let (drop, drop_views) = run(StalePolicy::DropLate);
+    (deliver, deliver_views, drop, drop_views)
+}

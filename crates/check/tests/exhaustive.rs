@@ -1,0 +1,198 @@
+//! The schedule-explorer acceptance suite.
+//!
+//! Every test name starts with `exhaustive_` so the whole suite runs with a
+//! libtest name filter: `cargo test -p rastor_check -- exhaustive`. The CI
+//! `model-check` job runs exactly that (in release mode with the `ghost`
+//! feature, so the protocol invariants stay armed).
+
+use rastor_check::{
+    run_both_policies, scenario_policy_parity, scenario_two_writers_one_reader,
+    scenario_write_then_two_reads, write_failure_reports, RandomScheduler, Scenario,
+};
+use rastor_core::ReadMode;
+use std::path::PathBuf;
+
+/// Where minimized failing traces land; CI uploads this directory as an
+/// artifact when the job fails.
+fn report_dir() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../target/model-check")
+}
+
+fn assert_sweep_clean(scenario: &Scenario, mode: ReadMode) {
+    let failures = scenario.sweep(mode);
+    if !failures.is_empty() {
+        let paths = write_failure_reports(&report_dir(), scenario, mode, &failures)
+            .expect("write failure reports");
+        panic!(
+            "{} schedules violate atomicity for {} under {mode:?}; minimized repros in {:?}",
+            failures.len(),
+            scenario.name,
+            paths
+        );
+    }
+}
+
+/// Acceptance: the exhaustive delay-rule sweep — every one of the 2^12
+/// schedules in the universe, for the 2-writer/1-reader, 4-object (t = 1),
+/// ≤ 3-op scripts — finds zero violations on both the slow (4-round) and
+/// fast (2-round adaptive) read paths.
+#[test]
+fn exhaustive_sweep_finds_no_violations_on_sound_read_paths() {
+    for scenario in [
+        scenario_two_writers_one_reader(),
+        scenario_write_then_two_reads(),
+    ] {
+        for mode in [ReadMode::Slow, ReadMode::Fast] {
+            assert_sweep_clean(&scenario, mode);
+        }
+    }
+}
+
+/// Checker efficacy: a deliberately broken fast path (the test-only
+/// [`ReadMode::UnsoundFast`] hook skips the confirmation certificate) is
+/// caught by the same sweep, the failing schedule shrinks to a minimal
+/// repro, and replaying the minimized mask still fails deterministically.
+#[test]
+fn exhaustive_sweep_catches_the_unsound_fast_path() {
+    let scenario = scenario_write_then_two_reads();
+    let failures = scenario.sweep(ReadMode::UnsoundFast);
+    assert!(
+        !failures.is_empty(),
+        "the unsound fast path must violate atomicity somewhere in the universe"
+    );
+
+    let first = &failures[0];
+    let minimized = scenario.minimize(ReadMode::UnsoundFast, first.mask);
+    assert_ne!(minimized, 0, "an empty schedule cannot fail");
+    assert_eq!(
+        minimized & first.mask,
+        minimized,
+        "minimization only drops rules"
+    );
+    assert!(
+        minimized.count_ones() <= 3,
+        "repro should shrink to at most 3 delay rules, got {}",
+        minimized.count_ones()
+    );
+
+    // Replay-from-mask: the sim is deterministic, so the minimized mask is
+    // a self-contained repro.
+    let replay = scenario.run_mask(ReadMode::UnsoundFast, minimized);
+    assert!(
+        !replay.is_clean(),
+        "replaying the minimized repro must fail"
+    );
+    assert!(
+        replay
+            .violations
+            .iter()
+            .any(|v| v.contains("inversion") || v.contains("regression")),
+        "the unsound fast path fails as a new/old inversion, got {:?}",
+        replay.violations
+    );
+
+    // The sound fast path survives the exact schedule that kills the
+    // unsound one — the confirmation certificate is what saves it.
+    let sound = scenario.run_mask(ReadMode::Fast, minimized);
+    assert!(
+        sound.is_clean(),
+        "the confirmed fast path must survive the repro schedule: {:?}",
+        sound.violations
+    );
+}
+
+/// Seeded-random held-message schedules: many seeds, zero violations, and
+/// replaying a seed reproduces the run bit for bit.
+#[test]
+fn exhaustive_random_schedules_stay_atomic_and_replay_from_seed() {
+    for scenario in [
+        scenario_two_writers_one_reader(),
+        scenario_write_then_two_reads(),
+    ] {
+        for mode in [ReadMode::Slow, ReadMode::Fast] {
+            for seed in 0..100 {
+                let out = scenario.run_random(mode, seed);
+                assert!(
+                    out.is_clean(),
+                    "seed {seed} violates atomicity for {} under {mode:?}: {:?}",
+                    scenario.name,
+                    out.violations
+                );
+            }
+        }
+    }
+
+    // Replay-from-seed: identical seed, identical schedule, identical run.
+    let scenario = scenario_two_writers_one_reader();
+    let a = scenario.run_random(ReadMode::Fast, 42);
+    let b = scenario.run_random(ReadMode::Fast, 42);
+    let key = |o: &rastor_check::Outcome| {
+        o.completions
+            .iter()
+            .map(|c| (c.client, c.op_seq, c.output.pair().clone(), c.stat.rounds))
+            .collect::<Vec<_>>()
+    };
+    assert_eq!(key(&a), key(&b), "same seed must reproduce the same run");
+}
+
+/// Schedule perturbation: replay a recorded run's pick prefix with one
+/// choice changed and continue randomly — the local neighborhood of every
+/// explored schedule also stays atomic.
+#[test]
+fn exhaustive_perturbed_schedules_stay_atomic() {
+    let scenario = scenario_two_writers_one_reader();
+    for seed in 0..20 {
+        let mut base = RandomScheduler::seeded(seed);
+        let out = scenario.run_scheduled(ReadMode::Fast, &mut base);
+        assert!(out.is_clean(), "base seed {seed}: {:?}", out.violations);
+        let picks = base.picks;
+        assert!(!picks.is_empty(), "a held-message run makes picks");
+        for at in [0, picks.len() / 2, picks.len() - 1] {
+            let mut perturbed = RandomScheduler::perturbed(seed, &picks, at);
+            let out = scenario.run_scheduled(ReadMode::Fast, &mut perturbed);
+            assert!(
+                out.is_clean(),
+                "perturbing seed {seed} at pick {at}: {:?}",
+                out.violations
+            );
+        }
+    }
+}
+
+/// Satellite: a `DropLate` client and a `DeliverLate` client observing the
+/// same schedule (same delay rules, same deterministic sim) complete the
+/// same ops with the same results and leave every object's registers in
+/// the same final state.
+#[test]
+fn exhaustive_drop_late_and_deliver_late_agree_on_final_state() {
+    let scenario = scenario_policy_parity();
+    // Delay the read's traffic to two objects so its early rounds outlast
+    // the stragglers from the others — the window where the two staleness
+    // policies actually classify replies differently.
+    let read_op = 2;
+    let s = scenario.num_objects() as u64;
+    let mask = 1 << (read_op as u64 * s + 1) | 1 << (read_op as u64 * s + 2);
+    for mode in [ReadMode::Slow, ReadMode::Fast] {
+        let (deliver, deliver_views, drop, drop_views) = run_both_policies(&scenario, mode, mask);
+        assert!(deliver.is_clean(), "DeliverLate: {:?}", deliver.violations);
+        assert!(drop.is_clean(), "DropLate: {:?}", drop.violations);
+        let key = |o: &rastor_check::Outcome| {
+            let mut v = o
+                .completions
+                .iter()
+                .map(|c| (c.client, c.op_seq, c.output.pair().clone()))
+                .collect::<Vec<_>>();
+            v.sort();
+            v
+        };
+        assert_eq!(
+            key(&deliver),
+            key(&drop),
+            "both policies must complete the same ops with the same results"
+        );
+        assert_eq!(
+            deliver_views, drop_views,
+            "both policies must leave identical final register state on every object"
+        );
+    }
+}

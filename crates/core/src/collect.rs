@@ -170,6 +170,8 @@ impl CollectEngine {
                     continue;
                 }
                 if let Some(d) = self.try_decide(reg) {
+                    #[cfg(any(debug_assertions, feature = "ghost"))]
+                    self.ghost_check_decision(reg, &d);
                     self.decisions.insert(reg, d);
                 }
             }
@@ -189,6 +191,85 @@ impl CollectEngine {
             Some(key) => self.try_decide_auth(reg, key),
             None => self.try_decide_unauth(reg),
         }
+    }
+
+    /// Whether the decided pair `p` carries a *fast-path certificate*: some
+    /// single register shows a full write quorum (`2t + 1` distinct objects)
+    /// whose **committed** field equals `p`, and no reply anywhere claims a
+    /// pair newer than `p` (in `pw` or `w`).
+    ///
+    /// Safety of skipping the write-back under this certificate: of the
+    /// `2t + 1` same-register commit claims at most `t` are lies, so at
+    /// least `t + 1` *correct* objects hold `w ≥ p` forever. A later read
+    /// deciding some `q < p` would count each of them as a non-replier or a
+    /// higher-claimer — more than `t`, which the justifiability predicate
+    /// forbids. Counting within one register is essential: the certificate
+    /// must intersect the quorum a future reader collects *on that
+    /// register*.
+    ///
+    /// The no-newer-claim condition detects contention (a concurrent write
+    /// or write-back in flight) and Byzantine skew; either forces the
+    /// caller back onto the full write-back path.
+    pub fn fast_confirmed(&self, p: &Stamped) -> bool {
+        for views in self.views.values() {
+            for v in views.values() {
+                if v.pw.pair > p.pair || v.w.pair > p.pair {
+                    return false; // suspicion: someone claims newer state
+                }
+            }
+        }
+        if p.pair.is_bottom() {
+            // Nothing was ever claimed anywhere: had any write completed,
+            // quorum intersection would surface ≥ 1 correct claim above ⊥.
+            return true;
+        }
+        self.regs.iter().any(|reg| {
+            self.views
+                .values()
+                .filter(|vs| vs.get(reg).is_some_and(|v| v.w.pair == p.pair))
+                .count()
+                >= self.cfg.quorum()
+        })
+    }
+
+    /// Ghost re-derivation of a decision certificate, independent of the
+    /// candidate enumeration in [`CollectEngine::try_decide_unauth`]: `d`
+    /// must be vouched (or ⊥/token-valid) and justifiable against the
+    /// current reply set. Compiled out in release builds unless the `ghost`
+    /// feature is on.
+    #[cfg(any(debug_assertions, feature = "ghost"))]
+    fn ghost_check_decision(&self, reg: RegId, d: &Stamped) {
+        let t = self.cfg.fault_budget();
+        let non_repliers = self.cfg.num_objects() - self.views.len();
+        if let Some(key) = self.auth {
+            assert!(
+                self.is_valid(d, key),
+                "ghost: decided pair fails token validation for {reg:?}: {d:?}"
+            );
+            return;
+        }
+        let vouchers = self
+            .views
+            .values()
+            .filter(|vs| {
+                vs.get(&reg)
+                    .is_some_and(|v| v.pairs().into_iter().any(|s| s.pair == d.pair))
+            })
+            .count();
+        assert!(
+            d.pair.is_bottom() || vouchers >= self.cfg.vouch(),
+            "ghost: decided pair has only {vouchers} vouchers for {reg:?}: {d:?}"
+        );
+        let higher = self
+            .views
+            .values()
+            .filter(|vs| vs.get(&reg).is_some_and(|v| v.w.pair.ts > d.pair.ts))
+            .count();
+        assert!(
+            non_repliers + higher <= t,
+            "ghost: decision for {reg:?} not justifiable \
+             ({non_repliers} non-repliers + {higher} higher-claimers > t = {t}): {d:?}"
+        );
     }
 
     /// Secret-value rule: after a quorum of replies, return the maximum

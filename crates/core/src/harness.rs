@@ -20,7 +20,7 @@ use crate::checker::History;
 use crate::clients::{AbdReadClient, AbdWriteClient, ByzWriteClient, OpOutput, RegularReadClient};
 use crate::msg::{Rep, Req};
 use crate::token::AuthKey;
-use crate::transform::{make_stamped, AtomicReadClient};
+use crate::transform::{make_stamped, AtomicReadClient, ReadMode};
 use rastor_common::{ClientId, ClusterConfig, ObjectId, OpKind, RegId, Result, Timestamp, Value};
 use rastor_sim::runtime::ThreadCluster;
 use rastor_sim::{Completion, Controller, ObjectBehavior, RoundClient, Sim, SimConfig};
@@ -39,6 +39,10 @@ pub enum Protocol {
     /// The paper's headline SWMR atomic construction: 2-round writes,
     /// 4-round reads.
     AtomicUnauth,
+    /// The atomic construction with the adaptive read fast path: 2-round
+    /// writes, 2-round reads when the collect is uncontended and confirmed,
+    /// 4-round fallback otherwise.
+    AtomicFast,
     /// The secret-value atomic construction: 2-round writes, 3-round reads.
     AtomicAuth,
     /// Non-writing safe reads: t+1 rounds (baseline \[1\]).
@@ -63,17 +67,18 @@ impl Protocol {
     pub fn is_atomic(self) -> bool {
         matches!(
             self,
-            Protocol::Abd | Protocol::AtomicUnauth | Protocol::AtomicAuth
+            Protocol::Abd | Protocol::AtomicUnauth | Protocol::AtomicFast | Protocol::AtomicAuth
         )
     }
 
     /// All protocols, for table-driven experiments.
-    pub fn all() -> [Protocol; 7] {
+    pub fn all() -> [Protocol; 8] {
         [
             Protocol::Abd,
             Protocol::ByzRegular,
             Protocol::AuthRegular,
             Protocol::AtomicUnauth,
+            Protocol::AtomicFast,
             Protocol::AtomicAuth,
             Protocol::SafeNoWrite,
             Protocol::RetryStable,
@@ -87,6 +92,7 @@ impl Protocol {
             Protocol::ByzRegular => "byz-regular",
             Protocol::AuthRegular => "auth-regular",
             Protocol::AtomicUnauth => "atomic-unauth",
+            Protocol::AtomicFast => "atomic-fast",
             Protocol::AtomicAuth => "atomic-auth",
             Protocol::SafeNoWrite => "safe-nowrite",
             Protocol::RetryStable => "retry-stable",
@@ -274,6 +280,10 @@ impl StorageSystem {
             Protocol::AtomicUnauth => {
                 Box::new(AtomicReadClient::unauth(self.cfg, reader, self.num_readers))
             }
+            Protocol::AtomicFast => Box::new(
+                AtomicReadClient::unauth(self.cfg, reader, self.num_readers)
+                    .with_mode(ReadMode::Fast),
+            ),
             Protocol::AtomicAuth => Box::new(AtomicReadClient::auth(
                 self.cfg,
                 reader,
@@ -307,8 +317,19 @@ impl StorageSystem {
             let client = self.write_client(value.clone());
             sim.invoke_at(*at, ClientId::writer(), OpKind::Write, client);
         }
+        // Ghost: under atomicity, a read starting after another read
+        // completed must not return an older pair. The rail is shared by
+        // every read of this run and checked at completion time against the
+        // floor observed at invocation.
+        #[cfg(any(debug_assertions, feature = "ghost"))]
+        let rail = ghost::ReadRail::new();
         for (at, reader) in &workload.reads {
-            let client = self.read_client(*reader);
+            #[allow(unused_mut)]
+            let mut client = self.read_client(*reader);
+            #[cfg(any(debug_assertions, feature = "ghost"))]
+            if self.protocol.is_atomic() {
+                client = Box::new(ghost::NoRegressionRead::new(client, rail.clone()));
+            }
             sim.invoke_at(*at, ClientId::reader(*reader), OpKind::Read, client);
         }
         let completions = sim.run_to_quiescence();
@@ -332,6 +353,92 @@ impl StorageSystem {
             AdversaryKind::ForgeHigh => Box::new(adversary::ForgeHighObject::default_forgery()),
             AdversaryKind::CrashEarly => Box::new(adversary::CrashObject::new(3)),
             AdversaryKind::StaleReplay => Box::new(adversary::ReplayObject::new(4)),
+        }
+    }
+}
+
+/// Ghost reader no-regression rail: always-on in debug builds, compiled
+/// out of release builds unless the `ghost` feature is enabled.
+#[cfg(any(debug_assertions, feature = "ghost"))]
+mod ghost {
+    use super::*;
+    use rastor_common::TsVal;
+    use rastor_sim::ClientAction;
+    use std::sync::{Arc, Mutex};
+
+    /// The maximum pair any completed read of one run has returned.
+    #[derive(Clone, Debug, Default)]
+    pub(super) struct ReadRail(Arc<Mutex<TsVal>>);
+
+    impl ReadRail {
+        pub(super) fn new() -> ReadRail {
+            ReadRail::default()
+        }
+        fn floor(&self) -> TsVal {
+            self.0.lock().expect("ghost rail lock").clone()
+        }
+        fn raise(&self, p: &TsVal) {
+            let mut g = self.0.lock().expect("ghost rail lock");
+            if *p > *g {
+                *g = p.clone();
+            }
+        }
+    }
+
+    /// Wraps a read automaton, asserting on completion that the returned
+    /// pair is at least the rail's value at invocation time — exactly the
+    /// atomicity no-new/old-inversion property for non-overlapping reads
+    /// (reads that overlap observe a floor from before they started, so the
+    /// check never over-constrains them).
+    pub(super) struct NoRegressionRead {
+        inner: Box<dyn RoundClient<Req, Rep, Out = OpOutput>>,
+        rail: ReadRail,
+        floor: TsVal,
+    }
+
+    impl NoRegressionRead {
+        pub(super) fn new(
+            inner: Box<dyn RoundClient<Req, Rep, Out = OpOutput>>,
+            rail: ReadRail,
+        ) -> NoRegressionRead {
+            NoRegressionRead {
+                inner,
+                rail,
+                floor: TsVal::bottom(),
+            }
+        }
+    }
+
+    impl RoundClient<Req, Rep> for NoRegressionRead {
+        type Out = OpOutput;
+
+        fn start(&mut self) -> Req {
+            self.floor = self.rail.floor();
+            self.inner.start()
+        }
+
+        fn on_reply(
+            &mut self,
+            from: ObjectId,
+            round: u32,
+            reply: &Rep,
+        ) -> ClientAction<Req, OpOutput> {
+            match self.inner.on_reply(from, round, reply) {
+                ClientAction::Complete(out) => {
+                    if out.is_read() {
+                        let p = out.pair();
+                        assert!(
+                            *p >= self.floor,
+                            "ghost: reader regression — read returned {p:?} \
+                             below the completed-read floor {:?}",
+                            self.floor
+                        );
+                        self.rail.raise(p);
+                    }
+                    ClientAction::Complete(out)
+                }
+                other => other,
+            }
         }
     }
 }
@@ -399,11 +506,13 @@ mod tests {
 
     #[test]
     fn contention_free_round_counts_match_the_paper() {
-        let expect: [(Protocol, u32, u32); 5] = [
+        let expect: [(Protocol, u32, u32); 6] = [
             (Protocol::Abd, 1, 2),
             (Protocol::ByzRegular, 2, 2),
             (Protocol::AuthRegular, 2, 1),
             (Protocol::AtomicUnauth, 2, 4),
+            // Contention-free, the fast path confirms and skips write-back.
+            (Protocol::AtomicFast, 2, 2),
             (Protocol::AtomicAuth, 2, 3),
         ];
         for (p, wr, rr) in expect {
@@ -442,6 +551,7 @@ mod tests {
             Protocol::ByzRegular,
             Protocol::AuthRegular,
             Protocol::AtomicUnauth,
+            Protocol::AtomicFast,
             Protocol::AtomicAuth,
         ] {
             for adv in AdversaryKind::all() {
@@ -472,8 +582,14 @@ mod tests {
         assert!(Protocol::AtomicUnauth.is_atomic());
         assert!(!Protocol::ByzRegular.is_atomic());
         assert_eq!(Protocol::Abd.model(), rastor_common::FaultModel::Crash);
-        assert_eq!(Protocol::all().len(), 7);
+        assert_eq!(Protocol::all().len(), 8);
         assert_eq!(Protocol::AtomicAuth.name(), "atomic-auth");
+        assert!(Protocol::AtomicFast.is_atomic());
+        assert_eq!(Protocol::AtomicFast.name(), "atomic-fast");
+        assert_eq!(
+            Protocol::AtomicFast.model(),
+            rastor_common::FaultModel::Byzantine
+        );
     }
 
     /// The two deploy paths — simulator event loop and thread runtime —
@@ -482,7 +598,12 @@ mod tests {
     #[test]
     fn sim_and_thread_deploys_agree() {
         use crate::driver::{drive_batch, BatchOp};
-        for p in [Protocol::Abd, Protocol::ByzRegular, Protocol::AtomicUnauth] {
+        for p in [
+            Protocol::Abd,
+            Protocol::ByzRegular,
+            Protocol::AtomicUnauth,
+            Protocol::AtomicFast,
+        ] {
             // Simulated substrate.
             let mut sys = StorageSystem::new(p, 1, 1).unwrap();
             let wl = Workload::default()

@@ -299,8 +299,22 @@ pub fn mw_read_in_group(
     reader: u32,
     group: RegGroup,
 ) -> crate::transform::AtomicReadClient {
+    mw_read_in_group_mode(cfg, reader, group, crate::transform::ReadMode::Slow)
+}
+
+/// [`mw_read_in_group`] with an explicit termination mode: under
+/// [`ReadMode::Fast`](crate::transform::ReadMode::Fast) the read returns
+/// after its 2 collect rounds whenever the decided pair carries a fast-path
+/// certificate, falling back to the full 4-round write-back otherwise.
+pub fn mw_read_in_group_mode(
+    cfg: ClusterConfig,
+    reader: u32,
+    group: RegGroup,
+    mode: crate::transform::ReadMode,
+) -> crate::transform::AtomicReadClient {
     assert!(reader < group.n_readers, "reader index out of range");
     crate::transform::AtomicReadClient::with_regs(cfg, group.reader_reg(reader), group.all_regs())
+        .with_mode(mode)
 }
 
 #[cfg(test)]

@@ -26,17 +26,35 @@ pub struct RegState {
 
 impl RegState {
     fn adopt_hist(&mut self, s: &Stamped) {
+        #[cfg(any(debug_assertions, feature = "ghost"))]
+        assert!(
+            !self
+                .hist
+                .keys()
+                .any(|k| k.ts == s.pair.ts && k.val != s.pair.val),
+            "ghost: two distinct values share timestamp {:?} in one register \
+             (per-writer timestamp uniqueness violated): {:?}",
+            s.pair.ts,
+            s.pair
+        );
         self.hist.entry(s.pair.clone()).or_insert_with(|| s.clone());
     }
 
     fn pre_write(&mut self, s: Stamped) {
+        #[cfg(any(debug_assertions, feature = "ghost"))]
+        let (old_pw, old_hist) = (self.pw.pair.clone(), self.hist.len());
         self.adopt_hist(&s);
         if s.pair > self.pw.pair {
             self.pw = s;
         }
+        #[cfg(any(debug_assertions, feature = "ghost"))]
+        self.ghost_monotone(&old_pw, None, old_hist);
     }
 
     fn commit(&mut self, s: Stamped) {
+        #[cfg(any(debug_assertions, feature = "ghost"))]
+        let (old_pw, old_w, old_hist) =
+            (self.pw.pair.clone(), self.w.pair.clone(), self.hist.len());
         self.adopt_hist(&s);
         if s.pair > self.pw.pair {
             self.pw = s.clone();
@@ -44,6 +62,29 @@ impl RegState {
         if s.pair > self.w.pair {
             self.w = s;
         }
+        #[cfg(any(debug_assertions, feature = "ghost"))]
+        self.ghost_monotone(&old_pw, Some(&old_w), old_hist);
+    }
+
+    /// Ghost: no update may roll `pw`/`w` back, shrink the history, or
+    /// leave `w` ahead of `pw` (commits also pre-write). Compiled out in
+    /// release builds unless the `ghost` feature is on.
+    #[cfg(any(debug_assertions, feature = "ghost"))]
+    fn ghost_monotone(
+        &self,
+        old_pw: &rastor_common::TsVal,
+        old_w: Option<&rastor_common::TsVal>,
+        old_hist: usize,
+    ) {
+        assert!(self.pw.pair >= *old_pw, "ghost: pw regressed");
+        if let Some(w) = old_w {
+            assert!(self.w.pair >= *w, "ghost: w regressed");
+        }
+        assert!(
+            self.w.pair <= self.pw.pair,
+            "ghost: committed past pre-written"
+        );
+        assert!(self.hist.len() >= old_hist, "ghost: history shrank");
     }
 
     /// Render the externally visible view.

@@ -47,6 +47,27 @@ enum Phase {
     CommitBack,
 }
 
+/// How an [`AtomicReadClient`] terminates its collect phase.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub enum ReadMode {
+    /// Always write back — the paper's unconditional 4-round protocol
+    /// (3 rounds with secret values).
+    #[default]
+    Slow,
+    /// Adaptive fast path: complete right after the collect phase (2
+    /// rounds) when the decided pair carries a fast-path certificate
+    /// ([`CollectEngine::fast_confirmed`] — a full write quorum committed
+    /// it in one register and nobody claims anything newer), falling back
+    /// to the full write-back under contention, suspicion, or Byzantine
+    /// skew. Guaranteed 2-round reads are impossible at `S ≤ 4t` (paper,
+    /// Theorem 2), which is why the fast path must be conditional.
+    Fast,
+    /// Fast path with the confirmation certificate check skipped — a
+    /// deliberately unsound test hook used to prove the schedule explorer
+    /// catches the resulting atomicity violations. Never deploy this.
+    UnsoundFast,
+}
+
 /// The transformation's read automaton for reader `i`.
 ///
 /// ```
@@ -64,6 +85,7 @@ pub struct AtomicReadClient {
     own_reg: RegId,
     engine: CollectEngine,
     phase: Phase,
+    mode: ReadMode,
     chosen: Stamped,
     acks: BTreeSet<ObjectId>,
 }
@@ -78,6 +100,7 @@ impl AtomicReadClient {
             own_reg: RegId::ReaderReg(reader),
             engine: CollectEngine::unauth(cfg, regs),
             phase: Phase::Collect,
+            mode: ReadMode::Slow,
             chosen: Stamped::bottom(),
             acks: BTreeSet::new(),
         }
@@ -96,6 +119,7 @@ impl AtomicReadClient {
             own_reg: RegId::ReaderReg(reader),
             engine: CollectEngine::auth(cfg, regs, key),
             phase: Phase::Collect,
+            mode: ReadMode::Slow,
             chosen: Stamped::bottom(),
             acks: BTreeSet::new(),
         }
@@ -112,9 +136,17 @@ impl AtomicReadClient {
             own_reg,
             engine: CollectEngine::unauth(cfg, regs),
             phase: Phase::Collect,
+            mode: ReadMode::Slow,
             chosen: Stamped::bottom(),
             acks: BTreeSet::new(),
         }
+    }
+
+    /// Select the read's termination mode (default: [`ReadMode::Slow`]).
+    #[must_use]
+    pub fn with_mode(mut self, mode: ReadMode) -> AtomicReadClient {
+        self.mode = mode;
+        self
     }
 }
 
@@ -138,6 +170,24 @@ impl RoundClient<Req, Rep> for AtomicReadClient {
                         .engine
                         .max_decision()
                         .expect("decided engines have decisions");
+                    let fast = match self.mode {
+                        ReadMode::Slow => false,
+                        ReadMode::Fast => self.engine.fast_confirmed(&self.chosen),
+                        ReadMode::UnsoundFast => true,
+                    };
+                    if fast {
+                        // Fast path: the certificate (or the unsound hook)
+                        // lets the read return without writing back.
+                        #[cfg(any(debug_assertions, feature = "ghost"))]
+                        if self.mode == ReadMode::Fast {
+                            assert!(
+                                self.engine.fast_confirmed(&self.chosen),
+                                "ghost: fast completion without a certificate: {:?}",
+                                self.chosen
+                            );
+                        }
+                        return ClientAction::Complete(OpOutput::Read(self.chosen.pair.clone()));
+                    }
                     self.phase = Phase::PreWriteBack;
                     ClientAction::NextRound(Req::PreWrite {
                         reg: self.own_reg,
@@ -322,6 +372,84 @@ mod tests {
         };
         assert!(r0.stat.completed_at <= r1.stat.invoked_at);
         assert!(p1 >= p0, "no new/old inversion");
+    }
+
+    #[test]
+    fn fast_read_completes_in_two_rounds_when_quiescent() {
+        let cfg = ClusterConfig::byzantine(1).unwrap();
+        let mut sim = sim_with_honest(4);
+        sim.invoke_at(
+            0,
+            ClientId::writer(),
+            OpKind::Write,
+            Box::new(AtomicWriteClient::new(cfg, RegId::WRITER, stamped(1, 10))),
+        );
+        sim.invoke_at(
+            100,
+            ClientId::reader(0),
+            OpKind::Read,
+            Box::new(AtomicReadClient::unauth(cfg, 0, 2).with_mode(ReadMode::Fast)),
+        );
+        let done = sim.run_to_quiescence();
+        assert_eq!(done.len(), 2);
+        assert_eq!(
+            done[1].stat.rounds.get(),
+            2,
+            "uncontended fast read: collect only"
+        );
+        assert_eq!(done[1].output, OpOutput::Read(stamped(1, 10).pair));
+    }
+
+    #[test]
+    fn fast_read_falls_back_when_commit_is_in_flight() {
+        use rastor_sim::control::Rule;
+        use rastor_sim::ScriptedController;
+        let cfg = ClusterConfig::byzantine(1).unwrap();
+        // Hold the writer's commit round in transit: every object has
+        // pre-written the pair but none committed it — the decided pair has
+        // zero commit confirmers, so the fast path must write back.
+        let ctl = ScriptedController::new()
+            .with_rule(Rule::slow_all(100_000).client(ClientId::writer()).round(2));
+        let mut sim: Sim<Req, Rep, OpOutput> =
+            Sim::with_controller(SimConfig::default(), Box::new(ctl));
+        for _ in 0..4 {
+            sim.add_object(Box::new(HonestObject::new()));
+        }
+        sim.invoke_at(
+            0,
+            ClientId::writer(),
+            OpKind::Write,
+            Box::new(AtomicWriteClient::new(cfg, RegId::WRITER, stamped(1, 10))),
+        );
+        sim.invoke_at(
+            100,
+            ClientId::reader(0),
+            OpKind::Read,
+            Box::new(AtomicReadClient::unauth(cfg, 0, 2).with_mode(ReadMode::Fast)),
+        );
+        let done = sim.run_to_quiescence();
+        let read = done.iter().find(|c| c.output.is_read()).unwrap();
+        assert_eq!(
+            read.stat.rounds.get(),
+            4,
+            "contended fast read falls back to the full protocol"
+        );
+        assert_eq!(read.output, OpOutput::Read(stamped(1, 10).pair));
+    }
+
+    #[test]
+    fn fast_bottom_read_skips_the_write_back() {
+        let cfg = ClusterConfig::byzantine(1).unwrap();
+        let mut sim = sim_with_honest(4);
+        sim.invoke_at(
+            0,
+            ClientId::reader(1),
+            OpKind::Read,
+            Box::new(AtomicReadClient::unauth(cfg, 1, 2).with_mode(ReadMode::Fast)),
+        );
+        let done = sim.run_to_quiescence();
+        assert_eq!(done[0].output, OpOutput::Read(TsVal::bottom()));
+        assert_eq!(done[0].stat.rounds.get(), 2, "nothing claimed: fast ⊥");
     }
 
     #[test]

@@ -41,7 +41,8 @@ use crate::router::ShardRouter;
 use rastor_common::{ClientId, ClusterConfig, Error, ObjectId, OpKind, Result, TsVal, Value};
 use rastor_core::clients::OpOutput;
 use rastor_core::msg::{Rep, Req};
-use rastor_core::mwmr::{mw_read_in_group, MwWriteClient, RegGroup, Tag};
+use rastor_core::mwmr::{mw_read_in_group_mode, MwWriteClient, RegGroup, Tag};
+use rastor_core::ReadMode;
 use rastor_sim::runtime::{ObjReply, ReqFrame, ThreadClient, ThreadCluster, Transport};
 use rastor_sim::ObjectBehavior;
 use rastor_store::{Durability, InMemory, WalBacked};
@@ -73,6 +74,11 @@ pub struct StoreConfig {
     /// `dir/shard-<s>/obj-<o>.{wal,snap}` and unlocks
     /// [`ShardedKvStore::restart_object`]: kill-then-recover from disk.
     pub durability: Arc<dyn Durability>,
+    /// Run gets in [`ReadMode::Fast`]: an uncontended, confirmed read
+    /// returns after its 2 collect rounds instead of the full 4-round
+    /// write-back, falling back automatically under contention or
+    /// Byzantine skew. Off by default (the paper's baseline read).
+    pub fast_reads: bool,
 }
 
 impl StoreConfig {
@@ -85,7 +91,15 @@ impl StoreConfig {
             num_handles,
             jitter: None,
             durability: Arc::new(InMemory),
+            fast_reads: false,
         }
+    }
+
+    /// Enable (or disable) the adaptive 2-round fast read path for gets.
+    #[must_use]
+    pub fn with_fast_reads(mut self, fast_reads: bool) -> StoreConfig {
+        self.fast_reads = fast_reads;
+        self
     }
 
     /// Set the per-envelope object service delay.
@@ -162,6 +176,8 @@ struct Inner {
     router: ShardRouter,
     shards: Vec<Shard>,
     num_handles: u32,
+    /// Read mode every handle's gets run in (see [`StoreConfig::fast_reads`]).
+    read_mode: ReadMode,
     /// The store-wide durability policy (scoped per shard on use).
     durability: Arc<dyn Durability>,
     /// Which handle ids are currently issued; a handle id maps to fixed
@@ -255,6 +271,11 @@ impl ShardedKvStore {
                 router: ShardRouter::new(cfg.num_shards),
                 shards,
                 num_handles: cfg.num_handles,
+                read_mode: if cfg.fast_reads {
+                    ReadMode::Fast
+                } else {
+                    ReadMode::Slow
+                },
                 durability: Arc::clone(&cfg.durability),
                 taken: Mutex::new(vec![false; cfg.num_handles as usize]),
             }),
@@ -284,6 +305,7 @@ impl ShardedKvStore {
     pub fn over_transports(
         t: usize,
         num_handles: u32,
+        fast_reads: bool,
         transports: Vec<Box<dyn Transport<Req, Rep> + Send + Sync>>,
         durability: Arc<dyn Durability>,
     ) -> Result<ShardedKvStore> {
@@ -312,6 +334,11 @@ impl ShardedKvStore {
                 router: ShardRouter::new(num_shards),
                 shards,
                 num_handles,
+                read_mode: if fast_reads {
+                    ReadMode::Fast
+                } else {
+                    ReadMode::Slow
+                },
                 durability,
                 taken: Mutex::new(vec![false; num_handles as usize]),
             }),
@@ -380,6 +407,7 @@ impl ShardedKvStore {
             pending: HashMap::new(),
             keys_in_flight: HashSet::new(),
             ready: Vec::new(),
+            get_rounds: (0, 0),
         })
     }
 
@@ -585,6 +613,9 @@ pub struct KvHandle {
     keys_in_flight: HashSet<String>,
     /// Resolved operations awaiting a [`KvHandle::poll`].
     ready: Vec<(KvOpId, Result<KvOutput>)>,
+    /// `(sum, count)` of round counts across completed cluster gets —
+    /// the direct measurement of the fast path's 2-vs-4-round claim.
+    get_rounds: (u64, u64),
 }
 
 impl KvHandle {
@@ -609,6 +640,23 @@ impl KvHandle {
     /// Number of operations currently in flight.
     pub fn in_flight(&self) -> usize {
         self.pending.len()
+    }
+
+    /// Mean protocol rounds per completed cluster get, since the handle
+    /// was created or the stats last taken. `None` before any measured
+    /// get. Gets answered from the key directory alone (absent keys) cost
+    /// no rounds and are not counted. Slow-path gets take 4 rounds; with
+    /// [`StoreConfig::fast_reads`] an uncontended confirmed get takes 2.
+    pub fn get_rounds_mean(&self) -> Option<f64> {
+        let (sum, count) = self.get_rounds;
+        (count > 0).then(|| sum as f64 / count as f64)
+    }
+
+    /// Take (and reset) the `(sum, count)` round counters behind
+    /// [`KvHandle::get_rounds_mean`] — lets a benchmark aggregate across
+    /// many handles.
+    pub fn take_get_rounds(&mut self) -> (u64, u64) {
+        std::mem::take(&mut self.get_rounds)
     }
 
     /// Locate `key` if it has been written before: its shard and register
@@ -731,11 +779,13 @@ impl KvHandle {
                         p.shard
                     ),
                 }),
-                Some((out, _rounds)) => Ok(match p.kind {
+                Some((out, rounds)) => Ok(match p.kind {
                     OpKind::Write => KvOutput::Put(Tag::from_timestamp(
                         out.into_wrote().expect("writes return Wrote outputs").ts,
                     )),
                     OpKind::Read => {
+                        self.get_rounds.0 += u64::from(rounds);
+                        self.get_rounds.1 += 1;
                         KvOutput::Get(out.into_read().expect("reads return Read outputs"))
                     }
                 }),
@@ -816,8 +866,10 @@ impl KvHandle {
         Ok(op)
     }
 
-    /// Submit a get without waiting for it: a 4-round atomic read that
-    /// will resolve through [`KvHandle::poll`] as [`KvOutput::Get`]. A key
+    /// Submit a get without waiting for it: an atomic read (4 rounds, or
+    /// 2 when [`StoreConfig::fast_reads`] is on and the read is
+    /// uncontended and confirmed) that will resolve through
+    /// [`KvHandle::poll`] as [`KvOutput::Get`]. A key
     /// with no directory entry resolves to `⊥` immediately (see
     /// [`KvHandle::get_pair`] for why that linearizes). Blocks only while
     /// the pipeline is at its depth limit or another operation on the same
@@ -838,7 +890,7 @@ impl KvHandle {
             (shard, Some(group)) => (shard, group),
         };
         self.await_depth();
-        let automaton = mw_read_in_group(self.inner.cfg, self.id, group);
+        let automaton = mw_read_in_group_mode(self.inner.cfg, self.id, group, self.inner.read_mode);
         let nonce = self
             .client
             .submit_op(shard, OpKind::Read, Box::new(automaton), self.timeout);
@@ -1355,6 +1407,118 @@ mod tests {
                 "key k{i} after kill-and-restart"
             );
         }
+    }
+
+    /// Satellite regression: killing and recovering a WAL-backed object
+    /// while a depth-8 pipelined batch is in flight must never yield a
+    /// non-atomic history. A writer handle pipelines puts and a reader
+    /// handle pipelines fast-path gets across 8 keys; object 3 of every
+    /// shard restarts while the first full batch is on the wire; the
+    /// observed completions then replay through the core atomicity
+    /// checker, one per-key history at a time.
+    #[test]
+    fn restart_during_pipelined_batch_preserves_atomicity() {
+        use rastor_core::checker::{History, ReadRec, WriteRec};
+
+        const KEYS: u64 = 8;
+        const ROUNDS: u64 = 4;
+        let key = |k: u64| format!("pipe:{k}");
+
+        let dir = rastor_store::TempDir::new("kv-restart-pipeline");
+        let store = ShardedKvStore::spawn(
+            StoreConfig::new(1, 2, 2)
+                .with_wal(dir.path())
+                .with_fast_reads(true),
+        )
+        .unwrap();
+        let mut wh = store.handle(0).unwrap();
+        let mut rh = store.handle(1).unwrap();
+        wh.set_depth(8);
+        rh.set_depth(8);
+
+        // Wall-clock nanoseconds since the test started. Invocations are
+        // stamped just before submit and completions just after poll, so
+        // the recorded interval only ever *widens* the true one — the
+        // checker stays sound (a violation it reports is real).
+        let t0 = Instant::now();
+        let mut histories: Vec<History> = (0..KEYS).map(|_| History::new()).collect();
+        let mut puts: HashMap<KvOpId, (u64, Value, u64)> = HashMap::new();
+        let mut gets: HashMap<KvOpId, (u64, u64)> = HashMap::new();
+
+        let mut restarted = false;
+        for round in 0..ROUNDS {
+            for k in 0..KEYS {
+                let invoked = t0.elapsed().as_nanos() as u64;
+                let val = Value::from_u64(round * KEYS + k + 1);
+                let id = wh.submit_put(&key(k), val.clone()).unwrap();
+                puts.insert(id, (k, val, invoked));
+            }
+            if !restarted {
+                // The whole first batch is in flight (8 distinct keys, so
+                // nothing serialized or resolved yet) — now yank an object
+                // out from under it on every shard and recover it from
+                // the WAL while the batch keeps running.
+                assert_eq!(wh.in_flight(), 8, "a full depth-8 batch in flight");
+                for s in 0..store.num_shards() {
+                    store.restart_object(s, ObjectId(3)).expect("restart");
+                }
+                restarted = true;
+            }
+            for k in 0..KEYS {
+                let invoked = t0.elapsed().as_nanos() as u64;
+                let id = rh.submit_get(&key(k)).unwrap();
+                gets.insert(id, (k, invoked));
+            }
+            let last = round + 1 == ROUNDS;
+            loop {
+                let results = if last { wh.drain() } else { wh.try_poll() };
+                let done = t0.elapsed().as_nanos() as u64;
+                for (id, out) in results {
+                    let (k, val, invoked) = puts.remove(&id).expect("unknown put id");
+                    match out {
+                        Ok(KvOutput::Put(tag)) => histories[k as usize].push_write(WriteRec {
+                            ts: tag.to_timestamp(),
+                            val,
+                            invoked_at: invoked,
+                            completed_at: Some(done),
+                        }),
+                        other => panic!("put resolved to {other:?}"),
+                    }
+                }
+                let results = if last { rh.drain() } else { rh.try_poll() };
+                let done = t0.elapsed().as_nanos() as u64;
+                for (id, out) in results {
+                    let (k, invoked) = gets.remove(&id).expect("unknown get id");
+                    match out {
+                        Ok(KvOutput::Get(pair)) => histories[k as usize].push_read(ReadRec {
+                            client: ClientId::reader(1),
+                            invoked_at: invoked,
+                            completed_at: done,
+                            returned: pair,
+                        }),
+                        other => panic!("get resolved to {other:?}"),
+                    }
+                }
+                if !last || (puts.is_empty() && gets.is_empty()) {
+                    break;
+                }
+            }
+        }
+        assert!(puts.is_empty() && gets.is_empty(), "all ops resolved");
+
+        for (k, h) in histories.iter().enumerate() {
+            assert_eq!(h.writes().count(), ROUNDS as usize, "key {k} writes");
+            let violations = h.check_atomic();
+            assert!(violations.is_empty(), "key {k}: {violations:?}");
+        }
+        // Every measured get took 2 (fast) or 4 (fallback) rounds.
+        let (sum, count) = rh.take_get_rounds();
+        assert!(count > 0, "cluster gets were measured");
+        let mean = sum as f64 / count as f64;
+        assert!(
+            (2.0..=4.0).contains(&mean),
+            "get rounds mean {mean} outside the fast/slow envelope"
+        );
     }
 
     #[test]

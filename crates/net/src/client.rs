@@ -177,9 +177,11 @@ fn route_replies(mut stream: TcpStream, registry: &Registry) {
     loop {
         let env = match wire::read_frame(&mut stream) {
             Ok(Frame::Rep(env)) => env,
-            // A request frame from a server is a protocol violation; an
-            // io/decode error means the connection is done.
-            Ok(Frame::Req(_)) | Err(_) => return,
+            // A request frame from a server is a protocol violation, and a
+            // version-mismatch reply means this build cannot talk to that
+            // server at all; an io/decode error means the connection is
+            // done. All three end the reader.
+            Ok(Frame::Req(_) | Frame::VersionMismatch { .. }) | Err(_) => return,
         };
         let tx = registry
             .lock()

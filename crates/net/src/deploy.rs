@@ -151,6 +151,7 @@ impl NetKv {
         let store = ShardedKvStore::over_transports(
             cfg.t,
             cfg.num_handles,
+            cfg.fast_reads,
             transports,
             Arc::clone(&cfg.durability),
         )?;

@@ -32,8 +32,10 @@ struct Job {
     client: ClientId,
     /// Decoded once per envelope, shared across the fan-out.
     frames: Arc<Vec<WireReqFrame>>,
-    /// The requesting connection's writer channel.
-    reply: Sender<RepEnvelope>,
+    /// The requesting connection's writer channel. Frame-typed (not
+    /// [`RepEnvelope`]-typed) so the connection reader can interleave
+    /// version-negotiation frames with the workers' reply envelopes.
+    reply: Sender<Frame>,
 }
 
 struct Shared {
@@ -264,11 +266,11 @@ fn object_worker(
             .collect();
         if !frames.is_empty() {
             // The connection may be gone; ignore send errors.
-            let _ = job.reply.send(RepEnvelope {
+            let _ = job.reply.send(Frame::Rep(RepEnvelope {
                 to: job.client,
                 from: oid,
                 frames,
-            });
+            }));
         }
     }
 }
@@ -285,21 +287,34 @@ fn serve_connection(stream: TcpStream, shared: Arc<Shared>, conn_id: u64) {
             .remove(&conn_id);
         return;
     };
-    let (reply_tx, reply_rx) = channel::<RepEnvelope>();
+    let (reply_tx, reply_rx) = channel::<Frame>();
     let writer = std::thread::spawn(move || write_replies(stream, reply_rx));
 
-    // A reply frame from a client is a protocol violation; any decode/io
-    // error means the peer is gone or garbling — either way, the loop (and
-    // with it this connection) is done.
-    while let Ok(Frame::Req(env)) = wire::read_frame(&mut read_half) {
-        let frames = Arc::new(env.frames);
-        let workers = shared.workers.read().expect("worker list lock");
-        for tx in workers.iter().flatten() {
-            let _ = tx.send(Job {
-                client: env.from,
-                frames: Arc::clone(&frames),
-                reply: reply_tx.clone(),
-            });
+    loop {
+        match wire::read_frame_negotiating(&mut read_half) {
+            Ok(Frame::Req(env)) => {
+                let frames = Arc::new(env.frames);
+                let workers = shared.workers.read().expect("worker list lock");
+                for tx in workers.iter().flatten() {
+                    let _ = tx.send(Job {
+                        client: env.from,
+                        frames: Arc::clone(&frames),
+                        reply: reply_tx.clone(),
+                    });
+                }
+            }
+            Err(Error::VersionMismatch { got, want }) => {
+                // The negotiating read skipped the foreign frame whole, so
+                // the stream is still aligned: tell the peer which version
+                // this build speaks and keep serving the connection.
+                if reply_tx.send(Frame::VersionMismatch { got, want }).is_err() {
+                    break;
+                }
+            }
+            // A reply or negotiation frame from a client is a protocol
+            // violation; any other decode/io error means the peer is gone
+            // or garbling — either way, this connection is done.
+            Ok(_) | Err(_) => break,
         }
     }
     let _ = read_half.shutdown(Shutdown::Both);
@@ -315,9 +330,9 @@ fn serve_connection(stream: TcpStream, shared: Arc<Shared>, conn_id: u64) {
         .remove(&conn_id);
 }
 
-fn write_replies(mut stream: TcpStream, rx: Receiver<RepEnvelope>) {
-    while let Ok(env) = rx.recv() {
-        if wire::write_frame(&mut stream, &Frame::Rep(env)).is_err() {
+fn write_replies(mut stream: TcpStream, rx: Receiver<Frame>) {
+    while let Ok(frame) = rx.recv() {
+        if wire::write_frame(&mut stream, &frame).is_err() {
             break;
         }
     }

@@ -48,6 +48,7 @@ pub const MAX_BODY_LEN: usize = 16 * 1024 * 1024;
 
 const KIND_REQ: u8 = 1;
 const KIND_REP: u8 = 2;
+const KIND_VERSION_MISMATCH: u8 = 3;
 
 /// One round of one operation inside a request envelope, as carried on the
 /// wire (the owned twin of `rastor_sim::runtime::ReqFrame`).
@@ -103,6 +104,17 @@ pub enum Frame {
     Req(ReqEnvelope),
     /// A server → client reply envelope.
     Rep(RepEnvelope),
+    /// Version negotiation: the sender refuses a frame because it speaks
+    /// `want`, not the `got` the frame carried. Sent by a server in reply
+    /// to a foreign-version frame (whose body it skipped whole, so the
+    /// connection stays aligned and usable — see
+    /// [`read_frame_negotiating`]).
+    VersionMismatch {
+        /// The version byte of the refused frame.
+        got: u8,
+        /// The version the sender speaks ([`WIRE_VERSION`]).
+        want: u8,
+    },
 }
 
 // ---------------------------------------------------------------------------
@@ -233,6 +245,10 @@ fn encode_body(frame: &Frame, out: &mut Vec<u8>) {
                 encode_rep(&f.rep, out);
             }
         }
+        Frame::VersionMismatch { got, want } => {
+            out.push(*got);
+            out.push(*want);
+        }
     }
 }
 
@@ -249,6 +265,7 @@ pub fn encode_frame(frame: &Frame) -> Vec<u8> {
     out.push(match frame {
         Frame::Req(_) => KIND_REQ,
         Frame::Rep(_) => KIND_REP,
+        Frame::VersionMismatch { .. } => KIND_VERSION_MISMATCH,
     });
     put_u32(&mut out, 0); // patched below
     encode_body(frame, &mut out);
@@ -394,23 +411,16 @@ pub fn decode_rep(body: &[u8]) -> Result<Rep> {
     Ok(rep)
 }
 
-/// Validate a frame header. Returns `(kind, body_len)`.
-fn decode_header(header: &[u8; HEADER_LEN]) -> Result<(u8, usize)> {
+/// Validate only the alignment-critical header fields — magic and body
+/// length — and return `(version, kind, body_len)` unjudged. This is what
+/// lets a negotiating reader consume a well-framed foreign-version frame
+/// whole and keep the stream aligned.
+fn decode_framing(header: &[u8; HEADER_LEN]) -> Result<(u8, u8, usize)> {
     if header[0..2] != MAGIC {
         return Err(Error::codec(format!(
             "bad magic {:02x}{:02x} (expected {:02x}{:02x})",
             header[0], header[1], MAGIC[0], MAGIC[1]
         )));
-    }
-    if header[2] != WIRE_VERSION {
-        return Err(Error::VersionMismatch {
-            got: header[2],
-            want: WIRE_VERSION,
-        });
-    }
-    let kind = header[3];
-    if kind != KIND_REQ && kind != KIND_REP {
-        return Err(Error::codec(format!("unknown frame kind {kind}")));
     }
     let body_len = u32::from_le_bytes(header[4..8].try_into().expect("4 bytes")) as usize;
     if body_len > MAX_BODY_LEN {
@@ -418,6 +428,27 @@ fn decode_header(header: &[u8; HEADER_LEN]) -> Result<(u8, usize)> {
             "frame body of {body_len} bytes exceeds the {MAX_BODY_LEN}-byte ceiling"
         )));
     }
+    Ok((header[2], header[3], body_len))
+}
+
+/// Judge the version and kind bytes [`decode_framing`] left unjudged.
+fn check_version_and_kind(version: u8, kind: u8) -> Result<()> {
+    if version != WIRE_VERSION {
+        return Err(Error::VersionMismatch {
+            got: version,
+            want: WIRE_VERSION,
+        });
+    }
+    if kind != KIND_REQ && kind != KIND_REP && kind != KIND_VERSION_MISMATCH {
+        return Err(Error::codec(format!("unknown frame kind {kind}")));
+    }
+    Ok(())
+}
+
+/// Validate a frame header. Returns `(kind, body_len)`.
+fn decode_header(header: &[u8; HEADER_LEN]) -> Result<(u8, usize)> {
+    let (version, kind, body_len) = decode_framing(header)?;
+    check_version_and_kind(version, kind)?;
     Ok((kind, body_len))
 }
 
@@ -451,6 +482,10 @@ fn decode_body(kind: u8, body: &[u8]) -> Result<Frame> {
             }
             Frame::Rep(RepEnvelope { to, from, frames })
         }
+        KIND_VERSION_MISMATCH => Frame::VersionMismatch {
+            got: d.u8()?,
+            want: d.u8()?,
+        },
         _ => unreachable!("decode_header admits only known kinds"),
     };
     d.done()?;
@@ -510,6 +545,34 @@ pub fn read_frame(r: &mut impl Read) -> Result<Frame> {
     let (frame, used) = decode_frame(&raw)?;
     debug_assert_eq!(used, raw.len());
     Ok(frame)
+}
+
+/// Read and decode one frame from a stream, *negotiating* the version: a
+/// frame that is well framed (good magic, sane length) but carries a
+/// foreign version byte has its body read and discarded — the stream
+/// stays frame-aligned — before the read returns
+/// [`Error::VersionMismatch`]. The caller can then answer with a
+/// [`Frame::VersionMismatch`] and keep serving the connection; the next
+/// read picks up at the next frame boundary.
+///
+/// [`read_frame`], by contrast, leaves the foreign body unread — right
+/// for a peer that treats a version mismatch as fatal, wrong for one that
+/// wants the connection to survive it.
+///
+/// # Errors
+///
+/// [`Error::VersionMismatch`] on a foreign (but well-framed) version
+/// byte; otherwise as [`read_frame`].
+pub fn read_frame_negotiating(r: &mut impl Read) -> Result<Frame> {
+    let mut header = [0u8; HEADER_LEN];
+    r.read_exact(&mut header)
+        .map_err(|e| Error::io("reading a frame header", &e))?;
+    let (version, kind, body_len) = decode_framing(&header)?;
+    let mut body = vec![0u8; body_len];
+    r.read_exact(&mut body)
+        .map_err(|e| Error::io("reading a frame body", &e))?;
+    check_version_and_kind(version, kind)?;
+    decode_body(kind, &body)
 }
 
 /// Read one frame's verbatim bytes (header + body) from a stream without
@@ -607,6 +670,57 @@ mod tests {
                 want: WIRE_VERSION
             }
         );
+    }
+
+    #[test]
+    fn version_mismatch_frame_roundtrips() {
+        let frame = Frame::VersionMismatch {
+            got: 9,
+            want: WIRE_VERSION,
+        };
+        let bytes = encode_frame(&frame);
+        assert_eq!(decode_frame(&bytes).expect("decodes").0, frame);
+    }
+
+    /// The negotiating read consumes a foreign-version frame whole — body
+    /// included — so the very next read picks up the following frame
+    /// intact. The plain [`read_frame`] on the same bytes would leave the
+    /// foreign body in the stream and desynchronize.
+    #[test]
+    fn negotiating_read_skips_a_foreign_body_and_stays_aligned() {
+        let env = Frame::Req(sample_req_env());
+        let mut buf = encode_frame(&env);
+        buf[2] = WIRE_VERSION + 3; // frame 1: from the future
+        buf.extend_from_slice(&encode_frame(&env)); // frame 2: current
+        let mut cursor = std::io::Cursor::new(buf);
+        assert_eq!(
+            read_frame_negotiating(&mut cursor).unwrap_err(),
+            Error::VersionMismatch {
+                got: WIRE_VERSION + 3,
+                want: WIRE_VERSION
+            }
+        );
+        assert_eq!(
+            read_frame_negotiating(&mut cursor).expect("aligned"),
+            env,
+            "the frame after the skipped one decodes intact"
+        );
+    }
+
+    /// An oversized length prefix is rejected by the negotiating read
+    /// even when the version byte is foreign: a length beyond the ceiling
+    /// cannot be trusted to realign the stream, so it is a codec error,
+    /// not a skippable mismatch.
+    #[test]
+    fn negotiating_read_rejects_oversized_foreign_frames() {
+        let mut bytes = encode_frame(&Frame::Req(sample_req_env()));
+        bytes[2] = WIRE_VERSION + 1;
+        bytes[4..8].copy_from_slice(&u32::MAX.to_le_bytes());
+        let mut cursor = std::io::Cursor::new(bytes);
+        assert!(matches!(
+            read_frame_negotiating(&mut cursor).unwrap_err(),
+            Error::Codec { .. }
+        ));
     }
 
     #[test]

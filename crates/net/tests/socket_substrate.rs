@@ -209,6 +209,63 @@ fn lossy_reordering_link_degrades_but_never_corrupts() {
     assert_eq!(kv.proxies.len(), 1);
 }
 
+/// Satellite: version negotiation on a live connection. A well-framed
+/// envelope from one protocol version in the future gets a
+/// `VersionMismatch` reply instead of a dropped connection, and the same
+/// stream keeps serving current-version requests afterwards — the
+/// negotiating read consumed the foreign body whole, so the frame
+/// boundary never slipped.
+#[test]
+fn future_version_frame_gets_a_mismatch_reply_and_the_connection_survives() {
+    use rastor_common::RegId;
+    use rastor_core::msg::Req;
+    use rastor_net::wire::{self, Frame, ReqEnvelope, WireReqFrame, WIRE_VERSION};
+    use std::io::Write as _;
+    use std::net::TcpStream;
+
+    let server = ObjectServer::spawn(
+        vec![Box::new(rastor_core::HonestObject::new()) as _],
+        0,
+        None,
+    )
+    .expect("server");
+    let mut conn = TcpStream::connect(server.local_addr()).expect("connect");
+    conn.set_nodelay(true).expect("nodelay");
+
+    let req = Frame::Req(ReqEnvelope {
+        from: ClientId::reader(7),
+        frames: vec![WireReqFrame {
+            op_nonce: 1,
+            round: 1,
+            req: Req::Collect {
+                regs: vec![RegId::WRITER],
+            },
+        }],
+    });
+
+    let mut from_the_future = wire::encode_frame(&req);
+    from_the_future[2] = WIRE_VERSION + 1;
+    conn.write_all(&from_the_future).expect("send future frame");
+    conn.flush().expect("flush");
+    assert_eq!(
+        wire::read_frame(&mut conn).expect("mismatch reply"),
+        Frame::VersionMismatch {
+            got: WIRE_VERSION + 1,
+            want: WIRE_VERSION,
+        },
+    );
+
+    wire::write_frame(&mut conn, &req).expect("send current frame");
+    match wire::read_frame(&mut conn).expect("served reply") {
+        Frame::Rep(env) => {
+            assert_eq!(env.to, ClientId::reader(7));
+            assert_eq!(env.from, ObjectId(0));
+            assert_eq!(env.frames.len(), 1, "one collect, one reply frame");
+        }
+        other => panic!("expected a reply envelope, got {other:?}"),
+    }
+}
+
 /// A partition stalls everything into clean timeouts; healing it restores
 /// service on the same connections.
 #[test]

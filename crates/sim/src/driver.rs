@@ -129,6 +129,17 @@ impl<Q, R, Out> OpDriver<Q, R, Out> {
         }
     }
 
+    /// Swap the staleness policy for every op submitted from now on.
+    ///
+    /// In-flight automata keep the dispatch behaviour they were started
+    /// with only in the sense that stale replies are classified at
+    /// delivery time; switching mid-op therefore reclassifies pending
+    /// stragglers too. Call it before submitting work when the scenario
+    /// needs the hardened [`StalePolicy::DropLate`] deploy behaviour.
+    pub fn set_policy(&mut self, policy: StalePolicy) {
+        self.policy = policy;
+    }
+
     /// Admit an operation: assigns the next nonce, records `now` as its
     /// invocation time and starts the automaton. The caller must broadcast
     /// the returned round-1 payload.

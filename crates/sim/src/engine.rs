@@ -484,6 +484,57 @@ where
     pub fn hit_event_cap(&self) -> bool {
         self.processed > self.cfg.max_events
     }
+
+    /// Override the staleness policy of one client's op driver (defaults
+    /// to [`StalePolicy::DeliverLate`]). Call before the client's first
+    /// operation is invoked; scenario tests use it to run the hardened
+    /// deploy-path [`StalePolicy::DropLate`] behaviour inside the sim.
+    pub fn set_stale_policy(&mut self, client: ClientId, policy: StalePolicy) {
+        self.clients
+            .entry(client)
+            .or_default()
+            .driver
+            .set_policy(policy);
+    }
+
+    /// Drive the run from an external [`Scheduler`].
+    ///
+    /// The engine first drains every deliverable event, then repeatedly
+    /// presents the sorted list of held message ids to the scheduler; the
+    /// chosen message is released one tick in the future and the engine
+    /// drains again. The loop ends when the scheduler declines to pick or
+    /// no messages remain held. Combined with a [`crate::ScriptedController`]
+    /// whose rules *hold* traffic, this turns message-delivery order into a
+    /// sequence of explicit choices — the seam the schedule explorer in
+    /// `rastor_check` enumerates and perturbs.
+    pub fn run_scheduled(&mut self, sched: &mut dyn Scheduler) -> Vec<Completion<Out>> {
+        let mut out = self.run_to_quiescence();
+        loop {
+            let held = self.held_messages();
+            if held.is_empty() {
+                break;
+            }
+            let Some(i) = sched.pick(&held) else { break };
+            let id = held[i.min(held.len() - 1)];
+            let at = self.time + 1;
+            self.release_held(id, at);
+            out.extend(self.run_to_quiescence());
+        }
+        out
+    }
+}
+
+/// A pluggable message-delivery order for [`Sim::run_scheduled`].
+///
+/// Each call sees the currently held messages (sorted by id, so indices
+/// are stable for a given state) and returns the index to deliver next,
+/// or `None` to stop and leave the rest undelivered. Implementations in
+/// `rastor_check` include exhaustive enumerators (trying every index at
+/// every depth) and seeded-random pickers whose choice sequence can be
+/// replayed and perturbed.
+pub trait Scheduler {
+    /// Pick the index (into `held`) of the next message to deliver.
+    fn pick(&mut self, held: &[MsgId]) -> Option<usize>;
 }
 
 #[cfg(test)]

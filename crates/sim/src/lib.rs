@@ -84,7 +84,8 @@ pub use control::{
 };
 pub use driver::{Broadcast, Dispatch, OpCompletion, OpDriver, OpTimeout, StalePolicy};
 pub use engine::{
-    ClientAction, Completion, Envelope, MsgDir, MsgId, ObjectBehavior, RoundClient, Sim, SimConfig,
+    ClientAction, Completion, Envelope, MsgDir, MsgId, ObjectBehavior, RoundClient, Scheduler, Sim,
+    SimConfig,
 };
 pub use runtime::{ObjReply, OpResult, RepFrame, ReqFrame, ThreadClient, ThreadCluster, Transport};
 pub use trace::{Observation, OpRecord, Trace};

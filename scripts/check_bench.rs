@@ -9,19 +9,22 @@
 //! workloads are service-delay-bound (see `crates/bench/src/workload.rs`),
 //! which keeps absolute numbers comparable across machines.
 //!
-//! Understands the `rastor-kv-throughput/v2` schema (v1 plus a per-row
-//! `depth` field), the `rastor-net-throughput/v1` schema (per-row
-//! `transport`) and the `rastor-store-throughput/v1` schema (per-row
-//! `durability` + optional `recover_ms`), and gates the structural claims
-//! of all three outright: sharding must win (`s4-X` > `s1-X`), pipelining
-//! must win (`X-dN` > `X` at equal shard count; rows missing `depth` are
-//! treated as depth 1), the chaos proxy must actually bite (`chaos-X` <
-//! its `tcp-X` twin — a chaos row matching plain tcp means no faults were
-//! injected), every `wal-X` durability row must have its `mem-X` twin
-//! (and vice versa — a missing twin means half the comparison silently
-//! stopped running), and a store document must carry measured recovery
-//! times (`recover_ms` > 0 on every `restart-*`/`replay-*` row, at least
-//! one such row present).
+//! Understands the `rastor-kv-throughput/v3` schema (v2's per-row `depth`
+//! plus `fast_reads` + `get_rounds_mean`), the `rastor-net-throughput/v1`
+//! schema (per-row `transport`) and the `rastor-store-throughput/v1`
+//! schema (per-row `durability` + optional `recover_ms`), and gates the
+//! structural claims of all three outright: sharding must win (`s4-X` >
+//! `s1-X`), pipelining must win (`X-dN` > `X` at equal shard count; rows
+//! missing `depth` are treated as depth 1), the fast read path must
+//! actually engage (`X-fast` rows must average strictly fewer rounds per
+//! get than their slow twin `X` — a fast row still paying 4 rounds means
+//! the confirmation certificate never fires), the chaos proxy must
+//! actually bite (`chaos-X` < its `tcp-X` twin — a chaos row matching
+//! plain tcp means no faults were injected), every `wal-X` durability row
+//! must have its `mem-X` twin (and vice versa — a missing twin means half
+//! the comparison silently stopped running), and a store document must
+//! carry measured recovery times (`recover_ms` > 0 on every
+//! `restart-*`/`replay-*` row, at least one such row present).
 //!
 //! Standalone by design — compiled directly in CI with no cargo project.
 //! The current-run argument takes a comma-separated file list, so one
@@ -56,6 +59,8 @@ struct Row {
     ops_per_sec: f64,
     /// Present on store-schema recovery rows only.
     recover_ms: Option<f64>,
+    /// Present on kv-schema v3 rows; 0.0 when the mix ran no gets.
+    get_rounds_mean: Option<f64>,
 }
 
 fn results(doc: &str) -> Vec<Row> {
@@ -65,11 +70,14 @@ fn results(doc: &str) -> Vec<Row> {
             let tput: f64 = field(line, "ops_per_sec")?.parse().ok()?;
             let depth: u32 = field(line, "depth").and_then(|d| d.parse().ok()).unwrap_or(1);
             let recover_ms: Option<f64> = field(line, "recover_ms").and_then(|r| r.parse().ok());
+            let get_rounds_mean: Option<f64> =
+                field(line, "get_rounds_mean").and_then(|r| r.parse().ok());
             Some(Row {
                 name: name.to_string(),
                 depth,
                 ops_per_sec: tput,
                 recover_ms,
+                get_rounds_mean,
             })
         })
         .collect()
@@ -185,6 +193,43 @@ fn main() -> ExitCode {
                     r.name,
                     r.ops_per_sec,
                     if ok { "pipelining wins — ok" } else { "NO SPEEDUP" }
+                );
+                failed |= !ok;
+            }
+        }
+    }
+    // Cross-row invariant for the fast read path: an `X-fast` row must
+    // average strictly fewer rounds per get than its slow twin `X`. Round
+    // counts are deterministic (the automaton reports how many message
+    // rounds each read took), so unlike a latency comparison this gate is
+    // immune to scheduler noise: a fast row whose mean matches the slow
+    // twin's means the confirmation certificate never fired and every
+    // read fell back to the 4-round path.
+    for r in &current {
+        let Some(twin) = r.name.strip_suffix("-fast") else {
+            continue;
+        };
+        let Some(fast_mean) = r.get_rounds_mean.filter(|m| *m > 0.0) else {
+            println!("{}: no measured get rounds — UNGATED", r.name);
+            failed = true;
+            continue;
+        };
+        match current.iter().find(|c| c.name == twin) {
+            None => {
+                println!("{} has no slow twin {twin} — UNGATED", r.name);
+                failed = true;
+            }
+            Some(slow) => {
+                let slow_mean = slow.get_rounds_mean.unwrap_or(0.0);
+                let ok = slow_mean > 0.0 && fast_mean < slow_mean;
+                println!(
+                    "{twin} {slow_mean:.3} rnds vs {} {fast_mean:.3} rnds: {}",
+                    r.name,
+                    if ok {
+                        "fast reads save rounds — ok"
+                    } else {
+                        "FAST PATH NOT ENGAGING"
+                    }
                 );
                 failed |= !ok;
             }
