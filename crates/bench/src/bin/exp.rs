@@ -1,7 +1,7 @@
 //! The experiment table printer: regenerates every table and figure of
 //! EXPERIMENTS.md.
 //!
-//! Usage: `cargo run -p rastor_bench --bin exp -- [t1|…|t9|f1|f2|all] [--quick]`
+//! Usage: `cargo run -p rastor_bench --bin exp -- [t1|…|t10|f1|f2|all] [--quick]`
 //!
 //! `t6` additionally runs the kv throughput workload matrix (real OS
 //! threads, sharded store) and writes the machine-readable `BENCH_kv.json`
@@ -11,10 +11,13 @@
 //! in-memory durability plus kill-and-restart and cold-replay recovery
 //! times and writes `BENCH_store.json`; `t9` measures the adaptive
 //! fast-read path's round counts and sweeps the schedule explorer's
-//! exhaustive delay-rule universe; `--quick` trims them to smoke-test
-//! size.
+//! exhaustive delay-rule universe; `t10` measures the observability
+//! seam's throughput overhead (metrics off vs on, interleaved and
+//! medianed) and writes `BENCH_obs.json`; `--quick` trims them to
+//! smoke-test size.
 
 use rastor_bench::netbench::{net_bench_json, net_throughput_matrix, CHAOS_FRAME_DELAY};
+use rastor_bench::obsbench::{obs_bench_json, obs_overhead_matrix, OVERHEAD_GATE_PCT};
 use rastor_bench::storebench::{store_bench_json, store_matrix};
 use rastor_bench::workload::{bench_json, kv_throughput_matrix};
 use rastor_bench::{
@@ -377,6 +380,59 @@ fn t9(quick: bool) {
     }
 }
 
+fn t10(quick: bool) {
+    println!(
+        "== T10: observability overhead ({} mode; 4 shards, 4 threads, 90% gets) ==",
+        if quick { "quick" } else { "full" }
+    );
+    println!(
+        "{:<18} {:<7} {:>5} {:>5} {:>6} {:>10} {:>18}",
+        "workload", "metrics", "depth", "ops", "errs", "ops/sec", "get p50/p95 µs"
+    );
+    let matrix = obs_overhead_matrix(quick);
+    for row in &matrix.rows {
+        let lat = |s: Option<rastor_bench::stats::Summary>| {
+            s.map(|s| format!("{}/{}", s.p50, s.p95))
+                .unwrap_or_else(|| "-".into())
+        };
+        println!(
+            "{:<18} {:<7} {:>5} {:>5} {:>6} {:>10.1} {:>18}",
+            row.cfg.name,
+            if row.cfg.name.starts_with("noobs-") {
+                "off"
+            } else {
+                "on"
+            },
+            row.cfg.depth,
+            row.ops,
+            row.errors,
+            row.ops_per_sec,
+            lat(row.get_lat_us),
+        );
+    }
+    let fmt_runs = |runs: &[f64]| {
+        runs.iter()
+            .map(|t| format!("{t:.0}"))
+            .collect::<Vec<_>>()
+            .join(" ")
+    };
+    println!(
+        "depth-8 repeats ({} per arm): noobs [{}] / obs [{}]",
+        matrix.noobs_runs.len(),
+        fmt_runs(&matrix.noobs_runs),
+        fmt_runs(&matrix.obs_runs),
+    );
+    println!(
+        "metrics overhead at depth 8 (median vs median): {:.2}% (gate: < {OVERHEAD_GATE_PCT}%)",
+        matrix.overhead_pct
+    );
+    let json = obs_bench_json(&matrix, quick);
+    match std::fs::write("BENCH_obs.json", &json) {
+        Ok(()) => println!("wrote BENCH_obs.json ({} results)", matrix.rows.len()),
+        Err(e) => eprintln!("could not write BENCH_obs.json: {e}"),
+    }
+}
+
 fn f1() {
     println!("== F1: Proposition 1 run family, executed mechanically (S=4, t=1) ==");
     println!(
@@ -412,8 +468,8 @@ fn f2() {
     }
 }
 
-const SECTIONS: [&str; 11] = [
-    "t1", "t2", "t3", "t4", "t5", "t6", "t7", "t8", "t9", "f1", "f2",
+const SECTIONS: [&str; 12] = [
+    "t1", "t2", "t3", "t4", "t5", "t6", "t7", "t8", "t9", "t10", "f1", "f2",
 ];
 
 fn main() {
@@ -445,6 +501,7 @@ fn main() {
                 "t7" => t7(quick),
                 "t8" => t8(quick),
                 "t9" => t9(quick),
+                "t10" => t10(quick),
                 "f1" => f1(),
                 "f2" => f2(),
                 _ => unreachable!("SECTIONS is exhaustive"),

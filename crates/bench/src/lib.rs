@@ -7,6 +7,7 @@
 #![warn(missing_docs)]
 
 pub mod netbench;
+pub mod obsbench;
 pub mod stats;
 pub mod storebench;
 pub mod workload;

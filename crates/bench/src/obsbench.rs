@@ -1,0 +1,292 @@
+//! The T10 observability-overhead measurement: the same depth-8 pipelined
+//! get-heavy workload run with the kv metrics seam **off**
+//! (`StoreConfig::with_metrics(None)`) and **on** (a private
+//! [`Registry`]), interleaved and medianed — so "recording metrics is
+//! lock-cheap" is a gated number, not a belief. Results feed the `exp
+//! t10` table and the machine-readable `BENCH_obs.json`
+//! (`rastor-obs-overhead/v1`) checked by CI: overhead above
+//! [`OVERHEAD_GATE_PCT`] fails the build.
+//!
+//! What the two arms differ by is exactly the per-op seam work: two
+//! latency-histogram records, one per-shard fast/slow counter bump and
+//! one time-ring record per resolved operation (see
+//! `crates/kv/src/sharded.rs`). The always-on driver and store seams
+//! (`driver.*`, `store.*`) record into the process-global registry in
+//! *both* arms — they are part of the floor, not the measured delta.
+//! The workload is service-delay-bound like every other bench row, so
+//! the overhead percentage is comparable across machines.
+//!
+//! Noise discipline: arms alternate (noobs, obs, noobs, obs, …) so slow
+//! drifts in host load hit both equally, and the reported throughput per
+//! arm is the **median** across repeats, not a single run. The gate
+//! clamps at zero — "obs measured faster than noobs" is scheduler noise,
+//! not negative cost.
+
+use crate::workload::{json_summary, measure_store, seed_keys, WorkloadCfg, WorkloadRow};
+use rastor_kv::{ShardedKvStore, StoreConfig};
+use rastor_obs::Registry;
+use std::sync::Arc;
+
+/// The CI gate on metrics overhead, in percent: the obs arm's median
+/// throughput must stay within this much of the noobs arm's.
+pub const OVERHEAD_GATE_PCT: f64 = 3.0;
+
+/// Everything `exp t10` reports.
+pub struct ObsMatrix {
+    /// The representative rows (median run per arm), named
+    /// `noobs-s4-get90`/`obs-s4-get90` (closed loop) and their depth-8
+    /// twins.
+    pub rows: Vec<WorkloadRow>,
+    /// Per-repeat throughput of the depth-8 noobs arm.
+    pub noobs_runs: Vec<f64>,
+    /// Per-repeat throughput of the depth-8 obs arm.
+    pub obs_runs: Vec<f64>,
+    /// `max(0, (noobs - obs) / noobs) · 100` over the depth-8 medians —
+    /// the gated number.
+    pub overhead_pct: f64,
+}
+
+/// Build the workload's store with the kv metrics seam pointed at
+/// `metrics` (`None` = seam off), then seed and measure it.
+fn run_with_metrics(cfg: &WorkloadCfg, metrics: Option<Arc<Registry>>) -> WorkloadRow {
+    let store = ShardedKvStore::spawn_with(
+        StoreConfig::new(cfg.t, cfg.shards, cfg.threads)
+            .with_jitter(2 * cfg.service)
+            .with_durability(Arc::clone(&cfg.durability))
+            .with_fast_reads(cfg.fast_reads)
+            .with_metrics(metrics),
+        |_, _| None,
+    )
+    .expect("valid overhead-workload configuration");
+    seed_keys(&store, cfg.keys);
+    measure_store(&store, cfg)
+}
+
+/// Median throughput of `runs`; the run whose `ops_per_sec` is closest
+/// to it becomes the arm's representative row.
+fn median_run(mut runs: Vec<WorkloadRow>) -> (WorkloadRow, Vec<f64>) {
+    let tputs: Vec<f64> = runs.iter().map(|r| r.ops_per_sec).collect();
+    let mut sorted = tputs.clone();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite throughput"));
+    let median = sorted[sorted.len() / 2];
+    let idx = runs
+        .iter()
+        .position(|r| r.ops_per_sec == median)
+        .expect("median comes from the runs");
+    (runs.swap_remove(idx), tputs)
+}
+
+/// The T10 matrix: `{noobs, obs} × {depth 1, depth 8}` on the 4-shard,
+/// 4-thread, 90%-get mix of `s4-get90`. The depth-8 pair is the gated
+/// one and runs `repeats` interleaved times per arm; the closed-loop
+/// pair runs once per arm (it exists so `check_bench`'s pipelining
+/// invariant covers these rows too). `quick` trims op and repeat counts
+/// for CI smoke runs.
+pub fn obs_overhead_matrix(quick: bool) -> ObsMatrix {
+    let ops = if quick { 30 } else { 150 };
+    let repeats = if quick { 5 } else { 7 };
+    let depth1 = |arm: &str| {
+        let mut cfg = WorkloadCfg::closed(&format!("{arm}-s4-get90"), 4, 4, 10);
+        cfg.ops_per_thread = ops;
+        cfg
+    };
+    let depth8 = |arm: &str| depth1(arm).pipelined(8);
+
+    let mut rows = vec![
+        run_with_metrics(&depth1("noobs"), None),
+        run_with_metrics(&depth1("obs"), Some(Arc::new(Registry::new()))),
+    ];
+
+    let mut noobs = Vec::with_capacity(repeats);
+    let mut obs = Vec::with_capacity(repeats);
+    for _ in 0..repeats {
+        noobs.push(run_with_metrics(&depth8("noobs"), None));
+        obs.push(run_with_metrics(
+            &depth8("obs"),
+            Some(Arc::new(Registry::new())),
+        ));
+    }
+    let (noobs_row, noobs_runs) = median_run(noobs);
+    let (obs_row, obs_runs) = median_run(obs);
+    let overhead_pct =
+        ((noobs_row.ops_per_sec - obs_row.ops_per_sec) / noobs_row.ops_per_sec.max(1e-9) * 100.0)
+            .max(0.0);
+    rows.push(noobs_row);
+    rows.push(obs_row);
+    ObsMatrix {
+        rows,
+        noobs_runs,
+        obs_runs,
+        overhead_pct,
+    }
+}
+
+/// Serialize the T10 results as the `BENCH_obs.json` document
+/// (`rastor-obs-overhead/v1`): one result object per line, same line
+/// discipline as the other bench documents. Each row carries a
+/// `metrics` label (`"off"`/`"on"`); the depth-8 obs row additionally
+/// carries the gated `overhead_pct`, which `scripts/check_bench.rs`
+/// requires to stay below [`OVERHEAD_GATE_PCT`].
+pub fn obs_bench_json(matrix: &ObsMatrix, quick: bool) -> String {
+    let mut out = String::new();
+    out.push_str("{\n");
+    out.push_str("\"schema\": \"rastor-obs-overhead/v1\",\n");
+    out.push_str(&format!("\"quick\": {quick},\n"));
+    out.push_str(&format!("\"repeats\": {},\n", matrix.noobs_runs.len()));
+    out.push_str(&format!("\"overhead_pct\": {:.3},\n", matrix.overhead_pct));
+    out.push_str("\"results\": [\n");
+    for (i, row) in matrix.rows.iter().enumerate() {
+        let c = &row.cfg;
+        let overhead = if c.name.starts_with("obs-") && c.depth > 1 {
+            format!(",\"overhead_pct\":{:.3}", matrix.overhead_pct)
+        } else {
+            String::new()
+        };
+        out.push_str(&format!(
+            "{{\"name\":\"{}\",\"metrics\":\"{}\",\"shards\":{},\"threads\":{},\"depth\":{},\"put_pct\":{},\"ops\":{},\"errors\":{},\"elapsed_secs\":{:.4},\"ops_per_sec\":{:.1},{},{},\"repeat_ops_per_sec\":[{}]{}}}{}\n",
+            c.name,
+            if c.name.starts_with("noobs-") { "off" } else { "on" },
+            c.shards,
+            c.threads,
+            c.depth,
+            c.put_pct,
+            row.ops,
+            row.errors,
+            row.elapsed_secs,
+            row.ops_per_sec,
+            json_summary("put", row.put_lat_us),
+            json_summary("get", row.get_lat_us),
+            repeats_of(&c.name, matrix),
+            overhead,
+            if i + 1 == matrix.rows.len() { "" } else { "," },
+        ));
+    }
+    out.push_str("]\n}\n");
+    out
+}
+
+/// The per-repeat throughput list backing a depth-8 row (empty for the
+/// single-run closed-loop rows).
+fn repeats_of(name: &str, matrix: &ObsMatrix) -> String {
+    let runs = match name {
+        n if n.starts_with("noobs-") && n.ends_with("-d8") => &matrix.noobs_runs,
+        n if n.starts_with("obs-") && n.ends_with("-d8") => &matrix.obs_runs,
+        _ => return String::new(),
+    };
+    runs.iter()
+        .map(|t| format!("{t:.1}"))
+        .collect::<Vec<_>>()
+        .join(",")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    fn tiny_matrix() -> ObsMatrix {
+        // A hand-shrunk variant of obs_overhead_matrix: same row names
+        // and shape, minimal ops so the suite stays fast.
+        let mut rows = Vec::new();
+        let mut runs = (Vec::new(), Vec::new());
+        for (arm, depth) in [("noobs", 1), ("obs", 1), ("noobs", 8), ("obs", 8)] {
+            let mut cfg = WorkloadCfg::closed(&format!("{arm}-s4-get90"), 4, 4, 10);
+            cfg.keys = 8;
+            cfg.ops_per_thread = 8;
+            cfg.service = Duration::from_micros(20);
+            if depth > 1 {
+                cfg = cfg.pipelined(depth);
+            }
+            let metrics = (arm == "obs").then(|| Arc::new(Registry::new()));
+            let row = run_with_metrics(&cfg, metrics);
+            if depth > 1 {
+                if arm == "noobs" {
+                    runs.0.push(row.ops_per_sec);
+                } else {
+                    runs.1.push(row.ops_per_sec);
+                }
+            }
+            rows.push(row);
+        }
+        let overhead_pct = ((runs.0[0] - runs.1[0]) / runs.0[0] * 100.0).max(0.0);
+        ObsMatrix {
+            rows,
+            noobs_runs: runs.0,
+            obs_runs: runs.1,
+            overhead_pct,
+        }
+    }
+
+    #[test]
+    fn both_arms_complete_the_same_work() {
+        let m = tiny_matrix();
+        for row in &m.rows {
+            assert_eq!(row.ops, 32, "{}", row.cfg.name);
+            assert_eq!(row.errors, 0, "{}", row.cfg.name);
+        }
+        assert!(m.overhead_pct >= 0.0, "overhead is clamped at zero");
+    }
+
+    /// The seam actually records in the obs arm: a store pointed at a
+    /// private registry fills the kv histograms, and one pointed at
+    /// `None` leaves them empty.
+    #[test]
+    fn the_seam_is_the_measured_difference() {
+        let registry = Arc::new(Registry::new());
+        let mut cfg = WorkloadCfg::closed("seam-probe", 1, 1, 50);
+        cfg.keys = 4;
+        cfg.ops_per_thread = 6;
+        cfg.service = Duration::from_micros(20);
+        run_with_metrics(&cfg, Some(Arc::clone(&registry)));
+        let puts = registry.histogram(rastor_obs::names::KV_PUT_LATENCY_US);
+        let gets = registry.histogram(rastor_obs::names::KV_GET_LATENCY_US);
+        // 4 seeding puts land on the same registry as the 6 measured ops.
+        assert_eq!(puts.count() + gets.count(), 10);
+
+        let off = Arc::new(Registry::new());
+        // `with_metrics(None)` must leave a registry untouched; probe via
+        // a fresh one that nothing points at.
+        run_with_metrics(&cfg, None);
+        assert_eq!(
+            off.histogram(rastor_obs::names::KV_PUT_LATENCY_US).count(),
+            0
+        );
+    }
+
+    #[test]
+    fn median_run_picks_a_real_run() {
+        let mut rows = Vec::new();
+        for tput in [5.0, 1.0, 3.0] {
+            let cfg = WorkloadCfg::closed("m", 1, 1, 50);
+            rows.push(WorkloadRow {
+                cfg,
+                ops: 0,
+                errors: 0,
+                elapsed_secs: 1.0,
+                ops_per_sec: tput,
+                recover: None,
+                put_lat_us: None,
+                get_lat_us: None,
+                get_rounds_mean: None,
+            });
+        }
+        let (row, tputs) = median_run(rows);
+        assert_eq!(row.ops_per_sec, 3.0);
+        assert_eq!(tputs, vec![5.0, 1.0, 3.0], "run order is preserved");
+    }
+
+    #[test]
+    fn json_carries_schema_arms_and_the_gated_overhead() {
+        let m = tiny_matrix();
+        let doc = obs_bench_json(&m, true);
+        assert!(doc.contains("\"schema\": \"rastor-obs-overhead/v1\""));
+        assert!(doc.contains("\"name\":\"noobs-s4-get90\""));
+        assert!(doc.contains("\"name\":\"obs-s4-get90-d8\""));
+        assert!(doc.contains("\"metrics\":\"off\""));
+        assert!(doc.contains("\"metrics\":\"on\""));
+        // Exactly one row carries the gated field (plus the header line).
+        assert_eq!(doc.matches("\"overhead_pct\":").count(), 2);
+        assert_eq!(doc.matches('{').count(), doc.matches('}').count());
+        assert_eq!(doc.matches('[').count(), doc.matches(']').count());
+    }
+}

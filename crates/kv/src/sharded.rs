@@ -43,6 +43,7 @@ use rastor_core::clients::OpOutput;
 use rastor_core::msg::{Rep, Req};
 use rastor_core::mwmr::{mw_read_in_group_mode, MwWriteClient, RegGroup, Tag};
 use rastor_core::ReadMode;
+use rastor_obs::{names, CounterVec, Histogram, Registry, TimeRing};
 use rastor_sim::runtime::{ObjReply, ReqFrame, ThreadClient, ThreadCluster, Transport};
 use rastor_sim::ObjectBehavior;
 use rastor_store::{Durability, InMemory, WalBacked};
@@ -79,6 +80,12 @@ pub struct StoreConfig {
     /// write-back, falling back automatically under contention or
     /// Byzantine skew. Off by default (the paper's baseline read).
     pub fast_reads: bool,
+    /// Where handles record their kv-seam metrics (`kv.*`: per-op latency
+    /// histograms, per-shard fast/slow read counters, the ops time ring).
+    /// Defaults to the process-wide [`Registry::global`]; point it at a
+    /// private registry to isolate a store's numbers, or `None` to switch
+    /// the kv seam off entirely (benchmark control runs).
+    pub metrics: Option<Arc<Registry>>,
 }
 
 impl StoreConfig {
@@ -92,6 +99,7 @@ impl StoreConfig {
             jitter: None,
             durability: Arc::new(InMemory),
             fast_reads: false,
+            metrics: Some(Registry::global()),
         }
     }
 
@@ -122,6 +130,13 @@ impl StoreConfig {
     #[must_use]
     pub fn with_durability(mut self, durability: Arc<dyn Durability>) -> StoreConfig {
         self.durability = durability;
+        self
+    }
+
+    /// Route kv-seam metrics to `registry` (`None` disables the seam).
+    #[must_use]
+    pub fn with_metrics(mut self, metrics: Option<Arc<Registry>>) -> StoreConfig {
+        self.metrics = metrics;
         self
     }
 }
@@ -185,6 +200,9 @@ struct Inner {
     /// produce colliding MWMR tags. Issuance is exclusive; dropping a
     /// [`KvHandle`] returns its id to the pool.
     taken: Mutex<Vec<bool>>,
+    /// Registry the handles record kv-seam metrics into (see
+    /// [`StoreConfig::metrics`]).
+    metrics: Option<Arc<Registry>>,
 }
 
 /// A robust key-value store sharded over independent object clusters.
@@ -278,6 +296,7 @@ impl ShardedKvStore {
                 },
                 durability: Arc::clone(&cfg.durability),
                 taken: Mutex::new(vec![false; cfg.num_handles as usize]),
+                metrics: cfg.metrics,
             }),
         })
     }
@@ -308,6 +327,7 @@ impl ShardedKvStore {
         fast_reads: bool,
         transports: Vec<Box<dyn Transport<Req, Rep> + Send + Sync>>,
         durability: Arc<dyn Durability>,
+        metrics: Option<Arc<Registry>>,
     ) -> Result<ShardedKvStore> {
         let cluster_cfg = ClusterConfig::byzantine(t)?;
         if transports.is_empty() || num_handles == 0 {
@@ -341,6 +361,7 @@ impl ShardedKvStore {
                 },
                 durability,
                 taken: Mutex::new(vec![false; num_handles as usize]),
+                metrics,
             }),
         })
     }
@@ -397,6 +418,13 @@ impl ShardedKvStore {
             }
             taken[id as usize] = true;
         }
+        let metrics = self.inner.metrics.as_ref().map(|r| KvMetrics {
+            put_latency: r.histogram(names::KV_PUT_LATENCY_US),
+            get_latency: r.histogram(names::KV_GET_LATENCY_US),
+            reads_fast: r.counter_vec(names::KV_READS_FAST, self.inner.shards.len()),
+            reads_slow: r.counter_vec(names::KV_READS_SLOW, self.inner.shards.len()),
+            ops_ring: r.ring(names::KV_OPS_RING_US, 60, Duration::from_secs(60)),
+        });
         Ok(KvHandle {
             id,
             inner: Arc::clone(&self.inner),
@@ -408,6 +436,7 @@ impl ShardedKvStore {
             keys_in_flight: HashSet::new(),
             ready: Vec::new(),
             get_rounds: (0, 0),
+            metrics,
         })
     }
 
@@ -555,6 +584,22 @@ struct PendingOp {
     kind: OpKind,
     key: String,
     shard: usize,
+    /// Submission time — measures client-observed latency (queueing in the
+    /// pipeline included) for the `kv.*_latency_us` histograms.
+    started: Instant,
+}
+
+/// The kv-seam metric handles, resolved once per [`KvHandle`] so the hot
+/// path never touches the registry lock.
+struct KvMetrics {
+    put_latency: Arc<Histogram>,
+    get_latency: Arc<Histogram>,
+    /// Per-shard completed cluster gets that took the 2-round fast path.
+    reads_fast: Arc<CounterVec>,
+    /// Per-shard completed cluster gets that paid the 4-round write-back.
+    reads_slow: Arc<CounterVec>,
+    /// Per-minute min/mean/max of op latency over the last hour.
+    ops_ring: Arc<TimeRing>,
 }
 
 /// A per-thread client endpoint of a [`ShardedKvStore`].
@@ -616,6 +661,9 @@ pub struct KvHandle {
     /// `(sum, count)` of round counts across completed cluster gets —
     /// the direct measurement of the fast path's 2-vs-4-round claim.
     get_rounds: (u64, u64),
+    /// Resolved metric handles (`None` when the store was configured with
+    /// [`StoreConfig::with_metrics`]`(None)`).
+    metrics: Option<KvMetrics>,
 }
 
 impl KvHandle {
@@ -786,10 +834,27 @@ impl KvHandle {
                     OpKind::Read => {
                         self.get_rounds.0 += u64::from(rounds);
                         self.get_rounds.1 += 1;
+                        if let Some(m) = &self.metrics {
+                            // Fast-path reads finish in 2 collect rounds;
+                            // anything longer paid the write-back.
+                            if rounds <= 2 {
+                                m.reads_fast.inc(p.shard);
+                            } else {
+                                m.reads_slow.inc(p.shard);
+                            }
+                        }
                         KvOutput::Get(out.into_read().expect("reads return Read outputs"))
                     }
                 }),
             };
+            if let Some(m) = &self.metrics {
+                let us = u64::try_from(p.started.elapsed().as_micros()).unwrap_or(u64::MAX);
+                match p.kind {
+                    OpKind::Write => m.put_latency.record(us),
+                    OpKind::Read => m.get_latency.record(us),
+                }
+                m.ops_ring.record(us);
+            }
             self.ready.push((p.op, outcome));
         }
     }
@@ -860,6 +925,7 @@ impl KvHandle {
                 kind: OpKind::Write,
                 key: key.to_string(),
                 shard,
+                started: Instant::now(),
             },
         );
         self.keys_in_flight.insert(key.to_string());
@@ -902,6 +968,7 @@ impl KvHandle {
                 kind: OpKind::Read,
                 key: key.to_string(),
                 shard,
+                started: Instant::now(),
             },
         );
         self.keys_in_flight.insert(key.to_string());

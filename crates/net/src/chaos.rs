@@ -19,13 +19,37 @@
 //! coalesced batches amortize it.
 
 use rastor_common::{Error, Result, SplitMix64};
+use rastor_obs::{names, Counter, Registry};
 use std::collections::HashMap;
 use std::io::Write;
 use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Mutex, OnceLock};
 use std::thread::JoinHandle;
 use std::time::Duration;
+
+/// The `chaos.*` fault counters, resolved once per process — every proxy's
+/// injected faults accumulate here, so an operator can see how much
+/// scheduled misfortune a scenario actually delivered.
+struct ChaosMetrics {
+    dropped: Arc<Counter>,
+    delayed: Arc<Counter>,
+    reordered: Arc<Counter>,
+    partition_drops: Arc<Counter>,
+}
+
+fn chaos_metrics() -> &'static ChaosMetrics {
+    static METRICS: OnceLock<ChaosMetrics> = OnceLock::new();
+    METRICS.get_or_init(|| {
+        let r = Registry::global();
+        ChaosMetrics {
+            dropped: r.counter(names::CHAOS_FRAMES_DROPPED),
+            delayed: r.counter(names::CHAOS_FRAMES_DELAYED),
+            reordered: r.counter(names::CHAOS_FRAMES_REORDERED),
+            partition_drops: r.counter(names::CHAOS_PARTITION_DROPS),
+        }
+    })
+}
 
 /// Fault-injection knobs for a [`ChaosProxy`]. The default is a faithful
 /// relay (no delay, no faults); set the knobs you want.
@@ -255,16 +279,20 @@ fn relay_frames(mut read: TcpStream, mut write: TcpStream, shared: &Shared, mut 
     let mut held: Option<Vec<u8>> = None;
     while let Ok(raw) = crate::wire::read_raw_frame(&mut read) {
         if shared.partitioned.load(Ordering::SeqCst) {
+            chaos_metrics().partition_drops.inc();
             continue; // the link eats everything, silently
         }
         if cfg.drop_prob > 0.0 && rng.next_f64() < cfg.drop_prob {
+            chaos_metrics().dropped.inc();
             continue;
         }
         let wait = cfg.delay + cfg.jitter.mul_f64(rng.next_f64());
         if wait > Duration::ZERO {
+            chaos_metrics().delayed.inc();
             std::thread::sleep(wait);
         }
         if cfg.reorder_prob > 0.0 && held.is_none() && rng.next_f64() < cfg.reorder_prob {
+            chaos_metrics().reordered.inc();
             held = Some(raw);
             continue;
         }

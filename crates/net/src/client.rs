@@ -177,11 +177,13 @@ fn route_replies(mut stream: TcpStream, registry: &Registry) {
     loop {
         let env = match wire::read_frame(&mut stream) {
             Ok(Frame::Rep(env)) => env,
-            // A request frame from a server is a protocol violation, and a
+            // A request frame from a server is a protocol violation, a
             // version-mismatch reply means this build cannot talk to that
-            // server at all; an io/decode error means the connection is
-            // done. All three end the reader.
-            Ok(Frame::Req(_) | Frame::VersionMismatch { .. }) | Err(_) => return,
+            // server at all, and control replies never belong here (a
+            // `NetCluster` sends no control frames — `ops::ControlClient`
+            // keeps its own connection); an io/decode error means the
+            // connection is done. All of them end the reader.
+            Ok(_) | Err(_) => return,
         };
         let tx = registry
             .lock()

@@ -154,6 +154,7 @@ impl NetKv {
             cfg.fast_reads,
             transports,
             Arc::clone(&cfg.durability),
+            cfg.metrics.clone(),
         )?;
         Ok(NetKv {
             store,
@@ -161,6 +162,54 @@ impl NetKv {
             proxies,
             durability: cfg.durability,
         })
+    }
+
+    /// The data-plane address clients should dial for shard `shard`: the
+    /// chaos proxy when one fronts the shard, the server itself otherwise.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shard` is out of range.
+    pub fn data_addr(&self, shard: usize) -> std::net::SocketAddr {
+        match self.proxies.get(shard) {
+            Some(proxy) => proxy.local_addr(),
+            None => self.servers[shard].local_addr(),
+        }
+    }
+
+    /// The control-plane address of shard `shard`: always the server
+    /// itself, bypassing any chaos proxy — status queries must keep
+    /// answering while the data link is partitioned.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shard` is out of range.
+    pub fn control_addr(&self, shard: usize) -> std::net::SocketAddr {
+        self.servers[shard].local_addr()
+    }
+
+    /// Crash one hosted object of one shard's server (no restart) — the
+    /// checked twin of indexing [`NetKv::servers`] directly, for callers
+    /// handling remote input.
+    ///
+    /// # Errors
+    ///
+    /// [`Error::InvariantViolation`] if `shard` or `id` is out of range.
+    pub fn crash_object(&mut self, shard: usize, id: ObjectId) -> Result<()> {
+        let server = self
+            .servers
+            .get_mut(shard)
+            .ok_or_else(|| Error::InvariantViolation {
+                detail: format!("no shard {shard} in this deployment"),
+            })?;
+        let hosted = id.0.checked_sub(server.first_id());
+        if hosted.is_none_or(|i| i as usize >= server.num_objects()) {
+            return Err(Error::InvariantViolation {
+                detail: format!("shard {shard} hosts no object {}", id.0),
+            });
+        }
+        server.crash_object(id);
+        Ok(())
     }
 
     /// Kill one hosted object of one shard's server and restart it from

@@ -29,6 +29,11 @@
 //! [`ShardedKvStore`](rastor_kv::ShardedKvStore) whose shards live behind
 //! TCP (optionally through chaos proxies).
 //!
+//! [`ops`] is the control plane on the same codec: [`ControlClient`]
+//! multiplexes correlation-keyed status/metrics/admin round trips over
+//! one socket, and [`OpsServer`] executes the `rastor` CLI's admin verbs
+//! against a live [`NetKv`].
+//!
 //! ```no_run
 //! use rastor_net::deploy::NetKv;
 //! use rastor_kv::StoreConfig;
@@ -48,10 +53,12 @@
 pub mod chaos;
 pub mod client;
 pub mod deploy;
+pub mod ops;
 pub mod server;
 pub mod wire;
 
 pub use chaos::{ChaosCfg, ChaosProxy};
 pub use client::NetCluster;
 pub use deploy::{NetDeploy, NetHarness, NetKv};
+pub use ops::{AdminOutcome, ControlClient, OpsServer};
 pub use server::ObjectServer;

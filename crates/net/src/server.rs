@@ -15,17 +15,40 @@
 //! cluster may be split across several servers (each hosting a slice of
 //! the object range) and clients see one consistent id space.
 
-use crate::wire::{self, Frame, RepEnvelope, WireRepFrame, WireReqFrame};
+use crate::wire::{self, Frame, Negotiated, ObjectStatus, RepEnvelope, WireRepFrame, WireReqFrame};
 use rastor_common::{ClientId, Error, ObjectId, Result, SplitMix64};
 use rastor_core::msg::{Rep, Req};
+use rastor_obs::{names, Counter, Registry};
 use rastor_sim::ObjectBehavior;
 use std::collections::HashMap;
 use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::mpsc::{channel, Receiver, Sender};
-use std::sync::{Arc, Mutex, RwLock};
+use std::sync::{Arc, Mutex, OnceLock, RwLock};
 use std::thread::JoinHandle;
 use std::time::Duration;
+
+/// The `net.*` seam handles, resolved once per process (servers and
+/// connections come and go; the counters accumulate across all of them).
+struct NetMetrics {
+    frames_in: Arc<Counter>,
+    frames_out: Arc<Counter>,
+    version_mismatches: Arc<Counter>,
+    status_queries: Arc<Counter>,
+}
+
+fn net_metrics() -> &'static NetMetrics {
+    static METRICS: OnceLock<NetMetrics> = OnceLock::new();
+    METRICS.get_or_init(|| {
+        let r = Registry::global();
+        NetMetrics {
+            frames_in: r.counter(names::NET_FRAMES_IN),
+            frames_out: r.counter(names::NET_FRAMES_OUT),
+            version_mismatches: r.counter(names::NET_VERSION_MISMATCHES),
+            status_queries: r.counter(names::NET_STATUS_QUERIES),
+        }
+    })
+}
 
 /// One coalesced request, as fanned out to a hosted object's worker.
 struct Job {
@@ -43,12 +66,33 @@ struct Shared {
     /// Worker inboxes; `None` = crashed. Behind a `RwLock` so connection
     /// readers (read) coexist with `crash_object` (write).
     workers: RwLock<Vec<Option<Sender<Job>>>>,
+    /// Request envelopes served per hosted object (reset on restart) —
+    /// what a [`Frame::StatusReq`] reports per object.
+    served: Vec<Arc<AtomicU64>>,
     shutdown: AtomicBool,
     next_conn: AtomicU64,
     /// Live accepted connections by id, tracked so drop can cut them
     /// loose; entries are pruned as connections end, so a long-lived
     /// server doesn't accumulate dead descriptors.
     conns: Mutex<HashMap<u64, TcpStream>>,
+}
+
+impl Shared {
+    /// One [`ObjectStatus`] per hosted object, for a [`Frame::Status`]
+    /// reply.
+    fn object_statuses(&self) -> Vec<ObjectStatus> {
+        let workers = self.workers.read().expect("worker list lock");
+        workers
+            .iter()
+            .zip(&self.served)
+            .enumerate()
+            .map(|(i, (w, served))| ObjectStatus {
+                id: ObjectId(self.first_id + i as u32),
+                crashed: w.is_none(),
+                served: served.load(Ordering::Relaxed),
+            })
+            .collect()
+    }
 }
 
 /// A TCP server hosting a slice of a cluster's storage objects.
@@ -88,18 +132,22 @@ impl ObjectServer {
 
         let mut worker_txs = Vec::new();
         let mut worker_handles = Vec::new();
+        let mut served = Vec::new();
         for (i, behavior) in behaviors.into_iter().enumerate() {
             let (tx, rx) = channel::<Job>();
             let oid = ObjectId(first_id + i as u32);
+            let counter = Arc::new(AtomicU64::new(0));
+            served.push(Arc::clone(&counter));
             worker_txs.push(Some(tx));
             worker_handles.push(Some(std::thread::spawn(move || {
-                object_worker(oid, behavior, rx, jitter);
+                object_worker(oid, behavior, rx, jitter, counter);
             })));
         }
 
         let shared = Arc::new(Shared {
             first_id,
             workers: RwLock::new(worker_txs),
+            served,
             shutdown: AtomicBool::new(false),
             next_conn: AtomicU64::new(0),
             conns: Mutex::new(HashMap::new()),
@@ -185,10 +233,18 @@ impl ObjectServer {
         self.crash_object(id);
         let (tx, rx) = channel::<Job>();
         let jitter = self.jitter;
+        let counter = Arc::clone(&self.shared.served[idx]);
+        counter.store(0, Ordering::Relaxed);
         self.worker_handles[idx] = Some(std::thread::spawn(move || {
-            object_worker(id, behavior, rx, jitter);
+            object_worker(id, behavior, rx, jitter, counter);
         }));
         self.shared.workers.write().expect("worker list lock")[idx] = Some(tx);
+    }
+
+    /// The status of every hosted object — the same view a
+    /// [`Frame::StatusReq`] gets over the wire.
+    pub fn object_statuses(&self) -> Vec<ObjectStatus> {
+        self.shared.object_statuses()
     }
 
     /// Whether a hosted object is currently crashed.
@@ -245,12 +301,14 @@ fn object_worker(
     mut behavior: Box<dyn ObjectBehavior<Req, Rep> + Send>,
     rx: Receiver<Job>,
     jitter: Option<Duration>,
+    served: Arc<AtomicU64>,
 ) {
     let mut rng = SplitMix64::new(u64::from(oid.0));
     while let Ok(job) = rx.recv() {
         if let Some(j) = jitter {
             std::thread::sleep(j.mul_f64(rng.next_f64()));
         }
+        served.fetch_add(1, Ordering::Relaxed);
         let frames: Vec<WireRepFrame> = job
             .frames
             .iter()
@@ -291,8 +349,9 @@ fn serve_connection(stream: TcpStream, shared: Arc<Shared>, conn_id: u64) {
     let writer = std::thread::spawn(move || write_replies(stream, reply_rx));
 
     loop {
-        match wire::read_frame_negotiating(&mut read_half) {
-            Ok(Frame::Req(env)) => {
+        match wire::read_frame_admitting(&mut read_half) {
+            Ok(Negotiated::Frame(Frame::Req(env))) => {
+                net_metrics().frames_in.inc();
                 let frames = Arc::new(env.frames);
                 let workers = shared.workers.read().expect("worker list lock");
                 for tx in workers.iter().flatten() {
@@ -303,18 +362,74 @@ fn serve_connection(stream: TcpStream, shared: Arc<Shared>, conn_id: u64) {
                     });
                 }
             }
-            Err(Error::VersionMismatch { got, want }) => {
-                // The negotiating read skipped the foreign frame whole, so
+            // The ops plane, answered in-band on the reply channel so
+            // control replies interleave with (never reorder within) the
+            // data stream.
+            Ok(Negotiated::Frame(Frame::StatusReq { corr })) => {
+                net_metrics().status_queries.inc();
+                let status = Frame::Status {
+                    corr,
+                    objects: shared.object_statuses(),
+                };
+                if reply_tx.send(status).is_err() {
+                    break;
+                }
+            }
+            Ok(Negotiated::Frame(Frame::MetricsReq { corr })) => {
+                net_metrics().status_queries.inc();
+                let metrics = Frame::Metrics {
+                    corr,
+                    json: Registry::global().snapshot_json(),
+                };
+                if reply_tx.send(metrics).is_err() {
+                    break;
+                }
+            }
+            Ok(Negotiated::Frame(Frame::Report { corr, counts })) => {
+                let registry = Registry::global();
+                for (name, n) in &counts {
+                    // Remote input: invalid names are dropped, not fatal.
+                    let _ = registry.add_counter(name, *n);
+                }
+                if reply_tx.send(Frame::Ack { corr }).is_err() {
+                    break;
+                }
+            }
+            Ok(Negotiated::Frame(Frame::AdminReq { corr, .. })) => {
+                // Admin verbs act on a whole deployment (durability,
+                // proxies); they belong to the ops listener, not an
+                // object server. Refuse politely instead of hanging up.
+                let rep = Frame::AdminRep {
+                    corr,
+                    ok: false,
+                    detail: "object servers take no admin commands; \
+                             send them to the deployment's ops listener"
+                        .into(),
+                };
+                if reply_tx.send(rep).is_err() {
+                    break;
+                }
+            }
+            Ok(Negotiated::Foreign { got, corr }) => {
+                // The admitting read consumed the foreign frame whole, so
                 // the stream is still aligned: tell the peer which version
-                // this build speaks and keep serving the connection.
-                if reply_tx.send(Frame::VersionMismatch { got, want }).is_err() {
+                // this build speaks — echoing the refused frame's corr so a
+                // multiplexed client can attribute the refusal — and keep
+                // serving the connection.
+                net_metrics().version_mismatches.inc();
+                let mismatch = Frame::VersionMismatch {
+                    got,
+                    want: wire::WIRE_VERSION,
+                    corr,
+                };
+                if reply_tx.send(mismatch).is_err() {
                     break;
                 }
             }
             // A reply or negotiation frame from a client is a protocol
-            // violation; any other decode/io error means the peer is gone
-            // or garbling — either way, this connection is done.
-            Ok(_) | Err(_) => break,
+            // violation; any decode/io error means the peer is gone or
+            // garbling — either way, this connection is done.
+            Ok(Negotiated::Frame(_)) | Err(_) => break,
         }
     }
     let _ = read_half.shutdown(Shutdown::Both);
@@ -335,6 +450,7 @@ fn write_replies(mut stream: TcpStream, rx: Receiver<Frame>) {
         if wire::write_frame(&mut stream, &frame).is_err() {
             break;
         }
+        net_metrics().frames_out.inc();
     }
     let _ = stream.shutdown(Shutdown::Both);
 }

@@ -10,7 +10,8 @@
 //! offset  size  field
 //! 0       2     magic  = b"rW"
 //! 2       1     version = WIRE_VERSION
-//! 3       1     kind    (1 = request envelope, 2 = reply envelope)
+//! 3       1     kind    (1 = request envelope, 2 = reply envelope,
+//!                        3 = version mismatch, 4–11 = control plane)
 //! 4       4     body length, u32 little-endian
 //! 8       n     body
 //! ```
@@ -21,6 +22,18 @@
 //! [`Error::VersionMismatch`]) and self-delimiting, so relays like the
 //! chaos proxy can cut the stream into whole frames without understanding
 //! the bodies ([`read_raw_frame`]).
+//!
+//! ## The control plane and correlation ids
+//!
+//! Kinds 4–11 are the *ops plane*: status/metrics queries, pushed counter
+//! reports, and admin commands, multiplexed over the same connections as
+//! data traffic. Every control body **leads with a `u64` correlation id**
+//! — a client-chosen token echoed verbatim in the reply, so one socket can
+//! carry many concurrent control ops. The leading-corr layout is a
+//! cross-version contract: even a peer speaking a different
+//! [`WIRE_VERSION`] can lift the first 8 body bytes of a refused control
+//! frame into its [`Frame::VersionMismatch`] reply, letting a multiplexed
+//! client attribute the refusal to the right in-flight op.
 //!
 //! Malformed input — truncation, bad tags, an oversized length prefix,
 //! garbage where the magic should be, or trailing bytes inside a body —
@@ -49,6 +62,15 @@ pub const MAX_BODY_LEN: usize = 16 * 1024 * 1024;
 const KIND_REQ: u8 = 1;
 const KIND_REP: u8 = 2;
 const KIND_VERSION_MISMATCH: u8 = 3;
+const KIND_STATUS_REQ: u8 = 4;
+const KIND_STATUS: u8 = 5;
+const KIND_METRICS_REQ: u8 = 6;
+const KIND_METRICS: u8 = 7;
+const KIND_REPORT: u8 = 8;
+const KIND_ACK: u8 = 9;
+const KIND_ADMIN_REQ: u8 = 10;
+const KIND_ADMIN_REP: u8 = 11;
+const KIND_MAX: u8 = KIND_ADMIN_REP;
 
 /// One round of one operation inside a request envelope, as carried on the
 /// wire (the owned twin of `rastor_sim::runtime::ReqFrame`).
@@ -97,6 +119,48 @@ pub struct RepEnvelope {
     pub frames: Vec<WireRepFrame>,
 }
 
+/// The status of one object hosted by an [`crate::ObjectServer`], as
+/// reported in a [`Frame::Status`] reply.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct ObjectStatus {
+    /// The object's cluster-global id.
+    pub id: ObjectId,
+    /// Whether the object is currently crashed (worker gone; a restart
+    /// from disk may bring it back).
+    pub crashed: bool,
+    /// Request envelopes this object has served since it (re)started.
+    pub served: u64,
+}
+
+/// An administrative command carried by [`Frame::AdminReq`] — the verbs of
+/// the `rastor` CLI, executed by the deployment's ops listener.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum AdminCmd {
+    /// Kill object `object` of shard `shard` and restart it from disk
+    /// (requires a recoverable durability config).
+    RestartObject {
+        /// The target shard.
+        shard: u32,
+        /// The cluster-global object id within the shard.
+        object: u32,
+    },
+    /// Crash object `object` of shard `shard` without restarting it.
+    CrashObject {
+        /// The target shard.
+        shard: u32,
+        /// The cluster-global object id within the shard.
+        object: u32,
+    },
+    /// Toggle the chaos proxy partition on shard `shard`'s link.
+    Partition {
+        /// The target shard.
+        shard: u32,
+        /// `true` heals nothing — it *starts* dropping every frame;
+        /// `false` lifts the partition.
+        on: bool,
+    },
+}
+
 /// Any decoded frame.
 #[derive(Clone, PartialEq, Eq, Debug)]
 pub enum Frame {
@@ -108,13 +172,98 @@ pub enum Frame {
     /// `want`, not the `got` the frame carried. Sent by a server in reply
     /// to a foreign-version frame (whose body it skipped whole, so the
     /// connection stays aligned and usable — see
-    /// [`read_frame_negotiating`]).
+    /// [`read_frame_admitting`]).
     VersionMismatch {
         /// The version byte of the refused frame.
         got: u8,
         /// The version the sender speaks ([`WIRE_VERSION`]).
         want: u8,
+        /// The first 8 body bytes of the refused frame, read as a
+        /// little-endian `u64` (0 if the body was shorter). For a refused
+        /// control frame this is its correlation id — the contract that
+        /// lets a multiplexed client pin the refusal on the right op.
+        corr: u64,
     },
+    /// A status query (control plane): "who do you host, and how are
+    /// they?". Answered with [`Frame::Status`] echoing `corr`.
+    StatusReq {
+        /// Correlation id, echoed in the reply.
+        corr: u64,
+    },
+    /// A server's answer to [`Frame::StatusReq`].
+    Status {
+        /// The query's correlation id.
+        corr: u64,
+        /// One entry per hosted object.
+        objects: Vec<ObjectStatus>,
+    },
+    /// A metrics snapshot query (control plane). Answered with
+    /// [`Frame::Metrics`] echoing `corr`.
+    MetricsReq {
+        /// Correlation id, echoed in the reply.
+        corr: u64,
+    },
+    /// A server's answer to [`Frame::MetricsReq`]: its registry serialized
+    /// as a `rastor-metrics/v1` JSON document.
+    Metrics {
+        /// The query's correlation id.
+        corr: u64,
+        /// The `rastor-metrics/v1` document.
+        json: String,
+    },
+    /// A client *pushing* counters to a server's registry (e.g. `rastor
+    /// bench` reporting per-shard fast/slow read counts to the shard that
+    /// earned them). Acknowledged with [`Frame::Ack`].
+    Report {
+        /// Correlation id, echoed in the [`Frame::Ack`].
+        corr: u64,
+        /// `(counter name, increment)` pairs, applied via
+        /// `Registry::add_counter` (invalid names are dropped, never
+        /// fatal).
+        counts: Vec<(String, u64)>,
+    },
+    /// A bare acknowledgement of a control frame that has no richer reply.
+    Ack {
+        /// The acknowledged frame's correlation id.
+        corr: u64,
+    },
+    /// An administrative command (control plane), answered with
+    /// [`Frame::AdminRep`].
+    AdminReq {
+        /// Correlation id, echoed in the reply.
+        corr: u64,
+        /// The command.
+        cmd: AdminCmd,
+    },
+    /// The outcome of an [`Frame::AdminReq`].
+    AdminRep {
+        /// The command's correlation id.
+        corr: u64,
+        /// Whether the command succeeded.
+        ok: bool,
+        /// Human-readable detail (an error message when `!ok`).
+        detail: String,
+    },
+}
+
+impl Frame {
+    /// The correlation id of a control frame (including a
+    /// [`Frame::VersionMismatch`], which echoes the refused frame's);
+    /// `None` for data envelopes.
+    pub fn corr(&self) -> Option<u64> {
+        match self {
+            Frame::Req(_) | Frame::Rep(_) => None,
+            Frame::VersionMismatch { corr, .. }
+            | Frame::StatusReq { corr }
+            | Frame::Status { corr, .. }
+            | Frame::MetricsReq { corr }
+            | Frame::Metrics { corr, .. }
+            | Frame::Report { corr, .. }
+            | Frame::Ack { corr }
+            | Frame::AdminReq { corr, .. }
+            | Frame::AdminRep { corr, .. } => Some(*corr),
+        }
+    }
 }
 
 // ---------------------------------------------------------------------------
@@ -245,9 +394,63 @@ fn encode_body(frame: &Frame, out: &mut Vec<u8>) {
                 encode_rep(&f.rep, out);
             }
         }
-        Frame::VersionMismatch { got, want } => {
+        // Control bodies lead with the u64 corr — see the module docs for
+        // why the position is load-bearing across versions. The
+        // VersionMismatch body is the exception: it is a *reply about* a
+        // corr, laid out as (got, want, corr).
+        Frame::VersionMismatch { got, want, corr } => {
             out.push(*got);
             out.push(*want);
+            put_u64(out, *corr);
+        }
+        Frame::StatusReq { corr } | Frame::MetricsReq { corr } | Frame::Ack { corr } => {
+            put_u64(out, *corr);
+        }
+        Frame::Status { corr, objects } => {
+            put_u64(out, *corr);
+            put_len(out, objects.len());
+            for o in objects {
+                put_u32(out, o.id.0);
+                out.push(u8::from(o.crashed));
+                put_u64(out, o.served);
+            }
+        }
+        Frame::Metrics { corr, json } => {
+            put_u64(out, *corr);
+            put_bytes(out, json.as_bytes());
+        }
+        Frame::Report { corr, counts } => {
+            put_u64(out, *corr);
+            put_len(out, counts.len());
+            for (name, n) in counts {
+                put_bytes(out, name.as_bytes());
+                put_u64(out, *n);
+            }
+        }
+        Frame::AdminReq { corr, cmd } => {
+            put_u64(out, *corr);
+            match cmd {
+                AdminCmd::RestartObject { shard, object } => {
+                    out.push(0);
+                    put_u32(out, *shard);
+                    put_u32(out, *object);
+                }
+                AdminCmd::CrashObject { shard, object } => {
+                    out.push(1);
+                    put_u32(out, *shard);
+                    put_u32(out, *object);
+                }
+                AdminCmd::Partition { shard, on } => {
+                    out.push(2);
+                    put_u32(out, *shard);
+                    out.push(u8::from(*on));
+                }
+            }
+        }
+        Frame::AdminRep { corr, ok, detail } => {
+            put_u64(out, *corr);
+            out.push(u8::from(*ok));
+            put_bytes(out, detail.as_bytes());
         }
     }
 }
@@ -266,6 +469,14 @@ pub fn encode_frame(frame: &Frame) -> Vec<u8> {
         Frame::Req(_) => KIND_REQ,
         Frame::Rep(_) => KIND_REP,
         Frame::VersionMismatch { .. } => KIND_VERSION_MISMATCH,
+        Frame::StatusReq { .. } => KIND_STATUS_REQ,
+        Frame::Status { .. } => KIND_STATUS,
+        Frame::MetricsReq { .. } => KIND_METRICS_REQ,
+        Frame::Metrics { .. } => KIND_METRICS,
+        Frame::Report { .. } => KIND_REPORT,
+        Frame::Ack { .. } => KIND_ACK,
+        Frame::AdminReq { .. } => KIND_ADMIN_REQ,
+        Frame::AdminRep { .. } => KIND_ADMIN_REP,
     });
     put_u32(&mut out, 0); // patched below
     encode_body(frame, &mut out);
@@ -439,7 +650,7 @@ fn check_version_and_kind(version: u8, kind: u8) -> Result<()> {
             want: WIRE_VERSION,
         });
     }
-    if kind != KIND_REQ && kind != KIND_REP && kind != KIND_VERSION_MISMATCH {
+    if !(KIND_REQ..=KIND_MAX).contains(&kind) {
         return Err(Error::codec(format!("unknown frame kind {kind}")));
     }
     Ok(())
@@ -485,11 +696,80 @@ fn decode_body(kind: u8, body: &[u8]) -> Result<Frame> {
         KIND_VERSION_MISMATCH => Frame::VersionMismatch {
             got: d.u8()?,
             want: d.u8()?,
+            corr: d.u64()?,
+        },
+        KIND_STATUS_REQ => Frame::StatusReq { corr: d.u64()? },
+        KIND_STATUS => {
+            let corr = d.u64()?;
+            let n = d.seq_len()?;
+            let mut objects = Vec::with_capacity(n);
+            for _ in 0..n {
+                objects.push(ObjectStatus {
+                    id: ObjectId(d.u32()?),
+                    crashed: read_bool(&mut d)?,
+                    served: d.u64()?,
+                });
+            }
+            Frame::Status { corr, objects }
+        }
+        KIND_METRICS_REQ => Frame::MetricsReq { corr: d.u64()? },
+        KIND_METRICS => Frame::Metrics {
+            corr: d.u64()?,
+            json: read_string(&mut d)?,
+        },
+        KIND_REPORT => {
+            let corr = d.u64()?;
+            let n = d.seq_len()?;
+            let mut counts = Vec::with_capacity(n);
+            for _ in 0..n {
+                let name = read_string(&mut d)?;
+                let count = d.u64()?;
+                counts.push((name, count));
+            }
+            Frame::Report { corr, counts }
+        }
+        KIND_ACK => Frame::Ack { corr: d.u64()? },
+        KIND_ADMIN_REQ => {
+            let corr = d.u64()?;
+            let cmd = match d.u8()? {
+                0 => AdminCmd::RestartObject {
+                    shard: d.u32()?,
+                    object: d.u32()?,
+                },
+                1 => AdminCmd::CrashObject {
+                    shard: d.u32()?,
+                    object: d.u32()?,
+                },
+                2 => AdminCmd::Partition {
+                    shard: d.u32()?,
+                    on: read_bool(&mut d)?,
+                },
+                t => return Err(Error::codec(format!("unknown admin command tag {t}"))),
+            };
+            Frame::AdminReq { corr, cmd }
+        }
+        KIND_ADMIN_REP => Frame::AdminRep {
+            corr: d.u64()?,
+            ok: read_bool(&mut d)?,
+            detail: read_string(&mut d)?,
         },
         _ => unreachable!("decode_header admits only known kinds"),
     };
     d.done()?;
     Ok(frame)
+}
+
+fn read_bool(d: &mut Dec<'_>) -> Result<bool> {
+    match d.u8()? {
+        0 => Ok(false),
+        1 => Ok(true),
+        t => Err(Error::codec(format!("unknown bool tag {t}"))),
+    }
+}
+
+fn read_string(d: &mut Dec<'_>) -> Result<String> {
+    String::from_utf8(d.bytes()?.to_vec())
+        .map_err(|e| Error::codec(format!("invalid utf-8 in a wire string: {e}")))
 }
 
 /// Decode one frame from the front of `bytes`. Returns the frame and the
@@ -547,13 +827,33 @@ pub fn read_frame(r: &mut impl Read) -> Result<Frame> {
     Ok(frame)
 }
 
-/// Read and decode one frame from a stream, *negotiating* the version: a
-/// frame that is well framed (good magic, sane length) but carries a
-/// foreign version byte has its body read and discarded — the stream
-/// stays frame-aligned — before the read returns
-/// [`Error::VersionMismatch`]. The caller can then answer with a
-/// [`Frame::VersionMismatch`] and keep serving the connection; the next
-/// read picks up at the next frame boundary.
+/// What [`read_frame_admitting`] pulled off the stream: a frame this
+/// build speaks, or a well-framed *foreign* frame it admitted (consumed
+/// whole, keeping the stream aligned) without being able to decode.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum Negotiated {
+    /// A current-version frame, decoded.
+    Frame(Frame),
+    /// A foreign-version frame, consumed and discarded. `corr` is the
+    /// first 8 body bytes as a little-endian `u64` (0 if shorter) — the
+    /// refused frame's correlation id when it was a control frame, which
+    /// the responder should echo in its [`Frame::VersionMismatch`].
+    Foreign {
+        /// The foreign version byte.
+        got: u8,
+        /// The (presumed) correlation id of the refused body.
+        corr: u64,
+    },
+}
+
+/// Read one frame from a stream, *admitting* foreign versions: a frame
+/// that is well framed (good magic, sane length) but carries a foreign
+/// version byte has its body read and discarded — the stream stays
+/// frame-aligned — and comes back as [`Negotiated::Foreign`] carrying the
+/// version byte and the body's leading correlation id. The caller can
+/// answer with a [`Frame::VersionMismatch`] (echoing that corr) and keep
+/// serving the connection; the next read picks up at the next frame
+/// boundary.
 ///
 /// [`read_frame`], by contrast, leaves the foreign body unread — right
 /// for a peer that treats a version mismatch as fatal, wrong for one that
@@ -561,9 +861,11 @@ pub fn read_frame(r: &mut impl Read) -> Result<Frame> {
 ///
 /// # Errors
 ///
-/// [`Error::VersionMismatch`] on a foreign (but well-framed) version
-/// byte; otherwise as [`read_frame`].
-pub fn read_frame_negotiating(r: &mut impl Read) -> Result<Frame> {
+/// [`Error::Io`] on a read failure, [`Error::Codec`] on malformed bytes
+/// (including a foreign frame whose announced length exceeds
+/// [`MAX_BODY_LEN`] — a length beyond the ceiling cannot be trusted to
+/// realign the stream).
+pub fn read_frame_admitting(r: &mut impl Read) -> Result<Negotiated> {
     let mut header = [0u8; HEADER_LEN];
     r.read_exact(&mut header)
         .map_err(|e| Error::io("reading a frame header", &e))?;
@@ -571,8 +873,33 @@ pub fn read_frame_negotiating(r: &mut impl Read) -> Result<Frame> {
     let mut body = vec![0u8; body_len];
     r.read_exact(&mut body)
         .map_err(|e| Error::io("reading a frame body", &e))?;
+    if version != WIRE_VERSION {
+        let corr = body
+            .get(..8)
+            .map(|b| u64::from_le_bytes(b.try_into().expect("8 bytes")))
+            .unwrap_or(0);
+        return Ok(Negotiated::Foreign { got: version, corr });
+    }
     check_version_and_kind(version, kind)?;
-    decode_body(kind, &body)
+    Ok(Negotiated::Frame(decode_body(kind, &body)?))
+}
+
+/// As [`read_frame_admitting`], but a foreign frame surfaces as
+/// [`Error::VersionMismatch`] — for callers that only need the error, not
+/// the refused frame's correlation id.
+///
+/// # Errors
+///
+/// [`Error::VersionMismatch`] on a foreign (but well-framed) version
+/// byte; otherwise as [`read_frame_admitting`].
+pub fn read_frame_negotiating(r: &mut impl Read) -> Result<Frame> {
+    match read_frame_admitting(r)? {
+        Negotiated::Frame(frame) => Ok(frame),
+        Negotiated::Foreign { got, .. } => Err(Error::VersionMismatch {
+            got,
+            want: WIRE_VERSION,
+        }),
+    }
 }
 
 /// Read one frame's verbatim bytes (header + body) from a stream without
@@ -677,9 +1004,164 @@ mod tests {
         let frame = Frame::VersionMismatch {
             got: 9,
             want: WIRE_VERSION,
+            corr: 0xdead_beef_cafe_f00d,
         };
         let bytes = encode_frame(&frame);
         assert_eq!(decode_frame(&bytes).expect("decodes").0, frame);
+    }
+
+    fn sample_control_frames() -> Vec<Frame> {
+        vec![
+            Frame::StatusReq { corr: 1 },
+            Frame::Status {
+                corr: 2,
+                objects: vec![
+                    ObjectStatus {
+                        id: ObjectId(0),
+                        crashed: false,
+                        served: 41,
+                    },
+                    ObjectStatus {
+                        id: ObjectId(3),
+                        crashed: true,
+                        served: 0,
+                    },
+                ],
+            },
+            Frame::MetricsReq { corr: 3 },
+            Frame::Metrics {
+                corr: 4,
+                json: "{\n  \"schema\": \"rastor-metrics/v1\"\n}".into(),
+            },
+            Frame::Report {
+                corr: 5,
+                counts: vec![("kv.reads_fast.0".into(), 17), ("kv.reads_slow".into(), 2)],
+            },
+            Frame::Ack { corr: 6 },
+            Frame::AdminReq {
+                corr: 7,
+                cmd: AdminCmd::RestartObject {
+                    shard: 1,
+                    object: 2,
+                },
+            },
+            Frame::AdminReq {
+                corr: 8,
+                cmd: AdminCmd::CrashObject {
+                    shard: 0,
+                    object: 3,
+                },
+            },
+            Frame::AdminReq {
+                corr: 9,
+                cmd: AdminCmd::Partition { shard: 2, on: true },
+            },
+            Frame::AdminRep {
+                corr: 10,
+                ok: false,
+                detail: "durability 'in-memory' cannot recover state".into(),
+            },
+        ]
+    }
+
+    #[test]
+    fn control_frames_roundtrip() {
+        for frame in sample_control_frames() {
+            let bytes = encode_frame(&frame);
+            let (decoded, used) = decode_frame(&bytes).expect("decodes");
+            assert_eq!(used, bytes.len());
+            assert_eq!(decoded, frame);
+        }
+    }
+
+    /// Every control body leads with the correlation id — the
+    /// cross-version contract [`Negotiated::Foreign`] relies on.
+    #[test]
+    fn control_bodies_lead_with_their_corr() {
+        for frame in sample_control_frames() {
+            let corr = frame.corr().expect("control frames carry a corr");
+            let bytes = encode_frame(&frame);
+            let lead = u64::from_le_bytes(bytes[HEADER_LEN..HEADER_LEN + 8].try_into().unwrap());
+            assert_eq!(lead, corr, "in {frame:?}");
+        }
+    }
+
+    #[test]
+    fn every_control_truncation_is_a_codec_error() {
+        for frame in sample_control_frames() {
+            let bytes = encode_frame(&frame);
+            for cut in HEADER_LEN..bytes.len() {
+                let mut cropped = bytes[..cut].to_vec();
+                // Patch the length so only the *body* is short — the pure
+                // header truncations are covered elsewhere.
+                let body_len = u32::try_from(cut - HEADER_LEN).unwrap();
+                cropped[4..8].copy_from_slice(&body_len.to_le_bytes());
+                match decode_frame(&cropped) {
+                    Err(Error::Codec { .. }) => {}
+                    Ok((decoded, _)) if cut == bytes.len() => assert_eq!(decoded, frame),
+                    other => panic!("{frame:?} cut at {cut}: unexpected {other:?}"),
+                }
+            }
+        }
+    }
+
+    /// A foreign-version control frame comes back as
+    /// [`Negotiated::Foreign`] with the refused body's leading corr — and
+    /// the stream stays aligned for the next frame.
+    #[test]
+    fn admitting_read_lifts_the_foreign_corr() {
+        let mut buf = encode_frame(&Frame::StatusReq { corr: 777 });
+        buf[2] = WIRE_VERSION + 5;
+        buf.extend_from_slice(&encode_frame(&Frame::Ack { corr: 9 }));
+        let mut cursor = std::io::Cursor::new(buf);
+        assert_eq!(
+            read_frame_admitting(&mut cursor).expect("admitted"),
+            Negotiated::Foreign {
+                got: WIRE_VERSION + 5,
+                corr: 777
+            }
+        );
+        assert_eq!(
+            read_frame_admitting(&mut cursor).expect("aligned"),
+            Negotiated::Frame(Frame::Ack { corr: 9 })
+        );
+    }
+
+    /// A foreign frame with a body shorter than 8 bytes has no corr to
+    /// lift; it must come back as 0, not an error.
+    #[test]
+    fn foreign_corr_defaults_to_zero_on_short_bodies() {
+        let mut bytes = encode_frame(&Frame::VersionMismatch {
+            got: 1,
+            want: 1,
+            corr: 0,
+        });
+        bytes[2] = WIRE_VERSION + 1;
+        bytes[4..8].copy_from_slice(&2u32.to_le_bytes());
+        bytes.truncate(HEADER_LEN + 2);
+        let mut cursor = std::io::Cursor::new(bytes);
+        assert_eq!(
+            read_frame_admitting(&mut cursor).expect("admitted"),
+            Negotiated::Foreign {
+                got: WIRE_VERSION + 1,
+                corr: 0
+            }
+        );
+    }
+
+    #[test]
+    fn non_utf8_wire_strings_are_codec_errors() {
+        let frame = Frame::Metrics {
+            corr: 1,
+            json: "aaaa".into(),
+        };
+        let mut bytes = encode_frame(&frame);
+        let len = bytes.len();
+        bytes[len - 4..].copy_from_slice(&[0xff, 0xfe, 0x80, 0x80]);
+        assert!(matches!(
+            decode_frame(&bytes).unwrap_err(),
+            Error::Codec { .. }
+        ));
     }
 
     /// The negotiating read consumes a foreign-version frame whole — body

@@ -245,6 +245,10 @@ fn future_version_frame_gets_a_mismatch_reply_and_the_connection_survives() {
 
     let mut from_the_future = wire::encode_frame(&req);
     from_the_future[2] = WIRE_VERSION + 1;
+    // The mismatch reply echoes the refused body's first 8 bytes as the
+    // correlation id — for a data envelope that is just whatever the
+    // body happens to start with, but the echo contract is unconditional.
+    let expected_corr = u64::from_le_bytes(from_the_future[8..16].try_into().expect("8 bytes"));
     conn.write_all(&from_the_future).expect("send future frame");
     conn.flush().expect("flush");
     assert_eq!(
@@ -252,6 +256,7 @@ fn future_version_frame_gets_a_mismatch_reply_and_the_connection_survives() {
         Frame::VersionMismatch {
             got: WIRE_VERSION + 1,
             want: WIRE_VERSION,
+            corr: expected_corr,
         },
     );
 

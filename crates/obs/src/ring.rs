@@ -1,0 +1,228 @@
+//! RRD-style fixed-size time series: a [`TimeRing`] keeps one
+//! `{count, min, mean, max}` aggregate per time slot in a ring of fixed
+//! length, overwriting the slot when its tick wraps around — per-minute
+//! history for the last N minutes in constant memory, the classic
+//! round-robin-database shape.
+//!
+//! Recording takes a short mutex (aggregation touches four fields of one
+//! slot); rings sit at op-completion seams, not per-message hot paths, so
+//! contention is a handful of handles at op rate.
+
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+/// One aggregated slot, read out of a [`TimeRing::snapshot`].
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct RingSlot {
+    /// Which period this slot covers (`elapsed / period` at record time).
+    pub tick: u64,
+    /// Values aggregated into the slot.
+    pub count: u64,
+    /// Smallest value seen in the period.
+    pub min: u64,
+    /// Sum of values seen in the period (for mean computation).
+    pub sum: u64,
+    /// Largest value seen in the period.
+    pub max: u64,
+}
+
+impl RingSlot {
+    /// Mean of the slot's values (0.0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+}
+
+#[derive(Clone, Copy, Debug)]
+struct Slot {
+    tick: u64,
+    count: u64,
+    sum: u64,
+    min: u64,
+    max: u64,
+}
+
+const EMPTY: Slot = Slot {
+    tick: 0,
+    count: 0,
+    sum: 0,
+    min: 0,
+    max: 0,
+};
+
+/// A fixed-size ring of per-period aggregates. [`TimeRing::record`]
+/// stamps values against wall-clock periods since construction;
+/// [`TimeRing::record_at`] takes the tick explicitly, which is what the
+/// deterministic tests (and any simulated-time caller) use.
+#[derive(Debug)]
+pub struct TimeRing {
+    slots: Mutex<Vec<Slot>>,
+    period: Duration,
+    epoch: Instant,
+}
+
+impl TimeRing {
+    /// A ring of `slots` periods of `period` each (both clamped to ≥ 1).
+    pub fn new(slots: usize, period: Duration) -> TimeRing {
+        TimeRing {
+            slots: Mutex::new(vec![EMPTY; slots.max(1)]),
+            period: period.max(Duration::from_millis(1)),
+            epoch: Instant::now(),
+        }
+    }
+
+    /// The per-slot period.
+    pub fn period(&self) -> Duration {
+        self.period
+    }
+
+    /// Number of slots (the history horizon is `slots × period`).
+    pub fn len(&self) -> usize {
+        self.slots.lock().expect("ring lock").len()
+    }
+
+    /// Whether the ring holds no slots (never true: `new` clamps to ≥ 1).
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Aggregate `value` into the current wall-clock period.
+    pub fn record(&self, value: u64) {
+        let tick = (self.epoch.elapsed().as_nanos() / self.period.as_nanos().max(1)) as u64;
+        self.record_at(tick, value);
+    }
+
+    /// Aggregate `value` into period `tick`. A tick that wraps onto an
+    /// older slot's position evicts that slot — fixed memory, newest
+    /// history wins. Stale ticks (older than the slot currently in their
+    /// position) are dropped rather than corrupting newer aggregates.
+    pub fn record_at(&self, tick: u64, value: u64) {
+        let mut slots = self.slots.lock().expect("ring lock");
+        let len = slots.len();
+        let slot = &mut slots[(tick as usize) % len];
+        if slot.tick != tick || slot.count == 0 {
+            if slot.count > 0 && slot.tick > tick {
+                return;
+            }
+            *slot = Slot { tick, ..EMPTY };
+        }
+        slot.count += 1;
+        slot.sum += value;
+        slot.min = if slot.count == 1 {
+            value
+        } else {
+            slot.min.min(value)
+        };
+        slot.max = slot.max.max(value);
+    }
+
+    /// The populated slots, oldest tick first.
+    pub fn snapshot(&self) -> Vec<RingSlot> {
+        let slots = self.slots.lock().expect("ring lock");
+        let mut out: Vec<RingSlot> = slots
+            .iter()
+            .filter(|s| s.count > 0)
+            .map(|s| RingSlot {
+                tick: s.tick,
+                count: s.count,
+                min: s.min,
+                sum: s.sum,
+                max: s.max,
+            })
+            .collect();
+        out.sort_by_key(|s| s.tick);
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ring(slots: usize) -> TimeRing {
+        TimeRing::new(slots, Duration::from_secs(60))
+    }
+
+    /// The deterministic-aggregation contract: explicit ticks produce
+    /// exact per-slot aggregates.
+    #[test]
+    fn slots_aggregate_min_mean_max_exactly() {
+        let r = ring(4);
+        for v in [10u64, 30, 20] {
+            r.record_at(1, v);
+        }
+        r.record_at(2, 7);
+        let snap = r.snapshot();
+        assert_eq!(snap.len(), 2);
+        assert_eq!(
+            snap[0],
+            RingSlot {
+                tick: 1,
+                count: 3,
+                min: 10,
+                sum: 60,
+                max: 30
+            }
+        );
+        assert!((snap[0].mean() - 20.0).abs() < 1e-9);
+        assert_eq!(snap[1].tick, 2);
+        assert_eq!(snap[1].count, 1);
+    }
+
+    #[test]
+    fn wrapping_evicts_the_oldest_slot() {
+        let r = ring(3);
+        for tick in 0..5u64 {
+            r.record_at(tick, tick * 100);
+        }
+        let snap = r.snapshot();
+        // 5 ticks through 3 slots: only the newest 3 survive.
+        assert_eq!(snap.iter().map(|s| s.tick).collect::<Vec<_>>(), [2, 3, 4]);
+        assert_eq!(snap[0].min, 200);
+    }
+
+    #[test]
+    fn stale_ticks_do_not_corrupt_newer_slots() {
+        let r = ring(2);
+        r.record_at(4, 40);
+        // Tick 2 maps to the same position as tick 4 but is older: drop.
+        r.record_at(2, 999);
+        let snap = r.snapshot();
+        assert_eq!(snap.len(), 1);
+        assert_eq!(
+            snap[0],
+            RingSlot {
+                tick: 4,
+                count: 1,
+                min: 40,
+                sum: 40,
+                max: 40
+            }
+        );
+    }
+
+    #[test]
+    fn wall_clock_recording_lands_in_the_current_period() {
+        let r = TimeRing::new(4, Duration::from_secs(3600));
+        r.record(5);
+        r.record(9);
+        let snap = r.snapshot();
+        assert_eq!(snap.len(), 1, "an hour has not passed mid-test");
+        assert_eq!(snap[0].count, 2);
+        assert_eq!((snap[0].min, snap[0].max), (5, 9));
+    }
+
+    #[test]
+    fn geometry_is_clamped_sane() {
+        let r = TimeRing::new(0, Duration::ZERO);
+        assert_eq!(r.len(), 1);
+        assert!(!r.is_empty());
+        assert!(r.period() >= Duration::from_millis(1));
+        r.record_at(7, 1);
+        assert_eq!(r.snapshot().len(), 1);
+    }
+}

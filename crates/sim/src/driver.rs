@@ -30,6 +30,29 @@
 use crate::engine::{ClientAction, RoundClient};
 use rastor_common::{ObjectId, OpKind, RoundCount};
 use std::collections::HashMap;
+use std::sync::{Arc, OnceLock};
+
+/// The always-on driver tallies (`driver.*` in the metric manifest).
+/// Resolved once per process and shared by every driver — the explorer
+/// creates drivers by the million, so per-driver registry lookups are off
+/// the table; per-completion cost is a few relaxed atomics.
+struct DriverMetrics {
+    completed: Arc<rastor_obs::Counter>,
+    expired: Arc<rastor_obs::Counter>,
+    rounds: Arc<rastor_obs::Histogram>,
+}
+
+fn driver_metrics() -> &'static DriverMetrics {
+    static METRICS: OnceLock<DriverMetrics> = OnceLock::new();
+    METRICS.get_or_init(|| {
+        let reg = rastor_obs::Registry::global();
+        DriverMetrics {
+            completed: reg.counter(rastor_obs::names::DRIVER_OPS_COMPLETED),
+            expired: reg.counter(rastor_obs::names::DRIVER_OPS_EXPIRED),
+            rounds: reg.histogram(rastor_obs::names::DRIVER_OP_ROUNDS),
+        }
+    })
+}
 
 /// What to do with a reply that carries an old round of a live operation.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -201,6 +224,9 @@ impl<Q, R, Out> OpDriver<Q, R, Out> {
             }
             ClientAction::Complete(output) => {
                 let op = self.ops.remove(&nonce).expect("live op exists");
+                let m = driver_metrics();
+                m.completed.inc();
+                m.rounds.record(u64::from(op.rounds.get()));
                 Dispatch::Complete(OpCompletion {
                     nonce,
                     output,
@@ -253,6 +279,7 @@ impl<Q, R, Out> OpDriver<Q, R, Out> {
             })
             .collect();
         reaped.sort_by_key(|t| t.nonce);
+        driver_metrics().expired.add(reaped.len() as u64);
         reaped
     }
 

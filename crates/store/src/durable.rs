@@ -167,6 +167,13 @@ impl DurableObject {
 
     /// Snapshot the full register state and compact the WAL.
     fn snapshot(&mut self) -> Result<()> {
+        static SNAPSHOTS: std::sync::OnceLock<Arc<rastor_obs::Counter>> =
+            std::sync::OnceLock::new();
+        SNAPSHOTS
+            .get_or_init(|| {
+                rastor_obs::Registry::global().counter(rastor_obs::names::STORE_SNAPSHOTS)
+            })
+            .inc();
         let entries: Vec<Vec<u8>> = self
             .obj
             .export_regs()

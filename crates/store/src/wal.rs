@@ -47,9 +47,34 @@
 
 use crate::crc::crc32;
 use rastor_common::{Error, Result};
+use rastor_obs::{names, Counter, Registry};
 use std::fs::{File, OpenOptions};
 use std::io::{Read, Seek, SeekFrom, Write};
 use std::path::{Path, PathBuf};
+use std::sync::{Arc, OnceLock};
+
+/// The always-on WAL tallies (`store.wal_*` in the metric manifest),
+/// resolved once per process so the append path pays one relaxed atomic
+/// increment, not a registry lookup.
+struct WalMetrics {
+    appends: Arc<Counter>,
+    fsyncs: Arc<Counter>,
+    replayed: Arc<Counter>,
+    truncated: Arc<Counter>,
+}
+
+fn wal_metrics() -> &'static WalMetrics {
+    static METRICS: OnceLock<WalMetrics> = OnceLock::new();
+    METRICS.get_or_init(|| {
+        let reg = Registry::global();
+        WalMetrics {
+            appends: reg.counter(names::STORE_WAL_APPENDS),
+            fsyncs: reg.counter(names::STORE_WAL_FSYNCS),
+            replayed: reg.counter(names::STORE_WAL_REPLAYED),
+            truncated: reg.counter(names::STORE_WAL_TRUNCATED),
+        }
+    })
+}
 
 /// On-disk format version for WAL and snapshot files.
 pub const STORE_VERSION: u8 = 1;
@@ -186,6 +211,9 @@ impl Wal {
             records: records.len() as u64,
             truncated_bytes: truncated,
         };
+        let m = wal_metrics();
+        m.replayed.add(stats.records);
+        m.truncated.add(stats.truncated_bytes);
         Ok((Wal { file, path }, records, stats))
     }
 
@@ -200,6 +228,7 @@ impl Wal {
     ///
     /// Panics if `payload` exceeds [`MAX_RECORD_LEN`].
     pub fn append(&mut self, payload: &[u8]) -> Result<()> {
+        wal_metrics().appends.inc();
         self.file
             .write_all(&encode_record(payload))
             .and_then(|()| self.file.flush())
@@ -215,6 +244,7 @@ impl Wal {
     ///
     /// [`Error::Io`] if the sync fails.
     pub fn sync_data(&self) -> Result<()> {
+        wal_metrics().fsyncs.inc();
         self.file
             .sync_data()
             .map_err(|e| Error::io(format!("syncing wal {}", self.path.display()), &e))

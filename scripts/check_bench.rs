@@ -24,7 +24,12 @@
 //! must have its `mem-X` twin (and vice versa — a missing twin means half
 //! the comparison silently stopped running), and a store document must
 //! carry measured recovery times (`recover_ms` > 0 on every
-//! `restart-*`/`replay-*` row, at least one such row present).
+//! `restart-*`/`replay-*` row, at least one such row present). The
+//! `rastor-obs-overhead/v1` schema (per-row `metrics` arm label, one row
+//! carrying the medianed `overhead_pct`) adds the observability gate:
+//! recording metrics must cost less than `OVERHEAD_GATE_PCT` percent of
+//! throughput, and an obs document without a measured overhead means the
+//! off/on comparison silently stopped running.
 //!
 //! Standalone by design — compiled directly in CI with no cargo project.
 //! The current-run argument takes a comma-separated file list, so one
@@ -33,7 +38,7 @@
 //!
 //! ```console
 //! rustc --edition 2021 -O scripts/check_bench.rs -o /tmp/check_bench
-//! /tmp/check_bench BENCH_kv.json,BENCH_net.json,BENCH_store.json scripts/bench_baseline.json [tolerance]
+//! /tmp/check_bench BENCH_kv.json,BENCH_net.json,BENCH_store.json,BENCH_obs.json scripts/bench_baseline.json [tolerance]
 //! ```
 //!
 //! Parsing relies on the emitters' line discipline (`bench_json` /
@@ -41,6 +46,10 @@
 //! `"ops_per_sec"` fields), so no JSON parser is needed.
 
 use std::process::ExitCode;
+
+/// Ceiling on the measured metrics overhead, in percent — keep in sync
+/// with `rastor_bench::obsbench::OVERHEAD_GATE_PCT`.
+const OVERHEAD_GATE_PCT: f64 = 3.0;
 
 /// Extract `"field":<value>` from a one-result JSON line.
 fn field<'a>(line: &'a str, name: &str) -> Option<&'a str> {
@@ -61,6 +70,9 @@ struct Row {
     recover_ms: Option<f64>,
     /// Present on kv-schema v3 rows; 0.0 when the mix ran no gets.
     get_rounds_mean: Option<f64>,
+    /// Present on the obs-schema row that carries the medianed
+    /// metrics-off vs metrics-on comparison.
+    overhead_pct: Option<f64>,
 }
 
 fn results(doc: &str) -> Vec<Row> {
@@ -72,12 +84,15 @@ fn results(doc: &str) -> Vec<Row> {
             let recover_ms: Option<f64> = field(line, "recover_ms").and_then(|r| r.parse().ok());
             let get_rounds_mean: Option<f64> =
                 field(line, "get_rounds_mean").and_then(|r| r.parse().ok());
+            let overhead_pct: Option<f64> =
+                field(line, "overhead_pct").and_then(|r| r.parse().ok());
             Some(Row {
                 name: name.to_string(),
                 depth,
                 ops_per_sec: tput,
                 recover_ms,
                 get_rounds_mean,
+                overhead_pct,
             })
         })
         .collect()
@@ -98,6 +113,7 @@ fn main() -> ExitCode {
     };
     let docs: Vec<String> = args[1].split(',').map(&read).collect();
     let store_doc_present = docs.iter().any(|d| d.contains("rastor-store-throughput"));
+    let obs_doc_present = docs.iter().any(|d| d.contains("rastor-obs-overhead"));
     let current: Vec<Row> = docs.iter().flat_map(|doc| results(doc)).collect();
     let baseline = results(&read(&args[2]));
     if baseline.is_empty() {
@@ -320,6 +336,29 @@ fn main() -> ExitCode {
         }
         if recovery_rows == 0 {
             println!("store document present but no restart-*/replay-* rows — UNGATED");
+            failed = true;
+        }
+    }
+    // Observability gate: recording metrics must be near-free. The row
+    // carrying `overhead_pct` holds the medianed off-vs-on comparison
+    // (already clamped at zero by the emitter); above the ceiling, the
+    // "lock-cheap metrics" claim has regressed. An obs document without
+    // any such row means the comparison silently stopped running.
+    if obs_doc_present {
+        let mut overhead_rows = 0usize;
+        for r in &current {
+            let Some(pct) = r.overhead_pct else { continue };
+            overhead_rows += 1;
+            let ok = pct < OVERHEAD_GATE_PCT;
+            println!(
+                "{}: metrics overhead {pct:.2}% (gate < {OVERHEAD_GATE_PCT}%) — {}",
+                r.name,
+                if ok { "ok" } else { "METRICS TOO EXPENSIVE" }
+            );
+            failed |= !ok;
+        }
+        if overhead_rows == 0 {
+            println!("obs document present but no overhead_pct row — UNGATED");
             failed = true;
         }
     }

@@ -1,16 +1,25 @@
 #!/usr/bin/env python3
-"""Link-check the repo's markdown docs.
+"""Link-check the repo's markdown docs and the metric reference.
 
-Scans every tracked *.md file for relative links/images and fails if a
-target file does not exist (http(s)/mailto links and pure #anchors are
-skipped — this gate is about repo-internal docs rotting, not the
-internet). Run from the repo root; CI runs it next to `cargo doc`, which
-covers the rustdoc side of the same problem.
+Two gates, both about docs rotting against reality:
+
+* every relative link/image in tracked *.md files must point at a file
+  that exists (http(s)/mailto links and pure #anchors are skipped);
+* every metric the binaries can emit (docs/metrics.json, generated from
+  the compiled-in `rastor_obs::manifest`) must appear by name in the
+  operator handbook docs/OPERATIONS.md — export a metric, document it.
+
+Run from the repo root; CI runs it next to `cargo doc`, which covers the
+rustdoc side of the same problem.
 """
 
+import json
 import pathlib
 import re
 import sys
+
+MANIFEST = pathlib.Path("docs/metrics.json")
+HANDBOOK = pathlib.Path("docs/OPERATIONS.md")
 
 LINK = re.compile(r"!?\[[^\]]*\]\(([^)\s]+)\)")
 SKIP_DIRS = {"target", ".git", "vendor"}
@@ -27,6 +36,17 @@ def md_files(root: pathlib.Path) -> list[pathlib.Path]:
     ]
 
 
+def undocumented_metrics() -> list[str]:
+    manifest = json.loads(MANIFEST.read_text(encoding="utf-8"))
+    handbook = HANDBOOK.read_text(encoding="utf-8")
+    names = [m["name"] for m in manifest["metrics"]]
+    missing = [
+        f"{HANDBOOK}: exported metric `{name}` is not documented" for name in names if name not in handbook
+    ]
+    print(f"checked {len(names)} exported metrics against {HANDBOOK}")
+    return missing
+
+
 def main() -> None:
     root = pathlib.Path(".")
     bad: list[str] = []
@@ -39,9 +59,10 @@ def main() -> None:
             path = (md.parent / target.split("#", 1)[0]).resolve()
             if not path.exists():
                 bad.append(f"{md}: broken link -> {target}")
+    print(f"checked {checked} relative links across {len(md_files(root))} markdown files")
+    bad += undocumented_metrics()
     for b in bad:
         print(b)
-    print(f"checked {checked} relative links across {len(md_files(root))} markdown files")
     if bad:
         sys.exit(1)
 

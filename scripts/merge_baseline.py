@@ -1,11 +1,16 @@
 #!/usr/bin/env python3
 """Rebuild scripts/bench_baseline.json from fresh quick-mode runs.
 
-Merges the result rows of BENCH_kv.json, BENCH_net.json and
-BENCH_store.json (produced by `exp t6 --quick` / `t7 --quick` /
-`t8 --quick` in the repo root) into the single baseline document CI's
-check_bench gate compares against. The gate parses line-by-line, but the
-merged file is kept valid JSON for human tooling.
+Merges the result rows of BENCH_kv.json, BENCH_net.json, BENCH_store.json
+and BENCH_obs.json (produced by `exp t6 --quick` / `t7 --quick` /
+`t8 --quick` / `t10 --quick` in the repo root) into the single baseline
+document CI's check_bench gate compares against. The gate parses
+line-by-line, but the merged file is kept valid JSON for human tooling.
+
+Each source document must carry the exact schema version this script
+expects: a mismatched schema means the emitters changed shape and the
+baseline would silently mix incompatible rows — refuse instead, and make
+the operator pass --force (after checking the rows by hand) to override.
 
 Recovery rows (any row carrying a `recover_ms` field) are excluded from
 the baseline on purpose: replay rate and restart latency are disk- and
@@ -17,13 +22,35 @@ ratio on them is noise. check_bench gates them structurally instead
 import json
 import sys
 
-SOURCES = ["BENCH_kv.json", "BENCH_net.json", "BENCH_store.json"]
+SOURCES = {
+    "BENCH_kv.json": "rastor-kv-throughput/v3",
+    "BENCH_net.json": "rastor-net-throughput/v1",
+    "BENCH_store.json": "rastor-store-throughput/v1",
+    "BENCH_obs.json": "rastor-obs-overhead/v1",
+}
 TARGET = "scripts/bench_baseline.json"
 
 
-def rows(path: str) -> list[str]:
+def schema_of(path: str, doc: str) -> str:
+    for line in doc.splitlines():
+        if '"schema"' in line:
+            return line.split(":", 1)[1].strip().strip(",").strip('"')
+    sys.exit(f"{path}: no schema line — not a bench document")
+
+
+def rows(path: str, expected_schema: str, force: bool) -> list[str]:
     with open(path) as f:
         doc = f.read()
+    found_schema = schema_of(path, doc)
+    if found_schema != expected_schema:
+        msg = (
+            f"{path}: schema {found_schema!r} does not match the expected "
+            f"{expected_schema!r} — the emitter changed shape; refusing to "
+            f"merge (re-check the rows, then pass --force to override)"
+        )
+        if not force:
+            sys.exit(msg)
+        print(f"WARNING: {msg.replace('refusing to merge', 'merging anyway')}")
     found = [
         line.rstrip().rstrip(",")
         for line in doc.splitlines()
@@ -35,7 +62,12 @@ def rows(path: str) -> list[str]:
 
 
 def main() -> None:
-    merged = [row for path in SOURCES for row in rows(path)]
+    force = "--force" in sys.argv[1:]
+    merged = [
+        row
+        for path, expected_schema in SOURCES.items()
+        for row in rows(path, expected_schema, force)
+    ]
     out = ["{", '"schema": "rastor-bench-baseline/v1",', '"quick": true,', '"results": [']
     out += [row + ("," if i + 1 < len(merged) else "") for i, row in enumerate(merged)]
     out += ["]", "}"]

@@ -1,0 +1,560 @@
+//! `rastor` — the cluster CLI: stand up a socket-backed deployment and
+//! operate it from another terminal.
+//!
+//! ```text
+//! rastor serve [--t N] [--shards N] [--handles N] [--fast-reads]
+//!              [--chaos] [--wal DIR] [--jitter-us N] [--file PATH]
+//! rastor status [--file PATH]
+//! rastor metrics [--file PATH]
+//! rastor restart-object --shard S --object O [--file PATH]
+//! rastor partition-toggle --shard S on|off [--file PATH]
+//! rastor bench [--ops N] [--depth N] [--put-pct N] [--keys N]
+//!              [--threads N] [--file PATH]
+//! rastor manifest
+//! ```
+//!
+//! `serve` writes a `rastor-cluster/v1` cluster file (default
+//! `rastor-cluster.json`) describing where everything listens; every
+//! other subcommand reads it back, so the only coordination between
+//! terminals is that one file. See `docs/OPERATIONS.md` for the
+//! handbook.
+//!
+//! Exit codes: 0 success, 1 operation failed (refused admin command,
+//! unreachable cluster), 2 usage error.
+
+use rastor::bench::workload::{measure_store, seed_keys, WorkloadCfg};
+use rastor::common::Result;
+use rastor::core::msg::{Rep, Req};
+use rastor::kv::{ShardedKvStore, StoreConfig};
+use rastor::net::client::NetCluster;
+use rastor::net::deploy::NetKv;
+use rastor::net::wire::AdminCmd;
+use rastor::net::{ChaosCfg, ControlClient, OpsServer};
+use rastor::obs::{flat_counters, names, Registry};
+use rastor::sim::runtime::Transport;
+use rastor::store::InMemory;
+use std::fmt::Write as _;
+use std::net::SocketAddr;
+use std::process::ExitCode;
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+
+const USAGE: &str =
+    "usage: rastor <serve|status|metrics|restart-object|partition-toggle|bench|manifest> [flags]
+  serve             stand up a cluster and write its cluster file
+    --t N             per-shard fault budget (default 1; 3t+1 objects/shard)
+    --shards N        shard count (default 2)
+    --handles N       client handle pool size (default 4)
+    --fast-reads      serve gets through the adaptive 2-round fast path
+    --chaos           front every shard with a chaos proxy (partitionable)
+    --wal DIR         wal-backed durability rooted at DIR (enables restart-object)
+    --jitter-us N     per-envelope service delay at every object, microseconds
+  status            per-shard object + read-path report from a live cluster
+  metrics           dump the deployment's metrics registry as JSON
+  restart-object    kill one object and recover it from disk
+    --shard S --object O
+  partition-toggle  cut or heal one shard's chaos-proxied link
+    --shard S on|off
+  bench             drive a workload from this process, report counts back
+    --ops N           operations per thread (default 200)
+    --depth N         ops in flight per handle (default 8)
+    --put-pct N       percentage of puts (default 10)
+    --keys N          key-space size (default 32)
+    --threads N       client threads (default 4)
+  manifest          print the exported-metric manifest
+  (all cluster-facing subcommands accept --file PATH; default rastor-cluster.json)";
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(cmd) = args.first() else {
+        eprintln!("{USAGE}");
+        return ExitCode::from(2);
+    };
+    let run = match cmd.as_str() {
+        "manifest" => {
+            print!("{}", rastor::obs::manifest_json());
+            return ExitCode::SUCCESS;
+        }
+        "serve" => cmd_serve(&args[1..]),
+        "status" => cmd_status(&args[1..]),
+        "metrics" => cmd_metrics(&args[1..]),
+        "restart-object" => cmd_admin(&args[1..], AdminVerb::Restart),
+        "partition-toggle" => cmd_admin(&args[1..], AdminVerb::Partition),
+        "bench" => cmd_bench(&args[1..]),
+        _ => {
+            eprintln!("rastor: unknown subcommand {cmd:?}\n{USAGE}");
+            return ExitCode::from(2);
+        }
+    };
+    match run {
+        Ok(code) => code,
+        Err(e) => {
+            eprintln!("rastor {cmd}: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Flag parsing: tiny, by hand — the flag set is small and fixed.
+
+struct Flags {
+    pairs: Vec<(String, Option<String>)>,
+    positional: Vec<String>,
+}
+
+/// Flags that take a value; everything else starting `--` is boolean.
+const VALUED: &[&str] = &[
+    "--t",
+    "--shards",
+    "--handles",
+    "--wal",
+    "--jitter-us",
+    "--file",
+    "--ops",
+    "--depth",
+    "--put-pct",
+    "--keys",
+    "--threads",
+    "--shard",
+    "--object",
+];
+
+fn parse_flags(args: &[String]) -> std::result::Result<Flags, String> {
+    let mut pairs = Vec::new();
+    let mut positional = Vec::new();
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        if let Some(name) = a.strip_prefix("--") {
+            if VALUED.contains(&a.as_str()) {
+                let v = it
+                    .next()
+                    .ok_or_else(|| format!("flag --{name} needs a value"))?;
+                pairs.push((name.to_string(), Some(v.clone())));
+            } else {
+                pairs.push((name.to_string(), None));
+            }
+        } else {
+            positional.push(a.clone());
+        }
+    }
+    Ok(Flags { pairs, positional })
+}
+
+impl Flags {
+    fn has(&self, name: &str) -> bool {
+        self.pairs.iter().any(|(n, _)| n == name)
+    }
+
+    fn get(&self, name: &str) -> Option<&str> {
+        self.pairs
+            .iter()
+            .find(|(n, _)| n == name)
+            .and_then(|(_, v)| v.as_deref())
+    }
+
+    fn num(&self, name: &str, default: u64) -> std::result::Result<u64, String> {
+        match self.get(name) {
+            None => Ok(default),
+            Some(v) => v
+                .parse()
+                .map_err(|_| format!("--{name} wants a number, got {v:?}")),
+        }
+    }
+
+    fn required_num(&self, name: &str) -> std::result::Result<u64, String> {
+        let v = self
+            .get(name)
+            .ok_or_else(|| format!("--{name} is required"))?;
+        v.parse()
+            .map_err(|_| format!("--{name} wants a number, got {v:?}"))
+    }
+
+    fn file(&self) -> &str {
+        self.get("file").unwrap_or("rastor-cluster.json")
+    }
+}
+
+fn usage_err(detail: String) -> ExitCode {
+    eprintln!("rastor: {detail}\n{USAGE}");
+    ExitCode::from(2)
+}
+
+// ---------------------------------------------------------------------------
+// The cluster file: `rastor-cluster/v1`, line-disciplined JSON so both
+// halves of the CLI (and humans, and scripts) can read it without a JSON
+// parser — the same discipline as `BENCH_*.json` and `rastor-metrics/v1`.
+
+struct ClusterFile {
+    t: usize,
+    handles: u32,
+    fast_reads: bool,
+    ops: SocketAddr,
+    /// Per shard: (control addr — always the server, bypassing chaos;
+    /// data addr — the proxy when one fronts the shard).
+    shards: Vec<(SocketAddr, SocketAddr)>,
+}
+
+fn render_cluster_file(c: &ClusterFile) -> String {
+    let mut out = String::from("{\n\"schema\": \"rastor-cluster/v1\",\n");
+    let _ = writeln!(out, "\"t\": {},", c.t);
+    let _ = writeln!(out, "\"handles\": {},", c.handles);
+    let _ = writeln!(out, "\"fast_reads\": {},", c.fast_reads);
+    let _ = writeln!(out, "\"ops\": \"{}\",", c.ops);
+    out.push_str("\"shards\": [\n");
+    for (s, (control, data)) in c.shards.iter().enumerate() {
+        let _ = writeln!(
+            out,
+            "{{\"shard\": {s}, \"control\": \"{control}\", \"data\": \"{data}\"}}{}",
+            if s + 1 == c.shards.len() { "" } else { "," }
+        );
+    }
+    out.push_str("]\n}\n");
+    out
+}
+
+/// Pull `"key": value` off a line (value ends at `,` / `}` / EOL).
+fn field<'a>(line: &'a str, key: &str) -> Option<&'a str> {
+    let rest = line.split(&format!("\"{key}\":")).nth(1)?;
+    let rest = rest.trim_start();
+    let end = rest
+        .char_indices()
+        .find(|(_, c)| matches!(c, ',' | '}'))
+        .map_or(rest.len(), |(i, _)| i);
+    Some(rest[..end].trim())
+}
+
+fn field_str<'a>(line: &'a str, key: &str) -> Option<&'a str> {
+    field(line, key)?.strip_prefix('"')?.strip_suffix('"')
+}
+
+fn parse_addr(s: &str, what: &str) -> std::result::Result<SocketAddr, String> {
+    s.parse()
+        .map_err(|_| format!("cluster file: bad {what} address {s:?}"))
+}
+
+fn parse_cluster_file(path: &str) -> std::result::Result<ClusterFile, String> {
+    let doc = std::fs::read_to_string(path).map_err(|e| {
+        format!("cannot read cluster file {path}: {e} (is a `rastor serve` running here?)")
+    })?;
+    let mut t = None;
+    let mut handles = None;
+    let mut fast_reads = None;
+    let mut ops = None;
+    let mut shards = Vec::new();
+    for line in doc.lines() {
+        let line = line.trim();
+        if line.contains("\"schema\":") {
+            let schema = field_str(line, "schema").unwrap_or("?");
+            if schema != "rastor-cluster/v1" {
+                return Err(format!(
+                    "cluster file {path} has schema {schema:?}, this rastor speaks rastor-cluster/v1"
+                ));
+            }
+        } else if line.starts_with("{\"shard\":") {
+            let control = field_str(line, "control")
+                .ok_or_else(|| format!("cluster file {path}: shard line without a control addr"))?;
+            let data = field_str(line, "data")
+                .ok_or_else(|| format!("cluster file {path}: shard line without a data addr"))?;
+            shards.push((parse_addr(control, "control")?, parse_addr(data, "data")?));
+        } else if let Some(v) = field(line, "t") {
+            t = v.parse::<usize>().ok();
+        } else if let Some(v) = field(line, "handles") {
+            handles = v.parse::<u32>().ok();
+        } else if let Some(v) = field(line, "fast_reads") {
+            fast_reads = v.parse::<bool>().ok();
+        } else if let Some(v) = field_str(line, "ops") {
+            ops = Some(parse_addr(v, "ops")?);
+        }
+    }
+    let missing = |what: &str| format!("cluster file {path} is missing {what}");
+    if shards.is_empty() {
+        return Err(missing("its shard list"));
+    }
+    Ok(ClusterFile {
+        t: t.ok_or_else(|| missing("\"t\""))?,
+        handles: handles.ok_or_else(|| missing("\"handles\""))?,
+        fast_reads: fast_reads.ok_or_else(|| missing("\"fast_reads\""))?,
+        ops: ops.ok_or_else(|| missing("\"ops\""))?,
+        shards,
+    })
+}
+
+// ---------------------------------------------------------------------------
+// serve
+
+fn cmd_serve(args: &[String]) -> Result<ExitCode> {
+    let flags = match parse_flags(args) {
+        Ok(f) => f,
+        Err(e) => return Ok(usage_err(e)),
+    };
+    let (t, shards, handles, jitter_us) = match (
+        flags.num("t", 1),
+        flags.num("shards", 2),
+        flags.num("handles", 4),
+        flags.num("jitter-us", 0),
+    ) {
+        (Ok(t), Ok(s), Ok(h), Ok(j)) => (t as usize, s as usize, h as u32, j),
+        (Err(e), ..) | (_, Err(e), _, _) | (_, _, Err(e), _) | (_, _, _, Err(e)) => {
+            return Ok(usage_err(e))
+        }
+    };
+    let mut cfg = StoreConfig::new(t, shards, handles).with_fast_reads(flags.has("fast-reads"));
+    if jitter_us > 0 {
+        cfg = cfg.with_jitter(Duration::from_micros(jitter_us));
+    }
+    if let Some(dir) = flags.get("wal") {
+        cfg = cfg.with_wal(dir);
+    }
+    let chaos = flags.has("chaos").then(ChaosCfg::default);
+    let fast_reads = cfg.fast_reads;
+    let kv = NetKv::spawn(cfg, chaos)?;
+    let shard_addrs: Vec<(SocketAddr, SocketAddr)> = (0..shards)
+        .map(|s| (kv.control_addr(s), kv.data_addr(s)))
+        .collect();
+    let ops = OpsServer::spawn(Arc::new(Mutex::new(kv)))?;
+    let cluster = ClusterFile {
+        t,
+        handles,
+        fast_reads,
+        ops: ops.local_addr(),
+        shards: shard_addrs,
+    };
+    let path = flags.file();
+    std::fs::write(path, render_cluster_file(&cluster))
+        .map_err(|e| rastor::common::Error::io(format!("writing cluster file {path}"), &e))?;
+    println!(
+        "serving {shards} shard(s) of {} object(s) each (t={t}), ops at {}",
+        3 * t + 1,
+        ops.local_addr()
+    );
+    for (s, (control, data)) in cluster.shards.iter().enumerate() {
+        println!("  shard {s}: control {control}, data {data}");
+    }
+    println!("cluster file written to {path}; ^C to stop");
+    loop {
+        std::thread::sleep(Duration::from_secs(3600));
+    }
+}
+
+// ---------------------------------------------------------------------------
+// status / metrics
+
+fn cmd_status(args: &[String]) -> Result<ExitCode> {
+    let flags = match parse_flags(args) {
+        Ok(f) => f,
+        Err(e) => return Ok(usage_err(e)),
+    };
+    let cluster = match parse_cluster_file(flags.file()) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("rastor status: {e}");
+            return Ok(ExitCode::FAILURE);
+        }
+    };
+    println!(
+        "cluster {}: t={} shards={} handles={} fast_reads={} ops={}",
+        flags.file(),
+        cluster.t,
+        cluster.shards.len(),
+        cluster.handles,
+        if cluster.fast_reads { "on" } else { "off" },
+        cluster.ops,
+    );
+    // One metrics snapshot serves every shard: all of a deployment's
+    // servers share the process-wide registry.
+    let counters = flat_counters(&ControlClient::connect(cluster.ops)?.metrics_json()?);
+    let count = |name: &str| {
+        counters
+            .iter()
+            .find(|(n, _)| n == name)
+            .map_or(0, |(_, v)| *v)
+    };
+    for (s, (control, data)) in cluster.shards.iter().enumerate() {
+        let objects = ControlClient::connect(*control)?.status()?;
+        let crashed = objects.iter().filter(|o| o.crashed).count();
+        println!(
+            "shard {s} @ {control} (data {data}): {}/{} objects serving",
+            objects.len() - crashed,
+            objects.len()
+        );
+        for o in &objects {
+            println!(
+                "  object {}: {}, {} envelope(s) served",
+                o.id.0,
+                if o.crashed { "CRASHED" } else { "serving" },
+                o.served
+            );
+        }
+        let fast = count(&format!("{}.{s}", names::KV_READS_FAST));
+        let slow = count(&format!("{}.{s}", names::KV_READS_SLOW));
+        println!("  reads: {fast} fast / {slow} slow");
+    }
+    Ok(ExitCode::SUCCESS)
+}
+
+fn cmd_metrics(args: &[String]) -> Result<ExitCode> {
+    let flags = match parse_flags(args) {
+        Ok(f) => f,
+        Err(e) => return Ok(usage_err(e)),
+    };
+    let cluster = match parse_cluster_file(flags.file()) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("rastor metrics: {e}");
+            return Ok(ExitCode::FAILURE);
+        }
+    };
+    print!("{}", ControlClient::connect(cluster.ops)?.metrics_json()?);
+    Ok(ExitCode::SUCCESS)
+}
+
+// ---------------------------------------------------------------------------
+// restart-object / partition-toggle
+
+enum AdminVerb {
+    Restart,
+    Partition,
+}
+
+fn cmd_admin(args: &[String], verb: AdminVerb) -> Result<ExitCode> {
+    let flags = match parse_flags(args) {
+        Ok(f) => f,
+        Err(e) => return Ok(usage_err(e)),
+    };
+    let cmd = match &verb {
+        AdminVerb::Restart => {
+            let (shard, object) = match (flags.required_num("shard"), flags.required_num("object"))
+            {
+                (Ok(s), Ok(o)) => (s as u32, o as u32),
+                (Err(e), _) | (_, Err(e)) => return Ok(usage_err(e)),
+            };
+            AdminCmd::RestartObject { shard, object }
+        }
+        AdminVerb::Partition => {
+            let shard = match flags.required_num("shard") {
+                Ok(s) => s as u32,
+                Err(e) => return Ok(usage_err(e)),
+            };
+            let on = match flags.positional.first().map(String::as_str) {
+                Some("on") => true,
+                Some("off") => false,
+                other => {
+                    return Ok(usage_err(format!(
+                        "partition-toggle wants a trailing on|off, got {other:?}"
+                    )))
+                }
+            };
+            AdminCmd::Partition { shard, on }
+        }
+    };
+    let cluster = match parse_cluster_file(flags.file()) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("rastor: {e}");
+            return Ok(ExitCode::FAILURE);
+        }
+    };
+    let outcome = ControlClient::connect(cluster.ops)?.admin(cmd)?;
+    println!("{}", outcome.detail);
+    Ok(if outcome.ok {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    })
+}
+
+// ---------------------------------------------------------------------------
+// bench
+
+fn cmd_bench(args: &[String]) -> Result<ExitCode> {
+    let flags = match parse_flags(args) {
+        Ok(f) => f,
+        Err(e) => return Ok(usage_err(e)),
+    };
+    let (ops, depth, put_pct, keys, threads) = match (
+        flags.num("ops", 200),
+        flags.num("depth", 8),
+        flags.num("put-pct", 10),
+        flags.num("keys", 32),
+        flags.num("threads", 4),
+    ) {
+        (Ok(o), Ok(d), Ok(p), Ok(k), Ok(t)) => (o, d as u32, p as u32, k as u32, t as u32),
+        (Err(e), ..)
+        | (_, Err(e), ..)
+        | (_, _, Err(e), _, _)
+        | (_, _, _, Err(e), _)
+        | (_, _, _, _, Err(e)) => return Ok(usage_err(e)),
+    };
+    let cluster = match parse_cluster_file(flags.file()) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("rastor bench: {e}");
+            return Ok(ExitCode::FAILURE);
+        }
+    };
+    // Connect a store of our own to the cluster's data plane; the local
+    // global registry collects this process's kv-seam metrics, which we
+    // report back to the deployment afterwards.
+    let transports: Vec<Box<dyn Transport<Req, Rep> + Send + Sync>> = cluster
+        .shards
+        .iter()
+        .map(|(_, data)| {
+            NetCluster::connect(&[*data])
+                .map(|c| Box::new(c) as Box<dyn Transport<Req, Rep> + Send + Sync>)
+        })
+        .collect::<Result<_>>()?;
+    let registry = Registry::global();
+    let store = ShardedKvStore::over_transports(
+        cluster.t,
+        cluster.handles.max(threads),
+        cluster.fast_reads,
+        transports,
+        Arc::new(InMemory),
+        Some(Arc::clone(&registry)),
+    )?;
+    let mut cfg =
+        WorkloadCfg::closed("cli-bench", cluster.shards.len(), threads, put_pct).pipelined(depth);
+    cfg.keys = keys;
+    cfg.ops_per_thread = ops;
+    cfg.fast_reads = cluster.fast_reads;
+    seed_keys(&store, keys);
+    let row = measure_store(&store, &cfg);
+    println!(
+        "{}: {} ops ({} errors) in {:.2}s = {:.0} ops/s",
+        cfg.name, row.ops, row.errors, row.elapsed_secs, row.ops_per_sec
+    );
+    if let Some(l) = &row.put_lat_us {
+        println!(
+            "  put latency µs: mean {:.0} p50 {} p95 {} max {}",
+            l.mean, l.p50, l.p95, l.max
+        );
+    }
+    if let Some(l) = &row.get_lat_us {
+        println!(
+            "  get latency µs: mean {:.0} p50 {} p95 {} max {}",
+            l.mean, l.p50, l.p95, l.max
+        );
+    }
+    if let Some(r) = row.get_rounds_mean {
+        println!("  get rounds mean: {r:.2}");
+    }
+    // Report this client's per-shard read-path counts to the shard that
+    // earned them, as plain counters (`kv.reads_fast.<s>`): `rastor
+    // status` then shows them next to the server-side object tallies.
+    let fast = registry.counter_vec(names::KV_READS_FAST, cluster.shards.len());
+    let slow = registry.counter_vec(names::KV_READS_SLOW, cluster.shards.len());
+    for (s, (control, _)) in cluster.shards.iter().enumerate() {
+        let counts = vec![
+            (format!("{}.{s}", names::KV_READS_FAST), fast.get(s)),
+            (format!("{}.{s}", names::KV_READS_SLOW), slow.get(s)),
+        ];
+        ControlClient::connect(*control)?.report(counts)?;
+        println!(
+            "  shard {s}: {} fast / {} slow reads (reported to {control})",
+            fast.get(s),
+            slow.get(s)
+        );
+    }
+    Ok(ExitCode::SUCCESS)
+}

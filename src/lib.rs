@@ -16,15 +16,23 @@
 //! * [`store`] — the durability subsystem: write-ahead log, compacting
 //!   snapshots, and kill-then-recover object restarts;
 //! * [`net`] — the TCP transport: wire codec, socket-backed clusters, and
-//!   the fault-injecting chaos proxy.
+//!   the fault-injecting chaos proxy;
+//! * [`obs`] — the observability spine: metrics registry, RRD-style time
+//!   rings, and the exported-metric manifest;
+//! * [`mod@bench`] — the experiment drivers behind the `exp` tables;
+//! * [`check`] — the exhaustive schedule explorer.
 //!
-//! See `examples/` for runnable entry points and `DESIGN.md` for the
-//! paper-to-module map.
+//! See `examples/` for runnable entry points, `DESIGN.md` for the
+//! paper-to-module map, and `docs/OPERATIONS.md` for running a live
+//! cluster with the `rastor` CLI.
 
+pub use rastor_bench as bench;
+pub use rastor_check as check;
 pub use rastor_common as common;
 pub use rastor_core as core;
 pub use rastor_kv as kv;
 pub use rastor_lowerbound as lowerbound;
 pub use rastor_net as net;
+pub use rastor_obs as obs;
 pub use rastor_sim as sim;
 pub use rastor_store as store;
