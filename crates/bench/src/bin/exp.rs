@@ -243,6 +243,16 @@ fn t7(quick: bool) {
         "(chaos rows pay a fixed {}µs + uniform jitter per wire frame at the proxy)",
         CHAOS_FRAME_DELAY.as_micros()
     );
+    let mut sweep: Vec<_> = rows.iter().filter(|r| r.row.cfg.conns > 0).collect();
+    sweep.sort_by_key(|r| r.row.cfg.conns);
+    if let (Some(small), Some(large)) = (sweep.first(), sweep.last()) {
+        println!(
+            "conns sweep: {} sustains {:.2}x the throughput of {} (CI gates >= 0.66x, latency <= 1.5x)",
+            large.row.cfg.name,
+            large.row.ops_per_sec / small.row.ops_per_sec.max(1e-9),
+            small.row.cfg.name
+        );
+    }
     let json = net_bench_json(&rows, quick);
     match std::fs::write("BENCH_net.json", &json) {
         Ok(()) => println!("wrote BENCH_net.json ({} results)", rows.len()),

@@ -3,7 +3,7 @@
 //! TCP sockets, and TCP through the netem chaos proxy — so the transport's
 //! cost (and the chaos injection's bite) is a measured number, not a
 //! belief. Results feed the `exp t7` table and the machine-readable
-//! `BENCH_net.json` (`rastor-net-throughput/v1`) gated by CI.
+//! `BENCH_net.json` (`rastor-net-throughput/v2`) gated by CI.
 //!
 //! Comparability: every substrate emulates the same mean per-envelope
 //! object service delay (see [`crate::workload`]), so the in-process rows
@@ -12,6 +12,13 @@
 //! uniform-random frame delay at the proxy — the regime where pipelined
 //! depth-8 rows visibly out-amortize the closed loop, since a coalesced
 //! envelope pays the link latency once.
+//!
+//! The `-c<conns>` rows are the **connection-count sweep**: the same tcp
+//! workload with a growing pool of open connections per shard, proving
+//! the reactor's scaling claim — throughput and latency must hold as
+//! connections go 16 → 1k (→ 10k in full mode), because idle
+//! connections cost a poll-set slot, not threads. `check_bench.rs` gates
+//! the largest row against the smallest.
 
 use crate::workload::{json_summary, measure_store, seed_keys, WorkloadCfg, WorkloadRow};
 use rastor_kv::{ShardedKvStore, StoreConfig};
@@ -63,7 +70,8 @@ fn run_one(transport: NetTransport, cfg: &WorkloadCfg) -> NetRow {
     let store: ShardedKvStore = match transport {
         NetTransport::InProc => ShardedKvStore::spawn(store_cfg).expect("in-process store"),
         NetTransport::Tcp => {
-            let net = NetKv::spawn(store_cfg, None).expect("tcp store");
+            let pool = (cfg.conns as usize / cfg.shards).max(1);
+            let net = NetKv::spawn_pooled(store_cfg, None, pool).expect("tcp store");
             let store = net.store.clone();
             _net = Some(net);
             store
@@ -83,11 +91,42 @@ fn run_one(transport: NetTransport, cfg: &WorkloadCfg) -> NetRow {
     }
 }
 
+/// The open connections a T7 row actually held: the explicit `-c` axis
+/// when set, one per shard on the socket substrates otherwise, none
+/// in-process.
+fn effective_conns(transport: NetTransport, cfg: &WorkloadCfg) -> u32 {
+    match transport {
+        NetTransport::InProc => 0,
+        NetTransport::Tcp | NetTransport::Chaos => {
+            if cfg.conns > 0 {
+                (cfg.conns / cfg.shards as u32).max(1) * cfg.shards as u32
+            } else {
+                cfg.shards as u32
+            }
+        }
+    }
+}
+
+/// The connection counts the sweep visits. The 10k row runs in full mode
+/// only: both sides of every loopback connection live in this process,
+/// so it needs `ulimit -n` raised past ~21k (see `EXPERIMENTS.md`) —
+/// quick mode stays within default fd limits.
+pub fn conns_sweep(quick: bool) -> Vec<u32> {
+    if quick {
+        vec![16, 1024]
+    } else {
+        vec![16, 1024, 10240]
+    }
+}
+
 /// The T7 matrix: `{inproc, tcp, chaos} × {depth 1, depth 8}` on a
-/// 2-shard, 2-thread, 50/50 put/get mix. Row names follow the
-/// `<transport>-s2[-d8]` convention so `scripts/check_bench.rs` pairs
-/// every pipelined row with its closed-loop twin and every `chaos-*` row
-/// with its `tcp-*` twin. `quick` trims the per-thread op count for CI.
+/// 2-shard, 2-thread, 50/50 put/get mix, plus the tcp depth-8 workload
+/// again under the [`conns_sweep`] connection counts. Row names follow
+/// the `<transport>-s2[-d8][-c<conns>]` convention so
+/// `scripts/check_bench.rs` pairs every pipelined row with its
+/// closed-loop twin, every `chaos-*` row with its `tcp-*` twin, and the
+/// sweep's largest row with its smallest. `quick` trims the per-thread
+/// op count for CI.
 pub fn net_throughput_matrix(quick: bool) -> Vec<NetRow> {
     let ops = if quick { 30 } else { 120 };
     let mut rows = Vec::new();
@@ -101,29 +140,38 @@ pub fn net_throughput_matrix(quick: bool) -> Vec<NetRow> {
             rows.push(run_one(transport, &cfg));
         }
     }
+    for conns in conns_sweep(quick) {
+        let mut cfg = WorkloadCfg::closed("tcp-s2", 2, 2, 50)
+            .pipelined(8)
+            .with_conns(conns);
+        cfg.ops_per_thread = ops;
+        rows.push(run_one(NetTransport::Tcp, &cfg));
+    }
     rows
 }
 
 /// Serialize T7 rows as the `BENCH_net.json` document
-/// (`rastor-net-throughput/v1`): one result object per line — same line
-/// discipline as the kv document, so the CI checker scans both without a
-/// JSON parser.
+/// (`rastor-net-throughput/v2`, which extends v1 with the per-row
+/// `conns` field — open client connections, 0 in-process): one result
+/// object per line — same line discipline as the kv document, so the CI
+/// checker scans both without a JSON parser.
 pub fn net_bench_json(rows: &[NetRow], quick: bool) -> String {
     let mut out = String::new();
     out.push_str("{\n");
-    out.push_str("\"schema\": \"rastor-net-throughput/v1\",\n");
+    out.push_str("\"schema\": \"rastor-net-throughput/v2\",\n");
     out.push_str(&format!("\"quick\": {quick},\n"));
     out.push_str("\"results\": [\n");
     for (i, net_row) in rows.iter().enumerate() {
         let row = &net_row.row;
         let c = &row.cfg;
         out.push_str(&format!(
-            "{{\"name\":\"{}\",\"transport\":\"{}\",\"shards\":{},\"threads\":{},\"depth\":{},\"put_pct\":{},\"ops\":{},\"errors\":{},\"elapsed_secs\":{:.4},\"ops_per_sec\":{:.1},{},{}}}{}\n",
+            "{{\"name\":\"{}\",\"transport\":\"{}\",\"shards\":{},\"threads\":{},\"depth\":{},\"conns\":{},\"put_pct\":{},\"ops\":{},\"errors\":{},\"elapsed_secs\":{:.4},\"ops_per_sec\":{:.1},{},{}}}{}\n",
             c.name,
             net_row.transport.label(),
             c.shards,
             c.threads,
             c.depth,
+            effective_conns(net_row.transport, c),
             c.put_pct,
             row.ops,
             row.errors,
@@ -172,14 +220,45 @@ mod tests {
     }
 
     #[test]
-    fn json_carries_schema_and_transport() {
+    fn json_carries_schema_transport_and_conns() {
         let rows = vec![tiny(NetTransport::InProc, 1), tiny(NetTransport::Tcp, 1)];
         let doc = net_bench_json(&rows, true);
-        assert!(doc.contains("\"schema\": \"rastor-net-throughput/v1\""));
+        assert!(doc.contains("\"schema\": \"rastor-net-throughput/v2\""));
         assert_eq!(doc.matches("\"name\":").count(), 2);
         assert!(doc.contains("\"transport\":\"inproc\""));
         assert!(doc.contains("\"transport\":\"tcp\""));
+        // Every row carries the sweep axis: 0 in-process, one connection
+        // per shard on the default socket rows.
+        assert!(doc.contains("\"conns\":0"));
+        assert!(doc.contains("\"conns\":2"));
+        assert_eq!(doc.matches("\"conns\":").count(), 2);
         assert_eq!(doc.matches('{').count(), doc.matches('}').count());
         assert_eq!(doc.matches('[').count(), doc.matches(']').count());
+    }
+
+    /// The sweep axis in miniature: a pooled row opens the requested
+    /// connection count, completes the same mix, and names itself by the
+    /// `-c<conns>` convention the CI gate pairs rows with.
+    #[test]
+    fn conns_sweep_rows_pool_connections_and_complete() {
+        let mut cfg = WorkloadCfg::closed("tcp-s2", 2, 2, 50)
+            .pipelined(4)
+            .with_conns(8);
+        cfg.keys = 8;
+        cfg.ops_per_thread = 8;
+        cfg.service = Duration::from_micros(20);
+        let r = run_one(NetTransport::Tcp, &cfg);
+        assert_eq!(r.row.cfg.name, "tcp-s2-d4-c8");
+        assert_eq!(r.row.ops, 16);
+        assert_eq!(r.row.errors, 0);
+        assert_eq!(effective_conns(NetTransport::Tcp, &r.row.cfg), 8);
+        let doc = net_bench_json(&[r], true);
+        assert!(doc.contains("\"conns\":8"));
+    }
+
+    #[test]
+    fn the_sweep_visits_1k_in_quick_mode_and_10k_in_full() {
+        assert_eq!(conns_sweep(true), vec![16, 1024]);
+        assert_eq!(conns_sweep(false), vec![16, 1024, 10240]);
     }
 }

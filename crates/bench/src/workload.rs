@@ -88,6 +88,11 @@ pub struct WorkloadCfg {
     /// uncontended and confirmed, 4 on fallback) instead of the always-4
     /// slow read.
     pub fast_reads: bool,
+    /// Total client connections to hold open across the deployment's
+    /// shards (socket transports only; 0 = the substrate default of one
+    /// per shard). Only a handful carry traffic — the sweep measures
+    /// that *open* connections are cheap, not that every one is busy.
+    pub conns: u32,
     /// Mean emulated service delay per object request.
     pub service: Duration,
     /// Loop mode for the client threads.
@@ -121,6 +126,7 @@ impl WorkloadCfg {
             silent_per_shard: 0,
             depth: 1,
             fast_reads: false,
+            conns: 0,
             service: Duration::from_micros(150),
             mode: LoopMode::Closed,
             seed: 42,
@@ -152,6 +158,22 @@ impl WorkloadCfg {
         assert!(depth >= 1, "depth 0 cannot make progress");
         self.depth = depth;
         self.name = format!("{}-d{depth}", self.name);
+        self
+    }
+
+    /// The same row holding `conns` client connections open across the
+    /// deployment (socket transports only), with a `-c<conns>` name
+    /// suffix — the connection-count sweep axis `scripts/check_bench.rs`
+    /// uses to gate throughput and latency at scale against the
+    /// smallest-count row.
+    #[must_use]
+    pub fn with_conns(mut self, conns: u32) -> WorkloadCfg {
+        assert!(
+            conns >= 1,
+            "a socket workload needs at least one connection"
+        );
+        self.conns = conns;
+        self.name = format!("{}-c{conns}", self.name);
         self
     }
 

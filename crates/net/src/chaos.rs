@@ -13,20 +13,24 @@
 //! with its own [`SplitMix64`] stream derived from [`ChaosCfg::seed`], so
 //! a scenario replays bit-identically given the same connection order.
 //!
-//! Delays are head-of-line (the relay sleeps, then forwards), which
-//! models a slow pipe rather than per-frame independent latency — the
-//! realistic shape for a single TCP connection, and the one that lets
-//! coalesced batches amortize it.
+//! Delays are head-of-line (each frame's release time is its
+//! predecessor's release plus its own delay), which models a slow pipe
+//! rather than per-frame independent latency — the realistic shape for a
+//! single TCP connection, and the one that lets coalesced batches
+//! amortize it. The proxy runs as an [`Events`] handler on one
+//! single-worker [`crate::reactor`]: one thread relays every connection
+//! in both directions, and delays are timers on the reactor tick rather
+//! than threads asleep — a proxy carrying a thousand links costs the
+//! same threads as one carrying one.
 
+use crate::reactor::{ConnHandle, Events, Reactor, ReactorHandle};
 use rastor_common::{Error, Result, SplitMix64};
 use rastor_obs::{names, Counter, Registry};
-use std::collections::HashMap;
-use std::io::Write;
-use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
+use std::collections::{BinaryHeap, HashMap};
+use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, OnceLock};
-use std::thread::JoinHandle;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// The `chaos.*` fault counters, resolved once per process — every proxy's
 /// injected faults accumulate here, so an operator can see how much
@@ -101,20 +105,21 @@ impl ChaosCfg {
     /// coalesced request envelope per shard per flush*: dropping a
     /// request frame therefore starves **every** object of that shard
     /// for the round (the reply direction is gentler — one dropped reply
-    /// costs one object's answer). The op driver's per-operation
-    /// deadline is the only recovery, so soak tests should pair modest
-    /// probabilities (≲ 0.05) with short per-op timeouts, or a handful
-    /// of unlucky flushes serializes the whole run into deadline waits:
+    /// costs one object's answer). Since the client pool resubmits a
+    /// stalled flush (see [`crate::NetCluster`]), a drop costs one
+    /// resubmission interval — tens of milliseconds — not a whole op
+    /// deadline, so soaks can run genuinely lossy links:
     ///
     /// ```
     /// use rastor_net::ChaosCfg;
     /// use std::time::Duration;
     ///
-    /// // A lossy-link profile a soak can actually make progress through:
-    /// // ~2% of frames eaten, small head-of-line delay, and the client
-    /// // side pairing it with a sub-second op timeout.
-    /// let cfg = ChaosCfg::delay_only(Duration::from_micros(100)).with_drops(0.02);
-    /// assert!(cfg.drop_prob <= 0.05, "keep soak drop rates modest");
+    /// // A harsh lossy-link profile a soak still makes progress through:
+    /// // ~20% of frames eaten, small head-of-line delay; resubmission
+    /// // turns each unlucky flush into a short stall instead of a
+    /// // deadline wait.
+    /// let cfg = ChaosCfg::delay_only(Duration::from_micros(100)).with_drops(0.20);
+    /// assert!(cfg.drop_prob < 1.0, "a link that drops everything is a partition");
     /// ```
     #[must_use]
     pub fn with_drops(mut self, prob: f64) -> ChaosCfg {
@@ -137,15 +142,199 @@ impl ChaosCfg {
     }
 }
 
-struct Shared {
+/// One direction of one relayed link, keyed by the conn the proxy *reads*
+/// from; faults drawn here apply to frames flowing toward `peer`.
+struct DirState {
+    peer: ConnHandle,
+    rng: SplitMix64,
+    held: Option<Vec<u8>>,
+    /// Head-of-line release horizon: when the last scheduled frame of
+    /// this direction clears the simulated pipe.
+    release: Instant,
+}
+
+/// A frame (or close sentinel) waiting for its release time.
+struct TimedSend {
+    at: Instant,
+    seq: u64,
+    dest: ConnHandle,
+    /// `None` closes `dest` — the end-of-stream marker, sequenced after
+    /// every frame read before the close.
+    bytes: Option<Vec<u8>>,
+}
+
+impl PartialEq for TimedSend {
+    fn eq(&self, other: &TimedSend) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl Eq for TimedSend {}
+impl PartialOrd for TimedSend {
+    fn partial_cmp(&self, other: &TimedSend) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for TimedSend {
+    fn cmp(&self, other: &TimedSend) -> std::cmp::Ordering {
+        // Min-heap by (release, seq): earliest due first, FIFO on ties.
+        (other.at, other.seq).cmp(&(self.at, self.seq))
+    }
+}
+
+struct ChaosState {
     upstream: SocketAddr,
     cfg: ChaosCfg,
     partitioned: AtomicBool,
-    shutdown: AtomicBool,
-    next_conn: AtomicU64,
-    /// Live relayed connections (client half, upstream half) by id, so
-    /// drop can cut them loose; entries are pruned as relays end.
-    conns: Mutex<HashMap<u64, (TcpStream, TcpStream)>>,
+    next_link: AtomicU64,
+    /// Reading-conn id → that direction's fault state. Lock order: `dirs`
+    /// before `delayq`, always.
+    dirs: Mutex<HashMap<u64, DirState>>,
+    delayq: Mutex<BinaryHeap<TimedSend>>,
+    send_seq: AtomicU64,
+    handle: OnceLock<ReactorHandle>,
+}
+
+impl ChaosState {
+    /// Schedule `bytes` toward `dest` at `at` (or close `dest` for
+    /// `None`), then deliver everything already due.
+    fn schedule(&self, at: Instant, dest: ConnHandle, bytes: Option<Vec<u8>>) {
+        self.delayq
+            .lock()
+            .expect("delay queue lock")
+            .push(TimedSend {
+                at,
+                seq: self.send_seq.fetch_add(1, Ordering::Relaxed),
+                dest,
+                bytes,
+            });
+        self.flush_due(Instant::now());
+    }
+
+    /// Deliver every scheduled send whose release time has passed.
+    /// Returns the next pending release, if any.
+    fn flush_due(&self, now: Instant) -> Option<Instant> {
+        let mut q = self.delayq.lock().expect("delay queue lock");
+        while q.peek().is_some_and(|t| t.at <= now) {
+            let t = q.pop().expect("peeked");
+            match t.bytes {
+                Some(bytes) => {
+                    let _ = t.dest.send(bytes);
+                }
+                None => t.dest.close(),
+            }
+        }
+        q.peek().map(|t| t.at)
+    }
+}
+
+impl Events for ChaosState {
+    fn on_start(&self, reactor: ReactorHandle) {
+        let _ = self.handle.set(reactor);
+    }
+
+    fn on_open(&self, conn: &ConnHandle) {
+        let mut dirs = self.dirs.lock().expect("dir map lock");
+        if dirs.contains_key(&conn.id()) {
+            return; // the upstream half of a link we just dialed
+        }
+        // A client connection: dial the upstream and pair the two
+        // directions under one link id, mirroring the per-connection seed
+        // shape of the threaded relay (`seed ^ (link << 1) ^ dir`).
+        let Ok(stream) = TcpStream::connect(self.upstream) else {
+            conn.close();
+            return;
+        };
+        let up = self
+            .handle
+            .get()
+            .expect("reactor handle set at spawn")
+            .register(stream);
+        let link = self.next_link.fetch_add(1, Ordering::SeqCst);
+        let now = Instant::now();
+        dirs.insert(
+            conn.id(),
+            DirState {
+                peer: up.clone(),
+                rng: SplitMix64::new(self.cfg.seed ^ (link << 1)),
+                held: None,
+                release: now,
+            },
+        );
+        dirs.insert(
+            up.id(),
+            DirState {
+                peer: conn.clone(),
+                rng: SplitMix64::new(self.cfg.seed ^ (link << 1) ^ 1),
+                held: None,
+                release: now,
+            },
+        );
+    }
+
+    fn on_frame(&self, conn: &ConnHandle, raw: &[u8]) {
+        let mut dirs = self.dirs.lock().expect("dir map lock");
+        let Some(dir) = dirs.get_mut(&conn.id()) else {
+            return; // link torn down under us
+        };
+        if self.partitioned.load(Ordering::SeqCst) {
+            chaos_metrics().partition_drops.inc();
+            return; // the link eats everything, silently
+        }
+        let cfg = &self.cfg;
+        if cfg.drop_prob > 0.0 && dir.rng.next_f64() < cfg.drop_prob {
+            chaos_metrics().dropped.inc();
+            return;
+        }
+        let wait = cfg.delay + cfg.jitter.mul_f64(dir.rng.next_f64());
+        let now = Instant::now();
+        // Head-of-line: this frame clears the pipe `wait` after the
+        // previous one did (or after now, if the pipe was idle).
+        let release = dir.release.max(now) + wait;
+        dir.release = release;
+        if wait > Duration::ZERO {
+            chaos_metrics().delayed.inc();
+        }
+        if cfg.reorder_prob > 0.0 && dir.held.is_none() && dir.rng.next_f64() < cfg.reorder_prob {
+            chaos_metrics().reordered.inc();
+            dir.held = Some(raw.to_vec());
+            return; // forwarded right after its successor
+        }
+        let peer = dir.peer.clone();
+        let held = dir.held.take();
+        drop(dirs);
+        self.schedule(release, peer.clone(), Some(raw.to_vec()));
+        if let Some(h) = held {
+            // The adjacent swap: the held predecessor rides out right
+            // behind its successor (same release, later sequence).
+            self.schedule(release, peer, Some(h));
+        }
+    }
+
+    fn on_close(&self, conn_id: u64) {
+        let mut dirs = self.dirs.lock().expect("dir map lock");
+        let Some(dir) = dirs.remove(&conn_id) else {
+            return;
+        };
+        let held = dir.held;
+        let peer = dir.peer;
+        let release = dir.release;
+        drop(dirs);
+        // Flush a trailing held frame rather than swallowing it — unless
+        // the link is partitioned, in which case the dead link eats it
+        // like everything else (nothing may cross a cut link, even at
+        // teardown). The close itself is sequenced *after* every frame
+        // this direction already scheduled.
+        if let Some(h) = held {
+            if !self.partitioned.load(Ordering::SeqCst) {
+                self.schedule(release, peer.clone(), Some(h));
+            }
+        }
+        self.schedule(release, peer, None);
+    }
+
+    fn on_tick(&self, now: Instant) -> Option<Instant> {
+        self.flush_due(now)
+    }
 }
 
 /// A fault-injecting TCP relay in front of one upstream address.
@@ -154,8 +343,8 @@ struct Shared {
 /// connection.
 pub struct ChaosProxy {
     addr: SocketAddr,
-    shared: Arc<Shared>,
-    accept: Option<JoinHandle<()>>,
+    state: Arc<ChaosState>,
+    _reactor: Reactor,
 }
 
 impl ChaosProxy {
@@ -170,28 +359,29 @@ impl ChaosProxy {
         let addr = listener
             .local_addr()
             .map_err(|e| Error::io("reading the bound proxy address", &e))?;
-        let shared = Arc::new(Shared {
+        let state = Arc::new(ChaosState {
             upstream,
             cfg,
             partitioned: AtomicBool::new(false),
-            shutdown: AtomicBool::new(false),
-            next_conn: AtomicU64::new(0),
-            conns: Mutex::new(HashMap::new()),
+            next_link: AtomicU64::new(0),
+            dirs: Mutex::new(HashMap::new()),
+            delayq: Mutex::new(BinaryHeap::new()),
+            send_seq: AtomicU64::new(0),
+            handle: OnceLock::new(),
         });
-        let accept_shared = Arc::clone(&shared);
-        let accept = std::thread::spawn(move || {
-            for stream in listener.incoming() {
-                if accept_shared.shutdown.load(Ordering::SeqCst) {
-                    break;
-                }
-                let Ok(client) = stream else { continue };
-                relay_connection(client, &accept_shared);
-            }
-        });
+        // One worker: a relay is pure frame shuffling, and one readiness
+        // loop keeps each direction's fault stream strictly ordered by
+        // arrival.
+        let reactor = Reactor::spawn_with(
+            Arc::clone(&state) as Arc<dyn Events>,
+            Some(listener),
+            1,
+            crate::reactor::PollerKind::default(),
+        )?;
         Ok(ChaosProxy {
             addr,
-            shared,
-            accept: Some(accept),
+            state,
+            _reactor: reactor,
         })
     }
 
@@ -203,117 +393,11 @@ impl ChaosProxy {
     /// Toggle a full partition: while set, every frame in both directions
     /// is dropped (connections stay open — the link is dead, not closed).
     pub fn set_partitioned(&self, partitioned: bool) {
-        self.shared.partitioned.store(partitioned, Ordering::SeqCst);
+        self.state.partitioned.store(partitioned, Ordering::SeqCst);
     }
 
     /// Whether the link is currently partitioned.
     pub fn is_partitioned(&self) -> bool {
-        self.shared.partitioned.load(Ordering::SeqCst)
+        self.state.partitioned.load(Ordering::SeqCst)
     }
-}
-
-impl Drop for ChaosProxy {
-    fn drop(&mut self) {
-        self.shared.shutdown.store(true, Ordering::SeqCst);
-        for (_, (client, upstream)) in self.shared.conns.lock().expect("proxy conn lock").drain() {
-            let _ = client.shutdown(Shutdown::Both);
-            let _ = upstream.shutdown(Shutdown::Both);
-        }
-        let _ = TcpStream::connect(self.addr);
-        if let Some(h) = self.accept.take() {
-            let _ = h.join();
-        }
-    }
-}
-
-/// Wire one accepted client to a fresh upstream connection with a chaotic
-/// relay thread per direction.
-fn relay_connection(client: TcpStream, shared: &Arc<Shared>) {
-    let Ok(upstream) = TcpStream::connect(shared.upstream) else {
-        let _ = client.shutdown(Shutdown::Both);
-        return;
-    };
-    let _ = client.set_nodelay(true);
-    let _ = upstream.set_nodelay(true);
-    let conn_id = shared.next_conn.fetch_add(1, Ordering::SeqCst);
-    {
-        let mut conns = shared.conns.lock().expect("proxy conn lock");
-        if let (Ok(c), Ok(u)) = (client.try_clone(), upstream.try_clone()) {
-            conns.insert(conn_id, (c, u));
-        }
-    }
-    for (dir, read, write) in [
-        (0u64, client.try_clone(), upstream.try_clone()),
-        (1u64, upstream.try_clone(), client.try_clone()),
-    ] {
-        let (Ok(read), Ok(write)) = (read, write) else {
-            shared
-                .conns
-                .lock()
-                .expect("proxy conn lock")
-                .remove(&conn_id);
-            let _ = client.shutdown(Shutdown::Both);
-            let _ = upstream.shutdown(Shutdown::Both);
-            return;
-        };
-        let shared = Arc::clone(shared);
-        std::thread::spawn(move || {
-            let seed = shared.cfg.seed ^ (conn_id << 1) ^ dir;
-            relay_frames(read, write, &shared, SplitMix64::new(seed));
-            // relay_frames shut both streams down; untrack the connection
-            // so a long-lived proxy doesn't accumulate dead descriptors
-            // (idempotent — whichever direction exits first wins).
-            shared
-                .conns
-                .lock()
-                .expect("proxy conn lock")
-                .remove(&conn_id);
-        });
-    }
-}
-
-/// The relay loop for one direction: read whole frames, apply the fault
-/// schedule, forward the survivors.
-fn relay_frames(mut read: TcpStream, mut write: TcpStream, shared: &Shared, mut rng: SplitMix64) {
-    let cfg = &shared.cfg;
-    let mut held: Option<Vec<u8>> = None;
-    while let Ok(raw) = crate::wire::read_raw_frame(&mut read) {
-        if shared.partitioned.load(Ordering::SeqCst) {
-            chaos_metrics().partition_drops.inc();
-            continue; // the link eats everything, silently
-        }
-        if cfg.drop_prob > 0.0 && rng.next_f64() < cfg.drop_prob {
-            chaos_metrics().dropped.inc();
-            continue;
-        }
-        let wait = cfg.delay + cfg.jitter.mul_f64(rng.next_f64());
-        if wait > Duration::ZERO {
-            chaos_metrics().delayed.inc();
-            std::thread::sleep(wait);
-        }
-        if cfg.reorder_prob > 0.0 && held.is_none() && rng.next_f64() < cfg.reorder_prob {
-            chaos_metrics().reordered.inc();
-            held = Some(raw);
-            continue;
-        }
-        if write.write_all(&raw).is_err() {
-            break;
-        }
-        // Forward a held predecessor *after* its successor: adjacent swap.
-        if let Some(h) = held.take() {
-            if write.write_all(&h).is_err() {
-                break;
-            }
-        }
-    }
-    // Flush a trailing held frame rather than swallowing it — unless the
-    // link is partitioned, in which case the dead link eats it like
-    // everything else (nothing may cross a cut link, even at teardown).
-    if let Some(h) = held.take() {
-        if !shared.partitioned.load(Ordering::SeqCst) {
-            let _ = write.write_all(&h);
-        }
-    }
-    let _ = read.shutdown(Shutdown::Both);
-    let _ = write.shutdown(Shutdown::Both);
 }

@@ -5,41 +5,286 @@
 //! batch driver, the sharded kv store) drives operations over TCP without
 //! a single protocol-level change.
 //!
-//! One `NetCluster` holds one connection per server backing the cluster
-//! and may be **shared by many clients**: each [`Transport::send_frames`]
-//! call registers the calling client's reply channel, and per-connection
-//! reader threads demultiplex incoming reply envelopes to the right
-//! channel by the `to` client id the server echoes back.
+//! One `NetCluster` holds a small **connection pool** per server backing
+//! the cluster (size 1 by [`NetCluster::connect`], configurable by
+//! [`NetCluster::connect_pooled`]) and may be **shared by many clients**:
+//! each [`Transport::send_frames`] call registers the calling client's
+//! reply channel, clients are spread across a server's pool by client-id
+//! hash, and the reactor demultiplexes incoming reply envelopes to the
+//! right channel by the `to` client id the server echoes back. All pools
+//! are served by one client-side [`crate::reactor`] — thread count is
+//! fixed, however many handles share the cluster.
 //!
-//! Sends are best-effort, mirroring the channel substrate's crash
-//! semantics: a frame lost to a broken connection is indistinguishable
-//! from a frame sent to a crashed object, and the op driver's per-op
-//! deadline is the recovery mechanism either way.
+//! Sends stay best-effort, mirroring the channel substrate's crash
+//! semantics — but the cluster now *recovers* the transport underneath
+//! the contract: a dead connection is redialed with backoff, and each
+//! client's **latest unsuperseded flush** is resubmitted (on reconnect,
+//! and periodically while an op stalls) so a frame lost to a dropped
+//! socket or a lossy link no longer starves the op until its deadline.
+//! Resubmission is protocol-safe: servers process duplicate requests
+//! idempotently (object state is monotone) and drivers drop duplicate or
+//! stale-round replies, so re-sending can only *unstick* an op, never
+//! corrupt it. The op deadline remains the last-resort recovery.
 
+use crate::reactor::{ConnHandle, Events, Reactor, ReactorHandle};
 use crate::wire::{self, Frame, ReqEnvelope, WireReqFrame};
 use rastor_common::{ClientId, Error, Result};
 use rastor_core::msg::{Rep, Req};
+use rastor_obs::{names, Counter, Registry as Obs};
 use rastor_sim::runtime::{ObjReply, RepFrame, ReqFrame, Transport};
 use std::collections::HashMap;
-use std::io::Write;
-use std::net::{Shutdown, SocketAddr, TcpStream};
+use std::net::{SocketAddr, TcpStream};
 use std::sync::mpsc::Sender;
-use std::sync::{Arc, Mutex};
-use std::thread::JoinHandle;
+use std::sync::{Arc, Mutex, OnceLock};
+use std::time::{Duration, Instant};
+
+/// How long a flush may sit unsuperseded before it is re-broadcast. Under
+/// healthy pipelining, flushes supersede each other far faster than this,
+/// so resubmission only fires for ops that actually stalled.
+const RESUBMIT_EVERY: Duration = Duration::from_millis(25);
+
+/// Resubmissions per flush before the entry goes dormant: bounds the
+/// traffic a quiesced client's final flush can generate (about a second's
+/// worth), while giving a stalled op many chances to get through.
+const RESUBMIT_CAP: u32 = 40;
+
+/// Redial backoff bounds for a down connection.
+const REDIAL_MIN: Duration = Duration::from_millis(10);
+const REDIAL_MAX: Duration = Duration::from_millis(500);
 
 /// client id → that client's reply channel. Senders are registered on
 /// every flush, so a reissued client id simply overwrites its predecessor.
 type Registry = Mutex<HashMap<ClientId, Sender<ObjReply<Rep>>>>;
 
-struct Conn {
-    writer: Mutex<TcpStream>,
-    reader: Option<JoinHandle<()>>,
+/// One client's latest flush, kept for resubmission until superseded.
+struct Pending {
+    bytes: Vec<u8>,
+    last_sent: Instant,
+    resubmits: u32,
+}
+
+/// One slot of one server's connection pool.
+struct Endpoint {
+    addr: SocketAddr,
+    conn: Mutex<Option<ConnHandle>>,
+    /// Redial schedule: next attempt time and current backoff.
+    redial: Mutex<(Instant, Duration)>,
+}
+
+struct ClientState {
+    registry: Registry,
+    /// `addrs.len() * pool` endpoints, grouped by server:
+    /// `endpoints[server * pool + slot]`.
+    endpoints: Vec<Endpoint>,
+    pool: usize,
+    /// conn id → endpoint index, for routing closes back to their slot.
+    by_conn: Mutex<HashMap<u64, usize>>,
+    /// Endpoint indices whose connection is down, queued by `on_close`
+    /// for redialing — the tick's work list, so a reactor iteration
+    /// costs O(down + stalled flushes), never O(endpoints). With a
+    /// thousand-connection pool, scanning every endpoint on every
+    /// readiness wakeup is exactly the per-connection overhead the
+    /// sweep gate exists to catch.
+    down: Mutex<Vec<usize>>,
+    pending: Mutex<HashMap<ClientId, Pending>>,
+    handle: OnceLock<ReactorHandle>,
+    resubmissions: Arc<Counter>,
+}
+
+/// Spread a client over a server's pool slots.
+fn slot_of(client: ClientId, pool: usize) -> usize {
+    let key: u64 = match client {
+        ClientId::Writer => u64::MAX,
+        ClientId::Reader(i) => u64::from(i),
+    };
+    (key.wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 32) as usize % pool
+}
+
+impl ClientState {
+    /// Queue `bytes` on the client's pooled connection of every server.
+    /// Best-effort: a missing or saturated connection sheds the frame —
+    /// resubmission and the op deadline are the recovery path.
+    fn broadcast(&self, client: ClientId, bytes: &[u8]) {
+        let slot = slot_of(client, self.pool);
+        for server in 0..self.endpoints.len() / self.pool {
+            let ep = &self.endpoints[server * self.pool + slot];
+            if let Some(conn) = &*ep.conn.lock().expect("endpoint conn lock") {
+                let _ = conn.send(bytes.to_vec());
+            }
+        }
+    }
+
+    /// Route one decoded reply envelope to its registered client.
+    fn route(&self, env: wire::RepEnvelope) {
+        let tx = self
+            .registry
+            .lock()
+            .expect("reply registry lock")
+            .get(&env.to)
+            .cloned();
+        let Some(tx) = tx else {
+            return; // client never seen or already unregistered
+        };
+        let reply = ObjReply {
+            from: env.from,
+            frames: env
+                .frames
+                .into_iter()
+                .map(|f| RepFrame {
+                    op_nonce: f.op_nonce,
+                    round: f.round,
+                    payload: f.rep,
+                })
+                .collect(),
+        };
+        if tx.send(reply).is_err() {
+            // The client hung up; drop its registration.
+            self.registry
+                .lock()
+                .expect("reply registry lock")
+                .remove(&env.to);
+        }
+    }
+
+    /// Redial one down endpoint if its backoff has elapsed. Returns the
+    /// endpoint's next wakeup, if it is still down.
+    fn redial(&self, idx: usize, now: Instant) -> Option<Instant> {
+        let ep = &self.endpoints[idx];
+        if ep.conn.lock().expect("endpoint conn lock").is_some() {
+            return None;
+        }
+        let mut sched = ep.redial.lock().expect("redial lock");
+        if now < sched.0 {
+            return Some(sched.0);
+        }
+        match TcpStream::connect_timeout(&ep.addr, Duration::from_millis(100)) {
+            Ok(stream) => {
+                let handle = self.handle.get().expect("reactor handle set at spawn");
+                let conn = handle.register(stream);
+                self.by_conn
+                    .lock()
+                    .expect("conn route lock")
+                    .insert(conn.id(), idx);
+                *ep.conn.lock().expect("endpoint conn lock") = Some(conn);
+                sched.1 = REDIAL_MIN;
+                // Frames in flight on the dead socket are gone; re-send
+                // every registered client's latest flush on the new
+                // connection so in-flight ops resume immediately.
+                let slot = idx % self.pool;
+                let mut pending = self.pending.lock().expect("pending lock");
+                for (client, p) in pending.iter_mut() {
+                    if slot_of(*client, self.pool) == slot {
+                        if let Some(conn) = &*ep.conn.lock().expect("endpoint conn lock") {
+                            if conn.send(p.bytes.clone()) {
+                                self.resubmissions.inc();
+                                p.last_sent = now;
+                            }
+                        }
+                    }
+                }
+                None
+            }
+            Err(_) => {
+                sched.0 = now + sched.1;
+                sched.1 = (sched.1 * 2).min(REDIAL_MAX);
+                Some(sched.0)
+            }
+        }
+    }
+}
+
+impl Events for ClientState {
+    fn on_start(&self, reactor: ReactorHandle) {
+        let _ = self.handle.set(reactor);
+    }
+
+    fn on_frame(&self, conn: &ConnHandle, raw: &[u8]) {
+        match wire::decode_frame(raw) {
+            Ok((Frame::Rep(env), _)) => self.route(env),
+            // A request frame from a server is a protocol violation, a
+            // version-mismatch reply means this build cannot talk to that
+            // server at all, and control replies never belong here (a
+            // `NetCluster` sends no control frames — `ops::ControlClient`
+            // keeps its own connection); a decode error means the stream
+            // is garbage. All of them end the connection.
+            Ok(_) | Err(_) => conn.close(),
+        }
+    }
+
+    fn on_close(&self, conn_id: u64) {
+        let Some(idx) = self
+            .by_conn
+            .lock()
+            .expect("conn route lock")
+            .remove(&conn_id)
+        else {
+            return;
+        };
+        let ep = &self.endpoints[idx];
+        let mut conn = ep.conn.lock().expect("endpoint conn lock");
+        // Only clear the slot if it still holds the closed connection (a
+        // redial may already have replaced it).
+        if conn.as_ref().is_some_and(|c| c.id() == conn_id) {
+            *conn = None;
+            drop(conn);
+            let mut sched = ep.redial.lock().expect("redial lock");
+            sched.0 = Instant::now() + REDIAL_MIN;
+            sched.1 = REDIAL_MIN;
+            drop(sched);
+            self.down.lock().expect("down list lock").push(idx);
+        }
+    }
+
+    fn on_tick(&self, now: Instant) -> Option<Instant> {
+        let mut next: Option<Instant> = None;
+        let mut fold = |t: Instant| next = Some(next.map_or(t, |n| n.min(t)));
+
+        // Redial down endpoints — only those `on_close` queued, so a
+        // fully-connected pool pays nothing here however large it is.
+        // Endpoints still down after the attempt go back on the list.
+        let down: Vec<usize> = std::mem::take(&mut *self.down.lock().expect("down list lock"));
+        if !down.is_empty() {
+            let mut still_down = Vec::new();
+            for idx in down {
+                if let Some(t) = self.redial(idx, now) {
+                    fold(t);
+                    still_down.push(idx);
+                }
+            }
+            self.down.lock().expect("down list lock").extend(still_down);
+        }
+
+        // Re-broadcast stalled flushes.
+        let mut due: Vec<(ClientId, Vec<u8>)> = Vec::new();
+        {
+            let mut pending = self.pending.lock().expect("pending lock");
+            for (client, p) in pending.iter_mut() {
+                if p.resubmits >= RESUBMIT_CAP {
+                    continue;
+                }
+                let at = p.last_sent + RESUBMIT_EVERY;
+                if at <= now {
+                    p.last_sent = now;
+                    p.resubmits += 1;
+                    due.push((*client, p.bytes.clone()));
+                    fold(now + RESUBMIT_EVERY);
+                } else {
+                    fold(at);
+                }
+            }
+        }
+        for (client, bytes) in due {
+            self.resubmissions.inc();
+            self.broadcast(client, &bytes);
+        }
+        next
+    }
 }
 
 /// The client endpoint of one socket-backed object cluster.
 ///
-/// Dropping the cluster shuts its connections down and joins the reader
-/// threads; operations still in flight on some client resolve through
+/// Dropping the cluster shuts its connections down and joins the reactor
+/// workers; operations still in flight on some client resolve through
 /// their deadlines.
 ///
 /// ## One live client per [`ClientId`] per cluster
@@ -66,7 +311,7 @@ struct Conn {
 /// let mut sys = StorageSystem::new(Protocol::AtomicUnauth, 1, 1)?;
 /// let harness = sys.spawn_net_cluster(None)?;
 /// // Two live clients multiplexed over ONE socket-backed cluster:
-/// // distinct ids, so the reader threads demultiplex correctly.
+/// // distinct ids, so the reactor demultiplexes correctly.
 /// let mut writer = ThreadClient::new(ClientId::writer());
 /// let mut reader = ThreadClient::new(ClientId::reader(0));
 /// writer
@@ -79,57 +324,108 @@ struct Conn {
 /// # Ok::<(), rastor_common::Error>(())
 /// ```
 pub struct NetCluster {
-    conns: Vec<Conn>,
-    registry: Arc<Registry>,
+    state: Arc<ClientState>,
+    // Kept for its Drop: joining the workers tears the connections down.
+    _reactor: Reactor,
 }
 
 impl NetCluster {
     /// Connect to every server backing the cluster (one
     /// [`crate::server::ObjectServer`] — or chaos proxy in front of one —
-    /// per address).
+    /// per address), one connection per server.
     ///
     /// # Errors
     ///
     /// [`Error::Io`] if any connection cannot be established.
     pub fn connect(addrs: &[SocketAddr]) -> Result<NetCluster> {
-        let registry: Arc<Registry> = Arc::new(Mutex::new(HashMap::new()));
-        let mut conns = Vec::with_capacity(addrs.len());
-        for addr in addrs {
-            let stream = TcpStream::connect(addr)
-                .map_err(|e| Error::io(format!("connecting to object server {addr}"), &e))?;
-            let _ = stream.set_nodelay(true);
-            let read_half = stream
-                .try_clone()
-                .map_err(|e| Error::io("cloning a connection for reading", &e))?;
-            let reg = Arc::clone(&registry);
-            let reader = std::thread::spawn(move || route_replies(read_half, &reg));
-            conns.push(Conn {
-                writer: Mutex::new(stream),
-                reader: Some(reader),
-            });
-        }
-        Ok(NetCluster { conns, registry })
+        NetCluster::connect_pooled(addrs, 1)
     }
 
-    /// Number of connections (servers), not objects: a server may host
-    /// many objects.
+    /// Connect with a pool of `pool` connections per server. Clients
+    /// sharing the cluster are spread across a pool by client-id hash, so
+    /// many [`rastor_kv::KvHandle`]s multiplex over few sockets — and the
+    /// connection-count sweep can open a thousand without a thousand
+    /// threads anywhere.
+    ///
+    /// # Errors
+    ///
+    /// [`Error::Io`] if any initial connection cannot be established.
+    pub fn connect_pooled(addrs: &[SocketAddr], pool: usize) -> Result<NetCluster> {
+        let pool = pool.max(1);
+        let now = Instant::now();
+        let endpoints = addrs
+            .iter()
+            .flat_map(|&addr| (0..pool).map(move |_| addr))
+            .map(|addr| Endpoint {
+                addr,
+                conn: Mutex::new(None),
+                redial: Mutex::new((now, REDIAL_MIN)),
+            })
+            .collect();
+        let state = Arc::new(ClientState {
+            registry: Mutex::new(HashMap::new()),
+            endpoints,
+            pool,
+            by_conn: Mutex::new(HashMap::new()),
+            down: Mutex::new(Vec::new()),
+            pending: Mutex::new(HashMap::new()),
+            handle: OnceLock::new(),
+            resubmissions: Obs::global().counter(names::NET_RESUBMISSIONS),
+        });
+        let reactor = Reactor::spawn(Arc::clone(&state) as Arc<dyn Events>, None)?;
+        // Establish the initial pool synchronously so a bad address fails
+        // the connect (redial-with-backoff takes over from here on).
+        let handle = reactor.handle();
+        for (idx, ep) in state.endpoints.iter().enumerate() {
+            let stream = TcpStream::connect(ep.addr)
+                .map_err(|e| Error::io(format!("connecting to object server {}", ep.addr), &e))?;
+            let conn = handle.register(stream);
+            state
+                .by_conn
+                .lock()
+                .expect("conn route lock")
+                .insert(conn.id(), idx);
+            *ep.conn.lock().expect("endpoint conn lock") = Some(conn);
+        }
+        Ok(NetCluster {
+            state,
+            _reactor: reactor,
+        })
+    }
+
+    /// Number of connection slots (servers × pool size), not objects: a
+    /// server may host many objects.
     pub fn num_connections(&self) -> usize {
-        self.conns.len()
+        self.state.endpoints.len()
+    }
+
+    /// Connections currently established (slots minus those awaiting
+    /// redial).
+    pub fn live_connections(&self) -> usize {
+        self.state
+            .endpoints
+            .iter()
+            .filter(|e| e.conn.lock().expect("endpoint conn lock").is_some())
+            .count()
     }
 }
 
 impl Transport<Req, Rep> for NetCluster {
-    /// Encode the batch once and write it to every connection — the wire
-    /// twin of the channel substrate's one-envelope-per-object broadcast
-    /// (each server fans the envelope out to the objects it hosts, which
-    /// reply with per-object envelopes).
+    /// Encode the batch once and queue it on the calling client's pooled
+    /// connection of every server — the wire twin of the channel
+    /// substrate's one-envelope-per-object broadcast (each server fans
+    /// the envelope out to the objects it hosts, which reply with
+    /// per-object envelopes). The encoded flush replaces the client's
+    /// pending-resubmission entry: only the *latest* flush is ever
+    /// re-sent.
     fn send_frames(
         &self,
         from: ClientId,
         frames: &[ReqFrame<Req>],
         reply_to: &Sender<ObjReply<Rep>>,
     ) {
-        self.registry
+        self.state
+            .registry
             .lock()
             .expect("reply registry lock")
             .insert(from, reply_to.clone());
@@ -145,72 +441,14 @@ impl Transport<Req, Rep> for NetCluster {
                 .collect(),
         });
         let bytes = wire::encode_frame(&env);
-        for conn in &self.conns {
-            // Best-effort: a broken connection looks like a crashed server.
-            let _ = conn
-                .writer
-                .lock()
-                .expect("connection writer lock")
-                .write_all(&bytes);
-        }
-    }
-}
-
-impl Drop for NetCluster {
-    fn drop(&mut self) {
-        for conn in &mut self.conns {
-            let _ = conn
-                .writer
-                .lock()
-                .expect("connection writer lock")
-                .shutdown(Shutdown::Both);
-            if let Some(h) = conn.reader.take() {
-                let _ = h.join();
-            }
-        }
-    }
-}
-
-/// Per-connection reader loop: decode reply envelopes and route each to
-/// the registered reply channel of the client it addresses.
-fn route_replies(mut stream: TcpStream, registry: &Registry) {
-    loop {
-        let env = match wire::read_frame(&mut stream) {
-            Ok(Frame::Rep(env)) => env,
-            // A request frame from a server is a protocol violation, a
-            // version-mismatch reply means this build cannot talk to that
-            // server at all, and control replies never belong here (a
-            // `NetCluster` sends no control frames — `ops::ControlClient`
-            // keeps its own connection); an io/decode error means the
-            // connection is done. All of them end the reader.
-            Ok(_) | Err(_) => return,
-        };
-        let tx = registry
-            .lock()
-            .expect("reply registry lock")
-            .get(&env.to)
-            .cloned();
-        let Some(tx) = tx else {
-            continue; // client never seen or already unregistered
-        };
-        let reply = ObjReply {
-            from: env.from,
-            frames: env
-                .frames
-                .into_iter()
-                .map(|f| RepFrame {
-                    op_nonce: f.op_nonce,
-                    round: f.round,
-                    payload: f.rep,
-                })
-                .collect(),
-        };
-        if tx.send(reply).is_err() {
-            // The client hung up; drop its registration.
-            registry
-                .lock()
-                .expect("reply registry lock")
-                .remove(&env.to);
-        }
+        self.state.pending.lock().expect("pending lock").insert(
+            from,
+            Pending {
+                bytes: bytes.clone(),
+                last_sent: Instant::now(),
+                resubmits: 0,
+            },
+        );
+        self.state.broadcast(from, &bytes);
     }
 }

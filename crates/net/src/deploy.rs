@@ -100,7 +100,24 @@ impl NetKv {
     /// Propagates [`ShardedKvStore::over_transports`] validation errors
     /// and [`rastor_common::Error::Io`] from listeners/connections.
     pub fn spawn(cfg: StoreConfig, chaos: Option<ChaosCfg>) -> Result<NetKv> {
-        NetKv::spawn_with(cfg, chaos, |_, _| None)
+        NetKv::spawn_impl(cfg, chaos, 1, |_, _| None)
+    }
+
+    /// As [`NetKv::spawn`], holding a pool of `conns_per_shard`
+    /// connections to every shard's server (see
+    /// [`NetCluster::connect_pooled`]): handles spread across each pool
+    /// by client-id hash, and the connection-count sweep opens thousands
+    /// of sockets without any per-connection threads.
+    ///
+    /// # Errors
+    ///
+    /// As [`NetKv::spawn`].
+    pub fn spawn_pooled(
+        cfg: StoreConfig,
+        chaos: Option<ChaosCfg>,
+        conns_per_shard: usize,
+    ) -> Result<NetKv> {
+        NetKv::spawn_impl(cfg, chaos, conns_per_shard, |_, _| None)
     }
 
     /// As [`NetKv::spawn`], choosing each object's behavior by `(shard,
@@ -114,6 +131,15 @@ impl NetKv {
     pub fn spawn_with(
         cfg: StoreConfig,
         chaos: Option<ChaosCfg>,
+        behavior: impl FnMut(usize, ObjectId) -> Option<Box<dyn ObjectBehavior<Req, Rep> + Send>>,
+    ) -> Result<NetKv> {
+        NetKv::spawn_impl(cfg, chaos, 1, behavior)
+    }
+
+    fn spawn_impl(
+        cfg: StoreConfig,
+        chaos: Option<ChaosCfg>,
+        conns_per_shard: usize,
         mut behavior: impl FnMut(usize, ObjectId) -> Option<Box<dyn ObjectBehavior<Req, Rep> + Send>>,
     ) -> Result<NetKv> {
         let cluster_cfg = ClusterConfig::byzantine(cfg.t)?;
@@ -145,7 +171,10 @@ impl NetKv {
                     addr
                 }
             };
-            transports.push(Box::new(NetCluster::connect(&[addr])?));
+            transports.push(Box::new(NetCluster::connect_pooled(
+                &[addr],
+                conns_per_shard,
+            )?));
             servers.push(server);
         }
         let store = ShardedKvStore::over_transports(

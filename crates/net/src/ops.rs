@@ -22,12 +22,13 @@
 //! the refused frame's corr — always find the op that asked.
 
 use crate::deploy::NetKv;
-use crate::wire::{self, AdminCmd, Frame, Negotiated, ObjectStatus};
+use crate::reactor::{ConnHandle, Events, Reactor};
+use crate::wire::{self, AdminCmd, Frame, ObjectStatus};
 use rastor_common::{Error, ObjectId, Result};
 use rastor_obs::Registry;
 use std::collections::HashMap;
 use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::mpsc::{channel, Sender};
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
@@ -221,11 +222,66 @@ fn route_control_replies(mut stream: TcpStream, pending: &Pending) {
     pending.lock().expect("control pending lock").clear();
 }
 
-struct OpsShared {
+/// The ops listener's [`Events`] handler: every control round trip is
+/// answered inline from the reactor worker.
+struct OpsState {
     kv: Arc<Mutex<NetKv>>,
-    shutdown: AtomicBool,
-    conns: Mutex<HashMap<u64, TcpStream>>,
-    next_conn: AtomicU64,
+}
+
+impl Events for OpsState {
+    fn on_frame(&self, conn: &ConnHandle, raw: &[u8]) {
+        if wire::raw_version(raw) != wire::WIRE_VERSION {
+            let _ = conn.send(wire::encode_frame(&Frame::VersionMismatch {
+                got: wire::raw_version(raw),
+                want: wire::WIRE_VERSION,
+                corr: wire::raw_corr(raw),
+            }));
+            return;
+        }
+        let frame = match wire::decode_frame(raw) {
+            Ok((frame, _)) => frame,
+            Err(_) => {
+                conn.close();
+                return;
+            }
+        };
+        let reply = match frame {
+            Frame::StatusReq { corr } => {
+                // The ops listener hosts no objects itself; status lives
+                // at the shard servers the cluster file points to.
+                Frame::Status {
+                    corr,
+                    objects: Vec::new(),
+                }
+            }
+            Frame::MetricsReq { corr } => Frame::Metrics {
+                corr,
+                json: Registry::global().snapshot_json(),
+            },
+            Frame::Report { corr, counts } => {
+                let registry = Registry::global();
+                for (name, n) in &counts {
+                    let _ = registry.add_counter(name, *n);
+                }
+                Frame::Ack { corr }
+            }
+            Frame::AdminReq { corr, cmd } => {
+                let outcome = run_admin(&self.kv, cmd);
+                Frame::AdminRep {
+                    corr,
+                    ok: outcome.ok,
+                    detail: outcome.detail,
+                }
+            }
+            // Data envelopes and reply-kind control frames have no
+            // business on an ops connection.
+            _ => {
+                conn.close();
+                return;
+            }
+        };
+        let _ = conn.send(wire::encode_frame(&reply));
+    }
 }
 
 /// The deployment-level admin listener: owns (a handle to) a live
@@ -239,12 +295,13 @@ struct OpsShared {
 /// connection.
 pub struct OpsServer {
     addr: SocketAddr,
-    shared: Arc<OpsShared>,
-    accept: Option<JoinHandle<()>>,
+    _reactor: Reactor,
 }
 
 impl OpsServer {
     /// Bind a loopback listener executing admin commands against `kv`.
+    /// Control traffic is light and latency-tolerant, so a single-worker
+    /// reactor serves every connection.
     ///
     /// # Errors
     ///
@@ -255,36 +312,15 @@ impl OpsServer {
         let addr = listener
             .local_addr()
             .map_err(|e| Error::io("reading the bound ops address", &e))?;
-        let shared = Arc::new(OpsShared {
-            kv,
-            shutdown: AtomicBool::new(false),
-            conns: Mutex::new(HashMap::new()),
-            next_conn: AtomicU64::new(0),
-        });
-        let accept_shared = Arc::clone(&shared);
-        let accept = std::thread::spawn(move || {
-            for stream in listener.incoming() {
-                if accept_shared.shutdown.load(Ordering::SeqCst) {
-                    break;
-                }
-                let Ok(stream) = stream else { continue };
-                let _ = stream.set_nodelay(true);
-                let conn_id = accept_shared.next_conn.fetch_add(1, Ordering::SeqCst);
-                if let Ok(tracked) = stream.try_clone() {
-                    accept_shared
-                        .conns
-                        .lock()
-                        .expect("ops conn lock")
-                        .insert(conn_id, tracked);
-                }
-                let conn_shared = Arc::clone(&accept_shared);
-                std::thread::spawn(move || serve_ops_connection(stream, conn_shared, conn_id));
-            }
-        });
+        let reactor = Reactor::spawn_with(
+            Arc::new(OpsState { kv }) as Arc<dyn Events>,
+            Some(listener),
+            1,
+            crate::reactor::PollerKind::default(),
+        )?;
         Ok(OpsServer {
             addr,
-            shared,
-            accept: Some(accept),
+            _reactor: reactor,
         })
     }
 
@@ -292,66 +328,6 @@ impl OpsServer {
     pub fn local_addr(&self) -> SocketAddr {
         self.addr
     }
-}
-
-impl Drop for OpsServer {
-    fn drop(&mut self) {
-        self.shared.shutdown.store(true, Ordering::SeqCst);
-        for (_, conn) in self.shared.conns.lock().expect("ops conn lock").drain() {
-            let _ = conn.shutdown(Shutdown::Both);
-        }
-        let _ = TcpStream::connect(self.addr);
-        if let Some(h) = self.accept.take() {
-            let _ = h.join();
-        }
-    }
-}
-
-fn serve_ops_connection(mut stream: TcpStream, shared: Arc<OpsShared>, conn_id: u64) {
-    loop {
-        let reply = match wire::read_frame_admitting(&mut stream) {
-            Ok(Negotiated::Frame(Frame::StatusReq { corr })) => {
-                // The ops listener hosts no objects itself; status lives
-                // at the shard servers the cluster file points to.
-                Frame::Status {
-                    corr,
-                    objects: Vec::new(),
-                }
-            }
-            Ok(Negotiated::Frame(Frame::MetricsReq { corr })) => Frame::Metrics {
-                corr,
-                json: Registry::global().snapshot_json(),
-            },
-            Ok(Negotiated::Frame(Frame::Report { corr, counts })) => {
-                let registry = Registry::global();
-                for (name, n) in &counts {
-                    let _ = registry.add_counter(name, *n);
-                }
-                Frame::Ack { corr }
-            }
-            Ok(Negotiated::Frame(Frame::AdminReq { corr, cmd })) => {
-                let outcome = run_admin(&shared.kv, cmd);
-                Frame::AdminRep {
-                    corr,
-                    ok: outcome.ok,
-                    detail: outcome.detail,
-                }
-            }
-            Ok(Negotiated::Foreign { got, corr }) => Frame::VersionMismatch {
-                got,
-                want: wire::WIRE_VERSION,
-                corr,
-            },
-            // Data envelopes and reply-kind control frames have no
-            // business on an ops connection; errors mean the peer is gone.
-            Ok(Negotiated::Frame(_)) | Err(_) => break,
-        };
-        if wire::write_frame(&mut stream, &reply).is_err() {
-            break;
-        }
-    }
-    let _ = stream.shutdown(Shutdown::Both);
-    shared.conns.lock().expect("ops conn lock").remove(&conn_id);
 }
 
 /// Execute one admin command against the deployment; remote input, so

@@ -1,0 +1,1029 @@
+//! The poll-based reactor behind every socket endpoint in this crate: a
+//! readiness loop multiplexing many non-blocking connections onto a small
+//! fixed pool of worker threads.
+//!
+//! ## Why a reactor
+//!
+//! The first socket substrate spent threads the way the in-process one
+//! spends channels: one accept thread, two threads per connection, one
+//! thread per hosted object. That caps connection count at thread count
+//! and makes a 10k-connection sweep a 20k-thread stunt. The reactor
+//! inverts the cost model the way event-driven group substrates do: cost
+//! grows with *active work* (frames moved), not with membership
+//! (connections open). [`ObjectServer`](crate::ObjectServer),
+//! [`NetCluster`](crate::NetCluster), [`ChaosProxy`](crate::ChaosProxy)
+//! and the ops listener all run on it.
+//!
+//! ## The readiness loop
+//!
+//! A [`Reactor`] owns N worker threads (default
+//! [`DEFAULT_WORKERS`]). Each connection is pinned to one worker
+//! (`conn_id % N`); the worker's loop is:
+//!
+//! 1. adopt newly registered connections, sweep externally closed ones;
+//! 2. give the handler a tick ([`Events::on_tick`]) and learn its next
+//!    timer deadline;
+//! 3. wait for readiness ([`Poller::wait`]) on the *hot list* — the
+//!    connections with recent traffic or queued output — with that
+//!    deadline as the timeout, never longer than a coarse idle tick;
+//! 4. for each readable connection, read until `WouldBlock`, reassemble
+//!    whole frames ([`wire::frame_len`]) from the per-connection buffer,
+//!    and hand each one to [`Events::on_frame`];
+//! 5. for each writable connection with queued output, flush its bounded
+//!    outbox.
+//!
+//! ## The hot list
+//!
+//! Polling every open descriptor each wakeup would make the wakeup
+//! itself O(connections) — rebuilding the interest set and the kernel's
+//! own scan both walk the full list, which is exactly the degradation a
+//! 10k-connection sweep exists to rule out. Each worker therefore polls
+//! only its *hot* connections: those that showed readiness, had queued
+//! output, or were sent on within the last linger window. A send from
+//! any thread re-hots its connection through a per-worker kick queue
+//! (one flag swap + one short-lock push — never a scan), and a full
+//! sweep of every descriptor runs once per idle tick to pick up
+//! peers that started talking while cold. The trade is explicit: the
+//! first bytes on a long-idle connection can wait up to one idle tick
+//! before the sweep notices them; every subsequent frame rides the hot
+//! list. Steady traffic never touches the cold path.
+//!
+//! ## Buffer ownership and backpressure
+//!
+//! Each connection owns exactly two buffers. The *read accumulator* lives
+//! on the worker thread and holds at most one partial frame's prefix plus
+//! whatever whole frames one `read` burst delivered; frames are split off
+//! and dispatched immediately, so it never grows past one frame +
+//! one read burst. The *outbox* is a shared, mutex-guarded queue any
+//! thread can append to through a [`ConnHandle`]; the worker drains it
+//! whenever the socket is writable. The outbox is bounded
+//! ([`MAX_OUTBOX_BYTES`]): when a peer stops reading, [`ConnHandle::send`]
+//! drops the frame and reports `false` instead of buffering without limit
+//! — the transport contract is best-effort, and a frame dropped to
+//! backpressure is indistinguishable from one dropped by the network.
+//!
+//! ## The `Poller` seam
+//!
+//! Readiness waiting hides behind the [`Poller`] trait with two
+//! implementations and zero dependencies: [`PollerKind::Syscall`] is
+//! `poll(2)` declared by hand (the one foreign call in the workspace),
+//! woken through a self-pipe; [`PollerKind::SpinPark`] is a
+//! condvar-timed fallback that reports every source as possibly ready and
+//! lets non-blocking reads say `WouldBlock` — correct anywhere `std`
+//! compiles, at the cost of O(connections) syscalls per wakeup.
+
+use crate::wire;
+use rastor_common::{Error, Result};
+use rastor_obs::{names, Counter, Registry};
+use std::collections::{HashMap, VecDeque};
+use std::io::{ErrorKind, Read, Write};
+use std::net::{Shutdown, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex, OnceLock};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Default worker-thread count per reactor. Two is enough to overlap
+/// frame processing with handler work at every scale the benches drive;
+/// the point is that it does **not** grow with connections or objects.
+pub const DEFAULT_WORKERS: usize = 2;
+
+/// Ceiling on one connection's queued-but-unwritten output. Beyond it,
+/// [`ConnHandle::send`] sheds frames (best-effort semantics) instead of
+/// buffering without bound against a peer that stopped reading.
+pub const MAX_OUTBOX_BYTES: usize = 8 * 1024 * 1024;
+
+/// The coarse idle tick: the longest a worker sleeps when no timer is
+/// pending. Wakeups for I/O and sends are immediate (waker); the tick
+/// only bounds how stale [`Events::on_tick`] housekeeping can get.
+const IDLE_TICK: Duration = Duration::from_millis(20);
+
+/// Deadlines closer than this are waited out with zero-timeout polls
+/// (yielding between them) — `poll(2)` timeouts are whole milliseconds,
+/// too coarse for sub-millisecond service-time and chaos-delay timers.
+const SPIN_UNDER: Duration = Duration::from_millis(1);
+
+/// How long a quiet connection stays in its worker's hot list. A
+/// connection with no readiness, no queued output and no in-progress
+/// write for this long is polled only by the once-per-[`IDLE_TICK`]
+/// full sweep until traffic (a send, or readiness seen by the sweep)
+/// re-hots it. This is what keeps a wakeup O(active), not O(open).
+const HOT_LINGER: Duration = IDLE_TICK;
+
+/// One read burst's scratch size.
+const READ_CHUNK: usize = 64 * 1024;
+
+/// The `net.*` reactor seam handles, resolved once per process (reactors
+/// come and go; the counters accumulate across all of them).
+struct ReactorMetrics {
+    wakeups: Arc<Counter>,
+    conns_open: Arc<Counter>,
+}
+
+fn reactor_metrics() -> &'static ReactorMetrics {
+    static METRICS: OnceLock<ReactorMetrics> = OnceLock::new();
+    METRICS.get_or_init(|| {
+        let r = Registry::global();
+        ReactorMetrics {
+            wakeups: r.counter(names::NET_READINESS_WAKEUPS),
+            conns_open: r.counter(names::NET_CONNS_OPEN),
+        }
+    })
+}
+
+// ---------------------------------------------------------------------------
+// The Poller seam
+// ---------------------------------------------------------------------------
+
+/// One readiness interest for [`Poller::wait`]: an OS handle plus whether
+/// its owner has pending output (so the poller should watch writability
+/// too).
+#[derive(Clone, Copy, Debug)]
+pub struct Interest {
+    /// The raw OS handle (0 on platforms without one — the fallback
+    /// poller never looks at it).
+    pub fd: i32,
+    /// Watch for writability as well as readability.
+    pub write: bool,
+}
+
+/// What one [`Poller::wait`] reported.
+#[derive(Debug)]
+pub enum Readiness {
+    /// The poller cannot attribute readiness: check every source (the
+    /// spin/park fallback — non-blocking reads make the check harmless).
+    All,
+    /// Exactly these interest-list indices are ready, as
+    /// `(index, readable, writable)`.
+    Ready(Vec<(usize, bool, bool)>),
+}
+
+/// The readiness-wait strategy a reactor worker blocks in. Implementations
+/// must return early when their [`Waker`] fires.
+pub trait Poller: Send {
+    /// Wait until a source in `interests` is ready, the waker fires, or
+    /// `timeout` elapses. A zero timeout must not block.
+    fn wait(&mut self, interests: &[Interest], timeout: Duration) -> Readiness;
+}
+
+/// Which [`Poller`] implementation a reactor uses.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub enum PollerKind {
+    /// `poll(2)` through a hand-declared FFI binding, woken by a
+    /// self-pipe. One syscall per wakeup regardless of connection count.
+    #[cfg(target_os = "linux")]
+    #[default]
+    Syscall,
+    /// Condvar-timed fallback: wakes on a notify or a short timeout and
+    /// reports [`Readiness::All`]. Portable, but every wakeup costs
+    /// O(connections) speculative reads.
+    #[cfg_attr(not(target_os = "linux"), default)]
+    SpinPark,
+}
+
+/// A handle that interrupts one worker's [`Poller::wait`] from any thread.
+#[derive(Clone)]
+pub struct Waker(WakerInner);
+
+#[derive(Clone)]
+enum WakerInner {
+    #[cfg(target_os = "linux")]
+    Pipe(Arc<std::os::unix::net::UnixStream>),
+    Cond(Arc<(Mutex<bool>, Condvar)>),
+}
+
+impl Waker {
+    /// Wake the worker. Cheap, idempotent while a wake is already
+    /// pending, and safe from any thread.
+    pub fn wake(&self) {
+        match &self.0 {
+            #[cfg(target_os = "linux")]
+            WakerInner::Pipe(tx) => {
+                // A full pipe means a wake is already pending; any other
+                // error means the worker is gone. Both are fine to ignore.
+                let _ = (&**tx).write(&[1]);
+            }
+            WakerInner::Cond(pair) => {
+                *pair.0.lock().expect("waker flag lock") = true;
+                pair.1.notify_one();
+            }
+        }
+    }
+}
+
+/// The hand-declared `poll(2)` binding — the workspace's one foreign
+/// call, kept to the three-field `pollfd` record and the syscall itself.
+#[cfg(target_os = "linux")]
+#[allow(unsafe_code)]
+mod sys {
+    /// `struct pollfd` from `poll(2)`.
+    #[repr(C)]
+    pub struct PollFd {
+        pub fd: i32,
+        pub events: i16,
+        pub revents: i16,
+    }
+
+    pub const POLLIN: i16 = 0x001;
+    pub const POLLOUT: i16 = 0x004;
+    pub const POLLERR: i16 = 0x008;
+    pub const POLLHUP: i16 = 0x010;
+    pub const POLLNVAL: i16 = 0x020;
+
+    extern "C" {
+        fn poll(fds: *mut PollFd, nfds: std::ffi::c_ulong, timeout: std::ffi::c_int) -> i32;
+    }
+
+    /// Wait on `fds` for up to `timeout_ms` (0 = return immediately).
+    /// Returns the number of ready records, 0 on timeout, -1 on error
+    /// (EINTR included — callers treat it as a timeout).
+    pub fn poll_fds(fds: &mut [PollFd], timeout_ms: i32) -> i32 {
+        // SAFETY: `fds` is a valid exclusively-borrowed slice of
+        // `#[repr(C)]` pollfd records matching the kernel ABI, and nfds
+        // is its exact length; poll writes only within the slice.
+        unsafe { poll(fds.as_mut_ptr(), fds.len() as std::ffi::c_ulong, timeout_ms) }
+    }
+}
+
+#[cfg(target_os = "linux")]
+struct PollSyscall {
+    /// Reader half of the self-pipe, always first in the poll set.
+    waker_rx: std::os::unix::net::UnixStream,
+    fds: Vec<sys::PollFd>,
+}
+
+#[cfg(target_os = "linux")]
+impl PollSyscall {
+    fn new() -> Result<(PollSyscall, Waker)> {
+        let (rx, tx) = std::os::unix::net::UnixStream::pair()
+            .map_err(|e| Error::io("creating a reactor waker pipe", &e))?;
+        rx.set_nonblocking(true)
+            .map_err(|e| Error::io("configuring the waker pipe", &e))?;
+        tx.set_nonblocking(true)
+            .map_err(|e| Error::io("configuring the waker pipe", &e))?;
+        Ok((
+            PollSyscall {
+                waker_rx: rx,
+                fds: Vec::new(),
+            },
+            Waker(WakerInner::Pipe(Arc::new(tx))),
+        ))
+    }
+}
+
+#[cfg(target_os = "linux")]
+impl Poller for PollSyscall {
+    fn wait(&mut self, interests: &[Interest], timeout: Duration) -> Readiness {
+        use std::os::unix::io::AsRawFd;
+        self.fds.clear();
+        self.fds.push(sys::PollFd {
+            fd: self.waker_rx.as_raw_fd(),
+            events: sys::POLLIN,
+            revents: 0,
+        });
+        for it in interests {
+            self.fds.push(sys::PollFd {
+                fd: it.fd,
+                events: sys::POLLIN | if it.write { sys::POLLOUT } else { 0 },
+                revents: 0,
+            });
+        }
+        let ms = i32::try_from(timeout.as_millis()).unwrap_or(i32::MAX);
+        let n = sys::poll_fds(&mut self.fds, ms);
+        let mut out = Vec::new();
+        if n > 0 {
+            if self.fds[0].revents != 0 {
+                // Drain every pending wake so the pipe never fills.
+                let mut sink = [0u8; 64];
+                while matches!((&self.waker_rx).read(&mut sink), Ok(n) if n > 0) {}
+            }
+            for (i, pfd) in self.fds[1..].iter().enumerate() {
+                let rd =
+                    pfd.revents & (sys::POLLIN | sys::POLLERR | sys::POLLHUP | sys::POLLNVAL) != 0;
+                let wr = pfd.revents & (sys::POLLOUT | sys::POLLERR | sys::POLLHUP) != 0;
+                if rd || wr {
+                    out.push((i, rd, wr));
+                }
+            }
+        }
+        Readiness::Ready(out)
+    }
+}
+
+struct SpinPark {
+    pair: Arc<(Mutex<bool>, Condvar)>,
+}
+
+impl SpinPark {
+    fn new() -> (SpinPark, Waker) {
+        let pair = Arc::new((Mutex::new(false), Condvar::new()));
+        (
+            SpinPark {
+                pair: Arc::clone(&pair),
+            },
+            Waker(WakerInner::Cond(pair)),
+        )
+    }
+}
+
+impl Poller for SpinPark {
+    fn wait(&mut self, _interests: &[Interest], timeout: Duration) -> Readiness {
+        let (flag, cond) = &*self.pair;
+        let mut woken = flag.lock().expect("spin-park flag lock");
+        if !*woken && !timeout.is_zero() {
+            let (guard, _) = cond
+                .wait_timeout(woken, timeout)
+                .expect("spin-park condvar wait");
+            woken = guard;
+        }
+        *woken = false;
+        Readiness::All
+    }
+}
+
+fn make_poller(kind: PollerKind) -> Result<(Box<dyn Poller>, Waker)> {
+    match kind {
+        #[cfg(target_os = "linux")]
+        PollerKind::Syscall => {
+            let (p, w) = PollSyscall::new()?;
+            Ok((Box::new(p), w))
+        }
+        PollerKind::SpinPark => {
+            let (p, w) = SpinPark::new();
+            Ok((Box::new(p), w))
+        }
+    }
+}
+
+#[cfg(unix)]
+fn raw_fd<T: std::os::unix::io::AsRawFd>(t: &T) -> i32 {
+    t.as_raw_fd()
+}
+
+#[cfg(not(unix))]
+fn raw_fd<T>(_t: &T) -> i32 {
+    0
+}
+
+// ---------------------------------------------------------------------------
+// Connections
+// ---------------------------------------------------------------------------
+
+struct Outbox {
+    queue: VecDeque<Vec<u8>>,
+    queued_bytes: usize,
+}
+
+struct ConnShared {
+    id: u64,
+    outbox: Mutex<Outbox>,
+    /// Mirror of `outbox.queued_bytes`, readable without the lock — the
+    /// worker's per-iteration write-interest scan must not take 10k locks.
+    queued: AtomicUsize,
+    /// Whether the conn sits in its worker's hot list (or a kick for it
+    /// is already queued) — senders use it to skip duplicate kicks. The
+    /// worker clears it on eviction; the race with a concurrent send is
+    /// benign (at worst one redundant hot-list entry until the next full
+    /// sweep rebuilds the list).
+    hot: AtomicBool,
+    closed: AtomicBool,
+    worker: Arc<WorkerShared>,
+}
+
+/// A registered connection, cloneable into any thread that needs to send
+/// on it. Sends are best-effort and non-blocking; the owning worker does
+/// all actual socket I/O.
+#[derive(Clone)]
+pub struct ConnHandle {
+    shared: Arc<ConnShared>,
+}
+
+impl ConnHandle {
+    /// The reactor-global connection id.
+    pub fn id(&self) -> u64 {
+        self.shared.id
+    }
+
+    /// Queue one encoded frame for writing. Returns `false` — dropping
+    /// the frame, never blocking — when the connection is closed or its
+    /// outbox is over [`MAX_OUTBOX_BYTES`].
+    pub fn send(&self, frame: Vec<u8>) -> bool {
+        if self.shared.closed.load(Ordering::Acquire) {
+            return false;
+        }
+        {
+            let mut ob = self.shared.outbox.lock().expect("outbox lock");
+            if ob.queued_bytes + frame.len() > MAX_OUTBOX_BYTES {
+                return false;
+            }
+            ob.queued_bytes += frame.len();
+            self.shared.queued.store(ob.queued_bytes, Ordering::Release);
+            ob.queue.push_back(frame);
+        }
+        // Re-hot the connection so the worker polls it without scanning:
+        // one flag swap suppresses duplicate kicks while one is pending.
+        if !self.shared.hot.swap(true, Ordering::AcqRel) {
+            self.shared
+                .worker
+                .kicked
+                .lock()
+                .expect("worker kick lock")
+                .push(self.shared.id);
+        }
+        self.shared.worker.waker.wake();
+        true
+    }
+
+    /// Ask the owning worker to tear the connection down. Idempotent;
+    /// [`Events::on_close`] fires exactly once, from the worker.
+    pub fn close(&self) {
+        self.shared.closed.store(true, Ordering::Release);
+        self.shared.worker.sweep.store(true, Ordering::Release);
+        self.shared.worker.waker.wake();
+    }
+
+    /// Whether the connection has been closed (locally or by the peer).
+    pub fn is_closed(&self) -> bool {
+        self.shared.closed.load(Ordering::Acquire)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Events
+// ---------------------------------------------------------------------------
+
+/// The handler a [`Reactor`] drives. One handler instance serves every
+/// worker thread concurrently — implementations synchronize their own
+/// state.
+pub trait Events: Send + Sync + 'static {
+    /// The reactor is about to start its workers; keep the handle if the
+    /// handler needs to register connections of its own (dials).
+    fn on_start(&self, _reactor: ReactorHandle) {}
+
+    /// A connection was adopted by its worker (accepted or registered).
+    fn on_open(&self, _conn: &ConnHandle) {}
+
+    /// One whole raw frame (header + body, framing pre-validated) arrived.
+    fn on_frame(&self, conn: &ConnHandle, raw: &[u8]);
+
+    /// The connection is gone — peer hang-up, I/O error, unalignable
+    /// bytes, or a local [`ConnHandle::close`].
+    fn on_close(&self, _conn_id: u64) {}
+
+    /// Housekeeping tick, called once per worker loop iteration. Return
+    /// the next timer deadline to bound the worker's poll timeout, or
+    /// `None` to sleep until I/O (at most the idle tick).
+    fn on_tick(&self, _now: Instant) -> Option<Instant> {
+        None
+    }
+}
+
+// ---------------------------------------------------------------------------
+// The reactor
+// ---------------------------------------------------------------------------
+
+struct WorkerShared {
+    waker: Waker,
+    /// Streams registered but not yet adopted by this worker.
+    inbox: Mutex<Vec<(TcpStream, Arc<ConnShared>)>>,
+    /// Set when some conn of this worker was closed externally, so the
+    /// worker knows to sweep (avoids an O(conns) scan per iteration).
+    sweep: AtomicBool,
+    /// Conn ids kicked back onto the hot list by out-of-worker sends
+    /// since the worker last drained it.
+    kicked: Mutex<Vec<u64>>,
+}
+
+struct Core {
+    shutdown: AtomicBool,
+    next_conn: AtomicU64,
+    workers: Vec<Arc<WorkerShared>>,
+    /// Every live connection, for [`ReactorHandle::close_all`]; workers
+    /// prune entries as connections die.
+    conns: Mutex<HashMap<u64, Arc<ConnShared>>>,
+}
+
+/// A cloneable reference to a running reactor: register dialed
+/// connections, close every connection, count what is open.
+#[derive(Clone)]
+pub struct ReactorHandle {
+    core: Arc<Core>,
+}
+
+impl ReactorHandle {
+    /// Adopt an already-connected stream: pin it to a worker, start
+    /// reading frames from it. The returned handle can send immediately
+    /// (frames queue until the worker picks the stream up).
+    pub fn register(&self, stream: TcpStream) -> ConnHandle {
+        let id = self.core.next_conn.fetch_add(1, Ordering::Relaxed);
+        let worker = Arc::clone(&self.core.workers[id as usize % self.core.workers.len()]);
+        let shared = Arc::new(ConnShared {
+            id,
+            outbox: Mutex::new(Outbox {
+                queue: VecDeque::new(),
+                queued_bytes: 0,
+            }),
+            queued: AtomicUsize::new(0),
+            hot: AtomicBool::new(false),
+            closed: AtomicBool::new(self.core.shutdown.load(Ordering::Acquire)),
+            worker: Arc::clone(&worker),
+        });
+        reactor_metrics().conns_open.inc();
+        self.core
+            .conns
+            .lock()
+            .expect("reactor conn map lock")
+            .insert(id, Arc::clone(&shared));
+        worker
+            .inbox
+            .lock()
+            .expect("worker inbox lock")
+            .push((stream, Arc::clone(&shared)));
+        worker.waker.wake();
+        ConnHandle { shared }
+    }
+
+    /// Close every live connection (the listener, if any, stays up) —
+    /// the mid-traffic socket-kill fault injector.
+    pub fn close_all(&self) {
+        let conns: Vec<Arc<ConnShared>> = self
+            .core
+            .conns
+            .lock()
+            .expect("reactor conn map lock")
+            .values()
+            .cloned()
+            .collect();
+        for c in conns {
+            ConnHandle { shared: c }.close();
+        }
+    }
+
+    /// Number of currently open connections.
+    pub fn open_conns(&self) -> usize {
+        self.core.conns.lock().expect("reactor conn map lock").len()
+    }
+}
+
+/// A running readiness loop: N worker threads, one optional listener,
+/// one [`Events`] handler. Dropping it closes every connection and joins
+/// the workers.
+pub struct Reactor {
+    core: Arc<Core>,
+    threads: Vec<JoinHandle<()>>,
+}
+
+impl Reactor {
+    /// Spawn a reactor with [`DEFAULT_WORKERS`] workers and the default
+    /// poller.
+    ///
+    /// # Errors
+    ///
+    /// [`Error::Io`] if poller or listener setup fails.
+    pub fn spawn(handler: Arc<dyn Events>, listener: Option<TcpListener>) -> Result<Reactor> {
+        Reactor::spawn_with(handler, listener, DEFAULT_WORKERS, PollerKind::default())
+    }
+
+    /// Spawn with explicit worker count and poller kind (the spin/park
+    /// fallback is reachable on every platform for testing).
+    ///
+    /// # Errors
+    ///
+    /// [`Error::Io`] if poller or listener setup fails.
+    pub fn spawn_with(
+        handler: Arc<dyn Events>,
+        listener: Option<TcpListener>,
+        workers: usize,
+        poller: PollerKind,
+    ) -> Result<Reactor> {
+        let workers = workers.max(1);
+        let mut pollers = Vec::with_capacity(workers);
+        let mut shareds = Vec::with_capacity(workers);
+        for _ in 0..workers {
+            let (p, waker) = make_poller(poller)?;
+            pollers.push(p);
+            shareds.push(Arc::new(WorkerShared {
+                waker,
+                inbox: Mutex::new(Vec::new()),
+                sweep: AtomicBool::new(false),
+                kicked: Mutex::new(Vec::new()),
+            }));
+        }
+        if let Some(l) = &listener {
+            l.set_nonblocking(true)
+                .map_err(|e| Error::io("configuring a non-blocking listener", &e))?;
+        }
+        let core = Arc::new(Core {
+            shutdown: AtomicBool::new(false),
+            next_conn: AtomicU64::new(0),
+            workers: shareds,
+            conns: Mutex::new(HashMap::new()),
+        });
+        handler.on_start(ReactorHandle {
+            core: Arc::clone(&core),
+        });
+        let mut threads = Vec::with_capacity(workers);
+        let mut listener = listener;
+        for (idx, poller) in pollers.into_iter().enumerate() {
+            let core = Arc::clone(&core);
+            let handler = Arc::clone(&handler);
+            let listener = if idx == 0 { listener.take() } else { None };
+            threads.push(std::thread::spawn(move || {
+                worker_loop(&core, idx, handler.as_ref(), poller, listener);
+            }));
+        }
+        Ok(Reactor { core, threads })
+    }
+
+    /// A cloneable handle to this reactor.
+    pub fn handle(&self) -> ReactorHandle {
+        ReactorHandle {
+            core: Arc::clone(&self.core),
+        }
+    }
+
+    /// Worker-thread count — fixed at spawn, independent of connections
+    /// and of whatever the handler hosts.
+    pub fn worker_count(&self) -> usize {
+        self.threads.len()
+    }
+}
+
+impl Drop for Reactor {
+    fn drop(&mut self) {
+        self.core.shutdown.store(true, Ordering::SeqCst);
+        for w in &self.core.workers {
+            w.waker.wake();
+        }
+        for t in self.threads.drain(..) {
+            let _ = t.join();
+        }
+    }
+}
+
+/// One worker's connection state, owned by its thread.
+struct ConnState {
+    stream: TcpStream,
+    shared: Arc<ConnShared>,
+    /// Read accumulator: at most one partial frame plus one read burst.
+    rdbuf: Vec<u8>,
+    /// The frame currently being written, with its write offset.
+    wrbuf: Vec<u8>,
+    wroff: usize,
+    /// Last time the conn was adopted, showed readiness, or had output
+    /// pending — hot-list eviction is `now - last_active > HOT_LINGER`.
+    last_active: Instant,
+}
+
+/// What one interest-list slot refers to.
+enum Token {
+    Listener,
+    Conn(u64),
+}
+
+fn worker_loop(
+    core: &Arc<Core>,
+    idx: usize,
+    handler: &dyn Events,
+    mut poller: Box<dyn Poller>,
+    listener: Option<TcpListener>,
+) {
+    let me = Arc::clone(&core.workers[idx]);
+    let mut conns: HashMap<u64, ConnState> = HashMap::new();
+    let mut interests: Vec<Interest> = Vec::new();
+    let mut tokens: Vec<Token> = Vec::new();
+    let mut scratch = vec![0u8; READ_CHUNK];
+    // Conn ids polled on non-sweep iterations. May briefly hold a
+    // duplicate after a kick races an adoption or an eviction — harmless
+    // (polling an fd twice is legal, servicing twice hits `WouldBlock`)
+    // and washed out by the next full sweep, which rebuilds the list.
+    let mut hot: Vec<u64> = Vec::new();
+    let mut next_sweep = Instant::now();
+
+    loop {
+        if core.shutdown.load(Ordering::Acquire) {
+            break;
+        }
+
+        // Adopt registrations.
+        let adopts: Vec<(TcpStream, Arc<ConnShared>)> = me
+            .inbox
+            .lock()
+            .expect("worker inbox lock")
+            .drain(..)
+            .collect();
+        for (stream, shared) in adopts {
+            if shared.closed.load(Ordering::Acquire) {
+                teardown(core, handler, shared.id, Some(&stream), &shared);
+                continue;
+            }
+            let _ = stream.set_nonblocking(true);
+            let _ = stream.set_nodelay(true);
+            let id = shared.id;
+            let conn = ConnHandle {
+                shared: Arc::clone(&shared),
+            };
+            shared.hot.store(true, Ordering::Release);
+            hot.push(id);
+            conns.insert(
+                id,
+                ConnState {
+                    stream,
+                    shared,
+                    rdbuf: Vec::new(),
+                    wrbuf: Vec::new(),
+                    wroff: 0,
+                    last_active: Instant::now(),
+                },
+            );
+            handler.on_open(&conn);
+        }
+
+        // Sweep externally closed connections.
+        if me.sweep.swap(false, Ordering::AcqRel) {
+            let dead: Vec<u64> = conns
+                .iter()
+                .filter(|(_, c)| c.shared.closed.load(Ordering::Acquire))
+                .map(|(&id, _)| id)
+                .collect();
+            for id in dead {
+                if let Some(c) = conns.remove(&id) {
+                    teardown(core, handler, id, Some(&c.stream), &c.shared);
+                }
+            }
+        }
+
+        // Conns sent on from other threads rejoin the hot list via their
+        // kick queue — never via a scan. Ids not adopted yet are skipped:
+        // adoption itself hots them.
+        {
+            let mut kicked = me.kicked.lock().expect("worker kick lock");
+            for id in kicked.drain(..) {
+                if conns.contains_key(&id) {
+                    hot.push(id);
+                }
+            }
+        }
+
+        // Tick, then wait.
+        let now = Instant::now();
+        let deadline = handler.on_tick(now);
+        let timeout = deadline
+            .map(|d| d.saturating_duration_since(now))
+            .unwrap_or(IDLE_TICK)
+            .min(IDLE_TICK);
+        interests.clear();
+        tokens.clear();
+        if let Some(l) = &listener {
+            interests.push(Interest {
+                fd: raw_fd(l),
+                write: false,
+            });
+            tokens.push(Token::Listener);
+        }
+        if now >= next_sweep {
+            // Full sweep: poll every conn once per idle tick, and rebuild
+            // the hot list from activity stamps (this is also what expels
+            // any duplicate ids a racing kick left behind).
+            next_sweep = now + IDLE_TICK;
+            hot.clear();
+            for (&id, c) in conns.iter_mut() {
+                let write = c.wroff < c.wrbuf.len() || c.shared.queued.load(Ordering::Acquire) > 0;
+                if write {
+                    c.last_active = now;
+                }
+                if now.duration_since(c.last_active) <= HOT_LINGER {
+                    c.shared.hot.store(true, Ordering::Release);
+                    hot.push(id);
+                } else {
+                    c.shared.hot.store(false, Ordering::Release);
+                }
+                interests.push(Interest {
+                    fd: raw_fd(&c.stream),
+                    write,
+                });
+                tokens.push(Token::Conn(id));
+            }
+        } else {
+            // Hot-only iteration: the wait costs O(active), not O(open).
+            hot.retain(|&id| {
+                let Some(c) = conns.get_mut(&id) else {
+                    return false;
+                };
+                let write = c.wroff < c.wrbuf.len() || c.shared.queued.load(Ordering::Acquire) > 0;
+                if write {
+                    c.last_active = now;
+                } else if now.duration_since(c.last_active) > HOT_LINGER {
+                    c.shared.hot.store(false, Ordering::Release);
+                    return false;
+                }
+                interests.push(Interest {
+                    fd: raw_fd(&c.stream),
+                    write,
+                });
+                tokens.push(Token::Conn(id));
+                true
+            });
+        }
+        // Bound the sleep so the next full sweep is never more than about
+        // a tick late, clamped to a millisecond so the cap itself can
+        // never trigger the spin path below.
+        let timeout = timeout.min(
+            next_sweep
+                .saturating_duration_since(now)
+                .max(Duration::from_millis(1)),
+        );
+        // poll(2) timeouts are whole milliseconds; a nearer deadline is
+        // waited out with zero-timeout polls, yielding between them.
+        let spin = timeout < SPIN_UNDER;
+        let readiness = poller.wait(&interests, if spin { Duration::ZERO } else { timeout });
+
+        // Process readiness.
+        let woke = Instant::now();
+        let mut to_close: Vec<u64> = Vec::new();
+        let mut had_work = false;
+        match readiness {
+            Readiness::All => {
+                if let Some(l) = &listener {
+                    had_work |= accept_burst(l, core);
+                }
+                for (&id, c) in conns.iter_mut() {
+                    let (worked, alive) = service(c, handler, &mut scratch, true, true);
+                    had_work |= worked;
+                    if worked {
+                        c.last_active = woke;
+                    }
+                    if !alive {
+                        to_close.push(id);
+                    }
+                }
+            }
+            Readiness::Ready(ready) => {
+                had_work = !ready.is_empty();
+                for (i, rd, wr) in ready {
+                    match tokens[i] {
+                        Token::Listener => {
+                            accept_burst(listener.as_ref().expect("listener token"), core);
+                        }
+                        Token::Conn(id) => {
+                            if let Some(c) = conns.get_mut(&id) {
+                                c.last_active = woke;
+                                if !c.shared.hot.swap(true, Ordering::AcqRel) {
+                                    hot.push(id);
+                                }
+                                let (_, alive) = service(c, handler, &mut scratch, rd, wr);
+                                if !alive {
+                                    to_close.push(id);
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        if !spin || had_work {
+            reactor_metrics().wakeups.inc();
+        }
+        for id in to_close {
+            if let Some(c) = conns.remove(&id) {
+                teardown(core, handler, id, Some(&c.stream), &c.shared);
+            }
+        }
+        if spin && !had_work {
+            std::thread::yield_now();
+        }
+    }
+
+    // Shutdown: tear down everything this worker owns.
+    for (id, c) in conns.drain() {
+        teardown(core, handler, id, Some(&c.stream), &c.shared);
+    }
+}
+
+/// Accept every pending connection; returns whether any arrived.
+fn accept_burst(listener: &TcpListener, core: &Arc<Core>) -> bool {
+    let handle = ReactorHandle {
+        core: Arc::clone(core),
+    };
+    let mut any = false;
+    loop {
+        match listener.accept() {
+            Ok((stream, _)) => {
+                any = true;
+                handle.register(stream);
+            }
+            Err(e) if e.kind() == ErrorKind::WouldBlock => break,
+            Err(e) if e.kind() == ErrorKind::Interrupted => continue,
+            Err(_) => break,
+        }
+    }
+    any
+}
+
+/// Service one connection's I/O. Returns `(did_work, still_alive)`.
+fn service(
+    c: &mut ConnState,
+    handler: &dyn Events,
+    scratch: &mut [u8],
+    readable: bool,
+    writable: bool,
+) -> (bool, bool) {
+    let mut worked = false;
+    if c.shared.closed.load(Ordering::Acquire) {
+        return (false, false);
+    }
+    if writable && !flush(c) {
+        return (worked, false);
+    }
+    if readable {
+        loop {
+            match c.stream.read(scratch) {
+                Ok(0) => return (true, false),
+                Ok(n) => {
+                    worked = true;
+                    c.rdbuf.extend_from_slice(&scratch[..n]);
+                    let mut consumed = 0;
+                    loop {
+                        let rest = &c.rdbuf[consumed..];
+                        match wire::frame_len(rest) {
+                            Ok(Some(len)) if rest.len() >= len => {
+                                let conn = ConnHandle {
+                                    shared: Arc::clone(&c.shared),
+                                };
+                                handler.on_frame(&conn, &rest[..len]);
+                                consumed += len;
+                            }
+                            Ok(_) => break,
+                            // Unalignable bytes: the stream is garbage
+                            // from here on; drop the connection.
+                            Err(_) => {
+                                c.rdbuf.clear();
+                                return (true, false);
+                            }
+                        }
+                    }
+                    if consumed > 0 {
+                        c.rdbuf.drain(..consumed);
+                    }
+                    if c.shared.closed.load(Ordering::Acquire) {
+                        return (true, false);
+                    }
+                }
+                Err(e) if e.kind() == ErrorKind::WouldBlock => break,
+                Err(e) if e.kind() == ErrorKind::Interrupted => continue,
+                Err(_) => return (true, false),
+            }
+        }
+    }
+    // A read may have queued replies; push them out without waiting for
+    // the next writability report.
+    if !flush(c) {
+        return (worked, false);
+    }
+    (worked, true)
+}
+
+/// Write as much queued output as the socket takes. Returns `false` on a
+/// dead socket.
+fn flush(c: &mut ConnState) -> bool {
+    loop {
+        if c.wroff >= c.wrbuf.len() {
+            let mut ob = c.shared.outbox.lock().expect("outbox lock");
+            match ob.queue.pop_front() {
+                Some(frame) => {
+                    ob.queued_bytes -= frame.len();
+                    c.shared.queued.store(ob.queued_bytes, Ordering::Release);
+                    drop(ob);
+                    c.wrbuf = frame;
+                    c.wroff = 0;
+                }
+                None => return true,
+            }
+        }
+        match c.stream.write(&c.wrbuf[c.wroff..]) {
+            Ok(0) => return false,
+            Ok(n) => c.wroff += n,
+            Err(e) if e.kind() == ErrorKind::WouldBlock => return true,
+            Err(e) if e.kind() == ErrorKind::Interrupted => continue,
+            Err(_) => return false,
+        }
+    }
+}
+
+fn teardown(
+    core: &Core,
+    handler: &dyn Events,
+    id: u64,
+    stream: Option<&TcpStream>,
+    shared: &Arc<ConnShared>,
+) {
+    shared.closed.store(true, Ordering::Release);
+    if let Some(s) = stream {
+        let _ = s.shutdown(Shutdown::Both);
+    }
+    core.conns
+        .lock()
+        .expect("reactor conn map lock")
+        .remove(&id);
+    handler.on_close(id);
+}

@@ -1,32 +1,46 @@
 //! [`ObjectServer`]: a TCP listener hosting one or more storage objects.
 //!
 //! The server is the socket twin of
-//! [`rastor_sim::runtime::ThreadCluster`]: each hosted object runs the
-//! same [`ObjectBehavior`] implementations on its own worker thread, with
-//! the same optional per-envelope service jitter, and the same crash
-//! semantics ([`ObjectServer::crash_object`] drops the worker; requests to
-//! it vanish). What changes is only the front end: coalesced request
-//! envelopes arrive as wire frames over accepted TCP connections, and each
-//! object's reply envelopes are written back on the connection the request
-//! came in on, tagged with the requesting client so one connection can be
-//! shared by many clients.
+//! [`rastor_sim::runtime::ThreadCluster`], rebuilt on the
+//! [`crate::reactor`]: all connections and all hosted objects are served
+//! by one small fixed pool — [`crate::reactor::DEFAULT_WORKERS`] reactor
+//! threads for frame I/O plus [`EXECUTORS`] executor threads for object
+//! work — so thread count is O(workers), independent of how many objects
+//! the server hosts or how many connections are open.
+//!
+//! Semantics are unchanged from the thread-per-object version: each
+//! hosted object processes envelopes serially and in arrival order (a
+//! per-object FIFO queue drained by one executor at a time), optional
+//! per-envelope service jitter delays an envelope's *release* to the
+//! executors (modelled as a timer, so in-band status queries stay
+//! responsive while objects are "busy"), and
+//! [`ObjectServer::crash_object`] drops the behavior so queued and future
+//! requests to that object vanish. Reply envelopes go back on the
+//! connection the request came in on, tagged with the requesting client
+//! so one connection can be shared by many clients.
 //!
 //! Objects carry **cluster-global** ids `first_id ..`, so a logical
 //! cluster may be split across several servers (each hosting a slice of
 //! the object range) and clients see one consistent id space.
 
-use crate::wire::{self, Frame, Negotiated, ObjectStatus, RepEnvelope, WireRepFrame, WireReqFrame};
+use crate::reactor::{ConnHandle, Events, Reactor, ReactorHandle};
+use crate::wire::{self, Frame, ObjectStatus, RepEnvelope, WireRepFrame, WireReqFrame};
 use rastor_common::{ClientId, Error, ObjectId, Result, SplitMix64};
 use rastor_core::msg::{Rep, Req};
 use rastor_obs::{names, Counter, Registry};
 use rastor_sim::ObjectBehavior;
-use std::collections::HashMap;
-use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
+use std::collections::{BinaryHeap, VecDeque};
+use std::net::{SocketAddr, TcpListener};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::mpsc::{channel, Receiver, Sender};
-use std::sync::{Arc, Mutex, OnceLock, RwLock};
+use std::sync::{Arc, Condvar, Mutex, OnceLock};
 use std::thread::JoinHandle;
-use std::time::Duration;
+use std::time::{Duration, Instant};
+
+/// Executor threads per server: the pool that runs object behaviors
+/// (including their durability I/O), decoupled from the reactor threads
+/// that move frames. Fixed — more objects or connections never mean more
+/// threads.
+pub const EXECUTORS: usize = 2;
 
 /// The `net.*` seam handles, resolved once per process (servers and
 /// connections come and go; the counters accumulate across all of them).
@@ -50,69 +64,362 @@ fn net_metrics() -> &'static NetMetrics {
     })
 }
 
-/// One coalesced request, as fanned out to a hosted object's worker.
+/// One coalesced request envelope, queued for one hosted object.
 struct Job {
     client: ClientId,
-    /// Decoded once per envelope, shared across the fan-out.
+    /// Decoded once per envelope, shared across the object fan-out.
     frames: Arc<Vec<WireReqFrame>>,
-    /// The requesting connection's writer channel. Frame-typed (not
-    /// [`RepEnvelope`]-typed) so the connection reader can interleave
-    /// version-negotiation frames with the workers' reply envelopes.
-    reply: Sender<Frame>,
+    /// The requesting connection, for the reply envelope.
+    conn: ConnHandle,
 }
 
-struct Shared {
+/// One hosted object's serving state.
+struct ObjSlot {
+    /// `None` = crashed. An executor holds this lock exactly while
+    /// processing one envelope, so `crash_object` (which takes it to set
+    /// `None`) waits out the envelope in flight — the same "finish the
+    /// current job, then die" the worker-thread version had.
+    behavior: Mutex<Option<Box<dyn ObjectBehavior<Req, Rep> + Send>>>,
+    /// Request envelopes served since (re)start, for [`Frame::Status`].
+    served: AtomicU64,
+    /// Released envelopes awaiting an executor, in arrival order.
+    queue: Mutex<VecDeque<Job>>,
+    /// Whether the object is on the run queue or being drained — one
+    /// executor at a time per object keeps processing serial and FIFO.
+    scheduled: AtomicBool,
+    /// Jitter bookkeeping: when the object's service "pipe" frees up, and
+    /// the object's deterministic jitter stream.
+    busy: Mutex<(Instant, SplitMix64)>,
+}
+
+/// A jitter-delayed envelope waiting for its release time.
+struct TimedJob {
+    at: Instant,
+    seq: u64,
+    obj: usize,
+    job: Job,
+}
+
+impl PartialEq for TimedJob {
+    fn eq(&self, other: &TimedJob) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl Eq for TimedJob {}
+impl PartialOrd for TimedJob {
+    fn partial_cmp(&self, other: &TimedJob) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for TimedJob {
+    fn cmp(&self, other: &TimedJob) -> std::cmp::Ordering {
+        // BinaryHeap is a max-heap; invert so the earliest release pops
+        // first (seq breaks ties FIFO).
+        (other.at, other.seq).cmp(&(self.at, self.seq))
+    }
+}
+
+/// The server's [`Events`] handler plus the executor-pool state.
+struct ServerState {
     first_id: u32,
-    /// Worker inboxes; `None` = crashed. Behind a `RwLock` so connection
-    /// readers (read) coexist with `crash_object` (write).
-    workers: RwLock<Vec<Option<Sender<Job>>>>,
-    /// Request envelopes served per hosted object (reset on restart) —
-    /// what a [`Frame::StatusReq`] reports per object.
-    served: Vec<Arc<AtomicU64>>,
+    jitter: Option<Duration>,
+    slots: Vec<ObjSlot>,
+    /// Object indices with released work, drained by the executor pool.
+    runq: Mutex<VecDeque<usize>>,
+    runq_cv: Condvar,
+    /// Jitter-delayed envelopes, released by the executor pool (NOT the
+    /// reactor: sub-millisecond release deadlines would force the
+    /// readiness loop into zero-timeout polls over the whole — possibly
+    /// thousands-deep — connection set; a condvar `wait_timeout` on the
+    /// execution plane keeps the I/O plane parked until real readiness).
+    timers: Mutex<BinaryHeap<TimedJob>>,
+    timer_seq: AtomicU64,
+    /// Bumped under the `runq` lock on every timer push, so an executor
+    /// that computed its wait deadline before the push notices the new
+    /// (possibly earlier) timer instead of oversleeping it.
+    timer_epoch: AtomicU64,
     shutdown: AtomicBool,
-    next_conn: AtomicU64,
-    /// Live accepted connections by id, tracked so drop can cut them
-    /// loose; entries are pruned as connections end, so a long-lived
-    /// server doesn't accumulate dead descriptors.
-    conns: Mutex<HashMap<u64, TcpStream>>,
 }
 
-impl Shared {
-    /// One [`ObjectStatus`] per hosted object, for a [`Frame::Status`]
-    /// reply.
+impl ServerState {
     fn object_statuses(&self) -> Vec<ObjectStatus> {
-        let workers = self.workers.read().expect("worker list lock");
-        workers
+        self.slots
             .iter()
-            .zip(&self.served)
             .enumerate()
-            .map(|(i, (w, served))| ObjectStatus {
+            .map(|(i, s)| ObjectStatus {
                 id: ObjectId(self.first_id + i as u32),
-                crashed: w.is_none(),
-                served: served.load(Ordering::Relaxed),
+                crashed: s.behavior.lock().expect("behavior lock").is_none(),
+                served: s.served.load(Ordering::Relaxed),
             })
             .collect()
+    }
+
+    /// Put `obj` on the run queue unless an executor already owns it.
+    fn enqueue_run(&self, obj: usize) {
+        if self.slots[obj]
+            .scheduled
+            .compare_exchange(false, true, Ordering::AcqRel, Ordering::Acquire)
+            .is_ok()
+        {
+            self.runq.lock().expect("run queue lock").push_back(obj);
+            self.runq_cv.notify_one();
+        }
+    }
+
+    /// Queue one envelope for every hosted object, through the jitter
+    /// timer when the server runs with service delay.
+    fn fan_out(&self, client: ClientId, frames: Arc<Vec<WireReqFrame>>, conn: &ConnHandle) {
+        let now = Instant::now();
+        for (i, slot) in self.slots.iter().enumerate() {
+            let job = Job {
+                client,
+                frames: Arc::clone(&frames),
+                conn: conn.clone(),
+            };
+            match self.jitter {
+                Some(j) => {
+                    // The object serves envelopes one at a time, each
+                    // taking a random slice of `jitter` — the same queueing
+                    // model the worker-thread version got from sleeping in
+                    // its loop, kept off the executors so a "busy" object
+                    // never blocks a thread.
+                    let mut busy = slot.busy.lock().expect("busy lock");
+                    let start = busy.0.max(now);
+                    let release = start + j.mul_f64(busy.1.next_f64());
+                    busy.0 = release;
+                    drop(busy);
+                    self.timers.lock().expect("timer lock").push(TimedJob {
+                        at: release,
+                        seq: self.timer_seq.fetch_add(1, Ordering::Relaxed),
+                        obj: i,
+                        job,
+                    });
+                    // Epoch bump + notify under the runq lock: an
+                    // executor re-checks the epoch under the same lock
+                    // before parking, so this wakeup cannot be lost.
+                    let _runq = self.runq.lock().expect("run queue lock");
+                    self.timer_epoch.fetch_add(1, Ordering::Release);
+                    self.runq_cv.notify_one();
+                }
+                None => {
+                    slot.queue.lock().expect("object queue lock").push_back(job);
+                    self.enqueue_run(i);
+                }
+            }
+        }
+    }
+
+    /// Reply on a connection, counting the frame out.
+    fn reply(&self, conn: &ConnHandle, frame: &Frame) {
+        if conn.send(wire::encode_frame(frame)) {
+            net_metrics().frames_out.inc();
+        }
+    }
+
+    /// Release every due jitter timer onto its object queue; returns the
+    /// next release deadline, if any timers remain.
+    fn flush_timers(&self, now: Instant) -> Option<Instant> {
+        let mut timers = self.timers.lock().expect("timer lock");
+        while timers.peek().is_some_and(|t| t.at <= now) {
+            let t = timers.pop().expect("peeked");
+            self.slots[t.obj]
+                .queue
+                .lock()
+                .expect("object queue lock")
+                .push_back(t.job);
+            self.enqueue_run(t.obj);
+        }
+        timers.peek().map(|t| t.at)
+    }
+}
+
+impl Events for ServerState {
+    fn on_frame(&self, conn: &ConnHandle, raw: &[u8]) {
+        if wire::raw_version(raw) != wire::WIRE_VERSION {
+            // The framing layer admitted the foreign frame whole, so the
+            // stream is still aligned: tell the peer which version this
+            // build speaks — echoing the refused frame's leading corr so a
+            // multiplexed client can attribute the refusal — and keep
+            // serving the connection.
+            net_metrics().version_mismatches.inc();
+            self.reply(
+                conn,
+                &Frame::VersionMismatch {
+                    got: wire::raw_version(raw),
+                    want: wire::WIRE_VERSION,
+                    corr: wire::raw_corr(raw),
+                },
+            );
+            return;
+        }
+        let frame = match wire::decode_frame(raw) {
+            Ok((frame, _)) => frame,
+            Err(_) => {
+                conn.close();
+                return;
+            }
+        };
+        match frame {
+            Frame::Req(env) => {
+                net_metrics().frames_in.inc();
+                self.fan_out(env.from, Arc::new(env.frames), conn);
+            }
+            // The ops plane, answered in-band so control replies
+            // interleave with (never reorder within) the data stream.
+            Frame::StatusReq { corr } => {
+                net_metrics().status_queries.inc();
+                self.reply(
+                    conn,
+                    &Frame::Status {
+                        corr,
+                        objects: self.object_statuses(),
+                    },
+                );
+            }
+            Frame::MetricsReq { corr } => {
+                net_metrics().status_queries.inc();
+                self.reply(
+                    conn,
+                    &Frame::Metrics {
+                        corr,
+                        json: Registry::global().snapshot_json(),
+                    },
+                );
+            }
+            Frame::Report { corr, counts } => {
+                let registry = Registry::global();
+                for (name, n) in &counts {
+                    // Remote input: invalid names are dropped, not fatal.
+                    let _ = registry.add_counter(name, *n);
+                }
+                self.reply(conn, &Frame::Ack { corr });
+            }
+            Frame::AdminReq { corr, .. } => {
+                // Admin verbs act on a whole deployment (durability,
+                // proxies); they belong to the ops listener, not an
+                // object server. Refuse politely instead of hanging up.
+                self.reply(
+                    conn,
+                    &Frame::AdminRep {
+                        corr,
+                        ok: false,
+                        detail: "object servers take no admin commands; \
+                                 send them to the deployment's ops listener"
+                            .into(),
+                    },
+                );
+            }
+            // A reply or negotiation frame from a client is a protocol
+            // violation; the connection is done.
+            _ => conn.close(),
+        }
+    }
+
+    // No `on_tick`: the server keeps no reactor-side timers. Jitter
+    // release runs on the executors (see [`ServerState::flush_timers`]),
+    // so the readiness loop parks until actual socket readiness no
+    // matter how many connections it is watching.
+}
+
+/// One executor's loop: release due jitter timers, claim an object with
+/// released work, drain its queue serially, hand the object back. The
+/// executors own the release timers (condvar `wait_timeout` to the next
+/// deadline) so the reactor never has to spin on sub-millisecond ticks.
+fn executor_loop(state: &ServerState) {
+    loop {
+        let epoch = state.timer_epoch.load(Ordering::Acquire);
+        let next_release = state.flush_timers(Instant::now());
+        let obj = {
+            let mut runq = state.runq.lock().expect("run queue lock");
+            if state.shutdown.load(Ordering::Acquire) {
+                return;
+            }
+            match runq.pop_front() {
+                Some(obj) => Some(obj),
+                // Nothing runnable: park until new work (notified), a
+                // fresh timer (epoch bump, checked under this lock), or
+                // the computed release deadline. Then recompute from the
+                // top — a wakeup is a hint, not a claim.
+                None => {
+                    if state.timer_epoch.load(Ordering::Acquire) == epoch {
+                        match next_release {
+                            Some(at) => {
+                                let now = Instant::now();
+                                if at > now {
+                                    let _ = state
+                                        .runq_cv
+                                        .wait_timeout(runq, at - now)
+                                        .expect("run queue condvar");
+                                }
+                            }
+                            None => {
+                                drop(state.runq_cv.wait(runq).expect("run queue condvar"));
+                            }
+                        }
+                    }
+                    None
+                }
+            }
+        };
+        let Some(obj) = obj else { continue };
+        let slot = &state.slots[obj];
+        loop {
+            let job = slot.queue.lock().expect("object queue lock").pop_front();
+            let Some(job) = job else { break };
+            let mut behavior = slot.behavior.lock().expect("behavior lock");
+            // Crashed object: the job vanishes, exactly like a request to
+            // a dead worker.
+            let Some(b) = behavior.as_mut() else { continue };
+            slot.served.fetch_add(1, Ordering::Relaxed);
+            let oid = ObjectId(state.first_id + obj as u32);
+            let frames: Vec<WireRepFrame> = job
+                .frames
+                .iter()
+                .filter_map(|f| {
+                    b.on_request(job.client, &f.req).map(|rep| WireRepFrame {
+                        op_nonce: f.op_nonce,
+                        round: f.round,
+                        rep,
+                    })
+                })
+                .collect();
+            drop(behavior);
+            if !frames.is_empty() {
+                state.reply(
+                    &job.conn,
+                    &Frame::Rep(RepEnvelope {
+                        to: job.client,
+                        from: oid,
+                        frames,
+                    }),
+                );
+            }
+        }
+        slot.scheduled.store(false, Ordering::Release);
+        // An envelope may have been released between the drain and the
+        // flag clear; reclaim the object so it is never stranded.
+        if !slot.queue.lock().expect("object queue lock").is_empty() {
+            state.enqueue_run(obj);
+        }
     }
 }
 
 /// A TCP server hosting a slice of a cluster's storage objects.
 ///
 /// Dropping the server shuts down the listener, every accepted connection
-/// and every object worker.
+/// and the worker pool.
 pub struct ObjectServer {
     addr: SocketAddr,
-    shared: Arc<Shared>,
-    accept: Option<JoinHandle<()>>,
-    worker_handles: Vec<Option<JoinHandle<()>>>,
-    /// The per-envelope service jitter workers run with, kept so restarted
-    /// workers behave like their predecessors.
-    jitter: Option<Duration>,
+    state: Arc<ServerState>,
+    reactor: Option<Reactor>,
+    handle: ReactorHandle,
+    executors: Vec<JoinHandle<()>>,
 }
 
 impl ObjectServer {
-    /// Bind a loopback listener and spawn one worker thread per behavior.
-    /// Hosted objects take the cluster-global ids `first_id ..
-    /// first_id + behaviors.len()`. `jitter`, as in
+    /// Bind a loopback listener and serve `behaviors` from the fixed
+    /// worker pool. Hosted objects take the cluster-global ids `first_id
+    /// .. first_id + behaviors.len()`. `jitter`, as in
     /// [`rastor_sim::runtime::ThreadCluster::spawn`], adds a random
     /// service delay up to the given duration per envelope per object.
     ///
@@ -130,56 +437,43 @@ impl ObjectServer {
             .local_addr()
             .map_err(|e| Error::io("reading the bound listener address", &e))?;
 
-        let mut worker_txs = Vec::new();
-        let mut worker_handles = Vec::new();
-        let mut served = Vec::new();
-        for (i, behavior) in behaviors.into_iter().enumerate() {
-            let (tx, rx) = channel::<Job>();
-            let oid = ObjectId(first_id + i as u32);
-            let counter = Arc::new(AtomicU64::new(0));
-            served.push(Arc::clone(&counter));
-            worker_txs.push(Some(tx));
-            worker_handles.push(Some(std::thread::spawn(move || {
-                object_worker(oid, behavior, rx, jitter, counter);
-            })));
-        }
-
-        let shared = Arc::new(Shared {
+        let now = Instant::now();
+        let slots: Vec<ObjSlot> = behaviors
+            .into_iter()
+            .enumerate()
+            .map(|(i, b)| ObjSlot {
+                behavior: Mutex::new(Some(b)),
+                served: AtomicU64::new(0),
+                queue: Mutex::new(VecDeque::new()),
+                scheduled: AtomicBool::new(false),
+                busy: Mutex::new((now, SplitMix64::new(u64::from(first_id + i as u32)))),
+            })
+            .collect();
+        let state = Arc::new(ServerState {
             first_id,
-            workers: RwLock::new(worker_txs),
-            served,
+            jitter,
+            slots,
+            runq: Mutex::new(VecDeque::new()),
+            runq_cv: Condvar::new(),
+            timers: Mutex::new(BinaryHeap::new()),
+            timer_seq: AtomicU64::new(0),
+            timer_epoch: AtomicU64::new(0),
             shutdown: AtomicBool::new(false),
-            next_conn: AtomicU64::new(0),
-            conns: Mutex::new(HashMap::new()),
         });
-
-        let accept_shared = Arc::clone(&shared);
-        let accept = std::thread::spawn(move || {
-            for stream in listener.incoming() {
-                if accept_shared.shutdown.load(Ordering::SeqCst) {
-                    break;
-                }
-                let Ok(stream) = stream else { continue };
-                let _ = stream.set_nodelay(true);
-                let conn_id = accept_shared.next_conn.fetch_add(1, Ordering::SeqCst);
-                if let Ok(tracked) = stream.try_clone() {
-                    accept_shared
-                        .conns
-                        .lock()
-                        .expect("conn list lock")
-                        .insert(conn_id, tracked);
-                }
-                let conn_shared = Arc::clone(&accept_shared);
-                std::thread::spawn(move || serve_connection(stream, conn_shared, conn_id));
-            }
-        });
-
+        let executors = (0..EXECUTORS)
+            .map(|_| {
+                let state = Arc::clone(&state);
+                std::thread::spawn(move || executor_loop(&state))
+            })
+            .collect();
+        let reactor = Reactor::spawn(Arc::clone(&state) as Arc<dyn Events>, Some(listener))?;
+        let handle = reactor.handle();
         Ok(ObjectServer {
             addr,
-            shared,
-            accept: Some(accept),
-            worker_handles,
-            jitter,
+            state,
+            reactor: Some(reactor),
+            handle,
+            executors,
         })
     }
 
@@ -190,33 +484,47 @@ impl ObjectServer {
 
     /// Number of hosted objects (including crashed ones).
     pub fn num_objects(&self) -> usize {
-        self.worker_handles.len()
+        self.state.slots.len()
     }
 
     /// The first cluster-global object id hosted here.
     pub fn first_id(&self) -> u32 {
-        self.shared.first_id
+        self.state.first_id
     }
 
-    /// Crash a hosted object (by cluster-global id): its worker drains and
-    /// exits; requests to it are silently dropped from now on — the exact
-    /// semantics of `ThreadCluster::crash_object`, reachable while clients
-    /// stay connected.
+    /// Threads this server runs, total: reactor workers plus executors.
+    /// Fixed at spawn — hosting more objects or accepting more
+    /// connections never grows it.
+    pub fn thread_count(&self) -> usize {
+        self.reactor.as_ref().map_or(0, Reactor::worker_count) + self.executors.len()
+    }
+
+    /// Sever every accepted connection, keeping the listener and the
+    /// objects up — the mid-traffic socket-kill fault injector. Clients
+    /// recover by reconnecting and resubmitting.
+    pub fn drop_connections(&self) {
+        self.handle.close_all();
+    }
+
+    /// Crash a hosted object (by cluster-global id): any envelope it is
+    /// processing finishes, then queued and future requests to it are
+    /// silently dropped — the semantics of `ThreadCluster::crash_object`,
+    /// reachable while clients stay connected.
     ///
     /// # Panics
     ///
     /// Panics if `id` is not hosted by this server.
     pub fn crash_object(&mut self, id: ObjectId) {
         let idx = self.hosted_index(id, "crash_object");
-        self.shared.workers.write().expect("worker list lock")[idx] = None;
-        if let Some(h) = self.worker_handles[idx].take() {
-            let _ = h.join();
-        }
+        *self.state.slots[idx]
+            .behavior
+            .lock()
+            .expect("behavior lock") = None;
     }
 
     /// Restart a hosted object (by cluster-global id) with a fresh
-    /// behavior: the worker is crashed first (if still live), then a new
-    /// one takes over the id with the same service-jitter profile —
+    /// behavior: the old one is crashed first (if still live), then the
+    /// new one takes over the id with the same service-jitter profile —
     /// connected clients keep talking to the same address and simply see
     /// the object answering again. Pass a `rastor_store`-recovered durable
     /// behavior for kill-then-recover semantics.
@@ -230,21 +538,15 @@ impl ObjectServer {
         behavior: Box<dyn ObjectBehavior<Req, Rep> + Send>,
     ) {
         let idx = self.hosted_index(id, "restart_object");
-        self.crash_object(id);
-        let (tx, rx) = channel::<Job>();
-        let jitter = self.jitter;
-        let counter = Arc::clone(&self.shared.served[idx]);
-        counter.store(0, Ordering::Relaxed);
-        self.worker_handles[idx] = Some(std::thread::spawn(move || {
-            object_worker(id, behavior, rx, jitter, counter);
-        }));
-        self.shared.workers.write().expect("worker list lock")[idx] = Some(tx);
+        let slot = &self.state.slots[idx];
+        *slot.behavior.lock().expect("behavior lock") = Some(behavior);
+        slot.served.store(0, Ordering::Relaxed);
     }
 
     /// The status of every hosted object — the same view a
     /// [`Frame::StatusReq`] gets over the wire.
     pub fn object_statuses(&self) -> Vec<ObjectStatus> {
-        self.shared.object_statuses()
+        self.state.object_statuses()
     }
 
     /// Whether a hosted object is currently crashed.
@@ -254,203 +556,34 @@ impl ObjectServer {
     /// Panics if `id` is not hosted by this server.
     pub fn is_crashed(&self, id: ObjectId) -> bool {
         let idx = self.hosted_index(id, "is_crashed");
-        self.shared.workers.read().expect("worker list lock")[idx].is_none()
+        self.state.slots[idx]
+            .behavior
+            .lock()
+            .expect("behavior lock")
+            .is_none()
     }
 
     fn hosted_index(&self, id: ObjectId, what: &str) -> usize {
-        id.0.checked_sub(self.shared.first_id)
+        id.0.checked_sub(self.state.first_id)
             .map(|i| i as usize)
-            .filter(|&i| i < self.worker_handles.len())
+            .filter(|&i| i < self.state.slots.len())
             .unwrap_or_else(|| panic!("{what}: object {} not hosted by this server", id.0))
     }
 }
 
 impl Drop for ObjectServer {
     fn drop(&mut self) {
-        self.shared.shutdown.store(true, Ordering::SeqCst);
-        // Cut accepted connections loose so their reader threads exit.
-        for (_, conn) in self.shared.conns.lock().expect("conn list lock").drain() {
-            let _ = conn.shutdown(Shutdown::Both);
-        }
-        // Wake the blocking accept so it observes the flag.
-        let _ = TcpStream::connect(self.addr);
-        if let Some(h) = self.accept.take() {
+        // Reactor first: listener and connections close, frame intake
+        // stops. Then the executor pool drains out.
+        self.reactor.take();
+        self.state.shutdown.store(true, Ordering::SeqCst);
+        // Notify under the runq lock so no executor can be between its
+        // shutdown check and its park when the flag flips.
+        let _runq = self.state.runq.lock().expect("run queue lock");
+        self.state.runq_cv.notify_all();
+        drop(_runq);
+        for h in self.executors.drain(..) {
             let _ = h.join();
         }
-        for w in self
-            .shared
-            .workers
-            .write()
-            .expect("worker list lock")
-            .iter_mut()
-        {
-            *w = None;
-        }
-        for h in &mut self.worker_handles {
-            if let Some(h) = h.take() {
-                let _ = h.join();
-            }
-        }
     }
-}
-
-/// One object's worker loop: per-envelope jitter, then the behavior, then
-/// one reply envelope back to the requesting connection.
-fn object_worker(
-    oid: ObjectId,
-    mut behavior: Box<dyn ObjectBehavior<Req, Rep> + Send>,
-    rx: Receiver<Job>,
-    jitter: Option<Duration>,
-    served: Arc<AtomicU64>,
-) {
-    let mut rng = SplitMix64::new(u64::from(oid.0));
-    while let Ok(job) = rx.recv() {
-        if let Some(j) = jitter {
-            std::thread::sleep(j.mul_f64(rng.next_f64()));
-        }
-        served.fetch_add(1, Ordering::Relaxed);
-        let frames: Vec<WireRepFrame> = job
-            .frames
-            .iter()
-            .filter_map(|f| {
-                behavior
-                    .on_request(job.client, &f.req)
-                    .map(|rep| WireRepFrame {
-                        op_nonce: f.op_nonce,
-                        round: f.round,
-                        rep,
-                    })
-            })
-            .collect();
-        if !frames.is_empty() {
-            // The connection may be gone; ignore send errors.
-            let _ = job.reply.send(Frame::Rep(RepEnvelope {
-                to: job.client,
-                from: oid,
-                frames,
-            }));
-        }
-    }
-}
-
-/// Serve one accepted connection: a reader loop decoding request envelopes
-/// and fanning them out to the object workers, plus a writer thread
-/// serializing the reply envelopes back onto the socket.
-fn serve_connection(stream: TcpStream, shared: Arc<Shared>, conn_id: u64) {
-    let Ok(mut read_half) = stream.try_clone() else {
-        shared
-            .conns
-            .lock()
-            .expect("conn list lock")
-            .remove(&conn_id);
-        return;
-    };
-    let (reply_tx, reply_rx) = channel::<Frame>();
-    let writer = std::thread::spawn(move || write_replies(stream, reply_rx));
-
-    loop {
-        match wire::read_frame_admitting(&mut read_half) {
-            Ok(Negotiated::Frame(Frame::Req(env))) => {
-                net_metrics().frames_in.inc();
-                let frames = Arc::new(env.frames);
-                let workers = shared.workers.read().expect("worker list lock");
-                for tx in workers.iter().flatten() {
-                    let _ = tx.send(Job {
-                        client: env.from,
-                        frames: Arc::clone(&frames),
-                        reply: reply_tx.clone(),
-                    });
-                }
-            }
-            // The ops plane, answered in-band on the reply channel so
-            // control replies interleave with (never reorder within) the
-            // data stream.
-            Ok(Negotiated::Frame(Frame::StatusReq { corr })) => {
-                net_metrics().status_queries.inc();
-                let status = Frame::Status {
-                    corr,
-                    objects: shared.object_statuses(),
-                };
-                if reply_tx.send(status).is_err() {
-                    break;
-                }
-            }
-            Ok(Negotiated::Frame(Frame::MetricsReq { corr })) => {
-                net_metrics().status_queries.inc();
-                let metrics = Frame::Metrics {
-                    corr,
-                    json: Registry::global().snapshot_json(),
-                };
-                if reply_tx.send(metrics).is_err() {
-                    break;
-                }
-            }
-            Ok(Negotiated::Frame(Frame::Report { corr, counts })) => {
-                let registry = Registry::global();
-                for (name, n) in &counts {
-                    // Remote input: invalid names are dropped, not fatal.
-                    let _ = registry.add_counter(name, *n);
-                }
-                if reply_tx.send(Frame::Ack { corr }).is_err() {
-                    break;
-                }
-            }
-            Ok(Negotiated::Frame(Frame::AdminReq { corr, .. })) => {
-                // Admin verbs act on a whole deployment (durability,
-                // proxies); they belong to the ops listener, not an
-                // object server. Refuse politely instead of hanging up.
-                let rep = Frame::AdminRep {
-                    corr,
-                    ok: false,
-                    detail: "object servers take no admin commands; \
-                             send them to the deployment's ops listener"
-                        .into(),
-                };
-                if reply_tx.send(rep).is_err() {
-                    break;
-                }
-            }
-            Ok(Negotiated::Foreign { got, corr }) => {
-                // The admitting read consumed the foreign frame whole, so
-                // the stream is still aligned: tell the peer which version
-                // this build speaks — echoing the refused frame's corr so a
-                // multiplexed client can attribute the refusal — and keep
-                // serving the connection.
-                net_metrics().version_mismatches.inc();
-                let mismatch = Frame::VersionMismatch {
-                    got,
-                    want: wire::WIRE_VERSION,
-                    corr,
-                };
-                if reply_tx.send(mismatch).is_err() {
-                    break;
-                }
-            }
-            // A reply or negotiation frame from a client is a protocol
-            // violation; any decode/io error means the peer is gone or
-            // garbling — either way, this connection is done.
-            Ok(Negotiated::Frame(_)) | Err(_) => break,
-        }
-    }
-    let _ = read_half.shutdown(Shutdown::Both);
-    // Dropping our reply_tx lets the writer exit once in-flight worker
-    // replies for this connection have drained.
-    drop(reply_tx);
-    let _ = writer.join();
-    // Untrack: the connection is fully torn down.
-    shared
-        .conns
-        .lock()
-        .expect("conn list lock")
-        .remove(&conn_id);
-}
-
-fn write_replies(mut stream: TcpStream, rx: Receiver<Frame>) {
-    while let Ok(frame) = rx.recv() {
-        if wire::write_frame(&mut stream, &frame).is_err() {
-            break;
-        }
-        net_metrics().frames_out.inc();
-    }
-    let _ = stream.shutdown(Shutdown::Both);
 }

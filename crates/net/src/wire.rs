@@ -902,6 +902,49 @@ pub fn read_frame_negotiating(r: &mut impl Read) -> Result<Frame> {
     }
 }
 
+/// Incremental reassembly: the total size (header + body) of the frame at
+/// the front of `buf`, or `None` when too few bytes have arrived to tell.
+/// Validates only the alignment-critical framing — magic and length
+/// ceiling — so a reactor connection can split a *foreign-version* frame
+/// off its read buffer whole and answer it with a
+/// [`Frame::VersionMismatch`], exactly as [`read_frame_admitting`] does on
+/// a blocking stream. Inspect the split bytes with [`raw_version`] /
+/// [`raw_corr`] before decoding.
+///
+/// # Errors
+///
+/// [`Error::Codec`] on bad magic or an oversized length prefix — the
+/// stream cannot be realigned and the connection should be dropped.
+pub fn frame_len(buf: &[u8]) -> Result<Option<usize>> {
+    let Some(header) = buf.get(..HEADER_LEN) else {
+        return Ok(None);
+    };
+    let header: &[u8; HEADER_LEN] = header.try_into().expect("HEADER_LEN bytes");
+    let (_, _, body_len) = decode_framing(header)?;
+    Ok(Some(HEADER_LEN + body_len))
+}
+
+/// The version byte of one raw frame (as split off by [`frame_len`] or
+/// read by [`read_raw_frame`]).
+///
+/// # Panics
+///
+/// Panics if `raw` is shorter than a header.
+pub fn raw_version(raw: &[u8]) -> u8 {
+    assert!(raw.len() >= HEADER_LEN, "raw frame shorter than a header");
+    raw[2]
+}
+
+/// The leading correlation id of one raw frame's body: the first 8 body
+/// bytes as a little-endian `u64`, 0 when the body is shorter — the
+/// cross-version contract a [`Frame::VersionMismatch`] reply echoes (see
+/// [`Negotiated::Foreign`]).
+pub fn raw_corr(raw: &[u8]) -> u64 {
+    raw.get(HEADER_LEN..HEADER_LEN + 8)
+        .map(|b| u64::from_le_bytes(b.try_into().expect("8 bytes")))
+        .unwrap_or(0)
+}
+
 /// Read one frame's verbatim bytes (header + body) from a stream without
 /// decoding the body — the primitive relays like the chaos proxy cut the
 /// stream with. The header is still validated, so a desynchronized stream
@@ -1250,6 +1293,51 @@ mod tests {
             read_frame(&mut cursor).unwrap_err(),
             Error::Io { .. }
         ));
+    }
+
+    /// [`frame_len`] reports `None` until the header is whole, then the
+    /// exact total length — and agrees with the encoder at every prefix.
+    #[test]
+    fn frame_len_splits_at_every_prefix() {
+        let bytes = encode_frame(&Frame::Req(sample_req_env()));
+        for cut in 0..HEADER_LEN {
+            assert_eq!(frame_len(&bytes[..cut]).expect("short is fine"), None);
+        }
+        for cut in HEADER_LEN..=bytes.len() {
+            assert_eq!(
+                frame_len(&bytes[..cut]).expect("framing valid"),
+                Some(bytes.len())
+            );
+        }
+    }
+
+    #[test]
+    fn frame_len_rejects_unalignable_streams() {
+        let mut bytes = encode_frame(&Frame::Ack { corr: 1 });
+        bytes[0] = b'X';
+        assert!(frame_len(&bytes).is_err(), "bad magic");
+        let mut bytes = encode_frame(&Frame::Ack { corr: 1 });
+        bytes[4..8].copy_from_slice(&u32::MAX.to_le_bytes());
+        assert!(frame_len(&bytes).is_err(), "oversized length prefix");
+    }
+
+    /// The raw inspectors agree with the admitting reader's foreign-frame
+    /// contract: version from the header, corr from the leading body bytes.
+    #[test]
+    fn raw_inspectors_match_the_foreign_contract() {
+        let mut bytes = encode_frame(&Frame::StatusReq { corr: 777 });
+        bytes[2] = WIRE_VERSION + 5;
+        assert_eq!(raw_version(&bytes), WIRE_VERSION + 5);
+        assert_eq!(raw_corr(&bytes), 777);
+        // A body shorter than 8 bytes has no corr to lift.
+        let mut short = encode_frame(&Frame::VersionMismatch {
+            got: 1,
+            want: 1,
+            corr: 0,
+        });
+        short[4..8].copy_from_slice(&2u32.to_le_bytes());
+        short.truncate(HEADER_LEN + 2);
+        assert_eq!(raw_corr(&short), 0);
     }
 
     #[test]

@@ -82,6 +82,12 @@ pub mod names {
     pub const NET_VERSION_MISMATCHES: &str = "net.version_mismatches";
     /// In-band status/metrics queries answered by object servers.
     pub const NET_STATUS_QUERIES: &str = "net.status_queries";
+    /// Connections opened on reactor endpoints (cumulative).
+    pub const NET_CONNS_OPEN: &str = "net.conns_open";
+    /// Reactor readiness-loop wakeups (poller returns that found work).
+    pub const NET_READINESS_WAKEUPS: &str = "net.readiness_wakeups";
+    /// Request envelopes resubmitted by client connection pools.
+    pub const NET_RESUBMISSIONS: &str = "net.resubmissions";
     /// Frames the chaos proxy dropped outright.
     pub const CHAOS_FRAMES_DROPPED: &str = "chaos.frames_dropped";
     /// Frames the chaos proxy delayed (fixed + jitter sleep).

@@ -147,6 +147,27 @@ pub const METRICS: &[MetricDef] = &[
         help: "In-band status/metrics queries answered.",
     },
     MetricDef {
+        name: names::NET_CONNS_OPEN,
+        kind: "counter",
+        unit: "connections",
+        seam: "net::reactor",
+        help: "Connections opened on reactor endpoints, cumulative.",
+    },
+    MetricDef {
+        name: names::NET_READINESS_WAKEUPS,
+        kind: "counter",
+        unit: "wakeups",
+        seam: "net::reactor",
+        help: "Reactor readiness-loop wakeups that found I/O or timer work.",
+    },
+    MetricDef {
+        name: names::NET_RESUBMISSIONS,
+        kind: "counter",
+        unit: "envelopes",
+        seam: "net::NetCluster",
+        help: "Request envelopes resubmitted after a drop or reconnect.",
+    },
+    MetricDef {
         name: names::CHAOS_FRAMES_DROPPED,
         kind: "counter",
         unit: "frames",
@@ -230,6 +251,9 @@ mod tests {
             names::NET_FRAMES_OUT,
             names::NET_VERSION_MISMATCHES,
             names::NET_STATUS_QUERIES,
+            names::NET_CONNS_OPEN,
+            names::NET_READINESS_WAKEUPS,
+            names::NET_RESUBMISSIONS,
             names::CHAOS_FRAMES_DROPPED,
             names::CHAOS_FRAMES_DELAYED,
             names::CHAOS_FRAMES_REORDERED,

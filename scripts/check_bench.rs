@@ -10,9 +10,10 @@
 //! which keeps absolute numbers comparable across machines.
 //!
 //! Understands the `rastor-kv-throughput/v3` schema (v2's per-row `depth`
-//! plus `fast_reads` + `get_rounds_mean`), the `rastor-net-throughput/v1`
-//! schema (per-row `transport`) and the `rastor-store-throughput/v1`
-//! schema (per-row `durability` + optional `recover_ms`), and gates the
+//! plus `fast_reads` + `get_rounds_mean`), the `rastor-net-throughput/v2`
+//! schema (v1's per-row `transport` plus `conns`, the open-connection
+//! sweep axis) and the `rastor-store-throughput/v1` schema (per-row
+//! `durability` + optional `recover_ms`), and gates the
 //! structural claims of all three outright: sharding must win (`s4-X` >
 //! `s1-X`), pipelining must win (`X-dN` > `X` at equal shard count; rows
 //! missing `depth` are treated as depth 1), the fast read path must
@@ -20,7 +21,12 @@
 //! get than their slow twin `X` — a fast row still paying 4 rounds means
 //! the confirmation certificate never fires), the chaos proxy must
 //! actually bite (`chaos-X` < its `tcp-X` twin — a chaos row matching
-//! plain tcp means no faults were injected), every `wal-X` durability row
+//! plain tcp means no faults were injected), the connection sweep must
+//! hold up (among the `-c<conns>` rows the largest pool must sustain at
+//! least `CONNS_TPUT_FLOOR` of the smallest pool's throughput and stay
+//! within `CONNS_LAT_CEIL` of its p50 latencies — the reactor's claim
+//! that open connections cost poll-set slots, not threads), every
+//! `wal-X` durability row
 //! must have its `mem-X` twin (and vice versa — a missing twin means half
 //! the comparison silently stopped running), and a store document must
 //! carry measured recovery times (`recover_ms` > 0 on every
@@ -41,6 +47,10 @@
 //! /tmp/check_bench BENCH_kv.json,BENCH_net.json,BENCH_store.json,BENCH_obs.json scripts/bench_baseline.json [tolerance]
 //! ```
 //!
+//! `--net-scale <current.json[,…]>` runs the connection-sweep gate alone,
+//! with no baseline — the CI `net-scale` smoke step, which must be able
+//! to gate a fresh `BENCH_net.json` before a baseline exists for it.
+//!
 //! Parsing relies on the emitters' line discipline (`bench_json` /
 //! `net_bench_json` write one result object per line with `"name"` and
 //! `"ops_per_sec"` fields), so no JSON parser is needed.
@@ -50,6 +60,14 @@ use std::process::ExitCode;
 /// Ceiling on the measured metrics overhead, in percent — keep in sync
 /// with `rastor_bench::obsbench::OVERHEAD_GATE_PCT`.
 const OVERHEAD_GATE_PCT: f64 = 3.0;
+
+/// Throughput floor for the connection sweep: the largest `-c<conns>`
+/// row must sustain at least this fraction of the smallest's ops/sec.
+const CONNS_TPUT_FLOOR: f64 = 0.66;
+
+/// p50 latency ceiling for the connection sweep: the largest `-c<conns>`
+/// row must stay within this multiple of the smallest's put/get p50.
+const CONNS_LAT_CEIL: f64 = 1.5;
 
 /// Extract `"field":<value>` from a one-result JSON line.
 fn field<'a>(line: &'a str, name: &str) -> Option<&'a str> {
@@ -73,6 +91,12 @@ struct Row {
     /// Present on the obs-schema row that carries the medianed
     /// metrics-off vs metrics-on comparison.
     overhead_pct: Option<f64>,
+    /// Present on net-schema v2 rows: open client connections (0 for
+    /// in-process rows, > 0 on the sweep's `-c<conns>` rows).
+    conns: Option<u32>,
+    /// p50 latencies, for the connection-sweep latency gate.
+    put_p50_us: Option<f64>,
+    get_p50_us: Option<f64>,
 }
 
 fn results(doc: &str) -> Vec<Row> {
@@ -86,6 +110,9 @@ fn results(doc: &str) -> Vec<Row> {
                 field(line, "get_rounds_mean").and_then(|r| r.parse().ok());
             let overhead_pct: Option<f64> =
                 field(line, "overhead_pct").and_then(|r| r.parse().ok());
+            let conns: Option<u32> = field(line, "conns").and_then(|c| c.parse().ok());
+            let put_p50_us: Option<f64> = field(line, "put_p50_us").and_then(|p| p.parse().ok());
+            let get_p50_us: Option<f64> = field(line, "get_p50_us").and_then(|p| p.parse().ok());
             Some(Row {
                 name: name.to_string(),
                 depth,
@@ -93,13 +120,87 @@ fn results(doc: &str) -> Vec<Row> {
                 recover_ms,
                 get_rounds_mean,
                 overhead_pct,
+                conns,
+                put_p50_us,
+                get_p50_us,
             })
         })
         .collect()
 }
 
+/// The connection-sweep gate: among the `-c<conns>` rows, the largest
+/// pool must sustain at least [`CONNS_TPUT_FLOOR`] of the smallest
+/// pool's throughput and stay within [`CONNS_LAT_CEIL`] of its p50
+/// latencies. The reactor's scaling claim — idle connections cost a
+/// poll-set slot, not a thread — and the gate that catches a readiness
+/// loop gone O(conns²) or a worker pool silently serializing. Returns
+/// `true` on failure.
+fn conns_sweep_gate(current: &[Row]) -> bool {
+    let mut failed = false;
+    let mut sweep: Vec<&Row> = current
+        .iter()
+        .filter(|r| r.conns.unwrap_or(0) > 0 && r.name.contains("-c"))
+        .collect();
+    sweep.sort_by_key(|r| r.conns.unwrap_or(0));
+    match (sweep.first(), sweep.last()) {
+        (Some(small), Some(large)) if small.conns != large.conns => {
+            let ratio = large.ops_per_sec / small.ops_per_sec.max(1e-9);
+            let ok = ratio >= CONNS_TPUT_FLOOR;
+            println!(
+                "{} {:.1} vs {} {:.1}: {ratio:.2}x throughput at {}x the connections (floor {CONNS_TPUT_FLOOR}x) — {}",
+                small.name,
+                small.ops_per_sec,
+                large.name,
+                large.ops_per_sec,
+                large.conns.unwrap_or(0) / small.conns.unwrap_or(1).max(1),
+                if ok { "conns scale — ok" } else { "CONNECTIONS DEGRADE THROUGHPUT" }
+            );
+            failed |= !ok;
+            for (what, s, l) in [
+                ("put p50", small.put_p50_us, large.put_p50_us),
+                ("get p50", small.get_p50_us, large.get_p50_us),
+            ] {
+                let (Some(s), Some(l)) = (s, l) else {
+                    println!("{}: no measured {what} — UNGATED", large.name);
+                    failed = true;
+                    continue;
+                };
+                let ok = s > 0.0 && l <= s * CONNS_LAT_CEIL;
+                println!(
+                    "{what}: {s:.0}µs at {} conns vs {l:.0}µs at {} (ceiling {CONNS_LAT_CEIL}x) — {}",
+                    small.conns.unwrap_or(0),
+                    large.conns.unwrap_or(0),
+                    if ok { "ok" } else { "CONNECTIONS DEGRADE LATENCY" }
+                );
+                failed |= !ok;
+            }
+        }
+        _ => {
+            println!("net document carries fewer than two -c<conns> sweep rows — UNGATED");
+            failed = true;
+        }
+    }
+    failed
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().collect();
+    let read = |path: &str| -> String {
+        std::fs::read_to_string(path).unwrap_or_else(|e| panic!("cannot read {path}: {e}"))
+    };
+    if args.get(1).map(String::as_str) == Some("--net-scale") {
+        let Some(paths) = args.get(2) else {
+            eprintln!("usage: check_bench --net-scale <current.json[,…]>");
+            return ExitCode::from(2);
+        };
+        let current: Vec<Row> = paths.split(',').flat_map(|p| results(&read(p))).collect();
+        if conns_sweep_gate(&current) {
+            eprintln!("connection sweep gate failed");
+            return ExitCode::FAILURE;
+        }
+        println!("connection sweep holds up");
+        return ExitCode::SUCCESS;
+    }
     if args.len() < 3 {
         eprintln!("usage: check_bench <current.json[,current2.json,…]> <baseline.json> [tolerance]");
         return ExitCode::from(2);
@@ -108,10 +209,8 @@ fn main() -> ExitCode {
         .get(3)
         .map(|t| t.parse().expect("tolerance must be a number"))
         .unwrap_or(2.0);
-    let read = |path: &str| -> String {
-        std::fs::read_to_string(path).unwrap_or_else(|e| panic!("cannot read {path}: {e}"))
-    };
     let docs: Vec<String> = args[1].split(',').map(&read).collect();
+    let net_doc_present = docs.iter().any(|d| d.contains("rastor-net-throughput"));
     let store_doc_present = docs.iter().any(|d| d.contains("rastor-store-throughput"));
     let obs_doc_present = docs.iter().any(|d| d.contains("rastor-obs-overhead"));
     let current: Vec<Row> = docs.iter().flat_map(|doc| results(doc)).collect();
@@ -282,6 +381,13 @@ fn main() -> ExitCode {
                 failed |= !ok;
             }
         }
+    }
+    // Cross-row invariant for the connection sweep: open connections
+    // must cost poll-set slots, not throughput (gated whenever a net
+    // document is in the current set — a net document without sweep rows
+    // means the sweep silently stopped running).
+    if net_doc_present {
+        failed |= conns_sweep_gate(&current);
     }
     // Cross-row invariant for the durability matrix: every `wal-X` row
     // must have its `mem-X` twin and vice versa — a missing twin means

@@ -24,7 +24,7 @@ import sys
 
 SOURCES = {
     "BENCH_kv.json": "rastor-kv-throughput/v3",
-    "BENCH_net.json": "rastor-net-throughput/v1",
+    "BENCH_net.json": "rastor-net-throughput/v2",
     "BENCH_store.json": "rastor-store-throughput/v1",
     "BENCH_obs.json": "rastor-obs-overhead/v1",
 }

@@ -1,8 +1,10 @@
 //! Loopback soak for the TCP substrate: a 2-shard `ShardedKvStore` whose
 //! shards are real `ObjectServer`s reached through fault-injecting chaos
-//! proxies (added delay + jitter on every wire frame), with one object
-//! crashed **server-side** in every shard while traffic is in flight —
-//! and every key's history funneled through the paper's atomicity checker.
+//! proxies (added delay + jitter on every wire frame, plus a frame drop
+//! rate that would have starved ops before client-side resubmission),
+//! with one object crashed **server-side** in every shard while traffic
+//! is in flight — and every key's history funneled through the paper's
+//! atomicity checker.
 //!
 //! This is the acceptance test of the transport layering: the same
 //! register construction that is linearizable over in-process channels
@@ -27,7 +29,14 @@ fn key_name(k: usize) -> String {
 
 #[test]
 fn sharded_kv_over_tcp_through_chaos_is_atomic_per_key() {
-    let chaos = ChaosCfg::delay_only(Duration::from_micros(200)).with_seed(0xBADCAB);
+    // A 20% per-frame drop rate is far past what the pre-resubmission
+    // substrate tolerated (PR 4 kept soak drops "modest" because one
+    // lost frame starved its whole shard-round); with reconnect +
+    // resubmission a drop costs a resubmit interval, so the ops must
+    // complete inside a deliberately short per-op budget.
+    let chaos = ChaosCfg::delay_only(Duration::from_micros(200))
+        .with_drops(0.20)
+        .with_seed(0xBADCAB);
     let mut kv = NetKv::spawn(
         StoreConfig::new(1, SHARDS, HANDLES).with_jitter(Duration::from_micros(150)),
         Some(chaos),
@@ -46,6 +55,9 @@ fn sharded_kv_over_tcp_through_chaos_is_atomic_per_key() {
         let histories = Arc::clone(&histories);
         threads.push(std::thread::spawn(move || {
             let mut handle = store.handle(hid).expect("handle in pool");
+            // Short per-op budget on purpose: resubmission must absorb
+            // the drops well inside it, or the `expect`s below fire.
+            handle.set_timeout(Duration::from_secs(2));
             let mut rng = rastor::common::SplitMix64::new(0x7e1e_c0de + u64::from(hid));
             for op in 0..OPS_PER_HANDLE {
                 let k = rng.gen_range(0, KEYS as u64 - 1) as usize;
@@ -243,6 +255,100 @@ fn server_side_restart_mid_traffic_stays_atomic() {
             );
         }
     }
+}
+
+/// The mid-traffic socket-kill soak: every accepted connection of one
+/// shard's server is severed while ops are in flight (twice), and every
+/// op still completes — the `NetCluster` redials the dead endpoint and
+/// resubmits whatever was pending, so a dead socket costs latency, not
+/// an error. Per-key `check_atomic` after, and the resubmission counter
+/// must show the recovery path actually ran.
+#[test]
+fn mid_traffic_socket_kill_completes_all_ops_via_resubmission() {
+    const KILL_OPS: u64 = 32;
+    let resub_before =
+        rastor::obs::Registry::global().counter_value(rastor::obs::names::NET_RESUBMISSIONS);
+    let kv = NetKv::spawn(
+        StoreConfig::new(1, SHARDS, HANDLES).with_jitter(Duration::from_micros(100)),
+        None,
+    )
+    .expect("net kv");
+
+    let epoch = Instant::now();
+    let histories: Arc<Vec<Mutex<History>>> =
+        Arc::new((0..KEYS).map(|_| Mutex::new(History::new())).collect());
+    let now_us = move |at: Instant| -> u64 { (at - epoch).as_micros() as u64 };
+
+    let mut threads = Vec::new();
+    for hid in 0..HANDLES {
+        let store = kv.store.clone();
+        let histories = Arc::clone(&histories);
+        threads.push(std::thread::spawn(move || {
+            let mut handle = store.handle(hid).expect("handle in pool");
+            handle.set_timeout(Duration::from_secs(5));
+            let mut rng = rastor::common::SplitMix64::new(0x5_0c4e7 + u64::from(hid));
+            for op in 0..KILL_OPS {
+                let k = rng.gen_range(0, KEYS as u64 - 1) as usize;
+                let key = key_name(k);
+                let invoked = Instant::now();
+                if rng.next_f64() < 0.5 {
+                    let val = Value::from_u64(u64::from(hid) << 32 | (op + 1));
+                    let tag = handle.put(&key, val.clone()).expect("put across the kill");
+                    let completed = Instant::now();
+                    histories[k].lock().unwrap().push_write(WriteRec {
+                        ts: tag.to_timestamp(),
+                        val,
+                        invoked_at: now_us(invoked),
+                        completed_at: Some(now_us(completed)),
+                    });
+                } else {
+                    let pair = handle.get_pair(&key).expect("get across the kill");
+                    let completed = Instant::now();
+                    histories[k].lock().unwrap().push_read(ReadRec {
+                        client: ClientId::reader(hid),
+                        invoked_at: now_us(invoked),
+                        completed_at: now_us(completed),
+                        returned: pair,
+                    });
+                }
+            }
+        }));
+    }
+
+    // Sever shard 0's sockets twice while the ops are in flight. The
+    // listener and the objects stay up — only the connections die.
+    for pause_ms in [3u64, 9] {
+        std::thread::sleep(Duration::from_millis(pause_ms));
+        kv.servers[0].drop_connections();
+    }
+
+    for t in threads {
+        t.join().expect("soak thread");
+    }
+
+    let mut total = 0;
+    for (k, hist) in histories.iter().enumerate() {
+        let hist = hist.lock().unwrap();
+        total += hist.writes().count() + hist.reads().len();
+        let violations = hist.check_atomic();
+        assert!(
+            violations.is_empty(),
+            "key {}: atomicity violations across the socket kill: {:?}",
+            key_name(k),
+            violations
+        );
+    }
+    assert_eq!(
+        total as u64,
+        u64::from(HANDLES) * KILL_OPS,
+        "every operation must complete and be recorded despite the kills"
+    );
+    let resub_after =
+        rastor::obs::Registry::global().counter_value(rastor::obs::names::NET_RESUBMISSIONS);
+    assert!(
+        resub_after > resub_before,
+        "killing live sockets mid-traffic must exercise the resubmission path"
+    );
 }
 
 /// The pipelined handle API works unchanged over sockets: a depth-4 burst
