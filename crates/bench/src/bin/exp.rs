@@ -12,12 +12,14 @@
 //! times and writes `BENCH_store.json`; `t9` measures the adaptive
 //! fast-read path's round counts and sweeps the schedule explorer's
 //! exhaustive delay-rule universe; `t10` measures the observability
-//! seam's throughput overhead (metrics off vs on, interleaved and
-//! medianed) and writes `BENCH_obs.json`; `--quick` trims them to
-//! smoke-test size.
+//! seams' throughput overhead (metrics off vs on, and the span
+//! recorder off vs on, interleaved and medianed) and writes
+//! `BENCH_obs.json`; `--quick` trims them to smoke-test size.
 
 use rastor_bench::netbench::{net_bench_json, net_throughput_matrix, CHAOS_FRAME_DELAY};
-use rastor_bench::obsbench::{obs_bench_json, obs_overhead_matrix, OVERHEAD_GATE_PCT};
+use rastor_bench::obsbench::{
+    obs_bench_json, obs_overhead_matrix, OVERHEAD_GATE_PCT, TRACE_OVERHEAD_GATE_PCT,
+};
 use rastor_bench::storebench::{store_bench_json, store_matrix};
 use rastor_bench::workload::{bench_json, kv_throughput_matrix};
 use rastor_bench::{
@@ -396,8 +398,8 @@ fn t10(quick: bool) {
         if quick { "quick" } else { "full" }
     );
     println!(
-        "{:<18} {:<7} {:>5} {:>5} {:>6} {:>10} {:>18}",
-        "workload", "metrics", "depth", "ops", "errs", "ops/sec", "get p50/p95 µs"
+        "{:<20} {:<7} {:<7} {:>5} {:>5} {:>6} {:>10} {:>18}",
+        "workload", "metrics", "tracing", "depth", "ops", "errs", "ops/sec", "get p50/p95 µs"
     );
     let matrix = obs_overhead_matrix(quick);
     for row in &matrix.rows {
@@ -406,12 +408,17 @@ fn t10(quick: bool) {
                 .unwrap_or_else(|| "-".into())
         };
         println!(
-            "{:<18} {:<7} {:>5} {:>5} {:>6} {:>10.1} {:>18}",
+            "{:<20} {:<7} {:<7} {:>5} {:>5} {:>6} {:>10.1} {:>18}",
             row.cfg.name,
             if row.cfg.name.starts_with("noobs-") {
                 "off"
             } else {
                 "on"
+            },
+            if row.cfg.name.starts_with("trace-on-") {
+                "on"
+            } else {
+                "off"
             },
             row.cfg.depth,
             row.ops,
@@ -433,8 +440,17 @@ fn t10(quick: bool) {
         fmt_runs(&matrix.obs_runs),
     );
     println!(
+        "                              trace-off [{}] / trace-on [{}]",
+        fmt_runs(&matrix.trace_off_runs),
+        fmt_runs(&matrix.trace_on_runs),
+    );
+    println!(
         "metrics overhead at depth 8 (median vs median): {:.2}% (gate: < {OVERHEAD_GATE_PCT}%)",
         matrix.overhead_pct
+    );
+    println!(
+        "tracing overhead at depth 8 (median vs median): {:.2}% (gate: < {TRACE_OVERHEAD_GATE_PCT}%)",
+        matrix.trace_overhead_pct
     );
     let json = obs_bench_json(&matrix, quick);
     match std::fs::write("BENCH_obs.json", &json) {

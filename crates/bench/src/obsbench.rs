@@ -21,15 +21,28 @@
 //! arm is the **median** across repeats, not a single run. The gate
 //! clamps at zero — "obs measured faster than noobs" is scheduler noise,
 //! not negative cost.
+//!
+//! The tracing twin pair (`trace-off-*` / `trace-on-*`) measures the
+//! span recorder the same way: both arms run with the metrics seam on,
+//! and differ only in whether the process-global
+//! [`rastor_obs::trace::SpanRecorder`] is enabled — trace-id minting,
+//! one span per layer hop, and slow-op capture judging on every
+//! completed op. Its gate is [`TRACE_OVERHEAD_GATE_PCT`].
 
 use crate::workload::{json_summary, measure_store, seed_keys, WorkloadCfg, WorkloadRow};
 use rastor_kv::{ShardedKvStore, StoreConfig};
-use rastor_obs::Registry;
+use rastor_obs::{trace, Registry};
 use std::sync::Arc;
 
 /// The CI gate on metrics overhead, in percent: the obs arm's median
 /// throughput must stay within this much of the noobs arm's.
 pub const OVERHEAD_GATE_PCT: f64 = 3.0;
+
+/// The CI gate on tracing overhead, in percent: the trace-on arm's
+/// median throughput must stay within this much of the trace-off arm's.
+/// Looser than the metrics gate — a traced op pays a clock read and a
+/// span append per layer hop, not one seam — but still "near-free".
+pub const TRACE_OVERHEAD_GATE_PCT: f64 = 5.0;
 
 /// Everything `exp t10` reports.
 pub struct ObsMatrix {
@@ -44,6 +57,13 @@ pub struct ObsMatrix {
     /// `max(0, (noobs - obs) / noobs) · 100` over the depth-8 medians —
     /// the gated number.
     pub overhead_pct: f64,
+    /// Per-repeat throughput of the depth-8 recorder-disabled arm.
+    pub trace_off_runs: Vec<f64>,
+    /// Per-repeat throughput of the depth-8 recorder-enabled arm.
+    pub trace_on_runs: Vec<f64>,
+    /// `max(0, (off - on) / off) · 100` over the depth-8 tracing
+    /// medians — gated by [`TRACE_OVERHEAD_GATE_PCT`].
+    pub trace_overhead_pct: f64,
 }
 
 /// Build the workload's store with the kv metrics seam pointed at
@@ -76,12 +96,31 @@ fn median_run(mut runs: Vec<WorkloadRow>) -> (WorkloadRow, Vec<f64>) {
     (runs.swap_remove(idx), tputs)
 }
 
-/// The T10 matrix: `{noobs, obs} × {depth 1, depth 8}` on the 4-shard,
-/// 4-thread, 90%-get mix of `s4-get90`. The depth-8 pair is the gated
-/// one and runs `repeats` interleaved times per arm; the closed-loop
-/// pair runs once per arm (it exists so `check_bench`'s pipelining
-/// invariant covers these rows too). `quick` trims op and repeat counts
-/// for CI smoke runs.
+/// Run one tracing arm: metrics seam on (its cost is identical in both
+/// arms), the process-global span recorder toggled to `enabled` for the
+/// duration of the run. The recorder is left disabled afterwards so
+/// other arms and callers run untraced.
+fn run_traced(cfg: &WorkloadCfg, enabled: bool) -> WorkloadRow {
+    let rec = trace::global();
+    rec.set_threshold_us(trace::DEFAULT_SLOW_OP_THRESHOLD_US);
+    rec.set_sample_every(trace::DEFAULT_SAMPLE_EVERY);
+    rec.set_enabled(enabled);
+    let row = run_with_metrics(cfg, Some(Arc::new(Registry::new())));
+    rec.set_enabled(false);
+    row
+}
+
+/// The overhead between two medianed arms, clamped at zero.
+fn overhead_between(base: &WorkloadRow, loaded: &WorkloadRow) -> f64 {
+    ((base.ops_per_sec - loaded.ops_per_sec) / base.ops_per_sec.max(1e-9) * 100.0).max(0.0)
+}
+
+/// The T10 matrix: `{noobs, obs, trace-off, trace-on} × {depth 1,
+/// depth 8}` on the 4-shard, 4-thread, 90%-get mix of `s4-get90`. The
+/// depth-8 pairs are the gated ones and run `repeats` interleaved times
+/// per arm; the closed-loop rows run once per arm (they exist so
+/// `check_bench`'s pipelining invariant covers these rows too). `quick`
+/// trims op and repeat counts for CI smoke runs.
 pub fn obs_overhead_matrix(quick: bool) -> ObsMatrix {
     let ops = if quick { 30 } else { 150 };
     let repeats = if quick { 5 } else { 7 };
@@ -92,6 +131,9 @@ pub fn obs_overhead_matrix(quick: bool) -> ObsMatrix {
     };
     let depth8 = |arm: &str| depth1(arm).pipelined(8);
 
+    // The metrics pair runs untraced: the recorder is off by default,
+    // but make that explicit in case a caller left it on.
+    trace::global().set_enabled(false);
     let mut rows = vec![
         run_with_metrics(&depth1("noobs"), None),
         run_with_metrics(&depth1("obs"), Some(Arc::new(Registry::new()))),
@@ -108,25 +150,43 @@ pub fn obs_overhead_matrix(quick: bool) -> ObsMatrix {
     }
     let (noobs_row, noobs_runs) = median_run(noobs);
     let (obs_row, obs_runs) = median_run(obs);
-    let overhead_pct =
-        ((noobs_row.ops_per_sec - obs_row.ops_per_sec) / noobs_row.ops_per_sec.max(1e-9) * 100.0)
-            .max(0.0);
+    let overhead_pct = overhead_between(&noobs_row, &obs_row);
     rows.push(noobs_row);
     rows.push(obs_row);
+
+    // The tracing pair, same interleaved-median discipline.
+    rows.push(run_traced(&depth1("trace-off"), false));
+    rows.push(run_traced(&depth1("trace-on"), true));
+    let mut t_off = Vec::with_capacity(repeats);
+    let mut t_on = Vec::with_capacity(repeats);
+    for _ in 0..repeats {
+        t_off.push(run_traced(&depth8("trace-off"), false));
+        t_on.push(run_traced(&depth8("trace-on"), true));
+    }
+    let (t_off_row, trace_off_runs) = median_run(t_off);
+    let (t_on_row, trace_on_runs) = median_run(t_on);
+    let trace_overhead_pct = overhead_between(&t_off_row, &t_on_row);
+    rows.push(t_off_row);
+    rows.push(t_on_row);
+
     ObsMatrix {
         rows,
         noobs_runs,
         obs_runs,
         overhead_pct,
+        trace_off_runs,
+        trace_on_runs,
+        trace_overhead_pct,
     }
 }
 
 /// Serialize the T10 results as the `BENCH_obs.json` document
 /// (`rastor-obs-overhead/v1`): one result object per line, same line
-/// discipline as the other bench documents. Each row carries a
-/// `metrics` label (`"off"`/`"on"`); the depth-8 obs row additionally
-/// carries the gated `overhead_pct`, which `scripts/check_bench.rs`
-/// requires to stay below [`OVERHEAD_GATE_PCT`].
+/// discipline as the other bench documents. Each row carries `metrics`
+/// and `tracing` arm labels (`"off"`/`"on"`); the depth-8 obs and
+/// trace-on rows additionally carry their gated `overhead_pct`, which
+/// `scripts/check_bench.rs` requires to stay below
+/// [`OVERHEAD_GATE_PCT`] / [`TRACE_OVERHEAD_GATE_PCT`] respectively.
 pub fn obs_bench_json(matrix: &ObsMatrix, quick: bool) -> String {
     let mut out = String::new();
     out.push_str("{\n");
@@ -134,18 +194,25 @@ pub fn obs_bench_json(matrix: &ObsMatrix, quick: bool) -> String {
     out.push_str(&format!("\"quick\": {quick},\n"));
     out.push_str(&format!("\"repeats\": {},\n", matrix.noobs_runs.len()));
     out.push_str(&format!("\"overhead_pct\": {:.3},\n", matrix.overhead_pct));
+    out.push_str(&format!(
+        "\"trace_overhead_pct\": {:.3},\n",
+        matrix.trace_overhead_pct
+    ));
     out.push_str("\"results\": [\n");
     for (i, row) in matrix.rows.iter().enumerate() {
         let c = &row.cfg;
-        let overhead = if c.name.starts_with("obs-") && c.depth > 1 {
+        let overhead = if c.depth > 1 && c.name.starts_with("obs-") {
             format!(",\"overhead_pct\":{:.3}", matrix.overhead_pct)
+        } else if c.depth > 1 && c.name.starts_with("trace-on-") {
+            format!(",\"overhead_pct\":{:.3}", matrix.trace_overhead_pct)
         } else {
             String::new()
         };
         out.push_str(&format!(
-            "{{\"name\":\"{}\",\"metrics\":\"{}\",\"shards\":{},\"threads\":{},\"depth\":{},\"put_pct\":{},\"ops\":{},\"errors\":{},\"elapsed_secs\":{:.4},\"ops_per_sec\":{:.1},{},{},\"repeat_ops_per_sec\":[{}]{}}}{}\n",
+            "{{\"name\":\"{}\",\"metrics\":\"{}\",\"tracing\":\"{}\",\"shards\":{},\"threads\":{},\"depth\":{},\"put_pct\":{},\"ops\":{},\"errors\":{},\"elapsed_secs\":{:.4},\"ops_per_sec\":{:.1},{},{},\"repeat_ops_per_sec\":[{}]{}}}{}\n",
             c.name,
             if c.name.starts_with("noobs-") { "off" } else { "on" },
+            if c.name.starts_with("trace-on-") { "on" } else { "off" },
             c.shards,
             c.threads,
             c.depth,
@@ -171,6 +238,8 @@ fn repeats_of(name: &str, matrix: &ObsMatrix) -> String {
     let runs = match name {
         n if n.starts_with("noobs-") && n.ends_with("-d8") => &matrix.noobs_runs,
         n if n.starts_with("obs-") && n.ends_with("-d8") => &matrix.obs_runs,
+        n if n.starts_with("trace-off-") && n.ends_with("-d8") => &matrix.trace_off_runs,
+        n if n.starts_with("trace-on-") && n.ends_with("-d8") => &matrix.trace_on_runs,
         _ => return String::new(),
     };
     runs.iter()
@@ -188,8 +257,17 @@ mod tests {
         // A hand-shrunk variant of obs_overhead_matrix: same row names
         // and shape, minimal ops so the suite stays fast.
         let mut rows = Vec::new();
-        let mut runs = (Vec::new(), Vec::new());
-        for (arm, depth) in [("noobs", 1), ("obs", 1), ("noobs", 8), ("obs", 8)] {
+        let mut runs = (Vec::new(), Vec::new(), Vec::new(), Vec::new());
+        for (arm, depth) in [
+            ("noobs", 1),
+            ("obs", 1),
+            ("noobs", 8),
+            ("obs", 8),
+            ("trace-off", 1),
+            ("trace-on", 1),
+            ("trace-off", 8),
+            ("trace-on", 8),
+        ] {
             let mut cfg = WorkloadCfg::closed(&format!("{arm}-s4-get90"), 4, 4, 10);
             cfg.keys = 8;
             cfg.ops_per_thread = 8;
@@ -197,23 +275,31 @@ mod tests {
             if depth > 1 {
                 cfg = cfg.pipelined(depth);
             }
-            let metrics = (arm == "obs").then(|| Arc::new(Registry::new()));
-            let row = run_with_metrics(&cfg, metrics);
+            let row = match arm {
+                "noobs" => run_with_metrics(&cfg, None),
+                "obs" => run_with_metrics(&cfg, Some(Arc::new(Registry::new()))),
+                other => run_traced(&cfg, other == "trace-on"),
+            };
             if depth > 1 {
-                if arm == "noobs" {
-                    runs.0.push(row.ops_per_sec);
-                } else {
-                    runs.1.push(row.ops_per_sec);
+                match arm {
+                    "noobs" => runs.0.push(row.ops_per_sec),
+                    "obs" => runs.1.push(row.ops_per_sec),
+                    "trace-off" => runs.2.push(row.ops_per_sec),
+                    _ => runs.3.push(row.ops_per_sec),
                 }
             }
             rows.push(row);
         }
         let overhead_pct = ((runs.0[0] - runs.1[0]) / runs.0[0] * 100.0).max(0.0);
+        let trace_overhead_pct = ((runs.2[0] - runs.3[0]) / runs.2[0] * 100.0).max(0.0);
         ObsMatrix {
             rows,
             noobs_runs: runs.0,
             obs_runs: runs.1,
             overhead_pct,
+            trace_off_runs: runs.2,
+            trace_on_runs: runs.3,
+            trace_overhead_pct,
         }
     }
 
@@ -282,10 +368,16 @@ mod tests {
         assert!(doc.contains("\"schema\": \"rastor-obs-overhead/v1\""));
         assert!(doc.contains("\"name\":\"noobs-s4-get90\""));
         assert!(doc.contains("\"name\":\"obs-s4-get90-d8\""));
+        assert!(doc.contains("\"name\":\"trace-off-s4-get90\""));
+        assert!(doc.contains("\"name\":\"trace-on-s4-get90-d8\""));
         assert!(doc.contains("\"metrics\":\"off\""));
         assert!(doc.contains("\"metrics\":\"on\""));
-        // Exactly one row carries the gated field (plus the header line).
-        assert_eq!(doc.matches("\"overhead_pct\":").count(), 2);
+        assert!(doc.contains("\"tracing\":\"on\""));
+        assert!(doc.contains("\"trace_overhead_pct\":"));
+        // Exactly two rows carry a gated field (plus the header line);
+        // `"trace_overhead_pct"` does not match — the pattern is
+        // quote-anchored.
+        assert_eq!(doc.matches("\"overhead_pct\":").count(), 3);
         assert_eq!(doc.matches('{').count(), doc.matches('}').count());
         assert_eq!(doc.matches('[').count(), doc.matches(']').count());
     }

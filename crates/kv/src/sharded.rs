@@ -43,7 +43,7 @@ use rastor_core::clients::OpOutput;
 use rastor_core::msg::{Rep, Req};
 use rastor_core::mwmr::{mw_read_in_group_mode, MwWriteClient, RegGroup, Tag};
 use rastor_core::ReadMode;
-use rastor_obs::{names, CounterVec, Histogram, Registry, TimeRing};
+use rastor_obs::{names, trace, CounterVec, Histogram, Registry, TimeRing};
 use rastor_sim::runtime::{ObjReply, ReqFrame, ThreadClient, ThreadCluster, Transport};
 use rastor_sim::ObjectBehavior;
 use rastor_store::{Durability, InMemory, WalBacked};
@@ -854,6 +854,21 @@ impl KvHandle {
                     OpKind::Read => m.get_latency.record(us),
                 }
                 m.ops_ring.record(us);
+            }
+            if r.trace != trace::NO_TRACE {
+                // Close the trace at the harvest seam: one `kv.op` span
+                // covering submit to harvest (detail 0 = put, 1 = get),
+                // then hand the buffer to the slow-op filter.
+                let end = trace::epoch_us();
+                let us = u64::try_from(p.started.elapsed().as_micros()).unwrap_or(u64::MAX);
+                trace::global().record(
+                    r.trace,
+                    trace::span::KV_OP,
+                    u64::from(p.kind == OpKind::Read),
+                    end.saturating_sub(us),
+                    end,
+                );
+                trace::global().finish(r.trace, end);
             }
             self.ready.push((p.op, outcome));
         }

@@ -436,6 +436,7 @@ impl Transport<Req, Rep> for NetCluster {
                 .map(|f| WireReqFrame {
                     op_nonce: f.op_nonce,
                     round: f.round,
+                    trace: f.trace,
                     req: (*f.payload).clone(),
                 })
                 .collect(),

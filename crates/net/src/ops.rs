@@ -159,6 +159,19 @@ impl ControlClient {
         }
     }
 
+    /// Fetch the server's captured slow-op traces as a `rastor-traces/v1`
+    /// JSON document (one captured trace per line).
+    ///
+    /// # Errors
+    ///
+    /// As [`ControlClient::status`].
+    pub fn traces_json(&self) -> Result<String> {
+        match self.call(|corr| Frame::TraceReq { corr })? {
+            Frame::Trace { json, .. } => Ok(json),
+            other => Err(off_protocol("TraceReq", &other)),
+        }
+    }
+
     /// Push counter increments into the server's registry (the transport
     /// behind `rastor bench` reporting client-side per-shard read counts
     /// to the shard that earned them). Invalid names are dropped
@@ -257,6 +270,10 @@ impl Events for OpsState {
             Frame::MetricsReq { corr } => Frame::Metrics {
                 corr,
                 json: Registry::global().snapshot_json(),
+            },
+            Frame::TraceReq { corr } => Frame::Trace {
+                corr,
+                json: rastor_obs::trace::global().traces_json(),
             },
             Frame::Report { corr, counts } => {
                 let registry = Registry::global();

@@ -118,6 +118,7 @@ const READ_CHUNK: usize = 64 * 1024;
 struct ReactorMetrics {
     wakeups: Arc<Counter>,
     conns_open: Arc<Counter>,
+    idle_tick_promotions: Arc<Counter>,
 }
 
 fn reactor_metrics() -> &'static ReactorMetrics {
@@ -127,6 +128,7 @@ fn reactor_metrics() -> &'static ReactorMetrics {
         ReactorMetrics {
             wakeups: r.counter(names::NET_READINESS_WAKEUPS),
             conns_open: r.counter(names::NET_CONNS_OPEN),
+            idle_tick_promotions: r.counter(names::NET_IDLE_TICK_PROMOTIONS),
         }
     })
 }
@@ -869,6 +871,11 @@ fn worker_loop(
                             if let Some(c) = conns.get_mut(&id) {
                                 c.last_active = woke;
                                 if !c.shared.hot.swap(true, Ordering::AcqRel) {
+                                    // A cold conn only reaches the poll set
+                                    // through the full idle-tick sweep, so a
+                                    // false→true flip here means its
+                                    // readiness waited on the sweep.
+                                    reactor_metrics().idle_tick_promotions.inc();
                                     hot.push(id);
                                 }
                                 let (_, alive) = service(c, handler, &mut scratch, rd, wr);

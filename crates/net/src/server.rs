@@ -27,7 +27,7 @@ use crate::reactor::{ConnHandle, Events, Reactor, ReactorHandle};
 use crate::wire::{self, Frame, ObjectStatus, RepEnvelope, WireRepFrame, WireReqFrame};
 use rastor_common::{ClientId, Error, ObjectId, Result, SplitMix64};
 use rastor_core::msg::{Rep, Req};
-use rastor_obs::{names, Counter, Registry};
+use rastor_obs::{names, trace, Counter, Registry};
 use rastor_sim::ObjectBehavior;
 use std::collections::{BinaryHeap, VecDeque};
 use std::net::{SocketAddr, TcpListener};
@@ -49,6 +49,10 @@ struct NetMetrics {
     frames_out: Arc<Counter>,
     version_mismatches: Arc<Counter>,
     status_queries: Arc<Counter>,
+    /// Per-minute envelope handling time — what `rastor watch` draws,
+    /// so a pure serving process has a live ring even though the kv-seam
+    /// rings live in its clients.
+    envelopes_ring: Arc<rastor_obs::TimeRing>,
 }
 
 fn net_metrics() -> &'static NetMetrics {
@@ -60,6 +64,7 @@ fn net_metrics() -> &'static NetMetrics {
             frames_out: r.counter(names::NET_FRAMES_OUT),
             version_mismatches: r.counter(names::NET_VERSION_MISMATCHES),
             status_queries: r.counter(names::NET_STATUS_QUERIES),
+            envelopes_ring: r.ring(names::NET_ENVELOPES_RING_US, 60, Duration::from_secs(60)),
         }
     })
 }
@@ -71,6 +76,10 @@ struct Job {
     frames: Arc<Vec<WireReqFrame>>,
     /// The requesting connection, for the reply envelope.
     conn: ConnHandle,
+    /// When the envelope left the reactor (trace clock µs; 0 when no
+    /// frame in the envelope is traced) — start of the `server.queue`
+    /// span.
+    enqueued_us: u64,
 }
 
 /// One hosted object's serving state.
@@ -170,11 +179,18 @@ impl ServerState {
     /// timer when the server runs with service delay.
     fn fan_out(&self, client: ClientId, frames: Arc<Vec<WireReqFrame>>, conn: &ConnHandle) {
         let now = Instant::now();
+        // One clock read per envelope, skipped entirely when untraced.
+        let enqueued_us = if frames.iter().any(|f| f.trace != trace::NO_TRACE) {
+            trace::epoch_us()
+        } else {
+            0
+        };
         for (i, slot) in self.slots.iter().enumerate() {
             let job = Job {
                 client,
                 frames: Arc::clone(&frames),
                 conn: conn.clone(),
+                enqueued_us,
             };
             match self.jitter {
                 Some(j) => {
@@ -286,6 +302,16 @@ impl Events for ServerState {
                     },
                 );
             }
+            Frame::TraceReq { corr } => {
+                net_metrics().status_queries.inc();
+                self.reply(
+                    conn,
+                    &Frame::Trace {
+                        corr,
+                        json: trace::global().traces_json(),
+                    },
+                );
+            }
             Frame::Report { corr, counts } => {
                 let registry = Registry::global();
                 for (name, n) in &counts {
@@ -372,13 +398,60 @@ fn executor_loop(state: &ServerState) {
             let Some(b) = behavior.as_mut() else { continue };
             slot.served.fetch_add(1, Ordering::Relaxed);
             let oid = ObjectId(state.first_id + obj as u32);
+            let dequeued_us = if job.enqueued_us != 0 {
+                trace::epoch_us()
+            } else {
+                0
+            };
             let frames: Vec<WireRepFrame> = job
                 .frames
                 .iter()
                 .filter_map(|f| {
-                    b.on_request(job.client, &f.req).map(|rep| WireRepFrame {
+                    // Traced frames get a queue span (reactor hand-off to
+                    // executor pickup) and an apply span around the
+                    // behavior, with the thread trace context set so
+                    // durable behaviors hang WAL spans under the same
+                    // trace. Each envelope's server-side work is closed
+                    // (`finish`) right here: server-side slow-op capture
+                    // judges envelopes, not whole client ops.
+                    let rep = if f.trace == trace::NO_TRACE {
+                        let start = trace::epoch_us();
+                        let rep = b.on_request(job.client, &f.req);
+                        net_metrics()
+                            .envelopes_ring
+                            .record(trace::epoch_us().saturating_sub(start));
+                        rep
+                    } else {
+                        let rec = trace::global();
+                        rec.record(
+                            f.trace,
+                            trace::span::SERVER_QUEUE,
+                            u64::from(oid.0),
+                            job.enqueued_us,
+                            dequeued_us,
+                        );
+                        let start = trace::epoch_us();
+                        let prev = trace::set_current(f.trace);
+                        let rep = b.on_request(job.client, &f.req);
+                        trace::set_current(prev);
+                        let end = trace::epoch_us();
+                        rec.record(
+                            f.trace,
+                            trace::span::SERVER_APPLY,
+                            u64::from(oid.0),
+                            start,
+                            end,
+                        );
+                        rec.finish(f.trace, end);
+                        net_metrics()
+                            .envelopes_ring
+                            .record(end.saturating_sub(start));
+                        rep
+                    };
+                    rep.map(|rep| WireRepFrame {
                         op_nonce: f.op_nonce,
                         round: f.round,
+                        trace: f.trace,
                         rep,
                     })
                 })

@@ -47,7 +47,13 @@ use rastor_core::token::Token;
 use std::io::{Read, Write};
 
 /// The wire protocol version this build speaks.
-pub const WIRE_VERSION: u8 = 1;
+///
+/// History: v1 was the pre-tracing layout; v2 added a `u64` trace id to
+/// every request/reply frame and the `TraceReq`/`Trace` control pair. A
+/// v1 peer is refused per frame with [`Frame::VersionMismatch`] — the
+/// negotiation machinery predates the bump, so mixed fleets fail loudly
+/// and keep their connections usable.
+pub const WIRE_VERSION: u8 = 2;
 
 /// The two magic bytes opening every frame.
 pub const MAGIC: [u8; 2] = *b"rW";
@@ -70,7 +76,9 @@ const KIND_REPORT: u8 = 8;
 const KIND_ACK: u8 = 9;
 const KIND_ADMIN_REQ: u8 = 10;
 const KIND_ADMIN_REP: u8 = 11;
-const KIND_MAX: u8 = KIND_ADMIN_REP;
+const KIND_TRACE_REQ: u8 = 12;
+const KIND_TRACE: u8 = 13;
+const KIND_MAX: u8 = KIND_TRACE;
 
 /// One round of one operation inside a request envelope, as carried on the
 /// wire (the owned twin of `rastor_sim::runtime::ReqFrame`).
@@ -80,6 +88,9 @@ pub struct WireReqFrame {
     pub op_nonce: u64,
     /// The round the frame drives.
     pub round: u32,
+    /// The operation's trace id (0 when the client traces nothing) —
+    /// carried end to end so server-side spans join the same trace.
+    pub trace: u64,
     /// The round's request.
     pub req: Req,
 }
@@ -102,6 +113,8 @@ pub struct WireRepFrame {
     pub op_nonce: u64,
     /// The round the reply answers.
     pub round: u32,
+    /// The request frame's trace id, echoed back (0 when untraced).
+    pub trace: u64,
     /// The object's reply.
     pub rep: Rep,
 }
@@ -244,6 +257,20 @@ pub enum Frame {
         /// Human-readable detail (an error message when `!ok`).
         detail: String,
     },
+    /// A slow-op trace query (control plane): "dump your captured slow-op
+    /// traces". Answered with [`Frame::Trace`] echoing `corr`.
+    TraceReq {
+        /// Correlation id, echoed in the reply.
+        corr: u64,
+    },
+    /// A server's answer to [`Frame::TraceReq`]: its span recorder's
+    /// captured slow-op traces as a `rastor-traces/v1` JSON document.
+    Trace {
+        /// The query's correlation id.
+        corr: u64,
+        /// The `rastor-traces/v1` document.
+        json: String,
+    },
 }
 
 impl Frame {
@@ -261,7 +288,9 @@ impl Frame {
             | Frame::Report { corr, .. }
             | Frame::Ack { corr }
             | Frame::AdminReq { corr, .. }
-            | Frame::AdminRep { corr, .. } => Some(*corr),
+            | Frame::AdminRep { corr, .. }
+            | Frame::TraceReq { corr }
+            | Frame::Trace { corr, .. } => Some(*corr),
         }
     }
 }
@@ -381,6 +410,7 @@ fn encode_body(frame: &Frame, out: &mut Vec<u8>) {
             for f in &env.frames {
                 put_u64(out, f.op_nonce);
                 put_u32(out, f.round);
+                put_u64(out, f.trace);
                 encode_req(&f.req, out);
             }
         }
@@ -391,6 +421,7 @@ fn encode_body(frame: &Frame, out: &mut Vec<u8>) {
             for f in &env.frames {
                 put_u64(out, f.op_nonce);
                 put_u32(out, f.round);
+                put_u64(out, f.trace);
                 encode_rep(&f.rep, out);
             }
         }
@@ -403,7 +434,10 @@ fn encode_body(frame: &Frame, out: &mut Vec<u8>) {
             out.push(*want);
             put_u64(out, *corr);
         }
-        Frame::StatusReq { corr } | Frame::MetricsReq { corr } | Frame::Ack { corr } => {
+        Frame::StatusReq { corr }
+        | Frame::MetricsReq { corr }
+        | Frame::Ack { corr }
+        | Frame::TraceReq { corr } => {
             put_u64(out, *corr);
         }
         Frame::Status { corr, objects } => {
@@ -415,7 +449,7 @@ fn encode_body(frame: &Frame, out: &mut Vec<u8>) {
                 put_u64(out, o.served);
             }
         }
-        Frame::Metrics { corr, json } => {
+        Frame::Metrics { corr, json } | Frame::Trace { corr, json } => {
             put_u64(out, *corr);
             put_bytes(out, json.as_bytes());
         }
@@ -477,6 +511,8 @@ pub fn encode_frame(frame: &Frame) -> Vec<u8> {
         Frame::Ack { .. } => KIND_ACK,
         Frame::AdminReq { .. } => KIND_ADMIN_REQ,
         Frame::AdminRep { .. } => KIND_ADMIN_REP,
+        Frame::TraceReq { .. } => KIND_TRACE_REQ,
+        Frame::Trace { .. } => KIND_TRACE,
     });
     put_u32(&mut out, 0); // patched below
     encode_body(frame, &mut out);
@@ -674,6 +710,7 @@ fn decode_body(kind: u8, body: &[u8]) -> Result<Frame> {
                 frames.push(WireReqFrame {
                     op_nonce: d.u64()?,
                     round: d.u32()?,
+                    trace: d.u64()?,
                     req: read_req(&mut d)?,
                 });
             }
@@ -688,6 +725,7 @@ fn decode_body(kind: u8, body: &[u8]) -> Result<Frame> {
                 frames.push(WireRepFrame {
                     op_nonce: d.u64()?,
                     round: d.u32()?,
+                    trace: d.u64()?,
                     rep: read_rep(&mut d)?,
                 });
             }
@@ -752,6 +790,11 @@ fn decode_body(kind: u8, body: &[u8]) -> Result<Frame> {
             corr: d.u64()?,
             ok: read_bool(&mut d)?,
             detail: read_string(&mut d)?,
+        },
+        KIND_TRACE_REQ => Frame::TraceReq { corr: d.u64()? },
+        KIND_TRACE => Frame::Trace {
+            corr: d.u64()?,
+            json: read_string(&mut d)?,
         },
         _ => unreachable!("decode_header admits only known kinds"),
     };
@@ -980,6 +1023,7 @@ mod tests {
                 WireReqFrame {
                     op_nonce: 7,
                     round: 1,
+                    trace: 0xfeed_beef,
                     req: Req::Collect {
                         regs: vec![RegId::WRITER, RegId::ReaderReg(2)],
                     },
@@ -987,6 +1031,7 @@ mod tests {
                 WireReqFrame {
                     op_nonce: 8,
                     round: 3,
+                    trace: 0,
                     req: Req::Commit {
                         reg: RegId::Writer(1),
                         pair: Stamped::plain(pair(4, 44)),
@@ -1013,6 +1058,7 @@ mod tests {
             frames: vec![WireRepFrame {
                 op_nonce: 1,
                 round: 2,
+                trace: 9,
                 rep: Rep::Views {
                     views: vec![(
                         RegId::WRITER,
@@ -1103,6 +1149,11 @@ mod tests {
                 corr: 10,
                 ok: false,
                 detail: "durability 'in-memory' cannot recover state".into(),
+            },
+            Frame::TraceReq { corr: 11 },
+            Frame::Trace {
+                corr: 12,
+                json: "{\n\"schema\": \"rastor-traces/v1\"\n}".into(),
             },
         ]
     }

@@ -38,6 +38,7 @@ fn collect_req(from: ClientId) -> Frame {
         frames: vec![WireReqFrame {
             op_nonce: 1,
             round: 1,
+            trace: 0,
             req: Req::Collect {
                 regs: vec![RegId::WRITER],
             },

@@ -237,6 +237,7 @@ fn future_version_frame_gets_a_mismatch_reply_and_the_connection_survives() {
         frames: vec![WireReqFrame {
             op_nonce: 1,
             round: 1,
+            trace: 0,
             req: Req::Collect {
                 regs: vec![RegId::WRITER],
             },

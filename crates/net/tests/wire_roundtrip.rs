@@ -101,6 +101,7 @@ fn arb_frame(rng: &mut SplitMix64) -> Frame {
                 .map(|_| WireReqFrame {
                     op_nonce: rng.next_u64(),
                     round: rng.gen_range(1, 64) as u32,
+                    trace: rng.next_u64(),
                     req: arb_req(rng),
                 })
                 .collect(),
@@ -113,6 +114,7 @@ fn arb_frame(rng: &mut SplitMix64) -> Frame {
                 .map(|_| WireRepFrame {
                     op_nonce: rng.next_u64(),
                     round: rng.gen_range(1, 64) as u32,
+                    trace: rng.next_u64(),
                     rep: arb_rep(rng),
                 })
                 .collect(),

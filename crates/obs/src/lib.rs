@@ -36,6 +36,7 @@
 mod manifest;
 mod metrics;
 mod ring;
+pub mod trace;
 
 pub use manifest::{manifest_json, metric_def, MetricDef, METRICS};
 pub use metrics::{
@@ -82,10 +83,14 @@ pub mod names {
     pub const NET_VERSION_MISMATCHES: &str = "net.version_mismatches";
     /// In-band status/metrics queries answered by object servers.
     pub const NET_STATUS_QUERIES: &str = "net.status_queries";
+    /// Per-minute min/mean/max of server-side envelope handling time.
+    pub const NET_ENVELOPES_RING_US: &str = "net.envelopes_ring_us";
     /// Connections opened on reactor endpoints (cumulative).
     pub const NET_CONNS_OPEN: &str = "net.conns_open";
     /// Reactor readiness-loop wakeups (poller returns that found work).
     pub const NET_READINESS_WAKEUPS: &str = "net.readiness_wakeups";
+    /// Cold connections promoted to the hot list by an idle-tick sweep.
+    pub const NET_IDLE_TICK_PROMOTIONS: &str = "net.idle_tick_promotions";
     /// Request envelopes resubmitted by client connection pools.
     pub const NET_RESUBMISSIONS: &str = "net.resubmissions";
     /// Frames the chaos proxy dropped outright.
@@ -96,4 +101,10 @@ pub mod names {
     pub const CHAOS_FRAMES_REORDERED: &str = "chaos.frames_reordered";
     /// Frames swallowed while a chaos partition was toggled on.
     pub const CHAOS_PARTITION_DROPS: &str = "chaos.partition_drops";
+    /// Spans recorded into live trace buffers.
+    pub const TRACE_SPANS_RECORDED: &str = "trace.spans_recorded";
+    /// Spans lost to buffer caps or live-ring eviction.
+    pub const TRACE_SPANS_DROPPED: &str = "trace.spans_dropped";
+    /// Finished ops whose latency crossed the slow-op threshold.
+    pub const TRACE_SLOW_OPS_CAPTURED: &str = "trace.slow_ops_captured";
 }

@@ -147,6 +147,13 @@ pub const METRICS: &[MetricDef] = &[
         help: "In-band status/metrics queries answered.",
     },
     MetricDef {
+        name: names::NET_ENVELOPES_RING_US,
+        kind: "ring",
+        unit: "microseconds",
+        seam: "net::ObjectServer",
+        help: "Per-minute min/mean/max of envelope handling time, last 60 minutes.",
+    },
+    MetricDef {
         name: names::NET_CONNS_OPEN,
         kind: "counter",
         unit: "connections",
@@ -159,6 +166,13 @@ pub const METRICS: &[MetricDef] = &[
         unit: "wakeups",
         seam: "net::reactor",
         help: "Reactor readiness-loop wakeups that found I/O or timer work.",
+    },
+    MetricDef {
+        name: names::NET_IDLE_TICK_PROMOTIONS,
+        kind: "counter",
+        unit: "connections",
+        seam: "net::reactor",
+        help: "Cold connections whose readiness was only seen by an idle-tick sweep.",
     },
     MetricDef {
         name: names::NET_RESUBMISSIONS,
@@ -194,6 +208,27 @@ pub const METRICS: &[MetricDef] = &[
         unit: "frames",
         seam: "net::ChaosProxy",
         help: "Frames swallowed while a partition was toggled on.",
+    },
+    MetricDef {
+        name: names::TRACE_SPANS_RECORDED,
+        kind: "counter",
+        unit: "spans",
+        seam: "obs::trace::SpanRecorder",
+        help: "Spans recorded into live trace buffers.",
+    },
+    MetricDef {
+        name: names::TRACE_SPANS_DROPPED,
+        kind: "counter",
+        unit: "spans",
+        seam: "obs::trace::SpanRecorder",
+        help: "Spans lost to per-trace buffer caps or live-ring eviction.",
+    },
+    MetricDef {
+        name: names::TRACE_SLOW_OPS_CAPTURED,
+        kind: "counter",
+        unit: "operations",
+        seam: "obs::trace::SpanRecorder",
+        help: "Finished operations captured because their latency crossed the slow-op threshold.",
     },
 ];
 
@@ -251,13 +286,18 @@ mod tests {
             names::NET_FRAMES_OUT,
             names::NET_VERSION_MISMATCHES,
             names::NET_STATUS_QUERIES,
+            names::NET_ENVELOPES_RING_US,
             names::NET_CONNS_OPEN,
             names::NET_READINESS_WAKEUPS,
+            names::NET_IDLE_TICK_PROMOTIONS,
             names::NET_RESUBMISSIONS,
             names::CHAOS_FRAMES_DROPPED,
             names::CHAOS_FRAMES_DELAYED,
             names::CHAOS_FRAMES_REORDERED,
             names::CHAOS_PARTITION_DROPS,
+            names::TRACE_SPANS_RECORDED,
+            names::TRACE_SPANS_DROPPED,
+            names::TRACE_SLOW_OPS_CAPTURED,
         ];
         assert_eq!(consts.len(), METRICS.len());
         for c in consts {

@@ -138,6 +138,8 @@ pub struct HistogramSnapshot {
     pub p50: u64,
     /// 95th percentile, as a bucket upper bound.
     pub p95: u64,
+    /// 99th percentile, as a bucket upper bound.
+    pub p99: u64,
     /// Largest value recorded (exact, not bucketed).
     pub max: u64,
 }
@@ -219,6 +221,7 @@ impl Histogram {
             },
             p50: self.quantile(0.50),
             p95: self.quantile(0.95),
+            p99: self.quantile(0.99),
             max: self.max.load(Relaxed),
         }
     }
@@ -396,8 +399,8 @@ impl Registry {
                 Metric::Histogram(h) => {
                     let s = h.snapshot();
                     histograms.push(format!(
-                        "\"{name}\": {{\"count\":{},\"sum\":{},\"mean\":{:.2},\"p50\":{},\"p95\":{},\"max\":{}}}",
-                        s.count, s.sum, s.mean, s.p50, s.p95, s.max
+                        "\"{name}\": {{\"count\":{},\"sum\":{},\"mean\":{:.2},\"p50\":{},\"p95\":{},\"p99\":{},\"max\":{}}}",
+                        s.count, s.sum, s.mean, s.p50, s.p95, s.p99, s.max
                     ));
                 }
                 Metric::Ring(r) => {
@@ -509,9 +512,10 @@ mod tests {
         assert_eq!(s.max, 1024);
         // Median (target = 4th of 8) lands in bucket [2,3] → bound 3.
         assert_eq!(s.p50, 3);
-        // p95 (target = 8th of 8) lands in the 1024 bucket, capped by the
-        // exact max.
+        // p95 and p99 (both target = 8th of 8) land in the 1024 bucket,
+        // capped by the exact max.
         assert_eq!(s.p95, 1024);
+        assert_eq!(s.p99, 1024);
         assert!((s.mean - 316.375).abs() < 1e-9);
     }
 
@@ -588,6 +592,47 @@ mod tests {
         let doc = Registry::new().snapshot_json();
         assert_eq!(doc.matches('{').count(), doc.matches('}').count());
         assert!(flat_counters(&doc).is_empty());
+    }
+
+    /// `snapshot_json` taken *while* recorders hammer every metric kind
+    /// must always be a well-formed document — the in-band `Metrics`
+    /// frame serves snapshots of a live registry, so a torn or unbalanced
+    /// document would corrupt the ops plane under load.
+    #[test]
+    fn snapshot_json_is_well_formed_under_concurrent_recording() {
+        let r = Arc::new(Registry::new());
+        let stop = Arc::new(std::sync::atomic::AtomicBool::new(false));
+        let writers: Vec<_> = (0..3)
+            .map(|t| {
+                let r = Arc::clone(&r);
+                let stop = Arc::clone(&stop);
+                std::thread::spawn(move || {
+                    let c = r.counter("w.count");
+                    let h = r.histogram("w.lat");
+                    let ring = r.ring("w.ring", 8, Duration::from_secs(60));
+                    let mut i = 0u64;
+                    while !stop.load(Relaxed) {
+                        c.inc();
+                        h.record(i % 2048);
+                        ring.record_at(i % 16, t * 100 + i);
+                        i += 1;
+                    }
+                })
+            })
+            .collect();
+        for _ in 0..50 {
+            let doc = r.snapshot_json();
+            assert!(doc.contains("\"schema\": \"rastor-metrics/v1\""));
+            assert_eq!(doc.matches('{').count(), doc.matches('}').count());
+            assert_eq!(doc.matches('[').count(), doc.matches(']').count());
+            // Counter lines stay scannable mid-traffic.
+            let flat = flat_counters(&doc);
+            assert!(flat.iter().any(|(k, _)| k == "w.count"));
+        }
+        stop.store(true, Relaxed);
+        for w in writers {
+            w.join().expect("writer thread");
+        }
     }
 
     /// Recording stays correct under concurrent writers — the lock-cheap

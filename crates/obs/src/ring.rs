@@ -205,6 +205,55 @@ mod tests {
         );
     }
 
+    /// Out-of-order `record_at` streams: a wrap-around eviction followed
+    /// by stragglers for the evicted tick must drop the stragglers, while
+    /// out-of-order ticks that *don't* collide keep aggregating normally.
+    #[test]
+    fn out_of_order_ticks_aggregate_or_drop_deterministically() {
+        let r = ring(4);
+        // Arrive out of order: 5, 2, 7, 4 — all distinct slots (mod 4).
+        for (tick, v) in [(5u64, 50u64), (2, 20), (7, 70), (4, 40)] {
+            r.record_at(tick, v);
+        }
+        let ticks: Vec<u64> = r.snapshot().iter().map(|s| s.tick).collect();
+        assert_eq!(ticks, [2, 4, 5, 7], "non-colliding ticks all survive");
+        // Tick 11 wraps onto tick 7's slot and evicts it…
+        r.record_at(11, 110);
+        // …then stragglers for the evicted tick 7 (and for tick 1, whose
+        // slot now holds tick 5) must be dropped, not resurrect old slots.
+        r.record_at(7, 999);
+        r.record_at(1, 999);
+        let snap = r.snapshot();
+        let ticks: Vec<u64> = snap.iter().map(|s| s.tick).collect();
+        assert_eq!(ticks, [2, 4, 5, 11]);
+        let t11 = snap.iter().find(|s| s.tick == 11).expect("tick 11 kept");
+        assert_eq!((t11.count, t11.max), (1, 110), "no straggler leaked in");
+    }
+
+    /// A stale tick dropped by the guard must not clobber aggregates of
+    /// the newer slot even when interleaved with fresh records for it.
+    #[test]
+    fn interleaved_stale_and_fresh_records_keep_exact_aggregates() {
+        let r = ring(2);
+        r.record_at(6, 60);
+        r.record_at(4, 999); // stale for slot 0: dropped
+        r.record_at(6, 40);
+        r.record_at(2, 999); // stale again: dropped
+        r.record_at(6, 50);
+        let snap = r.snapshot();
+        assert_eq!(snap.len(), 1);
+        assert_eq!(
+            snap[0],
+            RingSlot {
+                tick: 6,
+                count: 3,
+                min: 40,
+                sum: 150,
+                max: 60
+            }
+        );
+    }
+
     #[test]
     fn wall_clock_recording_lands_in_the_current_period() {
         let r = TimeRing::new(4, Duration::from_secs(3600));

@@ -75,6 +75,9 @@ pub struct Broadcast<Q> {
     pub nonce: u64,
     /// The 1-based round number this payload opens.
     pub round: u32,
+    /// The trace id minted for this operation (`trace::NO_TRACE` when
+    /// tracing is off) — substrates propagate it on every request frame.
+    pub trace: u64,
     /// The request to broadcast to all objects.
     pub payload: Q,
 }
@@ -92,6 +95,8 @@ pub struct OpCompletion<Out> {
     pub rounds: RoundCount,
     /// The submission time, on the caller's clock.
     pub invoked_at: u64,
+    /// The operation's trace id (`trace::NO_TRACE` when tracing is off).
+    pub trace: u64,
 }
 
 /// An operation reaped by [`OpDriver::expire`]: its deadline passed before
@@ -105,6 +110,8 @@ pub struct OpTimeout {
     pub kind: OpKind,
     /// The submission time, on the caller's clock.
     pub invoked_at: u64,
+    /// The operation's trace id (`trace::NO_TRACE` when tracing is off).
+    pub trace: u64,
 }
 
 /// The driver's verdict on one ingested reply.
@@ -132,6 +139,8 @@ struct InFlight<Q, R, Out> {
     rounds: RoundCount,
     invoked_at: u64,
     deadline: Option<u64>,
+    trace: u64,
+    round_started: u64,
 }
 
 /// Multiplexes many concurrent [`RoundClient`] automata over one reply
@@ -175,6 +184,7 @@ impl<Q, R, Out> OpDriver<Q, R, Out> {
     ) -> Broadcast<Q> {
         let nonce = self.next_nonce;
         self.next_nonce += 1;
+        let trace = rastor_obs::trace::global().next_trace();
         let payload = automaton.start();
         self.ops.insert(
             nonce,
@@ -185,11 +195,14 @@ impl<Q, R, Out> OpDriver<Q, R, Out> {
                 rounds: RoundCount(1),
                 invoked_at: now,
                 deadline,
+                trace,
+                round_started: now,
             },
         );
         Broadcast {
             nonce,
             round: 1,
+            trace,
             payload,
         }
     }
@@ -198,12 +211,32 @@ impl<Q, R, Out> OpDriver<Q, R, Out> {
     /// operation `nonce`) and report what happened. Replies for unknown
     /// nonces — and, under [`StalePolicy::DropLate`], for non-current
     /// rounds of live nonces — never reach the automaton.
+    ///
+    /// Equivalent to [`OpDriver::on_reply_at`] with `now = 0`; callers
+    /// that trace (or otherwise care about per-round timing) should pass
+    /// their clock through `on_reply_at` instead.
     pub fn on_reply(
         &mut self,
         nonce: u64,
         from: ObjectId,
         round: u32,
         payload: &R,
+    ) -> Dispatch<Q, Out> {
+        self.on_reply_at(nonce, from, round, payload, 0)
+    }
+
+    /// [`OpDriver::on_reply`] with the caller's clock: when the delivered
+    /// reply closes a round (or the whole operation) and the op carries a
+    /// live trace id, the driver records a `driver.round` span for the
+    /// closed round — and, on completion, the umbrella `driver.op` span
+    /// covering submit to completion.
+    pub fn on_reply_at(
+        &mut self,
+        nonce: u64,
+        from: ObjectId,
+        round: u32,
+        payload: &R,
+        now: u64,
     ) -> Dispatch<Q, Out> {
         let Some(op) = self.ops.get_mut(&nonce) else {
             return Dispatch::Unknown;
@@ -214,11 +247,21 @@ impl<Q, R, Out> OpDriver<Q, R, Out> {
         match op.automaton.on_reply(from, round, payload) {
             ClientAction::Wait => Dispatch::Wait,
             ClientAction::NextRound(payload) => {
+                let rec = rastor_obs::trace::global();
+                rec.record(
+                    op.trace,
+                    rastor_obs::trace::span::DRIVER_ROUND,
+                    u64::from(op.round),
+                    op.round_started,
+                    now,
+                );
                 op.round += 1;
                 op.rounds = op.rounds.bump();
+                op.round_started = now;
                 Dispatch::NextRound(Broadcast {
                     nonce,
                     round: op.round,
+                    trace: op.trace,
                     payload,
                 })
             }
@@ -227,12 +270,28 @@ impl<Q, R, Out> OpDriver<Q, R, Out> {
                 let m = driver_metrics();
                 m.completed.inc();
                 m.rounds.record(u64::from(op.rounds.get()));
+                let rec = rastor_obs::trace::global();
+                rec.record(
+                    op.trace,
+                    rastor_obs::trace::span::DRIVER_ROUND,
+                    u64::from(op.round),
+                    op.round_started,
+                    now,
+                );
+                rec.record(
+                    op.trace,
+                    rastor_obs::trace::span::DRIVER_OP,
+                    u64::from(op.rounds.get()),
+                    op.invoked_at,
+                    now,
+                );
                 Dispatch::Complete(OpCompletion {
                     nonce,
                     output,
                     kind: op.kind,
                     rounds: op.rounds,
                     invoked_at: op.invoked_at,
+                    trace: op.trace,
                 })
             }
         }
@@ -275,6 +334,7 @@ impl<Q, R, Out> OpDriver<Q, R, Out> {
                     nonce,
                     kind: op.kind,
                     invoked_at: op.invoked_at,
+                    trace: op.trace,
                 }
             })
             .collect();

@@ -423,9 +423,9 @@ where
                 now,
             );
         }
-        let dispatch = slot
-            .driver
-            .on_reply(env.op_seq, env.object, env.round, &env.payload);
+        let dispatch =
+            slot.driver
+                .on_reply_at(env.op_seq, env.object, env.round, &env.payload, now);
         match dispatch {
             Dispatch::Unknown | Dispatch::StaleRound | Dispatch::Wait => None,
             Dispatch::NextRound(b) => {

@@ -37,11 +37,12 @@
 use crate::driver::{Dispatch, OpDriver, StalePolicy};
 use crate::engine::{ObjectBehavior, RoundClient};
 use rastor_common::{ClientId, ObjectId, OpKind, SplitMix64};
+use rastor_obs::trace;
 use std::collections::HashMap;
 use std::sync::mpsc::{channel, Receiver, RecvTimeoutError, Sender};
 use std::sync::Arc;
 use std::thread::JoinHandle;
-use std::time::{Duration, Instant};
+use std::time::Duration;
 
 /// One round of one operation inside a coalesced request envelope. The
 /// payload is shared: one allocation per broadcast, not one deep clone per
@@ -52,6 +53,9 @@ pub struct ReqFrame<Q> {
     pub op_nonce: u64,
     /// The round the frame drives (1-based).
     pub round: u32,
+    /// The trace id of the operation (`trace::NO_TRACE` when tracing is
+    /// off) — carried on every hop so object workers can tag their spans.
+    pub trace: u64,
     /// The round's request payload, shared across the broadcast.
     pub payload: Arc<Q>,
 }
@@ -61,6 +65,7 @@ impl<Q> Clone for ReqFrame<Q> {
         ReqFrame {
             op_nonce: self.op_nonce,
             round: self.round,
+            trace: self.trace,
             payload: Arc::clone(&self.payload),
         }
     }
@@ -157,13 +162,31 @@ where
                 .frames
                 .iter()
                 .filter_map(|f| {
-                    behavior
-                        .on_request(req.from, &f.payload)
-                        .map(|payload| RepFrame {
-                            op_nonce: f.op_nonce,
-                            round: f.round,
-                            payload,
-                        })
+                    // Traced frames get an `obj.apply` span covering the
+                    // behavior call, with the trace context set so durable
+                    // behaviors can hang WAL spans under the same trace.
+                    // Untraced frames skip the clock reads entirely.
+                    let rep = if f.trace == trace::NO_TRACE {
+                        behavior.on_request(req.from, &f.payload)
+                    } else {
+                        let start = trace::epoch_us();
+                        let prev = trace::set_current(f.trace);
+                        let rep = behavior.on_request(req.from, &f.payload);
+                        trace::set_current(prev);
+                        trace::global().record(
+                            f.trace,
+                            trace::span::OBJ_APPLY,
+                            u64::from(oid.0),
+                            start,
+                            trace::epoch_us(),
+                        );
+                        rep
+                    };
+                    rep.map(|payload| RepFrame {
+                        op_nonce: f.op_nonce,
+                        round: f.round,
+                        payload,
+                    })
                 })
                 .collect();
             if !frames.is_empty() {
@@ -262,6 +285,9 @@ impl<Q, R> Transport<Q, R> for ThreadCluster<Q, R> {
 pub struct OpResult<Out> {
     /// The nonce [`ThreadClient::submit_op`] returned for the operation.
     pub nonce: u64,
+    /// The operation's trace id (`trace::NO_TRACE` when tracing is off) —
+    /// harvest seams use it to record their own span and close the trace.
+    pub trace: u64,
     /// `Some((output, rounds))` on completion; `None` if the deadline
     /// passed first (the cluster could not supply enough replies).
     pub output: Option<(Out, u32)>,
@@ -286,7 +312,6 @@ pub struct ThreadClient<Q, R, Out> {
     outbox: Vec<(usize, ReqFrame<Q>)>,
     reply_tx: Sender<ObjReply<R>>,
     reply_rx: Receiver<ObjReply<R>>,
-    epoch: Instant,
 }
 
 impl<Q, R, Out> ThreadClient<Q, R, Out>
@@ -304,14 +329,14 @@ where
             outbox: Vec::new(),
             reply_tx,
             reply_rx,
-            epoch: Instant::now(),
         }
     }
 
-    /// Microseconds since this client was created — the clock its
-    /// operation deadlines live on.
+    /// Microseconds on the process-wide trace clock ([`trace::epoch_us`])
+    /// — one time base shared by operation deadlines and every span the
+    /// stack records, so spans from different layers line up.
     fn now_us(&self) -> u64 {
-        self.epoch.elapsed().as_micros() as u64
+        trace::epoch_us()
     }
 
     /// Number of live (submitted, unresolved) operations.
@@ -343,6 +368,7 @@ where
             ReqFrame {
                 op_nonce: b.nonce,
                 round: b.round,
+                trace: b.trace,
                 payload: Arc::new(b.payload),
             },
         ));
@@ -376,11 +402,15 @@ where
     /// Dispatch one reply envelope through the driver, buffering next-round
     /// frames and collecting completions.
     fn dispatch(&mut self, rep: ObjReply<R>, done: &mut Vec<OpResult<Out>>) {
+        let now = self.now_us();
         for frame in rep.frames {
-            match self
-                .driver
-                .on_reply(frame.op_nonce, rep.from, frame.round, &frame.payload)
-            {
+            match self.driver.on_reply_at(
+                frame.op_nonce,
+                rep.from,
+                frame.round,
+                &frame.payload,
+                now,
+            ) {
                 Dispatch::Unknown | Dispatch::StaleRound | Dispatch::Wait => {}
                 Dispatch::NextRound(b) => {
                     let target = self.routes[&b.nonce];
@@ -389,6 +419,7 @@ where
                         ReqFrame {
                             op_nonce: b.nonce,
                             round: b.round,
+                            trace: b.trace,
                             payload: Arc::new(b.payload),
                         },
                     ));
@@ -397,6 +428,7 @@ where
                     self.routes.remove(&c.nonce);
                     done.push(OpResult {
                         nonce: c.nonce,
+                        trace: c.trace,
                         output: Some((c.output, c.rounds.get())),
                     });
                 }
@@ -410,6 +442,7 @@ where
             self.routes.remove(&t.nonce);
             done.push(OpResult {
                 nonce: t.nonce,
+                trace: t.trace,
                 output: None,
             });
         }

@@ -196,7 +196,26 @@ impl ObjectBehavior<Req, Rep> for DurableObject {
             return None;
         }
         if let Some(record) = codec::encode_mutation(req) {
-            if self.wal.append(&record).is_err() || (self.fsync && self.wal.sync_data().is_err()) {
+            use rastor_obs::trace;
+            // When the executor applied us under a trace context, hang the
+            // storage spans under the same trace the client minted.
+            let traced = trace::current();
+            let logged = if traced == trace::NO_TRACE {
+                self.wal.append(&record).is_ok() && (!self.fsync || self.wal.sync_data().is_ok())
+            } else {
+                let rec = trace::global();
+                let t0 = trace::epoch_us();
+                let appended = self.wal.append(&record).is_ok();
+                let t1 = trace::epoch_us();
+                rec.record(traced, trace::span::WAL_APPEND, record.len() as u64, t0, t1);
+                appended
+                    && (!self.fsync || {
+                        let synced = self.wal.sync_data().is_ok();
+                        rec.record(traced, trace::span::WAL_FSYNC, 0, t1, trace::epoch_us());
+                        synced
+                    })
+            };
+            if !logged {
                 self.broken = true;
                 return None;
             }

@@ -31,11 +31,13 @@
 //! the comparison silently stopped running), and a store document must
 //! carry measured recovery times (`recover_ms` > 0 on every
 //! `restart-*`/`replay-*` row, at least one such row present). The
-//! `rastor-obs-overhead/v1` schema (per-row `metrics` arm label, one row
-//! carrying the medianed `overhead_pct`) adds the observability gate:
-//! recording metrics must cost less than `OVERHEAD_GATE_PCT` percent of
-//! throughput, and an obs document without a measured overhead means the
-//! off/on comparison silently stopped running.
+//! `rastor-obs-overhead/v1` schema (per-row `metrics`/`tracing` arm
+//! labels, one row per twin pair carrying its medianed `overhead_pct`)
+//! adds the observability gates: recording metrics must cost less than
+//! `OVERHEAD_GATE_PCT` percent of throughput and the span recorder less
+//! than `TRACE_OVERHEAD_GATE_PCT` percent, and an obs document missing
+//! either measured overhead means that off/on comparison silently
+//! stopped running.
 //!
 //! Standalone by design — compiled directly in CI with no cargo project.
 //! The current-run argument takes a comma-separated file list, so one
@@ -60,6 +62,10 @@ use std::process::ExitCode;
 /// Ceiling on the measured metrics overhead, in percent — keep in sync
 /// with `rastor_bench::obsbench::OVERHEAD_GATE_PCT`.
 const OVERHEAD_GATE_PCT: f64 = 3.0;
+
+/// Ceiling on the measured tracing overhead, in percent — keep in sync
+/// with `rastor_bench::obsbench::TRACE_OVERHEAD_GATE_PCT`.
+const TRACE_OVERHEAD_GATE_PCT: f64 = 5.0;
 
 /// Throughput floor for the connection sweep: the largest `-c<conns>`
 /// row must sustain at least this fraction of the smallest's ops/sec.
@@ -179,6 +185,39 @@ fn conns_sweep_gate(current: &[Row]) -> bool {
             println!("net document carries fewer than two -c<conns> sweep rows — UNGATED");
             failed = true;
         }
+    }
+    failed
+}
+
+/// One twin-overhead gate of the obs schema: the `<prefix>…` row that
+/// carries the medianed `overhead_pct` (already clamped at zero by the
+/// emitter) must stay below `limit` percent — above it, the "`what` is
+/// near-free" claim has regressed. No such row means that off-vs-on
+/// comparison silently stopped running. Returns `true` on failure.
+fn overhead_gate(current: &[Row], prefix: &str, what: &str, limit: f64) -> bool {
+    let mut failed = false;
+    let mut rows = 0usize;
+    for r in current {
+        if !r.name.starts_with(prefix) {
+            continue;
+        }
+        let Some(pct) = r.overhead_pct else { continue };
+        rows += 1;
+        let ok = pct < limit;
+        println!(
+            "{}: {what} overhead {pct:.2}% (gate < {limit}%) — {}",
+            r.name,
+            if ok {
+                "ok".to_string()
+            } else {
+                format!("{} TOO EXPENSIVE", what.to_uppercase())
+            }
+        );
+        failed |= !ok;
+    }
+    if rows == 0 {
+        println!("obs document present but no {prefix}* row carrying overhead_pct — UNGATED");
+        failed = true;
     }
     failed
 }
@@ -445,28 +484,11 @@ fn main() -> ExitCode {
             failed = true;
         }
     }
-    // Observability gate: recording metrics must be near-free. The row
-    // carrying `overhead_pct` holds the medianed off-vs-on comparison
-    // (already clamped at zero by the emitter); above the ceiling, the
-    // "lock-cheap metrics" claim has regressed. An obs document without
-    // any such row means the comparison silently stopped running.
+    // Observability gates: recording metrics and recording spans must
+    // both be near-free, each judged by its own twin pair and ceiling.
     if obs_doc_present {
-        let mut overhead_rows = 0usize;
-        for r in &current {
-            let Some(pct) = r.overhead_pct else { continue };
-            overhead_rows += 1;
-            let ok = pct < OVERHEAD_GATE_PCT;
-            println!(
-                "{}: metrics overhead {pct:.2}% (gate < {OVERHEAD_GATE_PCT}%) — {}",
-                r.name,
-                if ok { "ok" } else { "METRICS TOO EXPENSIVE" }
-            );
-            failed |= !ok;
-        }
-        if overhead_rows == 0 {
-            println!("obs document present but no overhead_pct row — UNGATED");
-            failed = true;
-        }
+        failed |= overhead_gate(&current, "obs-", "metrics", OVERHEAD_GATE_PCT);
+        failed |= overhead_gate(&current, "trace-on-", "tracing", TRACE_OVERHEAD_GATE_PCT);
     }
     if failed {
         eprintln!("gross perf regression detected (>{tolerance}x below baseline)");

@@ -3,9 +3,12 @@
 //!
 //! ```text
 //! rastor serve [--t N] [--shards N] [--handles N] [--fast-reads]
-//!              [--chaos] [--wal DIR] [--jitter-us N] [--file PATH]
+//!              [--chaos] [--wal DIR] [--jitter-us N] [--slow-us N]
+//!              [--no-trace] [--file PATH]
 //! rastor status [--file PATH]
-//! rastor metrics [--file PATH]
+//! rastor metrics [--json] [--file PATH]
+//! rastor watch [--interval SECS] [--once] [--file PATH]
+//! rastor trace [--json] [--file PATH]
 //! rastor restart-object --shard S --object O [--file PATH]
 //! rastor partition-toggle --shard S on|off [--file PATH]
 //! rastor bench [--ops N] [--depth N] [--put-pct N] [--keys N]
@@ -40,7 +43,7 @@ use std::sync::{Arc, Mutex};
 use std::time::Duration;
 
 const USAGE: &str =
-    "usage: rastor <serve|status|metrics|restart-object|partition-toggle|bench|manifest> [flags]
+    "usage: rastor <serve|status|metrics|watch|trace|restart-object|partition-toggle|bench|manifest> [flags]
   serve             stand up a cluster and write its cluster file
     --t N             per-shard fault budget (default 1; 3t+1 objects/shard)
     --shards N        shard count (default 2)
@@ -49,8 +52,17 @@ const USAGE: &str =
     --chaos           front every shard with a chaos proxy (partitionable)
     --wal DIR         wal-backed durability rooted at DIR (enables restart-object)
     --jitter-us N     per-envelope service delay at every object, microseconds
+    --slow-us N       slow-op capture threshold, microseconds (default 10000)
+    --trace-sample N  trace one op in N (default 8; 1 traces everything)
+    --no-trace        disable the span recorder (tracing is on by default)
   status            per-shard object + read-path report from a live cluster
-  metrics           dump the deployment's metrics registry as JSON
+  metrics           readable metrics report (histograms as p50/p95/p99)
+    --json            dump the raw rastor-metrics/v1 document instead
+  watch             live per-minute throughput/latency sparkline from the rings
+    --interval SECS   refresh period (default 2)
+    --once            print one frame and exit (for scripts and CI)
+  trace             dump captured slow-op traces from a live cluster
+    --json            dump the raw rastor-traces/v1 document instead
   restart-object    kill one object and recover it from disk
     --shard S --object O
   partition-toggle  cut or heal one shard's chaos-proxied link
@@ -61,6 +73,8 @@ const USAGE: &str =
     --put-pct N       percentage of puts (default 10)
     --keys N          key-space size (default 32)
     --threads N       client threads (default 4)
+    --trace-sample N  mint trace ids for one op in N (default 0 = untraced;
+                      traced ops get server-side spans captured at the cluster)
   manifest          print the exported-metric manifest
   (all cluster-facing subcommands accept --file PATH; default rastor-cluster.json)";
 
@@ -78,6 +92,8 @@ fn main() -> ExitCode {
         "serve" => cmd_serve(&args[1..]),
         "status" => cmd_status(&args[1..]),
         "metrics" => cmd_metrics(&args[1..]),
+        "watch" => cmd_watch(&args[1..]),
+        "trace" => cmd_trace(&args[1..]),
         "restart-object" => cmd_admin(&args[1..], AdminVerb::Restart),
         "partition-toggle" => cmd_admin(&args[1..], AdminVerb::Partition),
         "bench" => cmd_bench(&args[1..]),
@@ -110,6 +126,9 @@ const VALUED: &[&str] = &[
     "--handles",
     "--wal",
     "--jitter-us",
+    "--slow-us",
+    "--trace-sample",
+    "--interval",
     "--file",
     "--ops",
     "--depth",
@@ -299,6 +318,19 @@ fn cmd_serve(args: &[String]) -> Result<ExitCode> {
             return Ok(usage_err(e))
         }
     };
+    let (slow_us, trace_sample) = match (
+        flags.num("slow-us", rastor::obs::trace::DEFAULT_SLOW_OP_THRESHOLD_US),
+        flags.num("trace-sample", rastor::obs::trace::DEFAULT_SAMPLE_EVERY),
+    ) {
+        (Ok(s), Ok(n)) => (s, n),
+        (Err(e), _) | (_, Err(e)) => return Ok(usage_err(e)),
+    };
+    // Tracing is on by default in a served deployment: the recorder is
+    // fixed-memory, span sites are trace-id-gated, and only one op in
+    // `--trace-sample` pays for spans at all.
+    rastor::obs::trace::global().set_threshold_us(slow_us);
+    rastor::obs::trace::global().set_sample_every(trace_sample);
+    rastor::obs::trace::global().set_enabled(!flags.has("no-trace"));
     let mut cfg = StoreConfig::new(t, shards, handles).with_fast_reads(flags.has("fast-reads"));
     if jitter_us > 0 {
         cfg = cfg.with_jitter(Duration::from_micros(jitter_us));
@@ -330,6 +362,14 @@ fn cmd_serve(args: &[String]) -> Result<ExitCode> {
     );
     for (s, (control, data)) in cluster.shards.iter().enumerate() {
         println!("  shard {s}: control {control}, data {data}");
+    }
+    if flags.has("no-trace") {
+        println!("tracing off");
+    } else {
+        println!(
+            "tracing on, slow-op capture threshold {slow_us}\u{b5}s, sampling 1 in {}",
+            trace_sample.max(1)
+        );
     }
     println!("cluster file written to {path}; ^C to stop");
     loop {
@@ -405,7 +445,353 @@ fn cmd_metrics(args: &[String]) -> Result<ExitCode> {
             return Ok(ExitCode::FAILURE);
         }
     };
-    print!("{}", ControlClient::connect(cluster.ops)?.metrics_json()?);
+    let doc = ControlClient::connect(cluster.ops)?.metrics_json()?;
+    if flags.has("json") {
+        print!("{doc}");
+        return Ok(ExitCode::SUCCESS);
+    }
+    let counters = flat_counters(&doc);
+    let width = counters.iter().map(|(n, _)| n.len()).max().unwrap_or(0);
+    println!("counters:");
+    for (name, value) in &counters {
+        println!("  {name:width$}  {value}");
+    }
+    let hists = parse_hist_lines(&doc);
+    if !hists.is_empty() {
+        println!("histograms (\u{b5}s):");
+        let w = hists.iter().map(|h| h.name.len()).max().unwrap_or(0);
+        println!(
+            "  {:w$}  {:>8} {:>10} {:>8} {:>8} {:>8} {:>8}",
+            "name", "count", "mean", "p50", "p95", "p99", "max"
+        );
+        for h in &hists {
+            println!(
+                "  {:w$}  {:>8} {:>10.1} {:>8} {:>8} {:>8} {:>8}",
+                h.name, h.count, h.mean, h.p50, h.p95, h.p99, h.max
+            );
+        }
+    }
+    for r in parse_ring_lines(&doc) {
+        let live: Vec<_> = r.slots.iter().filter(|s| s.count > 0).collect();
+        match live.last() {
+            None => println!(
+                "ring {}: no samples yet (period {}s)",
+                r.name, r.period_secs
+            ),
+            Some(last) => println!(
+                "ring {}: {} live slot(s), period {}s, last slot {} op(s) mean {:.0}\u{b5}s",
+                r.name,
+                live.len(),
+                r.period_secs,
+                last.count,
+                last.mean
+            ),
+        }
+    }
+    Ok(ExitCode::SUCCESS)
+}
+
+// ---------------------------------------------------------------------------
+// Readers for the histogram/ring lines of `rastor-metrics/v1`. Like
+// `flat_counters`, these lean on the one-metric-per-line discipline
+// instead of a JSON parser: a histogram line is the only kind carrying
+// `"p99":`, a ring line the only kind carrying `"period_secs":`.
+
+struct HistLine {
+    name: String,
+    count: u64,
+    mean: f64,
+    p50: u64,
+    p95: u64,
+    p99: u64,
+    max: u64,
+}
+
+fn parse_hist_lines(doc: &str) -> Vec<HistLine> {
+    doc.lines()
+        .filter_map(|line| {
+            let line = line.trim().trim_end_matches(',');
+            if !line.contains("\"p99\":") {
+                return None;
+            }
+            Some(HistLine {
+                name: line.strip_prefix('"')?.split('"').next()?.to_string(),
+                count: field(line, "count")?.parse().ok()?,
+                mean: field(line, "mean")?.parse().ok()?,
+                p50: field(line, "p50")?.parse().ok()?,
+                p95: field(line, "p95")?.parse().ok()?,
+                p99: field(line, "p99")?.parse().ok()?,
+                max: field(line, "max")?.parse().ok()?,
+            })
+        })
+        .collect()
+}
+
+struct RingSlotLine {
+    tick: u64,
+    count: u64,
+    mean: f64,
+}
+
+struct RingLine {
+    name: String,
+    period_secs: u64,
+    slots: Vec<RingSlotLine>,
+}
+
+fn parse_ring_lines(doc: &str) -> Vec<RingLine> {
+    doc.lines()
+        .filter_map(|line| {
+            let line = line.trim().trim_end_matches(',');
+            if !line.contains("\"period_secs\":") {
+                return None;
+            }
+            let name = line.strip_prefix('"')?.split('"').next()?.to_string();
+            let period_secs = field(line, "period_secs")?.parse().ok()?;
+            let body = line.split("\"slots\":[").nth(1)?.strip_suffix("]}")?;
+            let mut slots = Vec::new();
+            if !body.is_empty() {
+                for entry in body
+                    .trim_start_matches('[')
+                    .trim_end_matches(']')
+                    .split("],[")
+                {
+                    // Slot shape: [tick, count, min, mean, max].
+                    let f: Vec<&str> = entry.split(',').collect();
+                    if f.len() == 5 {
+                        slots.push(RingSlotLine {
+                            tick: f[0].parse().ok()?,
+                            count: f[1].parse().ok()?,
+                            mean: f[3].parse().ok()?,
+                        });
+                    }
+                }
+            }
+            slots.sort_by_key(|s| s.tick);
+            Some(RingLine {
+                name,
+                period_secs,
+                slots,
+            })
+        })
+        .collect()
+}
+
+// ---------------------------------------------------------------------------
+// watch: a refreshing terminal view over the deployment's `TimeRing`s —
+// one sparkline column per ring slot, newest on the right.
+
+fn sparkline(vals: &[f64]) -> String {
+    const BARS: [char; 8] = [
+        '\u{2581}', '\u{2582}', '\u{2583}', '\u{2584}', '\u{2585}', '\u{2586}', '\u{2587}',
+        '\u{2588}',
+    ];
+    let peak = vals.iter().copied().fold(0.0f64, f64::max);
+    vals.iter()
+        .map(|&v| {
+            if peak <= 0.0 {
+                '\u{b7}'
+            } else {
+                let idx = ((v / peak) * 7.0).round();
+                BARS[(idx as usize).min(7)]
+            }
+        })
+        .collect()
+}
+
+fn cmd_watch(args: &[String]) -> Result<ExitCode> {
+    let flags = match parse_flags(args) {
+        Ok(f) => f,
+        Err(e) => return Ok(usage_err(e)),
+    };
+    let interval = match flags.num("interval", 2) {
+        Ok(v) => v.max(1),
+        Err(e) => return Ok(usage_err(e)),
+    };
+    let once = flags.has("once");
+    let cluster = match parse_cluster_file(flags.file()) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("rastor watch: {e}");
+            return Ok(ExitCode::FAILURE);
+        }
+    };
+    let mut prev_frames: Option<u64> = None;
+    loop {
+        let doc = ControlClient::connect(cluster.ops)?.metrics_json()?;
+        let counters = flat_counters(&doc);
+        let count = |name: &str| {
+            counters
+                .iter()
+                .find(|(n, _)| n == name)
+                .map_or(0, |(_, v)| *v)
+        };
+        let frames_in = count(names::NET_FRAMES_IN);
+        let rate = prev_frames
+            .map(|p| format!(", {}/s", frames_in.saturating_sub(p) / interval))
+            .unwrap_or_default();
+        println!(
+            "watch @ {}: frames in {frames_in}{rate}, out {}, slow-ops captured {}",
+            cluster.ops,
+            count(names::NET_FRAMES_OUT),
+            count(names::TRACE_SLOW_OPS_CAPTURED),
+        );
+        for r in parse_ring_lines(&doc) {
+            let live: Vec<&RingSlotLine> = r.slots.iter().filter(|s| s.count > 0).collect();
+            if live.is_empty() {
+                println!("  {}: no samples yet", r.name);
+                continue;
+            }
+            let counts: Vec<f64> = live.iter().map(|s| s.count as f64).collect();
+            let means: Vec<f64> = live.iter().map(|s| s.mean).collect();
+            let peak_ops = counts.iter().copied().fold(0.0f64, f64::max);
+            let peak_us = means.iter().copied().fold(0.0f64, f64::max);
+            println!("  {} (per {}s slot):", r.name, r.period_secs);
+            println!(
+                "    ops/slot {}  last {} peak {:.0}",
+                sparkline(&counts),
+                live.last().map_or(0, |s| s.count),
+                peak_ops
+            );
+            println!(
+                "    mean \u{b5}s  {}  last {:.0} peak {:.0}",
+                sparkline(&means),
+                live.last().map_or(0.0, |s| s.mean),
+                peak_us
+            );
+        }
+        if once {
+            return Ok(ExitCode::SUCCESS);
+        }
+        prev_frames = Some(frames_in);
+        std::thread::sleep(Duration::from_secs(interval));
+    }
+}
+
+// ---------------------------------------------------------------------------
+// trace: fetch the deployment's captured slow-op traces and render each
+// as an indented span tree (a span is nested under any span whose
+// interval strictly contains it).
+
+struct SpanLine {
+    name: String,
+    detail: u64,
+    start_us: u64,
+    end_us: u64,
+}
+
+struct TraceLine {
+    trace: u64,
+    latency_us: u64,
+    dropped: u64,
+    spans: Vec<SpanLine>,
+}
+
+fn parse_trace_lines(doc: &str) -> Vec<TraceLine> {
+    doc.lines()
+        .filter_map(|line| {
+            let line = line.trim().trim_end_matches(',');
+            if !line.starts_with("{\"trace\":") {
+                return None;
+            }
+            let body = line.split("\"spans\":[").nth(1)?.strip_suffix("]}")?;
+            let mut spans = Vec::new();
+            if !body.is_empty() {
+                for entry in body
+                    .trim_start_matches('[')
+                    .trim_end_matches(']')
+                    .split("],[")
+                {
+                    // Span shape: ["name", detail, start_us, end_us].
+                    let f: Vec<&str> = entry.split(',').collect();
+                    if f.len() == 4 {
+                        spans.push(SpanLine {
+                            name: f[0].trim_matches('"').to_string(),
+                            detail: f[1].parse().ok()?,
+                            start_us: f[2].parse().ok()?,
+                            end_us: f[3].parse().ok()?,
+                        });
+                    }
+                }
+            }
+            Some(TraceLine {
+                trace: field(line, "trace")?.parse().ok()?,
+                latency_us: field(line, "latency_us")?.parse().ok()?,
+                dropped: field(line, "dropped")?.parse().ok()?,
+                spans,
+            })
+        })
+        .collect()
+}
+
+fn cmd_trace(args: &[String]) -> Result<ExitCode> {
+    let flags = match parse_flags(args) {
+        Ok(f) => f,
+        Err(e) => return Ok(usage_err(e)),
+    };
+    let cluster = match parse_cluster_file(flags.file()) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("rastor trace: {e}");
+            return Ok(ExitCode::FAILURE);
+        }
+    };
+    let doc = ControlClient::connect(cluster.ops)?.traces_json()?;
+    if flags.has("json") {
+        print!("{doc}");
+        return Ok(ExitCode::SUCCESS);
+    }
+    let threshold: u64 = field(&doc, "threshold_us")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(0);
+    let sample: u64 = field(&doc, "sample_every")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(1);
+    let enabled = doc.contains("\"enabled\": true");
+    let traces = parse_trace_lines(&doc);
+    println!(
+        "tracing {}, slow-op threshold {threshold}\u{b5}s, sampling 1 in {sample}, {} captured trace(s)",
+        if enabled { "on" } else { "off" },
+        traces.len()
+    );
+    for t in &traces {
+        let t0 = t.spans.iter().map(|s| s.start_us).min().unwrap_or(0);
+        println!(
+            "trace {:#x}: latency {}\u{b5}s, {} span(s){}",
+            t.trace,
+            t.latency_us,
+            t.spans.len(),
+            if t.dropped > 0 {
+                format!(", {} dropped", t.dropped)
+            } else {
+                String::new()
+            }
+        );
+        let mut order: Vec<usize> = (0..t.spans.len()).collect();
+        order.sort_by_key(|&i| (t.spans[i].start_us, std::cmp::Reverse(t.spans[i].end_us)));
+        for &i in &order {
+            let s = &t.spans[i];
+            let depth = t
+                .spans
+                .iter()
+                .filter(|o| {
+                    o.start_us <= s.start_us
+                        && o.end_us >= s.end_us
+                        && (o.start_us, o.end_us) != (s.start_us, s.end_us)
+                })
+                .count();
+            println!(
+                "  {:>8} ..{:>8}  {:indent$}{} (detail {}, {}\u{b5}s)",
+                s.start_us.saturating_sub(t0),
+                s.end_us.saturating_sub(t0),
+                "",
+                s.name,
+                s.detail,
+                s.end_us.saturating_sub(s.start_us),
+                indent = depth * 2
+            );
+        }
+    }
     Ok(ExitCode::SUCCESS)
 }
 
@@ -493,6 +879,19 @@ fn cmd_bench(args: &[String]) -> Result<ExitCode> {
             return Ok(ExitCode::FAILURE);
         }
     };
+    // Trace ids are minted client-side (the driver owns the op), so a
+    // bench that should exercise the cluster's span capture has to turn
+    // its own recorder on; the servers tag whatever ids arrive on the
+    // wire. Off by default — bench doubles as the perf tool.
+    match flags.num("trace-sample", 0) {
+        Ok(0) => {}
+        Ok(n) => {
+            let rec = rastor::obs::trace::global();
+            rec.set_sample_every(n);
+            rec.set_enabled(true);
+        }
+        Err(e) => return Ok(usage_err(e)),
+    }
     // Connect a store of our own to the cluster's data plane; the local
     // global registry collects this process's kv-seam metrics, which we
     // report back to the deployment afterwards.
