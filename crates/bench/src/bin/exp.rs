@@ -26,7 +26,11 @@ use rastor_bench::{
     f1_prop1, t1_round_table, t2_contention_rounds, t3_recurrence_table, t4_boundary, t5_latency,
     t6_closed_loop, t9_fast_path_rounds,
 };
-use rastor_check::{scenario_two_writers_one_reader, scenario_write_then_two_reads};
+use rastor_check::{
+    budget_from_env, cast_t_plus_one_forgers, casts_single_fault, scenario_t2_mixed,
+    scenario_two_writers_one_reader, scenario_write_then_read, scenario_write_then_two_reads, Cast,
+    FaultKind,
+};
 use rastor_core::ReadMode;
 use rastor_lowerbound::diagram::{render_lemma1_layout, render_lemma1_superblocks};
 use rastor_lowerbound::lemma1::execute_first_pair;
@@ -389,6 +393,64 @@ fn t9(quick: bool) {
                 minimized.count_ones()
             );
         }
+    }
+    println!();
+    println!("-- fault explorer: Byzantine casts over the same delay universe --");
+    let scenario = scenario_write_then_read();
+    let universe = 1u64 << scenario.universe_bits();
+    for cast in casts_single_fault() {
+        let failures = scenario.sweep_cast(ReadMode::Fast, &cast);
+        println!(
+            "{:<28} <= t cast {:<18} {universe} schedules, {} violations",
+            scenario.name,
+            cast.name,
+            failures.len()
+        );
+    }
+    // The boundary witness: one more forger than the budget tolerates,
+    // and the sweep must find the never-written read.
+    let cast = cast_t_plus_one_forgers();
+    let failures = scenario.sweep_cast(ReadMode::Fast, &cast);
+    match failures.first() {
+        None => println!("t + 1 forgers: sweep found no witness — EXPLORER NOT BITING"),
+        Some(first) => {
+            let minimized = scenario.minimize_cast(ReadMode::Fast, first.mask, &cast);
+            println!(
+                "{:<28} t + 1 cast {:<18} {} violating schedules; first mask {:#x} minimizes to {:#x}",
+                scenario.name,
+                cast.name,
+                failures.len(),
+                first.mask,
+                minimized
+            );
+        }
+    }
+    if !quick {
+        // t = 2: the 2^28 universe is out of exhaustion's reach, so the
+        // explorer runs a seeded + perturbed + random-mask budgeted pass
+        // under a within-budget Byzantine cast.
+        let t2 = scenario_t2_mixed();
+        let cast = Cast {
+            name: "t2_stale_plus_crash",
+            faults: vec![(0, FaultKind::StaleAfter(0)), (5, FaultKind::CrashAfter(2))],
+        };
+        let budget = budget_from_env("RASTOR_CHECK_BUDGET_MS", 2_000);
+        let stats = t2.explore_cast(ReadMode::Fast, &cast, 0xD0BE, budget, 400);
+        println!(
+            "{:<28} t = 2 budgeted ({}): {} runs ({} scheduled / {} perturbed / {} masks) in {:.0?}: {}",
+            t2.name,
+            cast.name,
+            stats.runs,
+            stats.scheduled_runs,
+            stats.perturbed_runs,
+            stats.mask_runs,
+            stats.elapsed,
+            if stats.is_clean() {
+                "clean"
+            } else {
+                "VIOLATIONS FOUND"
+            }
+        );
     }
 }
 

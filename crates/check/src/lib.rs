@@ -6,7 +6,7 @@
 //! schedules and checks every run against the paper's atomicity properties
 //! plus the always-on ghost invariants compiled into `rastor_core`.
 //!
-//! ## Two exploration axes
+//! ## Three exploration axes
 //!
 //! 1. **Delay-rule masks** ([`Scenario::sweep`]): a finite universe of
 //!    per-(operation, object) delay rules is enumerated exhaustively — every
@@ -21,6 +21,22 @@
 //!    order. [`RandomScheduler`] makes seeded-random picks (replay = same
 //!    seed) and can replay a recorded prefix with one pick changed —
 //!    schedule perturbation around a known-interesting run.
+//! 3. **Byzantine casts** ([`Cast`]): a fault assignment over the object
+//!    slots — per-object [`FaultKind`] behaviors (crash-at-round-k,
+//!    stale replay, equivocation, silence) composed with either of the
+//!    scheduling axes above. The sweeps assert the paper's resilience
+//!    boundary from both sides: every `≤ t` cast stays clean across
+//!    every enumerated schedule, while a `t + 1` cast yields a
+//!    `check_atomic` witness that the explorer finds, minimizes and
+//!    replays ([`Scenario::sweep_cast`]).
+//!
+//! Where exhaustion is out of reach (t = 2 clusters, 3+ concurrent ops),
+//! [`Scenario::explore_cast`] runs a wall-clock-budgeted mix of seeded
+//! random schedules, their one-step perturbation neighborhoods, and random
+//! delay masks, shrinking any find with [`Scenario::minimize_cast`].
+//! The same falsification loop covers the TCP substrate via the
+//! [`netchaos`] module: seeded drop/reorder/partition searches over
+//! `ChaosProxy` deployments with minimized `target/model-check/` reports.
 //!
 //! ## What counts as a violation
 //!
@@ -40,7 +56,12 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod netchaos;
+
 use rastor_common::{ClientId, ClusterConfig, ObjectId, OpKind, RegId, SplitMix64, Value};
+use rastor_core::adversary::{
+    CrashObject, EquivocatorObject, ForgeHighObject, ReplayObject, SilentObject,
+};
 use rastor_core::mwmr::{mw_read_in_group_mode, MwWriteClient, RegGroup};
 use rastor_core::{History, HonestObject, ObjectView, OpOutput, ReadMode, Rep, Req};
 use rastor_sim::control::Rule;
@@ -50,6 +71,7 @@ use rastor_sim::{
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::path::{Path, PathBuf};
 use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
 
 /// Extra latency (each way) injected by one enabled delay rule.
 ///
@@ -103,6 +125,10 @@ impl Outcome {
     }
 }
 
+/// A `catch_unwind`-wrapped run: completions plus the event-cap flag on
+/// success, the ghost-invariant panic payload otherwise.
+type CaughtRun = Result<(Vec<Completion<OpOutput>>, bool), Box<dyn std::any::Any + Send>>;
+
 /// A failing schedule found by [`Scenario::sweep`].
 #[derive(Clone, Debug)]
 pub struct Failure {
@@ -110,6 +136,123 @@ pub struct Failure {
     pub mask: u64,
     /// What went wrong.
     pub violations: Vec<String>,
+}
+
+/// One Byzantine behavior assignable to an object slot of a [`Cast`].
+///
+/// Each variant materializes one member of the
+/// [`rastor_core::adversary`] battery, chosen to cover the fault shapes
+/// the paper's adversary uses: crashing mid-protocol, replaying genuine
+/// but stale state, equivocating between clients, and plain silence.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum FaultKind {
+    /// Never replies ([`SilentObject`]) — a crashed/partitioned object.
+    Silent,
+    /// Honest for the first `n` requests, then silent
+    /// ([`CrashObject`]) — crash-at-round-k and silent-after-n in one.
+    CrashAfter(usize),
+    /// Honest for the first `n` requests, then answers collects from the
+    /// frozen genuine state while acking-but-dropping writes
+    /// ([`ReplayObject`]) — the stale-reply adversary. `StaleAfter(0)`
+    /// replays the initial (bottom) state forever.
+    StaleAfter(usize),
+    /// Split-brain equivocation ([`EquivocatorObject`]): the listed
+    /// victims see state frozen after `freeze_after` write-phase
+    /// messages; every other client sees fresh state.
+    Equivocate {
+        /// Clients pinned to the frozen replica.
+        victims: Vec<ClientId>,
+        /// Write-phase messages applied to the frozen side before it
+        /// stops following.
+        freeze_after: usize,
+    },
+    /// Reports a fabricated sky-high pair to every collect
+    /// ([`ForgeHighObject::default_forgery`]) — the equivocating-value
+    /// adversary. One forger is outvoted by the `t + 1` voucher
+    /// threshold; `t + 1` colluding forgers give the fabrication enough
+    /// vouchers to be *selected*, which is the paper's resilience
+    /// boundary made executable.
+    ForgeHigh,
+}
+
+impl FaultKind {
+    /// Build a fresh behavior instance implementing this fault.
+    ///
+    /// Behaviors are stateful (crash budgets, frozen replicas), so every
+    /// run must materialize its own copies — [`Cast::objects_for`] does.
+    pub fn materialize(&self) -> Box<dyn ObjectBehavior<Req, Rep>> {
+        match self {
+            FaultKind::Silent => Box::new(SilentObject),
+            FaultKind::CrashAfter(n) => Box::new(CrashObject::new(*n)),
+            FaultKind::StaleAfter(n) => Box::new(ReplayObject::new(*n)),
+            FaultKind::Equivocate {
+                victims,
+                freeze_after,
+            } => Box::new(EquivocatorObject::new(victims.clone(), *freeze_after)),
+            FaultKind::ForgeHigh => Box::new(ForgeHighObject::default_forgery()),
+        }
+    }
+}
+
+/// A fault assignment over a scenario's object slots: which objects are
+/// Byzantine and how. Objects not listed are honest.
+///
+/// A cast composes orthogonally with both scheduling axes — the same
+/// cast can run under a delay mask ([`Scenario::run_mask_cast`]) or a
+/// held-message schedule ([`Scenario::run_scheduled_cast`]).
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct Cast {
+    /// Name used in reports and replay instructions.
+    pub name: &'static str,
+    /// `(object index, fault)` pairs; at most one fault per object.
+    pub faults: Vec<(usize, FaultKind)>,
+}
+
+impl Cast {
+    /// The all-honest cast (what the delay-only explorer always ran).
+    pub fn honest() -> Cast {
+        Cast {
+            name: "honest",
+            faults: Vec::new(),
+        }
+    }
+
+    /// A cast with a single faulty object.
+    pub fn single(name: &'static str, object: usize, fault: FaultKind) -> Cast {
+        Cast {
+            name,
+            faults: vec![(object, fault)],
+        }
+    }
+
+    /// Number of distinct Byzantine objects in the cast.
+    pub fn byzantine_count(&self) -> usize {
+        let mut objs: Vec<usize> = self.faults.iter().map(|(o, _)| *o).collect();
+        objs.sort_unstable();
+        objs.dedup();
+        objs.len()
+    }
+
+    /// Materialize the object battery for an `n`-object cluster: honest
+    /// objects everywhere except the cast's slots, fresh fault state per
+    /// call (so repeated runs never share a crash budget or frozen
+    /// replica).
+    pub fn objects_for(&self, n: usize) -> Vec<Box<dyn ObjectBehavior<Req, Rep>>> {
+        for (o, _) in &self.faults {
+            assert!(*o < n, "cast fault on object {o} of an {n}-object cluster");
+        }
+        (0..n)
+            .map(|i| {
+                self.faults
+                    .iter()
+                    .find(|(o, _)| *o == i)
+                    .map(|(_, f)| f.materialize())
+                    .unwrap_or_else(|| {
+                        Box::new(HonestObject::new()) as Box<dyn ObjectBehavior<Req, Rep>>
+                    })
+            })
+            .collect()
+    }
 }
 
 /// A fixed operation script over one MWMR register group, explored under
@@ -215,9 +358,7 @@ impl Scenario {
         let cfg = self.cluster();
         let group = self.group();
         let mut sim = Sim::with_controller(SimConfig::default(), controller);
-        for obj in objects {
-            sim.add_object(obj);
-        }
+        sim.add_objects(objects);
         for (i, op) in self.ops.iter().enumerate() {
             let client = self.client_of(i);
             match *op {
@@ -248,13 +389,26 @@ impl Scenario {
     /// Deterministic: the same `(scenario, mode, mask)` triple always
     /// produces the same run — re-invoking this **is** the replay.
     pub fn run_mask(&self, mode: ReadMode, mask: u64) -> Outcome {
+        self.run_mask_cast(mode, mask, &Cast::honest())
+    }
+
+    /// [`Scenario::run_mask`] with a Byzantine cast in the object slots.
+    ///
+    /// Deterministic in `(scenario, mode, mask, cast)` — behaviors are
+    /// freshly materialized per call, so re-invoking **is** the replay.
+    pub fn run_mask_cast(&self, mode: ReadMode, mask: u64, cast: &Cast) -> Outcome {
         let run = catch_unwind(AssertUnwindSafe(|| {
             let mut controller = ScriptedController::new();
             for rule in self.rules_for_mask(mask) {
                 controller.push(rule);
             }
-            let mut sim = self.build_sim(mode, Box::new(controller));
-            sim.run_to_quiescence()
+            let mut sim = self.build_sim_with_objects(
+                mode,
+                Box::new(controller),
+                cast.objects_for(self.num_objects()),
+            );
+            let completions = sim.run_to_quiescence();
+            (completions, sim.hit_event_cap())
         }));
         self.judge(run)
     }
@@ -262,10 +416,26 @@ impl Scenario {
     /// Run the script with every message held and delivery order chosen by
     /// the scheduler (see [`rastor_sim::Sim::run_scheduled`]).
     pub fn run_scheduled(&self, mode: ReadMode, sched: &mut dyn rastor_sim::Scheduler) -> Outcome {
+        self.run_scheduled_cast(mode, sched, &Cast::honest())
+    }
+
+    /// [`Scenario::run_scheduled`] with a Byzantine cast in the object
+    /// slots.
+    pub fn run_scheduled_cast(
+        &self,
+        mode: ReadMode,
+        sched: &mut dyn rastor_sim::Scheduler,
+        cast: &Cast,
+    ) -> Outcome {
         let run = catch_unwind(AssertUnwindSafe(|| {
             let controller = ScriptedController::new().with_rule(Rule::hold_all());
-            let mut sim = self.build_sim(mode, Box::new(controller));
-            sim.run_scheduled(sched)
+            let mut sim = self.build_sim_with_objects(
+                mode,
+                Box::new(controller),
+                cast.objects_for(self.num_objects()),
+            );
+            let completions = sim.run_scheduled(sched);
+            (completions, sim.hit_event_cap())
         }));
         self.judge(run)
     }
@@ -276,13 +446,22 @@ impl Scenario {
         self.run_scheduled(mode, &mut RandomScheduler::seeded(seed))
     }
 
-    fn judge(
-        &self,
-        run: Result<Vec<Completion<OpOutput>>, Box<dyn std::any::Any + Send>>,
-    ) -> Outcome {
+    /// [`Scenario::run_random`] with a Byzantine cast in the object slots.
+    pub fn run_random_cast(&self, mode: ReadMode, seed: u64, cast: &Cast) -> Outcome {
+        self.run_scheduled_cast(mode, &mut RandomScheduler::seeded(seed), cast)
+    }
+
+    fn judge(&self, run: CaughtRun) -> Outcome {
         match run {
-            Ok(completions) => {
-                let violations = self.violations_of(&completions);
+            Ok((completions, capped)) => {
+                let mut violations = self.violations_of(&completions);
+                if capped {
+                    violations.push(
+                        "event cap: the run was cut off by the sim's event budget \
+                         (possible livelock)"
+                            .to_string(),
+                    );
+                }
                 Outcome {
                     completions,
                     violations,
@@ -349,11 +528,18 @@ impl Scenario {
     /// Exhaustively enumerate every delay mask (all `2^universe_bits()`
     /// schedules in the rule universe) and return the failures.
     pub fn sweep(&self, mode: ReadMode) -> Vec<Failure> {
+        self.sweep_cast(mode, &Cast::honest())
+    }
+
+    /// [`Scenario::sweep`] with a Byzantine cast in the object slots: the
+    /// full delay-mask universe, every schedule running the same fault
+    /// assignment (with fresh fault state per schedule).
+    pub fn sweep_cast(&self, mode: ReadMode, cast: &Cast) -> Vec<Failure> {
         let bits = self.universe_bits();
         assert!(bits <= 24, "universe too large to enumerate exhaustively");
         (0..1u64 << bits)
             .filter_map(|mask| {
-                let outcome = self.run_mask(mode, mask);
+                let outcome = self.run_mask_cast(mode, mask, cast);
                 (!outcome.is_clean()).then_some(Failure {
                     mask,
                     violations: outcome.violations,
@@ -367,12 +553,19 @@ impl Scenario {
     /// The result is a locally-minimal repro (every remaining rule is
     /// necessary).
     pub fn minimize(&self, mode: ReadMode, mask: u64) -> u64 {
+        self.minimize_cast(mode, mask, &Cast::honest())
+    }
+
+    /// [`Scenario::minimize`] under a Byzantine cast. Works on any
+    /// universe up to 64 bits — minimization probes one bit-drop at a
+    /// time, so it never needs the exhaustive enumeration.
+    pub fn minimize_cast(&self, mode: ReadMode, mask: u64, cast: &Cast) -> u64 {
         let mut cur = mask;
         loop {
             let mut improved = false;
             for bit in 0..self.universe_bits() {
                 let cand = cur & !(1u64 << bit);
-                if cand != cur && !self.run_mask(mode, cand).is_clean() {
+                if cand != cur && !self.run_mask_cast(mode, cand, cast).is_clean() {
                     cur = cand;
                     improved = true;
                 }
@@ -385,9 +578,30 @@ impl Scenario {
 
     /// Render one failure as a replayable report.
     pub fn report(&self, mode: ReadMode, failure: &Failure, minimized: u64) -> String {
+        self.report_cast(mode, failure, minimized, &Cast::honest())
+    }
+
+    /// [`Scenario::report`] including the cast, so a Byzantine find is
+    /// replayable fault-assignment and all.
+    pub fn report_cast(
+        &self,
+        mode: ReadMode,
+        failure: &Failure,
+        minimized: u64,
+        cast: &Cast,
+    ) -> String {
         let mut s = String::new();
         s.push_str(&format!("scenario:  {}\n", self.name));
         s.push_str(&format!("mode:      {mode:?}\n"));
+        s.push_str(&format!(
+            "cast:      {} ({} byzantine of {})\n",
+            cast.name,
+            cast.byzantine_count(),
+            self.num_objects()
+        ));
+        for (obj, fault) in &cast.faults {
+            s.push_str(&format!("  fault: object {obj} {fault:?}\n"));
+        }
         s.push_str(&format!("mask:      {:#x}\n", failure.mask));
         s.push_str(&format!(
             "minimized: {:#x} ({} rules)\n",
@@ -400,12 +614,152 @@ impl Scenario {
         for v in &failure.violations {
             s.push_str(&format!("violation: {v}\n"));
         }
-        s.push_str(&format!(
-            "replay:    scenario_{}().run_mask(ReadMode::{mode:?}, {:#x})\n",
-            self.name, minimized
-        ));
+        if cast.faults.is_empty() {
+            s.push_str(&format!(
+                "replay:    scenario_{}().run_mask(ReadMode::{mode:?}, {:#x})\n",
+                self.name, minimized
+            ));
+        } else {
+            s.push_str(&format!(
+                "replay:    scenario_{}().run_mask_cast(ReadMode::{mode:?}, {:#x}, \
+                 &Cast {{ name: {:?}, faults: vec!{:?} }})\n",
+                self.name, minimized, cast.name, cast.faults
+            ));
+        }
         s
     }
+
+    /// Budgeted non-exhaustive exploration for scenarios whose universe is
+    /// too large to sweep (t = 2 clusters, 3+ concurrent ops): seeded
+    /// random held-message schedules, each one's perturbation
+    /// neighborhood, and random delay masks, until `budget` elapses or
+    /// `max_runs` runs have executed. Mask failures are shrunk with
+    /// [`Scenario::minimize_cast`]; schedule failures carry their seed and
+    /// pick trace for replay.
+    pub fn explore_cast(
+        &self,
+        mode: ReadMode,
+        cast: &Cast,
+        base_seed: u64,
+        budget: Duration,
+        max_runs: usize,
+    ) -> ExploreStats {
+        let start = Instant::now();
+        let bits = self.universe_bits();
+        let mask_space = if bits >= 64 {
+            u64::MAX
+        } else {
+            (1u64 << bits) - 1
+        };
+        let mut rng = SplitMix64::new(base_seed ^ 0x9e37_79b9_7f4a_7c15);
+        let mut stats = ExploreStats::default();
+        let mut seed = base_seed;
+        while stats.runs < max_runs && start.elapsed() < budget {
+            // One seeded held-message schedule...
+            let mut sched = RandomScheduler::seeded(seed);
+            let outcome = self.run_scheduled_cast(mode, &mut sched, cast);
+            let picks = sched.picks.clone();
+            stats.scheduled_runs += 1;
+            stats.runs += 1;
+            if !outcome.is_clean() {
+                stats.schedule_failures.push(ScheduleFailure {
+                    seed,
+                    picks: picks.clone(),
+                    violations: outcome.violations,
+                });
+            }
+            // ...its one-step perturbation neighborhood...
+            if !picks.is_empty() {
+                for at in [0, picks.len() / 2, picks.len() - 1] {
+                    if stats.runs >= max_runs || start.elapsed() >= budget {
+                        break;
+                    }
+                    let mut p = RandomScheduler::perturbed(seed, &picks, at);
+                    let outcome = self.run_scheduled_cast(mode, &mut p, cast);
+                    stats.perturbed_runs += 1;
+                    stats.runs += 1;
+                    if !outcome.is_clean() {
+                        stats.schedule_failures.push(ScheduleFailure {
+                            seed,
+                            picks: p.picks.clone(),
+                            violations: outcome.violations,
+                        });
+                    }
+                }
+            }
+            // ...and one random point of the delay-mask universe.
+            if stats.runs < max_runs && start.elapsed() < budget {
+                let mask = rng.next_u64() & mask_space;
+                let outcome = self.run_mask_cast(mode, mask, cast);
+                stats.mask_runs += 1;
+                stats.runs += 1;
+                if !outcome.is_clean() {
+                    let minimized = self.minimize_cast(mode, mask, cast);
+                    stats.mask_failures.push(Failure {
+                        mask: minimized,
+                        violations: outcome.violations,
+                    });
+                }
+            }
+            seed = seed.wrapping_add(1);
+        }
+        stats.elapsed = start.elapsed();
+        stats
+    }
+}
+
+/// A failing held-message schedule found by [`Scenario::explore_cast`]:
+/// replay it with [`RandomScheduler::with_prefix`] over the recorded
+/// picks (or just [`Scenario::run_random_cast`] with the seed, for an
+/// unperturbed find).
+#[derive(Clone, Debug)]
+pub struct ScheduleFailure {
+    /// Seed of the random scheduler that produced (or seeded the
+    /// perturbation of) the failing schedule.
+    pub seed: u64,
+    /// The full pick trace; `RandomScheduler::with_prefix(seed, picks)`
+    /// replays it exactly.
+    pub picks: Vec<usize>,
+    /// What went wrong.
+    pub violations: Vec<String>,
+}
+
+/// Tally of one [`Scenario::explore_cast`] budgeted exploration.
+#[derive(Clone, Debug, Default)]
+pub struct ExploreStats {
+    /// Total runs executed (all kinds).
+    pub runs: usize,
+    /// Fresh seeded held-message schedules.
+    pub scheduled_runs: usize,
+    /// One-step perturbations of those schedules.
+    pub perturbed_runs: usize,
+    /// Random delay-mask probes.
+    pub mask_runs: usize,
+    /// Failing masks, already minimized.
+    pub mask_failures: Vec<Failure>,
+    /// Failing held-message schedules.
+    pub schedule_failures: Vec<ScheduleFailure>,
+    /// Wall clock the exploration actually used.
+    pub elapsed: Duration,
+}
+
+impl ExploreStats {
+    /// Whether the exploration found nothing.
+    pub fn is_clean(&self) -> bool {
+        self.mask_failures.is_empty() && self.schedule_failures.is_empty()
+    }
+}
+
+/// Read a wall-clock budget from an environment variable (milliseconds),
+/// falling back to `default_ms`. The extended CI lane raises the budgets
+/// this way (`RASTOR_CHECK_BUDGET_MS`) without a recompile.
+pub fn budget_from_env(var: &str, default_ms: u64) -> Duration {
+    Duration::from_millis(
+        std::env::var(var)
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(default_ms),
+    )
 }
 
 /// Write failure reports under `dir` (one file per failure, minimized and
@@ -417,15 +771,33 @@ pub fn write_failure_reports(
     mode: ReadMode,
     failures: &[Failure],
 ) -> std::io::Result<Vec<PathBuf>> {
+    write_failure_reports_cast(dir, scenario, mode, &Cast::honest(), failures)
+}
+
+/// [`write_failure_reports`] for a Byzantine cast: file names carry the
+/// cast name so sim-substrate and fault-substrate artifacts never
+/// collide.
+pub fn write_failure_reports_cast(
+    dir: &Path,
+    scenario: &Scenario,
+    mode: ReadMode,
+    cast: &Cast,
+    failures: &[Failure],
+) -> std::io::Result<Vec<PathBuf>> {
     std::fs::create_dir_all(dir)?;
     let mut paths = Vec::new();
     for failure in failures {
-        let minimized = scenario.minimize(mode, failure.mask);
-        let path = dir.join(format!(
-            "{}-{mode:?}-{:#x}.txt",
-            scenario.name, failure.mask
-        ));
-        std::fs::write(&path, scenario.report(mode, failure, minimized))?;
+        let minimized = scenario.minimize_cast(mode, failure.mask, cast);
+        let name = if cast.faults.is_empty() {
+            format!("{}-{mode:?}-{:#x}.txt", scenario.name, failure.mask)
+        } else {
+            format!(
+                "{}-{}-{mode:?}-{:#x}.txt",
+                scenario.name, cast.name, failure.mask
+            )
+        };
+        let path = dir.join(name);
+        std::fs::write(&path, scenario.report_cast(mode, failure, minimized, cast))?;
         paths.push(path);
     }
     Ok(paths)
@@ -562,6 +934,119 @@ pub fn scenario_write_then_two_reads() -> Scenario {
             },
         ],
     }
+}
+
+/// The smallest script that exposes the resilience boundary: one write,
+/// one read after it, `t = 1` over four objects. Its 8-bit delay
+/// universe (256 masks) is cheap enough to sweep exhaustively under
+/// every cast of the fault battery — the scenario behind the
+/// "`≤ t` safe, `t + 1` witness found" contract.
+pub fn scenario_write_then_read() -> Scenario {
+    Scenario {
+        name: "write_then_read",
+        t: 1,
+        n_writers: 1,
+        n_readers: 1,
+        ops: vec![
+            OpSpec::Write {
+                at: 0,
+                writer: 0,
+                value: 10,
+            },
+            OpSpec::Read {
+                at: 5_000,
+                reader: 0,
+            },
+        ],
+    }
+}
+
+/// A `t = 2` cluster (seven objects) with four operations — two writers
+/// racing two readers. Its 28-bit delay universe is past the exhaustive
+/// sweep's 24-bit ceiling by design: this is the scenario the budgeted
+/// explorer ([`Scenario::explore_cast`]) owns.
+pub fn scenario_t2_mixed() -> Scenario {
+    Scenario {
+        name: "t2_mixed",
+        t: 2,
+        n_writers: 2,
+        n_readers: 2,
+        ops: vec![
+            OpSpec::Write {
+                at: 0,
+                writer: 0,
+                value: 10,
+            },
+            OpSpec::Write {
+                at: 1_000,
+                writer: 1,
+                value: 20,
+            },
+            OpSpec::Read {
+                at: 5_000,
+                reader: 0,
+            },
+            OpSpec::Read {
+                at: 5_100,
+                reader: 1,
+            },
+        ],
+    }
+}
+
+/// The `t + 1` colluding-forger cast on [`scenario_write_then_read`]:
+/// two of four objects (`t = 1`) report the same fabricated sky-high
+/// pair to every collect. One past the paper's fault budget — the sweep
+/// **must** find a `check_atomic` witness against it: a read quorum of
+/// the two forgers plus one honest object gives the fabrication `t + 1`
+/// vouchers, so the reader *selects* it and returns a value that was
+/// never written. This is the `t + 1` voucher threshold's contrapositive
+/// made executable.
+///
+/// (A `t + 1` *stale-replay* cast is deliberately not the witness: with
+/// reliable channels the slow read keeps collecting until honest replies
+/// outvote the replayers, so at `t + 1` stale replay costs liveness, not
+/// safety — the sweeps under [`cast_one_stale`] and friends pin the safe
+/// side of that line.)
+pub fn cast_t_plus_one_forgers() -> Cast {
+    Cast {
+        name: "t_plus_one_forgers",
+        faults: vec![(0, FaultKind::ForgeHigh), (1, FaultKind::ForgeHigh)],
+    }
+}
+
+/// The `≤ t` twin of [`cast_t_plus_one_forgers`]: a single forger, which
+/// the voucher threshold outvotes on every schedule.
+pub fn cast_one_forger() -> Cast {
+    Cast::single("one_forger", 0, FaultKind::ForgeHigh)
+}
+
+/// A single stale-replaying object (`≤ t`). Every schedule of every
+/// scenario must stay clean under it.
+pub fn cast_one_stale() -> Cast {
+    Cast::single("one_stale", 0, FaultKind::StaleAfter(0))
+}
+
+/// The single-fault battery for `≤ t` sweeps: one cast per
+/// [`FaultKind`], each placed on a different object slot so the sweeps
+/// also vary the faulty position.
+pub fn casts_single_fault() -> Vec<Cast> {
+    vec![
+        Cast::single("silent", 0, FaultKind::Silent),
+        Cast::single("crash_after_3", 1, FaultKind::CrashAfter(3)),
+        Cast::single("stale_after_2", 2, FaultKind::StaleAfter(2)),
+        Cast {
+            name: "equivocate_reader",
+            faults: vec![(
+                3,
+                FaultKind::Equivocate {
+                    victims: vec![ClientId::reader(0)],
+                    freeze_after: 0,
+                },
+            )],
+        },
+        Cast::single("forge_high", 0, FaultKind::ForgeHigh),
+    ]
 }
 
 /// The stale-policy parity scenario (kept small: it runs under both

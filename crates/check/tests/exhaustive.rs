@@ -6,8 +6,10 @@
 //! feature, so the protocol invariants stay armed).
 
 use rastor_check::{
-    run_both_policies, scenario_policy_parity, scenario_two_writers_one_reader,
-    scenario_write_then_two_reads, write_failure_reports, RandomScheduler, Scenario,
+    budget_from_env, cast_one_forger, cast_one_stale, cast_t_plus_one_forgers, casts_single_fault,
+    run_both_policies, scenario_policy_parity, scenario_t2_mixed, scenario_two_writers_one_reader,
+    scenario_write_then_read, scenario_write_then_two_reads, write_failure_reports,
+    write_failure_reports_cast, Cast, FaultKind, RandomScheduler, Scenario,
 };
 use rastor_core::ReadMode;
 use std::path::PathBuf;
@@ -156,6 +158,170 @@ fn exhaustive_perturbed_schedules_stay_atomic() {
                 out.violations
             );
         }
+    }
+}
+
+/// Byzantine casts, safe side: every `≤ t` single-fault cast (silent,
+/// crash, stale replay, equivocation, forgery) sweeps clean over the
+/// *entire* delay-rule universe on both sound read paths — the paper's
+/// fault budget holds under every schedule, not just the happy path.
+#[test]
+fn exhaustive_casts_within_fault_budget_sweep_clean() {
+    let scenario = scenario_write_then_read();
+    for cast in casts_single_fault()
+        .into_iter()
+        .chain([cast_one_stale(), cast_one_forger()])
+    {
+        assert_eq!(cast.byzantine_count(), 1, "these casts stay within t = 1");
+        for mode in [ReadMode::Slow, ReadMode::Fast] {
+            let failures = scenario.sweep_cast(mode, &cast);
+            if !failures.is_empty() {
+                let paths =
+                    write_failure_reports_cast(&report_dir(), &scenario, mode, &cast, &failures)
+                        .expect("write failure reports");
+                panic!(
+                    "{} schedules violate atomicity for {} under cast {} / {mode:?}; \
+                     minimized repros in {:?}",
+                    failures.len(),
+                    scenario.name,
+                    cast.name,
+                    paths
+                );
+            }
+        }
+    }
+}
+
+/// Byzantine casts, broken side: `t + 1` colluding forgers give a
+/// fabricated pair `t + 1` vouchers, and the sweep **must** find the
+/// resulting `check_atomic` witness (a read returning a never-written
+/// value), shrink it, and replay it — mirroring how the explorer catches
+/// `ReadMode::UnsoundFast`. The `≤ t` twin stays clean under the exact
+/// same minimized schedule: the boundary is the cast size, not the
+/// schedule.
+#[test]
+fn exhaustive_sweep_finds_the_t_plus_one_forger_witness() {
+    let scenario = scenario_write_then_read();
+    let cast = cast_t_plus_one_forgers();
+    assert_eq!(
+        cast.byzantine_count(),
+        2,
+        "the witness cast is one past t = 1"
+    );
+    for mode in [ReadMode::Slow, ReadMode::Fast] {
+        let failures = scenario.sweep_cast(mode, &cast);
+        assert!(
+            !failures.is_empty(),
+            "t + 1 forgers must violate atomicity somewhere in the universe ({mode:?})"
+        );
+        assert!(
+            failures
+                .iter()
+                .all(|f| f.violations.iter().any(|v| v.starts_with("atomicity"))),
+            "every failure is an atomicity violation, not a liveness artifact"
+        );
+
+        let first = &failures[0];
+        let minimized = scenario.minimize_cast(mode, first.mask, &cast);
+        assert_eq!(
+            minimized & first.mask,
+            minimized,
+            "minimization only drops rules"
+        );
+        // Note: no `minimized != 0` assert — under a t + 1 cast the fault
+        // alone can suffice, and an empty mask is a legitimate witness.
+        let replay = scenario.run_mask_cast(mode, minimized, &cast);
+        assert!(
+            replay
+                .violations
+                .iter()
+                .any(|v| v.contains("never-written")),
+            "the forgery witness is a genuineness violation, got {:?}",
+            replay.violations
+        );
+
+        // The ≤ t twin under the same minimized schedule: one forger is
+        // outvoted by the t + 1 voucher threshold.
+        let twin = scenario.run_mask_cast(mode, minimized, &cast_one_forger());
+        assert!(
+            twin.is_clean(),
+            "a single forger must be outvoted on the witness schedule: {:?}",
+            twin.violations
+        );
+
+        // The witness is also a report: the same artifact pipeline CI
+        // uploads for delay-only failures.
+        let paths =
+            write_failure_reports_cast(&report_dir(), &scenario, mode, &cast, &failures[..1])
+                .expect("write witness report");
+        assert_eq!(paths.len(), 1);
+        let body = std::fs::read_to_string(&paths[0]).expect("read witness report");
+        assert!(
+            body.contains("cast:") && body.contains("run_mask_cast"),
+            "report names the cast and carries a replay line:\n{body}"
+        );
+    }
+}
+
+/// Checker efficacy under faults: the deliberately unsound fast path is
+/// still caught when a `≤ t` Byzantine cast is in play, and the sound
+/// fast path survives the same schedule *and* the whole universe under
+/// that cast — adaptive reads don't lean on all-honest assumptions.
+#[test]
+fn exhaustive_sweep_catches_the_unsound_fast_path_under_a_cast() {
+    let scenario = scenario_write_then_two_reads();
+    let cast = cast_one_stale();
+    let failures = scenario.sweep_cast(ReadMode::UnsoundFast, &cast);
+    assert!(
+        !failures.is_empty(),
+        "the unsound fast path must fail under a stale-replay cast too"
+    );
+    let first = &failures[0];
+    let minimized = scenario.minimize_cast(ReadMode::UnsoundFast, first.mask, &cast);
+    let sound = scenario.run_mask_cast(ReadMode::Fast, minimized, &cast);
+    assert!(
+        sound.is_clean(),
+        "the confirmed fast path survives the repro schedule under the cast: {:?}",
+        sound.violations
+    );
+    let sound_sweep = scenario.sweep_cast(ReadMode::Fast, &cast);
+    assert!(
+        sound_sweep.is_empty(),
+        "the confirmed fast path survives the whole universe under the cast"
+    );
+}
+
+/// Larger casts where exhaustion is out of reach: the `t = 2` scenario's
+/// universe (> 24 bits) is explored with budgeted seeded-random schedules,
+/// perturbation neighborhoods and random delay masks, under both an honest
+/// cast and a two-fault `≤ t` cast — zero violations. The budget comes
+/// from `RASTOR_CHECK_BUDGET_MS` so the extended CI lane can raise it
+/// without a code change.
+#[test]
+fn exhaustive_t2_budgeted_exploration_stays_atomic() {
+    let scenario = scenario_t2_mixed();
+    assert!(
+        scenario.universe_bits() > 24,
+        "t = 2 universe must be beyond exhaustive reach, got {} bits",
+        scenario.universe_bits()
+    );
+    let budget = budget_from_env("RASTOR_CHECK_BUDGET_MS", 1_000);
+    let two_faults = Cast {
+        name: "t2_stale_plus_crash",
+        faults: vec![(0, FaultKind::StaleAfter(0)), (5, FaultKind::CrashAfter(2))],
+    };
+    assert!(two_faults.byzantine_count() <= 2, "within the t = 2 budget");
+    for cast in [Cast::honest(), two_faults] {
+        let stats = scenario.explore_cast(ReadMode::Fast, &cast, 0xD0BE, budget, 400);
+        assert!(stats.runs > 0, "the explorer must run at least once");
+        assert!(
+            stats.is_clean(),
+            "budgeted exploration of {} under cast {} found: {:?} {:?}",
+            scenario.name,
+            cast.name,
+            stats.mask_failures,
+            stats.schedule_failures
+        );
     }
 }
 

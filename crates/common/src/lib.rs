@@ -45,6 +45,6 @@ pub mod value;
 pub use error::{Error, Result};
 pub use ids::{ClientId, ObjectId, RegId};
 pub use quorum::{ClusterConfig, FaultModel};
-pub use rng::{splitmix64, SplitMix64};
+pub use rng::{splitmix64, test_seed, SplitMix64};
 pub use round::{OpKind, OpStat, RoundCount};
 pub use value::{Timestamp, TsVal, Value};

@@ -58,6 +58,29 @@ impl SplitMix64 {
     }
 }
 
+/// The seed a randomness-dependent test should run under: the value of
+/// the `RASTOR_SEED` environment variable (decimal, or hex with a `0x`
+/// prefix) when set, else `default`.
+///
+/// Every chaos-dependent integration test draws its seed through this and
+/// prints it, so a CI failure reproduces with one
+/// `RASTOR_SEED=<printed value> cargo test ...` instead of a rerun
+/// lottery. Unparsable values fall back to `default` rather than
+/// panicking — a bad repro attempt should still run *something*.
+pub fn test_seed(default: u64) -> u64 {
+    match std::env::var("RASTOR_SEED") {
+        Ok(v) => {
+            let v = v.trim();
+            let parsed = match v.strip_prefix("0x").or_else(|| v.strip_prefix("0X")) {
+                Some(hex) => u64::from_str_radix(hex, 16),
+                None => v.parse(),
+            };
+            parsed.unwrap_or(default)
+        }
+        Err(_) => default,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -91,6 +114,21 @@ mod tests {
         let mut r = SplitMix64::new(11);
         let _ = r.gen_range(0, u64::MAX);
         let _ = r.gen_range(1, u64::MAX);
+    }
+
+    #[test]
+    fn test_seed_parses_env_or_defaults() {
+        // The whole battery runs in one test so no parallel test observes
+        // a half-set variable.
+        std::env::remove_var("RASTOR_SEED");
+        assert_eq!(test_seed(7), 7);
+        std::env::set_var("RASTOR_SEED", "42");
+        assert_eq!(test_seed(7), 42);
+        std::env::set_var("RASTOR_SEED", "0xBADCAB");
+        assert_eq!(test_seed(7), 0xBAD_CAB);
+        std::env::set_var("RASTOR_SEED", "nonsense");
+        assert_eq!(test_seed(7), 7, "unparsable repro attempts still run");
+        std::env::remove_var("RASTOR_SEED");
     }
 
     #[test]

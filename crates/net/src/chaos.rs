@@ -142,6 +142,22 @@ impl ChaosCfg {
     }
 }
 
+/// A snapshot of one proxy's fault tallies — the per-proxy counterpart of
+/// the process-wide `chaos.*` counters, so a chaos *search* can report how
+/// much misfortune each individual failing link actually delivered (and a
+/// replay can confirm it drew a comparable amount).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ChaosStats {
+    /// Frames relayed toward a peer (after the fault draws).
+    pub forwarded: u64,
+    /// Frames eaten by the drop probability.
+    pub dropped: u64,
+    /// Frames held back behind their successor.
+    pub reordered: u64,
+    /// Frames eaten by an active partition.
+    pub partition_drops: u64,
+}
+
 /// One direction of one relayed link, keyed by the conn the proxy *reads*
 /// from; faults drawn here apply to frames flowing toward `peer`.
 struct DirState {
@@ -186,6 +202,10 @@ struct ChaosState {
     cfg: ChaosCfg,
     partitioned: AtomicBool,
     next_link: AtomicU64,
+    forwarded: AtomicU64,
+    dropped: AtomicU64,
+    reordered: AtomicU64,
+    partition_drops: AtomicU64,
     /// Reading-conn id → that direction's fault state. Lock order: `dirs`
     /// before `delayq`, always.
     dirs: Mutex<HashMap<u64, DirState>>,
@@ -278,11 +298,13 @@ impl Events for ChaosState {
         };
         if self.partitioned.load(Ordering::SeqCst) {
             chaos_metrics().partition_drops.inc();
+            self.partition_drops.fetch_add(1, Ordering::Relaxed);
             return; // the link eats everything, silently
         }
         let cfg = &self.cfg;
         if cfg.drop_prob > 0.0 && dir.rng.next_f64() < cfg.drop_prob {
             chaos_metrics().dropped.inc();
+            self.dropped.fetch_add(1, Ordering::Relaxed);
             return;
         }
         let wait = cfg.delay + cfg.jitter.mul_f64(dir.rng.next_f64());
@@ -296,16 +318,19 @@ impl Events for ChaosState {
         }
         if cfg.reorder_prob > 0.0 && dir.held.is_none() && dir.rng.next_f64() < cfg.reorder_prob {
             chaos_metrics().reordered.inc();
+            self.reordered.fetch_add(1, Ordering::Relaxed);
             dir.held = Some(raw.to_vec());
             return; // forwarded right after its successor
         }
         let peer = dir.peer.clone();
         let held = dir.held.take();
         drop(dirs);
+        self.forwarded.fetch_add(1, Ordering::Relaxed);
         self.schedule(release, peer.clone(), Some(raw.to_vec()));
         if let Some(h) = held {
             // The adjacent swap: the held predecessor rides out right
             // behind its successor (same release, later sequence).
+            self.forwarded.fetch_add(1, Ordering::Relaxed);
             self.schedule(release, peer, Some(h));
         }
     }
@@ -364,6 +389,10 @@ impl ChaosProxy {
             cfg,
             partitioned: AtomicBool::new(false),
             next_link: AtomicU64::new(0),
+            forwarded: AtomicU64::new(0),
+            dropped: AtomicU64::new(0),
+            reordered: AtomicU64::new(0),
+            partition_drops: AtomicU64::new(0),
             dirs: Mutex::new(HashMap::new()),
             delayq: Mutex::new(BinaryHeap::new()),
             send_seq: AtomicU64::new(0),
@@ -399,5 +428,15 @@ impl ChaosProxy {
     /// Whether the link is currently partitioned.
     pub fn is_partitioned(&self) -> bool {
         self.state.partitioned.load(Ordering::SeqCst)
+    }
+
+    /// This proxy's fault tallies so far.
+    pub fn stats(&self) -> ChaosStats {
+        ChaosStats {
+            forwarded: self.state.forwarded.load(Ordering::Relaxed),
+            dropped: self.state.dropped.load(Ordering::Relaxed),
+            reordered: self.state.reordered.load(Ordering::Relaxed),
+            partition_drops: self.state.partition_drops.load(Ordering::Relaxed),
+        }
     }
 }

@@ -64,19 +64,23 @@ impl NetDeploy for StorageSystem {
     }
 }
 
-/// A sharded kv store whose shards live behind TCP: one server (and
-/// optionally one chaos proxy) per shard, with the store itself a plain
+/// A sharded kv store whose shards live behind TCP: one listener (and
+/// optionally one chaos proxy) per shard — or per *object*, see
+/// [`NetKv::spawn_per_object`] — with the store itself a plain
 /// [`ShardedKvStore`] — the full pipelined handle API, unchanged.
 pub struct NetKv {
     /// The store; clone it into worker threads as usual.
     pub store: ShardedKvStore,
-    /// Per-shard servers, in shard order — the fault-injection surface
-    /// ([`ObjectServer::crash_object`],
+    /// The deployment's servers in shard-major listener order (one per
+    /// shard, or `3t + 1` consecutive per shard when spawned per-object)
+    /// — the fault-injection surface ([`ObjectServer::crash_object`],
     /// [`ObjectServer::restart_object`]).
     pub servers: Vec<ObjectServer>,
-    /// Per-shard chaos proxies (empty when spawned without chaos), in
-    /// shard order — partition toggles live here.
+    /// Chaos proxies in the same order as [`NetKv::servers`] (empty when
+    /// spawned without chaos) — partition toggles live here.
     pub proxies: Vec<ChaosProxy>,
+    /// Listeners per shard: 1, or `3t + 1` for per-object deployments.
+    listeners_per_shard: usize,
     /// The durability policy the servers' honest objects were spawned
     /// with, kept for [`NetKv::restart_object`].
     durability: Arc<dyn Durability>,
@@ -100,7 +104,7 @@ impl NetKv {
     /// Propagates [`ShardedKvStore::over_transports`] validation errors
     /// and [`rastor_common::Error::Io`] from listeners/connections.
     pub fn spawn(cfg: StoreConfig, chaos: Option<ChaosCfg>) -> Result<NetKv> {
-        NetKv::spawn_impl(cfg, chaos, 1, |_, _| None)
+        NetKv::spawn_impl(cfg, chaos, 1, false, |_, _| None)
     }
 
     /// As [`NetKv::spawn`], holding a pool of `conns_per_shard`
@@ -117,7 +121,7 @@ impl NetKv {
         chaos: Option<ChaosCfg>,
         conns_per_shard: usize,
     ) -> Result<NetKv> {
-        NetKv::spawn_impl(cfg, chaos, conns_per_shard, |_, _| None)
+        NetKv::spawn_impl(cfg, chaos, conns_per_shard, false, |_, _| None)
     }
 
     /// As [`NetKv::spawn`], choosing each object's behavior by `(shard,
@@ -133,49 +137,83 @@ impl NetKv {
         chaos: Option<ChaosCfg>,
         behavior: impl FnMut(usize, ObjectId) -> Option<Box<dyn ObjectBehavior<Req, Rep> + Send>>,
     ) -> Result<NetKv> {
-        NetKv::spawn_impl(cfg, chaos, 1, behavior)
+        NetKv::spawn_impl(cfg, chaos, 1, false, behavior)
+    }
+
+    /// As [`NetKv::spawn_with`], but every object gets its **own**
+    /// listener (and, with chaos, its own proxy): `3t + 1` servers per
+    /// shard, each hosting one object of the shard's id space.
+    ///
+    /// This is the paper's fault model on the wire. Behind a single
+    /// shard listener every client flush rides one envelope over one
+    /// link, so link faults hit all of a shard's objects *uniformly* —
+    /// honest objects can never diverge, and a `t + 1` Byzantine cast
+    /// has nothing to hide behind. Per-object listeners make each object
+    /// an independent link fault domain: a chaos proxy can drop the
+    /// commit to one honest object while its peer stores it, which is
+    /// exactly the asymmetry Byzantine-boundary witnesses need.
+    ///
+    /// # Errors
+    ///
+    /// As [`NetKv::spawn`].
+    pub fn spawn_per_object(
+        cfg: StoreConfig,
+        chaos: Option<ChaosCfg>,
+        behavior: impl FnMut(usize, ObjectId) -> Option<Box<dyn ObjectBehavior<Req, Rep> + Send>>,
+    ) -> Result<NetKv> {
+        NetKv::spawn_impl(cfg, chaos, 1, true, behavior)
     }
 
     fn spawn_impl(
         cfg: StoreConfig,
         chaos: Option<ChaosCfg>,
         conns_per_shard: usize,
+        per_object: bool,
         mut behavior: impl FnMut(usize, ObjectId) -> Option<Box<dyn ObjectBehavior<Req, Rep> + Send>>,
     ) -> Result<NetKv> {
         let cluster_cfg = ClusterConfig::byzantine(cfg.t)?;
-        let mut servers = Vec::with_capacity(cfg.num_shards);
+        let num_objects = cluster_cfg.num_objects();
+        let listeners_per_shard = if per_object { num_objects } else { 1 };
+        let mut servers = Vec::with_capacity(cfg.num_shards * listeners_per_shard);
         let mut proxies = Vec::new();
         let mut transports: Vec<Box<dyn Transport<Req, Rep> + Send + Sync>> =
             Vec::with_capacity(cfg.num_shards);
         for s in 0..cfg.num_shards {
             let shard_durability = cfg.durability.for_shard(s);
-            let behaviors = (0..cluster_cfg.num_objects())
-                .map(|o| {
-                    let oid = ObjectId(o as u32);
-                    match behavior(s, oid) {
-                        Some(custom) => Ok(custom),
-                        None => Ok(shard_durability.object(oid)?.0),
+            let mut addrs = Vec::with_capacity(listeners_per_shard);
+            for l in 0..listeners_per_shard {
+                let hosted = if per_object { l..l + 1 } else { 0..num_objects };
+                let first_id = hosted.start as u32;
+                let behaviors = hosted
+                    .map(|o| {
+                        let oid = ObjectId(o as u32);
+                        match behavior(s, oid) {
+                            Some(custom) => Ok(custom),
+                            None => Ok(shard_durability.object(oid)?.0),
+                        }
+                    })
+                    .collect::<Result<Vec<_>>>()?;
+                let server = ObjectServer::spawn(behaviors, first_id, cfg.jitter)?;
+                let addr = match &chaos {
+                    None => server.local_addr(),
+                    Some(c) => {
+                        let proxy = ChaosProxy::spawn(
+                            server.local_addr(),
+                            c.clone()
+                                .with_seed(c.seed + (s * listeners_per_shard + l) as u64),
+                        )?;
+                        let addr = proxy.local_addr();
+                        proxies.push(proxy);
+                        addr
                     }
-                })
-                .collect::<Result<Vec<_>>>()?;
-            let server = ObjectServer::spawn(behaviors, 0, cfg.jitter)?;
-            let addr = match &chaos {
-                None => server.local_addr(),
-                Some(c) => {
-                    let proxy = ChaosProxy::spawn(
-                        server.local_addr(),
-                        c.clone().with_seed(c.seed + s as u64),
-                    )?;
-                    let addr = proxy.local_addr();
-                    proxies.push(proxy);
-                    addr
-                }
-            };
+                };
+                addrs.push(addr);
+                servers.push(server);
+            }
             transports.push(Box::new(NetCluster::connect_pooled(
-                &[addr],
+                &addrs,
                 conns_per_shard,
             )?));
-            servers.push(server);
         }
         let store = ShardedKvStore::over_transports(
             cfg.t,
@@ -189,32 +227,61 @@ impl NetKv {
             store,
             servers,
             proxies,
+            listeners_per_shard,
             durability: cfg.durability,
         })
     }
 
-    /// The data-plane address clients should dial for shard `shard`: the
-    /// chaos proxy when one fronts the shard, the server itself otherwise.
+    /// The data-plane address clients should dial for shard `shard` (its
+    /// first listener, for per-object deployments): the chaos proxy when
+    /// one fronts the link, the server itself otherwise.
     ///
     /// # Panics
     ///
     /// Panics if `shard` is out of range.
     pub fn data_addr(&self, shard: usize) -> std::net::SocketAddr {
-        match self.proxies.get(shard) {
+        let first = shard * self.listeners_per_shard;
+        match self.proxies.get(first) {
             Some(proxy) => proxy.local_addr(),
-            None => self.servers[shard].local_addr(),
+            None => self.servers[first].local_addr(),
         }
     }
 
-    /// The control-plane address of shard `shard`: always the server
-    /// itself, bypassing any chaos proxy — status queries must keep
-    /// answering while the data link is partitioned.
+    /// The control-plane address of shard `shard` (its first listener,
+    /// for per-object deployments): always the server itself, bypassing
+    /// any chaos proxy — status queries must keep answering while the
+    /// data link is partitioned.
     ///
     /// # Panics
     ///
     /// Panics if `shard` is out of range.
     pub fn control_addr(&self, shard: usize) -> std::net::SocketAddr {
-        self.servers[shard].local_addr()
+        self.servers[shard * self.listeners_per_shard].local_addr()
+    }
+
+    /// Index into [`NetKv::servers`] of the listener hosting `(shard,
+    /// id)`.
+    ///
+    /// # Errors
+    ///
+    /// [`Error::InvariantViolation`] if `shard` is out of range or no
+    /// listener of the shard hosts `id`.
+    fn hosting_server(&self, shard: usize, id: ObjectId) -> Result<usize> {
+        let first = shard * self.listeners_per_shard;
+        if first >= self.servers.len() {
+            return Err(Error::InvariantViolation {
+                detail: format!("no shard {shard} in this deployment"),
+            });
+        }
+        (first..first + self.listeners_per_shard)
+            .find(|&i| {
+                let s = &self.servers[i];
+                id.0.checked_sub(s.first_id())
+                    .is_some_and(|h| (h as usize) < s.num_objects())
+            })
+            .ok_or_else(|| Error::InvariantViolation {
+                detail: format!("shard {shard} hosts no object {}", id.0),
+            })
     }
 
     /// Crash one hosted object of one shard's server (no restart) — the
@@ -225,19 +292,8 @@ impl NetKv {
     ///
     /// [`Error::InvariantViolation`] if `shard` or `id` is out of range.
     pub fn crash_object(&mut self, shard: usize, id: ObjectId) -> Result<()> {
-        let server = self
-            .servers
-            .get_mut(shard)
-            .ok_or_else(|| Error::InvariantViolation {
-                detail: format!("no shard {shard} in this deployment"),
-            })?;
-        let hosted = id.0.checked_sub(server.first_id());
-        if hosted.is_none_or(|i| i as usize >= server.num_objects()) {
-            return Err(Error::InvariantViolation {
-                detail: format!("shard {shard} hosts no object {}", id.0),
-            });
-        }
-        server.crash_object(id);
+        let idx = self.hosting_server(shard, id)?;
+        self.servers[idx].crash_object(id);
         Ok(())
     }
 
@@ -252,10 +308,6 @@ impl NetKv {
     /// recoverable (spawn with a wal-backed [`StoreConfig`]); recovery I/O
     /// and corruption errors otherwise.
     ///
-    /// # Panics
-    ///
-    /// Panics if `shard` is out of range or `id` is not hosted by that
-    /// shard's server.
     pub fn restart_object(&mut self, shard: usize, id: ObjectId) -> Result<Duration> {
         if !self.durability.recoverable() {
             return Err(Error::InvariantViolation {
@@ -266,10 +318,11 @@ impl NetKv {
                 ),
             });
         }
+        let idx = self.hosting_server(shard, id)?;
         let started = std::time::Instant::now();
-        self.servers[shard].crash_object(id);
+        self.servers[idx].crash_object(id);
         let (behavior, _stats) = self.durability.for_shard(shard).object(id)?;
-        self.servers[shard].restart_object(id, behavior);
+        self.servers[idx].restart_object(id, behavior);
         Ok(started.elapsed())
     }
 }

@@ -66,7 +66,7 @@ pub mod reactor;
 pub mod server;
 pub mod wire;
 
-pub use chaos::{ChaosCfg, ChaosProxy};
+pub use chaos::{ChaosCfg, ChaosProxy, ChaosStats};
 pub use client::NetCluster;
 pub use deploy::{NetDeploy, NetHarness, NetKv};
 pub use ops::{AdminOutcome, ControlClient, OpsServer};

@@ -1,0 +1,155 @@
+//! Regression tests for two reactor edge cases the hot-list redesign
+//! (PR 8) introduced and nearly got wrong:
+//!
+//! 1. A connection that has been idle long past `HOT_LINGER` leaves the
+//!    hot list and is only polled by the once-per-idle-tick full sweep.
+//!    Its next inbound frame must still be *served* within roughly one
+//!    idle tick (~20ms) — not one linger, not one redial backoff — and
+//!    the promotion must show up on `net.idle_tick_promotions`.
+//! 2. When a live socket dies with a dormant (resubmit-capped) flush
+//!    pending, the redial path resubmits that flush **exactly once** on
+//!    the new connection — the cap stops the periodic ticker, not the
+//!    reconnect recovery, and the reconnect recovery must not loop.
+
+use rastor_common::{ClientId, ObjectId, RegId, Value};
+use rastor_core::msg::Req;
+use rastor_core::HonestObject;
+use rastor_kv::StoreConfig;
+use rastor_net::server::ObjectServer;
+use rastor_net::wire::{self, Frame, ReqEnvelope, WireReqFrame};
+use rastor_net::NetKv;
+use rastor_obs::{names, Registry};
+use std::net::TcpStream;
+use std::time::{Duration, Instant};
+
+fn collect_req(from: ClientId, op_nonce: u64) -> Frame {
+    Frame::Req(ReqEnvelope {
+        from,
+        frames: vec![WireReqFrame {
+            op_nonce,
+            round: 1,
+            trace: 0,
+            req: Req::Collect {
+                regs: vec![RegId::WRITER],
+            },
+        }],
+    })
+}
+
+fn roundtrip(conn: &mut TcpStream, from: ClientId, op_nonce: u64) {
+    wire::write_frame(conn, &collect_req(from, op_nonce)).expect("request");
+    match wire::read_frame(conn).expect("reply") {
+        Frame::Rep(env) => {
+            assert_eq!(env.to, from);
+            assert_eq!(env.from, ObjectId(0));
+        }
+        other => panic!("expected a reply envelope, got {other:?}"),
+    }
+}
+
+/// A long-idle connection's first inbound frame is served within about
+/// one idle tick. The connection goes cold after `HOT_LINGER` (~20ms);
+/// 300ms of silence puts it far past that, so the frame's readiness is
+/// only visible to the full sweep — the reply must still arrive well
+/// under the idle span (a regression here shows up as an RTT tracking
+/// the linger or, worse, the connection never resurfacing), and the
+/// sweep promotion is visible on the counter.
+#[test]
+fn long_idle_connections_first_frame_is_served_within_one_idle_tick() {
+    let server =
+        ObjectServer::spawn(vec![Box::new(HonestObject::new()) as _], 0, None).expect("server");
+    let mut conn = TcpStream::connect(server.local_addr()).expect("connect");
+    conn.set_nodelay(true).expect("nodelay");
+
+    // Make the connection real (and hot) with one served frame.
+    roundtrip(&mut conn, ClientId::reader(1), 1);
+
+    // Idle far past HOT_LINGER: the sweep demotes the connection.
+    std::thread::sleep(Duration::from_millis(300));
+
+    let promotions_before = Registry::global().counter_value(names::NET_IDLE_TICK_PROMOTIONS);
+    let sent = Instant::now();
+    roundtrip(&mut conn, ClientId::reader(1), 2);
+    let rtt = sent.elapsed();
+
+    // One idle tick is 20ms; 250ms of headroom absorbs scheduler noise
+    // while still distinguishing "one tick late" from "one idle span
+    // late" (300ms) or a stuck connection.
+    assert!(
+        rtt < Duration::from_millis(250),
+        "cold connection's frame took {rtt:?}; the idle-tick sweep must re-serve it promptly"
+    );
+    let delta =
+        Registry::global().counter_value(names::NET_IDLE_TICK_PROMOTIONS) - promotions_before;
+    assert!(
+        delta >= 1,
+        "a cold connection's readiness must be found by the sweep and promoted (delta {delta})"
+    );
+}
+
+/// Poll `net.resubmissions` until it has been static for `quiet`,
+/// returning the settled value. Panics if it never settles.
+fn settled_resubmissions(quiet: Duration) -> u64 {
+    let deadline = Instant::now() + Duration::from_secs(10);
+    loop {
+        let snapshot = Registry::global().counter_value(names::NET_RESUBMISSIONS);
+        std::thread::sleep(quiet);
+        if Registry::global().counter_value(names::NET_RESUBMISSIONS) == snapshot {
+            return snapshot;
+        }
+        assert!(
+            Instant::now() < deadline,
+            "resubmissions never went dormant"
+        );
+    }
+}
+
+/// A killed socket with a *dormant* pending flush costs exactly one
+/// resubmission. After an op completes, its latest flush stays pending
+/// and the periodic ticker re-broadcasts it until `RESUBMIT_CAP`; once
+/// capped it is dormant. Severing the socket then forces a redial, and
+/// the redial resubmits the flush exactly once — not zero times (frames
+/// on the dead socket are gone; in-flight ops would starve into their
+/// deadlines) and not per-tick (the cap must keep holding afterwards).
+#[test]
+fn a_killed_socket_resubmits_the_dormant_flush_exactly_once() {
+    let kv = NetKv::spawn(StoreConfig::new(1, 1, 1), None).expect("net kv");
+    let mut handle = kv.store.handle(0).expect("handle");
+    handle.set_timeout(Duration::from_secs(5));
+    handle.put("edge", Value::from_u64(7)).expect("put");
+
+    // Let the completed op's flush run out its resubmit cap (25ms × 40 ≈
+    // 1s) and verify it is actually dormant before the kill, so the
+    // delta below measures the redial path alone.
+    let before = settled_resubmissions(Duration::from_millis(200));
+
+    kv.servers[0].drop_connections();
+
+    // The client notices the close within a sweep, redials within its
+    // backoff, and resubmits the pending flush once.
+    let deadline = Instant::now() + Duration::from_secs(5);
+    loop {
+        let delta = Registry::global().counter_value(names::NET_RESUBMISSIONS) - before;
+        if delta >= 1 {
+            assert_eq!(
+                delta, 1,
+                "redial must resubmit the dormant flush exactly once"
+            );
+            break;
+        }
+        assert!(
+            Instant::now() < deadline,
+            "redial never resubmitted the pending flush after the socket kill"
+        );
+        std::thread::sleep(Duration::from_millis(5));
+    }
+
+    // And it stays at one: the resubmit cap still gates the periodic
+    // ticker on the new connection.
+    std::thread::sleep(Duration::from_millis(200));
+    let delta = Registry::global().counter_value(names::NET_RESUBMISSIONS) - before;
+    assert_eq!(
+        delta, 1,
+        "the periodic ticker must not resume resubmitting a capped flush after redial"
+    );
+}

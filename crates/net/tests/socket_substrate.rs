@@ -154,10 +154,13 @@ fn client_side_crash_injection_on_remote_shards_panics() {
 /// readable.
 #[test]
 fn lossy_reordering_link_degrades_but_never_corrupts() {
+    // `RASTOR_SEED=<printed> cargo test ...` reproduces the fault draw.
+    let seed = rastor_common::test_seed(0xC0FFEE);
+    eprintln!("RASTOR_SEED={seed:#x}");
     let chaos = ChaosCfg::delay_only(Duration::from_micros(100))
         .with_drops(0.04)
         .with_reordering(0.10)
-        .with_seed(0xC0FFEE);
+        .with_seed(seed);
     let kv = NetKv::spawn(StoreConfig::new(1, 1, 1), Some(chaos)).expect("net kv");
     let mut h = kv.store.handle(0).expect("handle");
     h.set_timeout(Duration::from_millis(400));
@@ -276,7 +279,14 @@ fn future_version_frame_gets_a_mismatch_reply_and_the_connection_survives() {
 /// service on the same connections.
 #[test]
 fn partition_heals_without_reconnecting() {
-    let kv = NetKv::spawn(StoreConfig::new(1, 1, 1), Some(ChaosCfg::default())).expect("net kv");
+    // `RASTOR_SEED=<printed> cargo test ...` reproduces the fault draw.
+    let seed = rastor_common::test_seed(0x9EA1);
+    eprintln!("RASTOR_SEED={seed:#x}");
+    let kv = NetKv::spawn(
+        StoreConfig::new(1, 1, 1),
+        Some(ChaosCfg::default().with_seed(seed)),
+    )
+    .expect("net kv");
     let mut h = kv.store.handle(0).expect("handle");
     h.put("stable", Value::from_u64(1))
         .expect("pre-partition put");

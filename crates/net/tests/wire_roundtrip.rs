@@ -8,8 +8,9 @@ use rastor_common::{ClientId, Error, ObjectId, RegId, SplitMix64, Timestamp, TsV
 use rastor_core::msg::{AckKind, ObjectView, Rep, Req, Stamped};
 use rastor_core::token::Token;
 use rastor_net::wire::{
-    self, Frame, RepEnvelope, ReqEnvelope, WireRepFrame, WireReqFrame, WIRE_VERSION,
+    self, Frame, Negotiated, RepEnvelope, ReqEnvelope, WireRepFrame, WireReqFrame, WIRE_VERSION,
 };
+use std::io::Cursor;
 
 // ---------------------------------------------------------------------------
 // Generators: structured trees derived from one drawn seed, so the vendored
@@ -216,6 +217,82 @@ proptest! {
         let bytes: Vec<u8> = (0..len).map(|_| rng.next_u64() as u8).collect();
         if let Ok((frame, used)) = wire::decode_frame(&bytes) {
             prop_assert_eq!(wire::encode_frame(&frame), bytes[..used].to_vec());
+        }
+    }
+
+    /// The trace word survives the codec at both extremes: an *untraced*
+    /// frame (trace 0, the overwhelmingly common case) and a traced one
+    /// with an arbitrary id roundtrip bit-exactly, on both the request
+    /// and the reply side.
+    #[test]
+    fn traced_and_untraced_frames_roundtrip(seed in 0u64..u64::MAX, trace in 1u64..u64::MAX) {
+        let mut rng = SplitMix64::new(seed);
+        for trace in [0u64, trace] {
+            let req = Frame::Req(ReqEnvelope {
+                from: arb_client(&mut rng),
+                frames: vec![WireReqFrame {
+                    op_nonce: rng.next_u64(),
+                    round: rng.gen_range(1, 64) as u32,
+                    trace,
+                    req: arb_req(&mut rng),
+                }],
+            });
+            let rep = Frame::Rep(RepEnvelope {
+                to: arb_client(&mut rng),
+                from: ObjectId(rng.gen_range(0, 1 << 16) as u32),
+                frames: vec![WireRepFrame {
+                    op_nonce: rng.next_u64(),
+                    round: rng.gen_range(1, 64) as u32,
+                    trace,
+                    rep: arb_rep(&mut rng),
+                }],
+            });
+            for frame in [req, rep] {
+                let bytes = wire::encode_frame(&frame);
+                let (decoded, used) = wire::decode_frame(&bytes).expect("decodes");
+                prop_assert_eq!(used, bytes.len());
+                prop_assert_eq!(decoded, frame);
+            }
+        }
+    }
+
+    /// Version negotiation across a stream: a foreign-version frame ahead
+    /// of a valid one is *admitted* — consumed whole, reported as
+    /// `Foreign` with the version byte and the body's leading correlation
+    /// id — and the very next read decodes the valid frame, proving the
+    /// stream stayed frame-aligned (the v1↔v2 coexistence contract).
+    #[test]
+    fn foreign_version_frames_are_admitted_and_realigned(
+        seed in 0u64..u64::MAX,
+        got in 0u8..=255,
+    ) {
+        if got == WIRE_VERSION {
+            return Ok(());
+        }
+        let mut rng = SplitMix64::new(seed);
+        let mut foreign = wire::encode_frame(&arb_frame(&mut rng));
+        foreign[2] = got;
+        // The foreign body's first 8 bytes, as the correlation contract
+        // reads them (0 when the body is shorter).
+        let want_corr = foreign
+            .get(8..16)
+            .map(|b| u64::from_le_bytes(b.try_into().unwrap()))
+            .unwrap_or(0);
+        let valid = arb_frame(&mut rng);
+        let mut stream = foreign;
+        stream.extend(wire::encode_frame(&valid));
+
+        let mut cursor = Cursor::new(stream);
+        match wire::read_frame_admitting(&mut cursor).expect("foreign frame admitted") {
+            Negotiated::Foreign { got: g, corr } => {
+                prop_assert_eq!(g, got);
+                prop_assert_eq!(corr, want_corr);
+            }
+            other => prop_assert!(false, "expected Foreign, got {:?}", other),
+        }
+        match wire::read_frame_admitting(&mut cursor).expect("next frame decodes") {
+            Negotiated::Frame(f) => prop_assert_eq!(f, valid),
+            other => prop_assert!(false, "expected Frame, got {:?}", other),
         }
     }
 }

@@ -214,6 +214,14 @@ where
         id
     }
 
+    /// Register a whole cast of objects at once, in slot order — the
+    /// batch form of [`Sim::add_object`] used by schedule exploration,
+    /// where a `Cast` materializes all `3t + 1` behaviors (honest and
+    /// Byzantine) as one vector. Returns the assigned ids, `s0, s1, …`.
+    pub fn add_objects(&mut self, behaviors: Vec<Box<dyn ObjectBehavior<Q, R>>>) -> Vec<ObjectId> {
+        behaviors.into_iter().map(|b| self.add_object(b)).collect()
+    }
+
     /// Replace an object's behavior mid-run (used by fault-injection tests
     /// to turn a correct object Byzantine at a chosen instant).
     pub fn replace_object(&mut self, id: ObjectId, behavior: Box<dyn ObjectBehavior<Q, R>>) {

@@ -11,7 +11,7 @@
 //! must stay linearizable when its rounds cross sockets and a hostile
 //! link, because nothing protocol-level changed.
 
-use rastor::common::{ClientId, ObjectId, Value};
+use rastor::common::{test_seed, ClientId, ObjectId, Value};
 use rastor::core::checker::{History, ReadRec, WriteRec};
 use rastor::kv::StoreConfig;
 use rastor::net::{ChaosCfg, NetKv};
@@ -27,6 +27,15 @@ fn key_name(k: usize) -> String {
     format!("netsoak:{k}")
 }
 
+/// The test's seed: `RASTOR_SEED` when set, else `default`. Printed up
+/// front (libtest shows captured output only for failures), so a CI
+/// failure reproduces with one `RASTOR_SEED=<printed> cargo test ...`.
+fn announced_seed(default: u64) -> u64 {
+    let seed = test_seed(default);
+    eprintln!("RASTOR_SEED={seed:#x}");
+    seed
+}
+
 #[test]
 fn sharded_kv_over_tcp_through_chaos_is_atomic_per_key() {
     // A 20% per-frame drop rate is far past what the pre-resubmission
@@ -34,9 +43,10 @@ fn sharded_kv_over_tcp_through_chaos_is_atomic_per_key() {
     // lost frame starved its whole shard-round); with reconnect +
     // resubmission a drop costs a resubmit interval, so the ops must
     // complete inside a deliberately short per-op budget.
+    let seed = announced_seed(0xBADCAB);
     let chaos = ChaosCfg::delay_only(Duration::from_micros(200))
         .with_drops(0.20)
-        .with_seed(0xBADCAB);
+        .with_seed(seed);
     let mut kv = NetKv::spawn(
         StoreConfig::new(1, SHARDS, HANDLES).with_jitter(Duration::from_micros(150)),
         Some(chaos),
@@ -58,7 +68,7 @@ fn sharded_kv_over_tcp_through_chaos_is_atomic_per_key() {
             // Short per-op budget on purpose: resubmission must absorb
             // the drops well inside it, or the `expect`s below fire.
             handle.set_timeout(Duration::from_secs(2));
-            let mut rng = rastor::common::SplitMix64::new(0x7e1e_c0de + u64::from(hid));
+            let mut rng = rastor::common::SplitMix64::new(seed ^ (0x7e1e_c0de + u64::from(hid)));
             for op in 0..OPS_PER_HANDLE {
                 let k = rng.gen_range(0, KEYS as u64 - 1) as usize;
                 let key = key_name(k);
@@ -150,6 +160,7 @@ fn sharded_kv_over_tcp_through_chaos_is_atomic_per_key() {
 /// recovered objects onto the read path.
 #[test]
 fn server_side_restart_mid_traffic_stays_atomic() {
+    let seed = announced_seed(0x02e5_7a27);
     let data_dir = rastor::store::TempDir::new("net-restart-soak");
     let mut kv = NetKv::spawn(
         StoreConfig::new(1, SHARDS, HANDLES)
@@ -170,7 +181,7 @@ fn server_side_restart_mid_traffic_stays_atomic() {
         let histories = Arc::clone(&histories);
         threads.push(std::thread::spawn(move || {
             let mut handle = store.handle(hid).expect("handle in pool");
-            let mut rng = rastor::common::SplitMix64::new(0x02e5_7a27 + u64::from(hid));
+            let mut rng = rastor::common::SplitMix64::new(seed.wrapping_add(u64::from(hid)));
             for op in 0..OPS_PER_HANDLE {
                 let k = rng.gen_range(0, KEYS as u64 - 1) as usize;
                 let key = key_name(k);
@@ -266,6 +277,7 @@ fn server_side_restart_mid_traffic_stays_atomic() {
 #[test]
 fn mid_traffic_socket_kill_completes_all_ops_via_resubmission() {
     const KILL_OPS: u64 = 32;
+    let seed = announced_seed(0x5_0c4e7);
     let resub_before =
         rastor::obs::Registry::global().counter_value(rastor::obs::names::NET_RESUBMISSIONS);
     let kv = NetKv::spawn(
@@ -286,7 +298,7 @@ fn mid_traffic_socket_kill_completes_all_ops_via_resubmission() {
         threads.push(std::thread::spawn(move || {
             let mut handle = store.handle(hid).expect("handle in pool");
             handle.set_timeout(Duration::from_secs(5));
-            let mut rng = rastor::common::SplitMix64::new(0x5_0c4e7 + u64::from(hid));
+            let mut rng = rastor::common::SplitMix64::new(seed.wrapping_add(u64::from(hid)));
             for op in 0..KILL_OPS {
                 let k = rng.gen_range(0, KEYS as u64 - 1) as usize;
                 let key = key_name(k);
@@ -356,9 +368,10 @@ fn mid_traffic_socket_kill_completes_all_ops_via_resubmission() {
 /// through submit/poll.
 #[test]
 fn pipelined_batches_flow_over_tcp() {
+    let seed = announced_seed(0x9a7c4);
     let kv = NetKv::spawn(
         StoreConfig::new(1, SHARDS, 1),
-        Some(ChaosCfg::delay_only(Duration::from_micros(100))),
+        Some(ChaosCfg::delay_only(Duration::from_micros(100)).with_seed(seed)),
     )
     .expect("net kv");
     let mut h = kv.store.handle(0).expect("handle");
